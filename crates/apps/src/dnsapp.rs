@@ -1,0 +1,270 @@
+//! DNS applications: a resolver answering over both UDP and TCP, plus UDP
+//! and TCP query clients — the Table 6 workload and the substrate for
+//! INTANG's DNS forwarder (§6).
+
+use crate::host::{HostDriver, UdpLayer};
+use intang_netsim::Instant;
+use intang_packet::dns::DnsMessage;
+use intang_tcpstack::{SocketHandle, TcpEndpoint};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+use std::rc::Rc;
+
+/// A resolver's zone: name → address, with a default for everything else.
+#[derive(Debug, Clone)]
+pub struct Zone {
+    records: HashMap<String, Ipv4Addr>,
+    pub default: Ipv4Addr,
+}
+
+impl Zone {
+    pub fn new(default: Ipv4Addr) -> Zone {
+        Zone { records: HashMap::new(), default }
+    }
+
+    pub fn with(mut self, name: &str, addr: Ipv4Addr) -> Zone {
+        self.records.insert(name.to_string(), addr);
+        self
+    }
+
+    pub fn lookup(&self, name: &str) -> Ipv4Addr {
+        self.records.get(name).copied().unwrap_or(self.default)
+    }
+}
+
+/// An authoritative-ish resolver serving A records over UDP:53 and TCP:53.
+pub struct DnsServerDriver {
+    zone: Zone,
+    tcp_conns: Vec<(SocketHandle, Vec<u8>)>,
+    pub answered_udp: Rc<RefCell<u32>>,
+    pub answered_tcp: Rc<RefCell<u32>>,
+}
+
+impl DnsServerDriver {
+    pub fn new(zone: Zone) -> DnsServerDriver {
+        DnsServerDriver {
+            zone,
+            tcp_conns: Vec::new(),
+            answered_udp: Rc::new(RefCell::new(0)),
+            answered_tcp: Rc::new(RefCell::new(0)),
+        }
+    }
+}
+
+impl HostDriver for DnsServerDriver {
+    fn poll(&mut self, now: Instant, tcp: &mut TcpEndpoint, udp: &mut UdpLayer) {
+        // UDP queries.
+        for dg in udp.recv_port(53) {
+            if let Ok(query) = DnsMessage::decode(&dg.payload) {
+                if !query.is_response {
+                    let addr = query.first_name().map(|n| self.zone.lookup(n)).unwrap_or(self.zone.default);
+                    let resp = DnsMessage::answer_a(&query, addr, 60);
+                    udp.send(dg.src, 53, dg.src_port, resp.encode());
+                    *self.answered_udp.borrow_mut() += 1;
+                }
+            }
+        }
+        // TCP queries (length-prefixed, possibly several per connection).
+        for h in tcp.take_accepted() {
+            self.tcp_conns.push((h, Vec::new()));
+        }
+        for (h, buf) in &mut self.tcp_conns {
+            let data = tcp.socket(*h).recv_drain();
+            buf.extend_from_slice(&data);
+            while let Ok((query, used)) = DnsMessage::decode_tcp(buf) {
+                buf.drain(..used);
+                if query.is_response {
+                    continue;
+                }
+                let addr = query.first_name().map(|n| self.zone.lookup(n)).unwrap_or(self.zone.default);
+                let resp = DnsMessage::answer_a(&query, addr, 60);
+                tcp.socket(*h).send(&resp.encode_tcp(), now.micros());
+                *self.answered_tcp.borrow_mut() += 1;
+            }
+        }
+    }
+}
+
+/// Result of one DNS lookup.
+#[derive(Debug, Default, Clone)]
+pub struct DnsClientReport {
+    pub answer: Option<Ipv4Addr>,
+    /// All answers seen (poisoning races deliver more than one).
+    pub all_answers: Vec<Ipv4Addr>,
+    pub reset: bool,
+}
+
+/// Plain UDP DNS client: one query, first response wins (which is exactly
+/// why injection-based poisoning works).
+pub struct DnsUdpClientDriver {
+    resolver: Ipv4Addr,
+    name: String,
+    txid: u16,
+    sent: bool,
+    pub report: Rc<RefCell<DnsClientReport>>,
+}
+
+impl DnsUdpClientDriver {
+    pub fn new(resolver: Ipv4Addr, name: &str) -> (DnsUdpClientDriver, Rc<RefCell<DnsClientReport>>) {
+        let report = Rc::new(RefCell::new(DnsClientReport::default()));
+        (
+            DnsUdpClientDriver { resolver, name: name.to_string(), txid: 0x3131, sent: false, report: report.clone() },
+            report,
+        )
+    }
+}
+
+impl HostDriver for DnsUdpClientDriver {
+    fn poll(&mut self, _now: Instant, _tcp: &mut TcpEndpoint, udp: &mut UdpLayer) {
+        if !self.sent {
+            self.sent = true;
+            let q = DnsMessage::query(self.txid, &self.name);
+            udp.send(self.resolver, 5353, 53, q.encode());
+        }
+        for dg in udp.recv_port(5353) {
+            if let Ok(resp) = DnsMessage::decode(&dg.payload) {
+                if resp.is_response && resp.id == self.txid {
+                    let mut rep = self.report.borrow_mut();
+                    if let Some(rec) = resp.answers.first() {
+                        rep.all_answers.push(rec.addr);
+                        if rep.answer.is_none() {
+                            rep.answer = Some(rec.addr);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// TCP DNS client: connects to the resolver's port 53 and sends one
+/// length-prefixed query.
+pub struct DnsTcpClientDriver {
+    resolver: Ipv4Addr,
+    name: String,
+    txid: u16,
+    state: Option<SocketHandle>,
+    sent: bool,
+    buf: Vec<u8>,
+    pub report: Rc<RefCell<DnsClientReport>>,
+}
+
+impl DnsTcpClientDriver {
+    pub fn new(resolver: Ipv4Addr, name: &str) -> (DnsTcpClientDriver, Rc<RefCell<DnsClientReport>>) {
+        let report = Rc::new(RefCell::new(DnsClientReport::default()));
+        (
+            DnsTcpClientDriver {
+                resolver,
+                name: name.to_string(),
+                txid: 0x4242,
+                state: None,
+                sent: false,
+                buf: Vec::new(),
+                report: report.clone(),
+            },
+            report,
+        )
+    }
+}
+
+impl HostDriver for DnsTcpClientDriver {
+    fn poll(&mut self, now: Instant, tcp: &mut TcpEndpoint, _udp: &mut UdpLayer) {
+        let h = match self.state {
+            Some(h) => h,
+            None => {
+                let h = tcp.connect(self.resolver, 53, now.micros());
+                self.state = Some(h);
+                h
+            }
+        };
+        let sock = tcp.socket(h);
+        if sock.reset_by_peer {
+            self.report.borrow_mut().reset = true;
+            return;
+        }
+        if sock.is_established() && !self.sent {
+            self.sent = true;
+            let q = DnsMessage::query(self.txid, &self.name);
+            sock.send(&q.encode_tcp(), now.micros());
+        }
+        let data = tcp.socket(h).recv_drain();
+        self.buf.extend_from_slice(&data);
+        if let Ok((resp, _)) = DnsMessage::decode_tcp(&self.buf) {
+            if resp.is_response && resp.id == self.txid {
+                let mut rep = self.report.borrow_mut();
+                if let Some(rec) = resp.answers.first() {
+                    rep.all_answers.push(rec.addr);
+                    rep.answer = Some(rec.addr);
+                }
+                drop(rep);
+                tcp.socket(h).close(now.micros());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::host::add_host;
+    use intang_netsim::{Direction, Duration, Link, Simulation};
+    use intang_tcpstack::StackProfile;
+
+    fn resolver_addr() -> Ipv4Addr {
+        Ipv4Addr::new(216, 146, 35, 35) // "Dyn 1" from Table 6
+    }
+
+    fn real_addr() -> Ipv4Addr {
+        Ipv4Addr::new(162, 125, 2, 1)
+    }
+
+    fn run_lookup(tcp: bool) -> DnsClientReport {
+        let mut sim = Simulation::new(31);
+        let zone = Zone::new(Ipv4Addr::new(198, 18, 0, 1)).with("www.dropbox.com", real_addr());
+        let report;
+        if tcp {
+            let (driver, r) = DnsTcpClientDriver::new(resolver_addr(), "www.dropbox.com");
+            add_host(&mut sim, "client", Ipv4Addr::new(10, 0, 0, 1), StackProfile::linux_4_4(), Box::new(driver), Direction::ToServer);
+            report = r;
+        } else {
+            let (driver, r) = DnsUdpClientDriver::new(resolver_addr(), "www.dropbox.com");
+            add_host(&mut sim, "client", Ipv4Addr::new(10, 0, 0, 1), StackProfile::linux_4_4(), Box::new(driver), Direction::ToServer);
+            report = r;
+        }
+        sim.add_link(Link::new(Duration::from_millis(40), 8));
+        let (_i, shandle) = add_host(
+            &mut sim,
+            "resolver",
+            resolver_addr(),
+            StackProfile::linux_4_4(),
+            Box::new(DnsServerDriver::new(zone)),
+            Direction::ToClient,
+        );
+        shandle.with_tcp(|t| t.listen(53));
+        sim.run_to_quiescence(100_000);
+        let rep = report.borrow().clone();
+        rep
+    }
+
+    #[test]
+    fn udp_lookup_resolves() {
+        let rep = run_lookup(false);
+        assert_eq!(rep.answer, Some(real_addr()));
+        assert!(!rep.reset);
+    }
+
+    #[test]
+    fn tcp_lookup_resolves() {
+        let rep = run_lookup(true);
+        assert_eq!(rep.answer, Some(real_addr()));
+        assert!(!rep.reset);
+    }
+
+    #[test]
+    fn zone_defaults_apply() {
+        let zone = Zone::new(Ipv4Addr::new(1, 2, 3, 4)).with("a.example", Ipv4Addr::new(9, 9, 9, 9));
+        assert_eq!(zone.lookup("a.example"), Ipv4Addr::new(9, 9, 9, 9));
+        assert_eq!(zone.lookup("other.example"), Ipv4Addr::new(1, 2, 3, 4));
+    }
+}

@@ -1,0 +1,237 @@
+//! HTTP client and server drivers — the Table 1 / Table 4 workload.
+
+use crate::host::{HostDriver, UdpLayer};
+use intang_netsim::Instant;
+use intang_packet::http::{HttpRequest, HttpResponse};
+use intang_tcpstack::{SocketHandle, TcpEndpoint};
+use std::cell::RefCell;
+use std::net::Ipv4Addr;
+use std::rc::Rc;
+
+/// Outcome of one HTTP fetch, shared with the experiment harness.
+#[derive(Debug, Default)]
+pub struct HttpClientReport {
+    pub connected: bool,
+    pub request_sent: bool,
+    pub response: Option<HttpResponse>,
+    /// The connection died on an RST.
+    pub reset: bool,
+    /// Raw bytes received (diagnostics).
+    pub raw: Vec<u8>,
+}
+
+impl HttpClientReport {
+    /// The paper's "Success": a response arrived and no reset killed us.
+    pub fn succeeded(&self) -> bool {
+        self.response.is_some() && !self.reset
+    }
+}
+
+enum FetchState {
+    Idle,
+    Connecting(SocketHandle),
+    Awaiting(SocketHandle),
+    Done,
+}
+
+/// Fetches one URL from one server, optionally delayed.
+pub struct HttpClientDriver {
+    server: Ipv4Addr,
+    port: u16,
+    request: HttpRequest,
+    start_at: Instant,
+    state: FetchState,
+    pub report: Rc<RefCell<HttpClientReport>>,
+}
+
+impl HttpClientDriver {
+    pub fn new(server: Ipv4Addr, port: u16, request: HttpRequest) -> (HttpClientDriver, Rc<RefCell<HttpClientReport>>) {
+        let report = Rc::new(RefCell::new(HttpClientReport::default()));
+        (
+            HttpClientDriver { server, port, request, start_at: Instant::ZERO, state: FetchState::Idle, report: report.clone() },
+            report,
+        )
+    }
+
+    pub fn starting_at(mut self, at: Instant) -> HttpClientDriver {
+        self.start_at = at;
+        self
+    }
+}
+
+impl HostDriver for HttpClientDriver {
+    fn poll(&mut self, now: Instant, tcp: &mut TcpEndpoint, _udp: &mut UdpLayer) {
+        match self.state {
+            FetchState::Idle => {
+                if now >= self.start_at {
+                    let h = tcp.connect(self.server, self.port, now.micros());
+                    self.state = FetchState::Connecting(h);
+                }
+            }
+            FetchState::Connecting(h) => {
+                let sock = tcp.socket(h);
+                if sock.is_established() {
+                    sock.send(&self.request.encode(), now.micros());
+                    let mut rep = self.report.borrow_mut();
+                    rep.connected = true;
+                    rep.request_sent = true;
+                    self.state = FetchState::Awaiting(h);
+                } else if sock.is_closed() {
+                    self.report.borrow_mut().reset = sock.reset_by_peer;
+                    self.state = FetchState::Done;
+                }
+            }
+            FetchState::Awaiting(h) => {
+                let sock = tcp.socket(h);
+                let data = sock.recv_drain();
+                let closed = sock.is_closed() || sock.peer_closed();
+                let reset = sock.reset_by_peer;
+                let mut rep = self.report.borrow_mut();
+                rep.raw.extend_from_slice(&data);
+                if reset {
+                    rep.reset = true;
+                }
+                if let Ok(resp) = HttpResponse::decode(&rep.raw) {
+                    rep.response = Some(resp);
+                    drop(rep);
+                    tcp.socket(h).close(now.micros());
+                    self.state = FetchState::Done;
+                } else if closed {
+                    drop(rep);
+                    self.state = FetchState::Done;
+                }
+            }
+            FetchState::Done => {}
+        }
+    }
+}
+
+/// Serves a fixed page on a port; honors `Connection: close` semantics by
+/// closing after the response.
+pub struct HttpServerDriver {
+    port: u16,
+    /// Body served on success.
+    body: Vec<u8>,
+    /// Serve a 301-to-HTTPS instead (copies the request target into the
+    /// Location header — the §3.3 keyword-echo hazard).
+    redirect_https: bool,
+    /// Accept connections and read requests but never answer (a flaky or
+    /// overloaded origin).
+    unresponsive: bool,
+    conns: Vec<(SocketHandle, Vec<u8>, bool)>,
+    /// Requests fully served (observable).
+    pub served: Rc<RefCell<u32>>,
+}
+
+impl HttpServerDriver {
+    pub fn new(port: u16) -> HttpServerDriver {
+        HttpServerDriver {
+            port,
+            body: b"<html><body>It works (simulated).</body></html>".to_vec(),
+            redirect_https: false,
+            unresponsive: false,
+            conns: Vec::new(),
+            served: Rc::new(RefCell::new(0)),
+        }
+    }
+
+    pub fn unresponsive(mut self) -> HttpServerDriver {
+        self.unresponsive = true;
+        self
+    }
+
+    pub fn with_body(mut self, body: &[u8]) -> HttpServerDriver {
+        self.body = body.to_vec();
+        self
+    }
+
+    pub fn redirecting_to_https(mut self) -> HttpServerDriver {
+        self.redirect_https = true;
+        self
+    }
+
+    pub fn served_handle(&self) -> Rc<RefCell<u32>> {
+        self.served.clone()
+    }
+
+    pub fn port(&self) -> u16 {
+        self.port
+    }
+}
+
+impl HostDriver for HttpServerDriver {
+    fn poll(&mut self, now: Instant, tcp: &mut TcpEndpoint, _udp: &mut UdpLayer) {
+        for h in tcp.take_accepted() {
+            self.conns.push((h, Vec::new(), false));
+        }
+        for (h, buf, answered) in &mut self.conns {
+            if *answered {
+                continue;
+            }
+            let data = tcp.socket(*h).recv_drain();
+            buf.extend_from_slice(&data);
+            if self.unresponsive {
+                continue;
+            }
+            if let Ok(req) = HttpRequest::decode(buf) {
+                let resp = if self.redirect_https {
+                    let host = req.header("host").unwrap_or("unknown").to_string();
+                    HttpResponse::redirect_to_https(&host, &req.target)
+                } else {
+                    HttpResponse::ok(&self.body)
+                };
+                let sock = tcp.socket(*h);
+                sock.send(&resp.encode(), now.micros());
+                sock.close(now.micros());
+                *answered = true;
+                *self.served.borrow_mut() += 1;
+            }
+        }
+    }
+}
+
+/// Make the listener live: call after `add_host`.
+pub fn listen(handle: &crate::host::HostHandle, port: u16) {
+    handle.with_tcp(|t| t.listen(port));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::host::add_host;
+    use intang_netsim::{Direction, Duration, Link, Simulation};
+    use intang_tcpstack::StackProfile;
+
+    fn fetch(redirect: bool) -> Rc<RefCell<HttpClientReport>> {
+        let client_addr = Ipv4Addr::new(10, 0, 0, 1);
+        let server_addr = Ipv4Addr::new(203, 0, 113, 10);
+        let req = HttpRequest::get("/ultrasurf", "site-0.example");
+        let (driver, report) = HttpClientDriver::new(server_addr, 80, req);
+        let mut sim = Simulation::new(21);
+        add_host(&mut sim, "client", client_addr, StackProfile::linux_4_4(), Box::new(driver), Direction::ToServer);
+        sim.add_link(Link::new(Duration::from_millis(25), 6));
+        let server = if redirect { HttpServerDriver::new(80).redirecting_to_https() } else { HttpServerDriver::new(80) };
+        let (_i, shandle) = add_host(&mut sim, "server", server_addr, StackProfile::linux_4_4(), Box::new(server), Direction::ToClient);
+        listen(&shandle, 80);
+        sim.run_to_quiescence(100_000);
+        report
+    }
+
+    #[test]
+    fn plain_fetch_succeeds_without_censor() {
+        let report = fetch(false);
+        let rep = report.borrow();
+        assert!(rep.succeeded(), "no censor on path, fetch must succeed");
+        assert_eq!(rep.response.as_ref().unwrap().status, 200);
+        assert!(!rep.reset);
+    }
+
+    #[test]
+    fn https_redirect_echoes_keyword_into_location() {
+        let report = fetch(true);
+        let rep = report.borrow();
+        let resp = rep.response.as_ref().unwrap();
+        assert_eq!(resp.status, 301);
+        assert!(resp.header("location").unwrap().contains("/ultrasurf"));
+    }
+}

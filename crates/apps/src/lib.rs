@@ -1,0 +1,22 @@
+//! # intang-apps
+//!
+//! Simulated hosts: a [`host::HostElement`] couples an `intang-tcpstack`
+//! endpoint (plus a small UDP layer) to an application driver and plugs
+//! into the netsim path as an element. The drivers implement the paper's
+//! workloads:
+//!
+//! * HTTP client/server — the Table 1/Table 4 measurement workload
+//!   (GET requests carrying the sensitive keyword);
+//! * DNS resolver and clients over UDP and TCP — the Table 6 workload;
+//! * a Tor-like client and bridge whose handshake the censor fingerprints
+//!   (§7.3), including the bridge's response to active probes;
+//! * an OpenVPN-over-TCP-like pair (§7.3).
+
+pub mod dnsapp;
+pub mod host;
+pub mod http;
+pub mod tor;
+pub mod vpn;
+
+pub use host::{HostDriver, HostElement, HostHandle, UdpLayer};
+pub use http::{HttpClientDriver, HttpClientReport, HttpServerDriver};

@@ -1,0 +1,202 @@
+//! A Tor-like client and bridge (§7.3).
+//!
+//! The client leads with a fingerprintable handshake (standing in for the
+//! Tor TLS client hello); the bridge answers any valid handshake — which is
+//! exactly why the censor's active prober can confirm it. Traffic after the
+//! handshake is periodic opaque cells.
+
+use crate::host::{HostDriver, UdpLayer};
+use intang_gfw::dpi::TOR_FINGERPRINT;
+use intang_gfw::probe::TOR_SERVER_HELLO;
+use intang_netsim::{Duration, Instant};
+use intang_tcpstack::{SocketHandle, TcpEndpoint};
+use std::cell::RefCell;
+use std::net::Ipv4Addr;
+use std::rc::Rc;
+
+/// Progress of a Tor client session.
+#[derive(Debug, Default, Clone)]
+pub struct TorClientReport {
+    pub connected: bool,
+    pub handshake_complete: bool,
+    /// Opaque cells exchanged after the handshake.
+    pub cells_acked: u32,
+    pub reset: bool,
+    /// Connection stopped making progress (blocked / blackholed).
+    pub stalled: bool,
+}
+
+enum TorState {
+    Idle,
+    Connecting(SocketHandle),
+    AwaitHello(SocketHandle),
+    Chatting(SocketHandle),
+    Done,
+}
+
+/// Connects to a bridge, handshakes, then sends `cells` periodic cells.
+pub struct TorClientDriver {
+    bridge: Ipv4Addr,
+    port: u16,
+    cells: u32,
+    sent_cells: u32,
+    next_cell_at: Instant,
+    state: TorState,
+    start_at: Instant,
+    pub report: Rc<RefCell<TorClientReport>>,
+}
+
+impl TorClientDriver {
+    pub fn new(bridge: Ipv4Addr, port: u16, cells: u32) -> (TorClientDriver, Rc<RefCell<TorClientReport>>) {
+        let report = Rc::new(RefCell::new(TorClientReport::default()));
+        (
+            TorClientDriver {
+                bridge,
+                port,
+                cells,
+                sent_cells: 0,
+                next_cell_at: Instant::ZERO,
+                state: TorState::Idle,
+                start_at: Instant::ZERO,
+                report: report.clone(),
+            },
+            report,
+        )
+    }
+
+    pub fn starting_at(mut self, at: Instant) -> TorClientDriver {
+        self.start_at = at;
+        self
+    }
+}
+
+impl HostDriver for TorClientDriver {
+    fn poll(&mut self, now: Instant, tcp: &mut TcpEndpoint, _udp: &mut UdpLayer) {
+        match self.state {
+            TorState::Idle => {
+                if now >= self.start_at {
+                    let h = tcp.connect(self.bridge, self.port, now.micros());
+                    self.state = TorState::Connecting(h);
+                }
+            }
+            TorState::Connecting(h) => {
+                let sock = tcp.socket(h);
+                if sock.is_established() {
+                    sock.send(TOR_FINGERPRINT, now.micros());
+                    self.report.borrow_mut().connected = true;
+                    self.state = TorState::AwaitHello(h);
+                } else if sock.is_closed() {
+                    self.report.borrow_mut().reset = sock.reset_by_peer;
+                    self.report.borrow_mut().stalled = !sock.reset_by_peer;
+                    self.state = TorState::Done;
+                }
+            }
+            TorState::AwaitHello(h) => {
+                let sock = tcp.socket(h);
+                if sock.reset_by_peer {
+                    self.report.borrow_mut().reset = true;
+                    self.state = TorState::Done;
+                    return;
+                }
+                let data = sock.recv_drain();
+                if data.windows(TOR_SERVER_HELLO.len()).any(|w| w == TOR_SERVER_HELLO) {
+                    self.report.borrow_mut().handshake_complete = true;
+                    self.next_cell_at = now;
+                    self.state = TorState::Chatting(h);
+                }
+            }
+            TorState::Chatting(h) => {
+                let sock = tcp.socket(h);
+                if sock.reset_by_peer {
+                    self.report.borrow_mut().reset = true;
+                    self.state = TorState::Done;
+                    return;
+                }
+                let acked = sock.recv_drain().len() as u32 / 8;
+                self.report.borrow_mut().cells_acked += acked;
+                if self.sent_cells < self.cells && now >= self.next_cell_at {
+                    sock.send(b"TORCELL!", now.micros());
+                    self.sent_cells += 1;
+                    self.next_cell_at = now + Duration::from_millis(500);
+                } else if self.sent_cells >= self.cells && self.report.borrow().cells_acked >= self.cells {
+                    tcp.socket(h).close(now.micros());
+                    self.state = TorState::Done;
+                }
+            }
+            TorState::Done => {}
+        }
+    }
+
+    fn next_wakeup(&self) -> Option<Instant> {
+        match self.state {
+            TorState::Chatting(_) if self.sent_cells < self.cells => Some(self.next_cell_at),
+            TorState::Idle => Some(self.start_at),
+            _ => None,
+        }
+    }
+}
+
+/// A bridge: answers the fingerprint handshake (from clients *and* from
+/// active probers — its fatal flaw), then echoes cells back.
+pub struct TorBridgeDriver {
+    port: u16,
+    conns: Vec<(SocketHandle, bool)>,
+    pub handshakes: Rc<RefCell<u32>>,
+}
+
+impl TorBridgeDriver {
+    pub fn new(port: u16) -> TorBridgeDriver {
+        TorBridgeDriver { port, conns: Vec::new(), handshakes: Rc::new(RefCell::new(0)) }
+    }
+
+    pub fn port(&self) -> u16 {
+        self.port
+    }
+}
+
+impl HostDriver for TorBridgeDriver {
+    fn poll(&mut self, now: Instant, tcp: &mut TcpEndpoint, _udp: &mut UdpLayer) {
+        for h in tcp.take_accepted() {
+            self.conns.push((h, false));
+        }
+        for (h, greeted) in &mut self.conns {
+            let data = tcp.socket(*h).recv_drain();
+            if !*greeted {
+                if data.windows(TOR_FINGERPRINT.len()).any(|w| w == TOR_FINGERPRINT) {
+                    tcp.socket(*h).send(TOR_SERVER_HELLO, now.micros());
+                    *greeted = true;
+                    *self.handshakes.borrow_mut() += 1;
+                }
+            } else if !data.is_empty() {
+                // Echo cells back 1:1.
+                tcp.socket(*h).send(&data, now.micros());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::host::add_host;
+    use intang_netsim::{Direction, Link, Simulation};
+    use intang_tcpstack::StackProfile;
+
+    #[test]
+    fn tor_session_without_censor() {
+        let bridge_addr = Ipv4Addr::new(54, 210, 8, 7);
+        let (driver, report) = TorClientDriver::new(bridge_addr, 443, 5);
+        let mut sim = Simulation::new(71);
+        add_host(&mut sim, "tor-client", Ipv4Addr::new(10, 0, 0, 1), StackProfile::linux_4_4(), Box::new(driver), Direction::ToServer);
+        sim.add_link(Link::new(Duration::from_millis(60), 10));
+        let bridge = TorBridgeDriver::new(443);
+        let (_i, bh) = add_host(&mut sim, "bridge", bridge_addr, StackProfile::linux_4_4(), Box::new(bridge), Direction::ToClient);
+        bh.with_tcp(|t| t.listen(443));
+        sim.run_until(intang_netsim::Instant(20_000_000));
+        let rep = report.borrow();
+        assert!(rep.connected);
+        assert!(rep.handshake_complete);
+        assert_eq!(rep.cells_acked, 5);
+        assert!(!rep.reset);
+    }
+}

@@ -1,0 +1,164 @@
+//! An OpenVPN-over-TCP-like pair (§7.3): a fingerprintable session
+//! negotiation followed by tunneled records. In November 2016 the paper
+//! observed the GFW resetting such handshakes via DPI; the experiment
+//! reproduces both that regime (`vpn_dpi` on) and the later one (off).
+
+use crate::host::{HostDriver, UdpLayer};
+use intang_gfw::dpi::VPN_FINGERPRINT;
+use intang_netsim::Instant;
+use intang_tcpstack::{SocketHandle, TcpEndpoint};
+use std::cell::RefCell;
+use std::net::Ipv4Addr;
+use std::rc::Rc;
+
+/// The server's reply completing the session negotiation.
+pub const VPN_SERVER_REPLY: &[u8] = b"\x00\x0e\x28OPENVPN-HARD-RESET-SERVER";
+
+#[derive(Debug, Default, Clone)]
+pub struct VpnClientReport {
+    pub connected: bool,
+    pub tunnel_up: bool,
+    pub records_echoed: u32,
+    pub reset: bool,
+}
+
+enum VpnState {
+    Idle,
+    Connecting(SocketHandle),
+    Negotiating(SocketHandle),
+    Tunneling(SocketHandle),
+    Done,
+}
+
+/// Client: negotiate, then push `records` tunneled records.
+pub struct VpnClientDriver {
+    server: Ipv4Addr,
+    port: u16,
+    records: u32,
+    sent: u32,
+    state: VpnState,
+    pub report: Rc<RefCell<VpnClientReport>>,
+}
+
+impl VpnClientDriver {
+    pub fn new(server: Ipv4Addr, port: u16, records: u32) -> (VpnClientDriver, Rc<RefCell<VpnClientReport>>) {
+        let report = Rc::new(RefCell::new(VpnClientReport::default()));
+        (
+            VpnClientDriver { server, port, records, sent: 0, state: VpnState::Idle, report: report.clone() },
+            report,
+        )
+    }
+}
+
+impl HostDriver for VpnClientDriver {
+    fn poll(&mut self, now: Instant, tcp: &mut TcpEndpoint, _udp: &mut UdpLayer) {
+        match self.state {
+            VpnState::Idle => {
+                let h = tcp.connect(self.server, self.port, now.micros());
+                self.state = VpnState::Connecting(h);
+            }
+            VpnState::Connecting(h) => {
+                let sock = tcp.socket(h);
+                if sock.is_established() {
+                    sock.send(VPN_FINGERPRINT, now.micros());
+                    self.report.borrow_mut().connected = true;
+                    self.state = VpnState::Negotiating(h);
+                } else if sock.is_closed() {
+                    self.report.borrow_mut().reset = sock.reset_by_peer;
+                    self.state = VpnState::Done;
+                }
+            }
+            VpnState::Negotiating(h) => {
+                let sock = tcp.socket(h);
+                if sock.reset_by_peer {
+                    self.report.borrow_mut().reset = true;
+                    self.state = VpnState::Done;
+                    return;
+                }
+                let data = sock.recv_drain();
+                if data.windows(VPN_SERVER_REPLY.len()).any(|w| w == VPN_SERVER_REPLY) {
+                    self.report.borrow_mut().tunnel_up = true;
+                    self.state = VpnState::Tunneling(h);
+                }
+            }
+            VpnState::Tunneling(h) => {
+                let sock = tcp.socket(h);
+                if sock.reset_by_peer {
+                    self.report.borrow_mut().reset = true;
+                    self.state = VpnState::Done;
+                    return;
+                }
+                let echoed = sock.recv_drain().len() as u32 / 16;
+                self.report.borrow_mut().records_echoed += echoed;
+                if self.sent < self.records {
+                    sock.send(&[0xEE; 16], now.micros());
+                    self.sent += 1;
+                } else if self.report.borrow().records_echoed >= self.records {
+                    tcp.socket(h).close(now.micros());
+                    self.state = VpnState::Done;
+                }
+            }
+            VpnState::Done => {}
+        }
+    }
+}
+
+/// Server: completes the negotiation and echoes tunneled records.
+pub struct VpnServerDriver {
+    conns: Vec<(SocketHandle, bool)>,
+}
+
+impl VpnServerDriver {
+    pub fn new() -> VpnServerDriver {
+        VpnServerDriver { conns: Vec::new() }
+    }
+}
+
+impl Default for VpnServerDriver {
+    fn default() -> Self {
+        VpnServerDriver::new()
+    }
+}
+
+impl HostDriver for VpnServerDriver {
+    fn poll(&mut self, now: Instant, tcp: &mut TcpEndpoint, _udp: &mut UdpLayer) {
+        for h in tcp.take_accepted() {
+            self.conns.push((h, false));
+        }
+        for (h, negotiated) in &mut self.conns {
+            let data = tcp.socket(*h).recv_drain();
+            if !*negotiated {
+                if data.windows(VPN_FINGERPRINT.len()).any(|w| w == VPN_FINGERPRINT) {
+                    tcp.socket(*h).send(VPN_SERVER_REPLY, now.micros());
+                    *negotiated = true;
+                }
+            } else if !data.is_empty() {
+                tcp.socket(*h).send(&data, now.micros());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::host::add_host;
+    use intang_netsim::{Direction, Duration, Link, Simulation};
+    use intang_tcpstack::StackProfile;
+
+    #[test]
+    fn vpn_tunnel_without_censor() {
+        let server_addr = Ipv4Addr::new(203, 0, 113, 66);
+        let (driver, report) = VpnClientDriver::new(server_addr, 1194, 3);
+        let mut sim = Simulation::new(99);
+        add_host(&mut sim, "vpn-client", Ipv4Addr::new(10, 0, 0, 1), StackProfile::linux_4_4(), Box::new(driver), Direction::ToServer);
+        sim.add_link(Link::new(Duration::from_millis(30), 7));
+        let (_i, sh) = add_host(&mut sim, "vpn-server", server_addr, StackProfile::linux_4_4(), Box::new(VpnServerDriver::new()), Direction::ToClient);
+        sh.with_tcp(|t| t.listen(1194));
+        sim.run_until(Instant(20_000_000));
+        let rep = report.borrow();
+        assert!(rep.connected && rep.tunnel_up);
+        assert_eq!(rep.records_echoed, 3);
+        assert!(!rep.reset);
+    }
+}

@@ -1,0 +1,25 @@
+//! # intang-bench
+//!
+//! Benchmark support crate. The Criterion benches live in `benches/`:
+//!
+//! * `dpi` — keyword-engine throughput: streaming Aho–Corasick vs the
+//!   naive rescan it replaces (the DESIGN.md ablation);
+//! * `censor` — the censor tap's per-packet cost: TCB lifecycle, stream
+//!   feeding, reset injection;
+//! * `stack` — TCP endpoint handshake and bulk-transfer cost;
+//! * `trials` — full end-to-end trial throughput per strategy (the unit of
+//!   work behind every Table 1/4 cell).
+//!
+//! Success-rate *ablations* (insertion redundancy, the δ TTL heuristic,
+//! cache layers) are experiments, not timings — they live in the
+//! `ablations` binary of `intang-experiments`.
+
+/// A canonical censored HTTP request used across benches.
+pub fn censored_request() -> Vec<u8> {
+    intang_packet::http::HttpRequest::get("/search?q=ultrasurf", "bench.example").encode()
+}
+
+/// A long clean stream with no sensitive content (worst case for DPI).
+pub fn clean_stream(len: usize) -> Vec<u8> {
+    (0..len).map(|i| b"the quick brown fox jumps over it "[i % 34]).collect()
+}

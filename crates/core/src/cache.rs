@@ -1,0 +1,218 @@
+//! INTANG's two-level cache (§6): a transient LRU in front of a persistent
+//! TTL key-value store (the paper uses an in-process linked-list/hash LRU
+//! in front of Redis; the store here is the in-memory equivalent with the
+//! same observable semantics — persistence across connections, key expiry).
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// A classic LRU cache over a `HashMap` + recency list.
+#[derive(Debug)]
+pub struct LruCache<K: Eq + Hash + Clone, V> {
+    capacity: usize,
+    map: HashMap<K, V>,
+    /// Most-recent last.
+    order: Vec<K>,
+}
+
+impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0);
+        LruCache { capacity, map: HashMap::new(), order: Vec::new() }
+    }
+
+    pub fn get(&mut self, k: &K) -> Option<&V> {
+        if self.map.contains_key(k) {
+            self.touch(k);
+            self.map.get(k)
+        } else {
+            None
+        }
+    }
+
+    pub fn put(&mut self, k: K, v: V) {
+        if self.map.insert(k.clone(), v).is_none() && self.map.len() > self.capacity {
+            let evict = self.order.remove(0);
+            self.map.remove(&evict);
+        }
+        self.touch(&k);
+    }
+
+    pub fn remove(&mut self, k: &K) -> Option<V> {
+        self.order.retain(|x| x != k);
+        self.map.remove(k)
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    fn touch(&mut self, k: &K) {
+        self.order.retain(|x| x != k);
+        self.order.push(k.clone());
+    }
+}
+
+/// A key-value store whose entries expire after a per-entry TTL, measured
+/// in simulation microseconds.
+#[derive(Debug)]
+pub struct TtlStore<K: Eq + Hash + Clone, V> {
+    map: HashMap<K, (V, u64)>,
+}
+
+impl<K: Eq + Hash + Clone, V> Default for TtlStore<K, V> {
+    fn default() -> Self {
+        TtlStore { map: HashMap::new() }
+    }
+}
+
+impl<K: Eq + Hash + Clone, V> TtlStore<K, V> {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn put(&mut self, k: K, v: V, now_us: u64, ttl_us: u64) {
+        self.map.insert(k, (v, now_us.saturating_add(ttl_us)));
+    }
+
+    pub fn get(&mut self, k: &K, now_us: u64) -> Option<&V> {
+        let expired = matches!(self.map.get(k), Some((_, exp)) if *exp <= now_us);
+        if expired {
+            self.map.remove(k);
+            return None;
+        }
+        self.map.get(k).map(|(v, _)| v)
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+}
+
+/// The layered cache: LRU hits avoid the (conceptually remote) store.
+///
+/// ```
+/// use intang_core::cache::TwoLevelCache;
+///
+/// let mut c: TwoLevelCache<&str, u32> = TwoLevelCache::new(8);
+/// c.put("hops:1.2.3.4", 14, /*now_us=*/0, /*ttl_us=*/1_000_000);
+/// assert_eq!(c.get(&"hops:1.2.3.4", 10), Some(14));
+/// assert_eq!(c.get(&"hops:1.2.3.4", 2_000_000), None, "expired");
+/// ```
+#[derive(Debug)]
+pub struct TwoLevelCache<K: Eq + Hash + Clone, V: Clone> {
+    /// Front entries carry their expiry so a front hit still honors TTLs.
+    front: LruCache<K, (V, u64)>,
+    back: TtlStore<K, V>,
+    pub front_hits: u64,
+    pub back_hits: u64,
+    pub misses: u64,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> TwoLevelCache<K, V> {
+    pub fn new(front_capacity: usize) -> Self {
+        TwoLevelCache {
+            front: LruCache::new(front_capacity),
+            back: TtlStore::new(),
+            front_hits: 0,
+            back_hits: 0,
+            misses: 0,
+        }
+    }
+
+    pub fn get(&mut self, k: &K, now_us: u64) -> Option<V> {
+        match self.front.get(k) {
+            Some((v, exp)) if *exp > now_us => {
+                self.front_hits += 1;
+                return Some(v.clone());
+            }
+            Some(_) => {
+                self.front.remove(k); // expired in the front too
+            }
+            None => {}
+        }
+        if let Some(v) = self.back.get(k, now_us).cloned() {
+            self.back_hits += 1;
+            // Re-learn the expiry lazily: conservative re-promotion with a
+            // short front lifetime keyed off the store's own check.
+            self.front.put(k.clone(), (v.clone(), now_us.saturating_add(FRONT_REPROMOTE_US)));
+            return Some(v);
+        }
+        self.misses += 1;
+        None
+    }
+
+    pub fn put(&mut self, k: K, v: V, now_us: u64, ttl_us: u64) {
+        self.front.put(k.clone(), (v.clone(), now_us.saturating_add(ttl_us)));
+        self.back.put(k, v, now_us, ttl_us);
+    }
+}
+
+/// Lifetime of re-promoted front entries: long enough to absorb a burst of
+/// lookups, short enough that the store's TTL stays authoritative.
+const FRONT_REPROMOTE_US: u64 = 5_000_000;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = LruCache::new(2);
+        c.put("a", 1);
+        c.put("b", 2);
+        assert_eq!(c.get(&"a"), Some(&1)); // refresh a
+        c.put("c", 3); // evicts b
+        assert_eq!(c.get(&"b"), None);
+        assert_eq!(c.get(&"a"), Some(&1));
+        assert_eq!(c.get(&"c"), Some(&3));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn lru_update_does_not_grow() {
+        let mut c = LruCache::new(2);
+        c.put("a", 1);
+        c.put("a", 9);
+        c.put("b", 2);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(&"a"), Some(&9));
+    }
+
+    #[test]
+    fn ttl_store_expires() {
+        let mut s = TtlStore::new();
+        s.put("k", 5, 1_000, 500);
+        assert_eq!(s.get(&"k", 1_200), Some(&5));
+        assert_eq!(s.get(&"k", 1_501), None);
+        assert_eq!(s.len(), 0, "expired entries pruned on read");
+    }
+
+    #[test]
+    fn two_level_promotes_to_front() {
+        let mut c: TwoLevelCache<&str, u32> = TwoLevelCache::new(4);
+        c.put("x", 7, 0, 1_000_000);
+        assert_eq!(c.get(&"x", 10), Some(7));
+        assert_eq!(c.front_hits, 1);
+        // Drop the front entry by filling the LRU.
+        for (i, k) in ["a", "b", "c", "d"].iter().enumerate() {
+            c.put(k, i as u32, 10, 1_000_000);
+        }
+        assert_eq!(c.get(&"x", 20), Some(7));
+        assert_eq!(c.back_hits, 1, "served from the store and re-promoted");
+        assert_eq!(c.get(&"nope", 20), None);
+        assert_eq!(c.misses, 1);
+    }
+
+    #[test]
+    fn two_level_honors_expiry() {
+        let mut c: TwoLevelCache<u8, u8> = TwoLevelCache::new(1);
+        c.put(1, 1, 0, 100);
+        c.put(2, 2, 0, 100); // evicts key 1 from the front
+        assert_eq!(c.get(&1, 200), None, "store entry expired");
+    }
+}

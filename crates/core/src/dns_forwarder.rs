@@ -1,0 +1,211 @@
+//! The DNS forwarder (§6): intercepts the client's UDP DNS queries and
+//! replays them over TCP toward an unpolluted resolver, so the TCP-level
+//! evasion strategies protect name resolution too; the TCP answer is
+//! converted back into a UDP response "from" the original resolver, fully
+//! transparent to the application.
+
+use intang_packet::dns::DnsMessage;
+use intang_packet::{udp, IpProtocol, Ipv4Packet, Ipv4Repr, Wire};
+use intang_tcpstack::{SocketHandle, StackProfile, TcpEndpoint};
+use std::net::Ipv4Addr;
+
+/// Local ports the forwarder's TCP connections use.
+pub const FWD_PORT_BASE: u16 = 51_000;
+pub const FWD_PORT_END: u16 = 51_999;
+
+#[derive(Debug)]
+struct Pending {
+    socket: SocketHandle,
+    txid: u16,
+    app_port: u16,
+    /// The resolver the application originally asked (the UDP reply must
+    /// appear to come from it).
+    orig_resolver: Ipv4Addr,
+    buf: Vec<u8>,
+    done: bool,
+}
+
+/// The forwarder: owns its own little TCP endpoint bound to the client's
+/// address (INTANG's DNS thread uses the OS stack; the shim embeds one).
+pub struct DnsForwarder {
+    resolver: Ipv4Addr,
+    tcp: TcpEndpoint,
+    pending: Vec<Pending>,
+    next_port: u16,
+    pub queries_forwarded: u64,
+    pub responses_delivered: u64,
+}
+
+impl DnsForwarder {
+    pub fn new(client: Ipv4Addr, resolver: Ipv4Addr) -> DnsForwarder {
+        DnsForwarder {
+            resolver,
+            tcp: TcpEndpoint::new(client, StackProfile::linux_4_4()),
+            pending: Vec::new(),
+            next_port: FWD_PORT_BASE,
+            queries_forwarded: 0,
+            responses_delivered: 0,
+        }
+    }
+
+    pub fn resolver(&self) -> Ipv4Addr {
+        self.resolver
+    }
+
+    /// Does this ingress TCP packet belong to the forwarder?
+    pub fn owns_port(port: u16) -> bool {
+        (FWD_PORT_BASE..=FWD_PORT_END).contains(&port)
+    }
+
+    /// Try to intercept an egress datagram. Returns true when it was a UDP
+    /// DNS query that is now being forwarded over TCP (the original must be
+    /// dropped).
+    pub fn intercept_udp_query(&mut self, wire: &[u8], now_us: u64) -> bool {
+        let Ok(ip) = Ipv4Packet::new_checked(wire) else { return false };
+        if ip.protocol() != IpProtocol::Udp {
+            return false;
+        }
+        let Ok(u) = udp::UdpPacket::new_checked(ip.payload()) else { return false };
+        if u.dst_port() != 53 {
+            return false;
+        }
+        let Ok(query) = DnsMessage::decode(u.payload()) else { return false };
+        if query.is_response {
+            return false;
+        }
+        let port = self.next_port;
+        self.next_port = if self.next_port >= FWD_PORT_END { FWD_PORT_BASE } else { self.next_port + 1 };
+        let socket = self.tcp.connect_from(port, self.resolver, 53, now_us);
+        // Socket buffers the query until the handshake completes.
+        self.tcp.socket(socket).send(&query.encode_tcp(), now_us);
+        self.pending.push(Pending {
+            socket,
+            txid: query.id,
+            app_port: u.src_port(),
+            orig_resolver: ip.dst_addr(),
+            buf: Vec::new(),
+            done: false,
+        });
+        self.queries_forwarded += 1;
+        true
+    }
+
+    /// Feed an ingress TCP packet addressed to a forwarder port.
+    pub fn on_tcp_ingress(&mut self, wire: Wire, now_us: u64) {
+        self.tcp.on_packet(wire, now_us);
+    }
+
+    pub fn on_timer(&mut self, now_us: u64) {
+        self.tcp.on_timer(now_us);
+    }
+
+    pub fn next_deadline(&self) -> Option<u64> {
+        self.tcp.next_deadline()
+    }
+
+    /// Drain (TCP egress toward the resolver, UDP responses toward the app).
+    pub fn pump(&mut self, now_us: u64) -> (Vec<Wire>, Vec<Wire>) {
+        let mut udp_out = Vec::new();
+        let client = self.tcp.addr;
+        for p in &mut self.pending {
+            if p.done {
+                continue;
+            }
+            let data = self.tcp.socket(p.socket).recv_drain();
+            p.buf.extend_from_slice(&data);
+            if let Ok((resp, _)) = DnsMessage::decode_tcp(&p.buf) {
+                if resp.id == p.txid {
+                    // Convert back to UDP, spoofing the original resolver.
+                    let reply = udp::UdpRepr::new(53, p.app_port, resp.encode());
+                    let ipr = Ipv4Repr::new(p.orig_resolver, client, IpProtocol::Udp);
+                    udp_out.push(ipr.emit(&reply.emit(p.orig_resolver, client)));
+                    p.done = true;
+                    self.responses_delivered += 1;
+                    self.tcp.socket(p.socket).close(now_us);
+                }
+            }
+        }
+        (self.tcp.poll_transmit(), udp_out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use intang_packet::PacketBuilder;
+
+    fn client() -> Ipv4Addr {
+        Ipv4Addr::new(10, 0, 0, 1)
+    }
+    fn dirty_resolver() -> Ipv4Addr {
+        Ipv4Addr::new(8, 8, 8, 8)
+    }
+    fn clean_resolver() -> Ipv4Addr {
+        Ipv4Addr::new(216, 146, 35, 35)
+    }
+
+    fn udp_query(name: &str, txid: u16) -> Wire {
+        let q = DnsMessage::query(txid, name);
+        PacketBuilder::udp(client(), dirty_resolver(), 5353, 53, q.encode()).build()
+    }
+
+    #[test]
+    fn intercepts_only_udp_dns_queries() {
+        let mut f = DnsForwarder::new(client(), clean_resolver());
+        assert!(f.intercept_udp_query(&udp_query("www.dropbox.com", 7), 0));
+        // Not DNS: different port.
+        let other = PacketBuilder::udp(client(), dirty_resolver(), 5353, 123, b"ntp".to_vec()).build();
+        assert!(!f.intercept_udp_query(&other, 0));
+        // TCP is never intercepted here.
+        let tcp = PacketBuilder::tcp(client(), dirty_resolver(), 5353, 53).build();
+        assert!(!f.intercept_udp_query(&tcp, 0));
+        assert_eq!(f.queries_forwarded, 1);
+    }
+
+    #[test]
+    fn full_udp_to_tcp_round_trip() {
+        // Forwarder on one side, a real TCP endpoint acting as resolver on
+        // the other; shuttle packets by hand.
+        let mut f = DnsForwarder::new(client(), clean_resolver());
+        assert!(f.intercept_udp_query(&udp_query("www.dropbox.com", 0x77), 0));
+
+        let mut resolver = TcpEndpoint::new(clean_resolver(), StackProfile::linux_4_4());
+        resolver.listen(53);
+        let mut resolver_conns: Vec<SocketHandle> = Vec::new();
+        let mut udp_replies = Vec::new();
+        for round in 0..20u64 {
+            let now = round * 10_000;
+            let (tcp_out, udp_out) = f.pump(now);
+            udp_replies.extend(udp_out);
+            for w in tcp_out {
+                resolver.on_packet(w, now);
+            }
+            resolver_conns.extend(resolver.take_accepted());
+            for &h in &resolver_conns {
+                let data = resolver.socket(h).recv_drain();
+                if !data.is_empty() {
+                    if let Ok((q, _)) = DnsMessage::decode_tcp(&data) {
+                        let a = DnsMessage::answer_a(&q, Ipv4Addr::new(162, 125, 2, 1), 60);
+                        resolver.socket(h).send(&a.encode_tcp(), now);
+                    }
+                }
+            }
+            for w in resolver.poll_transmit() {
+                if let Some(t) = intang_packet::four_tuple_of(&w) {
+                    assert!(DnsForwarder::owns_port(t.dst_port));
+                }
+                f.on_tcp_ingress(w, now);
+            }
+        }
+        assert_eq!(udp_replies.len(), 1, "exactly one UDP response synthesized");
+        let ip = Ipv4Packet::new_checked(&udp_replies[0][..]).unwrap();
+        assert_eq!(ip.src_addr(), dirty_resolver(), "reply spoofs the original resolver");
+        assert_eq!(ip.dst_addr(), client());
+        let u = udp::UdpPacket::new_checked(ip.payload()).unwrap();
+        assert_eq!(u.dst_port(), 5353);
+        let msg = DnsMessage::decode(u.payload()).unwrap();
+        assert_eq!(msg.id, 0x77);
+        assert_eq!(msg.answers[0].addr, Ipv4Addr::new(162, 125, 2, 1));
+        assert_eq!(f.responses_delivered, 1);
+    }
+}

@@ -1,0 +1,441 @@
+//! The INTANG engine: a netsim element sitting immediately next to the
+//! client host (the simulator's netfilter-queue stand-in). It intercepts
+//! every egress and ingress packet, applies the active strategy's actions,
+//! runs hop measurements, forwards DNS, classifies incoming resets, and
+//! feeds outcomes back into the per-destination history.
+
+use crate::cache::TwoLevelCache;
+use crate::dns_forwarder::DnsForwarder;
+use crate::measure::{classify_flags, ResetSignature};
+use crate::select::History;
+use crate::strategies;
+use crate::strategy::{FlowState, ShimCtx, Strategy, StrategyKind, Verdict};
+use crate::ttl::HopEstimator;
+use intang_netsim::{Ctx, Direction, Element, Instant};
+use intang_packet::{FourTuple, IpProtocol, Ipv4Packet, TcpPacket, TcpRepr, Wire};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+use std::rc::Rc;
+
+const TOKEN_MEASURE: u64 = 1;
+const TOKEN_FWD: u64 = 2;
+
+/// Cached hop estimates live this long (the paper's cache entries expire
+/// to track route changes).
+const HOPS_CACHE_TTL_US: u64 = 120 * 1_000_000;
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct IntangConfig {
+    /// Fixed strategy, or `None` for adaptive selection over
+    /// [`StrategyKind::adaptive_pool`] (the "INTANG performance" mode).
+    pub strategy: Option<StrategyKind>,
+    /// Copies per insertion packet, 20 ms apart (§3.4 uses 3).
+    pub redundancy: u32,
+    /// δ subtracted from the hop estimate for TTL-scoped insertions (§7.1).
+    pub delta: u8,
+    /// Iteratively adapt δ per destination from observed outcomes (§7.1:
+    /// "INTANG can iteratively change this to converge to a good value"):
+    /// a failure *with* censor resets means the insertion died before the
+    /// censor (δ too large → decrease); a silent failure means it may have
+    /// hit the server or a server-side middlebox (δ too small → increase).
+    pub adaptive_delta: bool,
+    /// Measure hop counts with a probe burst before the first connection
+    /// to a new destination.
+    pub measure_hops: bool,
+    /// Prefer TTL-scoped insertions when a hop estimate exists (§7.1: on
+    /// inbound paths where censor and server are within a few hops, TTL
+    /// scoping is hopeless and INTANG leans on MD5/timestamp/bad-checksum
+    /// discrepancies instead).
+    pub prefer_ttl: bool,
+    pub max_probe_ttl: u8,
+    /// Forward UDP DNS over TCP to this clean resolver (§6).
+    pub dns_forward: Option<Ipv4Addr>,
+}
+
+impl Default for IntangConfig {
+    fn default() -> Self {
+        IntangConfig {
+            strategy: None,
+            redundancy: 3,
+            delta: 2,
+            adaptive_delta: true,
+            measure_hops: true,
+            prefer_ttl: true,
+            max_probe_ttl: 24,
+            dns_forward: None,
+        }
+    }
+}
+
+impl IntangConfig {
+    pub fn fixed(kind: StrategyKind) -> IntangConfig {
+        IntangConfig { strategy: Some(kind), ..IntangConfig::default() }
+    }
+}
+
+/// Observable engine counters.
+#[derive(Debug, Default, Clone)]
+pub struct IntangStats {
+    pub insertions_sent: u64,
+    pub probes_sent: u64,
+    pub type1_resets_seen: u64,
+    pub type2_resets_seen: u64,
+    pub flows: u64,
+    pub successes: u64,
+    pub failures: u64,
+}
+
+struct Shim {
+    cfg: IntangConfig,
+    client: Ipv4Addr,
+    flows: HashMap<FourTuple, (FlowState, Box<dyn Strategy>)>,
+    estimator: HopEstimator,
+    hops_cache: TwoLevelCache<Ipv4Addr, u8>,
+    history: Rc<RefCell<History>>,
+    fwd: Option<DnsForwarder>,
+    stats: IntangStats,
+    /// Per-destination δ overrides learned by the §7.1 iteration.
+    delta_overrides: HashMap<Ipv4Addr, u8>,
+}
+
+/// The element.
+pub struct IntangElement {
+    shim: Rc<RefCell<Shim>>,
+}
+
+/// Inspection handle shared with tests and experiment harnesses.
+#[derive(Clone)]
+pub struct IntangHandle {
+    shim: Rc<RefCell<Shim>>,
+}
+
+impl IntangElement {
+    pub fn new(client: Ipv4Addr, cfg: IntangConfig) -> (IntangElement, IntangHandle) {
+        IntangElement::with_history(client, cfg, Rc::new(RefCell::new(History::new())))
+    }
+
+    /// Share a [`History`] across engines (successive trials toward the
+    /// same servers — how the adaptive mode converges).
+    pub fn with_history(
+        client: Ipv4Addr,
+        cfg: IntangConfig,
+        history: Rc<RefCell<History>>,
+    ) -> (IntangElement, IntangHandle) {
+        let fwd = cfg.dns_forward.map(|resolver| DnsForwarder::new(client, resolver));
+        let shim = Rc::new(RefCell::new(Shim {
+            cfg,
+            client,
+            flows: HashMap::new(),
+            estimator: HopEstimator::new(),
+            hops_cache: TwoLevelCache::new(64),
+            history,
+            fwd,
+            stats: IntangStats::default(),
+            delta_overrides: HashMap::new(),
+        }));
+        (IntangElement { shim: shim.clone() }, IntangHandle { shim })
+    }
+}
+
+impl IntangHandle {
+    pub fn stats(&self) -> IntangStats {
+        self.shim.borrow().stats.clone()
+    }
+
+    pub fn hops_to(&self, server: Ipv4Addr) -> Option<u8> {
+        // Inspection accessor: read as of "the beginning of time" so that
+        // any entry that was ever written is visible regardless of expiry.
+        let mut s = self.shim.borrow_mut();
+        s.hops_cache.get(&server, 0)
+    }
+
+    pub fn history(&self) -> Rc<RefCell<History>> {
+        self.shim.borrow().history.clone()
+    }
+
+    pub fn strategy_of(&self, tuple: FourTuple) -> Option<StrategyKind> {
+        self.shim.borrow().flows.get(&tuple).map(|(f, _)| f.strategy)
+    }
+
+    pub fn dns_queries_forwarded(&self) -> u64 {
+        self.shim.borrow().fwd.as_ref().map_or(0, |f| f.queries_forwarded)
+    }
+
+    pub fn dns_responses_delivered(&self) -> u64 {
+        self.shim.borrow().fwd.as_ref().map_or(0, |f| f.responses_delivered)
+    }
+
+    /// Pre-seed a hop estimate (used by tests and by experiments that model
+    /// a warmed-up cache).
+    pub fn seed_hops(&self, server: Ipv4Addr, hops: u8) {
+        let mut s = self.shim.borrow_mut();
+        s.hops_cache.put(server, hops, 0, u64::MAX / 2);
+    }
+
+    /// The learned per-destination δ, if the §7.1 iteration adjusted it.
+    pub fn delta_for(&self, server: Ipv4Addr) -> Option<u8> {
+        self.shim.borrow().delta_overrides.get(&server).copied()
+    }
+}
+
+impl Element for IntangElement {
+    fn name(&self) -> &str {
+        "INTANG"
+    }
+
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, dir: Direction, wire: Wire) {
+        let mut shim = self.shim.borrow_mut();
+        match dir {
+            Direction::ToServer => shim.process_egress(ctx, wire),
+            Direction::ToClient => shim.process_ingress(ctx, wire),
+        }
+        shim.arm_timers(ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        let mut shim = self.shim.borrow_mut();
+        match token {
+            TOKEN_MEASURE => {
+                let done = shim.estimator.finalize_due(ctx.now);
+                for (server, hops, held) in done {
+                    shim.hops_cache.put(server, hops, ctx.now.micros(), HOPS_CACHE_TTL_US);
+                    for wire in held {
+                        shim.process_egress(ctx, wire);
+                    }
+                }
+            }
+            TOKEN_FWD => {
+                if let Some(fwd) = shim.fwd.as_mut() {
+                    fwd.on_timer(ctx.now.micros());
+                }
+                shim.pump_forwarder(ctx);
+            }
+            _ => {}
+        }
+        shim.arm_timers(ctx);
+    }
+}
+
+impl Shim {
+    fn arm_timers(&mut self, ctx: &mut Ctx<'_>) {
+        if let Some(t) = self.estimator.next_deadline() {
+            ctx.set_timer(t, TOKEN_MEASURE);
+        }
+        if let Some(t) = self.fwd.as_ref().and_then(DnsForwarder::next_deadline) {
+            ctx.set_timer(Instant(t.max(ctx.now.micros() + 1)), TOKEN_FWD);
+        }
+    }
+
+    /// Route the forwarder's queued output onto the wire: its TCP segments
+    /// go through the normal egress pipeline (so strategies protect them),
+    /// its synthesized UDP responses go back to the client.
+    fn pump_forwarder(&mut self, ctx: &mut Ctx<'_>) {
+        let Some(fwd) = self.fwd.as_mut() else { return };
+        let (tcp_out, udp_out) = fwd.pump(ctx.now.micros());
+        for w in udp_out {
+            ctx.send(Direction::ToClient, w);
+        }
+        for w in tcp_out {
+            self.process_egress(ctx, w);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Egress: the strategy pipeline.
+    // ------------------------------------------------------------------
+    fn process_egress(&mut self, ctx: &mut Ctx<'_>, wire: Wire) {
+        // DNS forwarding first: UDP queries become TCP flows.
+        if self.fwd.is_some() {
+            let intercepted = self
+                .fwd
+                .as_mut()
+                .expect("checked above")
+                .intercept_udp_query(&wire, ctx.now.micros());
+            if intercepted {
+                self.pump_forwarder(ctx);
+                return;
+            }
+        }
+
+        let Ok(ip) = Ipv4Packet::new_checked(&wire[..]) else {
+            ctx.send(Direction::ToServer, wire);
+            return;
+        };
+        if ip.protocol() != IpProtocol::Tcp || ip.is_fragment() {
+            ctx.send(Direction::ToServer, wire);
+            return;
+        }
+        let Ok(tcp) = TcpPacket::new_checked(ip.payload()) else {
+            ctx.send(Direction::ToServer, wire);
+            return;
+        };
+        let server = ip.dst_addr();
+        let tuple = FourTuple::new(ip.src_addr(), tcp.src_port(), server, tcp.dst_port());
+        let seg = TcpRepr::parse(&tcp);
+
+        // New flow bookkeeping: choose a strategy on the first SYN.
+        if !self.flows.contains_key(&tuple) && seg.flags.syn() && !seg.flags.ack() {
+            let kind = self
+                .cfg
+                .strategy
+                .unwrap_or_else(|| self.history.borrow().choose(server, &StrategyKind::adaptive_pool()));
+            let mut flow = FlowState::new(tuple, kind);
+            flow.prefer_ttl = self.cfg.prefer_ttl;
+            let delta = self.delta_overrides.get(&server).copied().unwrap_or(self.cfg.delta);
+            let strat = strategies::build(kind, delta);
+            self.flows.insert(tuple, (flow, strat));
+            self.stats.flows += 1;
+        }
+
+        // Hop measurement gate: flows whose strategy wants TTL scoping wait
+        // for an estimate.
+        if self.cfg.measure_hops && self.flows.contains_key(&tuple) {
+            let have = self.flows.get(&tuple).expect("checked").0.hops.is_some();
+            if !have {
+                if let Some(h) = self.hops_cache.get(&server, ctx.now.micros()) {
+                    self.flows.get_mut(&tuple).expect("checked").0.hops = Some(h);
+                } else if self.estimator.is_measuring(server) {
+                    self.estimator.hold(server, wire);
+                    return;
+                } else {
+                    let probes = self.estimator.start(
+                        self.client,
+                        server,
+                        tcp.dst_port(),
+                        ctx.now,
+                        self.cfg.max_probe_ttl,
+                        wire,
+                    );
+                    self.stats.probes_sent += probes.len() as u64;
+                    for p in probes {
+                        ctx.send(Direction::ToServer, p);
+                    }
+                    return;
+                }
+            }
+        }
+
+        let Some((flow, strat)) = self.flows.get_mut(&tuple) else {
+            // Untracked traffic (probe RST cleanups, mid-flow packets from
+            // before the shim attached): pass through.
+            ctx.send(Direction::ToServer, wire);
+            return;
+        };
+
+        let (verdict, injections) = {
+            let mut sctx = ShimCtx::new(ctx.now, ctx.rng, self.client, self.cfg.redundancy);
+            let verdict = if seg.flags.syn() && !seg.flags.ack() && flow.client_isn.is_none() {
+                flow.client_isn = Some(seg.seq);
+                strat.on_syn(&mut sctx, flow, &seg)
+            } else if !seg.payload.is_empty()
+                && (!flow.first_payload_sent || flow.first_payload_seq == Some(seg.seq))
+            {
+                // First request — or an RTO retransmission of it, which the
+                // shim re-protects exactly like the original.
+                flow.first_payload_sent = true;
+                flow.first_payload_seq = Some(seg.seq);
+                strat.on_first_payload(&mut sctx, flow, &seg)
+            } else {
+                Verdict::Forward
+            };
+            (verdict, sctx.injections)
+        };
+        self.stats.insertions_sent += injections.len() as u64;
+        for (w, d) in injections {
+            ctx.send_delayed(Direction::ToServer, w, d);
+        }
+        match verdict {
+            Verdict::Forward => ctx.send(Direction::ToServer, wire),
+            Verdict::ForwardDelayed(d) => ctx.send_delayed(Direction::ToServer, wire, d),
+            Verdict::Replace => {}
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Ingress: measurement, classification, forwarder routing.
+    // ------------------------------------------------------------------
+    fn process_ingress(&mut self, ctx: &mut Ctx<'_>, wire: Wire) {
+        let Ok(ip) = Ipv4Packet::new_checked(&wire[..]) else {
+            ctx.send(Direction::ToClient, wire);
+            return;
+        };
+        match ip.protocol() {
+            IpProtocol::Icmp => {
+                if self.estimator.on_icmp(&wire) {
+                    return; // consumed by the measurement
+                }
+                ctx.send(Direction::ToClient, wire);
+            }
+            IpProtocol::Tcp => {
+                let Ok(tcp) = TcpPacket::new_checked(ip.payload()) else {
+                    ctx.send(Direction::ToClient, wire);
+                    return;
+                };
+                let dst_port = tcp.dst_port();
+                // Probe SYN/ACKs refine hop estimates (and pass through; the
+                // client stack answers them with an RST, cleaning up the
+                // server's half-open socket).
+                if tcp.flags().syn() && tcp.flags().ack() {
+                    self.estimator.on_probe_synack(ip.src_addr(), dst_port);
+                }
+                // Forwarder flows are terminated here, not at the client.
+                if DnsForwarder::owns_port(dst_port) {
+                    if let Some(fwd) = self.fwd.as_mut() {
+                        fwd.on_tcp_ingress(wire, ctx.now.micros());
+                        self.pump_forwarder(ctx);
+                        return;
+                    }
+                }
+                // Flow bookkeeping + reset classification.
+                let tuple = FourTuple::new(ip.dst_addr(), dst_port, ip.src_addr(), tcp.src_port());
+                let seg_flags = tcp.flags();
+                let payload_len = tcp.payload().len() as u64;
+                if let Some(sig) = classify_flags(seg_flags) {
+                    match sig {
+                        ResetSignature::Type1Rst => self.stats.type1_resets_seen += 1,
+                        ResetSignature::Type2RstAck => self.stats.type2_resets_seen += 1,
+                    }
+                }
+                if let Some((flow, strat)) = self.flows.get_mut(&tuple) {
+                    if seg_flags.syn() && seg_flags.ack() {
+                        flow.synack_seen = true;
+                        flow.server_isn = Some(tcp.seq_number());
+                        let seg = TcpRepr::parse(&tcp);
+                        let mut sctx = ShimCtx::new(ctx.now, ctx.rng, self.client, self.cfg.redundancy);
+                        strat.on_synack(&mut sctx, flow, &seg);
+                        for (w, d) in std::mem::take(&mut sctx.injections) {
+                            ctx.send_delayed(Direction::ToServer, w, d);
+                        }
+                    }
+                    if classify_flags(seg_flags).is_some() {
+                        flow.resets_seen += 1;
+                        if !flow.outcome_recorded && flow.first_payload_sent {
+                            flow.outcome_recorded = true;
+                            self.stats.failures += 1;
+                            self.history.borrow_mut().record(tuple.dst, flow.strategy, false);
+                            // §7.1 δ iteration: censor resets arrived, so
+                            // the TTL-scoped insertion likely expired short
+                            // of the censor — let it travel one hop farther
+                            // next time.
+                            if self.cfg.adaptive_delta && self.cfg.prefer_ttl && flow.hops.is_some() {
+                                let d = self.delta_overrides.entry(tuple.dst).or_insert(self.cfg.delta);
+                                *d = d.saturating_sub(1);
+                            }
+                        }
+                    } else if payload_len > 0 {
+                        flow.response_bytes += payload_len;
+                        if !flow.outcome_recorded && flow.first_payload_sent {
+                            flow.outcome_recorded = true;
+                            self.stats.successes += 1;
+                            self.history.borrow_mut().record(tuple.dst, flow.strategy, true);
+                        }
+                    }
+                }
+                ctx.send(Direction::ToClient, wire);
+            }
+            _ => ctx.send(Direction::ToClient, wire),
+        }
+    }
+}

@@ -1,0 +1,256 @@
+//! Insertion-packet crafting.
+//!
+//! An insertion packet must be processed by the censor but ignored by the
+//! server (§3.2). Each [`Discrepancy`] is one way to guarantee the latter;
+//! Table 5 prescribes which discrepancies are usable for which packet
+//! type (control packets cannot rely on data-only ignore paths):
+//!
+//! | Packet | TTL | MD5 | Bad ACK | Timestamp |
+//! |--------|-----|-----|---------|-----------|
+//! | SYN    |  ✓  |     |         |           |
+//! | RST    |  ✓  |  ✓  |         |           |
+//! | Data   |  ✓  |  ✓  |    ✓    |     ✓     |
+
+use intang_packet::{PacketBuilder, TcpFlags, Wire};
+use std::net::Ipv4Addr;
+
+/// A server-side ignore path exploited by an insertion packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Discrepancy {
+    /// TTL large enough to pass the censor but too small to reach the
+    /// server (needs a hop estimate).
+    SmallTtl,
+    /// Wrong TCP checksum (server drops; censor doesn't validate).
+    BadChecksum,
+    /// Unsolicited RFC 2385 MD5 signature option.
+    Md5Option,
+    /// ACK number acknowledging data the server never sent.
+    BadAck,
+    /// RFC 7323 timestamp far in the past (PAWS discard).
+    OldTimestamp,
+    /// No TCP flags at all.
+    NoFlag,
+    /// IP total-length field larger than the buffer (Table 3 row 1 — "the
+    /// only [IP-layer] feature we find useful", though some middleboxes
+    /// still check it, §5.3).
+    InflatedIpLen,
+}
+
+/// What kind of packet the insertion is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InsertionKind {
+    Syn,
+    SynAck,
+    Rst,
+    RstAck,
+    Fin,
+    Data,
+}
+
+impl InsertionKind {
+    /// The Table 5 whitelist: discrepancies that are safe *and* effective
+    /// for this packet type. (SYN/ACK follows the SYN row; FIN follows the
+    /// RST row — both are control packets where data-only ignore paths
+    /// such as bad-ACK do not apply.)
+    pub fn preferred_discrepancies(self) -> &'static [Discrepancy] {
+        match self {
+            InsertionKind::Syn | InsertionKind::SynAck => &[Discrepancy::SmallTtl],
+            InsertionKind::Rst | InsertionKind::RstAck | InsertionKind::Fin => {
+                &[Discrepancy::SmallTtl, Discrepancy::Md5Option]
+            }
+            InsertionKind::Data => &[
+                Discrepancy::SmallTtl,
+                Discrepancy::Md5Option,
+                Discrepancy::BadAck,
+                Discrepancy::OldTimestamp,
+            ],
+        }
+    }
+
+    pub fn flags(self) -> TcpFlags {
+        match self {
+            InsertionKind::Syn => TcpFlags::SYN,
+            InsertionKind::SynAck => TcpFlags::SYN_ACK,
+            InsertionKind::Rst => TcpFlags::RST,
+            InsertionKind::RstAck => TcpFlags::RST_ACK,
+            InsertionKind::Fin => TcpFlags::FIN,
+            InsertionKind::Data => TcpFlags::PSH_ACK,
+        }
+    }
+}
+
+/// Everything needed to emit one insertion packet.
+///
+/// ```
+/// use intang_core::insertion::{InsertionSpec, InsertionKind, Discrepancy};
+///
+/// // A TTL-scoped teardown RST (Table 5's preferred RST construction).
+/// let spec = InsertionSpec {
+///     src: "10.0.0.1".parse().unwrap(),
+///     dst: "93.184.216.34".parse().unwrap(),
+///     src_port: 40000,
+///     dst_port: 80,
+///     kind: InsertionKind::Rst,
+///     seq: 12345,
+///     ack: 0,
+///     payload: vec![],
+///     disc: Discrepancy::SmallTtl,
+///     ttl_limit: Some(12), // measured hops − δ
+/// };
+/// assert!(spec.is_preferred());
+/// let wire = spec.build();
+/// let ip = intang_packet::Ipv4Packet::new_checked(&wire[..]).unwrap();
+/// assert_eq!(ip.ttl(), 12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct InsertionSpec {
+    pub src: Ipv4Addr,
+    pub dst: Ipv4Addr,
+    pub src_port: u16,
+    pub dst_port: u16,
+    pub kind: InsertionKind,
+    pub seq: u32,
+    pub ack: u32,
+    pub payload: Vec<u8>,
+    pub disc: Discrepancy,
+    /// Hop-scoped TTL for [`Discrepancy::SmallTtl`] (estimated hops − δ).
+    pub ttl_limit: Option<u8>,
+}
+
+impl InsertionSpec {
+    /// Serialize under the chosen discrepancy.
+    pub fn build(&self) -> Wire {
+        let mut b = PacketBuilder::tcp(self.src, self.dst, self.src_port, self.dst_port)
+            .seq(self.seq)
+            .ack(self.ack)
+            .flags(match self.disc {
+                Discrepancy::NoFlag => TcpFlags::NONE,
+                _ => self.kind.flags(),
+            })
+            .payload(&self.payload);
+        match self.disc {
+            Discrepancy::SmallTtl => {
+                b = b.ttl(self.ttl_limit.unwrap_or(8));
+            }
+            Discrepancy::BadChecksum => {
+                b = b.bad_checksum();
+            }
+            Discrepancy::Md5Option => {
+                b = b.md5_option();
+            }
+            Discrepancy::BadAck => {
+                // Overwrite the ACK with one far beyond anything the server
+                // sent: Linux discards the entire segment (tcp_ack).
+                b = b.ack(self.ack.wrapping_add(0x2000_0000));
+            }
+            Discrepancy::OldTimestamp => {
+                // A PAWS-stale timestamp (tsval far behind any current one).
+                b = b.timestamps(1, 0);
+            }
+            Discrepancy::NoFlag => {}
+            Discrepancy::InflatedIpLen => {
+                b = b.inflated_total_len(24);
+            }
+        }
+        b.build()
+    }
+
+    /// Is this (kind, discrepancy) combination on the Table 5 whitelist?
+    pub fn is_preferred(&self) -> bool {
+        self.kind.preferred_discrepancies().contains(&self.disc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use intang_packet::{Ipv4Packet, TcpOption, TcpPacket};
+
+    fn spec(kind: InsertionKind, disc: Discrepancy) -> InsertionSpec {
+        InsertionSpec {
+            src: Ipv4Addr::new(10, 0, 0, 1),
+            dst: Ipv4Addr::new(203, 0, 113, 5),
+            src_port: 40000,
+            dst_port: 80,
+            kind,
+            seq: 1000,
+            ack: 2000,
+            payload: if kind == InsertionKind::Data { b"JUNKJUNK".to_vec() } else { Vec::new() },
+            disc,
+            ttl_limit: Some(11),
+        }
+    }
+
+    #[test]
+    fn table5_whitelist() {
+        use Discrepancy::*;
+        use InsertionKind::*;
+        assert_eq!(Syn.preferred_discrepancies(), &[SmallTtl]);
+        assert_eq!(Rst.preferred_discrepancies(), &[SmallTtl, Md5Option]);
+        assert!(Data.preferred_discrepancies().contains(&BadAck));
+        assert!(Data.preferred_discrepancies().contains(&OldTimestamp));
+        assert!(!Rst.preferred_discrepancies().contains(&BadAck), "a bad-ACK RST still resets a server");
+        assert!(spec(Data, Md5Option).is_preferred());
+        assert!(!spec(Syn, BadChecksum).is_preferred());
+    }
+
+    #[test]
+    fn small_ttl_applied() {
+        let wire = spec(InsertionKind::Rst, Discrepancy::SmallTtl).build();
+        let ip = Ipv4Packet::new_checked(&wire[..]).unwrap();
+        assert_eq!(ip.ttl(), 11);
+        let t = TcpPacket::new_checked(ip.payload()).unwrap();
+        assert_eq!(t.flags(), TcpFlags::RST);
+        assert!(t.verify_checksum(ip.src_addr(), ip.dst_addr()));
+    }
+
+    #[test]
+    fn md5_option_applied() {
+        let wire = spec(InsertionKind::Data, Discrepancy::Md5Option).build();
+        let ip = Ipv4Packet::new_checked(&wire[..]).unwrap();
+        let t = TcpPacket::new_checked(ip.payload()).unwrap();
+        assert!(t.has_md5_option());
+        assert_eq!(t.payload(), b"JUNKJUNK");
+    }
+
+    #[test]
+    fn bad_ack_shifts_far_forward() {
+        let wire = spec(InsertionKind::Data, Discrepancy::BadAck).build();
+        let ip = Ipv4Packet::new_checked(&wire[..]).unwrap();
+        let t = TcpPacket::new_checked(ip.payload()).unwrap();
+        assert_eq!(t.ack_number(), 2000u32.wrapping_add(0x2000_0000));
+    }
+
+    #[test]
+    fn old_timestamp_applied() {
+        let wire = spec(InsertionKind::Data, Discrepancy::OldTimestamp).build();
+        let ip = Ipv4Packet::new_checked(&wire[..]).unwrap();
+        let t = TcpPacket::new_checked(ip.payload()).unwrap();
+        assert_eq!(t.options(), vec![TcpOption::Timestamps { tsval: 1, tsecr: 0 }]);
+    }
+
+    #[test]
+    fn no_flag_strips_flags() {
+        let wire = spec(InsertionKind::Data, Discrepancy::NoFlag).build();
+        let ip = Ipv4Packet::new_checked(&wire[..]).unwrap();
+        let t = TcpPacket::new_checked(ip.payload()).unwrap();
+        assert!(t.flags().is_empty());
+    }
+
+    #[test]
+    fn inflated_ip_len_flagged() {
+        let wire = spec(InsertionKind::Data, Discrepancy::InflatedIpLen).build();
+        let ip = intang_packet::Ipv4Packet::new_checked(&wire[..]).unwrap();
+        assert!(!ip.total_len_consistent());
+        // Not on the Table 5 whitelist: middleboxes may check it.
+        assert!(!spec(InsertionKind::Data, Discrepancy::InflatedIpLen).is_preferred());
+    }
+
+    #[test]
+    fn bad_checksum_detectable() {
+        let wire = spec(InsertionKind::Syn, Discrepancy::BadChecksum).build();
+        let ip = Ipv4Packet::new_checked(&wire[..]).unwrap();
+        let t = TcpPacket::new_checked(ip.payload()).unwrap();
+        assert!(!t.verify_checksum(ip.src_addr(), ip.dst_addr()));
+    }
+}

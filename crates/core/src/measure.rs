@@ -1,0 +1,52 @@
+//! Reset fingerprinting: INTANG's measurement module classifies incoming
+//! resets so the selector can attribute failures (§2.1, §6). INTANG never
+//! sees the censor's internals — only wire observables.
+
+use intang_packet::{Ipv4Packet, TcpFlags, TcpPacket};
+
+/// What kind of censor injection a received segment looks like.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ResetSignature {
+    /// Bare RST: the type-1 signature.
+    Type1Rst,
+    /// RST/ACK: the type-2 signature.
+    Type2RstAck,
+}
+
+/// Classify a raw ingress datagram. Returns `None` for anything that isn't
+/// an RST-family segment.
+pub fn classify_wire(wire: &[u8]) -> Option<ResetSignature> {
+    let ip = Ipv4Packet::new_checked(wire).ok()?;
+    let tcp = TcpPacket::new_checked(ip.payload()).ok()?;
+    classify_flags(tcp.flags())
+}
+
+pub fn classify_flags(flags: TcpFlags) -> Option<ResetSignature> {
+    if flags.rst() && flags.ack() {
+        Some(ResetSignature::Type2RstAck)
+    } else if flags.rst() {
+        Some(ResetSignature::Type1Rst)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use intang_packet::PacketBuilder;
+    use std::net::Ipv4Addr;
+
+    #[test]
+    fn classifies_reset_families() {
+        let a = Ipv4Addr::new(1, 1, 1, 1);
+        let b = Ipv4Addr::new(2, 2, 2, 2);
+        let rst = PacketBuilder::tcp(a, b, 80, 4000).flags(TcpFlags::RST).build();
+        assert_eq!(classify_wire(&rst), Some(ResetSignature::Type1Rst));
+        let rstack = PacketBuilder::tcp(a, b, 80, 4000).flags(TcpFlags::RST_ACK).build();
+        assert_eq!(classify_wire(&rstack), Some(ResetSignature::Type2RstAck));
+        let data = PacketBuilder::tcp(a, b, 80, 4000).flags(TcpFlags::PSH_ACK).payload(b"x").build();
+        assert_eq!(classify_wire(&data), None);
+        assert_eq!(classify_wire(&[1, 2, 3]), None);
+    }
+}

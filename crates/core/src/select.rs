@@ -1,0 +1,215 @@
+//! Adaptive strategy selection from historical outcomes (§6): INTANG
+//! "chooses the most promising strategy based on historical measurement
+//! results to a particular server IP address" and converges on the best
+//! one — the "INTANG performance" row of Table 4.
+
+use crate::strategy::StrategyKind;
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// Attempt/success counters for one (server, strategy) pair.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Tally {
+    pub attempts: u32,
+    pub successes: u32,
+}
+
+impl Tally {
+    pub fn rate(&self) -> f64 {
+        if self.attempts == 0 {
+            0.0
+        } else {
+            f64::from(self.successes) / f64::from(self.attempts)
+        }
+    }
+}
+
+/// Per-destination strategy history.
+#[derive(Debug, Default)]
+pub struct History {
+    per_server: HashMap<Ipv4Addr, HashMap<StrategyKind, Tally>>,
+}
+
+impl History {
+    pub fn new() -> History {
+        History::default()
+    }
+
+    /// Pick a strategy for `server` from `pool` (priority-ordered):
+    /// 1. any pool strategy not yet attempted, in pool order;
+    /// 2. otherwise the one with the best success rate so far, preferring
+    ///    earlier pool entries on ties.
+    pub fn choose(&self, server: Ipv4Addr, pool: &[StrategyKind]) -> StrategyKind {
+        let Some(tallies) = self.per_server.get(&server) else {
+            return pool[0];
+        };
+        for &k in pool {
+            if tallies.get(&k).map_or(0, |t| t.attempts) == 0 {
+                return k;
+            }
+        }
+        let mut best = pool[0];
+        let mut best_rate = -1.0f64;
+        for &k in pool {
+            let r = tallies.get(&k).copied().unwrap_or_default().rate();
+            if r > best_rate {
+                best = k;
+                best_rate = r;
+            }
+        }
+        best
+    }
+
+    pub fn record(&mut self, server: Ipv4Addr, kind: StrategyKind, success: bool) {
+        let t = self.per_server.entry(server).or_default().entry(kind).or_default();
+        t.attempts += 1;
+        if success {
+            t.successes += 1;
+        }
+    }
+
+    pub fn tally(&self, server: Ipv4Addr, kind: StrategyKind) -> Tally {
+        self.per_server
+            .get(&server)
+            .and_then(|m| m.get(&kind))
+            .copied()
+            .unwrap_or_default()
+    }
+
+    pub fn servers_seen(&self) -> usize {
+        self.per_server.len()
+    }
+
+    // ------------------------------------------------------------------
+    // Persistence (the paper's Redis store survives restarts; we persist
+    // to a line-oriented text format: `ip strategy-id attempts successes`).
+    // ------------------------------------------------------------------
+
+    /// Serialize to the persistence format, sorted for determinism.
+    pub fn serialize(&self) -> String {
+        let mut lines: Vec<String> = Vec::new();
+        for (server, tallies) in &self.per_server {
+            for (kind, t) in tallies {
+                lines.push(format!("{} {} {} {}", server, kind.id().0, t.attempts, t.successes));
+            }
+        }
+        lines.sort();
+        let mut out = lines.join("\n");
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parse the persistence format. Unknown strategy ids and malformed
+    /// lines are skipped (forward compatibility).
+    pub fn deserialize(text: &str) -> History {
+        let mut h = History::new();
+        for line in text.lines() {
+            let mut parts = line.split_whitespace();
+            let (Some(ip), Some(id), Some(att), Some(succ)) = (parts.next(), parts.next(), parts.next(), parts.next())
+            else {
+                continue;
+            };
+            let (Ok(ip), Ok(id), Ok(attempts), Ok(successes)) =
+                (ip.parse::<Ipv4Addr>(), id.parse::<u8>(), att.parse::<u32>(), succ.parse::<u32>())
+            else {
+                continue;
+            };
+            let Some(kind) = StrategyKind::from_id(crate::strategy::StrategyId(id)) else { continue };
+            h.per_server
+                .entry(ip)
+                .or_default()
+                .insert(kind, Tally { attempts, successes });
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn srv() -> Ipv4Addr {
+        Ipv4Addr::new(93, 184, 216, 34)
+    }
+
+    #[test]
+    fn fresh_server_gets_pool_head() {
+        let h = History::new();
+        let pool = StrategyKind::adaptive_pool();
+        assert_eq!(h.choose(srv(), &pool), pool[0]);
+    }
+
+    #[test]
+    fn untried_strategies_explored_in_order() {
+        let mut h = History::new();
+        let pool = StrategyKind::adaptive_pool();
+        h.record(srv(), pool[0], false);
+        assert_eq!(h.choose(srv(), &pool), pool[1]);
+        h.record(srv(), pool[1], false);
+        h.record(srv(), pool[2], false);
+        assert_eq!(h.choose(srv(), &pool), pool[3]);
+    }
+
+    #[test]
+    fn converges_on_the_best_rate() {
+        let mut h = History::new();
+        let pool = StrategyKind::adaptive_pool();
+        // Everything attempted; pool[2] clearly wins.
+        for &k in &pool {
+            h.record(srv(), k, false);
+        }
+        h.record(srv(), pool[2], true);
+        h.record(srv(), pool[2], true);
+        h.record(srv(), pool[0], true);
+        h.record(srv(), pool[0], false);
+        // pool[2]: 2/3 ≈ 0.67; pool[0]: 1/3 ≈ 0.33.
+        assert_eq!(h.choose(srv(), &pool), pool[2]);
+    }
+
+    #[test]
+    fn persistence_round_trip() {
+        let mut h = History::new();
+        let pool = StrategyKind::adaptive_pool();
+        h.record(srv(), pool[0], true);
+        h.record(srv(), pool[0], false);
+        h.record(srv(), pool[2], true);
+        h.record(Ipv4Addr::new(1, 2, 3, 4), pool[1], false);
+        let text = h.serialize();
+        let back = History::deserialize(&text);
+        assert_eq!(back.servers_seen(), 2);
+        assert_eq!(back.tally(srv(), pool[0]).attempts, 2);
+        assert_eq!(back.tally(srv(), pool[0]).successes, 1);
+        assert_eq!(back.tally(srv(), pool[2]).successes, 1);
+        assert_eq!(back.serialize(), text, "canonical form is stable");
+    }
+
+    #[test]
+    fn deserialize_skips_garbage_lines() {
+        let text = "not an ip 1 2 3\n1.2.3.4 200 1 1\n1.2.3.4 15 4 3\nshort\n";
+        let h = History::deserialize(text);
+        assert_eq!(h.servers_seen(), 1);
+        assert_eq!(h.tally(Ipv4Addr::new(1, 2, 3, 4), StrategyKind::ImprovedTeardown).successes, 3);
+    }
+
+    #[test]
+    fn id_round_trip_covers_every_strategy() {
+        for raw in 0u8..=19 {
+            let kind = StrategyKind::from_id(crate::strategy::StrategyId(raw)).unwrap();
+            assert_eq!(kind.id().0, raw);
+        }
+        assert!(StrategyKind::from_id(crate::strategy::StrategyId(20)).is_none());
+    }
+
+    #[test]
+    fn histories_are_per_server() {
+        let mut h = History::new();
+        let other = Ipv4Addr::new(1, 2, 3, 4);
+        let pool = StrategyKind::adaptive_pool();
+        h.record(srv(), pool[0], false);
+        assert_eq!(h.choose(other, &pool), pool[0], "other server unaffected");
+        assert_eq!(h.servers_seen(), 1);
+        assert_eq!(h.tally(srv(), pool[0]).attempts, 1);
+    }
+}

@@ -1,0 +1,531 @@
+//! All evasion strategies the paper measures, implemented against the
+//! [`crate::strategy::Strategy`] interception interface.
+//!
+//! Timing convention: insertion packets are injected at offset 0 (with
+//! redundancy, §3.4), and the original packet is forwarded after
+//! [`crate::strategy::ShimCtx::after_redundancy`] so it always trails its
+//! insertions on the wire.
+
+use crate::insertion::{Discrepancy, InsertionKind, InsertionSpec};
+use crate::strategy::{FlowState, ShimCtx, Strategy, StrategyKind, Verdict};
+use intang_netsim::Duration;
+use intang_packet::{frag, IpProtocol, Ipv4Repr, PacketBuilder, TcpFlags, TcpRepr};
+
+/// Offset the desynchronization / fake-SYN sequence numbers sit at: far
+/// outside any plausible receive window (§5.1).
+const OUT_OF_WINDOW: u32 = 0x4000_0000;
+
+/// Build an insertion spec for the flow, defaulting unset fields from the
+/// intercepted segment.
+fn spec_for(flow: &FlowState, seg: &TcpRepr, kind: InsertionKind, disc: Discrepancy, delta: u8) -> InsertionSpec {
+    InsertionSpec {
+        src: flow.tuple.src,
+        dst: flow.tuple.dst,
+        src_port: flow.tuple.src_port,
+        dst_port: flow.tuple.dst_port,
+        kind,
+        seq: seg.seq,
+        ack: seg.ack,
+        payload: Vec::new(),
+        disc,
+        ttl_limit: flow.insertion_ttl(delta),
+    }
+}
+
+/// Pick the best Table 5 discrepancy available: TTL when a hop estimate
+/// exists, otherwise the first non-TTL whitelist entry (MD5 for control
+/// packets, MD5 for data too).
+fn best_disc(flow: &FlowState, kind: InsertionKind) -> Discrepancy {
+    let prefs = kind.preferred_discrepancies();
+    if flow.hops.is_some() && flow.prefer_ttl {
+        prefs[0] // SmallTtl always heads the whitelist
+    } else {
+        prefs.iter().copied().find(|d| *d != Discrepancy::SmallTtl).unwrap_or(Discrepancy::BadChecksum)
+    }
+}
+
+// ---------------------------------------------------------------------
+// §3.2 existing strategies
+// ---------------------------------------------------------------------
+
+/// TCB creation: a fake SYN (wrong ISN) before the real handshake, so the
+/// censor anchors on a bogus sequence. Defeated by the evolved model's
+/// resynchronization on the SYN/ACK (§4).
+pub struct TcbCreationSyn {
+    pub disc: Discrepancy,
+    pub delta: u8,
+}
+
+impl Strategy for TcbCreationSyn {
+    fn kind(&self) -> StrategyKind {
+        StrategyKind::TcbCreationSyn(self.disc)
+    }
+
+    fn on_syn(&mut self, ctx: &mut ShimCtx<'_>, flow: &mut FlowState, seg: &TcpRepr) -> Verdict {
+        let mut spec = spec_for(flow, seg, InsertionKind::Syn, self.disc, self.delta);
+        spec.seq = seg.seq.wrapping_add(OUT_OF_WINDOW) ^ 0x00ff_00ff;
+        ctx.inject(spec.build(), Duration::ZERO);
+        Verdict::ForwardDelayed(ctx.after_redundancy())
+    }
+}
+
+/// Out-of-order overlapping IP fragments: garbage tail first (the censor
+/// keeps it, first-wins), real tail second (receivers keep it, last-wins),
+/// then the head to fill the gap (§3.2).
+pub struct OutOfOrderIpFrag;
+
+impl Strategy for OutOfOrderIpFrag {
+    fn kind(&self) -> StrategyKind {
+        StrategyKind::OutOfOrderIpFrag
+    }
+
+    fn on_first_payload(&mut self, ctx: &mut ShimCtx<'_>, flow: &mut FlowState, seg: &TcpRepr) -> Verdict {
+        let segment = seg.emit(flow.tuple.src, flow.tuple.dst);
+        // Cut right after the TCP header, rounded up to fragment granularity.
+        let header_len = usize::from(segment[12] >> 4) * 4;
+        let cut = (header_len + 7) & !7;
+        if segment.len() <= cut {
+            return Verdict::Forward; // nothing beyond the header to hide
+        }
+        let ident = ctx.rng.next_u16();
+        let base = Ipv4Repr { ident, ..Ipv4Repr::new(flow.tuple.src, flow.tuple.dst, IpProtocol::Tcp) };
+        let tail_real = &segment[cut..];
+        let tail_junk: Vec<u8> = (0..tail_real.len()).map(|_| (ctx.rng.next_u16() & 0x7f) as u8 | 0x20).collect();
+        let head = &segment[..cut];
+        ctx.inject_once(frag::raw_fragment(&base, cut, false, &tail_junk), Duration::ZERO);
+        ctx.inject_once(frag::raw_fragment(&base, cut, false, tail_real), Duration::from_millis(2));
+        ctx.inject_once(frag::raw_fragment(&base, 0, true, head), Duration::from_millis(4));
+        Verdict::Replace
+    }
+}
+
+/// Out-of-order overlapping TCP segments: real tail first, garbage tail
+/// second (the Khattak-model censor prefers the latter), then the head.
+pub struct OutOfOrderTcpSeg;
+
+/// Payload split point: the sensitive content must not fit entirely in the
+/// head (HTTP keywords sit after `GET /`; DNS names after the 14-byte
+/// header+frame).
+const SEG_CUT: usize = 8;
+
+impl Strategy for OutOfOrderTcpSeg {
+    fn kind(&self) -> StrategyKind {
+        StrategyKind::OutOfOrderTcpSeg
+    }
+
+    fn on_first_payload(&mut self, ctx: &mut ShimCtx<'_>, flow: &mut FlowState, seg: &TcpRepr) -> Verdict {
+        if seg.payload.len() <= SEG_CUT {
+            return Verdict::Forward;
+        }
+        let cut = SEG_CUT;
+        let mk = |seq: u32, payload: Vec<u8>, ack: u32| {
+            PacketBuilder::tcp(flow.tuple.src, flow.tuple.dst, flow.tuple.src_port, flow.tuple.dst_port)
+                .seq(seq)
+                .ack(ack)
+                .flags(TcpFlags::PSH_ACK)
+                .payload(&payload)
+                .build()
+        };
+        let tail_real = seg.payload[cut..].to_vec();
+        let tail_junk: Vec<u8> = (0..tail_real.len()).map(|_| (ctx.rng.next_u16() & 0x7f) as u8 | 0x20).collect();
+        let head = seg.payload[..cut].to_vec();
+        let tail_seq = seg.seq.wrapping_add(cut as u32);
+        ctx.inject_once(mk(tail_seq, tail_real, seg.ack), Duration::ZERO);
+        ctx.inject_once(mk(tail_seq, tail_junk, seg.ack), Duration::from_millis(2));
+        ctx.inject_once(mk(seg.seq, head, seg.ack), Duration::from_millis(4));
+        Verdict::Replace
+    }
+}
+
+/// In-order data overlapping: prefill the censor's buffer with junk at the
+/// current sequence; the real request then looks like stale data (§3.2).
+pub struct InOrderOverlap {
+    pub disc: Discrepancy,
+    pub delta: u8,
+}
+
+impl Strategy for InOrderOverlap {
+    fn kind(&self) -> StrategyKind {
+        StrategyKind::InOrderOverlap(self.disc)
+    }
+
+    fn on_first_payload(&mut self, ctx: &mut ShimCtx<'_>, flow: &mut FlowState, seg: &TcpRepr) -> Verdict {
+        let mut spec = spec_for(flow, seg, InsertionKind::Data, self.disc, self.delta);
+        spec.payload = vec![b'J'; seg.payload.len()];
+        ctx.inject(spec.build(), Duration::ZERO);
+        Verdict::ForwardDelayed(ctx.after_redundancy())
+    }
+}
+
+/// TCB teardown with RST / RST-ACK / FIN insertion packets (§3.2).
+pub struct Teardown {
+    pub kind: InsertionKind,
+    pub disc: Discrepancy,
+    pub delta: u8,
+}
+
+impl Strategy for Teardown {
+    fn kind(&self) -> StrategyKind {
+        match self.kind {
+            InsertionKind::Rst => StrategyKind::TeardownRst(self.disc),
+            InsertionKind::RstAck => StrategyKind::TeardownRstAck(self.disc),
+            _ => StrategyKind::TeardownFin(self.disc),
+        }
+    }
+
+    fn on_first_payload(&mut self, ctx: &mut ShimCtx<'_>, flow: &mut FlowState, seg: &TcpRepr) -> Verdict {
+        let spec = spec_for(flow, seg, self.kind, self.disc, self.delta);
+        ctx.inject(spec.build(), Duration::ZERO);
+        Verdict::ForwardDelayed(ctx.after_redundancy())
+    }
+}
+
+// ---------------------------------------------------------------------
+// §5.2 / §7.1 new and improved strategies
+// ---------------------------------------------------------------------
+
+/// The desynchronization building block (§5.1): a 1-byte data packet with
+/// an out-of-window sequence number. Inherently ignored by the server
+/// (duplicate-ACK path) — no extra discrepancy needed.
+fn desync_packet(flow: &FlowState, seg: &TcpRepr) -> Vec<u8> {
+    PacketBuilder::tcp(flow.tuple.src, flow.tuple.dst, flow.tuple.src_port, flow.tuple.dst_port)
+        .seq(seg.seq.wrapping_add(OUT_OF_WINDOW))
+        .ack(seg.ack)
+        .flags(TcpFlags::PSH_ACK)
+        .payload(b"?")
+        .build()
+}
+
+/// Improved TCB teardown (§7.1): RST insertion followed by a
+/// desynchronization packet, covering both the teardown outcome (old
+/// model / lucky evolved) and the resynchronization outcome (Hypothesized
+/// New Behavior 3).
+pub struct ImprovedTeardown {
+    pub delta: u8,
+}
+
+impl Strategy for ImprovedTeardown {
+    fn kind(&self) -> StrategyKind {
+        StrategyKind::ImprovedTeardown
+    }
+
+    fn on_first_payload(&mut self, ctx: &mut ShimCtx<'_>, flow: &mut FlowState, seg: &TcpRepr) -> Verdict {
+        let disc = best_disc(flow, InsertionKind::Rst);
+        let rst = spec_for(flow, seg, InsertionKind::Rst, disc, self.delta);
+        ctx.inject(rst.build(), Duration::ZERO);
+        // The desync packet rides after every RST copy.
+        ctx.inject_once(desync_packet(flow, seg), ctx.after_redundancy());
+        Verdict::ForwardDelayed(ctx.after_redundancy() + Duration::from_millis(10))
+    }
+}
+
+/// Improved in-order data overlapping (§7.1): junk prefill crafted with
+/// Table 5-safe insertion discrepancies (TTL when measured, MD5 otherwise)
+/// to dodge middleboxes and server side effects.
+pub struct ImprovedInOrderOverlap {
+    pub delta: u8,
+}
+
+impl Strategy for ImprovedInOrderOverlap {
+    fn kind(&self) -> StrategyKind {
+        StrategyKind::ImprovedInOrderOverlap
+    }
+
+    fn on_first_payload(&mut self, ctx: &mut ShimCtx<'_>, flow: &mut FlowState, seg: &TcpRepr) -> Verdict {
+        let disc = best_disc(flow, InsertionKind::Data);
+        let mut spec = spec_for(flow, seg, InsertionKind::Data, disc, self.delta);
+        spec.payload = vec![b'J'; seg.payload.len()];
+        ctx.inject(spec.build(), Duration::ZERO);
+        Verdict::ForwardDelayed(ctx.after_redundancy())
+    }
+}
+
+/// TCB creation + Resync/Desync (Fig. 3): fake SYN before the handshake
+/// (defeats the old model), a second fake SYN after it to force the
+/// evolved model into the resynchronization state, then a desync packet so
+/// it re-anchors on garbage.
+pub struct TcbCreationResyncDesync {
+    pub delta: u8,
+}
+
+impl Strategy for TcbCreationResyncDesync {
+    fn kind(&self) -> StrategyKind {
+        StrategyKind::TcbCreationResyncDesync
+    }
+
+    fn on_syn(&mut self, ctx: &mut ShimCtx<'_>, flow: &mut FlowState, seg: &TcpRepr) -> Verdict {
+        let disc = best_disc(flow, InsertionKind::Syn);
+        let mut spec = spec_for(flow, seg, InsertionKind::Syn, disc, self.delta);
+        spec.seq = seg.seq.wrapping_add(OUT_OF_WINDOW) ^ 0x0f0f_0f0f;
+        ctx.inject(spec.build(), Duration::ZERO);
+        Verdict::ForwardDelayed(ctx.after_redundancy())
+    }
+
+    fn on_first_payload(&mut self, ctx: &mut ShimCtx<'_>, flow: &mut FlowState, seg: &TcpRepr) -> Verdict {
+        // The second fake SYN cannot precede the SYN/ACK (§5.2): the censor
+        // would re-anchor from the SYN/ACK's ACK. Here the handshake is
+        // complete, so it sticks.
+        let disc = best_disc(flow, InsertionKind::Syn);
+        let mut syn2 = spec_for(flow, seg, InsertionKind::Syn, disc, self.delta);
+        syn2.seq = seg.seq.wrapping_add(OUT_OF_WINDOW) ^ 0x5a5a_5a5a;
+        ctx.inject(syn2.build(), Duration::ZERO);
+        ctx.inject_once(desync_packet(flow, seg), ctx.after_redundancy());
+        Verdict::ForwardDelayed(ctx.after_redundancy() + Duration::from_millis(10))
+    }
+}
+
+/// TCB teardown + TCB reversal (Fig. 4): a fake SYN/ACK before the real
+/// handshake creates a *reversed* TCB on the evolved model (it monitors
+/// the wrong direction); an RST insertion after the handshake tears down
+/// the old model's TCB.
+pub struct TeardownTcbReversal {
+    pub delta: u8,
+}
+
+impl Strategy for TeardownTcbReversal {
+    fn kind(&self) -> StrategyKind {
+        StrategyKind::TeardownTcbReversal
+    }
+
+    fn on_syn(&mut self, ctx: &mut ShimCtx<'_>, flow: &mut FlowState, seg: &TcpRepr) -> Verdict {
+        // The fake SYN/ACK must never reach the server (it would answer
+        // with an RST that tears the reversed TCB down) — TTL-scope it.
+        let mut spec = spec_for(flow, seg, InsertionKind::SynAck, Discrepancy::SmallTtl, self.delta);
+        spec.seq = ctx.rng.next_u32();
+        spec.ack = ctx.rng.next_u32();
+        ctx.inject(spec.build(), Duration::ZERO);
+        Verdict::ForwardDelayed(ctx.after_redundancy())
+    }
+
+    fn on_first_payload(&mut self, ctx: &mut ShimCtx<'_>, flow: &mut FlowState, seg: &TcpRepr) -> Verdict {
+        let disc = best_disc(flow, InsertionKind::Rst);
+        let rst = spec_for(flow, seg, InsertionKind::Rst, disc, self.delta);
+        ctx.inject(rst.build(), Duration::ZERO);
+        Verdict::ForwardDelayed(ctx.after_redundancy())
+    }
+}
+
+/// The West Chamber Project baseline (§2.2): RSTs at the censor from both
+/// believed directions. The spoofed "server-side" RST is emitted toward
+/// the server — on-path censors attribute packets by address, not travel
+/// direction, so the tap processes it as server traffic while the real
+/// server discards it (the destination isn't the server).
+pub struct WestChamber {
+    pub delta: u8,
+}
+
+impl Strategy for WestChamber {
+    fn kind(&self) -> StrategyKind {
+        StrategyKind::WestChamber
+    }
+
+    fn on_first_payload(&mut self, ctx: &mut ShimCtx<'_>, flow: &mut FlowState, seg: &TcpRepr) -> Verdict {
+        // Client-side RST (the original tool used checksum corruption).
+        let spec = spec_for(flow, seg, InsertionKind::Rst, Discrepancy::BadChecksum, self.delta);
+        ctx.inject(spec.build(), Duration::ZERO);
+        // Spoofed server-side RST: src is the *server*, sequence is the
+        // server's next expected byte as observed from the SYN/ACK.
+        if let Some(server_isn) = flow.server_isn {
+            let spoofed = PacketBuilder::tcp(flow.tuple.dst, flow.tuple.src, flow.tuple.dst_port, flow.tuple.src_port)
+                .seq(server_isn.wrapping_add(1))
+                .flags(TcpFlags::RST)
+                .bad_checksum()
+                .build();
+            ctx.inject(spoofed, Duration::from_millis(2));
+        }
+        Verdict::ForwardDelayed(ctx.after_redundancy())
+    }
+}
+
+/// Instantiate a strategy object from its kind.
+pub fn build(kind: StrategyKind, delta: u8) -> Box<dyn Strategy> {
+    match kind {
+        StrategyKind::NoStrategy => Box::new(crate::strategy::NoStrategy),
+        StrategyKind::TcbCreationSyn(disc) => Box::new(TcbCreationSyn { disc, delta }),
+        StrategyKind::OutOfOrderIpFrag => Box::new(OutOfOrderIpFrag),
+        StrategyKind::OutOfOrderTcpSeg => Box::new(OutOfOrderTcpSeg),
+        StrategyKind::InOrderOverlap(disc) => Box::new(InOrderOverlap { disc, delta }),
+        StrategyKind::TeardownRst(disc) => Box::new(Teardown { kind: InsertionKind::Rst, disc, delta }),
+        StrategyKind::TeardownRstAck(disc) => Box::new(Teardown { kind: InsertionKind::RstAck, disc, delta }),
+        StrategyKind::TeardownFin(disc) => Box::new(Teardown { kind: InsertionKind::Fin, disc, delta }),
+        StrategyKind::ImprovedTeardown => Box::new(ImprovedTeardown { delta }),
+        StrategyKind::ImprovedInOrderOverlap => Box::new(ImprovedInOrderOverlap { delta }),
+        StrategyKind::TcbCreationResyncDesync => Box::new(TcbCreationResyncDesync { delta }),
+        StrategyKind::TeardownTcbReversal => Box::new(TeardownTcbReversal { delta }),
+        StrategyKind::WestChamber => Box::new(WestChamber { delta }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use intang_netsim::{Instant, SimRng};
+    use intang_packet::{FourTuple, Ipv4Packet, TcpPacket};
+    use std::net::Ipv4Addr;
+
+    fn flow() -> FlowState {
+        let tuple = FourTuple::new(Ipv4Addr::new(10, 0, 0, 1), 40_000, Ipv4Addr::new(93, 184, 216, 34), 80);
+        let mut f = FlowState::new(tuple, StrategyKind::NoStrategy);
+        f.hops = Some(14);
+        f
+    }
+
+    fn request_seg() -> TcpRepr {
+        let mut seg = TcpRepr::new(40_000, 80);
+        seg.seq = 1001;
+        seg.ack = 9001;
+        seg.flags = TcpFlags::PSH_ACK;
+        seg.payload = b"GET /ultrasurf HTTP/1.1\r\nHost: site-0.example\r\n\r\n".to_vec();
+        seg
+    }
+
+    fn run_first_payload(strategy: &mut dyn Strategy, redundancy: u32) -> (Verdict, Vec<(Vec<u8>, u64)>) {
+        let mut rng = SimRng::seed_from(7);
+        let mut ctx = ShimCtx::new(Instant::ZERO, &mut rng, Ipv4Addr::new(10, 0, 0, 1), redundancy);
+        let mut f = flow();
+        let v = strategy.on_first_payload(&mut ctx, &mut f, &request_seg());
+        (v, ctx.injections.into_iter().map(|(w, d)| (w, d.micros())).collect())
+    }
+
+    #[test]
+    fn in_order_overlap_injects_matching_junk() {
+        let mut s = InOrderOverlap { disc: Discrepancy::BadChecksum, delta: 2 };
+        let (v, inj) = run_first_payload(&mut s, 3);
+        assert_eq!(inj.len(), 3, "redundancy 3");
+        assert!(matches!(v, Verdict::ForwardDelayed(_)));
+        let ip = Ipv4Packet::new_checked(&inj[0].0[..]).unwrap();
+        let t = TcpPacket::new_checked(ip.payload()).unwrap();
+        assert_eq!(t.seq_number(), 1001, "junk sits at the request's sequence");
+        assert_eq!(t.payload().len(), request_seg().payload.len());
+        assert!(!t.verify_checksum(ip.src_addr(), ip.dst_addr()));
+    }
+
+    #[test]
+    fn teardown_rst_uses_current_seq_and_ttl() {
+        let mut s = Teardown { kind: InsertionKind::Rst, disc: Discrepancy::SmallTtl, delta: 2 };
+        let (_, inj) = run_first_payload(&mut s, 1);
+        let ip = Ipv4Packet::new_checked(&inj[0].0[..]).unwrap();
+        assert_eq!(ip.ttl(), 12, "hops(14) - delta(2)");
+        let t = TcpPacket::new_checked(ip.payload()).unwrap();
+        assert_eq!(t.flags(), TcpFlags::RST);
+        assert_eq!(t.seq_number(), 1001);
+    }
+
+    #[test]
+    fn improved_teardown_appends_desync_packet() {
+        let mut s = ImprovedTeardown { delta: 2 };
+        let (v, inj) = run_first_payload(&mut s, 3);
+        assert_eq!(inj.len(), 4, "3 RSTs + 1 desync");
+        let (desync_wire, desync_delay) = &inj[3];
+        assert!(*desync_delay > inj[2].1, "desync rides after the RSTs");
+        let ip = Ipv4Packet::new_checked(&desync_wire[..]).unwrap();
+        let t = TcpPacket::new_checked(ip.payload()).unwrap();
+        assert_eq!(t.payload().len(), 1);
+        assert_eq!(t.seq_number(), 1001u32.wrapping_add(OUT_OF_WINDOW));
+        assert!(t.verify_checksum(ip.src_addr(), ip.dst_addr()), "desync needs no discrepancy");
+        match v {
+            Verdict::ForwardDelayed(d) => assert!(d.micros() > *desync_delay),
+            other => panic!("unexpected verdict {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ooo_tcp_seg_order_real_junk_head() {
+        let mut s = OutOfOrderTcpSeg;
+        let (v, inj) = run_first_payload(&mut s, 1);
+        assert_eq!(v, Verdict::Replace);
+        assert_eq!(inj.len(), 3);
+        let req = request_seg();
+        let parse = |w: &[u8]| {
+            let ip = Ipv4Packet::new_checked(w).unwrap();
+            let t = TcpPacket::new_checked(ip.payload()).unwrap();
+            (t.seq_number(), t.payload().to_vec())
+        };
+        let (s0, p0) = parse(&inj[0].0);
+        let (s1, p1) = parse(&inj[1].0);
+        let (s2, p2) = parse(&inj[2].0);
+        assert_eq!(s0, 1001 + 8);
+        assert_eq!(p0, &req.payload[8..], "real tail first");
+        assert_eq!(s1, 1001 + 8);
+        assert_ne!(p1, p0, "garbage tail second");
+        assert_eq!(p1.len(), p0.len());
+        assert_eq!((s2, p2.as_slice()), (1001, &req.payload[..8]), "head last");
+    }
+
+    #[test]
+    fn ooo_ip_frag_produces_three_fragments() {
+        let mut s = OutOfOrderIpFrag;
+        let (v, inj) = run_first_payload(&mut s, 1);
+        assert_eq!(v, Verdict::Replace);
+        assert_eq!(inj.len(), 3);
+        let frags: Vec<_> = inj
+            .iter()
+            .map(|(w, _)| {
+                let ip = Ipv4Packet::new_checked(&w[..]).unwrap();
+                (ip.frag_offset(), ip.more_fragments(), ip.payload().to_vec())
+            })
+            .collect();
+        assert_eq!(frags[0].0, frags[1].0, "junk and real tails share an offset");
+        assert!(!frags[0].1 && !frags[1].1);
+        assert_ne!(frags[0].2, frags[1].2);
+        assert_eq!(frags[2].0, 0, "head fills the gap last");
+        assert!(frags[2].1, "head has more-fragments set");
+        // Reassembling all three LastWins (server-style) restores the real segment.
+        let all: Vec<Vec<u8>> = inj.iter().map(|(w, _)| w.clone()).collect();
+        let whole = intang_packet::frag::reassemble(intang_packet::frag::OverlapPolicy::LastWins, all).unwrap();
+        let ip = Ipv4Packet::new_checked(&whole[..]).unwrap();
+        let t = TcpPacket::new_checked(ip.payload()).unwrap();
+        assert_eq!(t.payload(), &request_seg().payload[..]);
+    }
+
+    #[test]
+    fn reversal_synack_is_ttl_scoped_random() {
+        let mut s = TeardownTcbReversal { delta: 2 };
+        let mut rng = SimRng::seed_from(3);
+        let mut ctx = ShimCtx::new(Instant::ZERO, &mut rng, Ipv4Addr::new(10, 0, 0, 1), 1);
+        let mut f = flow();
+        let mut syn = TcpRepr::new(40_000, 80);
+        syn.seq = 1000;
+        syn.flags = TcpFlags::SYN;
+        let v = s.on_syn(&mut ctx, &mut f, &syn);
+        assert!(matches!(v, Verdict::ForwardDelayed(_)));
+        let ip = Ipv4Packet::new_checked(&ctx.injections[0].0[..]).unwrap();
+        assert_eq!(ip.ttl(), 12);
+        let t = TcpPacket::new_checked(ip.payload()).unwrap();
+        assert_eq!(t.flags(), TcpFlags::SYN_ACK);
+        assert_ne!(t.seq_number(), 1000);
+    }
+
+    #[test]
+    fn best_disc_falls_back_without_hops() {
+        let mut f = flow();
+        f.hops = None;
+        assert_eq!(best_disc(&f, InsertionKind::Rst), Discrepancy::Md5Option);
+        assert_eq!(best_disc(&f, InsertionKind::Data), Discrepancy::Md5Option);
+        assert_eq!(best_disc(&f, InsertionKind::Syn), Discrepancy::BadChecksum, "SYN row has no non-TTL entry");
+        f.hops = Some(10);
+        assert_eq!(best_disc(&f, InsertionKind::Rst), Discrepancy::SmallTtl);
+    }
+
+    #[test]
+    fn build_covers_every_kind() {
+        use Discrepancy::*;
+        for kind in [
+            StrategyKind::NoStrategy,
+            StrategyKind::TcbCreationSyn(SmallTtl),
+            StrategyKind::OutOfOrderIpFrag,
+            StrategyKind::OutOfOrderTcpSeg,
+            StrategyKind::InOrderOverlap(BadAck),
+            StrategyKind::TeardownRst(SmallTtl),
+            StrategyKind::TeardownRstAck(BadChecksum),
+            StrategyKind::TeardownFin(SmallTtl),
+            StrategyKind::ImprovedTeardown,
+            StrategyKind::ImprovedInOrderOverlap,
+            StrategyKind::TcbCreationResyncDesync,
+            StrategyKind::TeardownTcbReversal,
+            StrategyKind::WestChamber,
+        ] {
+            assert_eq!(build(kind, 2).kind(), kind);
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! Hop-count estimation (§7.1): "we first measure the hop count from the
+//! client to the server using a way similar as tcptraceroute. Then, we
+//! subtract a small δ from the measured hop count."
+//!
+//! The estimator fires a burst of TTL-scoped SYN probes at the server; the
+//! probe's source port encodes its TTL, so returning ICMP time-exceeded
+//! messages (router hit) and SYN/ACKs (server reached) can be attributed.
+
+use intang_netsim::{Duration, Instant};
+use intang_packet::{icmp, PacketBuilder, TcpFlags, Wire};
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// Base source port for probes; probe with TTL `t` uses `PROBE_PORT_BASE + t`.
+pub const PROBE_PORT_BASE: u16 = 61_000;
+
+/// How long we wait for probe responses before finalizing.
+pub const MEASURE_TIMEOUT: Duration = Duration::from_millis(150);
+
+/// One in-flight measurement toward a server.
+#[derive(Debug)]
+pub struct Measurement {
+    pub server: Ipv4Addr,
+    pub port: u16,
+    pub deadline: Instant,
+    /// Largest TTL whose probe died at a router.
+    max_router_ttl: u8,
+    /// Smallest TTL whose probe reached the server (SYN/ACK came back).
+    min_reach_ttl: Option<u8>,
+    /// Client packets held until the measurement finishes.
+    pub held: Vec<Wire>,
+}
+
+impl Measurement {
+    /// Final hop estimate: the smallest TTL that reached the server, or one
+    /// past the farthest router seen.
+    pub fn estimate(&self) -> u8 {
+        match self.min_reach_ttl {
+            Some(r) => r,
+            None => self.max_router_ttl.saturating_add(1).max(2),
+        }
+    }
+}
+
+/// The estimator: active measurements plus attribution of responses.
+#[derive(Debug, Default)]
+pub struct HopEstimator {
+    active: HashMap<Ipv4Addr, Measurement>,
+}
+
+impl HopEstimator {
+    pub fn new() -> HopEstimator {
+        HopEstimator::default()
+    }
+
+    pub fn is_measuring(&self, server: Ipv4Addr) -> bool {
+        self.active.contains_key(&server)
+    }
+
+    /// Begin measuring `server`; returns the probe burst to transmit.
+    /// `first_held` is the intercepted packet that triggered the need.
+    pub fn start(
+        &mut self,
+        client: Ipv4Addr,
+        server: Ipv4Addr,
+        port: u16,
+        now: Instant,
+        max_ttl: u8,
+        first_held: Wire,
+    ) -> Vec<Wire> {
+        let m = Measurement {
+            server,
+            port,
+            deadline: now + MEASURE_TIMEOUT,
+            max_router_ttl: 0,
+            min_reach_ttl: None,
+            held: vec![first_held],
+        };
+        self.active.insert(server, m);
+        (1..=max_ttl)
+            .map(|ttl| {
+                PacketBuilder::tcp(client, server, PROBE_PORT_BASE + u16::from(ttl), port)
+                    .flags(TcpFlags::SYN)
+                    .seq(0x7357_0000 | u32::from(ttl))
+                    .ttl(ttl)
+                    .build()
+            })
+            .collect()
+    }
+
+    /// Hold a further client packet behind an in-flight measurement.
+    pub fn hold(&mut self, server: Ipv4Addr, wire: Wire) {
+        if let Some(m) = self.active.get_mut(&server) {
+            m.held.push(wire);
+        }
+    }
+
+    /// Feed an ingress ICMP datagram. Returns true when it was one of our
+    /// probes' time-exceeded replies (and should be consumed).
+    pub fn on_icmp(&mut self, wire: &[u8]) -> bool {
+        let Some((_router, quote)) = icmp::parse_time_exceeded(wire) else {
+            return false;
+        };
+        if quote.src_port < PROBE_PORT_BASE || quote.src_port > PROBE_PORT_BASE + 64 {
+            return false;
+        }
+        let ttl = (quote.src_port - PROBE_PORT_BASE) as u8;
+        if let Some(m) = self.active.get_mut(&quote.orig_dst) {
+            m.max_router_ttl = m.max_router_ttl.max(ttl);
+            return true;
+        }
+        false
+    }
+
+    /// Feed an ingress SYN/ACK addressed to a probe port. Returns true when
+    /// consumed by a measurement.
+    pub fn on_probe_synack(&mut self, server: Ipv4Addr, probe_port: u16) -> bool {
+        if probe_port < PROBE_PORT_BASE || probe_port > PROBE_PORT_BASE + 64 {
+            return false;
+        }
+        let ttl = (probe_port - PROBE_PORT_BASE) as u8;
+        if let Some(m) = self.active.get_mut(&server) {
+            m.min_reach_ttl = Some(m.min_reach_ttl.map_or(ttl, |r| r.min(ttl)));
+            return true;
+        }
+        false
+    }
+
+    /// Finalize every measurement whose deadline passed; returns
+    /// `(server, hop_estimate, held_packets)` triples.
+    pub fn finalize_due(&mut self, now: Instant) -> Vec<(Ipv4Addr, u8, Vec<Wire>)> {
+        let due: Vec<Ipv4Addr> = self
+            .active
+            .iter()
+            .filter(|(_, m)| m.deadline <= now)
+            .map(|(k, _)| *k)
+            .collect();
+        due.into_iter()
+            .map(|server| {
+                let mut m = self.active.remove(&server).expect("key just listed");
+                let est = m.estimate();
+                (server, est, std::mem::take(&mut m.held))
+            })
+            .collect()
+    }
+
+    /// Earliest pending deadline (for the shim's timer).
+    pub fn next_deadline(&self) -> Option<Instant> {
+        self.active.values().map(|m| m.deadline).min()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use intang_packet::{IpProtocol, Ipv4Repr, TcpRepr};
+
+    fn client() -> Ipv4Addr {
+        Ipv4Addr::new(10, 0, 0, 1)
+    }
+    fn server() -> Ipv4Addr {
+        Ipv4Addr::new(93, 184, 216, 34)
+    }
+
+    fn held() -> Wire {
+        PacketBuilder::tcp(client(), server(), 40_000, 80).flags(TcpFlags::SYN).build()
+    }
+
+    #[test]
+    fn probe_burst_encodes_ttl_in_port() {
+        let mut e = HopEstimator::new();
+        let probes = e.start(client(), server(), 80, Instant::ZERO, 12, held());
+        assert_eq!(probes.len(), 12);
+        for (i, p) in probes.iter().enumerate() {
+            let ip = intang_packet::Ipv4Packet::new_checked(&p[..]).unwrap();
+            assert_eq!(usize::from(ip.ttl()), i + 1);
+            let t = intang_packet::TcpPacket::new_checked(ip.payload()).unwrap();
+            assert_eq!(usize::from(t.src_port() - PROBE_PORT_BASE), i + 1);
+        }
+        assert!(e.is_measuring(server()));
+    }
+
+    #[test]
+    fn estimate_from_icmp_only() {
+        let mut e = HopEstimator::new();
+        let probes = e.start(client(), server(), 80, Instant::ZERO, 12, held());
+        // Routers at hops 1..=9 answered; 10+ got lost, server never reached.
+        for p in &probes[..9] {
+            let te = icmp::time_exceeded_for(Ipv4Addr::new(172, 16, 0, 9), p).unwrap();
+            assert!(e.on_icmp(&te));
+        }
+        let done = e.finalize_due(Instant::ZERO + MEASURE_TIMEOUT);
+        assert_eq!(done.len(), 1);
+        let (srv, est, held) = &done[0];
+        assert_eq!(*srv, server());
+        assert_eq!(*est, 10, "one past the farthest router");
+        assert_eq!(held.len(), 1);
+    }
+
+    #[test]
+    fn synack_refines_estimate() {
+        let mut e = HopEstimator::new();
+        let _ = e.start(client(), server(), 80, Instant::ZERO, 12, held());
+        assert!(e.on_probe_synack(server(), PROBE_PORT_BASE + 11));
+        assert!(e.on_probe_synack(server(), PROBE_PORT_BASE + 10));
+        let done = e.finalize_due(Instant::ZERO + MEASURE_TIMEOUT);
+        assert_eq!(done[0].1, 10, "smallest reaching TTL wins");
+    }
+
+    #[test]
+    fn unrelated_icmp_not_consumed() {
+        let mut e = HopEstimator::new();
+        let _ = e.start(client(), server(), 80, Instant::ZERO, 4, held());
+        // A time-exceeded for an ordinary connection (non-probe port).
+        let tcp = TcpRepr::new(40_000, 80);
+        let ip = Ipv4Repr::new(client(), server(), IpProtocol::Tcp);
+        let wire = ip.emit(&tcp.emit(client(), server()));
+        let te = icmp::time_exceeded_for(Ipv4Addr::new(172, 16, 0, 1), &wire).unwrap();
+        assert!(!e.on_icmp(&te));
+    }
+
+    #[test]
+    fn holds_accumulate_until_finalize() {
+        let mut e = HopEstimator::new();
+        let _ = e.start(client(), server(), 80, Instant::ZERO, 4, held());
+        e.hold(server(), held());
+        e.hold(server(), held());
+        assert!(e.finalize_due(Instant(1)).is_empty(), "deadline not reached");
+        let done = e.finalize_due(Instant::ZERO + MEASURE_TIMEOUT);
+        assert_eq!(done[0].2.len(), 3);
+        assert!(!e.is_measuring(server()));
+    }
+}

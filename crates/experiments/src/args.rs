@@ -1,0 +1,76 @@
+//! Minimal flag parsing shared by the experiment binaries.
+
+/// Parsed common flags.
+#[derive(Debug, Clone)]
+pub struct CommonArgs {
+    /// Trials per (vantage point, site, strategy) cell.
+    pub trials: u32,
+    pub seed: u64,
+    /// Shrink the scenario for quick runs.
+    pub quick: bool,
+}
+
+impl CommonArgs {
+    pub fn parse() -> CommonArgs {
+        CommonArgs::from_iter(std::env::args().skip(1))
+    }
+
+    pub fn from_iter(args: impl IntoIterator<Item = String>) -> CommonArgs {
+        let mut out = CommonArgs { trials: 0, seed: 2017, quick: false };
+        let mut it = args.into_iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--trials" => {
+                    out.trials = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| panic!("--trials needs a number"));
+                }
+                "--seed" => {
+                    out.seed = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| panic!("--seed needs a number"));
+                }
+                "--quick" => out.quick = true,
+                "--help" | "-h" => {
+                    eprintln!("flags: --trials N   trials per cell (default: per-experiment)\n       --seed S     master seed (default 2017)\n       --quick      shrink the scenario for a fast smoke run");
+                    std::process::exit(0);
+                }
+                other => panic!("unknown flag {other}"),
+            }
+        }
+        out
+    }
+
+    /// Trials to use, with a per-experiment default.
+    pub fn trials_or(&self, default: u32) -> u32 {
+        if self.trials == 0 {
+            if self.quick {
+                (default / 4).max(2)
+            } else {
+                default
+            }
+        } else {
+            self.trials
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_and_flags() {
+        let a = CommonArgs::from_iter(Vec::new());
+        assert_eq!(a.seed, 2017);
+        assert_eq!(a.trials_or(50), 50);
+        let a = CommonArgs::from_iter(vec!["--trials".into(), "7".into(), "--seed".into(), "9".into()]);
+        assert_eq!(a.trials_or(50), 7);
+        assert_eq!(a.seed, 9);
+        let a = CommonArgs::from_iter(vec!["--quick".into()]);
+        assert!(a.quick);
+        assert_eq!(a.trials_or(48), 12);
+    }
+}

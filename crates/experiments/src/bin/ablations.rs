@@ -1,0 +1,5 @@
+//! Regenerates the DESIGN.md ablations; see `intang_experiments::exps::ablations`.
+fn main() {
+    let args = intang_experiments::args::CommonArgs::parse();
+    print!("{}", intang_experiments::exps::ablations::run(&args));
+}

@@ -1,0 +1,5 @@
+//! Regenerates the §8 arms-race sweep; see `intang_experiments::exps::arms_race`.
+fn main() {
+    let args = intang_experiments::args::CommonArgs::parse();
+    print!("{}", intang_experiments::exps::arms_race::run(&args));
+}

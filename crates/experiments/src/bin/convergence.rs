@@ -1,0 +1,5 @@
+//! Regenerates the §6 adaptive-convergence curve; see `exps::convergence`.
+fn main() {
+    let args = intang_experiments::args::CommonArgs::parse();
+    print!("{}", intang_experiments::exps::convergence::run(&args));
+}

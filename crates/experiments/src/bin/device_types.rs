@@ -1,0 +1,5 @@
+//! Regenerates the §2.1/§8 device-type differentiation; see `exps::device_types`.
+fn main() {
+    let args = intang_experiments::args::CommonArgs::parse();
+    print!("{}", intang_experiments::exps::device_types::run(&args));
+}

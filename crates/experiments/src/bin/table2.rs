@@ -1,0 +1,5 @@
+//! Regenerates the paper artifact; see `intang_experiments::exps::table2`.
+fn main() {
+    let args = intang_experiments::args::CommonArgs::parse();
+    print!("{}", intang_experiments::exps::table2::run(&args));
+}

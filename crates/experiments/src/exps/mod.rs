@@ -1,0 +1,17 @@
+//! One module per reproduced artifact; each exposes `run(&CommonArgs) ->
+//! String` so the `all` binary and integration tests can drive them.
+
+pub mod ablations;
+pub mod arms_race;
+pub mod convergence;
+pub mod device_types;
+pub mod figures;
+pub mod hypotheses;
+pub mod reset_fingerprint;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+pub mod table5;
+pub mod table6;
+pub mod tor_vpn;

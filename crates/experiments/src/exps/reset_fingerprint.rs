@@ -1,0 +1,145 @@
+//! §2.1 — fingerprint the censor's reset injections from the client side:
+//! type-1 (bare RST, random TTL/window) vs type-2 (three RST/ACKs at
+//! X, X+1460, X+4380, cyclic TTL/window), the 90-second blacklist with
+//! forged SYN/ACKs, and its expiry.
+
+use crate::args::CommonArgs;
+use crate::scenario::Scenario;
+use crate::tap::RecorderTap;
+use intang_apps::host::add_host;
+use intang_apps::http::{HttpClientDriver, HttpServerDriver};
+use intang_apps::{HostDriver, UdpLayer};
+use intang_gfw::GfwElement;
+use intang_netsim::{Direction, Duration, Instant, Link, Simulation};
+use intang_packet::http::HttpRequest;
+use intang_packet::{Ipv4Packet, TcpFlags, TcpPacket};
+use intang_tcpstack::{StackProfile, TcpEndpoint};
+use std::net::Ipv4Addr;
+
+/// Runs several drivers on one host (sequential fetches share the stack).
+struct MultiDriver(Vec<Box<dyn HostDriver>>);
+
+impl HostDriver for MultiDriver {
+    fn poll(&mut self, now: Instant, tcp: &mut TcpEndpoint, udp: &mut UdpLayer) {
+        for d in &mut self.0 {
+            d.poll(now, tcp, udp);
+        }
+    }
+
+    fn next_wakeup(&self) -> Option<Instant> {
+        self.0.iter().filter_map(|d| d.next_wakeup()).min()
+    }
+}
+
+struct FingerprintRun {
+    type1: Vec<(u8, u16, u32)>, // (ttl, window, seq)
+    type2: Vec<(u8, u16, u32)>,
+    forged_synacks: u64,
+    blacklist_hits: u64,
+    late_success: bool,
+}
+
+fn run_fingerprint(seed: u64) -> FingerprintRun {
+    let scenario = Scenario::smoke(seed);
+    let site = &scenario.websites[0];
+    let client_addr = Ipv4Addr::new(10, 10, 1, 2);
+
+    let mut sim = Simulation::new(seed);
+    // Fetch 1 at t=0 carries the keyword (censored). Fetch 2 at t=10 s is a
+    // clean request inside the blacklist window (still disrupted). Fetch 3
+    // at t=95 s is after expiry (succeeds).
+    let (d1, _r1) = HttpClientDriver::new(site.addr, 80, HttpRequest::get("/search?q=ultrasurf", &site.name));
+    let (d2, _r2) = HttpClientDriver::new(site.addr, 80, HttpRequest::get("/clean.html", &site.name));
+    let d2 = d2.starting_at(Instant(10_000_000));
+    let (d3, r3) = HttpClientDriver::new(site.addr, 80, HttpRequest::get("/clean.html", &site.name));
+    let d3 = d3.starting_at(Instant(95_000_000));
+    let multi = MultiDriver(vec![Box::new(d1), Box::new(d2), Box::new(d3)]);
+    let (_cidx, _ch) = add_host(&mut sim, "client", client_addr, StackProfile::linux_4_4(), Box::new(multi), Direction::ToServer);
+    // HttpClientDriver has no periodic wakeup; kick the delayed fetches.
+    sim.schedule_timer(0, Instant(10_000_000), 1);
+    sim.schedule_timer(0, Instant(95_000_000), 1);
+
+    sim.add_link(Link::new(Duration::from_micros(50), 0));
+    let (tap, tap_handle) = RecorderTap::new("client-tap");
+    sim.add_element(Box::new(tap));
+
+    sim.add_link(Link::new(Duration::from_millis(5), 4));
+    let mut cfg = intang_gfw::GfwConfig::evolved();
+    cfg.overload_miss_prob = 0.0;
+    let (gfw, gfw_handle) = GfwElement::new(cfg);
+    sim.add_element(Box::new(gfw));
+
+    sim.add_link(Link::new(Duration::from_millis(10), 5));
+    let (_i, sh) = add_host(&mut sim, "server", site.addr, StackProfile::linux_4_4(), Box::new(HttpServerDriver::new(80)), Direction::ToClient);
+    sh.with_tcp(|t| t.listen(80));
+
+    sim.run_until(Instant(110_000_000));
+
+    let mut type1 = Vec::new();
+    let mut type2 = Vec::new();
+    for c in tap_handle.captures() {
+        if c.dir != Direction::ToClient {
+            continue;
+        }
+        let Ok(ip) = Ipv4Packet::new_checked(&c.wire[..]) else { continue };
+        let Ok(t) = TcpPacket::new_checked(ip.payload()) else { continue };
+        if t.flags() == TcpFlags::RST {
+            type1.push((ip.ttl(), t.window(), t.seq_number()));
+        } else if t.flags() == TcpFlags::RST_ACK {
+            type2.push((ip.ttl(), t.window(), t.seq_number()));
+        }
+    }
+    let late_success = r3.borrow().succeeded();
+    FingerprintRun {
+        type1,
+        type2,
+        forged_synacks: gfw_handle.forged_synacks(),
+        blacklist_hits: gfw_handle.blacklist_hits(),
+        late_success,
+    }
+}
+
+pub fn run(args: &CommonArgs) -> String {
+    let fp = run_fingerprint(args.seed);
+    let mut out = String::from("== §2.1 reset fingerprinting (observed at the client) ==\n");
+    out.push_str(&format!("type-1 bare RSTs seen : {}\n", fp.type1.len()));
+    for (ttl, win, seq) in fp.type1.iter().take(4) {
+        out.push_str(&format!("   RST      ttl={ttl:<4} window={win:<6} seq={seq}\n"));
+    }
+    out.push_str(&format!("type-2 RST/ACKs seen  : {}\n", fp.type2.len()));
+    for (ttl, win, seq) in fp.type2.iter().take(6) {
+        out.push_str(&format!("   RST/ACK  ttl={ttl:<4} window={win:<6} seq={seq}\n"));
+    }
+    if fp.type2.len() >= 3 {
+        let s0 = fp.type2[0].2;
+        let offs: Vec<u32> = fp.type2.iter().take(3).map(|x| x.2.wrapping_sub(s0)).collect();
+        out.push_str(&format!("type-2 burst seq offsets: {:?} (paper: [0, 1460, 4380])\n", offs));
+        let ttls: Vec<u8> = fp.type2.iter().map(|x| x.0).collect();
+        let cyclic = ttls.windows(2).all(|w| w[1] > w[0]);
+        out.push_str(&format!("type-2 TTLs cyclically increasing: {}\n", cyclic));
+    }
+    out.push_str(&format!(
+        "blacklist: {} packets disrupted during the 90 s window; forged SYN/ACKs injected: {}\n",
+        fp.blacklist_hits, fp.forged_synacks
+    ));
+    out.push_str(&format!("fetch after blacklist expiry (t=95 s) succeeded: {}\n", fp.late_success));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprints_match_section_2_1() {
+        let out = run(&CommonArgs::from_iter(Vec::new()));
+        assert!(out.contains("[0, 1460, 4380]"), "{out}");
+        assert!(out.contains("cyclically increasing: true"), "{out}");
+        assert!(out.contains("succeeded: true"), "{out}");
+        let fp = run_fingerprint(2017);
+        assert!(!fp.type1.is_empty());
+        assert!(fp.type2.len() >= 3);
+        assert!(fp.forged_synacks >= 1, "the in-blacklist SYN drew a forged SYN/ACK");
+        assert!(fp.blacklist_hits >= 1);
+    }
+}

@@ -1,0 +1,163 @@
+//! Table 2: client-side middlebox behaviors, reproduced by probing each
+//! vantage-point profile with the five packet types the paper lists and
+//! classifying what reaches a controlled server.
+
+use crate::args::CommonArgs;
+use crate::report::Table;
+use crate::tap::RecorderTap;
+use intang_middlebox::{FieldFilter, FragmentHandler, ClientSideProfile};
+use intang_netsim::element::PassThrough;
+use intang_netsim::{Direction, Duration, Instant, Link, Simulation};
+use intang_packet::{frag, Ipv4Packet, PacketBuilder, TcpFlags, Wire};
+use std::net::Ipv4Addr;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeKind {
+    IpFragments,
+    WrongChecksum,
+    NoFlag,
+    Rst,
+    Fin,
+}
+
+impl ProbeKind {
+    pub fn all() -> [ProbeKind; 5] {
+        [ProbeKind::IpFragments, ProbeKind::WrongChecksum, ProbeKind::NoFlag, ProbeKind::Rst, ProbeKind::Fin]
+    }
+
+    pub fn label(self) -> &'static str {
+        match self {
+            ProbeKind::IpFragments => "IP fragments",
+            ProbeKind::WrongChecksum => "Wrong TCP checksum",
+            ProbeKind::NoFlag => "No TCP flag",
+            ProbeKind::Rst => "RST packets",
+            ProbeKind::Fin => "FIN packets",
+        }
+    }
+}
+
+/// Classified behavior, with Table 2's vocabulary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Behavior {
+    Pass,
+    Dropped,
+    SometimesDropped,
+    Reassembled,
+}
+
+impl Behavior {
+    pub fn label(self) -> &'static str {
+        match self {
+            Behavior::Pass => "Pass",
+            Behavior::Dropped => "Discarded",
+            Behavior::SometimesDropped => "Sometimes dropped",
+            Behavior::Reassembled => "Reassembled",
+        }
+    }
+}
+
+fn probe_wires(kind: ProbeKind, i: u16) -> Vec<Wire> {
+    let c = Ipv4Addr::new(10, 0, 0, 1);
+    let s = Ipv4Addr::new(203, 0, 113, 80);
+    let base = PacketBuilder::tcp(c, s, 40_000 + i, 80).seq(1000).ack(2000);
+    match kind {
+        ProbeKind::IpFragments => {
+            let whole = base.flags(TcpFlags::PSH_ACK).payload(&[0x55; 64]).ident(100 + i).build();
+            frag::fragment_at(&whole, &[32])
+        }
+        ProbeKind::WrongChecksum => vec![base.flags(TcpFlags::PSH_ACK).payload(b"probe").bad_checksum().build()],
+        ProbeKind::NoFlag => vec![base.flags(TcpFlags::NONE).payload(b"probe").build()],
+        ProbeKind::Rst => vec![base.flags(TcpFlags::RST).build()],
+        ProbeKind::Fin => vec![base.flags(TcpFlags::FIN).build()],
+    }
+}
+
+/// Send `repeats` probes of `kind` through `profile`'s middlebox chain and
+/// classify what arrives.
+pub fn probe_profile(profile: ClientSideProfile, kind: ProbeKind, repeats: u16, seed: u64) -> Behavior {
+    let mut sim = Simulation::new(seed);
+    sim.add_element(Box::new(PassThrough::new("client")));
+    sim.add_link(Link::new(Duration::from_micros(100), 0));
+    sim.add_element(Box::new(FragmentHandler::new(profile.label(), profile.fragment_mode())));
+    sim.add_link(Link::new(Duration::from_micros(100), 0));
+    sim.add_element(Box::new(FieldFilter::new(profile.label(), profile.filter_spec())));
+    sim.add_link(Link::new(Duration::from_micros(100), 0));
+    let (tap, handle) = RecorderTap::new("server-side");
+    sim.add_element(Box::new(tap));
+
+    let mut sent_groups = 0u32;
+    for i in 0..repeats {
+        for w in probe_wires(kind, i) {
+            sim.inject_at(0, Direction::ToServer, w, Instant(u64::from(i) * 10_000));
+        }
+        sent_groups += 1;
+    }
+    sim.run_to_quiescence(100_000);
+
+    let caps = handle.captures();
+    if kind == ProbeKind::IpFragments {
+        let whole = caps
+            .iter()
+            .filter(|c| Ipv4Packet::new_checked(&c.wire[..]).map(|p| !p.is_fragment()).unwrap_or(false))
+            .count() as u32;
+        let frags = caps.len() as u32 - whole;
+        if whole >= sent_groups * 9 / 10 {
+            return Behavior::Reassembled;
+        }
+        if frags == 0 && whole == 0 {
+            return Behavior::Dropped;
+        }
+        return Behavior::Pass;
+    }
+    let arrived = caps.len() as u32;
+    let rate = f64::from(arrived) / f64::from(sent_groups);
+    if rate > 0.95 {
+        Behavior::Pass
+    } else if rate < 0.05 {
+        Behavior::Dropped
+    } else {
+        Behavior::SometimesDropped
+    }
+}
+
+pub fn run(args: &CommonArgs) -> String {
+    let repeats = args.trials_or(40) as u16;
+    let mut t = Table::new(
+        &format!("Table 2 — client-side middlebox behaviors ({repeats} probes per cell)"),
+        &["Packet Type", "Aliyun(6/11)", "QCloud(3/11)", "Unicom SJZ(1/11)", "Unicom TJ(1/11)"],
+    );
+    for kind in ProbeKind::all() {
+        let mut cells = vec![kind.label().to_string()];
+        for profile in ClientSideProfile::all_paper_profiles() {
+            cells.push(probe_profile(profile, kind, repeats, args.seed).label().to_string());
+        }
+        t.row(cells);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_table2_exactly() {
+        use Behavior::*;
+        use ClientSideProfile::*;
+        use ProbeKind::*;
+        let expect: [(ProbeKind, [Behavior; 4]); 5] = [
+            (IpFragments, [Dropped, Reassembled, Reassembled, Reassembled]),
+            (WrongChecksum, [Pass, Pass, Pass, Dropped]),
+            (NoFlag, [Pass, Pass, Pass, Dropped]),
+            (Rst, [Pass, SometimesDropped, Pass, Pass]),
+            (Fin, [SometimesDropped, Pass, Dropped, Dropped]),
+        ];
+        let profiles = [Aliyun, QCloud, UnicomShijiazhuang, UnicomTianjin];
+        for (kind, row) in expect {
+            for (profile, want) in profiles.iter().zip(row) {
+                let got = probe_profile(*profile, kind, 60, 99);
+                assert_eq!(got, want, "{kind:?} via {profile:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Table 4: the improved/new strategies plus INTANG's adaptive mode,
+//! inside China (11 vp × 77 sites) and outside China (4 vp × 33 sites),
+//! reported as min/max/avg across vantage points.
+
+use crate::args::CommonArgs;
+use crate::report::{pct, Table};
+use crate::runner::{min_max_avg, sweep, Aggregate, SweepConfig};
+use crate::scenario::Scenario;
+use intang_core::StrategyKind;
+
+/// (label, strategy or None=adaptive, paper's inside avg S/F1/F2,
+/// paper's outside avg S/F1/F2 or None for the INTANG row).
+pub fn rows() -> Vec<(&'static str, Option<StrategyKind>, [f64; 3], Option<[f64; 3]>)> {
+    vec![
+        ("Improved TCB Teardown", Some(StrategyKind::ImprovedTeardown), [0.958, 0.031, 0.011], Some([0.898, 0.068, 0.035])),
+        (
+            "Improved In-order Data Overlapping",
+            Some(StrategyKind::ImprovedInOrderOverlap),
+            [0.945, 0.044, 0.011],
+            Some([0.927, 0.036, 0.037]),
+        ),
+        (
+            "TCB Creation + Resync/Desync",
+            Some(StrategyKind::TcbCreationResyncDesync),
+            [0.956, 0.033, 0.011],
+            Some([0.846, 0.129, 0.026]),
+        ),
+        (
+            "TCB Teardown + TCB Reversal",
+            Some(StrategyKind::TeardownTcbReversal),
+            [0.962, 0.026, 0.011],
+            Some([0.895, 0.071, 0.033]),
+        ),
+        ("INTANG Performance (adaptive)", None, [0.983, 0.009, 0.006], None),
+    ]
+}
+
+fn render_block(out: &mut String, title: &str, scenario: &Scenario, trials: u32, seed: u64, outside: bool) {
+    let mut t = Table::new(
+        &format!("{title} — {} vp x {} sites x {} trials (paper avg in parentheses)", scenario.vantage_points.len(), scenario.websites.len(), trials),
+        &["Strategy", "Success min", "Success max", "Success avg", "F1 avg", "F2 avg"],
+    );
+    for (label, kind, paper_inside, paper_outside) in rows() {
+        if outside && paper_outside.is_none() {
+            continue; // the paper reports the INTANG row inside China only
+        }
+        let paper = if outside { paper_outside.unwrap() } else { paper_inside };
+        let rows = sweep(scenario, &SweepConfig::new(kind, true, trials, seed));
+        let s = min_max_avg(&rows, Aggregate::success_rate);
+        let f1 = min_max_avg(&rows, Aggregate::failure1_rate);
+        let f2 = min_max_avg(&rows, Aggregate::failure2_rate);
+        t.row(vec![
+            label.to_string(),
+            pct(s.min),
+            pct(s.max),
+            format!("{} ({})", pct(s.avg), pct(paper[0])),
+            format!("{} ({})", pct(f1.avg), pct(paper[1])),
+            format!("{} ({})", pct(f2.avg), pct(paper[2])),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push('\n');
+}
+
+pub fn run(args: &CommonArgs) -> String {
+    let trials = args.trials_or(8);
+    let mut out = String::new();
+    let inside = if args.quick { Scenario::smoke(args.seed) } else { Scenario::paper_inside(args.seed) };
+    render_block(&mut out, "Table 4 (inside China)", &inside, trials, args.seed, false);
+    let mut outside = Scenario::paper_outside(args.seed);
+    if args.quick {
+        outside.vantage_points.truncate(2);
+        outside.websites.truncate(5);
+    }
+    render_block(&mut out, "Table 4 (outside China)", &outside, trials, args.seed ^ 0x77, true);
+    out
+}

@@ -1,0 +1,87 @@
+//! Table 5: preferred construction of insertion packets — which
+//! discrepancy is usable for which packet type, validated three ways:
+//! the Table 5 whitelist itself, server-side safety (the server must
+//! ignore or at worst be unaffected), and middlebox survivability.
+
+use crate::args::CommonArgs;
+use crate::report::Table;
+use intang_core::insertion::{Discrepancy, InsertionKind, InsertionSpec};
+use intang_middlebox::filter::drop_probability;
+use intang_middlebox::ClientSideProfile;
+use std::net::Ipv4Addr;
+
+fn spec(kind: InsertionKind, disc: Discrepancy) -> InsertionSpec {
+    InsertionSpec {
+        src: Ipv4Addr::new(10, 0, 0, 1),
+        dst: Ipv4Addr::new(203, 0, 113, 80),
+        src_port: 40_000,
+        dst_port: 80,
+        kind,
+        seq: 1000,
+        ack: 2000,
+        payload: if kind == InsertionKind::Data { vec![b'J'; 8] } else { Vec::new() },
+        disc,
+        ttl_limit: Some(9),
+    }
+}
+
+/// Does any Table 2 middlebox profile drop this wire?
+fn middlebox_safe(wire: &[u8]) -> bool {
+    ClientSideProfile::all_paper_profiles()
+        .into_iter()
+        .all(|p| drop_probability(&p.filter_spec(), wire) == 0.0)
+}
+
+pub fn run(_args: &CommonArgs) -> String {
+    let kinds = [
+        ("SYN", InsertionKind::Syn),
+        ("RST", InsertionKind::Rst),
+        ("Data", InsertionKind::Data),
+    ];
+    let discs = [
+        ("TTL", Discrepancy::SmallTtl),
+        ("MD5", Discrepancy::Md5Option),
+        ("Bad ACK", Discrepancy::BadAck),
+        ("Timestamp", Discrepancy::OldTimestamp),
+    ];
+    let mut t = Table::new(
+        "Table 5 — preferred construction of insertion packets (check = whitelisted; * = would be dropped by some middlebox)",
+        &["Packet Type", "TTL", "MD5", "Bad ACK", "Timestamp"],
+    );
+    for (klabel, kind) in kinds {
+        let mut row = vec![klabel.to_string()];
+        for (_dlabel, disc) in discs {
+            let s = spec(kind, disc);
+            let mut cell = if s.is_preferred() { "yes".to_string() } else { "-".to_string() };
+            if s.is_preferred() && disc != Discrepancy::SmallTtl && !middlebox_safe(&s.build()) {
+                cell.push('*');
+            }
+            row.push(cell);
+        }
+        t.row(row);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_matches_paper_table5() {
+        let out = run(&CommonArgs::from_iter(Vec::new()));
+        let lines: Vec<&str> = out.lines().collect();
+        let syn = lines.iter().find(|l| l.starts_with("SYN")).unwrap();
+        let rst = lines.iter().find(|l| l.starts_with("RST")).unwrap();
+        let data = lines.iter().find(|l| l.starts_with("Data")).unwrap();
+        assert_eq!(syn.matches("yes").count(), 1, "SYN: TTL only");
+        assert_eq!(rst.matches("yes").count(), 2, "RST: TTL + MD5");
+        assert_eq!(data.matches("yes").count(), 4, "Data: all four");
+        // §5.3: the discrepancy fields themselves are never filtered — the
+        // data row carries no middlebox caveat. (An RST-flagged insertion
+        // can still be caught by QCloud's occasional RST dropping, which is
+        // about the flag, not the MD5 option.)
+        assert!(!data.contains('*'), "data-row discrepancies are middlebox-safe: {data}");
+        assert!(!syn.contains('*'));
+    }
+}

@@ -1,0 +1,33 @@
+//! # intang-experiments
+//!
+//! Scenario construction and trial execution for every table and figure in
+//! the paper's evaluation:
+//!
+//! * [`scenario`] — the 11 Chinese vantage points (Table 2 middlebox
+//!   profiles, ISPs, Tor-filtering geography) and deterministic synthetic
+//!   website populations standing in for the Alexa-derived 77-site /
+//!   33-site datasets;
+//! * [`trial`] — assembles one client→middleboxes→GFW→server simulation,
+//!   runs a fetch, and classifies the outcome with the paper's
+//!   Success / Failure 1 / Failure 2 taxonomy (§3.4);
+//! * [`runner`] — repeated-trial sweeps with per-strategy aggregation and
+//!   min/max/avg across vantage points (Table 4's presentation);
+//! * [`report`] — text/markdown table rendering.
+//!
+//! The binaries (`table1` … `table6`, `hypotheses`, `figures`, `tor_vpn`,
+//! `reset_fingerprint`, `all`) regenerate each artifact.
+
+pub mod args;
+pub mod report;
+pub mod runner;
+pub mod scenario;
+pub mod tap;
+pub mod trial;
+pub mod trial_dns;
+pub mod trial_tor;
+
+pub use runner::{sweep, Aggregate, SweepConfig};
+pub use scenario::{Scenario, VantagePoint, Website};
+pub use trial::{run_http_trial, Outcome, TrialSpec};
+
+pub mod exps;

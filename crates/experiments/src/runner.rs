@@ -1,0 +1,197 @@
+//! Sweep execution and aggregation.
+
+use crate::scenario::{Scenario, VantagePoint, Website};
+use crate::trial::{run_http_trial, Outcome, TrialSpec};
+use intang_core::select::History;
+use intang_core::StrategyKind;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Outcome counts.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct Aggregate {
+    pub success: u32,
+    pub failure1: u32,
+    pub failure2: u32,
+}
+
+impl Aggregate {
+    pub fn add(&mut self, o: Outcome) {
+        match o {
+            Outcome::Success => self.success += 1,
+            Outcome::Failure1 => self.failure1 += 1,
+            Outcome::Failure2 => self.failure2 += 1,
+        }
+    }
+
+    pub fn merge(&mut self, other: Aggregate) {
+        self.success += other.success;
+        self.failure1 += other.failure1;
+        self.failure2 += other.failure2;
+    }
+
+    pub fn total(&self) -> u32 {
+        self.success + self.failure1 + self.failure2
+    }
+
+    pub fn success_rate(&self) -> f64 {
+        f64::from(self.success) / f64::from(self.total().max(1))
+    }
+
+    pub fn failure1_rate(&self) -> f64 {
+        f64::from(self.failure1) / f64::from(self.total().max(1))
+    }
+
+    pub fn failure2_rate(&self) -> f64 {
+        f64::from(self.failure2) / f64::from(self.total().max(1))
+    }
+}
+
+/// Sweep parameters.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Fixed strategy; None = INTANG adaptive mode (history persists across
+    /// the repeated trials toward each site).
+    pub strategy: Option<StrategyKind>,
+    pub keyword: bool,
+    pub trials: u32,
+    pub redundancy: u32,
+    pub master_seed: u64,
+    pub route_change_prob: f64,
+}
+
+impl SweepConfig {
+    pub fn new(strategy: Option<StrategyKind>, keyword: bool, trials: u32, master_seed: u64) -> SweepConfig {
+        SweepConfig { strategy, keyword, trials, redundancy: 3, master_seed, route_change_prob: 0.12 }
+    }
+}
+
+fn trial_seed(master: u64, vp_idx: usize, site_idx: usize, trial: u32, keyword: bool) -> u64 {
+    // SplitMix-style hash for independent streams.
+    let mut z = master
+        ^ (vp_idx as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        ^ (site_idx as u64).wrapping_mul(0xbf58_476d_1ce4_e5b9)
+        ^ (u64::from(trial)).wrapping_mul(0x94d0_49bb_1331_11eb)
+        ^ u64::from(keyword) << 63;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Run `cfg.trials` trials of one (vantage point, site) cell.
+pub fn run_cell(vp: &VantagePoint, vp_idx: usize, site: &Website, site_idx: usize, cfg: &SweepConfig) -> Aggregate {
+    let mut agg = Aggregate::default();
+    // Adaptive mode: one history per (vantage point, site), shared across
+    // the repeated trials — this is how INTANG converges (§6).
+    let history = if cfg.strategy.is_none() { Some(Rc::new(RefCell::new(History::new()))) } else { None };
+    for t in 0..cfg.trials {
+        let mut spec = TrialSpec::new(vp, site, cfg.strategy, cfg.keyword, trial_seed(cfg.master_seed, vp_idx, site_idx, t, cfg.keyword));
+        spec.redundancy = cfg.redundancy;
+        spec.history = history.clone();
+        spec.route_change_prob = cfg.route_change_prob;
+        agg.add(run_http_trial(&spec).outcome);
+    }
+    agg
+}
+
+/// Per-vantage-point aggregates over all sites (parallel across vantage
+/// points).
+pub fn sweep(scenario: &Scenario, cfg: &SweepConfig) -> Vec<(String, Aggregate)> {
+    let mut out: Vec<(String, Aggregate)> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = scenario
+            .vantage_points
+            .iter()
+            .enumerate()
+            .map(|(vp_idx, vp)| {
+                let cfg = cfg.clone();
+                let websites = &scenario.websites;
+                scope.spawn(move || {
+                    let mut agg = Aggregate::default();
+                    for (site_idx, site) in websites.iter().enumerate() {
+                        agg.merge(run_cell(vp, vp_idx, site, site_idx, &cfg));
+                    }
+                    (vp.name.to_string(), agg)
+                })
+            })
+            .collect();
+        for h in handles {
+            out.push(h.join().expect("sweep thread panicked"));
+        }
+    });
+    out
+}
+
+/// Collapse per-vantage-point aggregates into one row.
+pub fn overall(rows: &[(String, Aggregate)]) -> Aggregate {
+    let mut total = Aggregate::default();
+    for (_, a) in rows {
+        total.merge(*a);
+    }
+    total
+}
+
+/// Min/max/avg success, failure1, failure2 rates across vantage points —
+/// Table 4's presentation.
+#[derive(Debug, Clone, Copy)]
+pub struct MinMaxAvg {
+    pub min: f64,
+    pub max: f64,
+    pub avg: f64,
+}
+
+pub fn min_max_avg(rows: &[(String, Aggregate)], f: impl Fn(&Aggregate) -> f64) -> MinMaxAvg {
+    let vals: Vec<f64> = rows.iter().map(|(_, a)| f(a)).collect();
+    let min = vals.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = vals.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let avg = vals.iter().sum::<f64>() / vals.len().max(1) as f64;
+    MinMaxAvg { min, max, avg }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregate_arithmetic() {
+        let mut a = Aggregate::default();
+        a.add(Outcome::Success);
+        a.add(Outcome::Success);
+        a.add(Outcome::Failure1);
+        a.add(Outcome::Failure2);
+        assert_eq!(a.total(), 4);
+        assert!((a.success_rate() - 0.5).abs() < 1e-9);
+        assert!((a.failure1_rate() - 0.25).abs() < 1e-9);
+        let mut b = Aggregate::default();
+        b.add(Outcome::Failure2);
+        a.merge(b);
+        assert_eq!(a.failure2, 2);
+    }
+
+    #[test]
+    fn seeds_are_distinct_across_cells() {
+        let mut seeds = vec![
+            trial_seed(1, 0, 0, 0, true),
+            trial_seed(1, 1, 0, 0, true),
+            trial_seed(1, 0, 1, 0, true),
+            trial_seed(1, 0, 0, 1, true),
+            trial_seed(1, 0, 0, 0, false),
+            trial_seed(2, 0, 0, 0, true),
+        ];
+        seeds.sort();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 6);
+    }
+
+    #[test]
+    fn min_max_avg_works() {
+        let rows = vec![
+            ("a".to_string(), Aggregate { success: 9, failure1: 1, failure2: 0 }),
+            ("b".to_string(), Aggregate { success: 5, failure1: 5, failure2: 0 }),
+        ];
+        let m = min_max_avg(&rows, Aggregate::success_rate);
+        assert!((m.min - 0.5).abs() < 1e-9);
+        assert!((m.max - 0.9).abs() < 1e-9);
+        assert!((m.avg - 0.7).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,188 @@
+//! Tor-bridge and VPN trials (§7.3).
+
+use crate::scenario::VantagePoint;
+use intang_apps::host::add_host;
+use intang_apps::tor::{TorBridgeDriver, TorClientDriver};
+use intang_apps::vpn::{VpnClientDriver, VpnServerDriver};
+use intang_core::{IntangConfig, IntangElement, StrategyKind};
+use intang_gfw::{GfwConfig, GfwElement, GfwHandle};
+use intang_middlebox::{FieldFilter, FragmentHandler};
+use intang_netsim::{Direction, Duration, Instant, Link, Simulation};
+use intang_tcpstack::StackProfile;
+use std::net::Ipv4Addr;
+
+/// A hidden bridge on EC2 (US), as in §7.3.
+pub const BRIDGE_ADDR: Ipv4Addr = Ipv4Addr::new(54, 210, 77, 7);
+pub const BRIDGE_PORT: u16 = 443;
+pub const VPN_ADDR: Ipv4Addr = Ipv4Addr::new(203, 0, 113, 200);
+
+/// What happened to the Tor session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TorOutcome {
+    /// Handshake + all cells exchanged; bridge not blocked.
+    Working,
+    /// The censor blocked the bridge IP (active probing confirmed it).
+    IpBlocked,
+    /// Connection reset or stalled without an IP block.
+    Disrupted,
+}
+
+pub struct TorTrialSpec<'a> {
+    pub vp: &'a VantagePoint,
+    /// Protect the session with INTANG's improved teardown strategy.
+    pub use_intang: bool,
+    pub seed: u64,
+    pub cells: u32,
+}
+
+pub fn run_tor_trial(spec: &TorTrialSpec<'_>) -> (TorOutcome, GfwHandle) {
+    let vp = spec.vp;
+    let mut sim = Simulation::new(spec.seed);
+
+    let (driver, report) = TorClientDriver::new(BRIDGE_ADDR, BRIDGE_PORT, spec.cells);
+    add_host(&mut sim, "tor-client", vp.addr, StackProfile::linux_4_4(), Box::new(driver), Direction::ToServer);
+
+    sim.add_link(Link::new(Duration::from_micros(50), 0));
+    let cfg = IntangConfig {
+        strategy: Some(if spec.use_intang { StrategyKind::ImprovedTeardown } else { StrategyKind::NoStrategy }),
+        measure_hops: spec.use_intang,
+        ..IntangConfig::default()
+    };
+    let (intang_el, _h) = IntangElement::new(vp.addr, cfg);
+    sim.add_element(Box::new(intang_el));
+
+    sim.add_link(Link::new(Duration::from_millis(1), vp.access_hops));
+    sim.add_element(Box::new(FragmentHandler::new(vp.profile.label(), vp.profile.fragment_mode())));
+    sim.add_link(Link::new(Duration::from_micros(100), 0));
+    sim.add_element(Box::new(FieldFilter::new(vp.profile.label(), vp.profile.filter_spec())));
+
+    sim.add_link(Link::new(Duration::from_millis(10), 7).with_loss(0.003));
+    let mut gcfg = GfwConfig::evolved();
+    gcfg.tor_filter = vp.tor_filtered;
+    let (gfw, handle) = GfwElement::new(gcfg);
+    sim.add_element(Box::new(gfw));
+
+    // Transpacific haul to the EC2 bridge.
+    sim.add_link(Link::new(Duration::from_millis(70), 9).with_loss(0.003));
+    let bridge = TorBridgeDriver::new(BRIDGE_PORT);
+    let (_i, bh) = add_host(&mut sim, "bridge", BRIDGE_ADDR, StackProfile::linux_4_4(), Box::new(bridge), Direction::ToClient);
+    bh.with_tcp(|t| t.listen(BRIDGE_PORT));
+
+    sim.run_until(Instant(60_000_000));
+    let rep = report.borrow();
+    let outcome = if handle.ip_blocked(BRIDGE_ADDR) {
+        TorOutcome::IpBlocked
+    } else if rep.handshake_complete && rep.cells_acked >= spec.cells && !rep.reset {
+        TorOutcome::Working
+    } else {
+        TorOutcome::Disrupted
+    };
+    (outcome, handle)
+}
+
+/// VPN trial outcome: did the tunnel come up and stay up?
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VpnOutcome {
+    TunnelUp,
+    ResetDuringHandshake,
+    Failed,
+}
+
+pub struct VpnTrialSpec<'a> {
+    pub vp: &'a VantagePoint,
+    /// The censor's DPI-reset regime for OpenVPN (on in Nov 2016, later
+    /// discontinued — §7.3).
+    pub vpn_dpi: bool,
+    pub use_intang: bool,
+    pub seed: u64,
+}
+
+pub fn run_vpn_trial(spec: &VpnTrialSpec<'_>) -> VpnOutcome {
+    let vp = spec.vp;
+    let mut sim = Simulation::new(spec.seed);
+
+    let (driver, report) = VpnClientDriver::new(VPN_ADDR, 1194, 3);
+    add_host(&mut sim, "vpn-client", vp.addr, StackProfile::linux_4_4(), Box::new(driver), Direction::ToServer);
+
+    sim.add_link(Link::new(Duration::from_micros(50), 0));
+    let cfg = IntangConfig {
+        strategy: Some(if spec.use_intang { StrategyKind::ImprovedTeardown } else { StrategyKind::NoStrategy }),
+        measure_hops: spec.use_intang,
+        ..IntangConfig::default()
+    };
+    let (intang_el, _h) = IntangElement::new(vp.addr, cfg);
+    sim.add_element(Box::new(intang_el));
+
+    sim.add_link(Link::new(Duration::from_millis(2), vp.access_hops));
+    let mut gcfg = GfwConfig::evolved();
+    gcfg.vpn_dpi = spec.vpn_dpi;
+    let (gfw, _handle) = GfwElement::new(gcfg);
+    sim.add_element(Box::new(gfw));
+
+    sim.add_link(Link::new(Duration::from_millis(20), 8).with_loss(0.003));
+    let (_i, sh) = add_host(&mut sim, "vpn-server", VPN_ADDR, StackProfile::linux_4_4(), Box::new(VpnServerDriver::new()), Direction::ToClient);
+    sh.with_tcp(|t| t.listen(1194));
+
+    sim.run_until(Instant(30_000_000));
+    let rep = report.borrow();
+    if rep.tunnel_up && rep.records_echoed >= 3 && !rep.reset {
+        VpnOutcome::TunnelUp
+    } else if rep.reset {
+        VpnOutcome::ResetDuringHandshake
+    } else {
+        VpnOutcome::Failed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Scenario;
+
+    #[test]
+    fn unfiltered_northern_paths_run_tor_freely() {
+        let s = Scenario::paper_inside(9);
+        let vp = s.vantage_points.iter().find(|v| !v.tor_filtered).unwrap();
+        let (outcome, handle) = run_tor_trial(&TorTrialSpec { vp, use_intang: false, seed: 11, cells: 3 });
+        assert_eq!(outcome, TorOutcome::Working);
+        assert_eq!(handle.probes_launched(), 0, "no Tor-filtering devices on this path");
+    }
+
+    #[test]
+    fn filtered_paths_get_actively_probed_and_ip_blocked() {
+        let s = Scenario::paper_inside(9);
+        let vp = s.vantage_points.iter().find(|v| v.tor_filtered).unwrap();
+        let (outcome, handle) = run_tor_trial(&TorTrialSpec { vp, use_intang: false, seed: 12, cells: 3 });
+        assert_eq!(outcome, TorOutcome::IpBlocked, "probing confirms the bridge and blocks its IP");
+        assert!(handle.probes_launched() >= 1);
+    }
+
+    #[test]
+    fn intang_hides_tor_from_filtered_paths() {
+        let s = Scenario::paper_inside(9);
+        let vp = s.vantage_points.iter().find(|v| v.tor_filtered).unwrap();
+        let (outcome, handle) = run_tor_trial(&TorTrialSpec { vp, use_intang: true, seed: 13, cells: 3 });
+        assert_eq!(outcome, TorOutcome::Working, "teardown blinds the fingerprinter");
+        assert_eq!(handle.probes_launched(), 0);
+    }
+
+    #[test]
+    fn vpn_dpi_regime_resets_unprotected_handshakes() {
+        let s = Scenario::paper_inside(9);
+        let vp = &s.vantage_points[0];
+        assert_eq!(
+            run_vpn_trial(&VpnTrialSpec { vp, vpn_dpi: true, use_intang: false, seed: 14 }),
+            VpnOutcome::ResetDuringHandshake
+        );
+        assert_eq!(
+            run_vpn_trial(&VpnTrialSpec { vp, vpn_dpi: true, use_intang: true, seed: 15 }),
+            VpnOutcome::TunnelUp,
+            "INTANG keeps openvpn-over-TCP alive under the 2016 regime"
+        );
+        assert_eq!(
+            run_vpn_trial(&VpnTrialSpec { vp, vpn_dpi: false, use_intang: false, seed: 16 }),
+            VpnOutcome::TunnelUp,
+            "after the regime change plain VPN works again"
+        );
+    }
+}

@@ -1,0 +1,98 @@
+//! The 90-second host-pair blacklist (§2.1): after a detection, any SYN
+//! between the two hosts draws a forged SYN/ACK (type-2 only) and any other
+//! packet draws fresh RST + RST/ACK injections until the period lapses.
+
+use intang_netsim::{Duration, Instant};
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// Pair blacklist with expiry.
+#[derive(Debug, Default)]
+pub struct Blacklist {
+    entries: HashMap<(Ipv4Addr, Ipv4Addr), Instant>,
+}
+
+fn key(a: Ipv4Addr, b: Ipv4Addr) -> (Ipv4Addr, Ipv4Addr) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+impl Blacklist {
+    pub fn new() -> Blacklist {
+        Blacklist::default()
+    }
+
+    /// Blacklist the host pair until `now + duration` (extends on repeat
+    /// detections).
+    pub fn add(&mut self, a: Ipv4Addr, b: Ipv4Addr, now: Instant, duration: Duration) {
+        let until = now + duration;
+        let e = self.entries.entry(key(a, b)).or_insert(until);
+        if *e < until {
+            *e = until;
+        }
+    }
+
+    /// Is the pair currently blacklisted? Expired entries are pruned lazily.
+    pub fn contains(&mut self, a: Ipv4Addr, b: Ipv4Addr, now: Instant) -> bool {
+        let k = key(a, b);
+        match self.entries.get(&k) {
+            Some(&until) if until > now => true,
+            Some(_) => {
+                self.entries.remove(&k);
+                false
+            }
+            None => false,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a() -> Ipv4Addr {
+        Ipv4Addr::new(10, 0, 0, 1)
+    }
+    fn b() -> Ipv4Addr {
+        Ipv4Addr::new(93, 184, 216, 34)
+    }
+
+    #[test]
+    fn symmetric_and_expiring() {
+        let mut bl = Blacklist::new();
+        bl.add(a(), b(), Instant::ZERO, Duration::from_secs(90));
+        assert!(bl.contains(a(), b(), Instant(1)));
+        assert!(bl.contains(b(), a(), Instant(1)), "order-independent");
+        assert!(bl.contains(a(), b(), Instant(89_999_999)));
+        assert!(!bl.contains(a(), b(), Instant(90_000_001)));
+        assert!(bl.is_empty(), "expired entry pruned");
+    }
+
+    #[test]
+    fn repeat_detection_extends() {
+        let mut bl = Blacklist::new();
+        bl.add(a(), b(), Instant::ZERO, Duration::from_secs(90));
+        bl.add(a(), b(), Instant(60_000_000), Duration::from_secs(90));
+        assert!(bl.contains(a(), b(), Instant(100_000_000)));
+        assert_eq!(bl.len(), 1);
+    }
+
+    #[test]
+    fn earlier_expiry_does_not_shorten() {
+        let mut bl = Blacklist::new();
+        bl.add(a(), b(), Instant::ZERO, Duration::from_secs(90));
+        bl.add(a(), b(), Instant(1), Duration::from_secs(1));
+        assert!(bl.contains(a(), b(), Instant(50_000_000)));
+    }
+}

@@ -1,0 +1,173 @@
+//! Censor configuration: every behavioral knob of the two GFW generations,
+//! so heterogeneous per-path deployments (§8) can be expressed.
+
+use crate::dpi::RuleSet;
+use intang_netsim::Duration;
+use intang_tcpstack::reasm::SegmentOverlapPolicy;
+use intang_packet::frag::OverlapPolicy;
+
+/// Which generation of the GFW model a device implements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GfwGeneration {
+    /// The pre-2017 model of Khattak et al. ("Prior Assumptions 1–3"):
+    /// TCB on SYN only, first-SYN sequence wins, teardown on RST/RST-ACK/FIN.
+    Old,
+    /// The paper's evolved model ("Hypothesized New Behaviors 1–3"):
+    /// TCB also on SYN/ACK, resynchronization state, FIN ignored,
+    /// probabilistic RST teardown.
+    Evolved,
+}
+
+/// Full device/DPI configuration for a censor tap on one path.
+#[derive(Debug, Clone)]
+pub struct GfwConfig {
+    pub generation: GfwGeneration,
+    /// Type-1 instance present (single RST, per-packet scan).
+    pub type1: bool,
+    /// Type-2 instance present (3×RST/ACK, reassembly, blacklist).
+    pub type2: bool,
+
+    // ---- validation the GFW does NOT do (Table 3, right column) --------
+    /// Validate TCP checksums before processing (real GFW: no, §3.4).
+    pub validate_checksum: bool,
+    /// Reject segments with unsolicited MD5 options (real GFW: no).
+    pub check_md5: bool,
+    /// Validate ACK numbers (real GFW: no).
+    pub check_ack: bool,
+    /// Enforce PAWS-style timestamp freshness (real GFW: no).
+    pub check_timestamp: bool,
+    /// Reject datagrams whose IP total length exceeds the buffer (no).
+    pub validate_ip_total_len: bool,
+
+    // ---- stream semantics ----------------------------------------------
+    /// Overlap preference of the type-2 stream assembler. Khattak et al.
+    /// observed last-wins for TCP segments; parts of the evolved deployment
+    /// appear robust (first-wins), which the Table 1 failure rates of the
+    /// out-of-order TCP-segment strategy reflect.
+    pub segment_overlap: SegmentOverlapPolicy,
+    /// IP fragment overlap preference (first-wins per Khattak et al.).
+    pub ip_frag_overlap: OverlapPolicy,
+
+    // ---- evolved-model dynamics ------------------------------------------
+    /// Probability that an RST/RST-ACK seen *after* the handshake sends the
+    /// TCB to the resynchronization state instead of tearing it down
+    /// (Hypothesized New Behavior 3; path-sticky, ≈20 % in §3.4).
+    pub rst_resync_prob: f64,
+    /// Same, for RSTs seen between the SYN/ACK and the handshake ACK —
+    /// "way more frequent" per §4.
+    pub rst_resync_prob_handshake: f64,
+
+    // ---- censoring actions -------------------------------------------------
+    /// Per-connection probability that an overloaded censor misses the
+    /// stream entirely (the persistent ≈2.8 % no-strategy success, §3.4).
+    pub overload_miss_prob: f64,
+    /// Pair blacklist duration after a detection (90 s, §2.1).
+    pub blacklist_duration: Duration,
+    /// Injection reaction delay.
+    pub reaction_delay: Duration,
+    /// TCB table capacity. Tracking every flow is "costly" (§2.1); a full
+    /// table evicts the oldest TCB. Real deployments are huge, so the
+    /// default is effectively unbounded for trial-sized runs.
+    pub max_tcbs: usize,
+    /// Also censor server→client HTTP responses (rare paths, §3.3).
+    pub censor_responses: bool,
+
+    // ---- protocol-specific censorship -----------------------------------
+    /// Poison UDP DNS queries for blacklisted domains.
+    pub dns_poison: bool,
+    /// Tor-filtering devices present on this path (§7.3: absent on paths
+    /// from Northern China).
+    pub tor_filter: bool,
+    /// Active probing of suspected Tor bridges (then IP-level block).
+    pub active_probing: bool,
+    /// DPI-reset OpenVPN-over-TCP handshakes (observed Nov 2016, later
+    /// discontinued, §7.3).
+    pub vpn_dpi: bool,
+
+    pub rules: RuleSet,
+}
+
+impl GfwConfig {
+    /// The evolved model with the paper's default dynamics.
+    pub fn evolved() -> GfwConfig {
+        GfwConfig {
+            generation: GfwGeneration::Evolved,
+            type1: true,
+            type2: true,
+            validate_checksum: false,
+            check_md5: false,
+            check_ack: false,
+            check_timestamp: false,
+            validate_ip_total_len: false,
+            segment_overlap: SegmentOverlapPolicy::FirstWins,
+            ip_frag_overlap: OverlapPolicy::FirstWins,
+            rst_resync_prob: 0.2,
+            rst_resync_prob_handshake: 0.8,
+            overload_miss_prob: 0.028,
+            blacklist_duration: Duration::from_secs(90),
+            reaction_delay: Duration::from_millis(2),
+            max_tcbs: 1_000_000,
+            censor_responses: false,
+            dns_poison: true,
+            tor_filter: true,
+            active_probing: true,
+            vpn_dpi: false,
+            rules: RuleSet::paper_default(),
+        }
+    }
+
+    /// The prior (Khattak et al.) model: deterministic teardown semantics.
+    pub fn old() -> GfwConfig {
+        GfwConfig {
+            generation: GfwGeneration::Old,
+            segment_overlap: SegmentOverlapPolicy::LastWins,
+            rst_resync_prob: 0.0,
+            rst_resync_prob_handshake: 0.0,
+            ..GfwConfig::evolved()
+        }
+    }
+
+    /// Deterministic variant for unit tests: no overload misses, no
+    /// injection delay jitter.
+    pub fn deterministic(mut self) -> GfwConfig {
+        self.overload_miss_prob = 0.0;
+        self
+    }
+
+    pub fn with_rules(mut self, rules: RuleSet) -> GfwConfig {
+        self.rules = rules;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generations_differ_where_the_paper_says() {
+        let old = GfwConfig::old();
+        let new = GfwConfig::evolved();
+        assert_eq!(old.generation, GfwGeneration::Old);
+        assert_eq!(new.generation, GfwGeneration::Evolved);
+        assert_eq!(old.rst_resync_prob, 0.0, "prior model always tears down on RST");
+        assert!(new.rst_resync_prob > 0.0);
+        assert!(new.rst_resync_prob_handshake > new.rst_resync_prob, "§4: resync more frequent mid-handshake");
+    }
+
+    #[test]
+    fn neither_generation_validates_insertion_discrepancies() {
+        for cfg in [GfwConfig::old(), GfwConfig::evolved()] {
+            assert!(!cfg.validate_checksum);
+            assert!(!cfg.check_md5);
+            assert!(!cfg.check_ack);
+            assert!(!cfg.check_timestamp);
+            assert!(!cfg.validate_ip_total_len);
+        }
+    }
+
+    #[test]
+    fn blacklist_is_ninety_seconds() {
+        assert_eq!(GfwConfig::evolved().blacklist_duration, Duration::from_secs(90));
+    }
+}

@@ -1,0 +1,535 @@
+//! The censor tap: a netsim [`Element`] that observes every packet crossing
+//! its position, maintains censor TCBs, runs DPI, and injects resets,
+//! forged SYN/ACKs, DNS poison and active probes.
+//!
+//! Being **on-path**, it always forwards the original packet unmodified.
+//! The single exception is IP-level blocking of confirmed Tor bridges,
+//! which in reality is enforced by in-path border devices; we document and
+//! model that as a drop at the tap.
+
+use crate::blacklist::Blacklist;
+use crate::config::{GfwConfig, GfwGeneration};
+use crate::dpi::{Automaton, DetectionKind};
+use crate::probe::ActiveProber;
+use crate::reset::ResetInjector;
+use crate::tcb::{CensorState, CensorTcb};
+use intang_netsim::{Ctx, Direction, Duration, Element, Instant};
+use intang_packet::frag::Reassembler;
+use intang_packet::{dns, udp, FourTuple, IpProtocol, Ipv4Packet, Ipv4Repr, TcpPacket, TcpRepr, Wire};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+use std::rc::Rc;
+
+/// The address DNS poisoning answers with (a well-known bogus resolver
+/// target drawn from the GFW's observed poison pool).
+pub const POISON_ADDR: Ipv4Addr = Ipv4Addr::new(243, 185, 187, 39);
+
+/// Observable counters and logs, shared with tests via [`GfwHandle`].
+#[derive(Debug, Default)]
+pub struct GfwStats {
+    pub detections: Vec<(Instant, DetectionKind, FourTuple)>,
+    /// TCBs evicted because the table hit capacity (§2.1 cost pressure).
+    pub tcbs_evicted: u64,
+    pub resets_injected: u64,
+    pub forged_synacks: u64,
+    pub dns_poisoned: u64,
+    pub blacklist_hits: u64,
+    pub probes_launched: u64,
+    pub ip_blocked_drops: u64,
+}
+
+struct GfwCore {
+    cfg: GfwConfig,
+    aut: Automaton,
+    tcbs: HashMap<FourTuple, CensorTcb>,
+    /// Insertion order of TCB keys, for oldest-first eviction.
+    tcb_order: std::collections::VecDeque<FourTuple>,
+    blacklist: Blacklist,
+    injector: ResetInjector,
+    prober: ActiveProber,
+    ip_reasm: Reassembler,
+    stats: GfwStats,
+    /// Path-sticky draw (§4/§8: per client-server pair and period, the
+    /// RST→resync behavior is consistent): decided on first RST.
+    rst_resync_sticky: Option<bool>,
+    rst_resync_hs_sticky: Option<bool>,
+}
+
+/// The censor tap element. Clone-cheap handles ([`GfwHandle`]) give tests
+/// and experiments read access to the shared core.
+pub struct GfwElement {
+    core: Rc<RefCell<GfwCore>>,
+    label: String,
+}
+
+/// Read/inspection handle onto a [`GfwElement`]'s core.
+#[derive(Clone)]
+pub struct GfwHandle {
+    core: Rc<RefCell<GfwCore>>,
+}
+
+impl GfwElement {
+    pub fn new(cfg: GfwConfig) -> (GfwElement, GfwHandle) {
+        GfwElement::labeled(cfg, "GFW")
+    }
+
+    pub fn labeled(cfg: GfwConfig, label: &str) -> (GfwElement, GfwHandle) {
+        let aut = Automaton::build(&cfg.rules);
+        let ip_reasm = Reassembler::new(cfg.ip_frag_overlap);
+        let core = Rc::new(RefCell::new(GfwCore {
+            cfg,
+            aut,
+            tcbs: HashMap::new(),
+            tcb_order: std::collections::VecDeque::new(),
+            blacklist: Blacklist::new(),
+            injector: ResetInjector::new(),
+            prober: ActiveProber::new(),
+            ip_reasm,
+            stats: GfwStats::default(),
+            rst_resync_sticky: None,
+            rst_resync_hs_sticky: None,
+        }));
+        (GfwElement { core: core.clone(), label: label.to_string() }, GfwHandle { core })
+    }
+}
+
+impl GfwHandle {
+    pub fn detections(&self) -> Vec<(Instant, DetectionKind, FourTuple)> {
+        self.core.borrow().stats.detections.clone()
+    }
+
+    pub fn detected_any(&self) -> bool {
+        !self.core.borrow().stats.detections.is_empty()
+    }
+
+    pub fn resets_injected(&self) -> u64 {
+        self.core.borrow().stats.resets_injected
+    }
+
+    pub fn forged_synacks(&self) -> u64 {
+        self.core.borrow().stats.forged_synacks
+    }
+
+    pub fn dns_poisoned(&self) -> u64 {
+        self.core.borrow().stats.dns_poisoned
+    }
+
+    pub fn blacklist_hits(&self) -> u64 {
+        self.core.borrow().stats.blacklist_hits
+    }
+
+    pub fn probes_launched(&self) -> u64 {
+        self.core.borrow().stats.probes_launched
+    }
+
+    pub fn ip_blocked(&self, ip: Ipv4Addr) -> bool {
+        self.core.borrow().prober.is_blocked(ip)
+    }
+
+    /// The censor's tracking state for a flow, if a TCB exists.
+    pub fn tcb_state(&self, tuple: FourTuple) -> Option<CensorState> {
+        self.core.borrow().tcbs.get(&tuple.canonical()).map(|t| t.state)
+    }
+
+    pub fn has_tcb(&self, tuple: FourTuple) -> bool {
+        self.core.borrow().tcbs.contains_key(&tuple.canonical())
+    }
+
+    /// The censor's believed client for a flow (detects TCB reversal).
+    pub fn believed_client(&self, tuple: FourTuple) -> Option<(Ipv4Addr, u16)> {
+        self.core.borrow().tcbs.get(&tuple.canonical()).map(|t| t.client)
+    }
+
+    pub fn tcb_count(&self) -> usize {
+        self.core.borrow().tcbs.len()
+    }
+
+    /// Force the sticky RST behavior for deterministic tests.
+    pub fn force_rst_resync(&self, resync: bool) {
+        let mut core = self.core.borrow_mut();
+        core.rst_resync_sticky = Some(resync);
+        core.rst_resync_hs_sticky = Some(resync);
+    }
+}
+
+impl Element for GfwElement {
+    fn name(&self) -> &str {
+        &self.label
+    }
+
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, dir: Direction, wire: Wire) {
+        let mut core = self.core.borrow_mut();
+
+        // IP-level blocking of confirmed Tor bridges (documented in-path
+        // exception to the on-path model).
+        if let Ok(ip) = Ipv4Packet::new_checked(&wire[..]) {
+            if core.prober.is_blocked(ip.src_addr()) || core.prober.is_blocked(ip.dst_addr()) {
+                core.stats.ip_blocked_drops += 1;
+                return; // dropped
+            }
+        }
+
+        // On-path: forward the original packet untouched, then analyze a copy.
+        ctx.send(dir, wire.clone());
+        core.analyze(ctx, dir, wire);
+    }
+}
+
+impl GfwCore {
+    fn analyze(&mut self, ctx: &mut Ctx<'_>, dir: Direction, wire: Wire) {
+        // The censor reassembles IP fragments itself (first-wins, §3.2).
+        let Some(wire) = self.ip_reasm.push(wire) else { return };
+        let Ok(ip) = Ipv4Packet::new_checked(&wire[..]) else { return };
+        if self.cfg.validate_ip_total_len && !ip.total_len_consistent() {
+            return;
+        }
+        match ip.protocol() {
+            IpProtocol::Udp => self.analyze_udp(ctx, dir, &ip),
+            IpProtocol::Tcp => self.analyze_tcp(ctx, dir, &ip),
+            _ => {}
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // UDP: DNS poisoning (§2.1).
+    // ------------------------------------------------------------------
+    fn analyze_udp(&mut self, ctx: &mut Ctx<'_>, dir: Direction, ip: &Ipv4Packet<&[u8]>) {
+        if !self.cfg.dns_poison || dir != Direction::ToServer {
+            return;
+        }
+        let Ok(u) = udp::UdpPacket::new_checked(ip.payload()) else { return };
+        if u.dst_port() != 53 {
+            return;
+        }
+        let Ok(query) = dns::DnsMessage::decode(u.payload()) else { return };
+        if query.is_response {
+            return;
+        }
+        let Some(name) = query.first_name() else { return };
+        if !self.aut.scan(name.as_bytes()).contains(&DetectionKind::Domain) {
+            return;
+        }
+        // Inject a forged response "from" the resolver with a bogus A record.
+        let forged = dns::DnsMessage::answer_a(&query, POISON_ADDR, 300);
+        let resp = udp::UdpRepr::new(53, u.src_port(), forged.encode());
+        let ipr = Ipv4Repr::new(ip.dst_addr(), ip.src_addr(), IpProtocol::Udp);
+        let wire = ipr.emit(&resp.emit(ip.dst_addr(), ip.src_addr()));
+        self.stats.dns_poisoned += 1;
+        self.stats.detections.push((
+            ctx.now,
+            DetectionKind::Domain,
+            FourTuple::new(ip.src_addr(), u.src_port(), ip.dst_addr(), 53),
+        ));
+        ctx.send_delayed(Direction::ToClient, wire, self.cfg.reaction_delay);
+    }
+
+    // ------------------------------------------------------------------
+    // TCP: TCB lifecycle, DPI, resets.
+    // ------------------------------------------------------------------
+    fn analyze_tcp(&mut self, ctx: &mut Ctx<'_>, dir: Direction, ip: &Ipv4Packet<&[u8]>) {
+        let Ok(tcp) = TcpPacket::new_checked(ip.payload()) else { return };
+        // Discrepancy checks the real GFW does NOT perform (all default-off).
+        if self.cfg.validate_checksum && !tcp.verify_checksum(ip.src_addr(), ip.dst_addr()) {
+            return;
+        }
+        let seg = TcpRepr::parse(&tcp);
+        if self.cfg.check_md5 && seg.options.iter().any(|o| matches!(o, intang_packet::TcpOption::Md5Sig(_))) {
+            return;
+        }
+
+        let src = (ip.src_addr(), seg.src_port);
+        let dst = (ip.dst_addr(), seg.dst_port);
+        let tuple = FourTuple::new(src.0, src.1, dst.0, dst.1);
+        let key = tuple.canonical();
+
+        // Route packets addressed to our probers into the probe logic.
+        if self.prober.owns(dst.0) {
+            for inj in self.prober.on_packet_to_prober(src, dst, &seg) {
+                ctx.send_delayed(Direction::ToServer, inj, self.cfg.reaction_delay);
+            }
+            return;
+        }
+
+        // Blacklisted pair: sustained disruption (§2.1).
+        if self.blacklist.contains(src.0, dst.0, ctx.now) {
+            self.stats.blacklist_hits += 1;
+            if seg.flags.syn() && !seg.flags.ack() && self.cfg.type2 {
+                let forged = self.injector.forged_synack(ctx.rng, dst, src, seg.seq.wrapping_add(1));
+                self.stats.forged_synacks += 1;
+                ctx.send_delayed(dir.reversed(), forged, self.cfg.reaction_delay);
+            } else if !seg.flags.rst() {
+                self.inject_pair_resets(ctx, dir, src, dst, seg.seq, seg.ack);
+            }
+            // Tracking continues below; repeated detections extend the list.
+        }
+
+        // ---- TCB lifecycle -------------------------------------------------
+        let evolved = self.cfg.generation == GfwGeneration::Evolved;
+
+        if !self.tcbs.contains_key(&key) {
+            if seg.flags.syn() && !seg.flags.ack() {
+                let mut tcb = CensorTcb::from_syn(src, dst, seg.seq, self.cfg.segment_overlap);
+                tcb.overloaded = ctx.rng.chance(self.cfg.overload_miss_prob);
+                self.insert_tcb(key, tcb);
+            } else if seg.flags.syn() && seg.flags.ack() && evolved {
+                // Hypothesized New Behavior 1: TCB from a SYN/ACK. The
+                // source is assumed to be the server.
+                let mut tcb = CensorTcb::from_synack(src, dst, seg.seq, seg.ack, self.cfg.segment_overlap);
+                tcb.overloaded = ctx.rng.chance(self.cfg.overload_miss_prob);
+                self.insert_tcb(key, tcb);
+            }
+            return;
+        }
+
+        // Work on the existing TCB.
+        let mut remove = false;
+        let mut detections: Vec<DetectionKind> = Vec::new();
+        {
+            let tcb = self.tcbs.get_mut(&key).expect("checked above");
+            let from_client = tcb.is_client(src.0, src.1);
+
+            if seg.flags.rst() {
+                // Hypothesized New Behavior 3: RST may resync instead of
+                // tearing down; sticky per pair/period.
+                let resync = if evolved {
+                    let prob = if tcb.in_handshake {
+                        self.cfg.rst_resync_prob_handshake
+                    } else {
+                        self.cfg.rst_resync_prob
+                    };
+                    let slot = if tcb.in_handshake { &mut self.rst_resync_hs_sticky } else { &mut self.rst_resync_sticky };
+                    *slot.get_or_insert_with(|| ctx.rng.chance(prob))
+                } else {
+                    false
+                };
+                if resync {
+                    tcb.state = CensorState::Resync;
+                } else {
+                    remove = true;
+                }
+            } else if seg.flags.fin() && self.cfg.generation == GfwGeneration::Old {
+                // Prior Assumption 3: FIN tears the TCB down. The evolved
+                // model ignores FIN (§4).
+                remove = true;
+            } else if seg.flags.syn() && tcb.created_by_synack {
+                // Reversal TCBs ignore all handshake packets (§5.2).
+            } else if seg.flags.syn() && !seg.flags.ack() {
+                if from_client {
+                    // An identical duplicate (same ISN) is a plain
+                    // retransmission, not a "multiple SYNs" signal — the
+                    // paper's resync probes vary the sequence number.
+                    if seg.seq != tcb.client_isn {
+                        tcb.syn_count += 1;
+                        if evolved && tcb.syn_count > 1 {
+                            // Hypothesized New Behavior 2(a).
+                            tcb.state = CensorState::Resync;
+                        }
+                        // Prior model: later SYNs are ignored, the first
+                        // sequence number stands (Prior Assumption 2).
+                    }
+                }
+            } else if seg.flags.syn() && seg.flags.ack() {
+                if !from_client {
+                    let retransmission = tcb.last_synack == Some((seg.seq, seg.ack));
+                    if retransmission {
+                        // SYN/ACK retransmissions don't perturb the TCB.
+                    } else if tcb.state == CensorState::Resync {
+                        // §4: a server SYN/ACK resolves resynchronization.
+                        tcb.resync_to(seg.ack);
+                        tcb.synack_count = 1;
+                        tcb.server_next = seg.seq.wrapping_add(1);
+                        tcb.last_synack = Some((seg.seq, seg.ack));
+                    } else {
+                        tcb.synack_count += 1;
+                        tcb.server_next = seg.seq.wrapping_add(1);
+                        tcb.last_synack = Some((seg.seq, seg.ack));
+                        if evolved
+                            && (tcb.synack_count > 1 || seg.ack != tcb.client_isn.wrapping_add(1))
+                        {
+                            // Hypothesized New Behavior 2(b)/(c).
+                            tcb.state = CensorState::Resync;
+                        } else if evolved {
+                            // The evolved censor anchors the client stream
+                            // at the SYN/ACK's ACK (§5.2).
+                            tcb.resync_to(seg.ack);
+                        }
+                        // Prior model: the first SYN's sequence stands.
+                    }
+                }
+            } else {
+                // Data / pure ACK.
+                if from_client {
+                    // §8 hardened-censor checks (all off on the real GFW):
+                    // a wrong (future) ACK number or a PAWS-stale timestamp
+                    // makes the hardened censor ignore the segment like a
+                    // server would.
+                    if self.cfg.check_ack
+                        && seg.flags.ack()
+                        && tcb.server_next != 0
+                        && intang_packet::tcp::seq::gt(seg.ack, tcb.server_next)
+                    {
+                        return;
+                    }
+                    let tsval = seg.options.iter().find_map(|o| match o {
+                        intang_packet::TcpOption::Timestamps { tsval, .. } => Some(*tsval),
+                        _ => None,
+                    });
+                    if self.cfg.check_timestamp {
+                        if let (Some(recent), Some(tsval)) = (tcb.ts_recent, tsval) {
+                            if recent.wrapping_sub(tsval) < 0x8000_0000 && recent != tsval {
+                                return;
+                            }
+                        }
+                    }
+                    if let Some(tsval) = tsval {
+                        let newer = tcb.ts_recent.map_or(true, |r| tsval.wrapping_sub(r) < 0x8000_0000);
+                        if newer {
+                            tcb.ts_recent = Some(tsval);
+                        }
+                    }
+                    if seg.flags.ack() {
+                        tcb.in_handshake = false;
+                    }
+                    if !seg.payload.is_empty() {
+                        if tcb.state == CensorState::Resync {
+                            // §4: the next client data packet re-anchors.
+                            tcb.resync_to(seg.seq);
+                        }
+                        detections = tcb.feed_client_data(
+                            &self.aut,
+                            seg.seq,
+                            &seg.payload,
+                            self.cfg.type1,
+                            self.cfg.type2,
+                        );
+                    }
+                } else {
+                    // Server→client data: never a resync trigger (§4).
+                    let end = seg.seq.wrapping_add(seg.payload.len() as u32);
+                    if intang_packet::tcp::seq::gt(end, tcb.server_next) {
+                        tcb.server_next = end;
+                    }
+                    if self.cfg.censor_responses && !seg.payload.is_empty() {
+                        detections = tcb.feed_server_data(&self.aut, &seg.payload);
+                    }
+                }
+            }
+        }
+
+        if remove {
+            self.tcbs.remove(&key);
+            return;
+        }
+        if !detections.is_empty() {
+            self.act_on_detections(ctx, key, detections);
+        }
+    }
+
+    /// Insert a TCB, evicting the oldest when the table is full.
+    fn insert_tcb(&mut self, key: FourTuple, tcb: CensorTcb) {
+        while self.tcbs.len() >= self.cfg.max_tcbs {
+            let Some(oldest) = self.tcb_order.pop_front() else { break };
+            if self.tcbs.remove(&oldest).is_some() {
+                self.stats.tcbs_evicted += 1;
+            }
+        }
+        self.tcbs.insert(key, tcb);
+        self.tcb_order.push_back(key);
+    }
+
+    fn act_on_detections(&mut self, ctx: &mut Ctx<'_>, key: FourTuple, kinds: Vec<DetectionKind>) {
+        let (client, server, client_next, server_next, already) = {
+            let tcb = self.tcbs.get(&key).expect("tcb present");
+            (tcb.client, tcb.server, tcb.client_next(), tcb.server_next, tcb.detected)
+        };
+        for kind in kinds {
+            self.stats.detections.push((
+                ctx.now,
+                kind,
+                FourTuple::new(client.0, client.1, server.0, server.1),
+            ));
+            match kind {
+                DetectionKind::HttpKeyword | DetectionKind::Domain => {
+                    if !already {
+                        self.inject_detection_resets(ctx, client, server, client_next, server_next);
+                        if self.cfg.type2 {
+                            self.blacklist.add(client.0, server.0, ctx.now, self.cfg.blacklist_duration);
+                        }
+                        self.tcbs.get_mut(&key).expect("tcb present").detected = true;
+                    }
+                }
+                DetectionKind::TorHandshake => {
+                    if self.cfg.tor_filter && self.cfg.active_probing {
+                        if let Some(syn) = self.prober.on_tor_fingerprint(server) {
+                            self.stats.probes_launched += 1;
+                            // Probes launch shortly after the fingerprint.
+                            ctx.send_delayed(Direction::ToServer, syn, Duration::from_millis(50));
+                        }
+                    }
+                }
+                DetectionKind::VpnHandshake => {
+                    if self.cfg.vpn_dpi && !already {
+                        self.inject_detection_resets(ctx, client, server, client_next, server_next);
+                        self.tcbs.get_mut(&key).expect("tcb present").detected = true;
+                    }
+                }
+            }
+        }
+    }
+
+    /// The full §2.1 reset volley, both directions.
+    fn inject_detection_resets(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        client: (Ipv4Addr, u16),
+        server: (Ipv4Addr, u16),
+        client_next: u32,
+        server_next: u32,
+    ) {
+        let d = self.cfg.reaction_delay;
+        if self.cfg.type1 {
+            // One RST each way, spoofed from the opposite endpoint.
+            let to_client = self.injector.type1(ctx.rng, server, client, server_next);
+            let to_server = self.injector.type1(ctx.rng, client, server, client_next);
+            ctx.send_delayed(Direction::ToClient, to_client, d);
+            ctx.send_delayed(Direction::ToServer, to_server, d);
+            self.stats.resets_injected += 2;
+        }
+        if self.cfg.type2 {
+            for w in self.injector.type2(server, client, server_next, client_next) {
+                ctx.send_delayed(Direction::ToClient, w, d);
+                self.stats.resets_injected += 1;
+            }
+            for w in self.injector.type2(client, server, client_next, server_next) {
+                ctx.send_delayed(Direction::ToServer, w, d);
+                self.stats.resets_injected += 1;
+            }
+        }
+    }
+
+    /// Resets fired at arbitrary packets during the blacklist period.
+    fn inject_pair_resets(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        dir: Direction,
+        src: (Ipv4Addr, u16),
+        dst: (Ipv4Addr, u16),
+        seq: u32,
+        ack: u32,
+    ) {
+        let d = self.cfg.reaction_delay;
+        if self.cfg.type1 {
+            let w = self.injector.type1(ctx.rng, dst, src, ack);
+            ctx.send_delayed(dir.reversed(), w, d);
+            self.stats.resets_injected += 1;
+        }
+        if self.cfg.type2 {
+            // Reset the sender of the observed packet (spoofed from its peer).
+            for w in self.injector.type2(dst, src, ack, seq) {
+                ctx.send_delayed(dir.reversed(), w, d);
+                self.stats.resets_injected += 1;
+            }
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! Active probing of suspected Tor bridges (§7.3).
+//!
+//! When the DPI engine fingerprints a Tor handshake, the censor launches a
+//! prober — a separate host in its address pool — that connects to the
+//! suspected bridge, speaks the Tor protocol, and on confirmation blocks
+//! the bridge **IP** outright (all ports; the paper observes this is more
+//! aggressive than the port-level blocking previously reported).
+//!
+//! The prober here is a miniature TCP client driven entirely by the packets
+//! the tap sees flowing past it: its SYN is injected toward the server, the
+//! SYN/ACK addressed to the prober IP is observed on the way back, the
+//! handshake completes, a Tor client-hello is sent, and a Tor server-hello
+//! confirms the bridge.
+
+use crate::dpi::TOR_FINGERPRINT;
+use intang_packet::{IpProtocol, Ipv4Repr, TcpFlags, TcpRepr, Wire};
+use std::collections::{HashMap, HashSet};
+use std::net::Ipv4Addr;
+
+/// Reply a Tor bridge sends to a valid client hello (what the prober
+/// checks for).
+pub const TOR_SERVER_HELLO: &[u8] = b"\x16\x03\x03TOR-SERVER-HELLO";
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ProbeState {
+    SynSent,
+    HelloSent,
+}
+
+#[derive(Debug)]
+struct Probe {
+    state: ProbeState,
+    prober: (Ipv4Addr, u16),
+    target: (Ipv4Addr, u16),
+    iss: u32,
+}
+
+/// The active-probing subsystem: outstanding probes plus the IP block list
+/// they feed.
+#[derive(Debug, Default)]
+pub struct ActiveProber {
+    probes: HashMap<(Ipv4Addr, u16), Probe>,
+    /// Bridges already probed (do not re-probe).
+    probed: HashSet<(Ipv4Addr, u16)>,
+    /// Confirmed bridges: blocked at the IP level.
+    pub blocked_ips: HashSet<Ipv4Addr>,
+    next_port: u16,
+    next_prober: u8,
+}
+
+impl ActiveProber {
+    pub fn new() -> ActiveProber {
+        ActiveProber { next_port: 33_000, next_prober: 1, ..ActiveProber::default() }
+    }
+
+    pub fn is_blocked(&self, ip: Ipv4Addr) -> bool {
+        self.blocked_ips.contains(&ip)
+    }
+
+    pub fn probes_launched(&self) -> usize {
+        self.probed.len()
+    }
+
+    /// A Tor fingerprint was seen toward `target`. Returns the SYN to
+    /// inject (toward the server side) if a new probe should start.
+    pub fn on_tor_fingerprint(&mut self, target: (Ipv4Addr, u16)) -> Option<Wire> {
+        if self.probed.contains(&target) || self.blocked_ips.contains(&target.0) {
+            return None;
+        }
+        self.probed.insert(target);
+        let prober_ip = Ipv4Addr::new(202, 108, 0, self.next_prober);
+        self.next_prober = self.next_prober.wrapping_add(1).max(1);
+        let port = self.next_port;
+        self.next_port = self.next_port.wrapping_add(1).max(33_000);
+        let iss = 0x6000_0000 ^ (u32::from(port) << 8);
+        let probe = Probe { state: ProbeState::SynSent, prober: (prober_ip, port), target, iss };
+        let mut syn = TcpRepr::new(port, target.1);
+        syn.seq = iss;
+        syn.flags = TcpFlags::SYN;
+        syn.options.push(intang_packet::TcpOption::Mss(1460));
+        let ip = Ipv4Repr::new(prober_ip, target.0, IpProtocol::Tcp);
+        let wire = ip.emit(&syn.emit(prober_ip, target.0));
+        self.probes.insert(target, probe);
+        Some(wire)
+    }
+
+    /// A packet addressed to one of our prober IPs passed the tap.
+    /// Returns packets to inject toward the server, and sets the block
+    /// flag when a bridge confirms.
+    pub fn on_packet_to_prober(&mut self, src: (Ipv4Addr, u16), dst: (Ipv4Addr, u16), seg: &TcpRepr) -> Vec<Wire> {
+        let Some(probe) = self.probes.get_mut(&src) else {
+            return Vec::new();
+        };
+        if probe.prober != dst {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        match probe.state {
+            ProbeState::SynSent => {
+                if seg.flags.syn() && seg.flags.ack() && seg.ack == probe.iss.wrapping_add(1) {
+                    // Complete the handshake and send the Tor client hello.
+                    let mut ack = TcpRepr::new(probe.prober.1, probe.target.1);
+                    ack.seq = probe.iss.wrapping_add(1);
+                    ack.ack = seg.seq.wrapping_add(1);
+                    ack.flags = TcpFlags::ACK;
+                    let ip = Ipv4Repr::new(probe.prober.0, probe.target.0, IpProtocol::Tcp);
+                    out.push(ip.emit(&ack.emit(probe.prober.0, probe.target.0)));
+
+                    let mut hello = TcpRepr::new(probe.prober.1, probe.target.1);
+                    hello.seq = probe.iss.wrapping_add(1);
+                    hello.ack = seg.seq.wrapping_add(1);
+                    hello.flags = TcpFlags::PSH_ACK;
+                    hello.payload = TOR_FINGERPRINT.to_vec();
+                    let ip = Ipv4Repr::new(probe.prober.0, probe.target.0, IpProtocol::Tcp);
+                    out.push(ip.emit(&hello.emit(probe.prober.0, probe.target.0)));
+                    probe.state = ProbeState::HelloSent;
+                }
+            }
+            ProbeState::HelloSent => {
+                if !seg.payload.is_empty()
+                    && seg
+                        .payload
+                        .windows(TOR_SERVER_HELLO.len())
+                        .any(|w| w == TOR_SERVER_HELLO)
+                {
+                    // Confirmed: block the bridge IP, drop probe state.
+                    let ip = probe.target.0;
+                    self.probes.remove(&src);
+                    self.blocked_ips.insert(ip);
+                }
+            }
+        }
+        out
+    }
+
+    /// Is this destination one of our prober endpoints? (Used by the tap to
+    /// route returning packets into the probe logic.)
+    pub fn owns(&self, addr: Ipv4Addr) -> bool {
+        self.probes.values().any(|p| p.prober.0 == addr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use intang_packet::{Ipv4Packet, TcpPacket};
+
+    fn bridge() -> (Ipv4Addr, u16) {
+        (Ipv4Addr::new(54, 12, 9, 3), 443)
+    }
+
+    #[test]
+    fn full_probe_confirms_and_blocks() {
+        let mut p = ActiveProber::new();
+        let syn_wire = p.on_tor_fingerprint(bridge()).expect("probe starts");
+        let ip = Ipv4Packet::new_checked(&syn_wire[..]).unwrap();
+        let t = TcpPacket::new_checked(ip.payload()).unwrap();
+        assert!(t.flags().syn());
+        assert_eq!(ip.dst_addr(), bridge().0);
+        let prober = (ip.src_addr(), t.src_port());
+        assert!(p.owns(prober.0));
+
+        // Bridge SYN/ACK comes back past the tap.
+        let mut synack = TcpRepr::new(bridge().1, prober.1);
+        synack.seq = 9_000;
+        synack.ack = t.seq_number().wrapping_add(1);
+        synack.flags = TcpFlags::SYN_ACK;
+        let out = p.on_packet_to_prober(bridge(), prober, &synack);
+        assert_eq!(out.len(), 2, "ACK + Tor hello injected");
+        assert!(!p.is_blocked(bridge().0), "not yet confirmed");
+
+        // Bridge answers with a Tor server hello.
+        let mut resp = TcpRepr::new(bridge().1, prober.1);
+        resp.flags = TcpFlags::PSH_ACK;
+        resp.payload = TOR_SERVER_HELLO.to_vec();
+        let out = p.on_packet_to_prober(bridge(), prober, &resp);
+        assert!(out.is_empty());
+        assert!(p.is_blocked(bridge().0), "bridge IP blocked after confirmation");
+    }
+
+    #[test]
+    fn bridge_is_probed_only_once() {
+        let mut p = ActiveProber::new();
+        assert!(p.on_tor_fingerprint(bridge()).is_some());
+        assert!(p.on_tor_fingerprint(bridge()).is_none());
+        assert_eq!(p.probes_launched(), 1);
+    }
+
+    #[test]
+    fn non_tor_response_does_not_block() {
+        let mut p = ActiveProber::new();
+        let syn_wire = p.on_tor_fingerprint(bridge()).unwrap();
+        let ip = Ipv4Packet::new_checked(&syn_wire[..]).unwrap();
+        let t = TcpPacket::new_checked(ip.payload()).unwrap();
+        let prober = (ip.src_addr(), t.src_port());
+        let mut synack = TcpRepr::new(bridge().1, prober.1);
+        synack.seq = 1;
+        synack.ack = t.seq_number().wrapping_add(1);
+        synack.flags = TcpFlags::SYN_ACK;
+        p.on_packet_to_prober(bridge(), prober, &synack);
+        let mut resp = TcpRepr::new(bridge().1, prober.1);
+        resp.flags = TcpFlags::PSH_ACK;
+        resp.payload = b"HTTP/1.1 200 OK\r\n\r\n".to_vec();
+        p.on_packet_to_prober(bridge(), prober, &resp);
+        assert!(!p.is_blocked(bridge().0), "an ordinary web server is left alone");
+    }
+}

@@ -1,0 +1,187 @@
+//! Reset injection: the wire signatures of type-1 and type-2 GFW devices
+//! (§2.1), reproduced closely enough that a fingerprinting client can tell
+//! them apart (the `reset_fingerprint` experiment).
+//!
+//! * **type-1**: a single RST, random TTL, random window.
+//! * **type-2**: three RST/ACKs with sequence numbers X, X+1460 and X+4380
+//!   (X = current sequence number of the spoofed sender), TTL and window
+//!   increasing cyclically across injections.
+
+use intang_netsim::SimRng;
+use intang_packet::{IpProtocol, Ipv4Repr, TcpFlags, TcpRepr, Wire};
+use std::net::Ipv4Addr;
+
+/// Which device type injected a reset (for fingerprinting).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ResetKind {
+    Type1Rst,
+    Type2RstAck,
+}
+
+/// The future-sequence offsets of type-2 injections (§2.1 footnote: offsets
+/// hedge against the injections falling behind the real stream).
+pub const TYPE2_SEQ_OFFSETS: [u32; 3] = [0, 1460, 4380];
+
+/// Stateful injector holding the type-2 cyclic counters.
+#[derive(Debug)]
+pub struct ResetInjector {
+    /// Cyclic TTL counter for type-2 (observable as "cyclically increasing
+    /// TTL values").
+    type2_ttl: u8,
+    /// Cyclic window counter for type-2.
+    type2_window: u16,
+}
+
+impl Default for ResetInjector {
+    fn default() -> Self {
+        ResetInjector::new()
+    }
+}
+
+impl ResetInjector {
+    pub fn new() -> ResetInjector {
+        ResetInjector { type2_ttl: 60, type2_window: 2000 }
+    }
+
+    /// One type-1 RST spoofed as `from -> to`, claiming sequence `seq`.
+    pub fn type1(&mut self, rng: &mut SimRng, from: (Ipv4Addr, u16), to: (Ipv4Addr, u16), seq: u32) -> Wire {
+        let mut tcp = TcpRepr::new(from.1, to.1);
+        tcp.flags = TcpFlags::RST;
+        tcp.seq = seq;
+        tcp.window = rng.next_u16();
+        let mut ip = Ipv4Repr::new(from.0, to.0, IpProtocol::Tcp);
+        // Random TTL in a plausible injected range.
+        ip.ttl = 32 + (rng.next_u16() % 200) as u8;
+        ip.ident = rng.next_u16();
+        ip.emit(&tcp.emit(from.0, to.0))
+    }
+
+    /// The three type-2 RST/ACKs spoofed as `from -> to`. `seq` is the
+    /// current sequence number of the spoofed sender; `ack` acknowledges
+    /// the victim's stream.
+    pub fn type2(&mut self, from: (Ipv4Addr, u16), to: (Ipv4Addr, u16), seq: u32, ack: u32) -> Vec<Wire> {
+        TYPE2_SEQ_OFFSETS
+            .iter()
+            .map(|&off| {
+                // Cyclic counters advance once per emitted packet.
+                self.type2_ttl = if self.type2_ttl >= 250 { 60 } else { self.type2_ttl + 1 };
+                self.type2_window = if self.type2_window >= 60_000 { 2000 } else { self.type2_window + 79 };
+                let mut tcp = TcpRepr::new(from.1, to.1);
+                tcp.flags = TcpFlags::RST_ACK;
+                tcp.seq = seq.wrapping_add(off);
+                tcp.ack = ack;
+                tcp.window = self.type2_window;
+                let mut ip = Ipv4Repr::new(from.0, to.0, IpProtocol::Tcp);
+                ip.ttl = self.type2_ttl;
+                ip.emit(&tcp.emit(from.0, to.0))
+            })
+            .collect()
+    }
+
+    /// The forged SYN/ACK (wrong sequence number) a type-2 device injects
+    /// when it sees a SYN during the blacklist period (§2.1).
+    pub fn forged_synack(&mut self, rng: &mut SimRng, from: (Ipv4Addr, u16), to: (Ipv4Addr, u16), ack: u32) -> Wire {
+        let mut tcp = TcpRepr::new(from.1, to.1);
+        tcp.flags = TcpFlags::SYN_ACK;
+        tcp.seq = rng.next_u32(); // deliberately wrong ISN: obstructs the handshake
+        tcp.ack = ack;
+        tcp.window = 8192;
+        let mut ip = Ipv4Repr::new(from.0, to.0, IpProtocol::Tcp);
+        ip.ttl = 64;
+        ip.emit(&tcp.emit(from.0, to.0))
+    }
+}
+
+/// Classify a received segment as a probable GFW injection, the way
+/// INTANG's measurement module does: type-1 resets are bare RSTs, type-2
+/// are RST/ACKs (cyclic fields across a burst confirm, but flags suffice
+/// per §2.1).
+pub fn classify_reset(flags: TcpFlags) -> Option<ResetKind> {
+    if flags.rst() && flags.ack() {
+        Some(ResetKind::Type2RstAck)
+    } else if flags.rst() {
+        Some(ResetKind::Type1Rst)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use intang_packet::{Ipv4Packet, TcpPacket};
+
+    fn endpoints() -> ((Ipv4Addr, u16), (Ipv4Addr, u16)) {
+        ((Ipv4Addr::new(93, 184, 216, 34), 80), (Ipv4Addr::new(10, 0, 0, 1), 40000))
+    }
+
+    #[test]
+    fn type2_burst_has_paper_offsets() {
+        let (srv, cli) = endpoints();
+        let mut inj = ResetInjector::new();
+        let wires = inj.type2(srv, cli, 1000, 777);
+        assert_eq!(wires.len(), 3);
+        let seqs: Vec<u32> = wires
+            .iter()
+            .map(|w| {
+                let ip = Ipv4Packet::new_checked(&w[..]).unwrap();
+                let t = TcpPacket::new_checked(ip.payload()).unwrap();
+                assert_eq!(t.flags(), TcpFlags::RST_ACK);
+                assert_eq!(t.ack_number(), 777);
+                t.seq_number()
+            })
+            .collect();
+        assert_eq!(seqs, vec![1000, 2460, 5380], "X, X+1460, X+4380");
+    }
+
+    #[test]
+    fn type2_ttl_and_window_increase_cyclically() {
+        let (srv, cli) = endpoints();
+        let mut inj = ResetInjector::new();
+        let mut ttls = Vec::new();
+        let mut wins = Vec::new();
+        for _ in 0..4 {
+            for w in inj.type2(srv, cli, 0, 0) {
+                let ip = Ipv4Packet::new_checked(&w[..]).unwrap();
+                ttls.push(ip.ttl());
+                let t = TcpPacket::new_checked(ip.payload()).unwrap();
+                wins.push(t.window());
+            }
+        }
+        assert!(ttls.windows(2).all(|w| w[1] > w[0]), "monotone while below the wrap point");
+        assert!(wins.windows(2).all(|w| w[1] > w[0]));
+    }
+
+    #[test]
+    fn type1_fields_are_randomized() {
+        let (srv, cli) = endpoints();
+        let mut inj = ResetInjector::new();
+        let mut rng = SimRng::seed_from(9);
+        let a = inj.type1(&mut rng, srv, cli, 5);
+        let b = inj.type1(&mut rng, srv, cli, 5);
+        let (ipa, ipb) = (Ipv4Packet::new_checked(&a[..]).unwrap(), Ipv4Packet::new_checked(&b[..]).unwrap());
+        let ta = TcpPacket::new_checked(ipa.payload()).unwrap();
+        let tb = TcpPacket::new_checked(ipb.payload()).unwrap();
+        assert!(ta.flags().rst() && !ta.flags().ack());
+        assert!(ipa.ttl() != ipb.ttl() || ta.window() != tb.window(), "fields drawn at random");
+    }
+
+    #[test]
+    fn forged_synack_has_wrong_isn_each_time() {
+        let (srv, cli) = endpoints();
+        let mut inj = ResetInjector::new();
+        let mut rng = SimRng::seed_from(3);
+        let a = inj.forged_synack(&mut rng, srv, cli, 42);
+        let b = inj.forged_synack(&mut rng, srv, cli, 42);
+        let sa = TcpPacket::new_checked(Ipv4Packet::new_checked(&a[..]).unwrap().payload()).unwrap().seq_number();
+        let sb = TcpPacket::new_checked(Ipv4Packet::new_checked(&b[..]).unwrap().payload()).unwrap().seq_number();
+        assert_ne!(sa, sb);
+    }
+
+    #[test]
+    fn classifier_distinguishes_types() {
+        assert_eq!(classify_reset(TcpFlags::RST), Some(ResetKind::Type1Rst));
+        assert_eq!(classify_reset(TcpFlags::RST_ACK), Some(ResetKind::Type2RstAck));
+        assert_eq!(classify_reset(TcpFlags::SYN), None);
+    }
+}

@@ -1,0 +1,308 @@
+//! The censor's per-flow TCB: orientation, the resynchronization state, and
+//! the two detection pipelines (type-1 per-packet, type-2 reassembled).
+
+use crate::dpi::{Automaton, DetectionKind, StreamMatcher};
+use intang_tcpstack::reasm::{Assembler, SegmentOverlapPolicy};
+use std::net::Ipv4Addr;
+
+/// Tracking state of a censor TCB (Hypothesized New Behavior 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CensorState {
+    /// Normal tracking: the monitored stream is anchored at `stream_base`.
+    Tracking,
+    /// Resynchronization state: the censor waits for the next
+    /// client→server data packet or server→client SYN/ACK to re-anchor.
+    Resync,
+}
+
+/// How far ahead of the anchored stream the censor accepts data.
+const ACCEPT_WINDOW: u32 = 256 * 1024;
+
+/// The censor's belief about one connection.
+#[derive(Debug)]
+pub struct CensorTcb {
+    /// Believed client (the side whose traffic is inspected).
+    pub client: (Ipv4Addr, u16),
+    /// Believed server.
+    pub server: (Ipv4Addr, u16),
+    /// Created by a SYN/ACK (Hypothesized New Behavior 1). Such TCBs ignore
+    /// subsequent SYN/SYN-ACKs entirely (§5.2, TCB Reversal).
+    pub created_by_synack: bool,
+    pub state: CensorState,
+    /// Between SYN/SYN-ACK and the first client ACK/data (§4: RSTs here
+    /// trigger resync far more often).
+    pub in_handshake: bool,
+    /// The client's ISN as believed by the censor.
+    pub client_isn: u32,
+    /// Absolute sequence number of monitored-stream byte 0.
+    pub stream_base: u32,
+    /// The believed server's next sequence number (for reset injection).
+    pub server_next: u32,
+    pub syn_count: u32,
+    pub synack_count: u32,
+    /// Last server SYN/ACK's (seq, ack): identical retransmissions are not
+    /// "multiple SYN/ACKs" for Hypothesized New Behavior 2(b).
+    pub last_synack: Option<(u32, u32)>,
+    /// Most recent client timestamp seen (only consulted when the §8
+    /// hardened censor enforces PAWS; the real GFW does not).
+    pub ts_recent: Option<u32>,
+    /// Overloaded censor: this flow is not inspected at all (§3.4, the
+    /// persistent ≈2.8 % no-strategy success rate).
+    pub overloaded: bool,
+    /// A detection already fired on this flow.
+    pub detected: bool,
+
+    /// Type-2 pipeline: reassembled stream + streaming matcher.
+    asm: Assembler,
+    matcher: StreamMatcher,
+    /// Type-1 pipeline: strictly in-order per-packet scan.
+    t1_expected: u32,
+    /// Response-direction matcher (only when response censoring is on).
+    resp_matcher: StreamMatcher,
+    overlap: SegmentOverlapPolicy,
+}
+
+impl CensorTcb {
+    /// TCB created from a client SYN.
+    pub fn from_syn(client: (Ipv4Addr, u16), server: (Ipv4Addr, u16), isn: u32, overlap: SegmentOverlapPolicy) -> CensorTcb {
+        CensorTcb {
+            client,
+            server,
+            created_by_synack: false,
+            state: CensorState::Tracking,
+            in_handshake: true,
+            client_isn: isn,
+            stream_base: isn.wrapping_add(1),
+            server_next: 0,
+            syn_count: 1,
+            synack_count: 0,
+            last_synack: None,
+            ts_recent: None,
+            overloaded: false,
+            detected: false,
+            asm: Assembler::new(overlap),
+            matcher: StreamMatcher::new(),
+            t1_expected: isn.wrapping_add(1),
+            resp_matcher: StreamMatcher::new(),
+            overlap,
+        }
+    }
+
+    /// TCB created from a SYN/ACK (evolved model only): the packet's source
+    /// is assumed to be the server, its destination the client, and the
+    /// expected client sequence comes from the ACK field.
+    pub fn from_synack(
+        src_server: (Ipv4Addr, u16),
+        dst_client: (Ipv4Addr, u16),
+        seq: u32,
+        ack: u32,
+        overlap: SegmentOverlapPolicy,
+    ) -> CensorTcb {
+        CensorTcb {
+            client: dst_client,
+            server: src_server,
+            created_by_synack: true,
+            state: CensorState::Tracking,
+            in_handshake: true,
+            client_isn: ack.wrapping_sub(1),
+            stream_base: ack,
+            server_next: seq.wrapping_add(1),
+            syn_count: 0,
+            synack_count: 1,
+            last_synack: Some((seq, ack)),
+            ts_recent: None,
+            overloaded: false,
+            detected: false,
+            asm: Assembler::new(overlap),
+            matcher: StreamMatcher::new(),
+            t1_expected: ack,
+            resp_matcher: StreamMatcher::new(),
+            overlap,
+        }
+    }
+
+    /// Is `addr:port` the believed client side?
+    pub fn is_client(&self, addr: Ipv4Addr, port: u16) -> bool {
+        self.client == (addr, port)
+    }
+
+    /// Re-anchor the monitored stream at `seq` and leave the
+    /// resynchronization state. All reassembly and matcher state is lost —
+    /// this is exactly what the desynchronization building block (§5.1)
+    /// exploits.
+    pub fn resync_to(&mut self, seq: u32) {
+        self.stream_base = seq;
+        self.t1_expected = seq;
+        self.asm = Assembler::new(self.overlap);
+        self.matcher.reset();
+        self.state = CensorState::Tracking;
+    }
+
+    /// Feed a client→server data segment into both detection pipelines.
+    /// Returns all newly detected rule kinds.
+    pub fn feed_client_data(
+        &mut self,
+        aut: &Automaton,
+        seq: u32,
+        payload: &[u8],
+        type1: bool,
+        type2: bool,
+    ) -> Vec<DetectionKind> {
+        if self.overloaded || payload.is_empty() {
+            return Vec::new();
+        }
+        let mut hits = Vec::new();
+
+        // Type-1: strict in-order, per-packet scan, no cross-packet state —
+        // which is why splitting a request defeats it (§2.1).
+        if type1 && seq == self.t1_expected {
+            let mut per_packet = StreamMatcher::new();
+            for k in per_packet.feed(aut, payload) {
+                if !hits.contains(&k) {
+                    hits.push(k);
+                }
+            }
+            self.t1_expected = self.t1_expected.wrapping_add(payload.len() as u32);
+        }
+
+        // Type-2: windowed reassembly feeding a streaming matcher.
+        if type2 {
+            let rel = seq.wrapping_sub(self.stream_base);
+            if rel < ACCEPT_WINDOW {
+                self.asm.insert(u64::from(rel), payload);
+                let pulled = self.asm.pull();
+                if !pulled.is_empty() {
+                    for k in self.matcher.feed(aut, &pulled) {
+                        if !hits.contains(&k) {
+                            hits.push(k);
+                        }
+                    }
+                }
+            }
+        }
+        hits
+    }
+
+    /// Feed server→client data (only used when response censoring is on).
+    pub fn feed_server_data(&mut self, aut: &Automaton, payload: &[u8]) -> Vec<DetectionKind> {
+        if self.overloaded {
+            return Vec::new();
+        }
+        self.resp_matcher.feed(aut, payload)
+    }
+
+    /// Absolute sequence number of the next expected client byte.
+    pub fn client_next(&self) -> u32 {
+        self.stream_base.wrapping_add(self.asm.head() as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dpi::RuleSet;
+
+    fn aut() -> Automaton {
+        Automaton::build(&RuleSet::paper_default())
+    }
+
+    fn tcb() -> CensorTcb {
+        CensorTcb::from_syn(
+            (Ipv4Addr::new(10, 0, 0, 1), 40000),
+            (Ipv4Addr::new(93, 184, 216, 34), 80),
+            999,
+            SegmentOverlapPolicy::FirstWins,
+        )
+    }
+
+    #[test]
+    fn type2_detects_split_keyword_but_type1_does_not() {
+        let a = aut();
+        let mut t = tcb();
+        let base = t.stream_base;
+        let h1 = t.feed_client_data(&a, base, b"GET /ultra", true, true);
+        assert!(h1.is_empty());
+        let h2 = t.feed_client_data(&a, base.wrapping_add(10), b"surf HTTP/1.1\r\n\r\n", true, true);
+        assert_eq!(h2, vec![DetectionKind::HttpKeyword], "type-2 reassembly catches the split");
+
+        // Type-1 alone misses it.
+        let mut t1only = tcb();
+        let base = t1only.stream_base;
+        assert!(t1only.feed_client_data(&a, base, b"GET /ultra", true, false).is_empty());
+        assert!(t1only
+            .feed_client_data(&a, base.wrapping_add(10), b"surf HTTP/1.1\r\n\r\n", true, false)
+            .is_empty());
+    }
+
+    #[test]
+    fn resync_discards_all_stream_state() {
+        let a = aut();
+        let mut t = tcb();
+        let base = t.stream_base;
+        t.feed_client_data(&a, base, b"GET /ultra", true, true);
+        t.state = CensorState::Resync;
+        t.resync_to(base.wrapping_add(500_000));
+        let hits = t.feed_client_data(&a, base.wrapping_add(10), b"surf", true, true);
+        assert!(hits.is_empty(), "old stream position is now out of window");
+        assert_eq!(t.state, CensorState::Tracking);
+    }
+
+    #[test]
+    fn out_of_window_data_ignored_by_type2() {
+        let a = aut();
+        let mut t = tcb();
+        let far = t.stream_base.wrapping_add(ACCEPT_WINDOW + 10);
+        let hits = t.feed_client_data(&a, far, b"ultrasurf", false, true);
+        assert!(hits.is_empty());
+        // ...and behind the base as well (wraps to a huge offset).
+        let behind = t.stream_base.wrapping_sub(5_000);
+        assert!(t.feed_client_data(&a, behind, b"ultrasurf", false, true).is_empty());
+    }
+
+    #[test]
+    fn in_order_prefill_blinds_both_pipelines() {
+        // The in-order data-overlapping strategy (§3.2): junk at the current
+        // sequence is consumed; the real request at the same sequence is
+        // then "old" data to both pipelines.
+        let a = aut();
+        let mut t = tcb();
+        let base = t.stream_base;
+        let real = b"GET /ultrasurf HTTP/1.1\r\nHost: example.com\r\n\r\n";
+        let junk = vec![b'X'; real.len()];
+        assert!(t.feed_client_data(&a, base, &junk, true, true).is_empty());
+        // Same starting seq; the GFW already consumed the junk, so the real
+        // request is entirely "old" data to both pipelines.
+        let hits = t.feed_client_data(&a, base, real, true, true);
+        assert!(hits.is_empty(), "prefilled censor misses the real request: {hits:?}");
+    }
+
+    #[test]
+    fn synack_created_tcb_is_reversed() {
+        let server_believed = (Ipv4Addr::new(10, 0, 0, 1), 40000); // actually the client!
+        let client_believed = (Ipv4Addr::new(93, 184, 216, 34), 80);
+        let t = CensorTcb::from_synack(server_believed, client_believed, 7000, 3001, SegmentOverlapPolicy::FirstWins);
+        assert!(t.created_by_synack);
+        assert_eq!(t.server, server_believed);
+        assert_eq!(t.client, client_believed);
+        assert_eq!(t.stream_base, 3001, "expected client seq comes from the ACK field");
+        assert!(t.is_client(client_believed.0, client_believed.1));
+    }
+
+    #[test]
+    fn overloaded_tcb_sees_nothing() {
+        let a = aut();
+        let mut t = tcb();
+        t.overloaded = true;
+        let base = t.stream_base;
+        assert!(t.feed_client_data(&a, base, b"ultrasurf", true, true).is_empty());
+    }
+
+    #[test]
+    fn client_next_tracks_consumed_stream() {
+        let a = aut();
+        let mut t = tcb();
+        let base = t.stream_base;
+        t.feed_client_data(&a, base, b"12345", false, true);
+        assert_eq!(t.client_next(), base.wrapping_add(5));
+    }
+}

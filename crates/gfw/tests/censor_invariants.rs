@@ -1,0 +1,174 @@
+//! Property-based invariants of the censor model.
+
+use intang_gfw::tcb::CensorTcb;
+use intang_gfw::dpi::{Automaton, RuleSet};
+use intang_tcpstack::reasm::SegmentOverlapPolicy;
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+#[test]
+fn syn_flood_evicts_oldest_tcbs() {
+    use intang_gfw::{GfwConfig, GfwElement};
+    use intang_netsim::element::PassThrough;
+    use intang_netsim::{Direction, Duration, Instant, Link, Simulation};
+    use intang_packet::{FourTuple, PacketBuilder, TcpFlags};
+
+    let mut cfg = GfwConfig::evolved().deterministic();
+    cfg.max_tcbs = 64;
+    let mut sim = Simulation::new(4);
+    sim.add_element(Box::new(PassThrough::new("a")));
+    sim.add_link(Link::new(Duration::from_micros(10), 0));
+    let (el, handle) = GfwElement::new(cfg);
+    sim.add_element(Box::new(el));
+    sim.add_link(Link::new(Duration::from_micros(10), 0));
+    sim.add_element(Box::new(PassThrough::new("b")));
+
+    let client = Ipv4Addr::new(10, 0, 0, 1);
+    let server = Ipv4Addr::new(203, 0, 113, 9);
+    // The victim flow, then a flood of 200 other flows.
+    let victim = PacketBuilder::tcp(client, server, 40_000, 80).seq(1_000).flags(TcpFlags::SYN).build();
+    sim.inject_at(0, Direction::ToServer, victim, Instant(0));
+    for i in 0..200u16 {
+        let syn = PacketBuilder::tcp(client, server, 50_000 + i, 80).seq(5).flags(TcpFlags::SYN).build();
+        sim.inject_at(0, Direction::ToServer, syn, Instant(1_000 + u64::from(i)));
+    }
+    sim.run_to_quiescence(10_000);
+    assert_eq!(handle.tcb_count(), 64, "table capped");
+    let victim_tuple = FourTuple::new(client, 40_000, server, 80);
+    assert!(!handle.has_tcb(victim_tuple), "the oldest (victim) TCB was evicted");
+    // The evicted flow's keyword now sails past the censor — the §2.1 cost
+    // pressure is itself an evasion surface.
+    let req = PacketBuilder::tcp(client, server, 40_000, 80)
+        .seq(1_001)
+        .ack(1)
+        .flags(TcpFlags::PSH_ACK)
+        .payload(b"GET /ultrasurf HTTP/1.1\r\n\r\n")
+        .build();
+    sim.inject_at(0, Direction::ToServer, req, Instant(1_000_000));
+    sim.run_to_quiescence(1_000);
+    assert!(!handle.detected_any());
+}
+
+fn aut() -> Automaton {
+    Automaton::build(&RuleSet::paper_default())
+}
+
+fn fresh_tcb() -> CensorTcb {
+    CensorTcb::from_syn(
+        (Ipv4Addr::new(10, 0, 0, 1), 40_000),
+        (Ipv4Addr::new(203, 0, 113, 9), 80),
+        1_000,
+        SegmentOverlapPolicy::FirstWins,
+    )
+}
+
+/// Alphabet that can spell the keyword, so clean streams are adversarial.
+fn keyword_soup() -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(
+        prop_oneof![
+            Just(b'u'), Just(b'l'), Just(b't'), Just(b'r'),
+            Just(b'a'), Just(b's'), Just(b'f'), Just(b' '),
+        ],
+        0..200,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// No false positives: a stream without any rule pattern never
+    /// triggers, regardless of segmentation.
+    #[test]
+    fn clean_streams_never_detected(soup in keyword_soup(), cuts in prop::collection::vec(1usize..40, 0..5)) {
+        prop_assume!(!soup.windows(9).any(|w| w == b"ultrasurf"));
+        // Also avoid accidental domain patterns (impossible with this
+        // alphabet, but keep the guard honest).
+        let a = aut();
+        let mut tcb = fresh_tcb();
+        let base = tcb.stream_base;
+        let mut offset = 0usize;
+        let mut pieces: Vec<&[u8]> = Vec::new();
+        let mut rest: &[u8] = &soup;
+        for &c in &cuts {
+            if c < rest.len() {
+                let (head, tail) = rest.split_at(c);
+                pieces.push(head);
+                rest = tail;
+            }
+        }
+        pieces.push(rest);
+        for p in pieces {
+            let hits = tcb.feed_client_data(&a, base.wrapping_add(offset as u32), p, true, true);
+            prop_assert!(hits.is_empty(), "false positive on clean data");
+            offset += p.len();
+        }
+    }
+
+    /// No false negatives: the keyword embedded at any position, delivered
+    /// under any in-order segmentation, is always detected by the type-2
+    /// pipeline.
+    #[test]
+    fn keyword_always_detected_in_order(
+        prefix in keyword_soup(),
+        suffix in keyword_soup(),
+        cut_seed in any::<u64>(),
+    ) {
+        let mut stream = prefix.clone();
+        stream.extend_from_slice(b"ultrasurf");
+        stream.extend_from_slice(&suffix);
+        let a = aut();
+        let mut tcb = fresh_tcb();
+        let base = tcb.stream_base;
+        // Deterministic pseudo-random segmentation.
+        let mut hits = Vec::new();
+        let mut pos = 0usize;
+        let mut x = cut_seed | 1;
+        while pos < stream.len() {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let take = 1 + (x as usize % 17).min(stream.len() - pos - 1).max(0);
+            let seg = &stream[pos..pos + take];
+            hits.extend(tcb.feed_client_data(&a, base.wrapping_add(pos as u32), seg, false, true));
+            pos += take;
+        }
+        prop_assert!(!hits.is_empty(), "keyword missed under segmentation");
+    }
+
+    /// The desynchronization invariant (§5.1): once re-anchored at an
+    /// out-of-window point, NO data at the original sequence range is ever
+    /// inspected again.
+    #[test]
+    fn desync_blinds_the_censor_forever(
+        payloads in prop::collection::vec(prop::collection::vec(any::<u8>(), 1..64), 1..6),
+        bogus_offset in 0x0010_0000u32..0x4000_0000,
+    ) {
+        let a = aut();
+        let mut tcb = fresh_tcb();
+        let base = tcb.stream_base;
+        tcb.resync_to(base.wrapping_add(bogus_offset));
+        let mut offset = 0u32;
+        for p in &payloads {
+            let hits = tcb.feed_client_data(&a, base.wrapping_add(offset), b"ultrasurf", true, true);
+            prop_assert!(hits.is_empty(), "desynced censor saw original-window data");
+            offset = offset.wrapping_add(p.len() as u32);
+        }
+    }
+
+    /// Type-1's weakness is structural: any split of the keyword across
+    /// two in-order packets evades the per-packet scanner.
+    #[test]
+    fn type1_always_misses_split_keyword(cut in 1usize..9) {
+        let a = aut();
+        let mut tcb = fresh_tcb();
+        let base = tcb.stream_base;
+        let kw = b"ultrasurf";
+        let h1 = tcb.feed_client_data(&a, base, &kw[..cut], true, false);
+        let h2 = tcb.feed_client_data(&a, base.wrapping_add(cut as u32), &kw[cut..], true, false);
+        prop_assert!(h1.is_empty() && h2.is_empty());
+        // ...while type-2 reassembly catches the identical delivery.
+        let mut tcb2 = fresh_tcb();
+        let base2 = tcb2.stream_base;
+        let g1 = tcb2.feed_client_data(&a, base2, &kw[..cut], false, true);
+        let g2 = tcb2.feed_client_data(&a, base2.wrapping_add(cut as u32), &kw[cut..], false, true);
+        prop_assert!(!(g1.is_empty() && g2.is_empty()));
+    }
+}

@@ -1,0 +1,203 @@
+//! The differential pass: server-ignores ∧ censor-accepts ⇒ candidate
+//! insertion packet. The output reproduces Table 3 row for row, and the
+//! §5.3 cross-validations annotate each finding with middlebox
+//! survivability and old-kernel caveats.
+
+use crate::disposition::{gfw_disposition, server_disposition, version_caveat, Disposition, PacketClass, StateContext};
+use intang_gfw::GfwConfig;
+use intang_middlebox::filter::drop_probability;
+use intang_middlebox::ClientSideProfile;
+use intang_packet::{PacketBuilder, TcpFlags, TcpOption};
+use intang_tcpstack::StackProfile;
+use std::net::Ipv4Addr;
+
+/// One discrepancy: a (state, packet-class) where the server ignores and
+/// the censor processes.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    pub states: Vec<StateContext>,
+    pub class: PacketClass,
+    /// Table 2 client-side profiles whose filters would drop the packet
+    /// (middlebox cross-validation).
+    pub dropped_by: Vec<&'static str>,
+    /// Old-kernel caveats (§5.3 cross-version validation).
+    pub version_caveats: Vec<String>,
+}
+
+impl Finding {
+    /// Render in Table 3's column layout. Parse-level discrepancies apply
+    /// in *any* state (the paper's first three rows).
+    pub fn render_row(&self) -> [String; 4] {
+        let any_state = matches!(
+            self.class,
+            PacketClass::InflatedIpTotalLen | PacketClass::ShortTcpHeader | PacketClass::BadChecksum
+        );
+        let (tcp_state, gfw_state) = if any_state {
+            ("Any".to_string(), "Any".to_string())
+        } else if self.states.len() == 2 {
+            ("SYN_RECV/ESTABLISHED".to_string(), "ESTABLISHED/RESYNC".to_string())
+        } else {
+            (self.states[0].label().to_string(), "ESTABLISHED/RESYNC".to_string())
+        };
+        [tcp_state, gfw_state, self.class.flags_label().to_string(), self.class.condition().to_string()]
+    }
+}
+
+/// A representative wire packet for a class (used for middlebox
+/// cross-validation and by the probing tests).
+pub fn representative_packet(class: PacketClass) -> Vec<u8> {
+    let c = Ipv4Addr::new(10, 0, 0, 1);
+    let s = Ipv4Addr::new(203, 0, 113, 80);
+    let base = PacketBuilder::tcp(c, s, 40_000, 80).seq(1001).ack(9001);
+    match class {
+        PacketClass::InflatedIpTotalLen => base.flags(TcpFlags::PSH_ACK).payload(b"JJ").inflated_total_len(32).build(),
+        PacketClass::ShortTcpHeader => base.flags(TcpFlags::PSH_ACK).payload(b"JJ").short_data_offset().build(),
+        PacketClass::BadChecksum => base.flags(TcpFlags::PSH_ACK).payload(b"JJ").bad_checksum().build(),
+        PacketClass::RstAckWrongAck => base.flags(TcpFlags::RST_ACK).ack(0xdead_0000).build(),
+        PacketClass::AckWrongAck => base.flags(TcpFlags::PSH_ACK).payload(b"JJ").ack(0xdead_0000).build(),
+        PacketClass::UnsolicitedMd5 => base.flags(TcpFlags::PSH_ACK).payload(b"JJ").md5_option().build(),
+        PacketClass::NoFlag => base.flags(TcpFlags::NONE).payload(b"JJ").build(),
+        PacketClass::FinOnly => base.flags(TcpFlags::FIN).build(),
+        PacketClass::OldTimestamp => base
+            .flags(TcpFlags::PSH_ACK)
+            .payload(b"JJ")
+            .option(TcpOption::Timestamps { tsval: 1, tsecr: 0 })
+            .build(),
+        PacketClass::ValidRst => base.flags(TcpFlags::RST).build(),
+        PacketClass::ValidData => base.flags(TcpFlags::PSH_ACK).payload(b"JJ").build(),
+    }
+}
+
+/// Run the differential analysis of `server` against `censor`.
+///
+/// ```
+/// use intang_ignorepath::derive_table3;
+/// use intang_tcpstack::StackProfile;
+/// use intang_gfw::GfwConfig;
+///
+/// let findings = derive_table3(&StackProfile::linux_4_4(), &GfwConfig::evolved());
+/// assert_eq!(findings.len(), 9, "the nine Table 3 rows");
+/// ```
+pub fn derive_table3(server: &StackProfile, censor: &GfwConfig) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for class in PacketClass::all() {
+        let mut states = Vec::new();
+        for state in StateContext::all() {
+            let srv = server_disposition(server, state, class);
+            let gfw = gfw_disposition(censor, state, class);
+            // A discrepancy: the server's state is untouched while the
+            // censor processes the packet (Accept) or mutates its TCB
+            // (Reset — usable for teardown insertions).
+            if srv == Disposition::Ignore && gfw != Disposition::Ignore {
+                states.push(state);
+            }
+        }
+        if states.is_empty() {
+            continue;
+        }
+        // Middlebox cross-validation: would any Table 2 profile drop it?
+        let wire = representative_packet(class);
+        let dropped_by = ClientSideProfile::all_paper_profiles()
+            .into_iter()
+            .filter(|p| drop_probability(&p.filter_spec(), &wire) > 0.0)
+            .map(ClientSideProfile::label)
+            .collect();
+        // Cross-version validation.
+        let version_caveats = StackProfile::all()
+            .iter()
+            .filter_map(|p| version_caveat(p.version, class).map(|c| format!("{}: {}", p.version, c)))
+            .collect();
+        findings.push(Finding { states, class, dropped_by, version_caveats });
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table3() -> Vec<Finding> {
+        derive_table3(&StackProfile::linux_4_4(), &GfwConfig::evolved())
+    }
+
+    #[test]
+    fn reproduces_all_nine_table3_rows() {
+        let findings = table3();
+        let classes: Vec<PacketClass> = findings.iter().map(|f| f.class).collect();
+        for expected in [
+            PacketClass::InflatedIpTotalLen,
+            PacketClass::ShortTcpHeader,
+            PacketClass::BadChecksum,
+            PacketClass::RstAckWrongAck,
+            PacketClass::AckWrongAck,
+            PacketClass::UnsolicitedMd5,
+            PacketClass::NoFlag,
+            PacketClass::FinOnly,
+            PacketClass::OldTimestamp,
+        ] {
+            assert!(classes.contains(&expected), "missing Table 3 row {expected:?}");
+        }
+        assert_eq!(findings.len(), 9, "exactly the nine discrepancy rows; controls excluded");
+    }
+
+    #[test]
+    fn controls_never_appear() {
+        let classes: Vec<PacketClass> = table3().iter().map(|f| f.class).collect();
+        assert!(!classes.contains(&PacketClass::ValidRst));
+        assert!(!classes.contains(&PacketClass::ValidData));
+    }
+
+    #[test]
+    fn rstack_wrong_ack_limited_to_syn_recv() {
+        let findings = table3();
+        let f = findings.iter().find(|f| f.class == PacketClass::RstAckWrongAck).unwrap();
+        assert_eq!(f.states, vec![StateContext::SynRecv], "Table 3 row 4 applies to SYN_RECV only");
+    }
+
+    #[test]
+    fn md5_survives_every_middlebox_profile() {
+        // §5.3: "insertion packets leveraging the unsolicited MD5 header
+        // ... are never dropped by the middleboxes we encounter".
+        let findings = table3();
+        let md5 = findings.iter().find(|f| f.class == PacketClass::UnsolicitedMd5).unwrap();
+        assert!(md5.dropped_by.is_empty());
+        let old_ts = findings.iter().find(|f| f.class == PacketClass::OldTimestamp).unwrap();
+        assert!(old_ts.dropped_by.is_empty());
+        let bad_ack = findings.iter().find(|f| f.class == PacketClass::AckWrongAck).unwrap();
+        assert!(bad_ack.dropped_by.is_empty());
+        // ...while bad checksums and flag-less packets are dropped somewhere
+        // (Unicom Tianjin).
+        let bad_csum = findings.iter().find(|f| f.class == PacketClass::BadChecksum).unwrap();
+        assert_eq!(bad_csum.dropped_by, vec!["unicom-tj-mb"]);
+        let noflag = findings.iter().find(|f| f.class == PacketClass::NoFlag).unwrap();
+        assert_eq!(noflag.dropped_by, vec!["unicom-tj-mb"]);
+    }
+
+    #[test]
+    fn version_caveats_surface() {
+        let findings = table3();
+        let md5 = findings.iter().find(|f| f.class == PacketClass::UnsolicitedMd5).unwrap();
+        assert!(md5.version_caveats.iter().any(|c| c.contains("2.4.37")));
+        let noflag = findings.iter().find(|f| f.class == PacketClass::NoFlag).unwrap();
+        assert!(noflag.version_caveats.iter().any(|c| c.contains("2.6.34")));
+    }
+
+    #[test]
+    fn render_matches_table3_wording() {
+        let findings = table3();
+        let md5 = findings.iter().find(|f| f.class == PacketClass::UnsolicitedMd5).unwrap();
+        let row = md5.render_row();
+        assert_eq!(row[0], "SYN_RECV/ESTABLISHED");
+        assert_eq!(row[1], "ESTABLISHED/RESYNC");
+        assert_eq!(row[3], "Has unsolicited MD5 Optional Header");
+    }
+
+    #[test]
+    fn old_kernel_server_yields_fewer_discrepancies() {
+        let modern = table3();
+        let old = derive_table3(&StackProfile::linux_2_4_37(), &GfwConfig::evolved());
+        assert!(old.len() < modern.len(), "2.4.37 ignores fewer packet classes");
+        assert!(!old.iter().any(|f| f.class == PacketClass::UnsolicitedMd5));
+        assert!(!old.iter().any(|f| f.class == PacketClass::NoFlag));
+    }
+}

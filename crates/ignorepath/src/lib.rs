@@ -1,0 +1,24 @@
+//! # intang-ignorepath
+//!
+//! The paper's "ignore path" methodology (§5.3): identify every point where
+//! a server's TCP implementation *ignores* a received packet without
+//! changing state, diff those against the censor's dispositions, and emit
+//! the discrepancies — each one a candidate insertion packet. The output
+//! is Table 3.
+//!
+//! Three layers:
+//!
+//! * [`disposition`] — abstract per-(state, packet-class) disposition
+//!   models of the server profiles and the GFW;
+//! * [`differential`] — the cross product that derives Table 3, plus the
+//!   §5.3 cross-validations (middlebox survivability, older kernels);
+//! * [`confirm`] — "probing tests": build the actual packets and fire them
+//!   at the executable `intang-tcpstack` endpoint to confirm the abstract
+//!   model's claims (the analogue of testing against the real GFW).
+
+pub mod confirm;
+pub mod differential;
+pub mod disposition;
+
+pub use differential::{derive_table3, Finding};
+pub use disposition::{Disposition, PacketClass, StateContext};

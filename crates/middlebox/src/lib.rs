@@ -1,0 +1,29 @@
+//! # intang-middlebox
+//!
+//! In-path middlebox models. These are the "unexpected network conditions"
+//! that §3.4 identifies as a primary cause of evasion failures:
+//!
+//! * **Client-side** boxes (Table 2): fragment droppers/reassemblers and
+//!   field filters that discard exactly the malformations insertion packets
+//!   rely on (wrong checksums, flag-less segments, bare FINs/RSTs);
+//! * **NAT / stateful firewalls** whose connection state is torn down by
+//!   insertion RSTs, blocking all later packets (Failure 1);
+//! * **Server-side sequence-checking firewalls** that *accept* junk
+//!   insertion data (they validate neither checksums, MD5 options nor ACK
+//!   numbers) and then drop the real request as a duplicate (Failure 1).
+//!
+//! Each model is a netsim [`Element`](intang_netsim::Element); the
+//! [`profiles`] module builds the
+//! exact four client-side stacks of Table 2.
+
+pub mod filter;
+pub mod fragment;
+pub mod profiles;
+pub mod seqfw;
+pub mod stateful;
+
+pub use filter::{FieldFilter, FilterSpec};
+pub use fragment::{FragmentMode, FragmentHandler};
+pub use profiles::ClientSideProfile;
+pub use seqfw::SeqStrictFirewall;
+pub use stateful::StatefulFirewall;

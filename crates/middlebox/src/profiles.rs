@@ -1,0 +1,115 @@
+//! The four client-side middlebox profiles of Table 2.
+//!
+//! | Packet type        | Aliyun (6/11) | QCloud (3/11) | Unicom SJZ | Unicom TJ |
+//! |--------------------|---------------|---------------|------------|-----------|
+//! | IP fragments       | Discarded     | Reassembled   | Reassembled| Reassembled |
+//! | Wrong TCP checksum | Pass          | Pass          | Pass       | Dropped   |
+//! | No TCP flag        | Pass          | Pass          | Pass       | Dropped   |
+//! | RST packets        | Pass          | Sometimes     | Pass       | Pass      |
+//! | FIN packets        | Sometimes     | Pass          | Dropped    | Dropped   |
+
+use crate::filter::{FieldFilter, FilterSpec};
+use crate::fragment::{FragmentHandler, FragmentMode};
+use intang_netsim::Element;
+
+/// Probability used for Table 2's "Sometimes dropped" cells.
+pub const SOMETIMES: f64 = 0.4;
+
+/// A named client-side middlebox profile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClientSideProfile {
+    Aliyun,
+    QCloud,
+    UnicomShijiazhuang,
+    UnicomTianjin,
+    /// No interfering middleboxes at all (control).
+    Clean,
+}
+
+impl ClientSideProfile {
+    pub fn fragment_mode(self) -> FragmentMode {
+        match self {
+            ClientSideProfile::Aliyun => FragmentMode::Drop,
+            ClientSideProfile::Clean => FragmentMode::Pass,
+            _ => FragmentMode::Reassemble,
+        }
+    }
+
+    pub fn filter_spec(self) -> FilterSpec {
+        match self {
+            ClientSideProfile::Aliyun => FilterSpec { drop_bare_fin: SOMETIMES, ..FilterSpec::default() },
+            ClientSideProfile::QCloud => FilterSpec { drop_bare_rst: SOMETIMES, ..FilterSpec::default() },
+            ClientSideProfile::UnicomShijiazhuang => FilterSpec { drop_bare_fin: 1.0, ..FilterSpec::default() },
+            ClientSideProfile::UnicomTianjin => FilterSpec {
+                drop_bad_checksum: 1.0,
+                drop_no_flag: 1.0,
+                drop_bare_fin: 1.0,
+                ..FilterSpec::default()
+            },
+            ClientSideProfile::Clean => FilterSpec::passes_everything(),
+        }
+    }
+
+    /// Build the middlebox chain for this profile (inserted between the
+    /// client host and the censor tap).
+    pub fn build(self) -> Vec<Box<dyn Element>> {
+        vec![
+            Box::new(FragmentHandler::new(self.label(), self.fragment_mode())),
+            Box::new(FieldFilter::new(self.label(), self.filter_spec())),
+        ]
+    }
+
+    pub fn label(self) -> &'static str {
+        match self {
+            ClientSideProfile::Aliyun => "aliyun-mb",
+            ClientSideProfile::QCloud => "qcloud-mb",
+            ClientSideProfile::UnicomShijiazhuang => "unicom-sjz-mb",
+            ClientSideProfile::UnicomTianjin => "unicom-tj-mb",
+            ClientSideProfile::Clean => "clean-mb",
+        }
+    }
+
+    pub fn all_paper_profiles() -> [ClientSideProfile; 4] {
+        [
+            ClientSideProfile::Aliyun,
+            ClientSideProfile::QCloud,
+            ClientSideProfile::UnicomShijiazhuang,
+            ClientSideProfile::UnicomTianjin,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_cells_encoded_exactly() {
+        use ClientSideProfile::*;
+        assert_eq!(Aliyun.fragment_mode(), FragmentMode::Drop);
+        for p in [QCloud, UnicomShijiazhuang, UnicomTianjin] {
+            assert_eq!(p.fragment_mode(), FragmentMode::Reassemble);
+        }
+        // Wrong checksum: only Tianjin drops.
+        assert_eq!(UnicomTianjin.filter_spec().drop_bad_checksum, 1.0);
+        for p in [Aliyun, QCloud, UnicomShijiazhuang] {
+            assert_eq!(p.filter_spec().drop_bad_checksum, 0.0);
+        }
+        // No flag: only Tianjin drops.
+        assert_eq!(UnicomTianjin.filter_spec().drop_no_flag, 1.0);
+        // RST: only QCloud, sometimes.
+        assert_eq!(QCloud.filter_spec().drop_bare_rst, SOMETIMES);
+        assert_eq!(Aliyun.filter_spec().drop_bare_rst, 0.0);
+        // FIN: Aliyun sometimes; both Unicoms always; QCloud passes.
+        assert_eq!(Aliyun.filter_spec().drop_bare_fin, SOMETIMES);
+        assert_eq!(UnicomShijiazhuang.filter_spec().drop_bare_fin, 1.0);
+        assert_eq!(UnicomTianjin.filter_spec().drop_bare_fin, 1.0);
+        assert_eq!(QCloud.filter_spec().drop_bare_fin, 0.0);
+    }
+
+    #[test]
+    fn build_produces_two_elements() {
+        let chain = ClientSideProfile::Aliyun.build();
+        assert_eq!(chain.len(), 2);
+    }
+}

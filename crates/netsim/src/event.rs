@@ -1,0 +1,104 @@
+//! The event queue: a time-ordered heap with FIFO tie-breaking.
+
+use crate::element::Direction;
+use crate::time::Instant;
+use intang_packet::Wire;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Something scheduled to happen.
+#[derive(Debug)]
+pub enum Event {
+    /// Deliver `wire`, traveling in `dir`, to element `elem`.
+    Deliver { elem: usize, dir: Direction, wire: Wire },
+    /// Fire element `elem`'s timer with `token`.
+    Timer { elem: usize, token: u64 },
+}
+
+#[derive(Debug)]
+struct Queued {
+    at: Instant,
+    seq: u64,
+    event: Event,
+}
+
+impl PartialEq for Queued {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Queued {}
+impl PartialOrd for Queued {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Queued {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// Deterministic event queue: pops strictly in `(time, insertion order)`.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Reverse<Queued>>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    pub fn new() -> Self {
+        EventQueue::default()
+    }
+
+    pub fn push(&mut self, at: Instant, event: Event) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Queued { at, seq, event }));
+    }
+
+    pub fn pop(&mut self) -> Option<(Instant, Event)> {
+        self.heap.pop().map(|Reverse(q)| (q.at, q.event))
+    }
+
+    pub fn peek_time(&self) -> Option<Instant> {
+        self.heap.peek().map(|Reverse(q)| q.at)
+    }
+
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_then_fifo_order() {
+        let mut q = EventQueue::new();
+        q.push(Instant(10), Event::Timer { elem: 0, token: 1 });
+        q.push(Instant(5), Event::Timer { elem: 0, token: 2 });
+        q.push(Instant(10), Event::Timer { elem: 0, token: 3 });
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|(_, e)| match e {
+                Event::Timer { token, .. } => token,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, vec![2, 1, 3], "time order, then insertion order");
+    }
+
+    #[test]
+    fn peek_time() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.push(Instant(7), Event::Timer { elem: 1, token: 0 });
+        assert_eq!(q.peek_time(), Some(Instant(7)));
+        assert_eq!(q.len(), 1);
+    }
+}

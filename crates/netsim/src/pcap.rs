@@ -1,0 +1,141 @@
+//! Classic libpcap export for simulated traffic.
+//!
+//! Packet captures are how the paper's measurements were actually analyzed;
+//! being able to open a simulated run in Wireshark closes the tooling loop.
+//! The writer emits the classic (non-ng) format with the `LINKTYPE_RAW`
+//! link type (value 101): each record is a bare IPv4 datagram, exactly what
+//! travels through the simulator.
+
+use crate::time::Instant;
+
+/// libpcap global header magic (microsecond timestamps, host endian).
+const MAGIC: u32 = 0xa1b2_c3d4;
+/// LINKTYPE_RAW: packets start directly with the IPv4/IPv6 header.
+const LINKTYPE_RAW: u32 = 101;
+
+/// An in-memory pcap file under construction.
+#[derive(Debug, Clone)]
+pub struct PcapWriter {
+    buf: Vec<u8>,
+    packets: usize,
+}
+
+impl Default for PcapWriter {
+    fn default() -> Self {
+        PcapWriter::new()
+    }
+}
+
+impl PcapWriter {
+    pub fn new() -> PcapWriter {
+        let mut buf = Vec::with_capacity(4096);
+        buf.extend_from_slice(&MAGIC.to_le_bytes());
+        buf.extend_from_slice(&2u16.to_le_bytes()); // version major
+        buf.extend_from_slice(&4u16.to_le_bytes()); // version minor
+        buf.extend_from_slice(&0i32.to_le_bytes()); // thiszone
+        buf.extend_from_slice(&0u32.to_le_bytes()); // sigfigs
+        buf.extend_from_slice(&65_535u32.to_le_bytes()); // snaplen
+        buf.extend_from_slice(&LINKTYPE_RAW.to_le_bytes());
+        PcapWriter { buf, packets: 0 }
+    }
+
+    /// Append one datagram captured at simulated time `at`.
+    pub fn record(&mut self, at: Instant, wire: &[u8]) {
+        let secs = (at.micros() / 1_000_000) as u32;
+        let usecs = (at.micros() % 1_000_000) as u32;
+        self.buf.extend_from_slice(&secs.to_le_bytes());
+        self.buf.extend_from_slice(&usecs.to_le_bytes());
+        self.buf.extend_from_slice(&(wire.len() as u32).to_le_bytes());
+        self.buf.extend_from_slice(&(wire.len() as u32).to_le_bytes());
+        self.buf.extend_from_slice(wire);
+        self.packets += 1;
+    }
+
+    pub fn packet_count(&self) -> usize {
+        self.packets
+    }
+
+    /// The complete pcap file bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Write to disk.
+    pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, &self.buf)
+    }
+}
+
+/// Parse-back support (used by tests and by tools that post-process their
+/// own captures). Returns `(timestamp, datagram)` pairs.
+pub fn parse(bytes: &[u8]) -> Option<Vec<(Instant, Vec<u8>)>> {
+    if bytes.len() < 24 {
+        return None;
+    }
+    let magic = u32::from_le_bytes(bytes[0..4].try_into().ok()?);
+    if magic != MAGIC {
+        return None;
+    }
+    let linktype = u32::from_le_bytes(bytes[20..24].try_into().ok()?);
+    if linktype != LINKTYPE_RAW {
+        return None;
+    }
+    let mut out = Vec::new();
+    let mut pos = 24;
+    while pos + 16 <= bytes.len() {
+        let secs = u32::from_le_bytes(bytes[pos..pos + 4].try_into().ok()?);
+        let usecs = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().ok()?);
+        let incl = u32::from_le_bytes(bytes[pos + 8..pos + 12].try_into().ok()?) as usize;
+        pos += 16;
+        if pos + incl > bytes.len() {
+            return None;
+        }
+        out.push((
+            Instant(u64::from(secs) * 1_000_000 + u64::from(usecs)),
+            bytes[pos..pos + incl].to_vec(),
+        ));
+        pos += incl;
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let mut w = PcapWriter::new();
+        let p1 = vec![0x45, 0, 0, 20, 0, 0, 0, 0, 64, 6, 0, 0, 1, 2, 3, 4, 5, 6, 7, 8];
+        w.record(Instant(1_500_000), &p1);
+        w.record(Instant(2_000_001), &[0u8; 40]);
+        assert_eq!(w.packet_count(), 2);
+        let parsed = parse(w.as_bytes()).expect("valid pcap");
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].0, Instant(1_500_000));
+        assert_eq!(parsed[0].1, p1);
+        assert_eq!(parsed[1].0, Instant(2_000_001));
+        assert_eq!(parsed[1].1.len(), 40);
+    }
+
+    #[test]
+    fn header_is_libpcap_classic_raw() {
+        let w = PcapWriter::new();
+        let b = w.as_bytes();
+        assert_eq!(b.len(), 24, "just the global header");
+        assert_eq!(u32::from_le_bytes(b[0..4].try_into().unwrap()), 0xa1b2_c3d4);
+        assert_eq!(u32::from_le_bytes(b[20..24].try_into().unwrap()), 101);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse(&[1, 2, 3]).is_none());
+        assert!(parse(&[0u8; 24]).is_none(), "wrong magic");
+        // Truncated record.
+        let mut w = PcapWriter::new();
+        w.record(Instant(1), &[0u8; 20]);
+        let mut b = w.as_bytes().to_vec();
+        b.truncate(b.len() - 5);
+        assert!(parse(&b).is_none());
+    }
+}

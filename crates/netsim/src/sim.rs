@@ -1,0 +1,429 @@
+//! The simulation proper: a linear path of elements joined by links, driven
+//! by a deterministic event loop.
+
+use crate::element::{Ctx, Direction, Element, Emission};
+use crate::event::{Event, EventQueue};
+use crate::link::Link;
+use crate::rng::SimRng;
+use crate::time::Instant;
+#[cfg(test)]
+use crate::time::Duration;
+use crate::trace::{Trace, TraceKind, TracePoint};
+use intang_packet::{icmp, Ipv4Packet, Wire};
+
+/// A linear-path network simulation.
+///
+/// Elements are indexed left (client, 0) to right (server, n-1);
+/// `links[i]` joins `elements[i]` and `elements[i+1]`.
+///
+/// ```
+/// use intang_netsim::{Simulation, Link, Duration, Direction, Instant};
+/// use intang_netsim::element::PassThrough;
+///
+/// let mut sim = Simulation::new(1);
+/// sim.add_element(Box::new(PassThrough::new("client")));
+/// sim.add_link(Link::new(Duration::from_millis(10), 3)); // 3 routers
+/// sim.add_element(Box::new(PassThrough::new("server")));
+///
+/// let pkt = intang_packet::PacketBuilder::tcp(
+///     "10.0.0.1".parse().unwrap(), "10.0.0.2".parse().unwrap(), 1000, 80,
+/// ).build();
+/// sim.inject_at(0, Direction::ToServer, pkt, Instant::ZERO);
+/// sim.run_to_quiescence(100);
+/// assert_eq!(sim.delivered, 1);
+/// ```
+pub struct Simulation {
+    pub now: Instant,
+    pub rng: SimRng,
+    pub trace: Trace,
+    elements: Vec<Box<dyn Element>>,
+    links: Vec<Link>,
+    queue: EventQueue,
+    /// Total packets that fully traversed at least one link (statistics).
+    pub delivered: u64,
+    /// Packets lost to link loss.
+    pub lost: u64,
+    /// Packets that died of TTL expiry.
+    pub ttl_expired: u64,
+}
+
+impl Simulation {
+    pub fn new(seed: u64) -> Simulation {
+        Simulation {
+            now: Instant::ZERO,
+            rng: SimRng::seed_from(seed),
+            trace: Trace::new(),
+            elements: Vec::new(),
+            links: Vec::new(),
+            queue: EventQueue::new(),
+            delivered: 0,
+            lost: 0,
+            ttl_expired: 0,
+        }
+    }
+
+    /// Append an element to the right end of the path; returns its index.
+    /// Every element after the first must be preceded by [`Simulation::add_link`].
+    pub fn add_element(&mut self, e: Box<dyn Element>) -> usize {
+        assert!(
+            self.elements.is_empty() || self.links.len() == self.elements.len(),
+            "add_link must be called between add_element calls"
+        );
+        self.elements.push(e);
+        self.elements.len() - 1
+    }
+
+    /// Append the link that will join the last added element to the next.
+    pub fn add_link(&mut self, l: Link) {
+        assert!(!self.elements.is_empty(), "add an element before a link");
+        assert_eq!(self.links.len(), self.elements.len() - 1, "one link per element gap");
+        self.links.push(l);
+    }
+
+    pub fn element_count(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// Deliver a packet to an element at a given time (test/bootstrap hook).
+    pub fn inject_at(&mut self, elem: usize, dir: Direction, wire: Wire, at: Instant) {
+        self.queue.push(at, Event::Deliver { elem, dir, wire });
+    }
+
+    /// Schedule a timer for an element (bootstrap hook; elements normally
+    /// use [`Ctx::set_timer`]).
+    pub fn schedule_timer(&mut self, elem: usize, at: Instant, token: u64) {
+        self.queue.push(at, Event::Timer { elem, token });
+    }
+
+    /// Run until the queue empties or `deadline` passes. Returns the number
+    /// of events processed.
+    pub fn run_until(&mut self, deadline: Instant) -> u64 {
+        let mut n = 0;
+        while let Some(t) = self.queue.peek_time() {
+            if t > deadline {
+                break;
+            }
+            self.step();
+            n += 1;
+        }
+        if self.now < deadline {
+            self.now = deadline;
+        }
+        n
+    }
+
+    /// Run until the queue is fully drained (or `max_events` as a runaway
+    /// guard). Returns events processed.
+    pub fn run_to_quiescence(&mut self, max_events: u64) -> u64 {
+        let mut n = 0;
+        while n < max_events && self.step() {
+            n += 1;
+        }
+        n
+    }
+
+    /// Process a single event. Returns false when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some((at, event)) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(at >= self.now, "time went backwards");
+        self.now = at;
+        match event {
+            Event::Deliver { elem, dir, wire } => {
+                if self.trace.is_enabled() {
+                    let name = self.elements[elem].name().to_string();
+                    self.trace.record(
+                        at,
+                        TracePoint::Element { index: elem, name },
+                        TraceKind::Arrive,
+                        dir,
+                        intang_packet::summarize(&wire),
+                    );
+                }
+                let mut ctx = Ctx::new(at, &mut self.rng);
+                self.elements[elem].on_packet(&mut ctx, dir, wire);
+                let (emissions, timers) = (std::mem::take(&mut ctx.emissions), std::mem::take(&mut ctx.timers));
+                drop(ctx);
+                self.apply_effects(elem, emissions, timers);
+            }
+            Event::Timer { elem, token } => {
+                let mut ctx = Ctx::new(at, &mut self.rng);
+                self.elements[elem].on_timer(&mut ctx, token);
+                let (emissions, timers) = (std::mem::take(&mut ctx.emissions), std::mem::take(&mut ctx.timers));
+                drop(ctx);
+                self.apply_effects(elem, emissions, timers);
+            }
+        }
+        true
+    }
+
+    fn apply_effects(&mut self, from: usize, emissions: Vec<Emission>, timers: Vec<(Instant, u64)>) {
+        for (mut at, token) in timers {
+            if at < self.now {
+                at = self.now;
+            }
+            self.queue.push(at, Event::Timer { elem: from, token });
+        }
+        for em in emissions {
+            self.transmit(from, em);
+        }
+    }
+
+    /// Move a packet from element `from` across the adjacent link in
+    /// `em.dir`, applying TTL decrements, loss and latency.
+    fn transmit(&mut self, from: usize, em: Emission) {
+        let Emission { dir, mut wire, delay } = em;
+        if self.trace.is_enabled() {
+            let name = self.elements[from].name().to_string();
+            self.trace.record(
+                self.now,
+                TracePoint::Element { index: from, name },
+                TraceKind::Emit,
+                dir,
+                intang_packet::summarize(&wire),
+            );
+        }
+        let link_idx = match dir {
+            Direction::ToServer => {
+                if from + 1 >= self.elements.len() {
+                    return; // emitted past the right edge of the world
+                }
+                from
+            }
+            Direction::ToClient => {
+                if from == 0 {
+                    return; // emitted past the left edge of the world
+                }
+                from - 1
+            }
+        };
+        let to = match dir {
+            Direction::ToServer => from + 1,
+            Direction::ToClient => from - 1,
+        };
+        let link = self.links[link_idx].clone();
+        let depart = self.now + delay;
+
+        // Walk the routers: decrement TTL once per hop.
+        for hop in 1..=link.hops {
+            if Ipv4Packet::new_checked(&wire[..]).is_err() {
+                break; // unparseable payloads glide through unrouted
+            }
+            let mut ip = Ipv4Packet::new_unchecked(&mut wire[..]);
+            let ttl = ip.decrement_ttl();
+            if ttl == 0 {
+                self.ttl_expired += 1;
+                let died_at = depart + link.per_hop_latency() * u64::from(hop);
+                if self.trace.is_enabled() {
+                    self.trace.record(
+                        died_at,
+                        TracePoint::Link { after: link_idx, hop },
+                        TraceKind::TtlExpired,
+                        dir,
+                        intang_packet::summarize(&wire),
+                    );
+                }
+                // ICMP time-exceeded travels back to the emitting side.
+                if let Some(te) = icmp::time_exceeded_for(link.router_addr(hop), &wire) {
+                    let back_at = died_at + link.per_hop_latency() * u64::from(hop);
+                    self.queue.push(back_at, Event::Deliver { elem: from, dir: dir.reversed(), wire: te });
+                }
+                return;
+            }
+        }
+
+        if self.rng.chance(link.loss) {
+            self.lost += 1;
+            if self.trace.is_enabled() {
+                self.trace.record(
+                    depart,
+                    TracePoint::Link { after: link_idx, hop: 0 },
+                    TraceKind::Loss,
+                    dir,
+                    intang_packet::summarize(&wire),
+                );
+            }
+            return;
+        }
+
+        self.delivered += 1;
+        self.queue.push(depart + link.latency, Event::Deliver { elem: to, dir, wire });
+    }
+
+    /// Immutable access to an element (for assertions in tests).
+    pub fn element(&self, idx: usize) -> &dyn Element {
+        self.elements[idx].as_ref()
+    }
+
+    /// Mutable access to a link — lets experiments model *route dynamics*
+    /// (§3.4: "routes are dynamic and could change unexpectedly", making
+    /// previously measured TTLs wrong) by changing hop counts mid-run.
+    pub fn link_mut(&mut self, idx: usize) -> &mut Link {
+        &mut self.links[idx]
+    }
+
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Mutable access to an element (for wiring in handles after build).
+    pub fn element_mut(&mut self, idx: usize) -> &mut dyn Element {
+        self.elements[idx].as_mut()
+    }
+
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::element::PassThrough;
+    use intang_packet::{PacketBuilder, TcpFlags};
+    use std::cell::RefCell;
+    use std::net::Ipv4Addr;
+    use std::rc::Rc;
+
+    /// Records everything that reaches it.
+    struct Sink {
+        got: Rc<RefCell<Vec<(Instant, Wire)>>>,
+    }
+
+    impl Element for Sink {
+        fn name(&self) -> &str {
+            "sink"
+        }
+        fn on_packet(&mut self, ctx: &mut Ctx<'_>, _dir: Direction, wire: Wire) {
+            self.got.borrow_mut().push((ctx.now, wire));
+        }
+    }
+
+    fn pkt(ttl: u8) -> Wire {
+        PacketBuilder::tcp(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2), 1000, 80)
+            .flags(TcpFlags::SYN)
+            .ttl(ttl)
+            .build()
+    }
+
+    fn two_node_sim(link: Link) -> (Simulation, Rc<RefCell<Vec<(Instant, Wire)>>>) {
+        let got = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Simulation::new(1);
+        sim.add_element(Box::new(PassThrough::new("client")));
+        sim.add_link(link);
+        sim.add_element(Box::new(Sink { got: got.clone() }));
+        (sim, got)
+    }
+
+    #[test]
+    fn packet_crosses_link_with_latency_and_ttl_decrement() {
+        let (mut sim, got) = two_node_sim(Link::new(Duration::from_millis(10), 3));
+        // Injecting a ToServer packet *at* element 0 makes the pass-through
+        // client forward it onto the link.
+        sim.inject_at(0, Direction::ToServer, pkt(64), Instant::ZERO);
+        sim.run_to_quiescence(100);
+        let got = got.borrow();
+        assert_eq!(got.len(), 1);
+        let (at, wire) = &got[0];
+        assert_eq!(*at, Instant(10_000));
+        let ip = Ipv4Packet::new_checked(&wire[..]).unwrap();
+        assert_eq!(ip.ttl(), 61, "three routers decremented TTL");
+        assert!(ip.verify_header_checksum());
+    }
+
+    #[test]
+    fn ttl_expiry_stops_packet_short_of_destination() {
+        let (mut sim, got) = two_node_sim(Link::new(Duration::from_millis(9), 3));
+        // TTL 2 dies at the second router of a 3-hop link.
+        sim.inject_at(0, Direction::ToServer, pkt(2), Instant::ZERO);
+        sim.run_to_quiescence(100);
+        assert!(got.borrow().is_empty(), "packet must not reach the sink");
+        assert_eq!(sim.ttl_expired, 1);
+        assert_eq!(sim.delivered, 0);
+    }
+
+    #[test]
+    fn icmp_reaches_original_sender_through_elements() {
+        // client(sink-recorder that also forwards) - link(5 hops) - server
+        struct Fwd {
+            got: Rc<RefCell<Vec<Wire>>>,
+        }
+        impl Element for Fwd {
+            fn name(&self) -> &str {
+                "client"
+            }
+            fn on_packet(&mut self, ctx: &mut Ctx<'_>, dir: Direction, wire: Wire) {
+                if dir == Direction::ToClient {
+                    self.got.borrow_mut().push(wire);
+                } else {
+                    ctx.send(dir, wire);
+                }
+            }
+        }
+        let got = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Simulation::new(3);
+        sim.add_element(Box::new(Fwd { got: got.clone() }));
+        sim.add_link(Link::new(Duration::from_millis(20), 5));
+        sim.add_element(Box::new(PassThrough::new("server")));
+        sim.inject_at(0, Direction::ToServer, pkt(3), Instant::ZERO);
+        sim.run_to_quiescence(100);
+        let got = got.borrow();
+        assert_eq!(got.len(), 1, "ICMP time-exceeded came back to the client");
+        let (router, quote) = intang_packet::icmp::parse_time_exceeded(&got[0]).unwrap();
+        assert_eq!(quote.orig_dst, Ipv4Addr::new(10, 0, 0, 2));
+        assert_eq!(quote.dst_port, 80);
+        // Died at hop 3 of the link after element 0.
+        assert_eq!(router, sim.links[0].router_addr(3));
+    }
+
+    #[test]
+    fn lossy_link_drops_deterministically() {
+        let link = Link::new(Duration::from_millis(1), 1).with_loss(0.5);
+        let (mut sim, got) = two_node_sim(link);
+        for i in 0..100 {
+            sim.inject_at(0, Direction::ToServer, pkt(64), Instant(i * 1_000));
+        }
+        sim.run_to_quiescence(1_000);
+        let received = got.borrow().len();
+        assert_eq!(received as u64, sim.delivered);
+        assert_eq!(sim.lost + sim.delivered, 100);
+        assert!((30..70).contains(&received), "loss roughly calibrated, got {received}");
+
+        // Replay with the same seed: identical outcome.
+        let link = Link::new(Duration::from_millis(1), 1).with_loss(0.5);
+        let (mut sim2, got2) = two_node_sim(link);
+        for i in 0..100 {
+            sim2.inject_at(0, Direction::ToServer, pkt(64), Instant(i * 1_000));
+        }
+        sim2.run_to_quiescence(1_000);
+        assert_eq!(got2.borrow().len(), received);
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        struct TimerBox {
+            fired: Rc<RefCell<Vec<u64>>>,
+        }
+        impl Element for TimerBox {
+            fn name(&self) -> &str {
+                "t"
+            }
+            fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _d: Direction, _w: Wire) {}
+            fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+                self.fired.borrow_mut().push(token);
+                if token == 1 {
+                    ctx.set_timer(ctx.now + Duration::from_millis(5), 99);
+                }
+            }
+        }
+        let fired = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Simulation::new(1);
+        sim.add_element(Box::new(TimerBox { fired: fired.clone() }));
+        sim.schedule_timer(0, Instant(2_000), 2);
+        sim.schedule_timer(0, Instant(1_000), 1);
+        sim.run_to_quiescence(10);
+        assert_eq!(*fired.borrow(), vec![1, 2, 99]);
+        assert_eq!(sim.now, Instant(6_000));
+    }
+}

@@ -1,0 +1,115 @@
+//! Virtual time. Microsecond resolution, 64-bit — enough for centuries of
+//! simulated traffic.
+
+/// A point in simulated time (microseconds since simulation start).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Instant(pub u64);
+
+/// A span of simulated time in microseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Duration(pub u64);
+
+impl Instant {
+    pub const ZERO: Instant = Instant(0);
+
+    pub fn micros(self) -> u64 {
+        self.0
+    }
+
+    pub fn millis(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    pub fn secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    pub fn saturating_sub(self, other: Instant) -> Duration {
+        Duration(self.0.saturating_sub(other.0))
+    }
+}
+
+impl Duration {
+    pub const ZERO: Duration = Duration(0);
+
+    pub const fn from_micros(us: u64) -> Duration {
+        Duration(us)
+    }
+
+    pub const fn from_millis(ms: u64) -> Duration {
+        Duration(ms * 1_000)
+    }
+
+    pub const fn from_secs(s: u64) -> Duration {
+        Duration(s * 1_000_000)
+    }
+
+    pub fn micros(self) -> u64 {
+        self.0
+    }
+}
+
+impl std::ops::Add<Duration> for Instant {
+    type Output = Instant;
+    fn add(self, d: Duration) -> Instant {
+        Instant(self.0 + d.0)
+    }
+}
+
+impl std::ops::Add for Duration {
+    type Output = Duration;
+    fn add(self, d: Duration) -> Duration {
+        Duration(self.0 + d.0)
+    }
+}
+
+impl std::ops::Mul<u64> for Duration {
+    type Output = Duration;
+    fn mul(self, k: u64) -> Duration {
+        Duration(self.0 * k)
+    }
+}
+
+fn fmt_micros(us: u64, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+    if us >= 1_000_000 {
+        write!(f, "{}.{:06}s", us / 1_000_000, us % 1_000_000)
+    } else if us >= 1_000 {
+        write!(f, "{}.{:03}ms", us / 1_000, us % 1_000)
+    } else {
+        write!(f, "{}us", us)
+    }
+}
+
+impl std::fmt::Display for Instant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        fmt_micros(self.0, f)
+    }
+}
+
+impl std::fmt::Display for Duration {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        fmt_micros(self.0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let t = Instant::ZERO + Duration::from_millis(5) + Duration::from_micros(1);
+        assert_eq!(t.micros(), 5_001);
+        assert_eq!(Duration::from_secs(2).micros(), 2_000_000);
+        assert_eq!((Duration::from_millis(20) * 3).micros(), 60_000);
+        assert_eq!(t.saturating_sub(Instant(6_000)), Duration::ZERO);
+        assert_eq!(Instant(6_000).saturating_sub(t), Duration(999));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(format!("{}", Instant(12)), "12us");
+        assert_eq!(format!("{}", Instant(12_345)), "12.345ms");
+        assert_eq!(format!("{}", Instant(3_000_001)), "3.000001s");
+    }
+}

@@ -1,0 +1,130 @@
+//! Packet traces: every arrival, drop, injection and TTL expiry, with
+//! timestamps — the raw material for the Fig. 3 / Fig. 4 sequence diagrams
+//! and for debugging strategy interactions.
+
+use crate::element::Direction;
+use crate::time::Instant;
+
+/// Where a trace event happened.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TracePoint {
+    /// At element `index` named `name`.
+    Element { index: usize, name: String },
+    /// Inside the link after element `after` (router hop `hop`).
+    Link { after: usize, hop: u8 },
+}
+
+/// What happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// Packet arrived at an element.
+    Arrive,
+    /// Element emitted a packet (forward or inject).
+    Emit,
+    /// Packet lost on a link.
+    Loss,
+    /// Packet TTL expired at a router.
+    TtlExpired,
+}
+
+/// One trace record.
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    pub at: Instant,
+    pub point: TracePoint,
+    pub kind: TraceKind,
+    pub dir: Direction,
+    pub summary: String,
+}
+
+/// A bounded in-memory trace. Disabled by default (experiments run millions
+/// of packets); enable for diagnostics and figure generation.
+#[derive(Debug, Default)]
+pub struct Trace {
+    enabled: bool,
+    events: Vec<TraceEvent>,
+    cap: usize,
+}
+
+impl Trace {
+    pub fn new() -> Trace {
+        Trace { enabled: false, events: Vec::new(), cap: 100_000 }
+    }
+
+    pub fn enable(&mut self) {
+        self.enabled = true;
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    pub fn record(&mut self, at: Instant, point: TracePoint, kind: TraceKind, dir: Direction, summary: String) {
+        if self.enabled && self.events.len() < self.cap {
+            self.events.push(TraceEvent { at, point, kind, dir, summary });
+        }
+    }
+
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+
+    /// Render the trace as a textual sequence, one line per event.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            let loc = match &e.point {
+                TracePoint::Element { name, .. } => name.clone(),
+                TracePoint::Link { after, hop } => format!("link[{}]+{}", after, hop),
+            };
+            let kind = match e.kind {
+                TraceKind::Arrive => "rx",
+                TraceKind::Emit => "tx",
+                TraceKind::Loss => "LOST",
+                TraceKind::TtlExpired => "TTL!",
+            };
+            out.push_str(&format!("{:>12}  {:<12} {:<4} {} {}\n", format!("{}", e.at), loc, kind, e.dir, e.summary));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = Trace::new();
+        t.record(Instant(1), TracePoint::Element { index: 0, name: "x".into() }, TraceKind::Arrive, Direction::ToServer, "p".into());
+        assert!(t.events().is_empty());
+    }
+
+    #[test]
+    fn enabled_trace_renders() {
+        let mut t = Trace::new();
+        t.enable();
+        t.record(
+            Instant(1_500),
+            TracePoint::Element { index: 2, name: "GFW".into() },
+            TraceKind::Arrive,
+            Direction::ToServer,
+            "SYN".into(),
+        );
+        t.record(
+            Instant(2_000),
+            TracePoint::Link { after: 2, hop: 3 },
+            TraceKind::TtlExpired,
+            Direction::ToServer,
+            "RST ttl=0".into(),
+        );
+        let s = t.render();
+        assert!(s.contains("GFW"));
+        assert!(s.contains("TTL!"));
+        assert!(s.contains("link[2]+3"));
+    }
+}

@@ -1,0 +1,195 @@
+//! High-level construction of complete IPv4/TCP/UDP datagrams, including
+//! every deliberate malformation used by the paper's insertion packets.
+//!
+//! ```
+//! use intang_packet::{PacketBuilder, TcpFlags};
+//! use std::net::Ipv4Addr;
+//!
+//! let client = Ipv4Addr::new(10, 0, 0, 1);
+//! let server = Ipv4Addr::new(93, 184, 216, 34);
+//! // A TTL-limited RST insertion packet (TCB-teardown strategy, §3.2):
+//! let wire = PacketBuilder::tcp(client, server, 40000, 80)
+//!     .seq(12345)
+//!     .flags(TcpFlags::RST)
+//!     .ttl(8)
+//!     .build();
+//! assert!(intang_packet::Ipv4Packet::new_checked(&wire[..]).is_ok());
+//! ```
+
+use crate::ipv4::{IpProtocol, Ipv4Repr};
+use crate::tcp::{TcpFlags, TcpOption, TcpRepr};
+use crate::udp::UdpRepr;
+use std::net::Ipv4Addr;
+
+/// Fluent builder for one IPv4 datagram carrying TCP or UDP.
+#[derive(Debug, Clone)]
+pub struct PacketBuilder {
+    ip: Ipv4Repr,
+    tcp: Option<TcpRepr>,
+    udp: Option<UdpRepr>,
+}
+
+impl PacketBuilder {
+    /// Start a TCP datagram.
+    pub fn tcp(src: Ipv4Addr, dst: Ipv4Addr, src_port: u16, dst_port: u16) -> Self {
+        PacketBuilder {
+            ip: Ipv4Repr::new(src, dst, IpProtocol::Tcp),
+            tcp: Some(TcpRepr::new(src_port, dst_port)),
+            udp: None,
+        }
+    }
+
+    /// Start a UDP datagram.
+    pub fn udp(src: Ipv4Addr, dst: Ipv4Addr, src_port: u16, dst_port: u16, payload: Vec<u8>) -> Self {
+        PacketBuilder {
+            ip: Ipv4Repr::new(src, dst, IpProtocol::Udp),
+            tcp: None,
+            udp: Some(UdpRepr::new(src_port, dst_port, payload)),
+        }
+    }
+
+    fn tcp_mut(&mut self) -> &mut TcpRepr {
+        self.tcp.as_mut().expect("not a TCP builder")
+    }
+
+    pub fn seq(mut self, v: u32) -> Self {
+        self.tcp_mut().seq = v;
+        self
+    }
+
+    pub fn ack(mut self, v: u32) -> Self {
+        self.tcp_mut().ack = v;
+        self
+    }
+
+    pub fn flags(mut self, f: TcpFlags) -> Self {
+        self.tcp_mut().flags = f;
+        self
+    }
+
+    pub fn window(mut self, w: u16) -> Self {
+        self.tcp_mut().window = w;
+        self
+    }
+
+    pub fn payload(mut self, data: &[u8]) -> Self {
+        self.tcp_mut().payload = data.to_vec();
+        self
+    }
+
+    pub fn option(mut self, opt: TcpOption) -> Self {
+        self.tcp_mut().options.push(opt);
+        self
+    }
+
+    pub fn ttl(mut self, ttl: u8) -> Self {
+        self.ip.ttl = ttl;
+        self
+    }
+
+    pub fn ident(mut self, ident: u16) -> Self {
+        self.ip.ident = ident;
+        self
+    }
+
+    // ---- deliberate malformations (insertion-packet discrepancies) ----
+
+    /// Force a wrong TCP checksum (the classic bad-checksum insertion).
+    pub fn bad_checksum(mut self) -> Self {
+        self.tcp_mut().checksum_override = Some(0xbeef);
+        self
+    }
+
+    /// Attach an unsolicited RFC 2385 MD5 signature option (Table 3 / §5.3).
+    pub fn md5_option(self) -> Self {
+        self.option(TcpOption::Md5Sig([0x5a; 16]))
+    }
+
+    /// Attach RFC 7323 timestamps; `tsval` far in the past yields the
+    /// "timestamps too old" PAWS discard of Table 3.
+    pub fn timestamps(self, tsval: u32, tsecr: u32) -> Self {
+        self.option(TcpOption::Timestamps { tsval, tsecr })
+    }
+
+    /// Declare an IP total length larger than the real buffer (Table 3).
+    pub fn inflated_total_len(mut self, extra: u16) -> Self {
+        let real = (crate::ipv4::HEADER_LEN
+            + self.tcp.as_ref().map(|t| t.wire_len()).unwrap_or(0)
+            + self.udp.as_ref().map(|u| 8 + u.payload.len()).unwrap_or(0)) as u16;
+        self.ip.total_len_override = Some(real + extra);
+        self
+    }
+
+    /// Declare a TCP data offset below 5 words ("TCP header length < 20").
+    pub fn short_data_offset(mut self) -> Self {
+        self.tcp_mut().data_offset_words_override = Some(4);
+        self
+    }
+
+    /// Serialize into a wire datagram.
+    pub fn build(self) -> Vec<u8> {
+        let PacketBuilder { ip, tcp, udp } = self;
+        let transport = match (&tcp, &udp) {
+            (Some(t), None) => t.emit(ip.src, ip.dst),
+            (None, Some(u)) => u.emit(ip.src, ip.dst),
+            _ => unreachable!("builder always holds exactly one transport"),
+        };
+        ip.emit(&transport)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Ipv4Packet, TcpPacket};
+
+    fn c() -> Ipv4Addr {
+        Ipv4Addr::new(10, 0, 0, 1)
+    }
+    fn s() -> Ipv4Addr {
+        Ipv4Addr::new(203, 0, 113, 5)
+    }
+
+    #[test]
+    fn builds_valid_syn() {
+        let wire = PacketBuilder::tcp(c(), s(), 40000, 80)
+            .seq(1000)
+            .flags(TcpFlags::SYN)
+            .option(TcpOption::Mss(1460))
+            .build();
+        let ip = Ipv4Packet::new_checked(&wire[..]).unwrap();
+        assert!(ip.verify_header_checksum());
+        assert!(ip.total_len_consistent());
+        let tcp = TcpPacket::new_checked(ip.payload()).unwrap();
+        assert!(tcp.flags().syn());
+        assert!(tcp.verify_checksum(c(), s()));
+    }
+
+    #[test]
+    fn malformations_compose() {
+        let wire = PacketBuilder::tcp(c(), s(), 1, 2)
+            .payload(b"junk")
+            .bad_checksum()
+            .ttl(3)
+            .build();
+        let ip = Ipv4Packet::new_checked(&wire[..]).unwrap();
+        assert_eq!(ip.ttl(), 3);
+        let tcp = TcpPacket::new_checked(ip.payload()).unwrap();
+        assert!(!tcp.verify_checksum(c(), s()));
+    }
+
+    #[test]
+    fn inflated_total_len_flagged() {
+        let wire = PacketBuilder::tcp(c(), s(), 1, 2).payload(b"abc").inflated_total_len(64).build();
+        let ip = Ipv4Packet::new_checked(&wire[..]).unwrap();
+        assert!(!ip.total_len_consistent());
+    }
+
+    #[test]
+    fn udp_builder() {
+        let wire = PacketBuilder::udp(c(), s(), 5000, 53, b"q".to_vec()).ttl(60).build();
+        let ip = Ipv4Packet::new_checked(&wire[..]).unwrap();
+        assert_eq!(ip.protocol(), IpProtocol::Udp);
+        assert_eq!(ip.ttl(), 60);
+    }
+}

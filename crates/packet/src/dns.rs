@@ -1,0 +1,258 @@
+//! Minimal DNS codec: queries and A-record answers, over UDP and over TCP
+//! (2-byte length prefix framing, RFC 1035 §4.2.2).
+//!
+//! The GFW poisons UDP DNS by injecting a forged response (§2.1) and resets
+//! TCP DNS connections like HTTP. INTANG's DNS forwarder converts UDP
+//! queries to TCP queries toward an unpolluted resolver (§6); this codec is
+//! what both sides speak.
+
+use crate::{ParseError, Result};
+use std::net::Ipv4Addr;
+
+pub const TYPE_A: u16 = 1;
+pub const CLASS_IN: u16 = 1;
+
+/// A DNS question.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Question {
+    pub name: String,
+    pub qtype: u16,
+    pub qclass: u16,
+}
+
+/// A DNS resource record (A records only carry a meaningful `addr`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record {
+    pub name: String,
+    pub rtype: u16,
+    pub ttl: u32,
+    pub addr: Ipv4Addr,
+}
+
+/// A DNS message (query or response).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DnsMessage {
+    pub id: u16,
+    pub is_response: bool,
+    pub rcode: u8,
+    pub questions: Vec<Question>,
+    pub answers: Vec<Record>,
+}
+
+impl DnsMessage {
+    /// Build an A query for `name`.
+    pub fn query(id: u16, name: &str) -> DnsMessage {
+        DnsMessage {
+            id,
+            is_response: false,
+            rcode: 0,
+            questions: vec![Question { name: name.to_string(), qtype: TYPE_A, qclass: CLASS_IN }],
+            answers: Vec::new(),
+        }
+    }
+
+    /// Build a response answering `query` with one A record.
+    pub fn answer_a(query: &DnsMessage, addr: Ipv4Addr, ttl: u32) -> DnsMessage {
+        let name = query.questions.first().map(|q| q.name.clone()).unwrap_or_default();
+        DnsMessage {
+            id: query.id,
+            is_response: true,
+            rcode: 0,
+            questions: query.questions.clone(),
+            answers: vec![Record { name, rtype: TYPE_A, ttl, addr }],
+        }
+    }
+
+    pub fn first_name(&self) -> Option<&str> {
+        self.questions.first().map(|q| q.name.as_str())
+    }
+
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        out.extend_from_slice(&self.id.to_be_bytes());
+        let mut flags: u16 = 0;
+        if self.is_response {
+            flags |= 0x8000 | 0x0400; // QR + AA
+        }
+        flags |= 0x0100; // RD
+        flags |= u16::from(self.rcode) & 0x000f;
+        out.extend_from_slice(&flags.to_be_bytes());
+        out.extend_from_slice(&(self.questions.len() as u16).to_be_bytes());
+        out.extend_from_slice(&(self.answers.len() as u16).to_be_bytes());
+        out.extend_from_slice(&0u16.to_be_bytes()); // NS count
+        out.extend_from_slice(&0u16.to_be_bytes()); // AR count
+        for q in &self.questions {
+            encode_name(&q.name, &mut out);
+            out.extend_from_slice(&q.qtype.to_be_bytes());
+            out.extend_from_slice(&q.qclass.to_be_bytes());
+        }
+        for a in &self.answers {
+            encode_name(&a.name, &mut out);
+            out.extend_from_slice(&a.rtype.to_be_bytes());
+            out.extend_from_slice(&CLASS_IN.to_be_bytes());
+            out.extend_from_slice(&a.ttl.to_be_bytes());
+            out.extend_from_slice(&4u16.to_be_bytes());
+            out.extend_from_slice(&a.addr.octets());
+        }
+        out
+    }
+
+    pub fn decode(data: &[u8]) -> Result<DnsMessage> {
+        if data.len() < 12 {
+            return Err(ParseError::Truncated);
+        }
+        let id = u16::from_be_bytes([data[0], data[1]]);
+        let flags = u16::from_be_bytes([data[2], data[3]]);
+        let qd = u16::from_be_bytes([data[4], data[5]]) as usize;
+        let an = u16::from_be_bytes([data[6], data[7]]) as usize;
+        let mut pos = 12;
+        let mut questions = Vec::with_capacity(qd);
+        for _ in 0..qd {
+            let (name, np) = decode_name(data, pos)?;
+            pos = np;
+            if data.len() < pos + 4 {
+                return Err(ParseError::Truncated);
+            }
+            let qtype = u16::from_be_bytes([data[pos], data[pos + 1]]);
+            let qclass = u16::from_be_bytes([data[pos + 2], data[pos + 3]]);
+            pos += 4;
+            questions.push(Question { name, qtype, qclass });
+        }
+        let mut answers = Vec::with_capacity(an);
+        for _ in 0..an {
+            let (name, np) = decode_name(data, pos)?;
+            pos = np;
+            if data.len() < pos + 10 {
+                return Err(ParseError::Truncated);
+            }
+            let rtype = u16::from_be_bytes([data[pos], data[pos + 1]]);
+            let ttl = u32::from_be_bytes([data[pos + 4], data[pos + 5], data[pos + 6], data[pos + 7]]);
+            let rdlen = u16::from_be_bytes([data[pos + 8], data[pos + 9]]) as usize;
+            pos += 10;
+            if data.len() < pos + rdlen {
+                return Err(ParseError::Truncated);
+            }
+            let addr = if rtype == TYPE_A && rdlen == 4 {
+                Ipv4Addr::new(data[pos], data[pos + 1], data[pos + 2], data[pos + 3])
+            } else {
+                Ipv4Addr::UNSPECIFIED
+            };
+            pos += rdlen;
+            answers.push(Record { name, rtype, ttl, addr });
+        }
+        Ok(DnsMessage {
+            id,
+            is_response: flags & 0x8000 != 0,
+            rcode: (flags & 0x000f) as u8,
+            questions,
+            answers,
+        })
+    }
+
+    /// Frame for DNS-over-TCP: 2-byte big-endian length prefix.
+    pub fn encode_tcp(&self) -> Vec<u8> {
+        let body = self.encode();
+        let mut out = Vec::with_capacity(body.len() + 2);
+        out.extend_from_slice(&(body.len() as u16).to_be_bytes());
+        out.extend_from_slice(&body);
+        out
+    }
+
+    /// Try to extract one length-prefixed message from a TCP stream buffer.
+    /// Returns the message and the number of bytes consumed.
+    pub fn decode_tcp(stream: &[u8]) -> Result<(DnsMessage, usize)> {
+        if stream.len() < 2 {
+            return Err(ParseError::Truncated);
+        }
+        let len = u16::from_be_bytes([stream[0], stream[1]]) as usize;
+        if stream.len() < 2 + len {
+            return Err(ParseError::Truncated);
+        }
+        let msg = DnsMessage::decode(&stream[2..2 + len])?;
+        Ok((msg, 2 + len))
+    }
+}
+
+fn encode_name(name: &str, out: &mut Vec<u8>) {
+    for label in name.split('.').filter(|l| !l.is_empty()) {
+        debug_assert!(label.len() < 64, "DNS label too long");
+        out.push(label.len() as u8);
+        out.extend_from_slice(label.as_bytes());
+    }
+    out.push(0);
+}
+
+fn decode_name(data: &[u8], mut pos: usize) -> Result<(String, usize)> {
+    let mut name = String::new();
+    loop {
+        let &len = data.get(pos).ok_or(ParseError::Truncated)?;
+        if len & 0xc0 == 0xc0 {
+            // Compression pointers: not emitted by us; reject to stay simple.
+            return Err(ParseError::Unsupported);
+        }
+        pos += 1;
+        if len == 0 {
+            break;
+        }
+        let len = usize::from(len);
+        let label = data.get(pos..pos + len).ok_or(ParseError::Truncated)?;
+        if !name.is_empty() {
+            name.push('.');
+        }
+        name.push_str(std::str::from_utf8(label).map_err(|_| ParseError::Malformed)?);
+        pos += len;
+    }
+    Ok((name, pos))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_round_trip() {
+        let q = DnsMessage::query(0x1234, "www.dropbox.com");
+        let wire = q.encode();
+        let back = DnsMessage::decode(&wire).unwrap();
+        assert_eq!(back, q);
+        assert_eq!(back.first_name(), Some("www.dropbox.com"));
+        assert!(!back.is_response);
+    }
+
+    #[test]
+    fn answer_round_trip() {
+        let q = DnsMessage::query(7, "example.org");
+        let a = DnsMessage::answer_a(&q, Ipv4Addr::new(93, 184, 216, 34), 300);
+        let back = DnsMessage::decode(&a.encode()).unwrap();
+        assert_eq!(back, a);
+        assert!(back.is_response);
+        assert_eq!(back.answers[0].addr, Ipv4Addr::new(93, 184, 216, 34));
+        assert_eq!(back.id, 7, "response keeps the query id");
+    }
+
+    #[test]
+    fn tcp_framing() {
+        let q = DnsMessage::query(9, "tor.bridges.example");
+        let framed = q.encode_tcp();
+        // Partial buffer -> Truncated.
+        assert_eq!(DnsMessage::decode_tcp(&framed[..framed.len() - 1]).unwrap_err(), ParseError::Truncated);
+        let (msg, used) = DnsMessage::decode_tcp(&framed).unwrap();
+        assert_eq!(msg, q);
+        assert_eq!(used, framed.len());
+        // Two messages back to back.
+        let mut two = framed.clone();
+        two.extend_from_slice(&DnsMessage::query(10, "b.example").encode_tcp());
+        let (m1, used1) = DnsMessage::decode_tcp(&two).unwrap();
+        assert_eq!(m1.id, 9);
+        let (m2, _) = DnsMessage::decode_tcp(&two[used1..]).unwrap();
+        assert_eq!(m2.id, 10);
+    }
+
+    #[test]
+    fn rejects_compression_pointer() {
+        let q = DnsMessage::query(1, "a.b");
+        let mut wire = q.encode();
+        wire[12] = 0xc0; // turn first label into a compression pointer
+        assert!(DnsMessage::decode(&wire).is_err());
+    }
+}

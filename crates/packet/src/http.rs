@@ -1,0 +1,228 @@
+//! Minimal HTTP/1.1 request/response codec.
+//!
+//! Enough to reproduce the paper's workload: GET requests whose target or
+//! Host header can carry a sensitive keyword (the paper uses `ultrasurf` in
+//! the request), and simple full responses including the 301-with-keyword-
+//! in-Location case that §3.3 mentions the GFW can detect on some paths.
+
+use crate::{ParseError, Result};
+
+/// An HTTP/1.1 request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpRequest {
+    pub method: String,
+    pub target: String,
+    pub headers: Vec<(String, String)>,
+    pub body: Vec<u8>,
+}
+
+impl HttpRequest {
+    pub fn get(target: &str, host: &str) -> HttpRequest {
+        HttpRequest {
+            method: "GET".into(),
+            target: target.into(),
+            headers: vec![
+                ("Host".into(), host.into()),
+                ("User-Agent".into(), "intang-repro/0.1".into()),
+                ("Accept".into(), "*/*".into()),
+                ("Connection".into(), "close".into()),
+            ],
+            body: Vec::new(),
+        }
+    }
+
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = format!("{} {} HTTP/1.1\r\n", self.method, self.target).into_bytes();
+        for (k, v) in &self.headers {
+            out.extend_from_slice(format!("{}: {}\r\n", k, v).as_bytes());
+        }
+        out.extend_from_slice(b"\r\n");
+        out.extend_from_slice(&self.body);
+        out
+    }
+
+    /// Parse a request from a complete byte stream (headers terminated by
+    /// CRLFCRLF). Body length from Content-Length when present.
+    pub fn decode(data: &[u8]) -> Result<HttpRequest> {
+        let (head, rest) = split_head(data)?;
+        let mut lines = head.split("\r\n");
+        let request_line = lines.next().ok_or(ParseError::Malformed)?;
+        let mut parts = request_line.split(' ');
+        let method = parts.next().ok_or(ParseError::Malformed)?.to_string();
+        let target = parts.next().ok_or(ParseError::Malformed)?.to_string();
+        let version = parts.next().ok_or(ParseError::Malformed)?;
+        if !version.starts_with("HTTP/1.") {
+            return Err(ParseError::Unsupported);
+        }
+        let headers = parse_headers(lines)?;
+        let clen = content_length(&headers);
+        if rest.len() < clen {
+            return Err(ParseError::Truncated);
+        }
+        Ok(HttpRequest { method, target, headers, body: rest[..clen].to_vec() })
+    }
+}
+
+/// An HTTP/1.1 response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpResponse {
+    pub status: u16,
+    pub reason: String,
+    pub headers: Vec<(String, String)>,
+    pub body: Vec<u8>,
+}
+
+impl HttpResponse {
+    pub fn ok(body: &[u8]) -> HttpResponse {
+        HttpResponse {
+            status: 200,
+            reason: "OK".into(),
+            headers: vec![
+                ("Content-Type".into(), "text/html".into()),
+                ("Content-Length".into(), body.len().to_string()),
+                ("Connection".into(), "close".into()),
+            ],
+            body: body.to_vec(),
+        }
+    }
+
+    /// A 301 redirect to HTTPS: the Location header copies the request
+    /// target, which is how a sensitive keyword leaks into the *response*
+    /// (§3.3 — the reason HTTPS-default sites were excluded).
+    pub fn redirect_to_https(host: &str, target: &str) -> HttpResponse {
+        HttpResponse {
+            status: 301,
+            reason: "Moved Permanently".into(),
+            headers: vec![
+                ("Location".into(), format!("https://{}{}", host, target)),
+                ("Content-Length".into(), "0".into()),
+                ("Connection".into(), "close".into()),
+            ],
+            body: Vec::new(),
+        }
+    }
+
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = format!("HTTP/1.1 {} {}\r\n", self.status, self.reason).into_bytes();
+        for (k, v) in &self.headers {
+            out.extend_from_slice(format!("{}: {}\r\n", k, v).as_bytes());
+        }
+        out.extend_from_slice(b"\r\n");
+        out.extend_from_slice(&self.body);
+        out
+    }
+
+    pub fn decode(data: &[u8]) -> Result<HttpResponse> {
+        let (head, rest) = split_head(data)?;
+        let mut lines = head.split("\r\n");
+        let status_line = lines.next().ok_or(ParseError::Malformed)?;
+        let mut parts = status_line.splitn(3, ' ');
+        let version = parts.next().ok_or(ParseError::Malformed)?;
+        if !version.starts_with("HTTP/1.") {
+            return Err(ParseError::Unsupported);
+        }
+        let status: u16 = parts.next().ok_or(ParseError::Malformed)?.parse().map_err(|_| ParseError::Malformed)?;
+        let reason = parts.next().unwrap_or("").to_string();
+        let headers = parse_headers(lines)?;
+        let clen = content_length(&headers);
+        if rest.len() < clen {
+            return Err(ParseError::Truncated);
+        }
+        Ok(HttpResponse { status, reason, headers, body: rest[..clen].to_vec() })
+    }
+}
+
+fn split_head(data: &[u8]) -> Result<(&str, &[u8])> {
+    let pos = data
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or(ParseError::Truncated)?;
+    let head = std::str::from_utf8(&data[..pos]).map_err(|_| ParseError::Malformed)?;
+    Ok((head, &data[pos + 4..]))
+}
+
+fn parse_headers<'a>(lines: impl Iterator<Item = &'a str>) -> Result<Vec<(String, String)>> {
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (k, v) = line.split_once(':').ok_or(ParseError::Malformed)?;
+        headers.push((k.trim().to_string(), v.trim().to_string()));
+    }
+    Ok(headers)
+}
+
+fn content_length(headers: &[(String, String)]) -> usize {
+    headers
+        .iter()
+        .find(|(k, _)| k.eq_ignore_ascii_case("content-length"))
+        .and_then(|(_, v)| v.parse().ok())
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trip() {
+        let req = HttpRequest::get("/search?q=ultrasurf", "www.example.com");
+        let wire = req.encode();
+        let back = HttpRequest::decode(&wire).unwrap();
+        assert_eq!(back, req);
+        assert_eq!(back.header("host"), Some("www.example.com"));
+    }
+
+    #[test]
+    fn response_round_trip() {
+        let resp = HttpResponse::ok(b"<html>hi</html>");
+        let wire = resp.encode();
+        let back = HttpResponse::decode(&wire).unwrap();
+        assert_eq!(back, resp);
+        assert_eq!(back.status, 200);
+        assert_eq!(back.body, b"<html>hi</html>");
+    }
+
+    #[test]
+    fn redirect_copies_keyword_into_location() {
+        let resp = HttpResponse::redirect_to_https("example.com", "/ultrasurf");
+        let wire = resp.encode();
+        let s = String::from_utf8(wire).unwrap();
+        assert!(s.contains("Location: https://example.com/ultrasurf"));
+    }
+
+    #[test]
+    fn truncated_body_detected() {
+        let mut resp = HttpResponse::ok(b"full body");
+        resp.headers.retain(|(k, _)| !k.eq_ignore_ascii_case("content-length"));
+        resp.headers.push(("Content-Length".into(), "100".into()));
+        let wire = resp.encode();
+        assert_eq!(HttpResponse::decode(&wire).unwrap_err(), ParseError::Truncated);
+    }
+
+    #[test]
+    fn request_split_across_packets_concatenates() {
+        // What the GFW's reassembly must handle: keyword split in halves.
+        let req = HttpRequest::get("/ultrasurf", "example.com").encode();
+        let (a, b) = req.split_at(req.len() / 2);
+        let mut joined = a.to_vec();
+        joined.extend_from_slice(b);
+        assert!(HttpRequest::decode(&joined).is_ok());
+        assert!(HttpRequest::decode(a).is_err());
+    }
+}

@@ -1,0 +1,235 @@
+//! ICMP: echo request/reply and time-exceeded.
+//!
+//! Time-exceeded messages are what make the paper's TTL-scoped insertion
+//! packets *measurable*: INTANG estimates the hop count to the server with a
+//! tcptraceroute-style probe (§7.1) and then sets the insertion TTL to
+//! `hops - δ`. Our simulated routers emit real time-exceeded datagrams
+//! embedding the expired packet's IP header + 8 bytes, exactly like RFC 792.
+
+use crate::{checksum, ipv4, ParseError, Result};
+use std::net::Ipv4Addr;
+
+pub const HEADER_LEN: usize = 8;
+
+pub const TYPE_ECHO_REPLY: u8 = 0;
+pub const TYPE_ECHO_REQUEST: u8 = 8;
+pub const TYPE_TIME_EXCEEDED: u8 = 11;
+
+/// Zero-copy view over an ICMP message.
+#[derive(Debug, Clone, Copy)]
+pub struct IcmpPacket<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> IcmpPacket<T> {
+    pub fn new_unchecked(buffer: T) -> Self {
+        IcmpPacket { buffer }
+    }
+
+    pub fn new_checked(buffer: T) -> Result<Self> {
+        let pkt = IcmpPacket::new_unchecked(buffer);
+        if pkt.buffer.as_ref().len() < HEADER_LEN {
+            return Err(ParseError::Truncated);
+        }
+        Ok(pkt)
+    }
+
+    fn data(&self) -> &[u8] {
+        self.buffer.as_ref()
+    }
+
+    pub fn msg_type(&self) -> u8 {
+        self.data()[0]
+    }
+
+    pub fn code(&self) -> u8 {
+        self.data()[1]
+    }
+
+    pub fn checksum_field(&self) -> u16 {
+        u16::from_be_bytes([self.data()[2], self.data()[3]])
+    }
+
+    /// The 4 "rest of header" bytes (ident+seq for echo, unused for
+    /// time-exceeded).
+    pub fn rest(&self) -> [u8; 4] {
+        [self.data()[4], self.data()[5], self.data()[6], self.data()[7]]
+    }
+
+    pub fn ident(&self) -> u16 {
+        u16::from_be_bytes([self.data()[4], self.data()[5]])
+    }
+
+    pub fn seq_no(&self) -> u16 {
+        u16::from_be_bytes([self.data()[6], self.data()[7]])
+    }
+
+    pub fn payload(&self) -> &[u8] {
+        &self.data()[HEADER_LEN..]
+    }
+
+    pub fn verify_checksum(&self) -> bool {
+        checksum::verify(self.data())
+    }
+}
+
+/// High-level ICMP messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IcmpRepr {
+    EchoRequest { ident: u16, seq_no: u16, payload: Vec<u8> },
+    EchoReply { ident: u16, seq_no: u16, payload: Vec<u8> },
+    /// TTL expired in transit; carries the offending datagram's IP header
+    /// plus the first 8 bytes of its payload.
+    TimeExceeded { original: Vec<u8> },
+}
+
+impl IcmpRepr {
+    pub fn parse<T: AsRef<[u8]>>(pkt: &IcmpPacket<T>) -> Result<IcmpRepr> {
+        match (pkt.msg_type(), pkt.code()) {
+            (TYPE_ECHO_REQUEST, 0) => Ok(IcmpRepr::EchoRequest {
+                ident: pkt.ident(),
+                seq_no: pkt.seq_no(),
+                payload: pkt.payload().to_vec(),
+            }),
+            (TYPE_ECHO_REPLY, 0) => Ok(IcmpRepr::EchoReply {
+                ident: pkt.ident(),
+                seq_no: pkt.seq_no(),
+                payload: pkt.payload().to_vec(),
+            }),
+            (TYPE_TIME_EXCEEDED, 0) => Ok(IcmpRepr::TimeExceeded { original: pkt.payload().to_vec() }),
+            _ => Err(ParseError::Unsupported),
+        }
+    }
+
+    pub fn emit(&self) -> Vec<u8> {
+        let (ty, rest, payload): (u8, [u8; 4], &[u8]) = match self {
+            IcmpRepr::EchoRequest { ident, seq_no, payload } => {
+                let mut r = [0u8; 4];
+                r[0..2].copy_from_slice(&ident.to_be_bytes());
+                r[2..4].copy_from_slice(&seq_no.to_be_bytes());
+                (TYPE_ECHO_REQUEST, r, payload)
+            }
+            IcmpRepr::EchoReply { ident, seq_no, payload } => {
+                let mut r = [0u8; 4];
+                r[0..2].copy_from_slice(&ident.to_be_bytes());
+                r[2..4].copy_from_slice(&seq_no.to_be_bytes());
+                (TYPE_ECHO_REPLY, r, payload)
+            }
+            IcmpRepr::TimeExceeded { original } => (TYPE_TIME_EXCEEDED, [0u8; 4], original),
+        };
+        let mut buf = vec![0u8; HEADER_LEN + payload.len()];
+        buf[0] = ty;
+        buf[4..8].copy_from_slice(&rest);
+        buf[HEADER_LEN..].copy_from_slice(payload);
+        let ck = checksum::checksum(&buf);
+        buf[2..4].copy_from_slice(&ck.to_be_bytes());
+        buf
+    }
+}
+
+/// Build a complete time-exceeded IPv4 datagram from `router` back to the
+/// source of the expired datagram `expired_wire`.
+pub fn time_exceeded_for(router: Ipv4Addr, expired_wire: &[u8]) -> Option<Vec<u8>> {
+    let expired = ipv4::Ipv4Packet::new_checked(expired_wire).ok()?;
+    let quote_len = (expired.header_len() + 8).min(expired_wire.len());
+    let repr = IcmpRepr::TimeExceeded { original: expired_wire[..quote_len].to_vec() };
+    let ip = ipv4::Ipv4Repr::new(router, expired.src_addr(), ipv4::IpProtocol::Icmp);
+    Some(ip.emit(&repr.emit()))
+}
+
+/// Given a received time-exceeded datagram, recover the (dst, protocol,
+/// src_port, dst_port, seq) of the original expired packet. Used by the
+/// tcptraceroute-style hop estimator to match responses to probes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExpiredQuote {
+    pub orig_src: Ipv4Addr,
+    pub orig_dst: Ipv4Addr,
+    pub protocol: ipv4::IpProtocol,
+    pub src_port: u16,
+    pub dst_port: u16,
+    /// TCP sequence number of the quoted segment (0 for non-TCP).
+    pub seq: u32,
+}
+
+pub fn parse_time_exceeded(wire: &[u8]) -> Option<(Ipv4Addr, ExpiredQuote)> {
+    let ip = ipv4::Ipv4Packet::new_checked(wire).ok()?;
+    if ip.protocol() != ipv4::IpProtocol::Icmp {
+        return None;
+    }
+    let icmp = IcmpPacket::new_checked(ip.payload()).ok()?;
+    if icmp.msg_type() != TYPE_TIME_EXCEEDED {
+        return None;
+    }
+    let quoted = icmp.payload();
+    let orig = ipv4::Ipv4Packet::new_checked(quoted).ok()?;
+    let transport = orig.payload();
+    // Only the first 8 transport bytes are guaranteed to be quoted.
+    if transport.len() < 8 {
+        return None;
+    }
+    let src_port = u16::from_be_bytes([transport[0], transport[1]]);
+    let dst_port = u16::from_be_bytes([transport[2], transport[3]]);
+    let seq = match orig.protocol() {
+        ipv4::IpProtocol::Tcp => u32::from_be_bytes([transport[4], transport[5], transport[6], transport[7]]),
+        _ => 0,
+    };
+    Some((
+        ip.src_addr(),
+        ExpiredQuote {
+            orig_src: orig.src_addr(),
+            orig_dst: orig.dst_addr(),
+            protocol: orig.protocol(),
+            src_port,
+            dst_port,
+            seq,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tcp::{TcpFlags, TcpRepr};
+    use crate::{IpProtocol, Ipv4Repr};
+
+    #[test]
+    fn echo_round_trip() {
+        let repr = IcmpRepr::EchoRequest { ident: 42, seq_no: 7, payload: b"ping".to_vec() };
+        let wire = repr.emit();
+        let pkt = IcmpPacket::new_checked(&wire[..]).unwrap();
+        assert!(pkt.verify_checksum());
+        assert_eq!(IcmpRepr::parse(&pkt).unwrap(), repr);
+    }
+
+    #[test]
+    fn time_exceeded_quotes_original() {
+        let client = Ipv4Addr::new(10, 0, 0, 1);
+        let server = Ipv4Addr::new(93, 184, 216, 34);
+        let router = Ipv4Addr::new(172, 16, 5, 9);
+        let tcp = TcpRepr { seq: 0xdeadbeef, flags: TcpFlags::SYN, ..TcpRepr::new(40000, 80) };
+        let ip = Ipv4Repr { ttl: 1, ..Ipv4Repr::new(client, server, IpProtocol::Tcp) };
+        let expired = ip.emit(&tcp.emit(client, server));
+
+        let te = time_exceeded_for(router, &expired).unwrap();
+        let (from, quote) = parse_time_exceeded(&te).unwrap();
+        assert_eq!(from, router);
+        assert_eq!(quote.orig_src, client);
+        assert_eq!(quote.orig_dst, server);
+        assert_eq!(quote.protocol, IpProtocol::Tcp);
+        assert_eq!(quote.src_port, 40000);
+        assert_eq!(quote.dst_port, 80);
+        assert_eq!(quote.seq, 0xdeadbeef);
+
+        // The ICMP datagram must be addressed back to the expired packet's source.
+        let outer = crate::Ipv4Packet::new_checked(&te[..]).unwrap();
+        assert_eq!(outer.dst_addr(), client);
+    }
+
+    #[test]
+    fn parse_rejects_non_icmp() {
+        let a = Ipv4Addr::new(1, 1, 1, 1);
+        let ip = Ipv4Repr::new(a, a, IpProtocol::Tcp);
+        let wire = ip.emit(&[0u8; 20]);
+        assert!(parse_time_exceeded(&wire).is_none());
+    }
+}

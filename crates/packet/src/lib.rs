@@ -1,0 +1,190 @@
+//! # intang-packet
+//!
+//! Wire-format codecs for the "Your State is Not Mine" (IMC 2017)
+//! reproduction. Everything that travels through the simulated network is a
+//! real IPv4 datagram serialized to bytes: the censor, the middleboxes and
+//! the endpoints all parse the same octets, exactly as they would on a wire.
+//!
+//! The crate follows the smoltcp idiom: a zero-copy *view* type
+//! ([`ipv4::Ipv4Packet`], [`tcp::TcpPacket`], ...) that reads/writes fields
+//! in place, plus a high-level *representation* type ([`ipv4::Ipv4Repr`],
+//! [`tcp::TcpRepr`], ...) that can be parsed from and emitted into a view.
+//!
+//! Unlike a normal stack, this crate must also be able to produce
+//! **deliberately malformed** packets — wrong checksums, absent TCP flags,
+//! inflated IP total lengths, unsolicited MD5 signature options — because
+//! those are precisely the "insertion packets" the paper's evasion
+//! strategies are built from (§3.2, §5.3, Table 3, Table 5). The
+//! [`builder::PacketBuilder`] API exposes every such knob.
+
+pub mod builder;
+pub mod checksum;
+pub mod dns;
+pub mod frag;
+pub mod http;
+pub mod icmp;
+pub mod ipv4;
+pub mod tcp;
+pub mod udp;
+
+pub use builder::PacketBuilder;
+pub use ipv4::{IpProtocol, Ipv4Packet, Ipv4Repr};
+pub use tcp::{TcpFlags, TcpOption, TcpPacket, TcpRepr};
+
+use std::net::Ipv4Addr;
+
+/// A raw serialized IPv4 datagram as it travels over the simulated wire.
+pub type Wire = Vec<u8>;
+
+/// Errors produced when parsing wire data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParseError {
+    /// The buffer is shorter than the fixed header.
+    Truncated,
+    /// A header length field is inconsistent with the buffer.
+    BadLength,
+    /// A version or type field has an unsupported value.
+    Unsupported,
+    /// A checksum failed validation (only returned by explicit verify calls).
+    BadChecksum,
+    /// The payload is not a valid message of the expected upper protocol.
+    Malformed,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ParseError::Truncated => "buffer truncated",
+            ParseError::BadLength => "inconsistent length field",
+            ParseError::Unsupported => "unsupported version or type",
+            ParseError::BadChecksum => "checksum mismatch",
+            ParseError::Malformed => "malformed message",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Convenience result alias for parse operations.
+pub type Result<T> = std::result::Result<T, ParseError>;
+
+/// The four-tuple identifying a TCP or UDP flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FourTuple {
+    pub src: Ipv4Addr,
+    pub src_port: u16,
+    pub dst: Ipv4Addr,
+    pub dst_port: u16,
+}
+
+impl FourTuple {
+    pub fn new(src: Ipv4Addr, src_port: u16, dst: Ipv4Addr, dst_port: u16) -> Self {
+        FourTuple { src, src_port, dst, dst_port }
+    }
+
+    /// The same flow seen from the opposite direction.
+    pub fn reversed(&self) -> FourTuple {
+        FourTuple { src: self.dst, src_port: self.dst_port, dst: self.src, dst_port: self.src_port }
+    }
+
+    /// A direction-independent key: both directions of a flow map to the
+    /// same value. Used by middleboxes and the censor to find one shared
+    /// record for a connection.
+    pub fn canonical(&self) -> FourTuple {
+        if (self.src, self.src_port) <= (self.dst, self.dst_port) {
+            *self
+        } else {
+            self.reversed()
+        }
+    }
+}
+
+impl std::fmt::Display for FourTuple {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{} -> {}:{}", self.src, self.src_port, self.dst, self.dst_port)
+    }
+}
+
+/// Extract the four-tuple from a raw IPv4+TCP/UDP datagram, if present.
+pub fn four_tuple_of(wire: &[u8]) -> Option<FourTuple> {
+    let ip = Ipv4Packet::new_checked(wire).ok()?;
+    if ip.frag_offset() != 0 {
+        return None;
+    }
+    let (sp, dp) = match ip.protocol() {
+        IpProtocol::Tcp => {
+            let t = TcpPacket::new_checked(ip.payload()).ok()?;
+            (t.src_port(), t.dst_port())
+        }
+        IpProtocol::Udp => {
+            let u = udp::UdpPacket::new_checked(ip.payload()).ok()?;
+            (u.src_port(), u.dst_port())
+        }
+        _ => return None,
+    };
+    Some(FourTuple::new(ip.src_addr(), sp, ip.dst_addr(), dp))
+}
+
+/// A compact human-readable summary of a datagram, used in traces and the
+/// figure-3/figure-4 sequence diagrams.
+pub fn summarize(wire: &[u8]) -> String {
+    let Ok(ip) = Ipv4Packet::new_checked(wire) else {
+        return format!("<{} bytes, unparseable>", wire.len());
+    };
+    if ip.more_fragments() || ip.frag_offset() != 0 {
+        return format!(
+            "{} > {} IPfrag off={} len={}{}",
+            ip.src_addr(),
+            ip.dst_addr(),
+            ip.frag_offset(),
+            ip.payload().len(),
+            if ip.more_fragments() { " MF" } else { "" }
+        );
+    }
+    match ip.protocol() {
+        IpProtocol::Tcp => match TcpPacket::new_checked(ip.payload()) {
+            Ok(t) => {
+                let mut extras = String::new();
+                if !t.verify_checksum(ip.src_addr(), ip.dst_addr()) {
+                    extras.push_str(" badcsum");
+                }
+                if t.options().iter().any(|o| matches!(o, TcpOption::Md5Sig(_))) {
+                    extras.push_str(" md5");
+                }
+                format!(
+                    "{}:{} > {}:{} {} seq={} ack={} len={} ttl={}{}",
+                    ip.src_addr(),
+                    t.src_port(),
+                    ip.dst_addr(),
+                    t.dst_port(),
+                    t.flags(),
+                    t.seq_number(),
+                    t.ack_number(),
+                    t.payload().len(),
+                    ip.ttl(),
+                    extras,
+                )
+            }
+            Err(_) => format!("{} > {} TCP <malformed>", ip.src_addr(), ip.dst_addr()),
+        },
+        IpProtocol::Udp => match udp::UdpPacket::new_checked(ip.payload()) {
+            Ok(u) => format!(
+                "{}:{} > {}:{} UDP len={}",
+                ip.src_addr(),
+                u.src_port(),
+                ip.dst_addr(),
+                u.dst_port(),
+                u.payload().len()
+            ),
+            Err(_) => format!("{} > {} UDP <malformed>", ip.src_addr(), ip.dst_addr()),
+        },
+        IpProtocol::Icmp => match icmp::IcmpPacket::new_checked(ip.payload()) {
+            Ok(i) => {
+                format!("{} > {} ICMP type={} code={}", ip.src_addr(), ip.dst_addr(), i.msg_type(), i.code())
+            }
+            Err(_) => format!("{} > {} ICMP <malformed>", ip.src_addr(), ip.dst_addr()),
+        },
+        p => format!("{} > {} proto={:?}", ip.src_addr(), ip.dst_addr(), p),
+    }
+}

@@ -1,0 +1,139 @@
+//! UDP datagram view and representation.
+
+use crate::{checksum, ParseError, Result};
+use std::net::Ipv4Addr;
+
+pub const HEADER_LEN: usize = 8;
+const PROTO_UDP: u8 = 17;
+
+/// Zero-copy view over a UDP datagram (header + payload).
+#[derive(Debug, Clone, Copy)]
+pub struct UdpPacket<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> UdpPacket<T> {
+    pub fn new_unchecked(buffer: T) -> Self {
+        UdpPacket { buffer }
+    }
+
+    pub fn new_checked(buffer: T) -> Result<Self> {
+        let pkt = UdpPacket::new_unchecked(buffer);
+        let data = pkt.buffer.as_ref();
+        if data.len() < HEADER_LEN {
+            return Err(ParseError::Truncated);
+        }
+        if usize::from(pkt.length()) < HEADER_LEN || data.len() < usize::from(pkt.length()) {
+            return Err(ParseError::BadLength);
+        }
+        Ok(pkt)
+    }
+
+    fn data(&self) -> &[u8] {
+        self.buffer.as_ref()
+    }
+
+    pub fn src_port(&self) -> u16 {
+        u16::from_be_bytes([self.data()[0], self.data()[1]])
+    }
+
+    pub fn dst_port(&self) -> u16 {
+        u16::from_be_bytes([self.data()[2], self.data()[3]])
+    }
+
+    pub fn length(&self) -> u16 {
+        u16::from_be_bytes([self.data()[4], self.data()[5]])
+    }
+
+    pub fn checksum_field(&self) -> u16 {
+        u16::from_be_bytes([self.data()[6], self.data()[7]])
+    }
+
+    pub fn payload(&self) -> &[u8] {
+        &self.data()[HEADER_LEN..usize::from(self.length())]
+    }
+
+    pub fn verify_checksum(&self, src: Ipv4Addr, dst: Ipv4Addr) -> bool {
+        // A zero checksum means "not computed" and is legal for IPv4 UDP.
+        if self.checksum_field() == 0 {
+            return true;
+        }
+        checksum::verify_transport(src, dst, PROTO_UDP, &self.data()[..usize::from(self.length())])
+    }
+}
+
+/// High-level UDP description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UdpRepr {
+    pub src_port: u16,
+    pub dst_port: u16,
+    pub payload: Vec<u8>,
+}
+
+impl UdpRepr {
+    pub fn new(src_port: u16, dst_port: u16, payload: Vec<u8>) -> Self {
+        UdpRepr { src_port, dst_port, payload }
+    }
+
+    pub fn parse<T: AsRef<[u8]>>(pkt: &UdpPacket<T>) -> UdpRepr {
+        UdpRepr { src_port: pkt.src_port(), dst_port: pkt.dst_port(), payload: pkt.payload().to_vec() }
+    }
+
+    pub fn emit(&self, src: Ipv4Addr, dst: Ipv4Addr) -> Vec<u8> {
+        let len = HEADER_LEN + self.payload.len();
+        let mut buf = vec![0u8; len];
+        buf[0..2].copy_from_slice(&self.src_port.to_be_bytes());
+        buf[2..4].copy_from_slice(&self.dst_port.to_be_bytes());
+        buf[4..6].copy_from_slice(&(len as u16).to_be_bytes());
+        buf[HEADER_LEN..].copy_from_slice(&self.payload);
+        let mut ck = checksum::transport_checksum(src, dst, PROTO_UDP, &buf);
+        if ck == 0 {
+            ck = 0xffff; // 0 is reserved for "no checksum"
+        }
+        buf[6..8].copy_from_slice(&ck.to_be_bytes());
+        buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a1() -> Ipv4Addr {
+        Ipv4Addr::new(10, 1, 0, 1)
+    }
+    fn a2() -> Ipv4Addr {
+        Ipv4Addr::new(10, 1, 0, 2)
+    }
+
+    #[test]
+    fn round_trip() {
+        let repr = UdpRepr::new(5353, 53, b"query".to_vec());
+        let wire = repr.emit(a1(), a2());
+        let pkt = UdpPacket::new_checked(&wire[..]).unwrap();
+        assert_eq!(pkt.src_port(), 5353);
+        assert_eq!(pkt.dst_port(), 53);
+        assert_eq!(pkt.payload(), b"query");
+        assert!(pkt.verify_checksum(a1(), a2()));
+        assert_eq!(UdpRepr::parse(&pkt), repr);
+    }
+
+    #[test]
+    fn corrupt_checksum_detected() {
+        let repr = UdpRepr::new(1, 2, b"x".to_vec());
+        let mut wire = repr.emit(a1(), a2());
+        let last = wire.len() - 1;
+        wire[last] ^= 0xff;
+        let pkt = UdpPacket::new_checked(&wire[..]).unwrap();
+        assert!(!pkt.verify_checksum(a1(), a2()));
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        assert_eq!(UdpPacket::new_checked(&[0u8; 4][..]).unwrap_err(), ParseError::Truncated);
+        // Declared length larger than buffer.
+        let mut wire = UdpRepr::new(1, 2, vec![]).emit(a1(), a2());
+        wire[4..6].copy_from_slice(&100u16.to_be_bytes());
+        assert_eq!(UdpPacket::new_checked(&wire[..]).unwrap_err(), ParseError::BadLength);
+    }
+}

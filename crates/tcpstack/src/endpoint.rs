@@ -1,0 +1,403 @@
+//! The host-level TCP endpoint: IP-level validation, fragment reassembly,
+//! socket demultiplexing, listeners, and wire emission.
+
+use crate::ignore::{IgnoreLog, IgnoreReason};
+use crate::profile::StackProfile;
+use crate::socket::{Micros, Socket, TcpState};
+use intang_packet::frag::{OverlapPolicy, Reassembler};
+use intang_packet::tcp::{TcpFlags, TcpPacket, TcpRepr};
+use intang_packet::{FourTuple, IpProtocol, Ipv4Packet, Ipv4Repr, ParseError, Wire};
+use std::net::Ipv4Addr;
+
+/// Index of a socket inside an endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SocketHandle(pub usize);
+
+/// A host's TCP layer.
+pub struct TcpEndpoint {
+    pub addr: Ipv4Addr,
+    pub profile: StackProfile,
+    /// Every ignore-path hit, for tests and the differential analysis.
+    pub ignore_log: IgnoreLog,
+    sockets: Vec<Socket>,
+    /// Parallel to `sockets`: true when the socket was opened by `connect`.
+    client_flags: Vec<bool>,
+    listeners: Vec<u16>,
+    /// Handles of server sockets that completed their handshake and have
+    /// not yet been claimed by the application.
+    accepted: Vec<SocketHandle>,
+    out: Vec<Wire>,
+    ip_reasm: Reassembler,
+    isn_counter: u32,
+    ident_counter: u16,
+    ephemeral_next: u16,
+}
+
+impl TcpEndpoint {
+    pub fn new(addr: Ipv4Addr, profile: StackProfile) -> TcpEndpoint {
+        TcpEndpoint {
+            addr,
+            profile,
+            ignore_log: IgnoreLog::default(),
+            sockets: Vec::new(),
+            client_flags: Vec::new(),
+            listeners: Vec::new(),
+            accepted: Vec::new(),
+            out: Vec::new(),
+            // Servers reassemble fragments; the "accepts junk like the GFW"
+            // server variant (§3.4) is modeled by profiles that set
+            // FirstWins via `set_ip_overlap`.
+            ip_reasm: Reassembler::new(OverlapPolicy::LastWins),
+            isn_counter: 0x1000_0000,
+            ident_counter: 1,
+            ephemeral_next: 40_000,
+        }
+    }
+
+    /// Override the IP fragment overlap preference (server diversity, §3.4).
+    pub fn set_ip_overlap(&mut self, policy: OverlapPolicy) {
+        self.ip_reasm = Reassembler::new(policy);
+    }
+
+    pub fn listen(&mut self, port: u16) {
+        if !self.listeners.contains(&port) {
+            self.listeners.push(port);
+        }
+    }
+
+    /// Open a client connection; emits the SYN immediately.
+    pub fn connect(&mut self, dst: Ipv4Addr, dst_port: u16, now: Micros) -> SocketHandle {
+        let src_port = self.ephemeral_next;
+        self.ephemeral_next = self.ephemeral_next.wrapping_add(1).max(40_000);
+        self.connect_from(src_port, dst, dst_port, now)
+    }
+
+    /// Open a client connection from a specific source port.
+    pub fn connect_from(&mut self, src_port: u16, dst: Ipv4Addr, dst_port: u16, now: Micros) -> SocketHandle {
+        let tuple = FourTuple::new(self.addr, src_port, dst, dst_port);
+        let iss = self.next_isn();
+        let sock = Socket::connect(tuple, iss, self.profile, now);
+        self.sockets.push(sock);
+        self.client_flags.push(true);
+        let h = SocketHandle(self.sockets.len() - 1);
+        self.drain_socket(h.0);
+        h
+    }
+
+    fn next_isn(&mut self) -> u32 {
+        // Deterministic yet spread-out ISNs.
+        self.isn_counter = self.isn_counter.wrapping_add(0x01ab_cd07);
+        self.isn_counter
+    }
+
+    pub fn socket(&mut self, h: SocketHandle) -> &mut Socket {
+        &mut self.sockets[h.0]
+    }
+
+    pub fn socket_ref(&self, h: SocketHandle) -> &Socket {
+        &self.sockets[h.0]
+    }
+
+    /// Server sockets that became ESTABLISHED since the last call.
+    pub fn take_accepted(&mut self) -> Vec<SocketHandle> {
+        std::mem::take(&mut self.accepted)
+    }
+
+    /// Process one incoming IPv4 datagram.
+    pub fn on_packet(&mut self, wire: Wire, now: Micros) {
+        // IP fragments first: buffer until a full datagram emerges.
+        let Some(wire) = self.ip_reasm.push(wire) else { return };
+
+        let Ok(ip) = Ipv4Packet::new_checked(&wire[..]) else { return };
+        if ip.dst_addr() != self.addr {
+            return; // not ours (e.g. ICMP for a probe tool that hooks elsewhere)
+        }
+        if self.profile.validate_ip_total_len && !ip.total_len_consistent() {
+            self.ignore_log.record(IgnoreReason::BadIpTotalLen, None);
+            return;
+        }
+        if ip.protocol() != IpProtocol::Tcp {
+            return; // UDP/ICMP are handled by other layers of the host
+        }
+        let tcp = match TcpPacket::new_checked(ip.payload()) {
+            Ok(t) => t,
+            Err(ParseError::BadLength) => {
+                self.ignore_log.record(IgnoreReason::BadTcpHeaderLen, None);
+                return;
+            }
+            Err(_) => return,
+        };
+        if self.profile.validate_checksum && !tcp.verify_checksum(ip.src_addr(), ip.dst_addr()) {
+            self.ignore_log.record(IgnoreReason::BadChecksum, None);
+            return;
+        }
+
+        let remote = ip.src_addr();
+        let tuple_local = FourTuple::new(self.addr, tcp.dst_port(), remote, tcp.src_port());
+        let seg = TcpRepr::parse(&tcp);
+
+        // Demux: existing socket?
+        if let Some(idx) = self
+            .sockets
+            .iter()
+            .position(|s| s.tuple == tuple_local && s.state() != TcpState::Closed)
+        {
+            let was_established = self.sockets[idx].is_established();
+            self.sockets[idx].process(&seg, now, &mut self.ignore_log);
+            self.sockets[idx].schedule_time_wait(now);
+            if !was_established && self.sockets[idx].is_established() && !self.is_client_socket(idx) {
+                self.accepted.push(SocketHandle(idx));
+            }
+            self.drain_socket(idx);
+            return;
+        }
+
+        // No socket. A SYN to a listening port opens one.
+        if seg.flags.syn() && !seg.flags.ack() && self.listeners.contains(&tcp.dst_port()) {
+            let iss = self.next_isn();
+            let remote_ts = crate::socket::timestamps_of(&seg).map(|(v, _)| v);
+            let sock = Socket::accept(tuple_local, iss, seg.seq, remote_ts, self.profile, now);
+            self.sockets.push(sock);
+            let idx = self.sockets.len() - 1;
+            self.client_flags.push(false);
+            self.drain_socket(idx);
+            return;
+        }
+
+        // Anything else to a dead port: RST (unless it *is* an RST).
+        self.ignore_log.record(IgnoreReason::NoSocket, Some(tuple_local.reversed()));
+        if !seg.flags.rst() {
+            let (rst_seq, rst_ack, flags) = if seg.flags.ack() {
+                (seg.ack, 0, TcpFlags::RST)
+            } else {
+                let seg_len = seg.payload.len() as u32 + u32::from(seg.flags.syn()) + u32::from(seg.flags.fin());
+                (0, seg.seq.wrapping_add(seg_len), TcpFlags::RST_ACK)
+            };
+            let mut rst = TcpRepr::new(tcp.dst_port(), tcp.src_port());
+            rst.seq = rst_seq;
+            rst.ack = rst_ack;
+            rst.flags = flags;
+            rst.window = 0;
+            self.push_wire(remote, rst);
+        }
+    }
+
+    fn is_client_socket(&self, idx: usize) -> bool {
+        *self.client_flags.get(idx).unwrap_or(&true)
+    }
+
+    /// Wrap queued TCP segments of socket `idx` into IP datagrams.
+    fn drain_socket(&mut self, idx: usize) {
+        let dst = self.sockets[idx].tuple.dst;
+        let segs = std::mem::take(&mut self.sockets[idx].out);
+        for seg in segs {
+            self.push_wire(dst, seg);
+        }
+    }
+
+    fn push_wire(&mut self, dst: Ipv4Addr, seg: TcpRepr) {
+        let mut ip = Ipv4Repr::new(self.addr, dst, IpProtocol::Tcp);
+        ip.ident = self.ident_counter;
+        self.ident_counter = self.ident_counter.wrapping_add(1);
+        let wire = ip.emit(&seg.emit(self.addr, dst));
+        self.out.push(wire);
+    }
+
+    /// Take all pending outgoing datagrams.
+    pub fn poll_transmit(&mut self) -> Vec<Wire> {
+        // App-level sends land in socket.out; sweep them all.
+        for idx in 0..self.sockets.len() {
+            self.drain_socket(idx);
+        }
+        std::mem::take(&mut self.out)
+    }
+
+    /// Earliest timer deadline across sockets.
+    pub fn next_deadline(&self) -> Option<Micros> {
+        self.sockets.iter().filter_map(Socket::next_deadline).min()
+    }
+
+    /// Fire timers that are due.
+    pub fn on_timer(&mut self, now: Micros) {
+        for idx in 0..self.sockets.len() {
+            if self.sockets[idx].next_deadline().is_some_and(|d| d <= now) {
+                self.sockets[idx].on_timer(now);
+                self.drain_socket(idx);
+            }
+        }
+    }
+
+    /// Number of live (non-closed) sockets.
+    pub fn live_sockets(&self) -> usize {
+        self.sockets.iter().filter(|s| s.state() != TcpState::Closed).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn client_addr() -> Ipv4Addr {
+        Ipv4Addr::new(10, 0, 0, 1)
+    }
+    fn server_addr() -> Ipv4Addr {
+        Ipv4Addr::new(93, 184, 216, 34)
+    }
+
+    /// Shuttle packets between two endpoints until both go quiet.
+    fn pump(a: &mut TcpEndpoint, b: &mut TcpEndpoint, now: Micros) {
+        loop {
+            let from_a = a.poll_transmit();
+            let from_b = b.poll_transmit();
+            if from_a.is_empty() && from_b.is_empty() {
+                break;
+            }
+            for w in from_a {
+                b.on_packet(w, now);
+            }
+            for w in from_b {
+                a.on_packet(w, now);
+            }
+        }
+    }
+
+    #[test]
+    fn end_to_end_http_like_exchange() {
+        let mut client = TcpEndpoint::new(client_addr(), StackProfile::linux_4_4());
+        let mut server = TcpEndpoint::new(server_addr(), StackProfile::linux_4_4());
+        server.listen(80);
+        let ch = client.connect(server_addr(), 80, 0);
+        pump(&mut client, &mut server, 0);
+        assert!(client.socket(ch).is_established());
+        let accepted = server.take_accepted();
+        assert_eq!(accepted.len(), 1);
+        let sh = accepted[0];
+
+        client.socket(ch).send(b"GET / HTTP/1.1\r\nHost: x\r\n\r\n", 1_000);
+        pump(&mut client, &mut server, 1_000);
+        assert_eq!(server.socket(sh).recv_drain(), b"GET / HTTP/1.1\r\nHost: x\r\n\r\n");
+
+        server.socket(sh).send(b"HTTP/1.1 200 OK\r\n\r\nhi", 2_000);
+        server.socket(sh).close(2_000);
+        pump(&mut client, &mut server, 2_000);
+        assert_eq!(client.socket(ch).recv_drain(), b"HTTP/1.1 200 OK\r\n\r\nhi");
+        assert!(client.socket(ch).peer_closed());
+
+        client.socket(ch).close(3_000);
+        pump(&mut client, &mut server, 3_000);
+        // The server initiated close, so it lingers in TIME_WAIT while the
+        // client (LAST_ACK side) fully closes.
+        assert_eq!(server.socket(sh).state(), TcpState::TimeWait);
+        assert!(client.socket(ch).is_closed());
+    }
+
+    #[test]
+    fn syn_to_closed_port_gets_rst() {
+        let mut client = TcpEndpoint::new(client_addr(), StackProfile::linux_4_4());
+        let mut server = TcpEndpoint::new(server_addr(), StackProfile::linux_4_4());
+        // No listener on 81.
+        let ch = client.connect(server_addr(), 81, 0);
+        pump(&mut client, &mut server, 0);
+        assert!(client.socket(ch).is_closed());
+        assert!(client.socket(ch).reset_by_peer);
+    }
+
+    #[test]
+    fn bad_checksum_dropped_before_socket() {
+        let mut server = TcpEndpoint::new(server_addr(), StackProfile::linux_4_4());
+        server.listen(80);
+        let wire = intang_packet::PacketBuilder::tcp(client_addr(), server_addr(), 40000, 80)
+            .flags(TcpFlags::SYN)
+            .bad_checksum()
+            .build();
+        server.on_packet(wire, 0);
+        assert!(server.ignore_log.contains(IgnoreReason::BadChecksum));
+        assert!(server.poll_transmit().is_empty(), "no SYN/ACK for a corrupt SYN");
+        assert_eq!(server.live_sockets(), 0);
+    }
+
+    #[test]
+    fn inflated_total_len_dropped() {
+        let mut server = TcpEndpoint::new(server_addr(), StackProfile::linux_4_4());
+        server.listen(80);
+        let wire = intang_packet::PacketBuilder::tcp(client_addr(), server_addr(), 40000, 80)
+            .flags(TcpFlags::SYN)
+            .inflated_total_len(32)
+            .build();
+        server.on_packet(wire, 0);
+        assert!(server.ignore_log.contains(IgnoreReason::BadIpTotalLen));
+        assert_eq!(server.live_sockets(), 0);
+    }
+
+    #[test]
+    fn short_tcp_header_dropped() {
+        let mut server = TcpEndpoint::new(server_addr(), StackProfile::linux_4_4());
+        server.listen(80);
+        let wire = intang_packet::PacketBuilder::tcp(client_addr(), server_addr(), 40000, 80)
+            .flags(TcpFlags::SYN)
+            .short_data_offset()
+            .build();
+        server.on_packet(wire, 0);
+        assert!(server.ignore_log.contains(IgnoreReason::BadTcpHeaderLen));
+    }
+
+    #[test]
+    fn unsolicited_synack_gets_rst() {
+        // The TCB Reversal hazard (§5.2): a SYN/ACK reaching the server
+        // draws an RST, which would tear down the GFW's reversed TCB.
+        let mut server = TcpEndpoint::new(server_addr(), StackProfile::linux_4_4());
+        server.listen(80);
+        let wire = intang_packet::PacketBuilder::tcp(client_addr(), server_addr(), 40000, 80)
+            .flags(TcpFlags::SYN_ACK)
+            .seq(1234)
+            .ack(5678)
+            .build();
+        server.on_packet(wire, 0);
+        let out = server.poll_transmit();
+        assert_eq!(out.len(), 1);
+        let ip = Ipv4Packet::new_checked(&out[0][..]).unwrap();
+        let tcp = TcpPacket::new_checked(ip.payload()).unwrap();
+        assert!(tcp.flags().rst());
+        assert_eq!(tcp.seq_number(), 5678, "RST seq mirrors the SYN/ACK's ack");
+    }
+
+    #[test]
+    fn lost_synack_retransmitted_via_timer() {
+        let mut client = TcpEndpoint::new(client_addr(), StackProfile::linux_4_4());
+        let mut server = TcpEndpoint::new(server_addr(), StackProfile::linux_4_4());
+        server.listen(80);
+        let _ch = client.connect(server_addr(), 80, 0);
+        for w in client.poll_transmit() {
+            server.on_packet(w, 0);
+        }
+        let _lost = server.poll_transmit(); // drop the SYN/ACK
+        let deadline = server.next_deadline().unwrap();
+        server.on_timer(deadline + 1);
+        let retx = server.poll_transmit();
+        assert_eq!(retx.len(), 1);
+        let ip = Ipv4Packet::new_checked(&retx[0][..]).unwrap();
+        let tcp = TcpPacket::new_checked(ip.payload()).unwrap();
+        assert_eq!(tcp.flags(), TcpFlags::SYN_ACK);
+    }
+
+    #[test]
+    fn fragmented_request_reassembled_by_server() {
+        let mut client = TcpEndpoint::new(client_addr(), StackProfile::linux_4_4());
+        let mut server = TcpEndpoint::new(server_addr(), StackProfile::linux_4_4());
+        server.listen(80);
+        let ch = client.connect(server_addr(), 80, 0);
+        pump(&mut client, &mut server, 0);
+        let sh = server.take_accepted()[0];
+
+        // Take the data packet the client wants to send and fragment it.
+        client.socket(ch).send(b"GET /fragmented HTTP/1.1\r\n\r\n", 1_000);
+        let wires = client.poll_transmit();
+        assert_eq!(wires.len(), 1);
+        let frags = intang_packet::frag::fragment_at(&wires[0], &[16]);
+        assert!(frags.len() >= 2);
+        for f in frags {
+            server.on_packet(f, 1_000);
+        }
+        assert_eq!(server.socket(sh).recv_drain(), b"GET /fragmented HTTP/1.1\r\n\r\n");
+    }
+}

@@ -1,0 +1,204 @@
+//! Version profiles: the knobs that differ across the TCP stacks the paper
+//! cross-validates (§5.3) plus the pre-3.8 server oddity from §3.4.
+
+use crate::reasm::SegmentOverlapPolicy;
+
+/// Linux kernel versions studied in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LinuxVersion {
+    /// Linux 4.4 — the paper's primary analysis target (Table 3).
+    L4_4,
+    /// Linux 4.0 — behaves like 4.4 for every path the paper checks.
+    L4_0,
+    /// Linux 3.14 — silently ignores SYN in ESTABLISHED (no challenge ACK).
+    L3_14,
+    /// Linux 2.6.34 — accepts data segments without the ACK flag.
+    L2_6_34,
+    /// Linux 2.4.37 — accepts ACK-less data *and* has no MD5 option check.
+    L2_4_37,
+    /// "Linux versions prior to 3.8" (§3.4): sometimes accepts data with
+    /// no TCP flags at all.
+    Pre3_8,
+}
+
+impl std::fmt::Display for LinuxVersion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            LinuxVersion::L4_4 => "Linux 4.4",
+            LinuxVersion::L4_0 => "Linux 4.0",
+            LinuxVersion::L3_14 => "Linux 3.14",
+            LinuxVersion::L2_6_34 => "Linux 2.6.34",
+            LinuxVersion::L2_4_37 => "Linux 2.4.37",
+            LinuxVersion::Pre3_8 => "Linux <3.8",
+        })
+    }
+}
+
+/// How RST segments are validated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RstPolicy {
+    /// RFC 5961: only an RST whose sequence number equals `rcv_nxt` resets;
+    /// an in-window (but inexact) RST elicits a challenge ACK.
+    Rfc5961,
+    /// Classic RFC 793: any in-window RST resets the connection.
+    InWindow,
+}
+
+/// What happens when a SYN arrives on an ESTABLISHED connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SynInEstablished {
+    /// Linux ≥4.4 / RFC 5961: never accept; reply with a challenge ACK.
+    ChallengeAck,
+    /// Linux 3.14: silently ignore.
+    Ignore,
+    /// Old RFC 793 behavior: an in-window SYN resets the connection —
+    /// the hazard §5.2 warns about for the Resync+Desync SYN insertion.
+    Reset,
+}
+
+/// All behavior knobs for one TCP stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StackProfile {
+    pub version: LinuxVersion,
+    /// Validate the TCP checksum (every real stack does; middleboxes and
+    /// the GFW may not).
+    pub validate_checksum: bool,
+    /// Drop datagrams whose IP total length exceeds the received bytes.
+    pub validate_ip_total_len: bool,
+    /// Reject segments carrying an unsolicited RFC 2385 MD5 option.
+    pub md5_check: bool,
+    /// Enforce PAWS (reject segments with timestamps older than the last
+    /// validated one).
+    pub paws: bool,
+    /// Require the ACK flag on data segments in ESTABLISHED.
+    pub require_ack_flag: bool,
+    /// Accept data segments with *no* flags at all (pre-3.8 oddity).
+    pub accept_no_flag_data: bool,
+    /// Ignore segments whose ACK number is outside the acceptable range.
+    pub validate_ack_number: bool,
+    pub rst_policy: RstPolicy,
+    pub syn_in_established: SynInEstablished,
+    /// How overlapping TCP segment bytes are merged on reassembly.
+    pub overlap_policy: SegmentOverlapPolicy,
+    /// Advertised and honored maximum segment size.
+    pub mss: usize,
+}
+
+impl StackProfile {
+    /// Linux 4.4: the Table 3 reference stack.
+    pub fn linux_4_4() -> StackProfile {
+        StackProfile {
+            version: LinuxVersion::L4_4,
+            validate_checksum: true,
+            validate_ip_total_len: true,
+            md5_check: true,
+            paws: true,
+            require_ack_flag: true,
+            accept_no_flag_data: false,
+            validate_ack_number: true,
+            rst_policy: RstPolicy::Rfc5961,
+            syn_in_established: SynInEstablished::ChallengeAck,
+            overlap_policy: SegmentOverlapPolicy::FirstWins,
+            mss: 1460,
+        }
+    }
+
+    /// Linux 4.0: identical dispositions to 4.4 in the paper's checks.
+    pub fn linux_4_0() -> StackProfile {
+        StackProfile { version: LinuxVersion::L4_0, ..StackProfile::linux_4_4() }
+    }
+
+    /// Linux 3.14: SYN in ESTABLISHED silently ignored (§5.3).
+    pub fn linux_3_14() -> StackProfile {
+        StackProfile {
+            version: LinuxVersion::L3_14,
+            syn_in_established: SynInEstablished::Ignore,
+            ..StackProfile::linux_4_4()
+        }
+    }
+
+    /// Linux 2.6.34: data without ACK flag is *accepted* (§5.3), so the
+    /// no-ACK insertion packet fails against it.
+    pub fn linux_2_6_34() -> StackProfile {
+        StackProfile {
+            version: LinuxVersion::L2_6_34,
+            require_ack_flag: false,
+            rst_policy: RstPolicy::InWindow,
+            syn_in_established: SynInEstablished::Reset,
+            ..StackProfile::linux_4_4()
+        }
+    }
+
+    /// Linux 2.4.37: additionally has no MD5 option check (§5.3).
+    pub fn linux_2_4_37() -> StackProfile {
+        StackProfile {
+            version: LinuxVersion::L2_4_37,
+            require_ack_flag: false,
+            md5_check: false,
+            rst_policy: RstPolicy::InWindow,
+            syn_in_established: SynInEstablished::Reset,
+            ..StackProfile::linux_4_4()
+        }
+    }
+
+    /// "Prior to 3.8" (§3.4): sometimes accepts a data packet carrying no
+    /// TCP flags, defeating the no-flag insertion packet.
+    pub fn linux_pre_3_8() -> StackProfile {
+        StackProfile {
+            version: LinuxVersion::Pre3_8,
+            accept_no_flag_data: true,
+            require_ack_flag: false,
+            rst_policy: RstPolicy::InWindow,
+            syn_in_established: SynInEstablished::Reset,
+            ..StackProfile::linux_4_4()
+        }
+    }
+
+    /// All profiles, for cross-validation sweeps.
+    pub fn all() -> Vec<StackProfile> {
+        vec![
+            StackProfile::linux_4_4(),
+            StackProfile::linux_4_0(),
+            StackProfile::linux_3_14(),
+            StackProfile::linux_2_6_34(),
+            StackProfile::linux_2_4_37(),
+            StackProfile::linux_pre_3_8(),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn version_differences_match_section_5_3() {
+        let v44 = StackProfile::linux_4_4();
+        let v40 = StackProfile::linux_4_0();
+        let v314 = StackProfile::linux_3_14();
+        let v2634 = StackProfile::linux_2_6_34();
+        let v2437 = StackProfile::linux_2_4_37();
+
+        // 4.0 differs from 4.4 only in its label.
+        assert_eq!(StackProfile { version: v44.version, ..v40 }, v44);
+        // 3.14 ignores SYN in ESTABLISHED instead of challenge-ACKing.
+        assert_eq!(v314.syn_in_established, SynInEstablished::Ignore);
+        assert_eq!(v44.syn_in_established, SynInEstablished::ChallengeAck);
+        // 2.6.34 and 2.4.37 accept ACK-less data.
+        assert!(!v2634.require_ack_flag);
+        assert!(!v2437.require_ack_flag);
+        assert!(v44.require_ack_flag);
+        // Only 2.4.37 lacks the MD5 check.
+        assert!(!v2437.md5_check);
+        assert!(v2634.md5_check);
+    }
+
+    #[test]
+    fn all_returns_six_distinct_versions() {
+        let all = StackProfile::all();
+        assert_eq!(all.len(), 6);
+        let mut versions: Vec<_> = all.iter().map(|p| p.version).collect();
+        versions.dedup();
+        assert_eq!(versions.len(), 6);
+    }
+}

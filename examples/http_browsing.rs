@@ -1,0 +1,56 @@
+//! Adaptive browsing session: INTANG's measurement-driven strategy
+//! selection (§6) converging per destination. The client fetches the same
+//! censored URL from several websites repeatedly; the engine records which
+//! strategy worked for each server and converges on it.
+//!
+//! ```sh
+//! cargo run --release --example http_browsing
+//! ```
+
+use intang_core::select::History;
+use intang_core::StrategyKind;
+use intang_experiments::scenario::Scenario;
+use intang_experiments::trial::{run_http_trial, Outcome, TrialSpec};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+fn main() {
+    let scenario = Scenario::paper_inside(7);
+    let vantage = &scenario.vantage_points[1];
+    let rounds = 8;
+
+    println!("Adaptive INTANG from {} — {} rounds per site\n", vantage.name, rounds);
+    println!("{:<18} {:>9} {:>9}   converged on", "site", "success", "failure");
+
+    for (si, site) in scenario.websites.iter().take(6).enumerate() {
+        // One shared history per destination — the §6 cache, persisted
+        // across connections.
+        let history: Rc<RefCell<History>> = Rc::new(RefCell::new(History::new()));
+        let mut ok = 0;
+        let mut bad = 0;
+        for round in 0..rounds {
+            let mut spec = TrialSpec::new(vantage, site, None, true, 9_000 + (si as u64) * 100 + round);
+            spec.history = Some(history.clone());
+            match run_http_trial(&spec).outcome {
+                Outcome::Success => ok += 1,
+                _ => bad += 1,
+            }
+        }
+        // What does the history recommend now?
+        let best = history.borrow().choose(site.addr, &StrategyKind::adaptive_pool());
+        let tally = history.borrow().tally(site.addr, best);
+        println!(
+            "{:<18} {:>9} {:>9}   {} ({}/{} with it)",
+            site.name,
+            ok,
+            bad,
+            best.label(),
+            tally.successes,
+            tally.attempts
+        );
+    }
+
+    println!("\nEvery site converges on a working strategy after at most a few");
+    println!("exploratory rounds — the mechanism behind Table 4's 'INTANG");
+    println!("Performance' row.");
+}

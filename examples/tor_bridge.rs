@@ -1,0 +1,42 @@
+//! Tor bridge blocking and rescue (§7.3): the censor fingerprints the Tor
+//! handshake, actively probes the suspected bridge from its own prober
+//! hosts, and on confirmation blocks the bridge IP for everyone. INTANG
+//! hides the fingerprint from the censor so the probe never launches.
+//!
+//! ```sh
+//! cargo run --release --example tor_bridge
+//! ```
+
+use intang_experiments::scenario::Scenario;
+use intang_experiments::trial_tor::{run_tor_trial, TorOutcome, TorTrialSpec, BRIDGE_ADDR};
+
+fn main() {
+    let scenario = Scenario::paper_inside(13);
+    println!("hidden bridge at {BRIDGE_ADDR}:443 (EC2, US)\n");
+    println!("{:<13} {:<13} {:<10} {:<28} {:<28}", "vantage", "city", "filtered?", "plain Tor", "Tor + INTANG");
+
+    for vantage in &scenario.vantage_points {
+        let (plain, handle) = run_tor_trial(&TorTrialSpec { vp: vantage, use_intang: false, seed: 31, cells: 3 });
+        let probes = handle.probes_launched();
+        let (prot, handle2) = run_tor_trial(&TorTrialSpec { vp: vantage, use_intang: true, seed: 32, cells: 3 });
+        let fmt = |o: TorOutcome, probes: u64| match o {
+            TorOutcome::Working => "working".to_string(),
+            TorOutcome::IpBlocked => format!("IP BLOCKED ({} probe)", probes),
+            TorOutcome::Disrupted => "disrupted".to_string(),
+        };
+        println!(
+            "{:<13} {:<13} {:<10} {:<28} {:<28}",
+            vantage.name,
+            vantage.city,
+            if vantage.tor_filtered { "yes" } else { "no" },
+            fmt(plain, probes),
+            fmt(prot, handle2.probes_launched()),
+        );
+    }
+
+    println!("\nThe four northern vantage points (Beijing, Zhangjiakou, Qingdao)");
+    println!("see no Tor-filtering devices and run plain Tor freely — exactly");
+    println!("the geography §7.3 reports. Everywhere else the bridge is");
+    println!("actively probed and IP-blocked within seconds unless INTANG");
+    println!("tears the censor's TCB down before the fingerprint crosses it.");
+}

@@ -1,0 +1,150 @@
+//! The censor's full reaction lifecycle observed from the client side:
+//! detection → type-1/type-2 volley → 90-second pair blacklist (forged
+//! SYN/ACKs against new handshakes, resets against everything else) →
+//! expiry. Cross-crate: apps + gfw + netsim + packet.
+
+use intang_apps::host::add_host;
+use intang_apps::http::{HttpClientDriver, HttpServerDriver};
+use intang_gfw::reset::TYPE2_SEQ_OFFSETS;
+use intang_gfw::{GfwConfig, GfwElement};
+use intang_netsim::{Direction, Duration, Instant, Link, Simulation};
+use intang_packet::http::HttpRequest;
+use intang_packet::{Ipv4Packet, TcpFlags, TcpPacket};
+use intang_tcpstack::StackProfile;
+use std::net::Ipv4Addr;
+
+const CLIENT: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+const SERVER: Ipv4Addr = Ipv4Addr::new(203, 0, 113, 44);
+
+struct World {
+    sim: Simulation,
+    gfw: intang_gfw::GfwHandle,
+    report: std::rc::Rc<std::cell::RefCell<intang_apps::http::HttpClientReport>>,
+    tap: intang_experiments::tap::TapHandle,
+}
+
+fn censored_fetch_world(seed: u64, second_fetch_at: Option<Instant>) -> World {
+    let mut sim = Simulation::new(seed);
+    let (d1, report) = HttpClientDriver::new(SERVER, 80, HttpRequest::get("/ultrasurf", "lab.example"));
+    struct Pair(Vec<Box<dyn intang_apps::HostDriver>>);
+    impl intang_apps::HostDriver for Pair {
+        fn poll(&mut self, now: Instant, tcp: &mut intang_tcpstack::TcpEndpoint, udp: &mut intang_apps::UdpLayer) {
+            for d in &mut self.0 {
+                d.poll(now, tcp, udp);
+            }
+        }
+    }
+    let mut drivers: Vec<Box<dyn intang_apps::HostDriver>> = vec![Box::new(d1)];
+    if let Some(at) = second_fetch_at {
+        let (d2, _r2) = HttpClientDriver::new(SERVER, 80, HttpRequest::get("/harmless", "lab.example"));
+        drivers.push(Box::new(d2.starting_at(at)));
+        // No periodic wakeups in HttpClientDriver: nudge the host.
+    }
+    add_host(&mut sim, "client", CLIENT, StackProfile::linux_4_4(), Box::new(Pair(drivers)), Direction::ToServer);
+    if let Some(at) = second_fetch_at {
+        sim.schedule_timer(0, at, 1);
+    }
+    sim.add_link(Link::new(Duration::from_micros(100), 0));
+    let (tap, tap_handle) = intang_experiments::tap::RecorderTap::new("client-tap");
+    sim.add_element(Box::new(tap));
+    sim.add_link(Link::new(Duration::from_millis(4), 4));
+    let mut cfg = GfwConfig::evolved();
+    cfg.overload_miss_prob = 0.0;
+    let (gfw, gfw_handle) = GfwElement::new(cfg);
+    sim.add_element(Box::new(gfw));
+    sim.add_link(Link::new(Duration::from_millis(6), 5));
+    let (_i, sh) = add_host(&mut sim, "server", SERVER, StackProfile::linux_4_4(), Box::new(HttpServerDriver::new(80)), Direction::ToClient);
+    sh.with_tcp(|t| t.listen(80));
+    World { sim, gfw: gfw_handle, report, tap: tap_handle }
+}
+
+fn rst_families(tap: &intang_experiments::tap::TapHandle) -> (Vec<(u8, u16, u32)>, Vec<(u8, u16, u32)>) {
+    let mut t1 = Vec::new();
+    let mut t2 = Vec::new();
+    for c in tap.captures() {
+        if c.dir != Direction::ToClient {
+            continue;
+        }
+        let Ok(ip) = Ipv4Packet::new_checked(&c.wire[..]) else { continue };
+        let Ok(t) = TcpPacket::new_checked(ip.payload()) else { continue };
+        if t.flags() == TcpFlags::RST {
+            t1.push((ip.ttl(), t.window(), t.seq_number()));
+        } else if t.flags() == TcpFlags::RST_ACK {
+            t2.push((ip.ttl(), t.window(), t.seq_number()));
+        }
+    }
+    (t1, t2)
+}
+
+#[test]
+fn detection_triggers_the_section_21_volley() {
+    let mut w = censored_fetch_world(5, None);
+    w.sim.run_until(Instant(10_000_000));
+    assert!(w.gfw.detected_any());
+    assert!(w.report.borrow().reset, "the client connection died on a reset");
+    let (t1, t2) = rst_families(&w.tap);
+    assert!(!t1.is_empty(), "at least one type-1 bare RST reached the client");
+    assert!(t2.len() >= 3, "the type-2 triple reached the client");
+    // The first three type-2 resets use the X, X+1460, X+4380 ladder.
+    let base = t2[0].2;
+    let offsets: Vec<u32> = t2.iter().take(3).map(|x| x.2.wrapping_sub(base)).collect();
+    assert_eq!(offsets, TYPE2_SEQ_OFFSETS.to_vec());
+}
+
+#[test]
+fn blacklist_obstructs_clean_fetches_for_ninety_seconds() {
+    // Second (harmless) fetch at t = 30 s: inside the window, it must fail —
+    // its SYN draws a forged SYN/ACK with a wrong ISN.
+    let mut w = censored_fetch_world(6, Some(Instant(30_000_000)));
+    w.sim.run_until(Instant(80_000_000));
+    assert!(w.gfw.forged_synacks() >= 1, "SYN during the blacklist drew a forged SYN/ACK");
+    assert!(w.gfw.blacklist_hits() > 0);
+}
+
+#[test]
+fn blacklist_expires_after_ninety_seconds() {
+    // Second fetch at t = 100 s: the pair blacklist (90 s) has lapsed and a
+    // harmless request sails through.
+    let mut w = censored_fetch_world(7, Some(Instant(100_000_000)));
+    w.sim.run_until(Instant(130_000_000));
+    assert_eq!(w.gfw.forged_synacks(), 0, "no forged SYN/ACK after expiry");
+    // The tap saw the 200 OK of the second fetch.
+    let ok = w
+        .tap
+        .captures()
+        .iter()
+        .filter(|c| c.dir == Direction::ToClient)
+        .any(|c| c.wire.windows(15).any(|w| w == b"HTTP/1.1 200 OK"));
+    assert!(ok, "post-expiry fetch succeeded");
+}
+
+#[test]
+fn forged_synack_has_a_wrong_isn_and_wedges_the_handshake() {
+    let mut w = censored_fetch_world(8, Some(Instant(30_000_000)));
+    w.sim.run_until(Instant(80_000_000));
+    // Find a SYN/ACK toward the client that is NOT from the real server
+    // socket: its ack number won't match any client ISN+1 the tap saw.
+    let caps = w.tap.captures();
+    let client_isns: Vec<u32> = caps
+        .iter()
+        .filter(|c| c.dir == Direction::ToServer)
+        .filter_map(|c| {
+            let ip = Ipv4Packet::new_checked(&c.wire[..]).ok()?;
+            let t = TcpPacket::new_checked(ip.payload()).ok()?;
+            (t.flags() == TcpFlags::SYN).then(|| t.seq_number())
+        })
+        .collect();
+    let synacks: Vec<(u32, u32)> = caps
+        .iter()
+        .filter(|c| c.dir == Direction::ToClient)
+        .filter_map(|c| {
+            let ip = Ipv4Packet::new_checked(&c.wire[..]).ok()?;
+            let t = TcpPacket::new_checked(ip.payload()).ok()?;
+            (t.flags() == TcpFlags::SYN_ACK).then(|| (t.seq_number(), t.ack_number()))
+        })
+        .collect();
+    assert!(
+        synacks.iter().any(|(_, ack)| client_isns.iter().any(|isn| isn.wrapping_add(1) == *ack)),
+        "a forged SYN/ACK still acks the real SYN (that's what obstructs the handshake)"
+    );
+}

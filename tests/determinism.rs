@@ -1,0 +1,76 @@
+//! Reproducibility guarantees: a (scenario, seed) pair fully determines a
+//! run — the property every measurement in EXPERIMENTS.md rests on.
+
+use intang_core::StrategyKind;
+use intang_experiments::runner::{run_cell, SweepConfig};
+use intang_experiments::scenario::Scenario;
+use intang_experiments::trial::{run_http_trial, Outcome, TrialSpec};
+
+#[test]
+fn identical_seeds_reproduce_identical_outcomes() {
+    let s = Scenario::paper_inside(99);
+    let site = &s.websites[3];
+    let vp = &s.vantage_points[4];
+    for seed in [1u64, 17, 999_983] {
+        let a = run_http_trial(&TrialSpec::new(vp, site, Some(StrategyKind::TeardownRst(intang_core::Discrepancy::SmallTtl)), true, seed));
+        let b = run_http_trial(&TrialSpec::new(vp, site, Some(StrategyKind::TeardownRst(intang_core::Discrepancy::SmallTtl)), true, seed));
+        assert_eq!(a.outcome, b.outcome, "seed {seed}");
+        assert_eq!(a.resets_seen, b.resets_seen, "seed {seed}");
+        assert_eq!(a.gfw_detections, b.gfw_detections, "seed {seed}");
+    }
+}
+
+#[test]
+fn different_seeds_vary_stochastic_outcomes() {
+    // TCB teardown against the evolved model is probabilistic (sticky
+    // resync): across enough seeds both outcomes must appear.
+    let s = Scenario::paper_inside(99);
+    let mut site = s.websites[0].clone();
+    site.old_device = false;
+    site.evolved_device = true;
+    site.server_seqfw = false;
+    site.server_conntrack = false;
+    site.flaky_server = false;
+    site.loss = 0.0;
+    site.rst_resync_prob = 0.5; // crank the coin toward fairness
+    let vp = &s.vantage_points[0];
+    let mut successes = 0;
+    let mut failures = 0;
+    for seed in 0..24 {
+        let mut spec = TrialSpec::new(vp, &site, Some(StrategyKind::TeardownRst(intang_core::Discrepancy::SmallTtl)), true, 4_000 + seed);
+        spec.route_change_prob = 0.0;
+        match run_http_trial(&spec).outcome {
+            Outcome::Success => successes += 1,
+            _ => failures += 1,
+        }
+    }
+    assert!(successes > 0 && failures > 0, "both outcomes occur: {successes} ok / {failures} bad");
+}
+
+#[test]
+fn whole_cells_replay_bit_identically() {
+    let s = Scenario::smoke(7);
+    let cfg = SweepConfig::new(Some(StrategyKind::ImprovedTeardown), true, 5, 1312);
+    let a = run_cell(&s.vantage_points[0], 0, &s.websites[0], 0, &cfg);
+    let b = run_cell(&s.vantage_points[0], 0, &s.websites[0], 0, &cfg);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn scenario_generation_is_pure() {
+    let a = Scenario::paper_inside(2017);
+    let b = Scenario::paper_inside(2017);
+    for (x, y) in a.websites.iter().zip(&b.websites) {
+        assert_eq!(x.addr, y.addr);
+        assert_eq!(x.core_hops, y.core_hops);
+        assert_eq!(x.server_hops, y.server_hops);
+        assert_eq!(x.rst_resync_prob, y.rst_resync_prob);
+    }
+    let c = Scenario::paper_inside(2018);
+    let differs = a
+        .websites
+        .iter()
+        .zip(&c.websites)
+        .any(|(x, y)| x.core_hops != y.core_hops || x.old_device != y.old_device);
+    assert!(differs, "different master seeds give different worlds");
+}

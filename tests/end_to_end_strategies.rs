@@ -1,0 +1,168 @@
+//! Cross-crate end-to-end matrix: every strategy against every censor
+//! generation mix, on clean paths — verifying the *mechanics* (who evades
+//! what) independent of the calibrated failure-rate noise.
+
+use intang_core::{Discrepancy, StrategyKind};
+use intang_experiments::scenario::{Scenario, Website};
+use intang_experiments::trial::{run_http_trial, Outcome, TrialSpec};
+use intang_tcpstack::reasm::SegmentOverlapPolicy;
+
+/// A middlebox-benign site with a controllable censor mix.
+fn clean_site(old: bool, evolved: bool) -> Website {
+    let s = Scenario::paper_inside(1234);
+    let mut site = s.websites[0].clone();
+    site.old_device = old;
+    site.evolved_device = evolved;
+    site.gfw_seg_overlap = SegmentOverlapPolicy::LastWins;
+    site.server_seqfw = false;
+    site.server_conntrack = false;
+    site.flaky_server = false;
+    site.path_drops_noflag = false;
+    site.server_profile = intang_tcpstack::StackProfile::linux_4_4();
+    site.loss = 0.0;
+    site
+}
+
+/// Success rate of `kind` over `n` deterministic trials on a clean
+/// Beijing-Aliyun path.
+fn rate(kind: StrategyKind, old: bool, evolved: bool, n: u64) -> f64 {
+    let s = Scenario::paper_inside(1234);
+    let site = clean_site(old, evolved);
+    let mut ok = 0;
+    for seed in 0..n {
+        let mut spec = TrialSpec::new(&s.vantage_points[0], &site, Some(kind), true, 777_000 + seed);
+        spec.route_change_prob = 0.0;
+        if run_http_trial(&spec).outcome == Outcome::Success {
+            ok += 1;
+        }
+    }
+    ok as f64 / n as f64
+}
+
+#[test]
+fn new_strategies_beat_every_generation_mix() {
+    for kind in [
+        StrategyKind::ImprovedTeardown,
+        StrategyKind::ImprovedInOrderOverlap,
+        StrategyKind::TcbCreationResyncDesync,
+        StrategyKind::TeardownTcbReversal,
+    ] {
+        for (old, evolved) in [(true, false), (false, true), (true, true)] {
+            let r = rate(kind, old, evolved, 8);
+            assert!(
+                r >= 0.85,
+                "{kind:?} vs (old={old}, evolved={evolved}): success rate {r}"
+            );
+        }
+    }
+}
+
+#[test]
+fn legacy_strategies_beat_only_the_old_model() {
+    // TCB creation and FIN teardown: reliable against the prior model,
+    // dead against the evolved one (§3.4 / §4). Probed from qcloud-bj,
+    // whose middleboxes pass FIN insertions (Table 2 — Aliyun sometimes
+    // drops them).
+    let s = Scenario::paper_inside(1234);
+    let vp = s.vantage_points.iter().find(|v| v.name == "qcloud-bj").unwrap();
+    let rate_from = |kind: StrategyKind, old: bool, evolved: bool| {
+        let site = clean_site(old, evolved);
+        let n = 8;
+        let ok = (0..n)
+            .filter(|seed| {
+                let mut spec = TrialSpec::new(vp, &site, Some(kind), true, 888_000 + seed);
+                spec.route_change_prob = 0.0;
+                run_http_trial(&spec).outcome == Outcome::Success
+            })
+            .count();
+        ok as f64 / n as f64
+    };
+    for kind in [
+        StrategyKind::TcbCreationSyn(Discrepancy::SmallTtl),
+        StrategyKind::TeardownFin(Discrepancy::SmallTtl),
+    ] {
+        let vs_old = rate_from(kind, true, false);
+        let vs_new = rate_from(kind, false, true);
+        assert!(vs_old >= 0.85, "{kind:?} vs old model: {vs_old}");
+        assert!(vs_new <= 0.3, "{kind:?} vs evolved model: {vs_new}");
+    }
+}
+
+#[test]
+fn in_order_overlap_beats_both_generations() {
+    let r = rate(StrategyKind::InOrderOverlap(Discrepancy::SmallTtl), true, true, 8);
+    assert!(r >= 0.85, "in-order prefill works on both models: {r}");
+}
+
+#[test]
+fn rst_teardown_mostly_beats_evolved_model() {
+    // Sticky resync (~20%) is the residual failure mode.
+    let r = rate(StrategyKind::TeardownRst(Discrepancy::SmallTtl), false, true, 30);
+    assert!((0.5..=0.97).contains(&r), "teardown succeeds modulo sticky resync: {r}");
+}
+
+#[test]
+fn no_strategy_almost_always_censored() {
+    let r = rate(StrategyKind::NoStrategy, false, true, 20);
+    assert!(r <= 0.15, "bare keyword requests are censored: {r}");
+}
+
+#[test]
+fn without_keyword_everything_succeeds() {
+    let s = Scenario::paper_inside(1234);
+    let site = clean_site(true, true);
+    for kind in [
+        StrategyKind::NoStrategy,
+        StrategyKind::ImprovedTeardown,
+        StrategyKind::TcbCreationResyncDesync,
+    ] {
+        let mut spec = TrialSpec::new(&s.vantage_points[0], &site, Some(kind), false, 31337);
+        spec.route_change_prob = 0.0;
+        let r = run_http_trial(&spec);
+        assert_eq!(r.outcome, Outcome::Success, "{kind:?}: {r:?}");
+        assert_eq!(r.gfw_detections, 0);
+    }
+}
+
+#[test]
+fn reversal_flips_the_censors_orientation() {
+    // Drive one trial and inspect the censor's belief directly.
+    let s = Scenario::paper_inside(1234);
+    let site = clean_site(false, true);
+    let mut spec = TrialSpec::new(
+        &s.vantage_points[0],
+        &site,
+        Some(StrategyKind::TeardownTcbReversal),
+        true,
+        555,
+    );
+    spec.route_change_prob = 0.0;
+    let (mut sim, parts) = intang_experiments::trial::build_http_sim(&spec);
+    sim.run_until(intang_netsim::Instant(25_000_000));
+    assert!(parts.report.borrow().succeeded());
+    // If the reversal TCB survived the teardown RST, its believed client is
+    // the *server*; if the RST removed it, there is no TCB at all. Either
+    // way the censor never inspected the true client stream.
+    assert_eq!(parts.gfw_handles[0].detections().len(), 0);
+}
+
+#[test]
+fn old_gfw_segment_preference_is_exploitable_but_evolved_first_wins_is_not() {
+    let mut fooled = clean_site(false, true);
+    fooled.gfw_seg_overlap = SegmentOverlapPolicy::LastWins;
+    let mut robust = clean_site(false, true);
+    robust.gfw_seg_overlap = SegmentOverlapPolicy::FirstWins;
+    let s = Scenario::paper_inside(1234);
+    let mut ok_fooled = 0;
+    let mut ok_robust = 0;
+    for seed in 0..8 {
+        let mut spec = TrialSpec::new(&s.vantage_points[0], &fooled, Some(StrategyKind::OutOfOrderTcpSeg), true, 600 + seed);
+        spec.route_change_prob = 0.0;
+        ok_fooled += u32::from(run_http_trial(&spec).outcome == Outcome::Success);
+        let mut spec = TrialSpec::new(&s.vantage_points[0], &robust, Some(StrategyKind::OutOfOrderTcpSeg), true, 700 + seed);
+        spec.route_change_prob = 0.0;
+        ok_robust += u32::from(run_http_trial(&spec).outcome == Outcome::Success);
+    }
+    assert!(ok_fooled >= 7, "last-wins censor keeps the garbage: {ok_fooled}/8");
+    assert!(ok_robust <= 1, "first-wins censor keeps the real bytes: {ok_robust}/8");
+}

@@ -1,0 +1,205 @@
+//! Extension behaviors beyond the headline tables: HTTP *response*
+//! censorship (§3.3), the West Chamber historical baseline (§2.2/§9),
+//! history persistence across sessions (§6's Redis durability), and pcap
+//! export of a censored run.
+
+use intang_apps::host::add_host;
+use intang_apps::http::{HttpClientDriver, HttpServerDriver};
+use intang_core::select::History;
+use intang_core::StrategyKind;
+use intang_experiments::scenario::Scenario;
+use intang_experiments::tap::RecorderTap;
+use intang_experiments::trial::{run_http_trial, Outcome, TrialSpec};
+use intang_gfw::{GfwConfig, GfwElement};
+use intang_netsim::{pcap, Direction, Duration, Instant, Link, Simulation};
+use intang_packet::http::HttpRequest;
+use intang_tcpstack::StackProfile;
+use std::net::Ipv4Addr;
+
+/// §3.3: on the rare paths that still censor responses, an HTTPS-redirect
+/// site leaks the sensitive request target into the 301 Location header —
+/// and the censor catches it even though the *request* was clean of the
+/// monitored direction's perspective... the reason such sites were
+/// excluded from the measurement population.
+#[test]
+fn response_censorship_catches_location_header_leak() {
+    let client_addr = Ipv4Addr::new(10, 0, 0, 1);
+    let server_addr = Ipv4Addr::new(203, 0, 113, 70);
+    let run = |censor_responses: bool| {
+        let mut sim = Simulation::new(42);
+        let (driver, report) =
+            HttpClientDriver::new(server_addr, 80, HttpRequest::get("/ultrasurf-mirror", "redirector.example"));
+        add_host(&mut sim, "client", client_addr, StackProfile::linux_4_4(), Box::new(driver), Direction::ToServer);
+        sim.add_link(Link::new(Duration::from_millis(3), 4));
+        let mut cfg = GfwConfig::evolved();
+        cfg.overload_miss_prob = 0.0;
+        cfg.censor_responses = censor_responses;
+        // The *request* pattern here is not a rule; only the response leaks
+        // a blacklisted domain through the Location header.
+        cfg.rules = intang_gfw::RuleSet::empty().with_domain("redirector.example");
+        let (gfw, handle) = GfwElement::new(cfg);
+        sim.add_element(Box::new(gfw));
+        sim.add_link(Link::new(Duration::from_millis(5), 5));
+        let (_i, sh) = add_host(
+            &mut sim,
+            "server",
+            server_addr,
+            StackProfile::linux_4_4(),
+            Box::new(HttpServerDriver::new(80).redirecting_to_https()),
+            Direction::ToClient,
+        );
+        sh.with_tcp(|t| t.listen(80));
+        sim.run_until(Instant(15_000_000));
+        let out = (report.borrow().reset, handle.detections().len());
+        out
+    };
+    // The Host header already carries the blacklisted domain in the
+    // request direction, so both regimes detect at least once; enabling
+    // response censorship can only add Location-header detections on top.
+    // (The truly response-only case is the next test.)
+    let (_reset_off, det_off) = run(false);
+    let (_reset_on, det_on) = run(true);
+    assert!(det_on >= det_off, "response censoring can only add detections");
+    assert!(det_off >= 1, "request-direction Host header already matches");
+}
+
+/// Response-direction-only detection: keyword appears only in the page
+/// body the server returns.
+#[test]
+fn response_only_keyword_detected_only_when_response_censoring_enabled() {
+    let client_addr = Ipv4Addr::new(10, 0, 0, 1);
+    let server_addr = Ipv4Addr::new(203, 0, 113, 71);
+    let run = |censor_responses: bool| {
+        let mut sim = Simulation::new(43);
+        let (driver, report) = HttpClientDriver::new(server_addr, 80, HttpRequest::get("/page", "clean.example"));
+        add_host(&mut sim, "client", client_addr, StackProfile::linux_4_4(), Box::new(driver), Direction::ToServer);
+        sim.add_link(Link::new(Duration::from_millis(3), 4));
+        let mut cfg = GfwConfig::evolved();
+        cfg.overload_miss_prob = 0.0;
+        cfg.censor_responses = censor_responses;
+        let (gfw, handle) = GfwElement::new(cfg);
+        sim.add_element(Box::new(gfw));
+        sim.add_link(Link::new(Duration::from_millis(5), 5));
+        let body = b"<html>download ultrasurf here</html>";
+        let (_i, sh) = add_host(
+            &mut sim,
+            "server",
+            server_addr,
+            StackProfile::linux_4_4(),
+            Box::new(HttpServerDriver::new(80).with_body(body)),
+            Direction::ToClient,
+        );
+        sh.with_tcp(|t| t.listen(80));
+        sim.run_until(Instant(15_000_000));
+        let out = (report.borrow().response.is_some(), handle.detections().len());
+        out
+    };
+    let (got_resp_off, det_off) = run(false);
+    assert!(got_resp_off, "today's GFW ignores response bodies (§3.3)");
+    assert_eq!(det_off, 0);
+    let (_resp_on, det_on) = run(true);
+    assert!(det_on >= 1, "the rare response-censoring paths catch it");
+}
+
+/// The West Chamber baseline still beats the *prior* censor model but is
+/// clearly inferior to the paper's improved strategies against the evolved
+/// deployment — matching §2.2's "has now become ineffective".
+#[test]
+fn west_chamber_underperforms_improved_teardown() {
+    let s = Scenario::paper_inside(77);
+    let mut site = s.websites[0].clone();
+    site.old_device = false;
+    site.evolved_device = true;
+    site.server_seqfw = false;
+    site.server_conntrack = false;
+    site.flaky_server = false;
+    site.path_drops_noflag = false;
+    site.loss = 0.0;
+    site.rst_resync_prob = 0.35;
+    let vp = &s.vantage_points[0];
+    let rate = |kind: StrategyKind| -> f64 {
+        let n = 16;
+        let ok = (0..n)
+            .filter(|seed| {
+                let mut spec = TrialSpec::new(vp, &site, Some(kind), true, 500_000 + seed);
+                spec.route_change_prob = 0.0;
+                run_http_trial(&spec).outcome == Outcome::Success
+            })
+            .count();
+        ok as f64 / n as f64
+    };
+    let wc = rate(StrategyKind::WestChamber);
+    let improved = rate(StrategyKind::ImprovedTeardown);
+    assert!(improved > wc, "improved teardown ({improved}) beats West Chamber ({wc})");
+    assert!(improved >= 0.9);
+    assert!(wc < 0.9, "the 2011 tool no longer cuts it: {wc}");
+}
+
+/// History persistence: a second "session" starts from the serialized
+/// store and keeps the converged choice without re-exploring.
+#[test]
+fn history_survives_restart_via_serialization() {
+    let s = Scenario::paper_inside(21);
+    let site = &s.websites[1];
+    let vp = &s.vantage_points[0];
+    let first = std::rc::Rc::new(std::cell::RefCell::new(History::new()));
+    for seed in 0..6u64 {
+        let mut spec = TrialSpec::new(vp, site, None, true, 700 + seed);
+        spec.history = Some(first.clone());
+        run_http_trial(&spec);
+    }
+    let text = first.borrow().serialize();
+    assert!(!text.is_empty());
+
+    // "Restart": a new engine session loads the store and immediately
+    // chooses the converged strategy for this destination.
+    let restored = History::deserialize(&text);
+    let before = first.borrow().choose(site.addr, &StrategyKind::adaptive_pool());
+    let after = restored.choose(site.addr, &StrategyKind::adaptive_pool());
+    assert_eq!(before, after, "the restored session agrees with the live one");
+    let t = restored.tally(site.addr, after);
+    assert!(t.attempts >= 1);
+}
+
+/// A censored run exports to a Wireshark-openable pcap containing the
+/// censor's reset volley.
+#[test]
+fn censored_run_exports_valid_pcap() {
+    let client_addr = Ipv4Addr::new(10, 0, 0, 1);
+    let server_addr = Ipv4Addr::new(203, 0, 113, 90);
+    let mut sim = Simulation::new(3);
+    let (driver, _report) = HttpClientDriver::new(server_addr, 80, HttpRequest::get("/ultrasurf", "x.example"));
+    add_host(&mut sim, "client", client_addr, StackProfile::linux_4_4(), Box::new(driver), Direction::ToServer);
+    sim.add_link(Link::new(Duration::from_micros(100), 0));
+    let (tap, tap_handle) = RecorderTap::new("tap");
+    sim.add_element(Box::new(tap));
+    sim.add_link(Link::new(Duration::from_millis(3), 3));
+    let mut cfg = GfwConfig::evolved();
+    cfg.overload_miss_prob = 0.0;
+    let (gfw, _h) = GfwElement::new(cfg);
+    sim.add_element(Box::new(gfw));
+    sim.add_link(Link::new(Duration::from_millis(5), 4));
+    let (_i, sh) = add_host(&mut sim, "server", server_addr, StackProfile::linux_4_4(), Box::new(HttpServerDriver::new(80)), Direction::ToClient);
+    sh.with_tcp(|t| t.listen(80));
+    sim.run_until(Instant(10_000_000));
+
+    let writer = tap_handle.to_pcap();
+    assert!(writer.packet_count() > 5);
+    let parsed = pcap::parse(writer.as_bytes()).expect("valid pcap");
+    assert_eq!(parsed.len(), writer.packet_count());
+    // Timestamps are monotone and every record parses as IPv4.
+    let mut last = Instant::ZERO;
+    let mut rsts = 0;
+    for (at, wire) in &parsed {
+        assert!(*at >= last);
+        last = *at;
+        let ip = intang_packet::Ipv4Packet::new_checked(&wire[..]).expect("raw IPv4 records");
+        if ip.protocol() == intang_packet::IpProtocol::Tcp {
+            let t = intang_packet::TcpPacket::new_checked(ip.payload()).unwrap();
+            if t.flags().rst() {
+                rsts += 1;
+            }
+        }
+    }
+    assert!(rsts >= 3, "the reset volley is in the capture: {rsts}");
+}

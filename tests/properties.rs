@@ -1,0 +1,199 @@
+//! Property-based invariants across the wire-format and stream-assembly
+//! substrates: these are the layers every other result rests on.
+
+use intang_gfw::dpi::{Automaton, RuleSet, StreamMatcher};
+use intang_packet::frag::{self, OverlapPolicy};
+use intang_packet::tcp::{TcpFlags, TcpOption, TcpRepr};
+use intang_packet::{dns::DnsMessage, Ipv4Packet, Ipv4Repr, IpProtocol, TcpPacket};
+use intang_tcpstack::reasm::{Assembler, SegmentOverlapPolicy};
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+fn arb_addr() -> impl Strategy<Value = Ipv4Addr> {
+    any::<u32>().prop_map(Ipv4Addr::from)
+}
+
+fn arb_flags() -> impl Strategy<Value = TcpFlags> {
+    (0u8..=0x3f).prop_map(TcpFlags)
+}
+
+fn arb_options() -> impl Strategy<Value = Vec<TcpOption>> {
+    prop::collection::vec(
+        prop_oneof![
+            any::<u16>().prop_map(TcpOption::Mss),
+            (0u8..15).prop_map(TcpOption::WindowScale),
+            Just(TcpOption::SackPermitted),
+            (any::<u32>(), any::<u32>()).prop_map(|(a, b)| TcpOption::Timestamps { tsval: a, tsecr: b }),
+            any::<[u8; 16]>().prop_map(TcpOption::Md5Sig),
+        ],
+        0..3,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// TCP emit → parse is the identity on every field.
+    #[test]
+    fn tcp_round_trip(
+        src in arb_addr(), dst in arb_addr(),
+        sp in any::<u16>(), dp in any::<u16>(),
+        seq in any::<u32>(), ack in any::<u32>(),
+        flags in arb_flags(), window in any::<u16>(),
+        options in arb_options(),
+        payload in prop::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let mut repr = TcpRepr::new(sp, dp);
+        repr.seq = seq;
+        repr.ack = ack;
+        repr.flags = flags;
+        repr.window = window;
+        repr.options = options.clone();
+        repr.payload = payload.clone();
+        let wire = repr.emit(src, dst);
+        let pkt = TcpPacket::new_checked(&wire[..]).unwrap();
+        prop_assert!(pkt.verify_checksum(src, dst));
+        prop_assert_eq!(pkt.src_port(), sp);
+        prop_assert_eq!(pkt.dst_port(), dp);
+        prop_assert_eq!(pkt.seq_number(), seq);
+        prop_assert_eq!(pkt.ack_number(), ack);
+        prop_assert_eq!(pkt.flags(), flags);
+        prop_assert_eq!(pkt.window(), window);
+        prop_assert_eq!(pkt.options(), options);
+        prop_assert_eq!(pkt.payload(), &payload[..]);
+    }
+
+    /// IPv4 emit → parse is the identity, and the checksum validates.
+    #[test]
+    fn ipv4_round_trip(
+        src in arb_addr(), dst in arb_addr(),
+        ttl in 1u8..=255, ident in any::<u16>(),
+        payload in prop::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let repr = Ipv4Repr { ttl, ident, ..Ipv4Repr::new(src, dst, IpProtocol::Tcp) };
+        let wire = repr.emit(&payload);
+        let pkt = Ipv4Packet::new_checked(&wire[..]).unwrap();
+        prop_assert!(pkt.verify_header_checksum());
+        prop_assert!(pkt.total_len_consistent());
+        prop_assert_eq!(pkt.src_addr(), src);
+        prop_assert_eq!(pkt.dst_addr(), dst);
+        prop_assert_eq!(pkt.ttl(), ttl);
+        prop_assert_eq!(pkt.ident(), ident);
+        prop_assert_eq!(pkt.payload(), &payload[..]);
+    }
+
+    /// Any fragmentation of a datagram reassembles to the original under
+    /// both overlap policies, in any delivery order.
+    #[test]
+    fn fragmentation_reassembly_identity(
+        payload in prop::collection::vec(any::<u8>(), 16..512),
+        cuts in prop::collection::vec(1usize..64, 0..4),
+        order in any::<u64>(),
+        last_wins in any::<bool>(),
+    ) {
+        let src = Ipv4Addr::new(10, 0, 0, 1);
+        let dst = Ipv4Addr::new(10, 0, 0, 2);
+        let repr = Ipv4Repr { ident: 7, ..Ipv4Repr::new(src, dst, IpProtocol::Tcp) };
+        let wire = repr.emit(&payload);
+        // 8-aligned boundaries; fragment_at ignores any outside (0, len).
+        let boundaries: Vec<usize> = cuts.iter().map(|c| c * 8).collect();
+        let mut frags = frag::fragment_at(&wire, &boundaries);
+        // Pseudo-random shuffle (deterministic in `order`).
+        let mut o = order;
+        for i in (1..frags.len()).rev() {
+            o = o.wrapping_mul(6364136223846793005).wrapping_add(1);
+            frags.swap(i, (o as usize) % (i + 1));
+        }
+        let policy = if last_wins { OverlapPolicy::LastWins } else { OverlapPolicy::FirstWins };
+        let out = frag::reassemble(policy, frags).expect("must complete");
+        let pkt = Ipv4Packet::new_checked(&out[..]).unwrap();
+        prop_assert_eq!(pkt.payload(), &payload[..]);
+        prop_assert!(!pkt.is_fragment());
+    }
+
+    /// The stream assembler delivers exactly the in-order byte stream when
+    /// segments don't overlap, regardless of arrival order.
+    #[test]
+    fn assembler_delivers_contiguous_stream(
+        chunks in prop::collection::vec(prop::collection::vec(any::<u8>(), 1..32), 1..8),
+        order in any::<u64>(),
+        last_wins in any::<bool>(),
+    ) {
+        let policy = if last_wins { SegmentOverlapPolicy::LastWins } else { SegmentOverlapPolicy::FirstWins };
+        let mut asm = Assembler::new(policy);
+        // Compute offsets.
+        let mut offsets = Vec::new();
+        let mut off = 0u64;
+        for c in &chunks {
+            offsets.push(off);
+            off += c.len() as u64;
+        }
+        let expected: Vec<u8> = chunks.iter().flatten().copied().collect();
+        let mut idx: Vec<usize> = (0..chunks.len()).collect();
+        let mut o = order;
+        for i in (1..idx.len()).rev() {
+            o = o.wrapping_mul(6364136223846793005).wrapping_add(1);
+            idx.swap(i, (o as usize) % (i + 1));
+        }
+        let mut got = Vec::new();
+        for &i in &idx {
+            asm.insert(offsets[i], &chunks[i]);
+            got.extend_from_slice(&asm.pull());
+        }
+        prop_assert_eq!(got, expected);
+        prop_assert!(!asm.has_gaps());
+    }
+
+    /// The streaming Aho–Corasick matcher agrees with naive substring
+    /// search for every chunking of the input.
+    #[test]
+    fn streaming_matcher_equals_naive_search(
+        hay in prop::collection::vec(prop_oneof![Just(b'u'), Just(b'l'), Just(b't'), Just(b'r'),
+                                                 Just(b'a'), Just(b's'), Just(b'f'), Just(b'x')], 0..128),
+        cut in 0usize..128,
+    ) {
+        let rules = RuleSet::empty().with_keyword("ultrasurf").with_keyword("tras");
+        let aut = Automaton::build(&rules);
+        let naive = hay.windows(9).any(|w| w == b"ultrasurf") || hay.windows(4).any(|w| w == b"tras");
+        // Whole-buffer scan.
+        let whole = !aut.scan(&hay).is_empty();
+        prop_assert_eq!(whole, naive);
+        // Split-feed scan (same result for any split point).
+        let cut = cut.min(hay.len());
+        let mut m = StreamMatcher::new();
+        let mut hits = m.feed(&aut, &hay[..cut]);
+        hits.extend(m.feed(&aut, &hay[cut..]));
+        prop_assert_eq!(!hits.is_empty(), naive);
+    }
+
+    /// DNS messages round-trip through both UDP and TCP framings.
+    #[test]
+    fn dns_round_trip(
+        id in any::<u16>(),
+        labels in prop::collection::vec("[a-z]{1,12}", 1..4),
+    ) {
+        let name = labels.join(".");
+        let q = DnsMessage::query(id, &name);
+        prop_assert_eq!(DnsMessage::decode(&q.encode()).unwrap(), q.clone());
+        let (m, used) = DnsMessage::decode_tcp(&q.encode_tcp()).unwrap();
+        prop_assert_eq!(&m, &q);
+        prop_assert_eq!(used, q.encode_tcp().len());
+        let a = DnsMessage::answer_a(&q, Ipv4Addr::new(1, 2, 3, 4), 60);
+        prop_assert_eq!(DnsMessage::decode(&a.encode()).unwrap(), a);
+    }
+
+    /// Sequence-space arithmetic is a strict total order on windows
+    /// narrower than 2^31.
+    #[test]
+    fn seq_order_sanity(a in any::<u32>(), d in 1u32..0x7fff_ffff) {
+        use intang_packet::tcp::seq;
+        let b = a.wrapping_add(d);
+        prop_assert!(seq::lt(a, b));
+        prop_assert!(seq::gt(b, a));
+        prop_assert!(seq::le(a, b));
+        prop_assert!(!seq::lt(b, a));
+        prop_assert!(seq::in_window(a, a, 1));
+        prop_assert!(!seq::in_window(b, a, d));
+        prop_assert!(seq::in_window(b, a, d + 1));
+    }
+}
