@@ -2,7 +2,7 @@
 //! element (TCB lookup, stream feed, DPI), TCB creation under SYN load,
 //! and the reset injector.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use intang_bench::harness::{bench, bench_bytes, bench_elems};
 use intang_gfw::reset::ResetInjector;
 use intang_gfw::{GfwConfig, GfwElement};
 use intang_netsim::element::PassThrough;
@@ -22,76 +22,60 @@ fn tap_world() -> Simulation {
     sim
 }
 
-/// Cost of pushing one established flow's data segment past the tap.
-fn bench_data_segment_analysis(c: &mut Criterion) {
+/// Cost of pushing one established flow's data segment past the tap
+/// (world setup included once per iteration; dominated by the tap).
+fn bench_data_segment_analysis() {
     let client = Ipv4Addr::new(10, 0, 0, 1);
     let server = Ipv4Addr::new(203, 0, 113, 1);
     let payload = intang_bench::clean_stream(1_460);
 
-    let mut g = c.benchmark_group("censor/per-packet");
-    g.throughput(Throughput::Bytes(1_460));
-    g.bench_function("clean-data-segment", |b| {
-        b.iter_batched(
-            || {
-                let mut sim = tap_world();
-                let syn = PacketBuilder::tcp(client, server, 40_000, 80).seq(1).flags(TcpFlags::SYN).build();
-                sim.inject_at(0, Direction::ToServer, syn, Instant::ZERO);
-                sim.run_to_quiescence(100);
-                sim
-            },
-            |mut sim| {
-                let data = PacketBuilder::tcp(client, server, 40_000, 80)
-                    .seq(2)
-                    .ack(1)
-                    .flags(TcpFlags::PSH_ACK)
-                    .payload(&payload)
-                    .build();
-                sim.inject_at(0, Direction::ToServer, data, Instant(1_000));
-                sim.run_to_quiescence(100);
-                black_box(sim.delivered)
-            },
-            criterion::BatchSize::SmallInput,
-        );
+    bench_bytes("censor/per-packet/clean-data-segment", 1_460, || {
+        let mut sim = tap_world();
+        let syn = PacketBuilder::tcp(client, server, 40_000, 80).seq(1).flags(TcpFlags::SYN).build();
+        sim.inject_at(0, Direction::ToServer, syn, Instant::ZERO);
+        sim.run_to_quiescence(100);
+        let data = PacketBuilder::tcp(client, server, 40_000, 80)
+            .seq(2)
+            .ack(1)
+            .flags(TcpFlags::PSH_ACK)
+            .payload(&payload)
+            .build();
+        sim.inject_at(0, Direction::ToServer, data, Instant(1_000));
+        sim.run_to_quiescence(100);
+        black_box(sim.delivered)
     });
-    g.finish();
 }
 
 /// SYN flood: TCB table growth and hashing under new-flow pressure.
-fn bench_tcb_creation_rate(c: &mut Criterion) {
+fn bench_tcb_creation_rate() {
     let client = Ipv4Addr::new(10, 0, 0, 1);
     let server = Ipv4Addr::new(203, 0, 113, 1);
-    let mut g = c.benchmark_group("censor/tcb");
-    g.throughput(Throughput::Elements(1_000));
-    g.bench_function("1000-syns", |b| {
-        b.iter(|| {
-            let mut sim = tap_world();
-            for i in 0..1_000u32 {
-                let syn = PacketBuilder::tcp(client, server, 10_000 + (i % 50_000) as u16, 80)
-                    .seq(i)
-                    .flags(TcpFlags::SYN)
-                    .build();
-                sim.inject_at(0, Direction::ToServer, syn, Instant(u64::from(i)));
-            }
-            sim.run_to_quiescence(100_000);
-            black_box(sim.delivered)
-        });
+    bench_elems("censor/tcb/1000-syns", 1_000, || {
+        let mut sim = tap_world();
+        for i in 0..1_000u32 {
+            let syn = PacketBuilder::tcp(client, server, 10_000 + (i % 50_000) as u16, 80)
+                .seq(i)
+                .flags(TcpFlags::SYN)
+                .build();
+            sim.inject_at(0, Direction::ToServer, syn, Instant(u64::from(i)));
+        }
+        sim.run_to_quiescence(100_000);
+        black_box(sim.delivered)
     });
-    g.finish();
 }
 
 /// The §2.1 injection volley itself.
-fn bench_reset_injection(c: &mut Criterion) {
+fn bench_reset_injection() {
     let client = (Ipv4Addr::new(10, 0, 0, 1), 40_000u16);
     let server = (Ipv4Addr::new(203, 0, 113, 1), 80u16);
     let mut inj = ResetInjector::new();
     let mut rng = intang_netsim::SimRng::seed_from(5);
-    c.bench_function("censor/type2-volley", |b| {
-        b.iter(|| black_box(inj.type2(black_box(server), black_box(client), 1_000, 2_000)));
-    });
-    c.bench_function("censor/type1-rst", |b| {
-        b.iter(|| black_box(inj.type1(&mut rng, black_box(server), black_box(client), 1_000)));
-    });
+    bench("censor/type2-volley", || black_box(inj.type2(black_box(server), black_box(client), 1_000, 2_000)));
+    bench("censor/type1-rst", || black_box(inj.type1(&mut rng, black_box(server), black_box(client), 1_000)));
 }
 
-criterion_group!(benches, bench_data_segment_analysis, bench_tcb_creation_rate, bench_reset_injection);
-criterion_main!(benches);
+fn main() {
+    bench_data_segment_analysis();
+    bench_tcb_creation_rate();
+    bench_reset_injection();
+}

@@ -2,71 +2,59 @@
 //! Aho–Corasick matcher vs a naive re-scan of the buffered stream on every
 //! segment (what a lazy censor implementation would do).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use intang_bench::clean_stream;
+use intang_bench::harness::{bench, bench_bytes};
 use intang_gfw::dpi::{Automaton, RuleSet, StreamMatcher};
 use std::hint::black_box;
 
-fn bench_scan_throughput(c: &mut Criterion) {
+fn bench_scan_throughput() {
     let aut = Automaton::build(&RuleSet::paper_default());
-    let mut g = c.benchmark_group("dpi/scan");
     for size in [1_460usize, 16 * 1024, 256 * 1024] {
         let data = clean_stream(size);
-        g.throughput(Throughput::Bytes(size as u64));
-        g.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, data| {
-            b.iter(|| black_box(aut.scan(black_box(data))));
-        });
+        bench_bytes(&format!("dpi/scan/{size}"), size as u64, || black_box(aut.scan(black_box(&data))));
     }
-    g.finish();
 }
 
 /// Ablation: streaming matcher (state carried across segments) vs naive
 /// full-buffer re-scan per arriving segment. The naive variant is
 /// quadratic in stream length — this is why the censor model keeps one
 /// `u32` of matcher state per flow instead.
-fn bench_streaming_vs_rescan(c: &mut Criterion) {
+fn bench_streaming_vs_rescan() {
     let aut = Automaton::build(&RuleSet::paper_default());
     let segments: Vec<Vec<u8>> = (0..64).map(|_| clean_stream(1_460)).collect();
 
-    let mut g = c.benchmark_group("dpi/ablation-64-segments");
-    g.bench_function("streaming", |b| {
-        b.iter(|| {
-            let mut m = StreamMatcher::new();
-            let mut hits = 0;
-            for s in &segments {
-                hits += m.feed(&aut, black_box(s)).len();
-            }
-            black_box(hits)
-        });
+    bench("dpi/ablation-64-segments/streaming", || {
+        let mut m = StreamMatcher::new();
+        let mut hits = 0;
+        for s in &segments {
+            hits += m.feed(&aut, black_box(s)).len();
+        }
+        black_box(hits)
     });
-    g.bench_function("naive-rescan", |b| {
-        b.iter(|| {
-            let mut buffer: Vec<u8> = Vec::new();
-            let mut hits = 0;
-            for s in &segments {
-                buffer.extend_from_slice(s);
-                hits += aut.scan(black_box(&buffer)).len();
-            }
-            black_box(hits)
-        });
+    bench("dpi/ablation-64-segments/naive-rescan", || {
+        let mut buffer: Vec<u8> = Vec::new();
+        let mut hits = 0;
+        for s in &segments {
+            buffer.extend_from_slice(s);
+            hits += aut.scan(black_box(&buffer)).len();
+        }
+        black_box(hits)
     });
-    g.finish();
 }
 
-fn bench_automaton_build(c: &mut Criterion) {
-    c.bench_function("dpi/build-paper-ruleset", |b| {
-        b.iter(|| black_box(Automaton::build(&RuleSet::paper_default())));
-    });
+fn bench_automaton_build() {
+    bench("dpi/build-paper-ruleset", || black_box(Automaton::build(&RuleSet::paper_default())));
     // A larger blacklist, like the Alexa-derived poisoned-domain list §6
     // probes with.
     let mut rules = RuleSet::empty();
     for i in 0..500 {
         rules = rules.with_domain(&format!("blocked-domain-{i}.example.com"));
     }
-    c.bench_function("dpi/build-500-domains", |b| {
-        b.iter(|| black_box(Automaton::build(&rules)));
-    });
+    bench("dpi/build-500-domains", || black_box(Automaton::build(&rules)));
 }
 
-criterion_group!(benches, bench_scan_throughput, bench_streaming_vs_rescan, bench_automaton_build);
-criterion_main!(benches);
+fn main() {
+    bench_scan_throughput();
+    bench_streaming_vs_rescan();
+    bench_automaton_build();
+}

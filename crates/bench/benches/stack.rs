@@ -1,7 +1,7 @@
 //! TCP stack benchmarks: handshake cost, bulk transfer through the
 //! endpoint pair, and the reassembly buffer under out-of-order load.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use intang_bench::harness::{bench, bench_bytes};
 use intang_tcpstack::reasm::{Assembler, SegmentOverlapPolicy};
 use intang_tcpstack::{StackProfile, TcpEndpoint};
 use std::hint::black_box;
@@ -23,67 +23,56 @@ fn pump(a: &mut TcpEndpoint, b: &mut TcpEndpoint, now: u64) {
     }
 }
 
-fn bench_handshake(c: &mut Criterion) {
+fn bench_handshake() {
     let ca = Ipv4Addr::new(10, 0, 0, 1);
     let sa = Ipv4Addr::new(10, 0, 0, 2);
-    c.bench_function("stack/handshake", |b| {
-        b.iter(|| {
-            let mut client = TcpEndpoint::new(ca, StackProfile::linux_4_4());
-            let mut server = TcpEndpoint::new(sa, StackProfile::linux_4_4());
-            server.listen(80);
-            let h = client.connect(sa, 80, 0);
-            pump(&mut client, &mut server, 0);
-            black_box(client.socket(h).is_established())
-        });
+    bench("stack/handshake", || {
+        let mut client = TcpEndpoint::new(ca, StackProfile::linux_4_4());
+        let mut server = TcpEndpoint::new(sa, StackProfile::linux_4_4());
+        server.listen(80);
+        let h = client.connect(sa, 80, 0);
+        pump(&mut client, &mut server, 0);
+        black_box(client.socket(h).is_established())
     });
 }
 
-fn bench_bulk_transfer(c: &mut Criterion) {
+fn bench_bulk_transfer() {
     let ca = Ipv4Addr::new(10, 0, 0, 1);
     let sa = Ipv4Addr::new(10, 0, 0, 2);
     let data = intang_bench::clean_stream(256 * 1024);
-    let mut g = c.benchmark_group("stack/bulk");
-    g.throughput(Throughput::Bytes(data.len() as u64));
-    g.bench_function("256KiB", |b| {
-        b.iter(|| {
-            let mut client = TcpEndpoint::new(ca, StackProfile::linux_4_4());
-            let mut server = TcpEndpoint::new(sa, StackProfile::linux_4_4());
-            server.listen(80);
-            let h = client.connect(sa, 80, 0);
-            pump(&mut client, &mut server, 0);
-            client.socket(h).send(&data, 1_000);
-            pump(&mut client, &mut server, 1_000);
-            let sh = server.take_accepted()[0];
-            black_box(server.socket(sh).recv_drain().len())
-        });
+    bench_bytes("stack/bulk/256KiB", data.len() as u64, || {
+        let mut client = TcpEndpoint::new(ca, StackProfile::linux_4_4());
+        let mut server = TcpEndpoint::new(sa, StackProfile::linux_4_4());
+        server.listen(80);
+        let h = client.connect(sa, 80, 0);
+        pump(&mut client, &mut server, 0);
+        client.socket(h).send(&data, 1_000);
+        pump(&mut client, &mut server, 1_000);
+        let sh = server.take_accepted()[0];
+        black_box(server.socket(sh).recv_drain().len())
     });
-    g.finish();
 }
 
-fn bench_assembler(c: &mut Criterion) {
+fn bench_assembler() {
     let chunk = vec![0u8; 1_460];
-    let mut g = c.benchmark_group("stack/assembler");
-    g.throughput(Throughput::Bytes(64 * 1_460));
-    g.bench_function("in-order-64", |b| {
-        b.iter(|| {
-            let mut a = Assembler::new(SegmentOverlapPolicy::FirstWins);
-            for i in 0..64u64 {
-                a.insert(i * 1_460, &chunk);
-                black_box(a.pull());
-            }
-        });
+    bench_bytes("stack/assembler/in-order-64", 64 * 1_460, || {
+        let mut a = Assembler::new(SegmentOverlapPolicy::FirstWins);
+        for i in 0..64u64 {
+            a.insert(i * 1_460, &chunk);
+            black_box(a.pull());
+        }
     });
-    g.bench_function("reverse-order-64", |b| {
-        b.iter(|| {
-            let mut a = Assembler::new(SegmentOverlapPolicy::FirstWins);
-            for i in (0..64u64).rev() {
-                a.insert(i * 1_460, &chunk);
-            }
-            black_box(a.pull().len())
-        });
+    bench_bytes("stack/assembler/reverse-order-64", 64 * 1_460, || {
+        let mut a = Assembler::new(SegmentOverlapPolicy::FirstWins);
+        for i in (0..64u64).rev() {
+            a.insert(i * 1_460, &chunk);
+        }
+        black_box(a.pull().len())
     });
-    g.finish();
 }
 
-criterion_group!(benches, bench_handshake, bench_bulk_transfer, bench_assembler);
-criterion_main!(benches);
+fn main() {
+    bench_handshake();
+    bench_bulk_transfer();
+    bench_assembler();
+}

@@ -2,18 +2,16 @@
 //! Table 4 cell — client + INTANG + middleboxes + censor + server,
 //! handshake to classified outcome.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use intang_bench::harness::bench;
 use intang_core::{Discrepancy, StrategyKind};
 use intang_experiments::scenario::Scenario;
 use intang_experiments::trial::{run_http_trial, TrialSpec};
 use std::hint::black_box;
 
-fn bench_trial_per_strategy(c: &mut Criterion) {
+fn bench_trial_per_strategy() {
     let scenario = Scenario::paper_inside(2017);
     let site = &scenario.websites[0];
     let vp = &scenario.vantage_points[0];
-    let mut g = c.benchmark_group("trial");
-    g.sample_size(20);
     for (name, kind) in [
         ("no-strategy", StrategyKind::NoStrategy),
         ("in-order-overlap", StrategyKind::InOrderOverlap(Discrepancy::SmallTtl)),
@@ -21,35 +19,29 @@ fn bench_trial_per_strategy(c: &mut Criterion) {
         ("tcb-creation+resync-desync", StrategyKind::TcbCreationResyncDesync),
         ("teardown+tcb-reversal", StrategyKind::TeardownTcbReversal),
     ] {
-        g.bench_with_input(BenchmarkId::from_parameter(name), &kind, |b, &kind| {
-            let mut seed = 0u64;
-            b.iter(|| {
-                seed += 1;
-                let mut spec = TrialSpec::new(vp, site, Some(kind), true, seed);
-                spec.route_change_prob = 0.0;
-                black_box(run_http_trial(&spec).outcome)
-            });
+        let mut seed = 0u64;
+        bench(&format!("trial/{name}"), || {
+            seed += 1;
+            let mut spec = TrialSpec::new(vp, site, Some(kind), true, seed);
+            spec.route_change_prob = 0.0;
+            black_box(run_http_trial(&spec).outcome)
         });
     }
-    g.finish();
 }
 
-fn bench_dns_trial(c: &mut Criterion) {
+fn bench_dns_trial() {
     use intang_experiments::trial_dns::{run_dns_trial, DnsTrialSpec, DYN1};
     let scenario = Scenario::paper_inside(2017);
     let vp = &scenario.vantage_points[0];
-    let mut g = c.benchmark_group("trial");
-    g.sample_size(20);
-    g.bench_function("dns-over-tcp-forwarded", |b| {
-        let mut seed = 0u64;
-        b.iter(|| {
-            seed += 1;
-            let spec = DnsTrialSpec { vp, resolver: DYN1, use_intang: true, seed, nat_prob: 0.0 };
-            black_box(run_dns_trial(&spec))
-        });
+    let mut seed = 0u64;
+    bench("trial/dns-over-tcp-forwarded", || {
+        seed += 1;
+        let spec = DnsTrialSpec { vp, resolver: DYN1, use_intang: true, seed, nat_prob: 0.0 };
+        black_box(run_dns_trial(&spec))
     });
-    g.finish();
 }
 
-criterion_group!(benches, bench_trial_per_strategy, bench_dns_trial);
-criterion_main!(benches);
+fn main() {
+    bench_trial_per_strategy();
+    bench_dns_trial();
+}

@@ -1,0 +1,162 @@
+//! Sweep-executor benchmark: runs a fixed-seed multi-strategy sweep at
+//! several worker counts and reports wall time, trials/sec, events/sec and
+//! speedup vs the serial (1-worker) run, verifying along the way that every
+//! worker count produces byte-identical aggregates.
+//!
+//! Writes `BENCH_sweep.json` into the current directory. `--quick` shrinks
+//! the workload to a smoke-test size (used by `scripts/ci.sh`);
+//! `INTANG_THREADS` caps the "max" worker count.
+
+use intang_core::{Discrepancy, StrategyKind};
+use intang_experiments::runner::{overall, sweep_with_threads, worker_count, SweepConfig, SweepRun};
+use intang_experiments::scenario::Scenario;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct Workload {
+    name: &'static str,
+    scenario: Scenario,
+    trials: u32,
+    strategies: Vec<(&'static str, Option<StrategyKind>)>,
+}
+
+fn workload(quick: bool) -> Workload {
+    let strategies: Vec<(&'static str, Option<StrategyKind>)> = vec![
+        ("no-strategy", Some(StrategyKind::NoStrategy)),
+        ("in-order-overlap", Some(StrategyKind::InOrderOverlap(Discrepancy::SmallTtl))),
+        ("improved-teardown", Some(StrategyKind::ImprovedTeardown)),
+        ("tcb-creation+resync-desync", Some(StrategyKind::TcbCreationResyncDesync)),
+        ("teardown+tcb-reversal", Some(StrategyKind::TeardownTcbReversal)),
+    ];
+    if quick {
+        Workload {
+            name: "smoke",
+            scenario: Scenario::smoke(2017),
+            trials: 2,
+            strategies: strategies.into_iter().take(2).collect(),
+        }
+    } else {
+        Workload { name: "paper_inside", scenario: Scenario::paper_inside(2017), trials: 3, strategies }
+    }
+}
+
+struct Measurement {
+    threads: usize,
+    wall_s: f64,
+    trials: u64,
+    events: u64,
+    identical_to_serial: bool,
+}
+
+fn run_all(w: &Workload, threads: usize) -> (Vec<SweepRun>, f64) {
+    let start = Instant::now();
+    let runs = w
+        .strategies
+        .iter()
+        .map(|(_, kind)| {
+            let mut cfg = SweepConfig::new(*kind, true, w.trials, 2017);
+            cfg.route_change_prob = 0.12;
+            sweep_with_threads(&w.scenario, &cfg, threads)
+        })
+        .collect();
+    (runs, start.elapsed().as_secs_f64())
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let w = workload(quick);
+    let max = worker_count();
+    let mut thread_counts = vec![1usize, 4, max];
+    thread_counts.sort_unstable();
+    thread_counts.dedup();
+
+    eprintln!(
+        "bench_sweep: scenario={} ({} VPs x {} sites), {} strategies, {} trials/cell, worker counts {:?}",
+        w.name,
+        w.scenario.vantage_points.len(),
+        w.scenario.websites.len(),
+        w.strategies.len(),
+        w.trials,
+        thread_counts,
+    );
+
+    let mut serial_runs: Option<Vec<SweepRun>> = None;
+    let mut serial_wall = 0.0f64;
+    let mut measurements = Vec::new();
+    for &threads in &thread_counts {
+        let (runs, wall_s) = run_all(&w, threads);
+        let trials: u64 = runs.iter().map(|r| r.trials).sum();
+        let events: u64 = runs.iter().map(|r| r.events).sum();
+        let identical = match &serial_runs {
+            None => {
+                serial_wall = wall_s;
+                serial_runs = Some(runs);
+                true
+            }
+            Some(serial) => serial
+                .iter()
+                .zip(&runs)
+                .all(|(a, b)| a.rows == b.rows && a.events == b.events),
+        };
+        eprintln!(
+            "  {threads:>3} workers: {wall_s:8.2}s  {:>9.1} trials/s  {:>11.0} events/s  speedup {:>5.2}x  identical={identical}",
+            trials as f64 / wall_s,
+            events as f64 / wall_s,
+            serial_wall / wall_s,
+        );
+        measurements.push(Measurement { threads, wall_s, trials, events, identical_to_serial: identical });
+    }
+
+    let serial = serial_runs.expect("at least one worker count ran");
+    let success_rates: Vec<(&str, f64)> = w
+        .strategies
+        .iter()
+        .zip(&serial)
+        .map(|((name, _), run)| (*name, overall(&run.rows).success_rate()))
+        .collect();
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"scenario\": \"{}\",", w.name);
+    let _ = writeln!(
+        json,
+        "  \"vantage_points\": {},\n  \"websites\": {},\n  \"trials_per_cell\": {},\n  \"master_seed\": 2017,",
+        w.scenario.vantage_points.len(),
+        w.scenario.websites.len(),
+        w.trials,
+    );
+    let names: Vec<String> = w.strategies.iter().map(|(n, _)| format!("\"{n}\"")).collect();
+    let _ = writeln!(json, "  \"strategies\": [{}],", names.join(", "));
+    json.push_str("  \"overall_success_rate\": {");
+    let rates: Vec<String> = success_rates.iter().map(|(n, r)| format!("\"{n}\": {r:.4}")).collect();
+    json.push_str(&rates.join(", "));
+    json.push_str("},\n  \"runs\": [\n");
+    for (i, m) in measurements.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"threads\": {}, \"wall_s\": {:.3}, \"trials\": {}, \"trials_per_s\": {:.1}, \"events\": {}, \"events_per_s\": {:.0}, \"speedup_vs_serial\": {:.2}, \"identical_to_serial\": {}}}",
+            m.threads,
+            m.wall_s,
+            m.trials,
+            m.trials as f64 / m.wall_s,
+            m.events,
+            m.events as f64 / m.wall_s,
+            serial_wall / m.wall_s,
+            m.identical_to_serial,
+        );
+        json.push_str(if i + 1 < measurements.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+
+    if !quick {
+        // The quick smoke run (CI) must not clobber the checked-in
+        // full-workload artifact.
+        std::fs::write("BENCH_sweep.json", &json).expect("write BENCH_sweep.json");
+    }
+    println!("{json}");
+
+    if measurements.iter().any(|m| !m.identical_to_serial) {
+        eprintln!("ERROR: parallel aggregates diverged from the serial run");
+        std::process::exit(1);
+    }
+}

@@ -51,16 +51,20 @@ fn sequence_of(kind: StrategyKind, seed: u64) -> String {
         parts.gfw_handles.iter().map(|h| h.detections().len()).sum::<usize>(),
     ));
     out.push_str("  time          actor   dir  packet\n");
+    // Trace records carry interned name ids; resolve the three actors once.
+    let gfw = sim.trace.lookup("GFW");
+    let intang = sim.trace.lookup("INTANG");
+    let server = sim.trace.lookup("server");
     for e in sim.trace.events() {
         // Show what the censor observes plus what INTANG emits.
         let (show, actor) = match &e.point {
-            intang_netsim::trace::TracePoint::Element { name, .. } if name == "GFW" && e.kind == TraceKind::Arrive => {
+            intang_netsim::trace::TracePoint::Element { name, .. } if Some(*name) == gfw && e.kind == TraceKind::Arrive => {
                 (true, "GFW")
             }
-            intang_netsim::trace::TracePoint::Element { name, .. } if name == "INTANG" && e.kind == TraceKind::Emit && e.dir == Direction::ToServer => {
+            intang_netsim::trace::TracePoint::Element { name, .. } if Some(*name) == intang && e.kind == TraceKind::Emit && e.dir == Direction::ToServer => {
                 (true, "INTANG")
             }
-            intang_netsim::trace::TracePoint::Element { name, .. } if name == "server" && e.kind == TraceKind::Emit => {
+            intang_netsim::trace::TracePoint::Element { name, .. } if Some(*name) == server && e.kind == TraceKind::Emit => {
                 (true, "server")
             }
             _ => (false, ""),

@@ -1,4 +1,12 @@
 //! Sweep execution and aggregation.
+//!
+//! Sweeps run on a work-stealing executor: the (vantage point, site) grid
+//! is flattened into independent cells, worker threads claim cells through
+//! a shared atomic cursor, and results are merged back in cell-index order.
+//! Because every cell derives its randomness purely from
+//! `(master_seed, vp_idx, site_idx, trial)` and keeps its own adaptive
+//! history, the merged output is byte-identical to a serial run at any
+//! thread count.
 
 use crate::scenario::{Scenario, VantagePoint, Website};
 use crate::trial::{run_http_trial, Outcome, TrialSpec};
@@ -6,6 +14,7 @@ use intang_core::select::History;
 use intang_core::StrategyKind;
 use std::cell::RefCell;
 use std::rc::Rc;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Outcome counts.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
@@ -80,7 +89,20 @@ fn trial_seed(master: u64, vp_idx: usize, site_idx: usize, trial: u32, keyword: 
 
 /// Run `cfg.trials` trials of one (vantage point, site) cell.
 pub fn run_cell(vp: &VantagePoint, vp_idx: usize, site: &Website, site_idx: usize, cfg: &SweepConfig) -> Aggregate {
+    run_cell_counted(vp, vp_idx, site, site_idx, cfg).0
+}
+
+/// As [`run_cell`], additionally returning the simulation events processed
+/// (the sweep executor's throughput metric).
+pub fn run_cell_counted(
+    vp: &VantagePoint,
+    vp_idx: usize,
+    site: &Website,
+    site_idx: usize,
+    cfg: &SweepConfig,
+) -> (Aggregate, u64) {
     let mut agg = Aggregate::default();
+    let mut events = 0u64;
     // Adaptive mode: one history per (vantage point, site), shared across
     // the repeated trials — this is how INTANG converges (§6).
     let history = if cfg.strategy.is_none() { Some(Rc::new(RefCell::new(History::new()))) } else { None };
@@ -89,37 +111,105 @@ pub fn run_cell(vp: &VantagePoint, vp_idx: usize, site: &Website, site_idx: usiz
         spec.redundancy = cfg.redundancy;
         spec.history = history.clone();
         spec.route_change_prob = cfg.route_change_prob;
-        agg.add(run_http_trial(&spec).outcome);
+        let r = run_http_trial(&spec);
+        agg.add(r.outcome);
+        events += r.events;
     }
-    agg
+    (agg, events)
 }
 
-/// Per-vantage-point aggregates over all sites (parallel across vantage
-/// points).
+/// Worker count for [`sweep`]: the `INTANG_THREADS` environment variable
+/// when set to a positive integer, else the machine's available
+/// parallelism.
+pub fn worker_count() -> usize {
+    match std::env::var("INTANG_THREADS").ok().and_then(|s| s.parse::<usize>().ok()) {
+        Some(n) if n >= 1 => n,
+        _ => std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1),
+    }
+}
+
+/// A finished sweep: per-vantage-point rows plus executor statistics.
+#[derive(Debug, Clone)]
+pub struct SweepRun {
+    /// One row per vantage point, in scenario order.
+    pub rows: Vec<(String, Aggregate)>,
+    /// Total trials executed.
+    pub trials: u64,
+    /// Total simulation events processed.
+    pub events: u64,
+}
+
+/// Per-vantage-point aggregates over all sites.
+///
+/// Thin wrapper over [`sweep_with_threads`] at [`worker_count`] workers;
+/// the result is independent of the worker count.
 pub fn sweep(scenario: &Scenario, cfg: &SweepConfig) -> Vec<(String, Aggregate)> {
-    let mut out: Vec<(String, Aggregate)> = Vec::new();
+    sweep_with_threads(scenario, cfg, worker_count()).rows
+}
+
+/// Run the sweep on `workers` threads claiming (vantage point, site) cells
+/// from a shared atomic cursor.
+///
+/// Cells are independent units of work — each derives its trial seeds
+/// purely from `(master_seed, vp_idx, site_idx, trial)` and owns its
+/// adaptive history — so stealing order cannot leak into results. Workers
+/// report `(cell index, aggregate)` pairs; the merge walks cells in index
+/// order, which makes the output byte-identical to a serial sweep for any
+/// `workers >= 1`.
+pub fn sweep_with_threads(scenario: &Scenario, cfg: &SweepConfig, workers: usize) -> SweepRun {
+    let n_sites = scenario.websites.len();
+    let n_cells = scenario.vantage_points.len() * n_sites;
+    let cursor = AtomicUsize::new(0);
+    let workers = workers.max(1).min(n_cells.max(1));
+
+    let mut cells: Vec<Option<(Aggregate, u64)>> = vec![None; n_cells];
     std::thread::scope(|scope| {
-        let handles: Vec<_> = scenario
-            .vantage_points
-            .iter()
-            .enumerate()
-            .map(|(vp_idx, vp)| {
-                let cfg = cfg.clone();
-                let websites = &scenario.websites;
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let cursor = &cursor;
+                let cfg = &*cfg;
                 scope.spawn(move || {
-                    let mut agg = Aggregate::default();
-                    for (site_idx, site) in websites.iter().enumerate() {
-                        agg.merge(run_cell(vp, vp_idx, site, site_idx, &cfg));
+                    let mut done: Vec<(usize, Aggregate, u64)> = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n_cells {
+                            break;
+                        }
+                        let (vp_idx, site_idx) = (i / n_sites, i % n_sites);
+                        let (agg, events) = run_cell_counted(
+                            &scenario.vantage_points[vp_idx],
+                            vp_idx,
+                            &scenario.websites[site_idx],
+                            site_idx,
+                            cfg,
+                        );
+                        done.push((i, agg, events));
                     }
-                    (vp.name.to_string(), agg)
+                    done
                 })
             })
             .collect();
         for h in handles {
-            out.push(h.join().expect("sweep thread panicked"));
+            for (i, agg, events) in h.join().expect("sweep worker panicked") {
+                cells[i] = Some((agg, events));
+            }
         }
     });
-    out
+
+    // Deterministic merge: fold cells in index order into per-VP rows.
+    let mut rows: Vec<(String, Aggregate)> = scenario
+        .vantage_points
+        .iter()
+        .map(|vp| (vp.name.to_string(), Aggregate::default()))
+        .collect();
+    let mut events = 0u64;
+    for (i, cell) in cells.into_iter().enumerate() {
+        let (agg, ev) = cell.expect("all cells claimed");
+        rows[i / n_sites.max(1)].1.merge(agg);
+        events += ev;
+    }
+    let trials = n_cells as u64 * u64::from(cfg.trials);
+    SweepRun { rows, trials, events }
 }
 
 /// Collapse per-vantage-point aggregates into one row.
@@ -141,10 +231,15 @@ pub struct MinMaxAvg {
 }
 
 pub fn min_max_avg(rows: &[(String, Aggregate)], f: impl Fn(&Aggregate) -> f64) -> MinMaxAvg {
+    if rows.is_empty() {
+        // No rows means no rates; report zeros rather than the fold
+        // identities (inf/-inf), which would poison downstream tables.
+        return MinMaxAvg { min: 0.0, max: 0.0, avg: 0.0 };
+    }
     let vals: Vec<f64> = rows.iter().map(|(_, a)| f(a)).collect();
     let min = vals.iter().copied().fold(f64::INFINITY, f64::min);
     let max = vals.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-    let avg = vals.iter().sum::<f64>() / vals.len().max(1) as f64;
+    let avg = vals.iter().sum::<f64>() / vals.len() as f64;
     MinMaxAvg { min, max, avg }
 }
 
@@ -181,6 +276,14 @@ mod tests {
         seeds.sort();
         seeds.dedup();
         assert_eq!(seeds.len(), 6);
+    }
+
+    #[test]
+    fn min_max_avg_of_empty_rows_is_zeroed() {
+        let m = min_max_avg(&[], Aggregate::success_rate);
+        assert_eq!(m.min, 0.0);
+        assert_eq!(m.max, 0.0);
+        assert_eq!(m.avg, 0.0);
     }
 
     #[test]

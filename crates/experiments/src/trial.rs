@@ -70,6 +70,8 @@ pub struct TrialResult {
     pub resets_seen: u64,
     pub gfw_detections: usize,
     pub strategy_used: Option<StrategyKind>,
+    /// Simulation events processed during the trial (throughput metric).
+    pub events: u64,
 }
 
 /// Assemble and run one HTTP fetch through the full path.
@@ -217,9 +219,10 @@ fn finish_http_trial(mut sim: Simulation, parts: TrialParts, spec: &TrialSpec<'_
     // hops, on either side of the censor. A post-censor shrink makes the
     // scoped TTL reach the server (Failure 1); a pre-censor growth makes
     // it die before the censor (Failure 2).
+    let mut events = 0;
     let route_changes = sim.rng.chance(spec.route_change_prob);
     if route_changes {
-        sim.run_until(Instant(160_000));
+        events += sim.run_until(Instant(160_000));
         let post_side = sim.rng.chance(0.6);
         // Post-censor changes stay small (1-2 hops): enough to expose a
         // server-side middlebox to TTL-scoped insertions without reaching
@@ -231,8 +234,10 @@ fn finish_http_trial(mut sim: Simulation, parts: TrialParts, spec: &TrialSpec<'_
         let link = sim.link_mut(idx);
         link.hops = if shrink { link.hops.saturating_sub(delta).max(1) } else { link.hops + delta };
     }
-    sim.run_until(Instant(25_000_000));
-    classify(&sim, &parts, spec)
+    events += sim.run_until(Instant(25_000_000));
+    let mut result = classify(&sim, &parts, spec);
+    result.events = events;
+    result
 }
 
 fn classify(_sim: &Simulation, parts: &TrialParts, spec: &TrialSpec<'_>) -> TrialResult {
@@ -256,6 +261,7 @@ fn classify(_sim: &Simulation, parts: &TrialParts, spec: &TrialSpec<'_>) -> Tria
         // Fixed strategy, or None when the adaptive engine chose per-flow
         // (its choice is visible via the shared History).
         strategy_used: spec.strategy,
+        events: 0,
     }
 }
 

@@ -20,6 +20,7 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
 use std::rc::Rc;
+use std::sync::Arc;
 
 /// The address DNS poisoning answers with (a well-known bogus resolver
 /// target drawn from the GFW's observed poison pool).
@@ -41,7 +42,7 @@ pub struct GfwStats {
 
 struct GfwCore {
     cfg: GfwConfig,
-    aut: Automaton,
+    aut: Arc<Automaton>,
     tcbs: HashMap<FourTuple, CensorTcb>,
     /// Insertion order of TCB keys, for oldest-first eviction.
     tcb_order: std::collections::VecDeque<FourTuple>,
@@ -75,7 +76,21 @@ impl GfwElement {
     }
 
     pub fn labeled(cfg: GfwConfig, label: &str) -> (GfwElement, GfwHandle) {
-        let aut = Automaton::build(&cfg.rules);
+        // The paper-default rule database compiles to the same automaton
+        // every time; reuse the process-wide shared copy instead of
+        // rebuilding it per element (one build per trial adds up fast in a
+        // sweep). Custom rule sets still get their own build.
+        let aut = if cfg.rules == crate::dpi::RuleSet::paper_default() {
+            crate::dpi::shared_paper_default()
+        } else {
+            Arc::new(Automaton::build(&cfg.rules))
+        };
+        GfwElement::with_automaton(cfg, aut, label)
+    }
+
+    /// Build with a pre-compiled automaton, sharing it across elements (and
+    /// threads — the automaton is immutable after construction).
+    pub fn with_automaton(cfg: GfwConfig, aut: Arc<Automaton>, label: &str) -> (GfwElement, GfwHandle) {
         let ip_reasm = Reassembler::new(cfg.ip_frag_overlap);
         let core = Rc::new(RefCell::new(GfwCore {
             cfg,

@@ -8,6 +8,7 @@
 //! the paper uses in §4 to refute the "stateless mode" hypothesis (2).
 
 use std::collections::BTreeMap;
+use std::sync::{Arc, OnceLock};
 
 /// What a matched rule means.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -23,14 +24,14 @@ pub enum DetectionKind {
 }
 
 /// One DPI rule: a byte pattern and its category.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Rule {
     pub pattern: Vec<u8>,
     pub kind: DetectionKind,
 }
 
 /// The censor's rule database.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RuleSet {
     pub rules: Vec<Rule>,
 }
@@ -86,7 +87,8 @@ pub const TOR_FINGERPRINT: &[u8] = b"\x16\x03\x01TOR-CLIENT-HELLO";
 /// Stand-in for the OpenVPN-over-TCP session negotiation fingerprint.
 pub const VPN_FINGERPRINT: &[u8] = b"\x00\x0e\x38OPENVPN-HARD-RESET";
 
-/// A node of the Aho–Corasick automaton.
+/// A node of the Aho–Corasick trie, used only during construction; the
+/// compiled [`Automaton`] stores a dense goto-complete transition table.
 #[derive(Debug, Clone, Default)]
 struct Node {
     children: BTreeMap<u8, u32>,
@@ -110,7 +112,15 @@ struct Node {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Automaton {
-    nodes: Vec<Node>,
+    /// Dense goto-complete transition table: `trans[state * 256 + byte]` is
+    /// the next state, with fail links pre-resolved at build time so a
+    /// [`StreamMatcher::feed`] step is a single array index per byte.
+    trans: Vec<u32>,
+    /// Per-node `(start, len)` slice into `outputs` (rule indices ending at
+    /// this node, including via fail links).
+    out_ranges: Vec<(u32, u32)>,
+    /// Flattened per-node output lists.
+    outputs: Vec<u32>,
     kinds: Vec<DetectionKind>,
 }
 
@@ -136,14 +146,16 @@ impl Automaton {
             }
             nodes[cur as usize].outputs.push(idx as u32);
         }
-        // BFS fail links.
+        // BFS fail links, recording visit order for the table compile below.
         let mut queue: std::collections::VecDeque<u32> = std::collections::VecDeque::new();
+        let mut bfs_order: Vec<u32> = Vec::with_capacity(nodes.len());
         let root_children: Vec<(u8, u32)> = nodes[0].children.iter().map(|(k, v)| (*k, *v)).collect();
         for (_, child) in root_children {
             nodes[child as usize].fail = 0;
             queue.push_back(child);
         }
         while let Some(u) = queue.pop_front() {
+            bfs_order.push(u);
             let children: Vec<(u8, u32)> = nodes[u as usize].children.iter().map(|(k, v)| (*k, *v)).collect();
             for (b, v) in children {
                 // Find the fail target for v.
@@ -170,20 +182,43 @@ impl Automaton {
                 queue.push_back(v);
             }
         }
-        Automaton { nodes, kinds }
+        // Table compile: goto-complete transitions. The root row maps every
+        // byte to its child (or back to root); each deeper node, visited in
+        // BFS order, copies its fail node's already-complete row and then
+        // overlays its own children.
+        let mut trans = vec![0u32; nodes.len() * 256];
+        for (&b, &c) in &nodes[0].children {
+            trans[b as usize] = c;
+        }
+        for &u in &bfs_order {
+            // The fail node sits at a smaller BFS depth, so its row is
+            // already complete (though its *index* may be larger — nodes are
+            // numbered in trie-insertion order).
+            let f = nodes[u as usize].fail as usize;
+            trans.copy_within(f * 256..f * 256 + 256, u as usize * 256);
+            for (&b, &c) in &nodes[u as usize].children {
+                trans[u as usize * 256 + b as usize] = c;
+            }
+        }
+        let mut out_ranges = Vec::with_capacity(nodes.len());
+        let mut outputs = Vec::new();
+        for n in &nodes {
+            out_ranges.push((outputs.len() as u32, n.outputs.len() as u32));
+            outputs.extend_from_slice(&n.outputs);
+        }
+        Automaton { trans, out_ranges, outputs, kinds }
     }
 
+    #[inline]
     fn step(&self, state: u32, b: u8) -> u32 {
-        let mut s = state;
-        loop {
-            if let Some(&n) = self.nodes[s as usize].children.get(&b) {
-                return n;
-            }
-            if s == 0 {
-                return 0;
-            }
-            s = self.nodes[s as usize].fail;
-        }
+        self.trans[state as usize * 256 + b as usize]
+    }
+
+    /// Rule indices matched at `state` (fail-link suffixes included).
+    #[inline]
+    fn outputs_at(&self, state: u32) -> &[u32] {
+        let (start, len) = self.out_ranges[state as usize];
+        &self.outputs[start as usize..start as usize + len as usize]
     }
 
     /// Scan a whole buffer statelessly; returns the kinds matched.
@@ -193,8 +228,17 @@ impl Automaton {
     }
 
     pub fn node_count(&self) -> usize {
-        self.nodes.len()
+        self.out_ranges.len()
     }
+}
+
+/// The compiled automaton for [`RuleSet::paper_default`], built once per
+/// process and shared. Every sweep cell runs the same censor rule database,
+/// so rebuilding (and re-flattening the dense table) per `GfwElement` was
+/// pure waste — measurable at thousands of trials per sweep.
+pub fn shared_paper_default() -> Arc<Automaton> {
+    static PAPER_DEFAULT: OnceLock<Arc<Automaton>> = OnceLock::new();
+    PAPER_DEFAULT.get_or_init(|| Arc::new(Automaton::build(&RuleSet::paper_default()))).clone()
 }
 
 /// Streaming matcher state: one `u32` per monitored flow.
@@ -213,7 +257,7 @@ impl StreamMatcher {
         let mut hits = Vec::new();
         for &b in data {
             self.state = aut.step(self.state, b);
-            for &o in &aut.nodes[self.state as usize].outputs {
+            for &o in aut.outputs_at(self.state) {
                 let kind = aut.kinds[o as usize];
                 if !hits.contains(&kind) {
                     hits.push(kind);

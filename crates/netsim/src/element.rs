@@ -51,8 +51,22 @@ pub struct Ctx<'a> {
 }
 
 impl<'a> Ctx<'a> {
+    #[cfg(test)]
     pub(crate) fn new(now: Instant, rng: &'a mut SimRng) -> Self {
         Ctx { now, rng, emissions: Vec::new(), timers: Vec::new() }
+    }
+
+    /// Build a context around caller-provided scratch buffers (must be
+    /// empty). The simulation lends its reusable buffers here so the event
+    /// loop allocates nothing per event once the buffers have grown.
+    pub(crate) fn with_buffers(
+        now: Instant,
+        rng: &'a mut SimRng,
+        emissions: Vec<Emission>,
+        timers: Vec<(Instant, u64)>,
+    ) -> Self {
+        debug_assert!(emissions.is_empty() && timers.is_empty());
+        Ctx { now, rng, emissions, timers }
     }
 
     /// Send `wire` onward in direction `dir` immediately (from this

@@ -3,19 +3,52 @@
 //! One `SimRng` per simulation; every stochastic decision (link loss, GFW
 //! overload misses, middlebox "sometimes drops", reset TTL jitter) draws
 //! from it, so a seed fully determines a run.
-
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+//!
+//! The generator is a self-contained xoshiro256++ (the same algorithm the
+//! `rand` crate's `SmallRng` uses on 64-bit targets), seeded through
+//! SplitMix64 — no external dependencies, so the workspace builds in
+//! registry-less environments.
 
 /// Seedable simulation RNG with convenience helpers.
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: SmallRng,
+    s: [u64; 4],
 }
 
 impl SimRng {
     pub fn seed_from(seed: u64) -> SimRng {
-        SimRng { inner: SmallRng::seed_from_u64(seed) }
+        // SplitMix64 expansion of the 64-bit seed into the full state, as
+        // recommended by the xoshiro authors (and done by rand_core's
+        // `seed_from_u64`).
+        let mut state = seed;
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            *slot = z ^ (z >> 31);
+        }
+        // xoshiro256++ must not start from the all-zero state.
+        if s == [0, 0, 0, 0] {
+            s = [0x9e37_79b9_7f4a_7c15, 1, 2, 3];
+        }
+        SimRng { s }
+    }
+
+    /// The raw xoshiro256++ step.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
     }
 
     /// Bernoulli draw: true with probability `p` (clamped to [0, 1]).
@@ -26,40 +59,49 @@ impl SimRng {
         if p >= 1.0 {
             return true;
         }
-        self.inner.random::<f64>() < p
+        // 53 uniform mantissa bits in [0, 1).
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < p
     }
 
     /// Uniform integer in `[lo, hi)`.
     pub fn range_u32(&mut self, lo: u32, hi: u32) -> u32 {
         debug_assert!(lo < hi);
-        self.inner.random_range(lo..hi)
+        lo + self.bounded(u64::from(hi - lo)) as u32
     }
 
     /// Uniform integer in `[lo, hi)`.
     pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
         debug_assert!(lo < hi);
-        self.inner.random_range(lo..hi)
+        lo + self.bounded(hi - lo)
     }
 
     /// Uniform `usize` in `[0, n)`.
     pub fn index(&mut self, n: usize) -> usize {
         debug_assert!(n > 0);
-        self.inner.random_range(0..n)
+        self.bounded(n as u64) as usize
+    }
+
+    /// Uniform draw in `[0, n)` via Lemire's multiply-shift reduction.
+    #[inline]
+    fn bounded(&mut self, n: u64) -> u64 {
+        ((u128::from(self.next_u64()) * u128::from(n)) >> 64) as u64
     }
 
     /// A fresh random u32 (e.g. an ISN or IP ident).
     pub fn next_u32(&mut self) -> u32 {
-        self.inner.random()
+        (self.next_u64() >> 32) as u32
     }
 
     /// A fresh random u16.
     pub fn next_u16(&mut self) -> u16 {
-        self.inner.random()
+        (self.next_u64() >> 48) as u16
     }
 
     /// Derive an independent child RNG (stable given the parent's state).
     pub fn fork(&mut self) -> SimRng {
-        SimRng::seed_from(self.inner.random())
+        let seed = self.next_u64();
+        SimRng::seed_from(seed)
     }
 }
 
@@ -90,6 +132,22 @@ mod tests {
         let mut r = SimRng::seed_from(42);
         let hits = (0..10_000).filter(|_| r.chance(0.3)).count();
         assert!((2_700..3_300).contains(&hits), "got {hits}");
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds_and_cover() {
+        let mut r = SimRng::seed_from(3);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            let v = r.range_u32(5, 15);
+            assert!((5..15).contains(&v));
+            seen[(v - 5) as usize] = true;
+            let w = r.range_u64(100, 200);
+            assert!((100..200).contains(&w));
+            let i = r.index(7);
+            assert!(i < 7);
+        }
+        assert!(seen.iter().all(|&s| s), "all values of a small range appear");
     }
 
     #[test]

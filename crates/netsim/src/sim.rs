@@ -8,7 +8,7 @@ use crate::rng::SimRng;
 use crate::time::Instant;
 #[cfg(test)]
 use crate::time::Duration;
-use crate::trace::{Trace, TraceKind, TracePoint};
+use crate::trace::{NameId, Trace, TraceKind, TracePoint};
 use intang_packet::{icmp, Ipv4Packet, Wire};
 
 /// A linear-path network simulation.
@@ -37,8 +37,14 @@ pub struct Simulation {
     pub rng: SimRng,
     pub trace: Trace,
     elements: Vec<Box<dyn Element>>,
+    /// Interned trace name per element, parallel to `elements`.
+    element_names: Vec<NameId>,
     links: Vec<Link>,
     queue: EventQueue,
+    /// Reusable per-event scratch buffers lent to `Ctx` (see `step`); kept
+    /// here so the event loop stops allocating once they have grown.
+    scratch_emissions: Vec<Emission>,
+    scratch_timers: Vec<(Instant, u64)>,
     /// Total packets that fully traversed at least one link (statistics).
     pub delivered: u64,
     /// Packets lost to link loss.
@@ -54,8 +60,11 @@ impl Simulation {
             rng: SimRng::seed_from(seed),
             trace: Trace::new(),
             elements: Vec::new(),
+            element_names: Vec::new(),
             links: Vec::new(),
             queue: EventQueue::new(),
+            scratch_emissions: Vec::new(),
+            scratch_timers: Vec::new(),
             delivered: 0,
             lost: 0,
             ttl_expired: 0,
@@ -69,7 +78,9 @@ impl Simulation {
             self.elements.is_empty() || self.links.len() == self.elements.len(),
             "add_link must be called between add_element calls"
         );
+        let name = self.trace.intern(e.name());
         self.elements.push(e);
+        self.element_names.push(name);
         self.elements.len() - 1
     }
 
@@ -129,43 +140,48 @@ impl Simulation {
         };
         debug_assert!(at >= self.now, "time went backwards");
         self.now = at;
+        // Lend the simulation's scratch buffers to the element context so no
+        // Vec is allocated per event; they come back (drained, capacity
+        // intact) after the effects are applied.
+        let scratch_em = std::mem::take(&mut self.scratch_emissions);
+        let scratch_tm = std::mem::take(&mut self.scratch_timers);
+        let (mut emissions, mut timers);
         match event {
             Event::Deliver { elem, dir, wire } => {
                 if self.trace.is_enabled() {
-                    let name = self.elements[elem].name().to_string();
                     self.trace.record(
                         at,
-                        TracePoint::Element { index: elem, name },
+                        TracePoint::Element { index: elem, name: self.element_names[elem] },
                         TraceKind::Arrive,
                         dir,
                         intang_packet::summarize(&wire),
                     );
                 }
-                let mut ctx = Ctx::new(at, &mut self.rng);
+                let mut ctx = Ctx::with_buffers(at, &mut self.rng, scratch_em, scratch_tm);
                 self.elements[elem].on_packet(&mut ctx, dir, wire);
-                let (emissions, timers) = (std::mem::take(&mut ctx.emissions), std::mem::take(&mut ctx.timers));
-                drop(ctx);
-                self.apply_effects(elem, emissions, timers);
+                (emissions, timers) = (ctx.emissions, ctx.timers);
+                self.apply_effects(elem, &mut emissions, &mut timers);
             }
             Event::Timer { elem, token } => {
-                let mut ctx = Ctx::new(at, &mut self.rng);
+                let mut ctx = Ctx::with_buffers(at, &mut self.rng, scratch_em, scratch_tm);
                 self.elements[elem].on_timer(&mut ctx, token);
-                let (emissions, timers) = (std::mem::take(&mut ctx.emissions), std::mem::take(&mut ctx.timers));
-                drop(ctx);
-                self.apply_effects(elem, emissions, timers);
+                (emissions, timers) = (ctx.emissions, ctx.timers);
+                self.apply_effects(elem, &mut emissions, &mut timers);
             }
         }
+        self.scratch_emissions = emissions;
+        self.scratch_timers = timers;
         true
     }
 
-    fn apply_effects(&mut self, from: usize, emissions: Vec<Emission>, timers: Vec<(Instant, u64)>) {
-        for (mut at, token) in timers {
+    fn apply_effects(&mut self, from: usize, emissions: &mut Vec<Emission>, timers: &mut Vec<(Instant, u64)>) {
+        for (mut at, token) in timers.drain(..) {
             if at < self.now {
                 at = self.now;
             }
             self.queue.push(at, Event::Timer { elem: from, token });
         }
-        for em in emissions {
+        for em in emissions.drain(..) {
             self.transmit(from, em);
         }
     }
@@ -175,10 +191,9 @@ impl Simulation {
     fn transmit(&mut self, from: usize, em: Emission) {
         let Emission { dir, mut wire, delay } = em;
         if self.trace.is_enabled() {
-            let name = self.elements[from].name().to_string();
             self.trace.record(
                 self.now,
-                TracePoint::Element { index: from, name },
+                TracePoint::Element { index: from, name: self.element_names[from] },
                 TraceKind::Emit,
                 dir,
                 intang_packet::summarize(&wire),
@@ -202,11 +217,16 @@ impl Simulation {
             Direction::ToServer => from + 1,
             Direction::ToClient => from - 1,
         };
-        let link = self.links[link_idx].clone();
+        // Copy out the link's scalar fields rather than cloning the whole
+        // struct per transmit; the router address is derived on demand.
+        let (hops, latency, loss, per_hop) = {
+            let l = &self.links[link_idx];
+            (l.hops, l.latency, l.loss, l.per_hop_latency())
+        };
         let depart = self.now + delay;
 
         // Walk the routers: decrement TTL once per hop.
-        for hop in 1..=link.hops {
+        for hop in 1..=hops {
             if Ipv4Packet::new_checked(&wire[..]).is_err() {
                 break; // unparseable payloads glide through unrouted
             }
@@ -214,7 +234,7 @@ impl Simulation {
             let ttl = ip.decrement_ttl();
             if ttl == 0 {
                 self.ttl_expired += 1;
-                let died_at = depart + link.per_hop_latency() * u64::from(hop);
+                let died_at = depart + per_hop * u64::from(hop);
                 if self.trace.is_enabled() {
                     self.trace.record(
                         died_at,
@@ -225,15 +245,15 @@ impl Simulation {
                     );
                 }
                 // ICMP time-exceeded travels back to the emitting side.
-                if let Some(te) = icmp::time_exceeded_for(link.router_addr(hop), &wire) {
-                    let back_at = died_at + link.per_hop_latency() * u64::from(hop);
+                if let Some(te) = icmp::time_exceeded_for(self.links[link_idx].router_addr(hop), &wire) {
+                    let back_at = died_at + per_hop * u64::from(hop);
                     self.queue.push(back_at, Event::Deliver { elem: from, dir: dir.reversed(), wire: te });
                 }
                 return;
             }
         }
 
-        if self.rng.chance(link.loss) {
+        if self.rng.chance(loss) {
             self.lost += 1;
             if self.trace.is_enabled() {
                 self.trace.record(
@@ -248,7 +268,7 @@ impl Simulation {
         }
 
         self.delivered += 1;
-        self.queue.push(depart + link.latency, Event::Deliver { elem: to, dir, wire });
+        self.queue.push(depart + latency, Event::Deliver { elem: to, dir, wire });
     }
 
     /// Immutable access to an element (for assertions in tests).
@@ -398,6 +418,43 @@ mod tests {
         }
         sim2.run_to_quiescence(1_000);
         assert_eq!(got2.borrow().len(), received);
+    }
+
+    #[test]
+    fn run_until_cannot_double_pop_across_the_deadline() {
+        // Regression guard for the deadline boundary: an event scheduled
+        // exactly AT the deadline runs in that call (once), later events
+        // stay queued, and re-running with the same deadline is a no-op.
+        struct TimerBox {
+            fired: Rc<RefCell<Vec<u64>>>,
+        }
+        impl Element for TimerBox {
+            fn name(&self) -> &str {
+                "t"
+            }
+            fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _d: Direction, _w: Wire) {}
+            fn on_timer(&mut self, _ctx: &mut Ctx<'_>, token: u64) {
+                self.fired.borrow_mut().push(token);
+            }
+        }
+        let fired = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Simulation::new(1);
+        sim.add_element(Box::new(TimerBox { fired: fired.clone() }));
+        sim.schedule_timer(0, Instant(1_000), 1);
+        sim.schedule_timer(0, Instant(2_000), 2); // exactly at the deadline
+        sim.schedule_timer(0, Instant(3_000), 3);
+
+        assert_eq!(sim.run_until(Instant(2_000)), 2, "boundary event included once");
+        assert_eq!(*fired.borrow(), vec![1, 2]);
+        assert_eq!(sim.now, Instant(2_000));
+        assert_eq!(sim.pending_events(), 1, "post-deadline event still queued");
+
+        assert_eq!(sim.run_until(Instant(2_000)), 0, "same deadline re-run is a no-op");
+        assert_eq!(*fired.borrow(), vec![1, 2]);
+
+        assert_eq!(sim.run_until(Instant(5_000)), 1);
+        assert_eq!(*fired.borrow(), vec![1, 2, 3], "each event popped exactly once");
+        assert_eq!(sim.now, Instant(5_000), "clock advances to the idle deadline");
     }
 
     #[test]

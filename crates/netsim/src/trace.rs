@@ -1,15 +1,24 @@
 //! Packet traces: every arrival, drop, injection and TTL expiry, with
 //! timestamps — the raw material for the Fig. 3 / Fig. 4 sequence diagrams
 //! and for debugging strategy interactions.
+//!
+//! Element names are interned once into a per-trace name table; trace
+//! records carry a compact [`NameId`] instead of a freshly allocated
+//! `String`, so recording is allocation-free on the name side even for
+//! million-event runs.
 
 use crate::element::Direction;
 use crate::time::Instant;
 
+/// Interned element name: an index into the trace's name table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NameId(pub u32);
+
 /// Where a trace event happened.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TracePoint {
-    /// At element `index` named `name`.
-    Element { index: usize, name: String },
+    /// At element `index` named `name` (resolve via [`Trace::name`]).
+    Element { index: usize, name: NameId },
     /// Inside the link after element `after` (router hop `hop`).
     Link { after: usize, hop: u8 },
 }
@@ -44,11 +53,12 @@ pub struct Trace {
     enabled: bool,
     events: Vec<TraceEvent>,
     cap: usize,
+    names: Vec<String>,
 }
 
 impl Trace {
     pub fn new() -> Trace {
-        Trace { enabled: false, events: Vec::new(), cap: 100_000 }
+        Trace { enabled: false, events: Vec::new(), cap: 100_000, names: Vec::new() }
     }
 
     pub fn enable(&mut self) {
@@ -57,6 +67,25 @@ impl Trace {
 
     pub fn is_enabled(&self) -> bool {
         self.enabled
+    }
+
+    /// Intern `name`, returning its stable id (idempotent per string).
+    pub fn intern(&mut self, name: &str) -> NameId {
+        if let Some(i) = self.names.iter().position(|n| n == name) {
+            return NameId(i as u32);
+        }
+        self.names.push(name.to_string());
+        NameId((self.names.len() - 1) as u32)
+    }
+
+    /// The id a name was interned under, if it has been.
+    pub fn lookup(&self, name: &str) -> Option<NameId> {
+        self.names.iter().position(|n| n == name).map(|i| NameId(i as u32))
+    }
+
+    /// Resolve an interned id back to the element name.
+    pub fn name(&self, id: NameId) -> &str {
+        &self.names[id.0 as usize]
     }
 
     pub fn record(&mut self, at: Instant, point: TracePoint, kind: TraceKind, dir: Direction, summary: String) {
@@ -78,7 +107,7 @@ impl Trace {
         let mut out = String::new();
         for e in &self.events {
             let loc = match &e.point {
-                TracePoint::Element { name, .. } => name.clone(),
+                TracePoint::Element { name, .. } => self.name(*name).to_string(),
                 TracePoint::Link { after, hop } => format!("link[{}]+{}", after, hop),
             };
             let kind = match e.kind {
@@ -100,17 +129,31 @@ mod tests {
     #[test]
     fn disabled_trace_records_nothing() {
         let mut t = Trace::new();
-        t.record(Instant(1), TracePoint::Element { index: 0, name: "x".into() }, TraceKind::Arrive, Direction::ToServer, "p".into());
+        let x = t.intern("x");
+        t.record(Instant(1), TracePoint::Element { index: 0, name: x }, TraceKind::Arrive, Direction::ToServer, "p".into());
         assert!(t.events().is_empty());
+    }
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut t = Trace::new();
+        let a = t.intern("GFW");
+        let b = t.intern("client");
+        assert_ne!(a, b);
+        assert_eq!(t.intern("GFW"), a);
+        assert_eq!(t.lookup("GFW"), Some(a));
+        assert_eq!(t.lookup("nope"), None);
+        assert_eq!(t.name(a), "GFW");
     }
 
     #[test]
     fn enabled_trace_renders() {
         let mut t = Trace::new();
         t.enable();
+        let gfw = t.intern("GFW");
         t.record(
             Instant(1_500),
-            TracePoint::Element { index: 2, name: "GFW".into() },
+            TracePoint::Element { index: 2, name: gfw },
             TraceKind::Arrive,
             Direction::ToServer,
             "SYN".into(),

@@ -1,0 +1,13 @@
+#!/usr/bin/env sh
+# Tier-1 CI gate: build everything, run the full test suite, then smoke-test
+# the sweep executor (bench_sweep --quick also verifies that parallel
+# aggregates are byte-identical to the serial run, exiting non-zero if not).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+cargo build --release --all-targets
+cargo test -q --release --workspace
+cargo run --release -p intang-experiments --bin bench_sweep -- --quick >/dev/null
+
+echo "ci: OK"

@@ -2,7 +2,7 @@
 //! run — the property every measurement in EXPERIMENTS.md rests on.
 
 use intang_core::StrategyKind;
-use intang_experiments::runner::{run_cell, SweepConfig};
+use intang_experiments::runner::{run_cell, sweep_with_threads, SweepConfig};
 use intang_experiments::scenario::Scenario;
 use intang_experiments::trial::{run_http_trial, Outcome, TrialSpec};
 
@@ -54,6 +54,26 @@ fn whole_cells_replay_bit_identically() {
     let a = run_cell(&s.vantage_points[0], 0, &s.websites[0], 0, &cfg);
     let b = run_cell(&s.vantage_points[0], 0, &s.websites[0], 0, &cfg);
     assert_eq!(a, b);
+}
+
+#[test]
+fn sweep_results_are_independent_of_worker_count() {
+    // The work-stealing executor must merge per-cell aggregates into
+    // results byte-identical to a serial (single-worker) run, whatever the
+    // stealing order — including in adaptive mode (strategy: None), where
+    // each cell owns its history.
+    let s = Scenario::smoke(7);
+    let max_workers = std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(4);
+    for cfg in [
+        SweepConfig::new(Some(StrategyKind::ImprovedTeardown), true, 2, 1312),
+        SweepConfig::new(None, true, 2, 1312),
+    ] {
+        let serial = sweep_with_threads(&s, &cfg, 1);
+        let parallel = sweep_with_threads(&s, &cfg, max_workers);
+        assert_eq!(serial.rows, parallel.rows, "rows differ at {max_workers} workers");
+        assert_eq!(serial.events, parallel.events);
+        assert_eq!(serial.trials, parallel.trials);
+    }
 }
 
 #[test]

@@ -1,48 +1,92 @@
 //! Property-based invariants across the wire-format and stream-assembly
 //! substrates: these are the layers every other result rests on.
+//!
+//! The cases are driven by a tiny self-contained SplitMix64 generator
+//! (the build environment has no registry access, so no proptest); each
+//! test runs a fixed number of deterministic random cases.
 
 use intang_gfw::dpi::{Automaton, RuleSet, StreamMatcher};
 use intang_packet::frag::{self, OverlapPolicy};
 use intang_packet::tcp::{TcpFlags, TcpOption, TcpRepr};
-use intang_packet::{dns::DnsMessage, Ipv4Packet, Ipv4Repr, IpProtocol, TcpPacket};
+use intang_packet::{dns::DnsMessage, IpProtocol, Ipv4Packet, Ipv4Repr, TcpPacket};
 use intang_tcpstack::reasm::{Assembler, SegmentOverlapPolicy};
-use proptest::prelude::*;
 use std::net::Ipv4Addr;
 
-fn arb_addr() -> impl Strategy<Value = Ipv4Addr> {
-    any::<u32>().prop_map(Ipv4Addr::from)
+/// Deterministic SplitMix64 case generator.
+struct Gen(u64);
+
+impl Gen {
+    fn new(seed: u64) -> Gen {
+        Gen(seed ^ 0x5851_f42d_4c95_7f2d)
+    }
+    fn u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+    fn u32(&mut self) -> u32 {
+        self.u64() as u32
+    }
+    fn u16(&mut self) -> u16 {
+        self.u64() as u16
+    }
+    fn u8(&mut self) -> u8 {
+        self.u64() as u8
+    }
+    fn bool(&mut self) -> bool {
+        self.u64() & 1 == 1
+    }
+    /// Uniform in `[0, n)`.
+    fn below(&mut self, n: usize) -> usize {
+        (self.u64() % n as u64) as usize
+    }
+    /// Uniform in `[lo, hi)`.
+    fn range(&mut self, lo: usize, hi: usize) -> usize {
+        lo + self.below(hi - lo)
+    }
+    fn bytes(&mut self, lo: usize, hi: usize) -> Vec<u8> {
+        let n = self.range(lo, hi);
+        (0..n).map(|_| self.u8()).collect()
+    }
+    fn addr(&mut self) -> Ipv4Addr {
+        Ipv4Addr::from(self.u32())
+    }
 }
 
-fn arb_flags() -> impl Strategy<Value = TcpFlags> {
-    (0u8..=0x3f).prop_map(TcpFlags)
+fn gen_options(g: &mut Gen) -> Vec<TcpOption> {
+    let n = g.below(3);
+    (0..n)
+        .map(|_| match g.below(5) {
+            0 => TcpOption::Mss(g.u16()),
+            1 => TcpOption::WindowScale(g.u8() % 15),
+            2 => TcpOption::SackPermitted,
+            3 => TcpOption::Timestamps { tsval: g.u32(), tsecr: g.u32() },
+            _ => {
+                let mut sig = [0u8; 16];
+                for b in &mut sig {
+                    *b = g.u8();
+                }
+                TcpOption::Md5Sig(sig)
+            }
+        })
+        .collect()
 }
 
-fn arb_options() -> impl Strategy<Value = Vec<TcpOption>> {
-    prop::collection::vec(
-        prop_oneof![
-            any::<u16>().prop_map(TcpOption::Mss),
-            (0u8..15).prop_map(TcpOption::WindowScale),
-            Just(TcpOption::SackPermitted),
-            (any::<u32>(), any::<u32>()).prop_map(|(a, b)| TcpOption::Timestamps { tsval: a, tsecr: b }),
-            any::<[u8; 16]>().prop_map(TcpOption::Md5Sig),
-        ],
-        0..3,
-    )
-}
+/// TCP emit → parse is the identity on every field.
+#[test]
+fn tcp_round_trip() {
+    let mut g = Gen::new(1);
+    for _ in 0..128 {
+        let (src, dst) = (g.addr(), g.addr());
+        let (sp, dp) = (g.u16(), g.u16());
+        let (seq, ack) = (g.u32(), g.u32());
+        let flags = TcpFlags(g.u8() & 0x3f);
+        let window = g.u16();
+        let options = gen_options(&mut g);
+        let payload = g.bytes(0, 256);
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// TCP emit → parse is the identity on every field.
-    #[test]
-    fn tcp_round_trip(
-        src in arb_addr(), dst in arb_addr(),
-        sp in any::<u16>(), dp in any::<u16>(),
-        seq in any::<u32>(), ack in any::<u32>(),
-        flags in arb_flags(), window in any::<u16>(),
-        options in arb_options(),
-        payload in prop::collection::vec(any::<u8>(), 0..256),
-    ) {
         let mut repr = TcpRepr::new(sp, dp);
         repr.seq = seq;
         repr.ack = ack;
@@ -52,45 +96,52 @@ proptest! {
         repr.payload = payload.clone();
         let wire = repr.emit(src, dst);
         let pkt = TcpPacket::new_checked(&wire[..]).unwrap();
-        prop_assert!(pkt.verify_checksum(src, dst));
-        prop_assert_eq!(pkt.src_port(), sp);
-        prop_assert_eq!(pkt.dst_port(), dp);
-        prop_assert_eq!(pkt.seq_number(), seq);
-        prop_assert_eq!(pkt.ack_number(), ack);
-        prop_assert_eq!(pkt.flags(), flags);
-        prop_assert_eq!(pkt.window(), window);
-        prop_assert_eq!(pkt.options(), options);
-        prop_assert_eq!(pkt.payload(), &payload[..]);
+        assert!(pkt.verify_checksum(src, dst));
+        assert_eq!(pkt.src_port(), sp);
+        assert_eq!(pkt.dst_port(), dp);
+        assert_eq!(pkt.seq_number(), seq);
+        assert_eq!(pkt.ack_number(), ack);
+        assert_eq!(pkt.flags(), flags);
+        assert_eq!(pkt.window(), window);
+        assert_eq!(pkt.options(), options);
+        assert_eq!(pkt.payload(), &payload[..]);
     }
+}
 
-    /// IPv4 emit → parse is the identity, and the checksum validates.
-    #[test]
-    fn ipv4_round_trip(
-        src in arb_addr(), dst in arb_addr(),
-        ttl in 1u8..=255, ident in any::<u16>(),
-        payload in prop::collection::vec(any::<u8>(), 0..512),
-    ) {
+/// IPv4 emit → parse is the identity, and the checksum validates.
+#[test]
+fn ipv4_round_trip() {
+    let mut g = Gen::new(2);
+    for _ in 0..128 {
+        let (src, dst) = (g.addr(), g.addr());
+        let ttl = 1 + g.below(255) as u8;
+        let ident = g.u16();
+        let payload = g.bytes(0, 512);
+
         let repr = Ipv4Repr { ttl, ident, ..Ipv4Repr::new(src, dst, IpProtocol::Tcp) };
         let wire = repr.emit(&payload);
         let pkt = Ipv4Packet::new_checked(&wire[..]).unwrap();
-        prop_assert!(pkt.verify_header_checksum());
-        prop_assert!(pkt.total_len_consistent());
-        prop_assert_eq!(pkt.src_addr(), src);
-        prop_assert_eq!(pkt.dst_addr(), dst);
-        prop_assert_eq!(pkt.ttl(), ttl);
-        prop_assert_eq!(pkt.ident(), ident);
-        prop_assert_eq!(pkt.payload(), &payload[..]);
+        assert!(pkt.verify_header_checksum());
+        assert!(pkt.total_len_consistent());
+        assert_eq!(pkt.src_addr(), src);
+        assert_eq!(pkt.dst_addr(), dst);
+        assert_eq!(pkt.ttl(), ttl);
+        assert_eq!(pkt.ident(), ident);
+        assert_eq!(pkt.payload(), &payload[..]);
     }
+}
 
-    /// Any fragmentation of a datagram reassembles to the original under
-    /// both overlap policies, in any delivery order.
-    #[test]
-    fn fragmentation_reassembly_identity(
-        payload in prop::collection::vec(any::<u8>(), 16..512),
-        cuts in prop::collection::vec(1usize..64, 0..4),
-        order in any::<u64>(),
-        last_wins in any::<bool>(),
-    ) {
+/// Any fragmentation of a datagram reassembles to the original under
+/// both overlap policies, in any delivery order.
+#[test]
+fn fragmentation_reassembly_identity() {
+    let mut g = Gen::new(3);
+    for _ in 0..128 {
+        let payload = g.bytes(16, 512);
+        let cuts: Vec<usize> = (0..g.below(4)).map(|_| g.range(1, 64)).collect();
+        let order = g.u64();
+        let last_wins = g.bool();
+
         let src = Ipv4Addr::new(10, 0, 0, 1);
         let dst = Ipv4Addr::new(10, 0, 0, 2);
         let repr = Ipv4Repr { ident: 7, ..Ipv4Repr::new(src, dst, IpProtocol::Tcp) };
@@ -107,18 +158,21 @@ proptest! {
         let policy = if last_wins { OverlapPolicy::LastWins } else { OverlapPolicy::FirstWins };
         let out = frag::reassemble(policy, frags).expect("must complete");
         let pkt = Ipv4Packet::new_checked(&out[..]).unwrap();
-        prop_assert_eq!(pkt.payload(), &payload[..]);
-        prop_assert!(!pkt.is_fragment());
+        assert_eq!(pkt.payload(), &payload[..]);
+        assert!(!pkt.is_fragment());
     }
+}
 
-    /// The stream assembler delivers exactly the in-order byte stream when
-    /// segments don't overlap, regardless of arrival order.
-    #[test]
-    fn assembler_delivers_contiguous_stream(
-        chunks in prop::collection::vec(prop::collection::vec(any::<u8>(), 1..32), 1..8),
-        order in any::<u64>(),
-        last_wins in any::<bool>(),
-    ) {
+/// The stream assembler delivers exactly the in-order byte stream when
+/// segments don't overlap, regardless of arrival order.
+#[test]
+fn assembler_delivers_contiguous_stream() {
+    let mut g = Gen::new(4);
+    for _ in 0..128 {
+        let chunks: Vec<Vec<u8>> = (0..g.range(1, 8)).map(|_| g.bytes(1, 32)).collect();
+        let order = g.u64();
+        let last_wins = g.bool();
+
         let policy = if last_wins { SegmentOverlapPolicy::LastWins } else { SegmentOverlapPolicy::FirstWins };
         let mut asm = Assembler::new(policy);
         // Compute offsets.
@@ -140,60 +194,134 @@ proptest! {
             asm.insert(offsets[i], &chunks[i]);
             got.extend_from_slice(&asm.pull());
         }
-        prop_assert_eq!(got, expected);
-        prop_assert!(!asm.has_gaps());
+        assert_eq!(got, expected);
+        assert!(!asm.has_gaps());
     }
+}
 
-    /// The streaming Aho–Corasick matcher agrees with naive substring
-    /// search for every chunking of the input.
-    #[test]
-    fn streaming_matcher_equals_naive_search(
-        hay in prop::collection::vec(prop_oneof![Just(b'u'), Just(b'l'), Just(b't'), Just(b'r'),
-                                                 Just(b'a'), Just(b's'), Just(b'f'), Just(b'x')], 0..128),
-        cut in 0usize..128,
-    ) {
-        let rules = RuleSet::empty().with_keyword("ultrasurf").with_keyword("tras");
-        let aut = Automaton::build(&rules);
+/// The streaming Aho–Corasick matcher agrees with naive substring search
+/// for every chunking of the input.
+#[test]
+fn streaming_matcher_equals_naive_search() {
+    let alphabet = b"ultrasfx";
+    let rules = RuleSet::empty().with_keyword("ultrasurf").with_keyword("tras");
+    let aut = Automaton::build(&rules);
+    let mut g = Gen::new(5);
+    for _ in 0..256 {
+        let hay: Vec<u8> = (0..g.below(128)).map(|_| alphabet[g.below(alphabet.len())]).collect();
         let naive = hay.windows(9).any(|w| w == b"ultrasurf") || hay.windows(4).any(|w| w == b"tras");
         // Whole-buffer scan.
         let whole = !aut.scan(&hay).is_empty();
-        prop_assert_eq!(whole, naive);
+        assert_eq!(whole, naive);
         // Split-feed scan (same result for any split point).
-        let cut = cut.min(hay.len());
+        let cut = g.below(129).min(hay.len());
         let mut m = StreamMatcher::new();
         let mut hits = m.feed(&aut, &hay[..cut]);
         hits.extend(m.feed(&aut, &hay[cut..]));
-        prop_assert_eq!(!hits.is_empty(), naive);
+        assert_eq!(!hits.is_empty(), naive);
     }
+}
 
-    /// DNS messages round-trip through both UDP and TCP framings.
-    #[test]
-    fn dns_round_trip(
-        id in any::<u16>(),
-        labels in prop::collection::vec("[a-z]{1,12}", 1..4),
-    ) {
+/// The dense-table automaton reports the same `DetectionKind` sequence as
+/// a naive substring scanner, for patterns split across arbitrary `feed()`
+/// boundaries (not just one cut).
+#[test]
+fn dense_automaton_matches_naive_scanner_across_arbitrary_splits() {
+    use intang_gfw::dpi::{DetectionKind, Rule};
+    // Overlapping patterns with four distinct kinds, so suffix matches via
+    // fail links and per-call dedup are both exercised.
+    let patterns: Vec<(Vec<u8>, DetectionKind)> = vec![
+        (b"ultrasurf".to_vec(), DetectionKind::HttpKeyword),
+        (b"tras".to_vec(), DetectionKind::Domain),
+        (b"asu".to_vec(), DetectionKind::TorHandshake),
+        (b"rf".to_vec(), DetectionKind::VpnHandshake),
+    ];
+    let rules = RuleSet {
+        rules: patterns.iter().map(|(p, k)| Rule { pattern: p.clone(), kind: *k }).collect(),
+    };
+    let aut = Automaton::build(&rules);
+    let alphabet = b"ultrasfx";
+    let mut g = Gen::new(8);
+    for _ in 0..256 {
+        let hay: Vec<u8> = (0..g.below(160)).map(|_| alphabet[g.below(alphabet.len())]).collect();
+
+        // Naive reference: at every end position, the kinds of the patterns
+        // ending there, in rule order (plain substring comparison, no
+        // automaton involved).
+        let kinds_at: Vec<Vec<DetectionKind>> = (0..hay.len())
+            .map(|i| {
+                patterns
+                    .iter()
+                    .filter(|(p, _)| i + 1 >= p.len() && &hay[i + 1 - p.len()..=i] == &p[..])
+                    .map(|(_, k)| *k)
+                    .collect()
+            })
+            .collect();
+
+        // Random segmentation into arbitrarily many feeds (empty allowed).
+        let mut bounds: Vec<usize> = (0..g.below(8)).map(|_| g.below(hay.len() + 1)).collect();
+        bounds.push(0);
+        bounds.push(hay.len());
+        bounds.sort_unstable();
+
+        let mut m = StreamMatcher::new();
+        for w in bounds.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            let got = m.feed(&aut, &hay[a..b]);
+            // Expected: kinds from positions [a, b), deduplicated within
+            // the feed call in first-appearance order.
+            let mut expected: Vec<DetectionKind> = Vec::new();
+            for ks in &kinds_at[a..b] {
+                for k in ks {
+                    if !expected.contains(k) {
+                        expected.push(*k);
+                    }
+                }
+            }
+            assert_eq!(got, expected, "hay={hay:?} segment {a}..{b}");
+        }
+    }
+}
+
+/// DNS messages round-trip through both UDP and TCP framings.
+#[test]
+fn dns_round_trip() {
+    let mut g = Gen::new(6);
+    for _ in 0..128 {
+        let id = g.u16();
+        let labels: Vec<String> = (0..g.range(1, 4))
+            .map(|_| {
+                let n = g.range(1, 13);
+                (0..n).map(|_| (b'a' + (g.below(26) as u8)) as char).collect()
+            })
+            .collect();
         let name = labels.join(".");
         let q = DnsMessage::query(id, &name);
-        prop_assert_eq!(DnsMessage::decode(&q.encode()).unwrap(), q.clone());
+        assert_eq!(DnsMessage::decode(&q.encode()).unwrap(), q.clone());
         let (m, used) = DnsMessage::decode_tcp(&q.encode_tcp()).unwrap();
-        prop_assert_eq!(&m, &q);
-        prop_assert_eq!(used, q.encode_tcp().len());
+        assert_eq!(&m, &q);
+        assert_eq!(used, q.encode_tcp().len());
         let a = DnsMessage::answer_a(&q, Ipv4Addr::new(1, 2, 3, 4), 60);
-        prop_assert_eq!(DnsMessage::decode(&a.encode()).unwrap(), a);
+        assert_eq!(DnsMessage::decode(&a.encode()).unwrap(), a);
     }
+}
 
-    /// Sequence-space arithmetic is a strict total order on windows
-    /// narrower than 2^31.
-    #[test]
-    fn seq_order_sanity(a in any::<u32>(), d in 1u32..0x7fff_ffff) {
-        use intang_packet::tcp::seq;
+/// Sequence-space arithmetic is a strict total order on windows narrower
+/// than 2^31.
+#[test]
+fn seq_order_sanity() {
+    use intang_packet::tcp::seq;
+    let mut g = Gen::new(7);
+    for _ in 0..256 {
+        let a = g.u32();
+        let d = 1 + (g.u32() % 0x7fff_fffe);
         let b = a.wrapping_add(d);
-        prop_assert!(seq::lt(a, b));
-        prop_assert!(seq::gt(b, a));
-        prop_assert!(seq::le(a, b));
-        prop_assert!(!seq::lt(b, a));
-        prop_assert!(seq::in_window(a, a, 1));
-        prop_assert!(!seq::in_window(b, a, d));
-        prop_assert!(seq::in_window(b, a, d + 1));
+        assert!(seq::lt(a, b));
+        assert!(seq::gt(b, a));
+        assert!(seq::le(a, b));
+        assert!(!seq::lt(b, a));
+        assert!(seq::in_window(a, a, 1));
+        assert!(!seq::in_window(b, a, d));
+        assert!(seq::in_window(b, a, d + 1));
     }
 }
