@@ -20,7 +20,10 @@ pub struct Zone {
 
 impl Zone {
     pub fn new(default: Ipv4Addr) -> Zone {
-        Zone { records: HashMap::new(), default }
+        Zone {
+            records: HashMap::new(),
+            default,
+        }
     }
 
     pub fn with(mut self, name: &str, addr: Ipv4Addr) -> Zone {
@@ -109,7 +112,13 @@ impl DnsUdpClientDriver {
     pub fn new(resolver: Ipv4Addr, name: &str) -> (DnsUdpClientDriver, Rc<RefCell<DnsClientReport>>) {
         let report = Rc::new(RefCell::new(DnsClientReport::default()));
         (
-            DnsUdpClientDriver { resolver, name: name.to_string(), txid: 0x3131, sent: false, report: report.clone() },
+            DnsUdpClientDriver {
+                resolver,
+                name: name.to_string(),
+                txid: 0x3131,
+                sent: false,
+                report: report.clone(),
+            },
             report,
         )
     }
@@ -222,16 +231,29 @@ mod tests {
     fn run_lookup(tcp: bool) -> DnsClientReport {
         let mut sim = Simulation::new(31);
         let zone = Zone::new(Ipv4Addr::new(198, 18, 0, 1)).with("www.dropbox.com", real_addr());
-        let report;
-        if tcp {
+        let report = if tcp {
             let (driver, r) = DnsTcpClientDriver::new(resolver_addr(), "www.dropbox.com");
-            add_host(&mut sim, "client", Ipv4Addr::new(10, 0, 0, 1), StackProfile::linux_4_4(), Box::new(driver), Direction::ToServer);
-            report = r;
+            add_host(
+                &mut sim,
+                "client",
+                Ipv4Addr::new(10, 0, 0, 1),
+                StackProfile::linux_4_4(),
+                Box::new(driver),
+                Direction::ToServer,
+            );
+            r
         } else {
             let (driver, r) = DnsUdpClientDriver::new(resolver_addr(), "www.dropbox.com");
-            add_host(&mut sim, "client", Ipv4Addr::new(10, 0, 0, 1), StackProfile::linux_4_4(), Box::new(driver), Direction::ToServer);
-            report = r;
-        }
+            add_host(
+                &mut sim,
+                "client",
+                Ipv4Addr::new(10, 0, 0, 1),
+                StackProfile::linux_4_4(),
+                Box::new(driver),
+                Direction::ToServer,
+            );
+            r
+        };
         sim.add_link(Link::new(Duration::from_millis(40), 8));
         let (_i, shandle) = add_host(
             &mut sim,

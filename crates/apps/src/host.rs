@@ -4,6 +4,7 @@
 use intang_netsim::{Ctx, Direction, Element, Instant};
 use intang_packet::{udp, IpProtocol, Ipv4Packet, Ipv4Repr, Wire};
 use intang_tcpstack::{StackProfile, TcpEndpoint};
+use intang_telemetry::MetricsSheet;
 use std::cell::RefCell;
 use std::net::Ipv4Addr;
 use std::rc::Rc;
@@ -87,15 +88,23 @@ pub struct HostHandle {
 
 impl HostElement {
     pub fn new(label: &str, addr: Ipv4Addr, profile: StackProfile, driver: Box<dyn HostDriver>) -> (HostElement, HostHandle) {
-        let mut udp = UdpLayer::default();
-        udp.local = Some(addr);
+        let udp = UdpLayer {
+            local: Some(addr),
+            ..UdpLayer::default()
+        };
         let core = Rc::new(RefCell::new(HostCore {
             tcp: TcpEndpoint::new(addr, profile),
             udp,
             driver,
             icmp_rx: Vec::new(),
         }));
-        (HostElement { label: label.to_string(), core: core.clone() }, HostHandle { core })
+        (
+            HostElement {
+                label: label.to_string(),
+                core: core.clone(),
+            },
+            HostHandle { core },
+        )
     }
 
     /// The direction pointing *away* from this host into the path. The
@@ -159,28 +168,30 @@ impl Element for DirectedHost {
         &self.host.label
     }
 
+    fn export_metrics(&self, m: &mut MetricsSheet) {
+        self.host.core.borrow().tcp.export_metrics(m);
+    }
+
     fn on_packet(&mut self, ctx: &mut Ctx<'_>, _dir: Direction, wire: Wire) {
         {
             let mut core = self.host.core.borrow_mut();
             let local = core.tcp.addr;
             match Ipv4Packet::new_checked(&wire[..]) {
-                Ok(ip) if ip.dst_addr() == local => {
-                    match ip.protocol() {
-                        IpProtocol::Udp => {
-                            if let Ok(u) = udp::UdpPacket::new_checked(ip.payload()) {
-                                let dg = UdpDatagram {
-                                    src: ip.src_addr(),
-                                    src_port: u.src_port(),
-                                    dst_port: u.dst_port(),
-                                    payload: u.payload().to_vec(),
-                                };
-                                core.udp.rx.push(dg);
-                            }
+                Ok(ip) if ip.dst_addr() == local => match ip.protocol() {
+                    IpProtocol::Udp => {
+                        if let Ok(u) = udp::UdpPacket::new_checked(ip.payload()) {
+                            let dg = UdpDatagram {
+                                src: ip.src_addr(),
+                                src_port: u.src_port(),
+                                dst_port: u.dst_port(),
+                                payload: u.payload().to_vec(),
+                            };
+                            core.udp.rx.push(dg);
                         }
-                        IpProtocol::Icmp => core.icmp_rx.push(wire),
-                        _ => core.tcp.on_packet(wire, ctx.now.micros()),
                     }
-                }
+                    IpProtocol::Icmp => core.icmp_rx.push(wire),
+                    _ => core.tcp.on_packet(wire, ctx.now.micros()),
+                },
                 _ => {} // not addressed to us: swallowed at the edge
             }
         }
@@ -215,7 +226,6 @@ pub fn add_host(
 mod tests {
     use super::*;
     use intang_netsim::{Duration, Link, Simulation};
-    
 
     /// Driver that opens one connection and sends a fixed blob.
     struct BlastDriver {
@@ -272,7 +282,12 @@ mod tests {
             "client",
             client_addr,
             StackProfile::linux_4_4(),
-            Box::new(BlastDriver { server: server_addr, started: false, handle: None, report: report.clone() }),
+            Box::new(BlastDriver {
+                server: server_addr,
+                started: false,
+                handle: None,
+                report: report.clone(),
+            }),
             Direction::ToServer,
         );
         sim.add_link(Link::new(Duration::from_millis(15), 4));
@@ -303,7 +318,12 @@ mod tests {
             "client",
             client_addr,
             StackProfile::linux_4_4(),
-            Box::new(BlastDriver { server: server_addr, started: false, handle: None, report: report.clone() }),
+            Box::new(BlastDriver {
+                server: server_addr,
+                started: false,
+                handle: None,
+                report: report.clone(),
+            }),
             Direction::ToServer,
         );
         sim.add_link(Link::new(Duration::from_millis(5), 2).with_loss(0.25));
@@ -318,7 +338,11 @@ mod tests {
         shandle.with_tcp(|t| t.listen(80));
 
         sim.run_until(Instant(20_000_000));
-        assert_eq!(report.borrow().as_slice(), b"PING OVER THE SIMULATED PATH", "RTO recovers from 25% loss");
+        assert_eq!(
+            report.borrow().as_slice(),
+            b"PING OVER THE SIMULATED PATH",
+            "RTO recovers from 25% loss"
+        );
     }
 
     #[test]
@@ -354,7 +378,11 @@ mod tests {
             "client",
             Ipv4Addr::new(10, 0, 0, 1),
             StackProfile::linux_4_4(),
-            Box::new(UdpPing { server: Ipv4Addr::new(203, 0, 113, 10), sent: false, got: got.clone() }),
+            Box::new(UdpPing {
+                server: Ipv4Addr::new(203, 0, 113, 10),
+                sent: false,
+                got: got.clone(),
+            }),
             Direction::ToServer,
         );
         sim.add_link(Link::new(Duration::from_millis(3), 1));

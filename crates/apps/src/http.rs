@@ -48,7 +48,14 @@ impl HttpClientDriver {
     pub fn new(server: Ipv4Addr, port: u16, request: HttpRequest) -> (HttpClientDriver, Rc<RefCell<HttpClientReport>>) {
         let report = Rc::new(RefCell::new(HttpClientReport::default()));
         (
-            HttpClientDriver { server, port, request, start_at: Instant::ZERO, state: FetchState::Idle, report: report.clone() },
+            HttpClientDriver {
+                server,
+                port,
+                request,
+                start_at: Instant::ZERO,
+                state: FetchState::Idle,
+                report: report.clone(),
+            },
             report,
         )
     }
@@ -208,10 +215,28 @@ mod tests {
         let req = HttpRequest::get("/ultrasurf", "site-0.example");
         let (driver, report) = HttpClientDriver::new(server_addr, 80, req);
         let mut sim = Simulation::new(21);
-        add_host(&mut sim, "client", client_addr, StackProfile::linux_4_4(), Box::new(driver), Direction::ToServer);
+        add_host(
+            &mut sim,
+            "client",
+            client_addr,
+            StackProfile::linux_4_4(),
+            Box::new(driver),
+            Direction::ToServer,
+        );
         sim.add_link(Link::new(Duration::from_millis(25), 6));
-        let server = if redirect { HttpServerDriver::new(80).redirecting_to_https() } else { HttpServerDriver::new(80) };
-        let (_i, shandle) = add_host(&mut sim, "server", server_addr, StackProfile::linux_4_4(), Box::new(server), Direction::ToClient);
+        let server = if redirect {
+            HttpServerDriver::new(80).redirecting_to_https()
+        } else {
+            HttpServerDriver::new(80)
+        };
+        let (_i, shandle) = add_host(
+            &mut sim,
+            "server",
+            server_addr,
+            StackProfile::linux_4_4(),
+            Box::new(server),
+            Direction::ToClient,
+        );
         listen(&shandle, 80);
         sim.run_to_quiescence(100_000);
         report

@@ -146,7 +146,11 @@ pub struct TorBridgeDriver {
 
 impl TorBridgeDriver {
     pub fn new(port: u16) -> TorBridgeDriver {
-        TorBridgeDriver { port, conns: Vec::new(), handshakes: Rc::new(RefCell::new(0)) }
+        TorBridgeDriver {
+            port,
+            conns: Vec::new(),
+            handshakes: Rc::new(RefCell::new(0)),
+        }
     }
 
     pub fn port(&self) -> u16 {
@@ -187,10 +191,24 @@ mod tests {
         let bridge_addr = Ipv4Addr::new(54, 210, 8, 7);
         let (driver, report) = TorClientDriver::new(bridge_addr, 443, 5);
         let mut sim = Simulation::new(71);
-        add_host(&mut sim, "tor-client", Ipv4Addr::new(10, 0, 0, 1), StackProfile::linux_4_4(), Box::new(driver), Direction::ToServer);
+        add_host(
+            &mut sim,
+            "tor-client",
+            Ipv4Addr::new(10, 0, 0, 1),
+            StackProfile::linux_4_4(),
+            Box::new(driver),
+            Direction::ToServer,
+        );
         sim.add_link(Link::new(Duration::from_millis(60), 10));
         let bridge = TorBridgeDriver::new(443);
-        let (_i, bh) = add_host(&mut sim, "bridge", bridge_addr, StackProfile::linux_4_4(), Box::new(bridge), Direction::ToClient);
+        let (_i, bh) = add_host(
+            &mut sim,
+            "bridge",
+            bridge_addr,
+            StackProfile::linux_4_4(),
+            Box::new(bridge),
+            Direction::ToClient,
+        );
         bh.with_tcp(|t| t.listen(443));
         sim.run_until(intang_netsim::Instant(20_000_000));
         let rep = report.borrow();

@@ -44,7 +44,14 @@ impl VpnClientDriver {
     pub fn new(server: Ipv4Addr, port: u16, records: u32) -> (VpnClientDriver, Rc<RefCell<VpnClientReport>>) {
         let report = Rc::new(RefCell::new(VpnClientReport::default()));
         (
-            VpnClientDriver { server, port, records, sent: 0, state: VpnState::Idle, report: report.clone() },
+            VpnClientDriver {
+                server,
+                port,
+                records,
+                sent: 0,
+                state: VpnState::Idle,
+                report: report.clone(),
+            },
             report,
         )
     }
@@ -151,9 +158,23 @@ mod tests {
         let server_addr = Ipv4Addr::new(203, 0, 113, 66);
         let (driver, report) = VpnClientDriver::new(server_addr, 1194, 3);
         let mut sim = Simulation::new(99);
-        add_host(&mut sim, "vpn-client", Ipv4Addr::new(10, 0, 0, 1), StackProfile::linux_4_4(), Box::new(driver), Direction::ToServer);
+        add_host(
+            &mut sim,
+            "vpn-client",
+            Ipv4Addr::new(10, 0, 0, 1),
+            StackProfile::linux_4_4(),
+            Box::new(driver),
+            Direction::ToServer,
+        );
         sim.add_link(Link::new(Duration::from_millis(30), 7));
-        let (_i, sh) = add_host(&mut sim, "vpn-server", server_addr, StackProfile::linux_4_4(), Box::new(VpnServerDriver::new()), Direction::ToClient);
+        let (_i, sh) = add_host(
+            &mut sim,
+            "vpn-server",
+            server_addr,
+            StackProfile::linux_4_4(),
+            Box::new(VpnServerDriver::new()),
+            Direction::ToClient,
+        );
         sh.with_tcp(|t| t.listen(1194));
         sim.run_until(Instant(20_000_000));
         let rep = report.borrow();

@@ -18,12 +18,26 @@ fn http_client_reports_reset_when_censored() {
     let server_addr = Ipv4Addr::new(203, 0, 113, 10);
     let mut sim = Simulation::new(5);
     let (driver, report) = HttpClientDriver::new(server_addr, 80, HttpRequest::get("/ultrasurf", "x.example"));
-    add_host(&mut sim, "client", CLIENT, StackProfile::linux_4_4(), Box::new(driver), Direction::ToServer);
+    add_host(
+        &mut sim,
+        "client",
+        CLIENT,
+        StackProfile::linux_4_4(),
+        Box::new(driver),
+        Direction::ToServer,
+    );
     sim.add_link(Link::new(Duration::from_millis(3), 3));
     let (gfw, _h) = GfwElement::new(GfwConfig::evolved().deterministic());
     sim.add_element(Box::new(gfw));
     sim.add_link(Link::new(Duration::from_millis(4), 4));
-    let (_i, sh) = add_host(&mut sim, "server", server_addr, StackProfile::linux_4_4(), Box::new(HttpServerDriver::new(80)), Direction::ToClient);
+    let (_i, sh) = add_host(
+        &mut sim,
+        "server",
+        server_addr,
+        StackProfile::linux_4_4(),
+        Box::new(HttpServerDriver::new(80)),
+        Direction::ToClient,
+    );
     sh.with_tcp(|t| t.listen(80));
     sim.run_until(Instant(12_000_000));
     let rep = report.borrow();
@@ -57,7 +71,6 @@ fn tor_bridge_block_is_ip_wide_and_persistent() {
             }
         }
     }
-    use intang_apps::HostDriver;
     let (tor, _tor_report) = TorClientDriver::new(bridge_addr, 443, 2);
     // The clean HTTP fetch starts well after the block has landed.
     let (http, http_report) = HttpClientDriver::new(bridge_addr, 80, HttpRequest::get("/clean", "bridge.example"));
@@ -79,7 +92,14 @@ fn tor_bridge_block_is_ip_wide_and_persistent() {
     sim.add_element(Box::new(gfw));
     sim.add_link(Link::new(Duration::from_millis(30), 6));
     let bridge = TorBridgeDriver::new(443);
-    let (_i, bh) = add_host(&mut sim, "bridge", bridge_addr, StackProfile::linux_4_4(), Box::new(bridge), Direction::ToClient);
+    let (_i, bh) = add_host(
+        &mut sim,
+        "bridge",
+        bridge_addr,
+        StackProfile::linux_4_4(),
+        Box::new(bridge),
+        Direction::ToClient,
+    );
     bh.with_tcp(|t| {
         t.listen(443);
         t.listen(80);
@@ -97,13 +117,27 @@ fn dns_tcp_client_sees_reset_under_censorship() {
     let resolver = Ipv4Addr::new(216, 146, 35, 35);
     let mut sim = Simulation::new(8);
     let (driver, report) = DnsTcpClientDriver::new(resolver, "www.dropbox.com");
-    add_host(&mut sim, "client", CLIENT, StackProfile::linux_4_4(), Box::new(driver), Direction::ToServer);
+    add_host(
+        &mut sim,
+        "client",
+        CLIENT,
+        StackProfile::linux_4_4(),
+        Box::new(driver),
+        Direction::ToServer,
+    );
     sim.add_link(Link::new(Duration::from_millis(3), 3));
     let (gfw, handle) = GfwElement::new(GfwConfig::evolved().deterministic());
     sim.add_element(Box::new(gfw));
     sim.add_link(Link::new(Duration::from_millis(5), 4));
     let zone = Zone::new(Ipv4Addr::new(198, 18, 0, 1)).with("www.dropbox.com", Ipv4Addr::new(162, 125, 2, 5));
-    let (_i, sh) = add_host(&mut sim, "resolver", resolver, StackProfile::linux_4_4(), Box::new(DnsServerDriver::new(zone)), Direction::ToClient);
+    let (_i, sh) = add_host(
+        &mut sim,
+        "resolver",
+        resolver,
+        StackProfile::linux_4_4(),
+        Box::new(DnsServerDriver::new(zone)),
+        Direction::ToClient,
+    );
     sh.with_tcp(|t| t.listen(53));
     sim.run_until(Instant(12_000_000));
     let rep = report.borrow();

@@ -70,8 +70,12 @@ fn bench_reset_injection() {
     let server = (Ipv4Addr::new(203, 0, 113, 1), 80u16);
     let mut inj = ResetInjector::new();
     let mut rng = intang_netsim::SimRng::seed_from(5);
-    bench("censor/type2-volley", || black_box(inj.type2(black_box(server), black_box(client), 1_000, 2_000)));
-    bench("censor/type1-rst", || black_box(inj.type1(&mut rng, black_box(server), black_box(client), 1_000)));
+    bench("censor/type2-volley", || {
+        black_box(inj.type2(black_box(server), black_box(client), 1_000, 2_000))
+    });
+    bench("censor/type1-rst", || {
+        black_box(inj.type1(&mut rng, black_box(server), black_box(client), 1_000))
+    });
 }
 
 fn main() {

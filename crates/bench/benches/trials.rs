@@ -36,7 +36,13 @@ fn bench_dns_trial() {
     let mut seed = 0u64;
     bench("trial/dns-over-tcp-forwarded", || {
         seed += 1;
-        let spec = DnsTrialSpec { vp, resolver: DYN1, use_intang: true, seed, nat_prob: 0.0 };
+        let spec = DnsTrialSpec {
+            vp,
+            resolver: DYN1,
+            use_intang: true,
+            seed,
+            nat_prob: 0.0,
+        };
         black_box(run_dns_trial(&spec))
     });
 }

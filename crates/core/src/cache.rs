@@ -18,7 +18,11 @@ pub struct LruCache<K: Eq + Hash + Clone, V> {
 impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0);
-        LruCache { capacity, map: HashMap::new(), order: Vec::new() }
+        LruCache {
+            capacity,
+            map: HashMap::new(),
+            order: Vec::new(),
+        }
     }
 
     pub fn get(&mut self, k: &K) -> Option<&V> {
@@ -90,6 +94,10 @@ impl<K: Eq + Hash + Clone, V> TtlStore<K, V> {
 
     pub fn len(&self) -> usize {
         self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
     }
 }
 

@@ -65,7 +65,9 @@ impl DnsForwarder {
         if ip.protocol() != IpProtocol::Udp {
             return false;
         }
-        let Ok(u) = udp::UdpPacket::new_checked(ip.payload()) else { return false };
+        let Ok(u) = udp::UdpPacket::new_checked(ip.payload()) else {
+            return false;
+        };
         if u.dst_port() != 53 {
             return false;
         }
@@ -74,7 +76,11 @@ impl DnsForwarder {
             return false;
         }
         let port = self.next_port;
-        self.next_port = if self.next_port >= FWD_PORT_END { FWD_PORT_BASE } else { self.next_port + 1 };
+        self.next_port = if self.next_port >= FWD_PORT_END {
+            FWD_PORT_BASE
+        } else {
+            self.next_port + 1
+        };
         let socket = self.tcp.connect_from(port, self.resolver, 53, now_us);
         // Socket buffers the query until the handshake completes.
         self.tcp.socket(socket).send(&query.encode_tcp(), now_us);

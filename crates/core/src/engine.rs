@@ -13,6 +13,7 @@ use crate::strategy::{FlowState, ShimCtx, Strategy, StrategyKind, Verdict};
 use crate::ttl::HopEstimator;
 use intang_netsim::{Ctx, Direction, Element, Instant};
 use intang_packet::{FourTuple, IpProtocol, Ipv4Packet, TcpPacket, TcpRepr, Wire};
+use intang_telemetry::{Counter, MetricsSheet};
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
@@ -71,7 +72,10 @@ impl Default for IntangConfig {
 
 impl IntangConfig {
     pub fn fixed(kind: StrategyKind) -> IntangConfig {
-        IntangConfig { strategy: Some(kind), ..IntangConfig::default() }
+        IntangConfig {
+            strategy: Some(kind),
+            ..IntangConfig::default()
+        }
     }
 }
 
@@ -82,6 +86,11 @@ pub struct IntangStats {
     pub probes_sent: u64,
     pub type1_resets_seen: u64,
     pub type2_resets_seen: u64,
+    /// Censor-signature resets on tracked flows before the first request
+    /// payload went out (the §5 "reset before request" window).
+    pub resets_pre_request: u64,
+    /// Censor-signature resets on tracked flows after the request.
+    pub resets_post_request: u64,
     pub flows: u64,
     pub successes: u64,
     pub failures: u64,
@@ -118,11 +127,7 @@ impl IntangElement {
 
     /// Share a [`History`] across engines (successive trials toward the
     /// same servers — how the adaptive mode converges).
-    pub fn with_history(
-        client: Ipv4Addr,
-        cfg: IntangConfig,
-        history: Rc<RefCell<History>>,
-    ) -> (IntangElement, IntangHandle) {
+    pub fn with_history(client: Ipv4Addr, cfg: IntangConfig, history: Rc<RefCell<History>>) -> (IntangElement, IntangHandle) {
         let fwd = cfg.dns_forward.map(|resolver| DnsForwarder::new(client, resolver));
         let shim = Rc::new(RefCell::new(Shim {
             cfg,
@@ -183,6 +188,17 @@ impl IntangHandle {
 impl Element for IntangElement {
     fn name(&self) -> &str {
         "INTANG"
+    }
+
+    fn export_metrics(&self, m: &mut MetricsSheet) {
+        let s = &self.shim.borrow().stats;
+        m.add(Counter::IntangInsertionsSent, s.insertions_sent);
+        m.add(Counter::IntangProbesSent, s.probes_sent);
+        m.add(Counter::IntangType1ResetsSeen, s.type1_resets_seen);
+        m.add(Counter::IntangType2ResetsSeen, s.type2_resets_seen);
+        m.add(Counter::IntangResetsPreRequest, s.resets_pre_request);
+        m.add(Counter::IntangResetsPostRequest, s.resets_post_request);
+        m.add(Counter::IntangFlows, s.flows);
     }
 
     fn on_packet(&mut self, ctx: &mut Ctx<'_>, dir: Direction, wire: Wire) {
@@ -300,14 +316,9 @@ impl Shim {
                     self.estimator.hold(server, wire);
                     return;
                 } else {
-                    let probes = self.estimator.start(
-                        self.client,
-                        server,
-                        tcp.dst_port(),
-                        ctx.now,
-                        self.cfg.max_probe_ttl,
-                        wire,
-                    );
+                    let probes = self
+                        .estimator
+                        .start(self.client, server, tcp.dst_port(), ctx.now, self.cfg.max_probe_ttl, wire);
                     self.stats.probes_sent += probes.len() as u64;
                     for p in probes {
                         ctx.send(Direction::ToServer, p);
@@ -329,9 +340,7 @@ impl Shim {
             let verdict = if seg.flags.syn() && !seg.flags.ack() && flow.client_isn.is_none() {
                 flow.client_isn = Some(seg.seq);
                 strat.on_syn(&mut sctx, flow, &seg)
-            } else if !seg.payload.is_empty()
-                && (!flow.first_payload_sent || flow.first_payload_seq == Some(seg.seq))
-            {
+            } else if !seg.payload.is_empty() && (!flow.first_payload_sent || flow.first_payload_seq == Some(seg.seq)) {
                 // First request — or an RTO retransmission of it, which the
                 // shim re-protects exactly like the original.
                 flow.first_payload_sent = true;
@@ -411,6 +420,11 @@ impl Shim {
                     }
                     if classify_flags(seg_flags).is_some() {
                         flow.resets_seen += 1;
+                        if flow.first_payload_sent {
+                            self.stats.resets_post_request += 1;
+                        } else {
+                            self.stats.resets_pre_request += 1;
+                        }
                         if !flow.outcome_recorded && flow.first_payload_sent {
                             flow.outcome_recorded = true;
                             self.stats.failures += 1;

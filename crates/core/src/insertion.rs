@@ -55,9 +55,7 @@ impl InsertionKind {
     pub fn preferred_discrepancies(self) -> &'static [Discrepancy] {
         match self {
             InsertionKind::Syn | InsertionKind::SynAck => &[Discrepancy::SmallTtl],
-            InsertionKind::Rst | InsertionKind::RstAck | InsertionKind::Fin => {
-                &[Discrepancy::SmallTtl, Discrepancy::Md5Option]
-            }
+            InsertionKind::Rst | InsertionKind::RstAck | InsertionKind::Fin => &[Discrepancy::SmallTtl, Discrepancy::Md5Option],
             InsertionKind::Data => &[
                 Discrepancy::SmallTtl,
                 Discrepancy::Md5Option,
@@ -175,7 +173,11 @@ mod tests {
             kind,
             seq: 1000,
             ack: 2000,
-            payload: if kind == InsertionKind::Data { b"JUNKJUNK".to_vec() } else { Vec::new() },
+            payload: if kind == InsertionKind::Data {
+                b"JUNKJUNK".to_vec()
+            } else {
+                Vec::new()
+            },
             disc,
             ttl_limit: Some(11),
         }
@@ -189,7 +191,10 @@ mod tests {
         assert_eq!(Rst.preferred_discrepancies(), &[SmallTtl, Md5Option]);
         assert!(Data.preferred_discrepancies().contains(&BadAck));
         assert!(Data.preferred_discrepancies().contains(&OldTimestamp));
-        assert!(!Rst.preferred_discrepancies().contains(&BadAck), "a bad-ACK RST still resets a server");
+        assert!(
+            !Rst.preferred_discrepancies().contains(&BadAck),
+            "a bad-ACK RST still resets a server"
+        );
         assert!(spec(Data, Md5Option).is_preferred());
         assert!(!spec(Syn, BadChecksum).is_preferred());
     }

@@ -69,11 +69,7 @@ impl History {
     }
 
     pub fn tally(&self, server: Ipv4Addr, kind: StrategyKind) -> Tally {
-        self.per_server
-            .get(&server)
-            .and_then(|m| m.get(&kind))
-            .copied()
-            .unwrap_or_default()
+        self.per_server.get(&server).and_then(|m| m.get(&kind)).copied().unwrap_or_default()
     }
 
     pub fn servers_seen(&self) -> usize {
@@ -107,8 +103,7 @@ impl History {
         let mut h = History::new();
         for line in text.lines() {
             let mut parts = line.split_whitespace();
-            let (Some(ip), Some(id), Some(att), Some(succ)) = (parts.next(), parts.next(), parts.next(), parts.next())
-            else {
+            let (Some(ip), Some(id), Some(att), Some(succ)) = (parts.next(), parts.next(), parts.next(), parts.next()) else {
                 continue;
             };
             let (Ok(ip), Ok(id), Ok(attempts), Ok(successes)) =
@@ -116,11 +111,10 @@ impl History {
             else {
                 continue;
             };
-            let Some(kind) = StrategyKind::from_id(crate::strategy::StrategyId(id)) else { continue };
-            h.per_server
-                .entry(ip)
-                .or_default()
-                .insert(kind, Tally { attempts, successes });
+            let Some(kind) = StrategyKind::from_id(crate::strategy::StrategyId(id)) else {
+                continue;
+            };
+            h.per_server.entry(ip).or_default().insert(kind, Tally { attempts, successes });
         }
         h
     }

@@ -40,7 +40,11 @@ fn best_disc(flow: &FlowState, kind: InsertionKind) -> Discrepancy {
     if flow.hops.is_some() && flow.prefer_ttl {
         prefs[0] // SmallTtl always heads the whitelist
     } else {
-        prefs.iter().copied().find(|d| *d != Discrepancy::SmallTtl).unwrap_or(Discrepancy::BadChecksum)
+        prefs
+            .iter()
+            .copied()
+            .find(|d| *d != Discrepancy::SmallTtl)
+            .unwrap_or(Discrepancy::BadChecksum)
     }
 }
 
@@ -88,7 +92,10 @@ impl Strategy for OutOfOrderIpFrag {
             return Verdict::Forward; // nothing beyond the header to hide
         }
         let ident = ctx.rng.next_u16();
-        let base = Ipv4Repr { ident, ..Ipv4Repr::new(flow.tuple.src, flow.tuple.dst, IpProtocol::Tcp) };
+        let base = Ipv4Repr {
+            ident,
+            ..Ipv4Repr::new(flow.tuple.src, flow.tuple.dst, IpProtocol::Tcp)
+        };
         let tail_real = &segment[cut..];
         let tail_junk: Vec<u8> = (0..tail_real.len()).map(|_| (ctx.rng.next_u16() & 0x7f) as u8 | 0x20).collect();
         let head = &segment[..cut];
@@ -345,9 +352,21 @@ pub fn build(kind: StrategyKind, delta: u8) -> Box<dyn Strategy> {
         StrategyKind::OutOfOrderIpFrag => Box::new(OutOfOrderIpFrag),
         StrategyKind::OutOfOrderTcpSeg => Box::new(OutOfOrderTcpSeg),
         StrategyKind::InOrderOverlap(disc) => Box::new(InOrderOverlap { disc, delta }),
-        StrategyKind::TeardownRst(disc) => Box::new(Teardown { kind: InsertionKind::Rst, disc, delta }),
-        StrategyKind::TeardownRstAck(disc) => Box::new(Teardown { kind: InsertionKind::RstAck, disc, delta }),
-        StrategyKind::TeardownFin(disc) => Box::new(Teardown { kind: InsertionKind::Fin, disc, delta }),
+        StrategyKind::TeardownRst(disc) => Box::new(Teardown {
+            kind: InsertionKind::Rst,
+            disc,
+            delta,
+        }),
+        StrategyKind::TeardownRstAck(disc) => Box::new(Teardown {
+            kind: InsertionKind::RstAck,
+            disc,
+            delta,
+        }),
+        StrategyKind::TeardownFin(disc) => Box::new(Teardown {
+            kind: InsertionKind::Fin,
+            disc,
+            delta,
+        }),
         StrategyKind::ImprovedTeardown => Box::new(ImprovedTeardown { delta }),
         StrategyKind::ImprovedInOrderOverlap => Box::new(ImprovedInOrderOverlap { delta }),
         StrategyKind::TcbCreationResyncDesync => Box::new(TcbCreationResyncDesync { delta }),
@@ -389,7 +408,10 @@ mod tests {
 
     #[test]
     fn in_order_overlap_injects_matching_junk() {
-        let mut s = InOrderOverlap { disc: Discrepancy::BadChecksum, delta: 2 };
+        let mut s = InOrderOverlap {
+            disc: Discrepancy::BadChecksum,
+            delta: 2,
+        };
         let (v, inj) = run_first_payload(&mut s, 3);
         assert_eq!(inj.len(), 3, "redundancy 3");
         assert!(matches!(v, Verdict::ForwardDelayed(_)));
@@ -402,7 +424,11 @@ mod tests {
 
     #[test]
     fn teardown_rst_uses_current_seq_and_ttl() {
-        let mut s = Teardown { kind: InsertionKind::Rst, disc: Discrepancy::SmallTtl, delta: 2 };
+        let mut s = Teardown {
+            kind: InsertionKind::Rst,
+            disc: Discrepancy::SmallTtl,
+            delta: 2,
+        };
         let (_, inj) = run_first_payload(&mut s, 1);
         let ip = Ipv4Packet::new_checked(&inj[0].0[..]).unwrap();
         assert_eq!(ip.ttl(), 12, "hops(14) - delta(2)");
@@ -502,7 +528,11 @@ mod tests {
         f.hops = None;
         assert_eq!(best_disc(&f, InsertionKind::Rst), Discrepancy::Md5Option);
         assert_eq!(best_disc(&f, InsertionKind::Data), Discrepancy::Md5Option);
-        assert_eq!(best_disc(&f, InsertionKind::Syn), Discrepancy::BadChecksum, "SYN row has no non-TTL entry");
+        assert_eq!(
+            best_disc(&f, InsertionKind::Syn),
+            Discrepancy::BadChecksum,
+            "SYN row has no non-TTL entry"
+        );
         f.hops = Some(10);
         assert_eq!(best_disc(&f, InsertionKind::Rst), Discrepancy::SmallTtl);
     }

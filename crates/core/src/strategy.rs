@@ -210,13 +210,20 @@ pub struct ShimCtx<'a> {
 
 impl<'a> ShimCtx<'a> {
     pub fn new(now: Instant, rng: &'a mut SimRng, client: Ipv4Addr, redundancy: u32) -> ShimCtx<'a> {
-        ShimCtx { now, rng, client, redundancy, injections: Vec::new() }
+        ShimCtx {
+            now,
+            rng,
+            client,
+            redundancy,
+            injections: Vec::new(),
+        }
     }
 
     /// Inject an insertion packet (with redundancy) at `base_delay`.
     pub fn inject(&mut self, wire: Wire, base_delay: Duration) {
         for i in 0..self.redundancy.max(1) {
-            self.injections.push((wire.clone(), base_delay + Duration::from_millis(20) * u64::from(i)));
+            self.injections
+                .push((wire.clone(), base_delay + Duration::from_millis(20) * u64::from(i)));
         }
     }
 

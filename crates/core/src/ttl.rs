@@ -59,15 +59,7 @@ impl HopEstimator {
 
     /// Begin measuring `server`; returns the probe burst to transmit.
     /// `first_held` is the intercepted packet that triggered the need.
-    pub fn start(
-        &mut self,
-        client: Ipv4Addr,
-        server: Ipv4Addr,
-        port: u16,
-        now: Instant,
-        max_ttl: u8,
-        first_held: Wire,
-    ) -> Vec<Wire> {
+    pub fn start(&mut self, client: Ipv4Addr, server: Ipv4Addr, port: u16, now: Instant, max_ttl: u8, first_held: Wire) -> Vec<Wire> {
         let m = Measurement {
             server,
             port,
@@ -115,7 +107,7 @@ impl HopEstimator {
     /// Feed an ingress SYN/ACK addressed to a probe port. Returns true when
     /// consumed by a measurement.
     pub fn on_probe_synack(&mut self, server: Ipv4Addr, probe_port: u16) -> bool {
-        if probe_port < PROBE_PORT_BASE || probe_port > PROBE_PORT_BASE + 64 {
+        if !(PROBE_PORT_BASE..=PROBE_PORT_BASE + 64).contains(&probe_port) {
             return false;
         }
         let ttl = (probe_port - PROBE_PORT_BASE) as u8;
@@ -129,12 +121,7 @@ impl HopEstimator {
     /// Finalize every measurement whose deadline passed; returns
     /// `(server, hop_estimate, held_packets)` triples.
     pub fn finalize_due(&mut self, now: Instant) -> Vec<(Ipv4Addr, u8, Vec<Wire>)> {
-        let due: Vec<Ipv4Addr> = self
-            .active
-            .iter()
-            .filter(|(_, m)| m.deadline <= now)
-            .map(|(k, _)| *k)
-            .collect();
+        let due: Vec<Ipv4Addr> = self.active.iter().filter(|(_, m)| m.deadline <= now).map(|(k, _)| *k).collect();
         due.into_iter()
             .map(|server| {
                 let mut m = self.active.remove(&server).expect("key just listed");

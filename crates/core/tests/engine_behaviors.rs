@@ -99,12 +99,8 @@ fn delta_iteration_recovers_a_co_located_censor() {
         let (gfw, gh) = GfwElement::new(gcfg);
         sim.add_element(Box::new(gfw));
         sim.add_link(Link::new(Duration::from_millis(1), 1));
-        let (server_host, _sh) = intang_apps::host::HostElement::new(
-            "server",
-            SERVER,
-            intang_tcpstack::StackProfile::linux_4_4(),
-            Box::new(ServerApp),
-        );
+        let (server_host, _sh) =
+            intang_apps::host::HostElement::new("server", SERVER, intang_tcpstack::StackProfile::linux_4_4(), Box::new(ServerApp));
         let sidx = sim.add_element(server_host.into_boxed(Direction::ToClient));
         // Kick-off poll so the listener registers before any probe lands.
         sim.schedule_timer(sidx, Instant::ZERO, 0);

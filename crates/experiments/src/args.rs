@@ -8,15 +8,23 @@ pub struct CommonArgs {
     pub seed: u64,
     /// Shrink the scenario for quick runs.
     pub quick: bool,
+    /// JSONL telemetry output path (`--telemetry PATH`, or the
+    /// `INTANG_TELEMETRY` environment variable when the flag is absent).
+    pub telemetry: Option<String>,
 }
 
 impl CommonArgs {
     pub fn parse() -> CommonArgs {
-        CommonArgs::from_iter(std::env::args().skip(1))
+        CommonArgs::parse_from(std::env::args().skip(1))
     }
 
-    pub fn from_iter(args: impl IntoIterator<Item = String>) -> CommonArgs {
-        let mut out = CommonArgs { trials: 0, seed: 2017, quick: false };
+    pub fn parse_from(args: impl IntoIterator<Item = String>) -> CommonArgs {
+        let mut out = CommonArgs {
+            trials: 0,
+            seed: 2017,
+            quick: false,
+            telemetry: None,
+        };
         let mut it = args.into_iter();
         while let Some(a) = it.next() {
             match a.as_str() {
@@ -33,12 +41,18 @@ impl CommonArgs {
                         .unwrap_or_else(|| panic!("--seed needs a number"));
                 }
                 "--quick" => out.quick = true,
+                "--telemetry" => {
+                    out.telemetry = Some(it.next().unwrap_or_else(|| panic!("--telemetry needs a path")));
+                }
                 "--help" | "-h" => {
-                    eprintln!("flags: --trials N   trials per cell (default: per-experiment)\n       --seed S     master seed (default 2017)\n       --quick      shrink the scenario for a fast smoke run");
+                    eprintln!("flags: --trials N        trials per cell (default: per-experiment)\n       --seed S          master seed (default 2017)\n       --quick           shrink the scenario for a fast smoke run\n       --telemetry PATH  write JSONL metrics + failure diagnoses to PATH\n                         (INTANG_TELEMETRY env is the fallback)");
                     std::process::exit(0);
                 }
                 other => panic!("unknown flag {other}"),
             }
+        }
+        if out.telemetry.is_none() {
+            out.telemetry = std::env::var("INTANG_TELEMETRY").ok().filter(|p| !p.is_empty());
         }
         out
     }
@@ -63,14 +77,20 @@ mod tests {
 
     #[test]
     fn defaults_and_flags() {
-        let a = CommonArgs::from_iter(Vec::new());
+        let a = CommonArgs::parse_from(Vec::new());
         assert_eq!(a.seed, 2017);
         assert_eq!(a.trials_or(50), 50);
-        let a = CommonArgs::from_iter(vec!["--trials".into(), "7".into(), "--seed".into(), "9".into()]);
+        let a = CommonArgs::parse_from(vec!["--trials".into(), "7".into(), "--seed".into(), "9".into()]);
         assert_eq!(a.trials_or(50), 7);
         assert_eq!(a.seed, 9);
-        let a = CommonArgs::from_iter(vec!["--quick".into()]);
+        let a = CommonArgs::parse_from(vec!["--quick".into()]);
         assert!(a.quick);
         assert_eq!(a.trials_or(48), 12);
+    }
+
+    #[test]
+    fn telemetry_flag_takes_a_path() {
+        let a = CommonArgs::parse_from(vec!["--telemetry".into(), "out.jsonl".into()]);
+        assert_eq!(a.telemetry.as_deref(), Some("out.jsonl"));
     }
 }

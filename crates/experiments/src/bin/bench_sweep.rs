@@ -36,7 +36,12 @@ fn workload(quick: bool) -> Workload {
             strategies: strategies.into_iter().take(2).collect(),
         }
     } else {
-        Workload { name: "paper_inside", scenario: Scenario::paper_inside(2017), trials: 3, strategies }
+        Workload {
+            name: "paper_inside",
+            scenario: Scenario::paper_inside(2017),
+            trials: 3,
+            strategies,
+        }
     }
 }
 
@@ -96,7 +101,7 @@ fn main() {
             Some(serial) => serial
                 .iter()
                 .zip(&runs)
-                .all(|(a, b)| a.rows == b.rows && a.events == b.events),
+                .all(|(a, b)| a.rows == b.rows && a.events == b.events && a.metrics == b.metrics && a.diagnoses == b.diagnoses),
         };
         eprintln!(
             "  {threads:>3} workers: {wall_s:8.2}s  {:>9.1} trials/s  {:>11.0} events/s  speedup {:>5.2}x  identical={identical}",
@@ -104,7 +109,13 @@ fn main() {
             events as f64 / wall_s,
             serial_wall / wall_s,
         );
-        measurements.push(Measurement { threads, wall_s, trials, events, identical_to_serial: identical });
+        measurements.push(Measurement {
+            threads,
+            wall_s,
+            trials,
+            events,
+            identical_to_serial: identical,
+        });
     }
 
     let serial = serial_runs.expect("at least one worker count ran");
@@ -114,6 +125,12 @@ fn main() {
         .zip(&serial)
         .map(|((name, _), run)| (*name, overall(&run.rows).success_rate()))
         .collect();
+
+    // Merged telemetry counters across all strategies (serial run).
+    let mut merged = intang_telemetry::MetricsSheet::new();
+    for run in &serial {
+        merged.merge(&run.metrics);
+    }
 
     let mut json = String::new();
     json.push_str("{\n");
@@ -130,6 +147,9 @@ fn main() {
     json.push_str("  \"overall_success_rate\": {");
     let rates: Vec<String> = success_rates.iter().map(|(n, r)| format!("\"{n}\": {r:.4}")).collect();
     json.push_str(&rates.join(", "));
+    json.push_str("},\n  \"counters\": {");
+    let counters: Vec<String> = merged.nonzero_counters().map(|(c, v)| format!("\"{}\": {v}", c.name())).collect();
+    json.push_str(&counters.join(", "));
     json.push_str("},\n  \"runs\": [\n");
     for (i, m) in measurements.iter().enumerate() {
         let _ = write!(

@@ -93,7 +93,11 @@ fn cache_ablation(_args: &CommonArgs) -> String {
     for _ in 0..20_000 {
         x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
         // Zipf-ish: 80% of lookups hit 16 hot keys.
-        let key = if x % 10 < 8 { (x >> 32) as u32 % 16 } else { (x >> 32) as u32 % 200 };
+        let key = if x % 10 < 8 {
+            (x >> 32) as u32 % 16
+        } else {
+            (x >> 32) as u32 % 200
+        };
         with_front.get(&key, 1);
         tiny_front.get(&key, 1);
     }
@@ -129,22 +133,20 @@ mod tests {
 
     #[test]
     fn cache_front_matters() {
-        let out = cache_ablation(&CommonArgs::from_iter(Vec::new()));
+        let out = cache_ablation(&CommonArgs::parse_from(Vec::new()));
         assert!(out.contains("32 entries"));
         // The 32-entry front absorbs most of the Zipf head; the 1-entry
         // front cannot.
         let lines: Vec<&str> = out.lines().collect();
         let big = lines.iter().find(|l| l.starts_with("32 entries")).unwrap();
         let small = lines.iter().find(|l| l.starts_with("1 entry")).unwrap();
-        let ratio = |l: &str| -> f64 {
-            l.split_whitespace().last().unwrap().trim_end_matches('%').parse::<f64>().unwrap()
-        };
+        let ratio = |l: &str| -> f64 { l.split_whitespace().last().unwrap().trim_end_matches('%').parse::<f64>().unwrap() };
         assert!(ratio(big) > ratio(small) + 20.0, "{out}");
     }
 
     #[test]
     fn redundancy_helps_under_loss() {
-        let args = CommonArgs::from_iter(vec!["--trials".to_string(), "3".to_string()]);
+        let args = CommonArgs::parse_from(vec!["--trials".to_string(), "3".to_string()]);
         let out = redundancy_ablation(&args);
         let rate = |n: &str| -> f64 {
             out.lines()

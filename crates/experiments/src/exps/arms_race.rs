@@ -17,10 +17,34 @@ use intang_core::{Discrepancy, StrategyKind};
 fn regimes() -> Vec<(&'static str, CensorHardening)> {
     vec![
         ("today's GFW (no validation)", CensorHardening::default()),
-        ("+ checksum validation", CensorHardening { validate_checksum: true, ..CensorHardening::default() }),
-        ("+ MD5 option rejection", CensorHardening { check_md5: true, ..CensorHardening::default() }),
-        ("+ ACK validation", CensorHardening { check_ack: true, ..CensorHardening::default() }),
-        ("+ timestamp (PAWS) check", CensorHardening { check_timestamp: true, ..CensorHardening::default() }),
+        (
+            "+ checksum validation",
+            CensorHardening {
+                validate_checksum: true,
+                ..CensorHardening::default()
+            },
+        ),
+        (
+            "+ MD5 option rejection",
+            CensorHardening {
+                check_md5: true,
+                ..CensorHardening::default()
+            },
+        ),
+        (
+            "+ ACK validation",
+            CensorHardening {
+                check_ack: true,
+                ..CensorHardening::default()
+            },
+        ),
+        (
+            "+ timestamp (PAWS) check",
+            CensorHardening {
+                check_timestamp: true,
+                ..CensorHardening::default()
+            },
+        ),
         ("all four at once", CensorHardening::all()),
     ]
 }
@@ -49,7 +73,9 @@ pub fn run(args: &CommonArgs) -> String {
     site.loss = 0.0;
     let vp = &scenario.vantage_points[0];
 
-    let header: Vec<&str> = std::iter::once("Censor regime").chain(strategies().iter().map(|(n, _)| *n)).collect();
+    let header: Vec<&str> = std::iter::once("Censor regime")
+        .chain(strategies().iter().map(|(n, _)| *n))
+        .collect();
     let mut t = Table::new(
         &format!("§8 arms race — strategy survival under censor hardening ({trials} trials/cell)"),
         &header,
@@ -87,7 +113,7 @@ mod tests {
 
     #[test]
     fn hardening_kills_matching_strategy_but_not_ttl() {
-        let out = run(&CommonArgs::from_iter(vec!["--trials".into(), "4".into()]));
+        let out = run(&CommonArgs::parse_from(vec!["--trials".into(), "4".into()]));
         let line = |prefix: &str| -> Vec<f64> {
             out.lines()
                 .find(|l| l.starts_with(prefix))
@@ -107,6 +133,9 @@ mod tests {
         assert!(ack[1] <= 25.0, "ACK validation kills bad-ACK junk: {ack:?}");
         let all = line("all four at once");
         assert!(all[0] <= 25.0 && all[1] <= 25.0);
-        assert!(all[2] >= 75.0 && all[3] >= 75.0 && all[4] >= 75.0, "TTL-scoped family survives everything: {all:?}");
+        assert!(
+            all[2] >= 75.0 && all[3] >= 75.0 && all[4] >= 75.0,
+            "TTL-scoped family survives everything: {all:?}"
+        );
     }
 }

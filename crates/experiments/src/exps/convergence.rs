@@ -34,7 +34,11 @@ pub fn convergence_curve(scenario: &Scenario, rounds: u32, seed: u64) -> Vec<f64
 }
 
 pub fn run(args: &CommonArgs) -> String {
-    let mut scenario = if args.quick { Scenario::smoke(args.seed) } else { Scenario::paper_inside(args.seed) };
+    let mut scenario = if args.quick {
+        Scenario::smoke(args.seed)
+    } else {
+        Scenario::paper_inside(args.seed)
+    };
     if !args.quick {
         // Keep the sweep affordable: a quarter of the full grid suffices
         // for the curve's shape.

@@ -9,8 +9,8 @@
 
 use crate::args::CommonArgs;
 use crate::report::Table;
-use intang_gfw::tcb::CensorTcb;
 use intang_gfw::dpi::{Automaton, RuleSet};
+use intang_gfw::tcb::CensorTcb;
 use intang_gfw::{GfwConfig, GfwElement};
 use intang_netsim::element::PassThrough;
 use intang_netsim::{Direction, Duration, Instant, Link, Simulation};
@@ -39,7 +39,11 @@ fn probe(type1: bool, type2: bool, split: bool, seed: u64) -> (bool, usize, usiz
     let mut t = 0u64;
     let mut send = |sim: &mut Simulation, from_client: bool, wire: Vec<u8>| {
         t += 5_000;
-        let (e, d) = if from_client { (0, Direction::ToServer) } else { (2, Direction::ToClient) };
+        let (e, d) = if from_client {
+            (0, Direction::ToServer)
+        } else {
+            (2, Direction::ToClient)
+        };
         sim.inject_at(e, d, wire, Instant(t));
         sim.run_to_quiescence(10_000);
     };
@@ -48,20 +52,37 @@ fn probe(type1: bool, type2: bool, split: bool, seed: u64) -> (bool, usize, usiz
     send(
         &mut sim,
         false,
-        PacketBuilder::tcp(SERVER, CLIENT, 80, 40_000).seq(9000).ack(1001).flags(TcpFlags::SYN_ACK).build(),
+        PacketBuilder::tcp(SERVER, CLIENT, 80, 40_000)
+            .seq(9000)
+            .ack(1001)
+            .flags(TcpFlags::SYN_ACK)
+            .build(),
     );
     send(&mut sim, true, c2s().seq(1001).ack(9001).flags(TcpFlags::ACK).build());
     let req = b"GET /ultrasurf HTTP/1.1\r\n\r\n";
     if split {
         let cut = 8;
-        send(&mut sim, true, c2s().seq(1001).ack(9001).flags(TcpFlags::PSH_ACK).payload(&req[..cut]).build());
         send(
             &mut sim,
             true,
-            c2s().seq(1001 + cut as u32).ack(9001).flags(TcpFlags::PSH_ACK).payload(&req[cut..]).build(),
+            c2s().seq(1001).ack(9001).flags(TcpFlags::PSH_ACK).payload(&req[..cut]).build(),
+        );
+        send(
+            &mut sim,
+            true,
+            c2s()
+                .seq(1001 + cut as u32)
+                .ack(9001)
+                .flags(TcpFlags::PSH_ACK)
+                .payload(&req[cut..])
+                .build(),
         );
     } else {
-        send(&mut sim, true, c2s().seq(1001).ack(9001).flags(TcpFlags::PSH_ACK).payload(req).build());
+        send(
+            &mut sim,
+            true,
+            c2s().seq(1001).ack(9001).flags(TcpFlags::PSH_ACK).payload(req).build(),
+        );
     }
     sim.run_to_quiescence(10_000);
 
@@ -84,7 +105,13 @@ fn probe(type1: bool, type2: bool, split: bool, seed: u64) -> (bool, usize, usiz
 pub fn run(args: &CommonArgs) -> String {
     let mut t = Table::new(
         "§2.1/§8 — device-type differentiation (whole vs split keyword request)",
-        &["Deployment", "Whole request", "Split request", "type-1 RSTs (split)", "type-2 RST/ACKs (split)"],
+        &[
+            "Deployment",
+            "Whole request",
+            "Split request",
+            "type-1 RSTs (split)",
+            "type-2 RST/ACKs (split)",
+        ],
     );
     for (label, type1, type2) in [
         ("type-1 only (CERNET days)", true, false),
@@ -124,7 +151,7 @@ mod tests {
 
     #[test]
     fn split_requests_draw_only_type2_resets() {
-        let out = run(&CommonArgs::from_iter(Vec::new()));
+        let out = run(&CommonArgs::parse_from(Vec::new()));
         let line = |p: &str| out.lines().find(|l| l.starts_with(p)).unwrap().to_string();
         let t1only = line("type-1 only");
         assert!(t1only.contains("DETECTED"), "{t1only}");

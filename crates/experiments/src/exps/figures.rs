@@ -58,10 +58,10 @@ fn sequence_of(kind: StrategyKind, seed: u64) -> String {
     for e in sim.trace.events() {
         // Show what the censor observes plus what INTANG emits.
         let (show, actor) = match &e.point {
-            intang_netsim::trace::TracePoint::Element { name, .. } if Some(*name) == gfw && e.kind == TraceKind::Arrive => {
-                (true, "GFW")
-            }
-            intang_netsim::trace::TracePoint::Element { name, .. } if Some(*name) == intang && e.kind == TraceKind::Emit && e.dir == Direction::ToServer => {
+            intang_netsim::trace::TracePoint::Element { name, .. } if Some(*name) == gfw && e.kind == TraceKind::Arrive => (true, "GFW"),
+            intang_netsim::trace::TracePoint::Element { name, .. }
+                if Some(*name) == intang && e.kind == TraceKind::Emit && e.dir == Direction::ToServer =>
+            {
                 (true, "INTANG")
             }
             intang_netsim::trace::TracePoint::Element { name, .. } if Some(*name) == server && e.kind == TraceKind::Emit => {
@@ -93,7 +93,7 @@ mod tests {
 
     #[test]
     fn figures_render_and_evade() {
-        let out = run(&CommonArgs::from_iter(Vec::new()));
+        let out = run(&CommonArgs::parse_from(Vec::new()));
         assert!(out.contains("Figure 3"));
         assert!(out.contains("Figure 4"));
         // Both simulated runs must evade: response received, no detections.

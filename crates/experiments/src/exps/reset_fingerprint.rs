@@ -54,7 +54,14 @@ fn run_fingerprint(seed: u64) -> FingerprintRun {
     let (d3, r3) = HttpClientDriver::new(site.addr, 80, HttpRequest::get("/clean.html", &site.name));
     let d3 = d3.starting_at(Instant(95_000_000));
     let multi = MultiDriver(vec![Box::new(d1), Box::new(d2), Box::new(d3)]);
-    let (_cidx, _ch) = add_host(&mut sim, "client", client_addr, StackProfile::linux_4_4(), Box::new(multi), Direction::ToServer);
+    let (_cidx, _ch) = add_host(
+        &mut sim,
+        "client",
+        client_addr,
+        StackProfile::linux_4_4(),
+        Box::new(multi),
+        Direction::ToServer,
+    );
     // HttpClientDriver has no periodic wakeup; kick the delayed fetches.
     sim.schedule_timer(0, Instant(10_000_000), 1);
     sim.schedule_timer(0, Instant(95_000_000), 1);
@@ -70,7 +77,14 @@ fn run_fingerprint(seed: u64) -> FingerprintRun {
     sim.add_element(Box::new(gfw));
 
     sim.add_link(Link::new(Duration::from_millis(10), 5));
-    let (_i, sh) = add_host(&mut sim, "server", site.addr, StackProfile::linux_4_4(), Box::new(HttpServerDriver::new(80)), Direction::ToClient);
+    let (_i, sh) = add_host(
+        &mut sim,
+        "server",
+        site.addr,
+        StackProfile::linux_4_4(),
+        Box::new(HttpServerDriver::new(80)),
+        Direction::ToClient,
+    );
     sh.with_tcp(|t| t.listen(80));
 
     sim.run_until(Instant(110_000_000));
@@ -132,7 +146,7 @@ mod tests {
 
     #[test]
     fn fingerprints_match_section_2_1() {
-        let out = run(&CommonArgs::from_iter(Vec::new()));
+        let out = run(&CommonArgs::parse_from(Vec::new()));
         assert!(out.contains("[0, 1460, 4380]"), "{out}");
         assert!(out.contains("cyclically increasing: true"), "{out}");
         assert!(out.contains("succeeded: true"), "{out}");

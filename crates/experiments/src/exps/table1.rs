@@ -3,8 +3,9 @@
 
 use crate::args::CommonArgs;
 use crate::report::{pct, Table};
-use crate::runner::{overall, sweep, SweepConfig};
+use crate::runner::{overall, sweep_with_threads, worker_count, SweepConfig};
 use crate::scenario::Scenario;
+use crate::telemetry::TelemetrySink;
 use intang_core::{Discrepancy, StrategyKind};
 
 /// (label, strategy, paper's w/-keyword Success/F1/F2, paper's w/o-keyword
@@ -14,25 +15,99 @@ pub fn rows() -> Vec<(&'static str, StrategyKind, [f64; 3], [f64; 2])> {
     use StrategyKind::*;
     vec![
         ("No Strategy", NoStrategy, [0.028, 0.004, 0.968], [0.989, 0.011]),
-        ("TCB creation SYN / TTL", TcbCreationSyn(SmallTtl), [0.069, 0.042, 0.889], [0.953, 0.047]),
-        ("TCB creation SYN / bad checksum", TcbCreationSyn(BadChecksum), [0.062, 0.051, 0.887], [0.935, 0.065]),
-        ("Reassembly OOO / IP fragments", OutOfOrderIpFrag, [0.016, 0.548, 0.436], [0.451, 0.549]),
-        ("Reassembly OOO / TCP segments", OutOfOrderTcpSeg, [0.308, 0.065, 0.626], [0.928, 0.072]),
-        ("Reassembly in-order / TTL", InOrderOverlap(SmallTtl), [0.906, 0.057, 0.037], [0.951, 0.049]),
-        ("Reassembly in-order / bad ACK", InOrderOverlap(BadAck), [0.831, 0.075, 0.095], [0.935, 0.065]),
-        ("Reassembly in-order / bad checksum", InOrderOverlap(BadChecksum), [0.872, 0.019, 0.108], [0.984, 0.016]),
-        ("Reassembly in-order / no TCP flag", InOrderOverlap(NoFlag), [0.483, 0.033, 0.484], [0.971, 0.029]),
-        ("TCB teardown RST / TTL", TeardownRst(SmallTtl), [0.732, 0.032, 0.236], [0.947, 0.053]),
-        ("TCB teardown RST / bad checksum", TeardownRst(BadChecksum), [0.631, 0.076, 0.293], [0.895, 0.105]),
-        ("TCB teardown RST-ACK / TTL", TeardownRstAck(SmallTtl), [0.731, 0.032, 0.237], [0.971, 0.029]),
-        ("TCB teardown RST-ACK / bad checksum", TeardownRstAck(BadChecksum), [0.689, 0.019, 0.292], [0.982, 0.018]),
-        ("TCB teardown FIN / TTL", TeardownFin(SmallTtl), [0.111, 0.010, 0.879], [0.994, 0.006]),
-        ("TCB teardown FIN / bad checksum", TeardownFin(BadChecksum), [0.084, 0.008, 0.907], [0.990, 0.010]),
+        (
+            "TCB creation SYN / TTL",
+            TcbCreationSyn(SmallTtl),
+            [0.069, 0.042, 0.889],
+            [0.953, 0.047],
+        ),
+        (
+            "TCB creation SYN / bad checksum",
+            TcbCreationSyn(BadChecksum),
+            [0.062, 0.051, 0.887],
+            [0.935, 0.065],
+        ),
+        (
+            "Reassembly OOO / IP fragments",
+            OutOfOrderIpFrag,
+            [0.016, 0.548, 0.436],
+            [0.451, 0.549],
+        ),
+        (
+            "Reassembly OOO / TCP segments",
+            OutOfOrderTcpSeg,
+            [0.308, 0.065, 0.626],
+            [0.928, 0.072],
+        ),
+        (
+            "Reassembly in-order / TTL",
+            InOrderOverlap(SmallTtl),
+            [0.906, 0.057, 0.037],
+            [0.951, 0.049],
+        ),
+        (
+            "Reassembly in-order / bad ACK",
+            InOrderOverlap(BadAck),
+            [0.831, 0.075, 0.095],
+            [0.935, 0.065],
+        ),
+        (
+            "Reassembly in-order / bad checksum",
+            InOrderOverlap(BadChecksum),
+            [0.872, 0.019, 0.108],
+            [0.984, 0.016],
+        ),
+        (
+            "Reassembly in-order / no TCP flag",
+            InOrderOverlap(NoFlag),
+            [0.483, 0.033, 0.484],
+            [0.971, 0.029],
+        ),
+        (
+            "TCB teardown RST / TTL",
+            TeardownRst(SmallTtl),
+            [0.732, 0.032, 0.236],
+            [0.947, 0.053],
+        ),
+        (
+            "TCB teardown RST / bad checksum",
+            TeardownRst(BadChecksum),
+            [0.631, 0.076, 0.293],
+            [0.895, 0.105],
+        ),
+        (
+            "TCB teardown RST-ACK / TTL",
+            TeardownRstAck(SmallTtl),
+            [0.731, 0.032, 0.237],
+            [0.971, 0.029],
+        ),
+        (
+            "TCB teardown RST-ACK / bad checksum",
+            TeardownRstAck(BadChecksum),
+            [0.689, 0.019, 0.292],
+            [0.982, 0.018],
+        ),
+        (
+            "TCB teardown FIN / TTL",
+            TeardownFin(SmallTtl),
+            [0.111, 0.010, 0.879],
+            [0.994, 0.006],
+        ),
+        (
+            "TCB teardown FIN / bad checksum",
+            TeardownFin(BadChecksum),
+            [0.084, 0.008, 0.907],
+            [0.990, 0.010],
+        ),
     ]
 }
 
 pub fn run(args: &CommonArgs) -> String {
-    let scenario = if args.quick { Scenario::smoke(args.seed) } else { Scenario::paper_inside(args.seed) };
+    let scenario = if args.quick {
+        Scenario::smoke(args.seed)
+    } else {
+        Scenario::paper_inside(args.seed)
+    };
     let trials = args.trials_or(8);
     let mut t = Table::new(
         &format!(
@@ -41,11 +116,28 @@ pub fn run(args: &CommonArgs) -> String {
             scenario.websites.len(),
             trials
         ),
-        &["Strategy", "Success", "Failure 1", "Failure 2", "Success w/o kw", "Failure 1 w/o kw"],
+        &[
+            "Strategy",
+            "Success",
+            "Failure 1",
+            "Failure 2",
+            "Success w/o kw",
+            "Failure 1 w/o kw",
+        ],
     );
+    let mut sink = TelemetrySink::from_args(args);
+    let workers = worker_count();
     for (label, kind, paper_kw, paper_nokw) in rows() {
-        let kw = overall(&sweep(&scenario, &SweepConfig::new(Some(kind), true, trials, args.seed)));
-        let nk = overall(&sweep(&scenario, &SweepConfig::new(Some(kind), false, trials, args.seed ^ 0x5a5a)));
+        let kw_run = sweep_with_threads(&scenario, &SweepConfig::new(Some(kind), true, trials, args.seed), workers);
+        let nk_run = sweep_with_threads(&scenario, &SweepConfig::new(Some(kind), false, trials, args.seed ^ 0x5a5a), workers);
+        if let Some(s) = sink.as_mut() {
+            s.record_sweep("table1", &format!("{label} (keyword)"), &kw_run)
+                .expect("telemetry write");
+            s.record_sweep("table1", &format!("{label} (no keyword)"), &nk_run)
+                .expect("telemetry write");
+        }
+        let kw = overall(&kw_run.rows);
+        let nk = overall(&nk_run.rows);
         t.row(vec![
             label.to_string(),
             format!("{} ({})", pct(kw.success_rate()), pct(paper_kw[0])),

@@ -5,7 +5,7 @@
 use crate::args::CommonArgs;
 use crate::report::Table;
 use crate::tap::RecorderTap;
-use intang_middlebox::{FieldFilter, FragmentHandler, ClientSideProfile};
+use intang_middlebox::{ClientSideProfile, FieldFilter, FragmentHandler};
 use intang_netsim::element::PassThrough;
 use intang_netsim::{Direction, Duration, Instant, Link, Simulation};
 use intang_packet::{frag, Ipv4Packet, PacketBuilder, TcpFlags, Wire};
@@ -22,7 +22,13 @@ pub enum ProbeKind {
 
 impl ProbeKind {
     pub fn all() -> [ProbeKind; 5] {
-        [ProbeKind::IpFragments, ProbeKind::WrongChecksum, ProbeKind::NoFlag, ProbeKind::Rst, ProbeKind::Fin]
+        [
+            ProbeKind::IpFragments,
+            ProbeKind::WrongChecksum,
+            ProbeKind::NoFlag,
+            ProbeKind::Rst,
+            ProbeKind::Fin,
+        ]
     }
 
     pub fn label(self) -> &'static str {

@@ -5,8 +5,8 @@ use crate::args::CommonArgs;
 use crate::report::Table;
 use intang_gfw::GfwConfig;
 use intang_ignorepath::confirm::observe_disposition;
-use intang_ignorepath::disposition::server_disposition;
 use intang_ignorepath::derive_table3;
+use intang_ignorepath::disposition::server_disposition;
 use intang_tcpstack::StackProfile;
 
 pub fn run(_args: &CommonArgs) -> String {
@@ -16,7 +16,15 @@ pub fn run(_args: &CommonArgs) -> String {
 
     let mut t = Table::new(
         "Table 3 — discrepancies between GFW and server (Linux 4.4) on ignoring packets",
-        &["TCP State", "GFW State", "TCP Flags", "Condition", "Confirmed", "Middlebox-dropped-by", "Old-kernel caveats"],
+        &[
+            "TCP State",
+            "GFW State",
+            "TCP Flags",
+            "Condition",
+            "Confirmed",
+            "Middlebox-dropped-by",
+            "Old-kernel caveats",
+        ],
     );
     for f in &findings {
         let row = f.render_row();
@@ -32,8 +40,16 @@ pub fn run(_args: &CommonArgs) -> String {
             row[2].clone(),
             row[3].clone(),
             if confirmed { "yes".into() } else { "NO".into() },
-            if f.dropped_by.is_empty() { "-".into() } else { f.dropped_by.join(",") },
-            if f.version_caveats.is_empty() { "-".into() } else { f.version_caveats.join("; ") },
+            if f.dropped_by.is_empty() {
+                "-".into()
+            } else {
+                f.dropped_by.join(",")
+            },
+            if f.version_caveats.is_empty() {
+                "-".into()
+            } else {
+                f.version_caveats.join("; ")
+            },
         ]);
     }
 
@@ -41,7 +57,11 @@ pub fn run(_args: &CommonArgs) -> String {
     out.push_str("\nCross-validation sweep (server versions x candidate classes):\n");
     for profile in StackProfile::all() {
         let n = derive_table3(&profile, &censor).len();
-        out.push_str(&format!("  {:<14} -> {} usable insertion-packet classes\n", profile.version.to_string(), n));
+        out.push_str(&format!(
+            "  {:<14} -> {} usable insertion-packet classes\n",
+            profile.version.to_string(),
+            n
+        ));
     }
     out
 }
@@ -52,7 +72,7 @@ mod tests {
 
     #[test]
     fn every_row_confirms_against_the_executable_stack() {
-        let out = run(&CommonArgs::from_iter(Vec::new()));
+        let out = run(&CommonArgs::parse_from(Vec::new()));
         assert!(!out.contains("NO"), "all findings must confirm:\n{out}");
         assert!(out.contains("unsolicited MD5"));
         assert!(out.contains("Timestamps too old"));
@@ -60,7 +80,7 @@ mod tests {
 
     #[test]
     fn first_rows_cover_any_state() {
-        let out = run(&CommonArgs::from_iter(Vec::new()));
+        let out = run(&CommonArgs::parse_from(Vec::new()));
         assert!(out.contains("IP total length > actual length"));
         assert!(out.contains("TCP Header Length < 20"));
         assert!(out.contains("TCP checksum incorrect"));

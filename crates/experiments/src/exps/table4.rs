@@ -4,15 +4,23 @@
 
 use crate::args::CommonArgs;
 use crate::report::{pct, Table};
-use crate::runner::{min_max_avg, sweep, Aggregate, SweepConfig};
+use crate::runner::{min_max_avg, sweep_with_threads, worker_count, Aggregate, SweepConfig};
 use crate::scenario::Scenario;
+use crate::telemetry::TelemetrySink;
 use intang_core::StrategyKind;
 
 /// (label, strategy or None=adaptive, paper's inside avg S/F1/F2,
 /// paper's outside avg S/F1/F2 or None for the INTANG row).
-pub fn rows() -> Vec<(&'static str, Option<StrategyKind>, [f64; 3], Option<[f64; 3]>)> {
+pub type Table4Row = (&'static str, Option<StrategyKind>, [f64; 3], Option<[f64; 3]>);
+
+pub fn rows() -> Vec<Table4Row> {
     vec![
-        ("Improved TCB Teardown", Some(StrategyKind::ImprovedTeardown), [0.958, 0.031, 0.011], Some([0.898, 0.068, 0.035])),
+        (
+            "Improved TCB Teardown",
+            Some(StrategyKind::ImprovedTeardown),
+            [0.958, 0.031, 0.011],
+            Some([0.898, 0.068, 0.035]),
+        ),
         (
             "Improved In-order Data Overlapping",
             Some(StrategyKind::ImprovedInOrderOverlap),
@@ -35,20 +43,41 @@ pub fn rows() -> Vec<(&'static str, Option<StrategyKind>, [f64; 3], Option<[f64;
     ]
 }
 
-fn render_block(out: &mut String, title: &str, scenario: &Scenario, trials: u32, seed: u64, outside: bool) {
+fn render_block(
+    out: &mut String,
+    sink: &mut Option<TelemetrySink>,
+    title: &str,
+    scenario: &Scenario,
+    trials: u32,
+    seed: u64,
+    outside: bool,
+) {
     let mut t = Table::new(
-        &format!("{title} — {} vp x {} sites x {} trials (paper avg in parentheses)", scenario.vantage_points.len(), scenario.websites.len(), trials),
+        &format!(
+            "{title} — {} vp x {} sites x {} trials (paper avg in parentheses)",
+            scenario.vantage_points.len(),
+            scenario.websites.len(),
+            trials
+        ),
         &["Strategy", "Success min", "Success max", "Success avg", "F1 avg", "F2 avg"],
     );
+    let workers = worker_count();
+    let mut empty_cells = 0usize;
     for (label, kind, paper_inside, paper_outside) in rows() {
         if outside && paper_outside.is_none() {
             continue; // the paper reports the INTANG row inside China only
         }
         let paper = if outside { paper_outside.unwrap() } else { paper_inside };
-        let rows = sweep(scenario, &SweepConfig::new(kind, true, trials, seed));
+        let run = sweep_with_threads(scenario, &SweepConfig::new(kind, true, trials, seed), workers);
+        if let Some(s) = sink.as_mut() {
+            s.record_sweep("table4", &format!("{title}: {label}"), &run)
+                .expect("telemetry write");
+        }
+        let rows = run.rows;
         let s = min_max_avg(&rows, Aggregate::success_rate);
         let f1 = min_max_avg(&rows, Aggregate::failure1_rate);
         let f2 = min_max_avg(&rows, Aggregate::failure2_rate);
+        empty_cells += s.empty;
         t.row(vec![
             label.to_string(),
             pct(s.min),
@@ -59,19 +88,38 @@ fn render_block(out: &mut String, title: &str, scenario: &Scenario, trials: u32,
         ]);
     }
     out.push_str(&t.render());
+    if empty_cells > 0 {
+        // Surfaced rather than silently folded into the averages above.
+        out.push_str(&format!(
+            "(!) {empty_cells} vantage-point row(s) had zero completed trials and were excluded\n"
+        ));
+    }
     out.push('\n');
 }
 
 pub fn run(args: &CommonArgs) -> String {
     let trials = args.trials_or(8);
     let mut out = String::new();
-    let inside = if args.quick { Scenario::smoke(args.seed) } else { Scenario::paper_inside(args.seed) };
-    render_block(&mut out, "Table 4 (inside China)", &inside, trials, args.seed, false);
+    let mut sink = TelemetrySink::from_args(args);
+    let inside = if args.quick {
+        Scenario::smoke(args.seed)
+    } else {
+        Scenario::paper_inside(args.seed)
+    };
+    render_block(&mut out, &mut sink, "Table 4 (inside China)", &inside, trials, args.seed, false);
     let mut outside = Scenario::paper_outside(args.seed);
     if args.quick {
         outside.vantage_points.truncate(2);
         outside.websites.truncate(5);
     }
-    render_block(&mut out, "Table 4 (outside China)", &outside, trials, args.seed ^ 0x77, true);
+    render_block(
+        &mut out,
+        &mut sink,
+        "Table 4 (outside China)",
+        &outside,
+        trials,
+        args.seed ^ 0x77,
+        true,
+    );
     out
 }

@@ -34,7 +34,13 @@ pub fn run_rows(trials: u32, seed: u64) -> Vec<Table6Row> {
                             let mut ok = 0u32;
                             for t in 0..trials {
                                 let s = seed ^ ((ri as u64) << 48) ^ ((vi as u64) << 32) ^ u64::from(t);
-                                let spec = DnsTrialSpec { vp, resolver, use_intang: true, seed: s, nat_prob };
+                                let spec = DnsTrialSpec {
+                                    vp,
+                                    resolver,
+                                    use_intang: true,
+                                    seed: s,
+                                    nat_prob,
+                                };
                                 if run_dns_trial(&spec) == DnsOutcome::Resolved {
                                     ok += 1;
                                 }
@@ -66,13 +72,20 @@ pub fn run(args: &CommonArgs) -> String {
     // Paper: Dyn1 98.6 / 92.7, Dyn2 99.6 / 93.1; Tianjin alone 38% and 24%.
     let paper = [(0.986, 0.927), (0.996, 0.931)];
     let mut t = Table::new(
-        &format!("Table 6 — TCP DNS evasion, {} queries of a censored domain per vantage point (paper in parentheses)", trials),
+        &format!(
+            "Table 6 — TCP DNS evasion, {} queries of a censored domain per vantage point (paper in parentheses)",
+            trials
+        ),
         &["DNS resolver", "IP", "except Tianjin", "All", "Tianjin alone"],
     );
     for (row, (p_ex, p_all)) in run_rows(trials, args.seed).into_iter().zip(paper) {
         t.row(vec![
             row.resolver_name.to_string(),
-            if row.resolver_name == "Dyn 1" { DYN1.to_string() } else { DYN2.to_string() },
+            if row.resolver_name == "Dyn 1" {
+                DYN1.to_string()
+            } else {
+                DYN2.to_string()
+            },
             format!("{} ({})", pct(row.success_except_tj), pct(p_ex)),
             format!("{} ({})", pct(row.success_all), pct(p_all)),
             pct(row.tj_success),
@@ -89,8 +102,18 @@ mod tests {
     fn shape_matches_paper() {
         let rows = run_rows(6, 321);
         for r in &rows {
-            assert!(r.success_except_tj > 0.9, "{}: non-Tianjin success {}", r.resolver_name, r.success_except_tj);
-            assert!(r.tj_success < 0.7, "{}: Tianjin is the outlier, got {}", r.resolver_name, r.tj_success);
+            assert!(
+                r.success_except_tj > 0.9,
+                "{}: non-Tianjin success {}",
+                r.resolver_name,
+                r.success_except_tj
+            );
+            assert!(
+                r.tj_success < 0.7,
+                "{}: Tianjin is the outlier, got {}",
+                r.resolver_name,
+                r.tj_success
+            );
             assert!(r.success_all < r.success_except_tj + 1e-9);
         }
     }

@@ -9,7 +9,10 @@ pub fn run(args: &CommonArgs) -> String {
     let trials = args.trials_or(5);
     let vps = VantagePoint::inside_china();
     let mut t = Table::new(
-        &format!("§7.3 Tor — {} sessions per cell (paper: 4 northern vantage points unfiltered; others probed+IP-blocked; INTANG rescues 100%)", trials),
+        &format!(
+            "§7.3 Tor — {} sessions per cell (paper: 4 northern vantage points unfiltered; others probed+IP-blocked; INTANG rescues 100%)",
+            trials
+        ),
         &["Vantage point", "City", "Tor-filtered path", "Plain Tor", "Tor + INTANG"],
     );
     let mut plain_blocked = 0;
@@ -20,13 +23,23 @@ pub fn run(args: &CommonArgs) -> String {
         let mut protected = (0, 0, 0);
         for tr in 0..trials {
             let seed = args.seed ^ ((vi as u64) << 32) ^ u64::from(tr);
-            let (o, _) = run_tor_trial(&TorTrialSpec { vp, use_intang: false, seed, cells: 3 });
+            let (o, _) = run_tor_trial(&TorTrialSpec {
+                vp,
+                use_intang: false,
+                seed,
+                cells: 3,
+            });
             match o {
                 TorOutcome::Working => plain.0 += 1,
                 TorOutcome::IpBlocked => plain.1 += 1,
                 TorOutcome::Disrupted => plain.2 += 1,
             }
-            let (o, _) = run_tor_trial(&TorTrialSpec { vp, use_intang: true, seed: seed ^ 0x99, cells: 3 });
+            let (o, _) = run_tor_trial(&TorTrialSpec {
+                vp,
+                use_intang: true,
+                seed: seed ^ 0x99,
+                cells: 3,
+            });
             match o {
                 TorOutcome::Working => protected.0 += 1,
                 TorOutcome::IpBlocked => protected.1 += 1,
@@ -63,12 +76,36 @@ pub fn run(args: &CommonArgs) -> String {
         VpnOutcome::ResetDuringHandshake => "RESET during handshake",
         VpnOutcome::Failed => "failed",
     };
-    let dpi_plain = run_vpn_trial(&VpnTrialSpec { vp, vpn_dpi: true, use_intang: false, seed: args.seed });
-    let dpi_prot = run_vpn_trial(&VpnTrialSpec { vp, vpn_dpi: true, use_intang: true, seed: args.seed ^ 1 });
+    let dpi_plain = run_vpn_trial(&VpnTrialSpec {
+        vp,
+        vpn_dpi: true,
+        use_intang: false,
+        seed: args.seed,
+    });
+    let dpi_prot = run_vpn_trial(&VpnTrialSpec {
+        vp,
+        vpn_dpi: true,
+        use_intang: true,
+        seed: args.seed ^ 1,
+    });
     tv.row(vec!["Nov 2016 (DPI resets on)".into(), lab(dpi_plain).into(), lab(dpi_prot).into()]);
-    let off_plain = run_vpn_trial(&VpnTrialSpec { vp, vpn_dpi: false, use_intang: false, seed: args.seed ^ 2 });
-    let off_prot = run_vpn_trial(&VpnTrialSpec { vp, vpn_dpi: false, use_intang: true, seed: args.seed ^ 3 });
-    tv.row(vec!["2017 replay (DPI resets off)".into(), lab(off_plain).into(), lab(off_prot).into()]);
+    let off_plain = run_vpn_trial(&VpnTrialSpec {
+        vp,
+        vpn_dpi: false,
+        use_intang: false,
+        seed: args.seed ^ 2,
+    });
+    let off_prot = run_vpn_trial(&VpnTrialSpec {
+        vp,
+        vpn_dpi: false,
+        use_intang: true,
+        seed: args.seed ^ 3,
+    });
+    tv.row(vec![
+        "2017 replay (DPI resets off)".into(),
+        lab(off_plain).into(),
+        lab(off_prot).into(),
+    ]);
     out.push('\n');
     out.push_str(&tv.render());
     out
@@ -80,7 +117,7 @@ mod tests {
 
     #[test]
     fn tor_geography_and_rescue_shape() {
-        let args = CommonArgs::from_iter(vec!["--trials".to_string(), "2".to_string()]);
+        let args = CommonArgs::parse_from(vec!["--trials".to_string(), "2".to_string()]);
         let out = run(&args);
         // Unfiltered northern points run plain Tor fine.
         for name in ["aliyun-bj", "aliyun-qd", "qcloud-bj", "qcloud-zjk"] {

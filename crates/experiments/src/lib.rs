@@ -12,7 +12,9 @@
 //!   Success / Failure 1 / Failure 2 taxonomy (§3.4);
 //! * [`runner`] — repeated-trial sweeps with per-strategy aggregation and
 //!   min/max/avg across vantage points (Table 4's presentation);
-//! * [`report`] — text/markdown table rendering.
+//! * [`report`] — text/markdown table rendering;
+//! * [`telemetry`] — JSONL export (`--telemetry` / `INTANG_TELEMETRY`) of
+//!   each sweep's merged metrics sheet and per-trial §5 failure diagnoses.
 //!
 //! The binaries (`table1` … `table6`, `hypotheses`, `figures`, `tor_vpn`,
 //! `reset_fingerprint`, `all`) regenerate each artifact.
@@ -22,6 +24,7 @@ pub mod report;
 pub mod runner;
 pub mod scenario;
 pub mod tap;
+pub mod telemetry;
 pub mod trial;
 pub mod trial_dns;
 pub mod trial_tor;

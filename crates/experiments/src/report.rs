@@ -10,7 +10,11 @@ pub struct Table {
 
 impl Table {
     pub fn new(title: &str, header: &[&str]) -> Table {
-        Table { title: title.to_string(), header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        Table {
+            title: title.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     pub fn row(&mut self, cells: Vec<String>) -> &mut Self {

@@ -12,6 +12,7 @@ use crate::scenario::{Scenario, VantagePoint, Website};
 use crate::trial::{run_http_trial, Outcome, TrialSpec};
 use intang_core::select::History;
 use intang_core::StrategyKind;
+use intang_telemetry::{FailureVector, MetricsSheet};
 use std::cell::RefCell;
 use std::rc::Rc;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -71,7 +72,14 @@ pub struct SweepConfig {
 
 impl SweepConfig {
     pub fn new(strategy: Option<StrategyKind>, keyword: bool, trials: u32, master_seed: u64) -> SweepConfig {
-        SweepConfig { strategy, keyword, trials, redundancy: 3, master_seed, route_change_prob: 0.12 }
+        SweepConfig {
+            strategy,
+            keyword,
+            trials,
+            redundancy: 3,
+            master_seed,
+            route_change_prob: 0.12,
+        }
     }
 }
 
@@ -87,6 +95,31 @@ fn trial_seed(master: u64, vp_idx: usize, site_idx: usize, trial: u32, keyword: 
     z ^ (z >> 31)
 }
 
+/// One failed trial's identity and its §5 classification — the payload of
+/// a JSONL `diagnosis` record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrialDiagnosis {
+    pub vp: String,
+    pub site: String,
+    /// Trial index within its cell.
+    pub trial: u32,
+    pub seed: u64,
+    pub outcome: Outcome,
+    pub vector: FailureVector,
+    pub resets_seen: u64,
+}
+
+/// Everything one (vantage point, site) cell produces: outcome counts,
+/// events processed, the merged metrics sheet, and one diagnosis per
+/// failed trial (in trial order).
+#[derive(Debug, Clone)]
+pub struct CellRun {
+    pub agg: Aggregate,
+    pub events: u64,
+    pub metrics: MetricsSheet,
+    pub diagnoses: Vec<TrialDiagnosis>,
+}
+
 /// Run `cfg.trials` trials of one (vantage point, site) cell.
 pub fn run_cell(vp: &VantagePoint, vp_idx: usize, site: &Website, site_idx: usize, cfg: &SweepConfig) -> Aggregate {
     run_cell_counted(vp, vp_idx, site, site_idx, cfg).0
@@ -94,28 +127,53 @@ pub fn run_cell(vp: &VantagePoint, vp_idx: usize, site: &Website, site_idx: usiz
 
 /// As [`run_cell`], additionally returning the simulation events processed
 /// (the sweep executor's throughput metric).
-pub fn run_cell_counted(
-    vp: &VantagePoint,
-    vp_idx: usize,
-    site: &Website,
-    site_idx: usize,
-    cfg: &SweepConfig,
-) -> (Aggregate, u64) {
+pub fn run_cell_counted(vp: &VantagePoint, vp_idx: usize, site: &Website, site_idx: usize, cfg: &SweepConfig) -> (Aggregate, u64) {
+    let cell = run_cell_telemetry(vp, vp_idx, site, site_idx, cfg);
+    (cell.agg, cell.events)
+}
+
+/// As [`run_cell_counted`] with the full telemetry: the cell's merged
+/// [`MetricsSheet`] and a [`TrialDiagnosis`] for every unsuccessful trial.
+pub fn run_cell_telemetry(vp: &VantagePoint, vp_idx: usize, site: &Website, site_idx: usize, cfg: &SweepConfig) -> CellRun {
     let mut agg = Aggregate::default();
     let mut events = 0u64;
+    let mut metrics = MetricsSheet::new();
+    let mut diagnoses = Vec::new();
     // Adaptive mode: one history per (vantage point, site), shared across
     // the repeated trials — this is how INTANG converges (§6).
-    let history = if cfg.strategy.is_none() { Some(Rc::new(RefCell::new(History::new()))) } else { None };
+    let history = if cfg.strategy.is_none() {
+        Some(Rc::new(RefCell::new(History::new())))
+    } else {
+        None
+    };
     for t in 0..cfg.trials {
-        let mut spec = TrialSpec::new(vp, site, cfg.strategy, cfg.keyword, trial_seed(cfg.master_seed, vp_idx, site_idx, t, cfg.keyword));
+        let seed = trial_seed(cfg.master_seed, vp_idx, site_idx, t, cfg.keyword);
+        let mut spec = TrialSpec::new(vp, site, cfg.strategy, cfg.keyword, seed);
         spec.redundancy = cfg.redundancy;
         spec.history = history.clone();
         spec.route_change_prob = cfg.route_change_prob;
         let r = run_http_trial(&spec);
         agg.add(r.outcome);
         events += r.events;
+        metrics.merge(&r.metrics);
+        if let Some(vector) = r.failure_vector {
+            diagnoses.push(TrialDiagnosis {
+                vp: vp.name.to_string(),
+                site: site.name.to_string(),
+                trial: t,
+                seed,
+                outcome: r.outcome,
+                vector,
+                resets_seen: r.resets_seen,
+            });
+        }
     }
-    (agg, events)
+    CellRun {
+        agg,
+        events,
+        metrics,
+        diagnoses,
+    }
 }
 
 /// Worker count for [`sweep`]: the `INTANG_THREADS` environment variable
@@ -137,6 +195,12 @@ pub struct SweepRun {
     pub trials: u64,
     /// Total simulation events processed.
     pub events: u64,
+    /// All cells' metrics merged in cell-index order (byte-identical at
+    /// any worker count, like `rows`).
+    pub metrics: MetricsSheet,
+    /// One §5 diagnosis per unsuccessful trial, in cell-index then trial
+    /// order.
+    pub diagnoses: Vec<TrialDiagnosis>,
 }
 
 /// Per-vantage-point aggregates over all sites.
@@ -162,54 +226,65 @@ pub fn sweep_with_threads(scenario: &Scenario, cfg: &SweepConfig, workers: usize
     let cursor = AtomicUsize::new(0);
     let workers = workers.max(1).min(n_cells.max(1));
 
-    let mut cells: Vec<Option<(Aggregate, u64)>> = vec![None; n_cells];
+    let mut cells: Vec<Option<CellRun>> = vec![None; n_cells];
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 let cursor = &cursor;
                 let cfg = &*cfg;
                 scope.spawn(move || {
-                    let mut done: Vec<(usize, Aggregate, u64)> = Vec::new();
+                    let mut done: Vec<(usize, CellRun)> = Vec::new();
                     loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         if i >= n_cells {
                             break;
                         }
                         let (vp_idx, site_idx) = (i / n_sites, i % n_sites);
-                        let (agg, events) = run_cell_counted(
+                        let cell = run_cell_telemetry(
                             &scenario.vantage_points[vp_idx],
                             vp_idx,
                             &scenario.websites[site_idx],
                             site_idx,
                             cfg,
                         );
-                        done.push((i, agg, events));
+                        done.push((i, cell));
                     }
                     done
                 })
             })
             .collect();
         for h in handles {
-            for (i, agg, events) in h.join().expect("sweep worker panicked") {
-                cells[i] = Some((agg, events));
+            for (i, cell) in h.join().expect("sweep worker panicked") {
+                cells[i] = Some(cell);
             }
         }
     });
 
-    // Deterministic merge: fold cells in index order into per-VP rows.
+    // Deterministic merge: fold cells in index order into per-VP rows,
+    // one merged metrics sheet, and the flat diagnosis list.
     let mut rows: Vec<(String, Aggregate)> = scenario
         .vantage_points
         .iter()
         .map(|vp| (vp.name.to_string(), Aggregate::default()))
         .collect();
     let mut events = 0u64;
+    let mut metrics = MetricsSheet::new();
+    let mut diagnoses = Vec::new();
     for (i, cell) in cells.into_iter().enumerate() {
-        let (agg, ev) = cell.expect("all cells claimed");
-        rows[i / n_sites.max(1)].1.merge(agg);
-        events += ev;
+        let cell = cell.expect("all cells claimed");
+        rows[i / n_sites.max(1)].1.merge(cell.agg);
+        events += cell.events;
+        metrics.merge(&cell.metrics);
+        diagnoses.extend(cell.diagnoses);
     }
     let trials = n_cells as u64 * u64::from(cfg.trials);
-    SweepRun { rows, trials, events }
+    SweepRun {
+        rows,
+        trials,
+        events,
+        metrics,
+        diagnoses,
+    }
 }
 
 /// Collapse per-vantage-point aggregates into one row.
@@ -228,19 +303,30 @@ pub struct MinMaxAvg {
     pub min: f64,
     pub max: f64,
     pub avg: f64,
+    /// Rows with zero completed trials, excluded from the statistics.
+    /// A rate over an empty row is undefined — `Aggregate` clamps it to
+    /// 0.0, which would silently drag every average down — so such rows
+    /// are surfaced here instead of being folded in.
+    pub empty: usize,
 }
 
 pub fn min_max_avg(rows: &[(String, Aggregate)], f: impl Fn(&Aggregate) -> f64) -> MinMaxAvg {
-    if rows.is_empty() {
-        // No rows means no rates; report zeros rather than the fold
-        // identities (inf/-inf), which would poison downstream tables.
-        return MinMaxAvg { min: 0.0, max: 0.0, avg: 0.0 };
+    let empty = rows.iter().filter(|(_, a)| a.total() == 0).count();
+    let vals: Vec<f64> = rows.iter().filter(|(_, a)| a.total() > 0).map(|(_, a)| f(a)).collect();
+    if vals.is_empty() {
+        // No populated rows means no rates; report zeros rather than the
+        // fold identities (inf/-inf), which would poison downstream tables.
+        return MinMaxAvg {
+            min: 0.0,
+            max: 0.0,
+            avg: 0.0,
+            empty,
+        };
     }
-    let vals: Vec<f64> = rows.iter().map(|(_, a)| f(a)).collect();
     let min = vals.iter().copied().fold(f64::INFINITY, f64::min);
     let max = vals.iter().copied().fold(f64::NEG_INFINITY, f64::max);
     let avg = vals.iter().sum::<f64>() / vals.len() as f64;
-    MinMaxAvg { min, max, avg }
+    MinMaxAvg { min, max, avg, empty }
 }
 
 #[cfg(test)]
@@ -284,13 +370,62 @@ mod tests {
         assert_eq!(m.min, 0.0);
         assert_eq!(m.max, 0.0);
         assert_eq!(m.avg, 0.0);
+        assert_eq!(m.empty, 0);
+    }
+
+    #[test]
+    fn min_max_avg_surfaces_zero_trial_rows_instead_of_averaging_them() {
+        let rows = vec![
+            (
+                "a".to_string(),
+                Aggregate {
+                    success: 4,
+                    failure1: 0,
+                    failure2: 0,
+                },
+            ),
+            ("empty".to_string(), Aggregate::default()),
+            (
+                "b".to_string(),
+                Aggregate {
+                    success: 1,
+                    failure1: 1,
+                    failure2: 0,
+                },
+            ),
+        ];
+        let m = min_max_avg(&rows, Aggregate::success_rate);
+        // The empty row must not drag min/avg toward its clamped 0.0 rate.
+        assert_eq!(m.empty, 1);
+        assert!((m.min - 0.5).abs() < 1e-9);
+        assert!((m.max - 1.0).abs() < 1e-9);
+        assert!((m.avg - 0.75).abs() < 1e-9);
+
+        let all_empty = vec![("x".to_string(), Aggregate::default())];
+        let m = min_max_avg(&all_empty, Aggregate::success_rate);
+        assert_eq!(m.empty, 1);
+        assert_eq!(m.avg, 0.0);
     }
 
     #[test]
     fn min_max_avg_works() {
         let rows = vec![
-            ("a".to_string(), Aggregate { success: 9, failure1: 1, failure2: 0 }),
-            ("b".to_string(), Aggregate { success: 5, failure1: 5, failure2: 0 }),
+            (
+                "a".to_string(),
+                Aggregate {
+                    success: 9,
+                    failure1: 1,
+                    failure2: 0,
+                },
+            ),
+            (
+                "b".to_string(),
+                Aggregate {
+                    success: 5,
+                    failure1: 5,
+                    failure2: 0,
+                },
+            ),
         ];
         let m = min_max_avg(&rows, Aggregate::success_rate);
         assert!((m.min - 0.5).abs() < 1e-9);

@@ -104,7 +104,12 @@ pub struct CensorHardening {
 
 impl CensorHardening {
     pub fn all() -> CensorHardening {
-        CensorHardening { validate_checksum: true, check_md5: true, check_ack: true, check_timestamp: true }
+        CensorHardening {
+            validate_checksum: true,
+            check_md5: true,
+            check_ack: true,
+            check_timestamp: true,
+        }
     }
 }
 
@@ -234,7 +239,11 @@ pub fn generate_websites(count: usize, master_seed: u64, inbound: bool) -> Vec<W
                 addr: Ipv4Addr::new(93, 184, (i / 200) as u8 + 1, (i % 200) as u8 + 1),
                 alexa_rank: 41 + (i as u32) * 27 % 2050,
                 server_profile,
-                server_ip_overlap: if rng.chance(0.8) { OverlapPolicy::LastWins } else { OverlapPolicy::FirstWins },
+                server_ip_overlap: if rng.chance(0.8) {
+                    OverlapPolicy::LastWins
+                } else {
+                    OverlapPolicy::FirstWins
+                },
                 old_device,
                 evolved_device,
                 gfw_seg_overlap,

@@ -28,7 +28,13 @@ pub struct TapHandle {
 impl RecorderTap {
     pub fn new(label: &str) -> (RecorderTap, TapHandle) {
         let log = Rc::new(RefCell::new(Vec::new()));
-        (RecorderTap { label: label.to_string(), log: log.clone() }, TapHandle { log })
+        (
+            RecorderTap {
+                label: label.to_string(),
+                log: log.clone(),
+            },
+            TapHandle { log },
+        )
     }
 }
 
@@ -66,7 +72,11 @@ impl Element for RecorderTap {
     }
 
     fn on_packet(&mut self, ctx: &mut Ctx<'_>, dir: Direction, wire: Wire) {
-        self.log.borrow_mut().push(Captured { at: ctx.now, dir, wire: wire.clone() });
+        self.log.borrow_mut().push(Captured {
+            at: ctx.now,
+            dir,
+            wire: wire.clone(),
+        });
         ctx.send(dir, wire);
     }
 }
@@ -86,13 +96,7 @@ mod tests {
         sim.add_element(Box::new(tap));
         sim.add_link(Link::new(Duration::from_millis(1), 0));
         sim.add_element(Box::new(PassThrough::new("b")));
-        let pkt = intang_packet::PacketBuilder::tcp(
-            std::net::Ipv4Addr::new(1, 1, 1, 1),
-            std::net::Ipv4Addr::new(2, 2, 2, 2),
-            1,
-            2,
-        )
-        .build();
+        let pkt = intang_packet::PacketBuilder::tcp(std::net::Ipv4Addr::new(1, 1, 1, 1), std::net::Ipv4Addr::new(2, 2, 2, 2), 1, 2).build();
         sim.inject_at(0, Direction::ToServer, pkt.clone(), Instant::ZERO);
         sim.inject_at(2, Direction::ToClient, pkt, Instant(10));
         sim.run_to_quiescence(50);

@@ -10,6 +10,8 @@ use intang_gfw::{GfwElement, GfwHandle};
 use intang_middlebox::{FieldFilter, FilterSpec, FragmentHandler, SeqStrictFirewall, StatefulFirewall};
 use intang_netsim::{Direction, Duration, Instant, Link, Simulation};
 use intang_packet::http::HttpRequest;
+use intang_telemetry::metrics::{ADAPTIVE_SLOT, OUTCOME_FAILURE1, OUTCOME_FAILURE2, OUTCOME_SUCCESS};
+use intang_telemetry::{Counter, FailureVector, HistId, MetricsSheet, TrialEvidence, TrialOutcome};
 use std::cell::RefCell;
 use std::net::Ipv4Addr;
 use std::rc::Rc;
@@ -23,6 +25,18 @@ pub enum Outcome {
     Failure1,
     /// Reset packets received (type-1 or type-2).
     Failure2,
+}
+
+impl Outcome {
+    /// Telemetry view of the taxonomy ([`intang_telemetry`] keeps its own
+    /// enum so the crate stays dependency-free).
+    pub fn telemetry(self) -> TrialOutcome {
+        match self {
+            Outcome::Success => TrialOutcome::Success,
+            Outcome::Failure1 => TrialOutcome::SilentFailure,
+            Outcome::Failure2 => TrialOutcome::ResetFailure,
+        }
+    }
 }
 
 /// Everything defining one trial.
@@ -72,6 +86,11 @@ pub struct TrialResult {
     pub strategy_used: Option<StrategyKind>,
     /// Simulation events processed during the trial (throughput metric).
     pub events: u64,
+    /// Metrics exported from every element on the path after the run,
+    /// plus the trial-outcome instruments.
+    pub metrics: MetricsSheet,
+    /// §5 failure vector for unsuccessful trials (`None` on success).
+    pub failure_vector: Option<FailureVector>,
 }
 
 /// Assemble and run one HTTP fetch through the full path.
@@ -104,7 +123,14 @@ pub fn build_http_sim(spec: &TrialSpec<'_>) -> (Simulation, TrialParts) {
     let (client_driver, report) = HttpClientDriver::new(site.addr, 80, request);
 
     // [0] client host.
-    add_host(&mut sim, "client", vp.addr, intang_tcpstack::StackProfile::linux_4_4(), Box::new(client_driver), Direction::ToServer);
+    add_host(
+        &mut sim,
+        "client",
+        vp.addr,
+        intang_tcpstack::StackProfile::linux_4_4(),
+        Box::new(client_driver),
+        Direction::ToServer,
+    );
 
     // [1] INTANG shim, directly on the client machine.
     sim.add_link(Link::new(Duration::from_micros(50), 0));
@@ -136,11 +162,16 @@ pub fn build_http_sim(spec: &TrialSpec<'_>) -> (Simulation, TrialParts) {
 
     // Unattributed mid-path filter (no-flag droppers, §3.4 calibration).
     let core_link = sim.link_count();
-    sim.add_link(Link::new(Duration::from_millis(site.latency_ms / 2), site.core_hops)
-        .with_loss(site.loss)
-        .with_router_base(Ipv4Addr::new(172, 16, 2, 0)));
+    sim.add_link(
+        Link::new(Duration::from_millis(site.latency_ms / 2), site.core_hops)
+            .with_loss(site.loss)
+            .with_router_base(Ipv4Addr::new(172, 16, 2, 0)),
+    );
     let midpath_spec = if site.path_drops_noflag {
-        FilterSpec { drop_no_flag: 1.0, ..FilterSpec::default() }
+        FilterSpec {
+            drop_no_flag: 1.0,
+            ..FilterSpec::default()
+        }
     } else {
         FilterSpec::passes_everything()
     };
@@ -204,12 +235,26 @@ pub fn build_http_sim(spec: &TrialSpec<'_>) -> (Simulation, TrialParts) {
     } else {
         HttpServerDriver::new(80)
     };
-    let (_sidx, shandle) = add_host(&mut sim, "server", site.addr, site.server_profile, Box::new(server_driver), Direction::ToClient);
+    let (_sidx, shandle) = add_host(
+        &mut sim,
+        "server",
+        site.addr,
+        site.server_profile,
+        Box::new(server_driver),
+        Direction::ToClient,
+    );
     shandle.with_tcp(|t| t.listen(80));
     shandle.with_tcp(|t| t.set_ip_overlap(site.server_ip_overlap));
     listen(&shandle, 80);
 
-    let parts = TrialParts { report, intang, gfw_handles, server_addr: site.addr, last_link, core_link };
+    let parts = TrialParts {
+        report,
+        intang,
+        gfw_handles,
+        server_addr: site.addr,
+        last_link,
+        core_link,
+    };
     (sim, parts)
 }
 
@@ -232,15 +277,20 @@ fn finish_http_trial(mut sim: Simulation, parts: TrialParts, spec: &TrialSpec<'_
         let shrink = sim.rng.chance(if post_side { 0.65 } else { 0.5 });
         let idx = if post_side { parts.last_link } else { parts.core_link };
         let link = sim.link_mut(idx);
-        link.hops = if shrink { link.hops.saturating_sub(delta).max(1) } else { link.hops + delta };
+        link.hops = if shrink {
+            link.hops.saturating_sub(delta).max(1)
+        } else {
+            link.hops + delta
+        };
     }
     events += sim.run_until(Instant(25_000_000));
     let mut result = classify(&sim, &parts, spec);
     result.events = events;
+    result.metrics.observe(HistId::TrialEvents, events);
     result
 }
 
-fn classify(_sim: &Simulation, parts: &TrialParts, spec: &TrialSpec<'_>) -> TrialResult {
+fn classify(sim: &Simulation, parts: &TrialParts, spec: &TrialSpec<'_>) -> TrialResult {
     let report = parts.report.borrow();
     let stats = parts.intang.stats();
     let resets = stats.type1_resets_seen + stats.type2_resets_seen;
@@ -253,6 +303,25 @@ fn classify(_sim: &Simulation, parts: &TrialParts, spec: &TrialSpec<'_>) -> Tria
         Outcome::Failure1
     };
     let detections: usize = parts.gfw_handles.iter().map(|h| h.detections().len()).sum();
+
+    // Pull the per-element counters into one sheet, then stamp the
+    // trial-level instruments on top.
+    let mut metrics = MetricsSheet::new();
+    sim.export_metrics(&mut metrics);
+    metrics.inc(Counter::TrialsRun);
+    let (outcome_counter, outcome_col) = match outcome {
+        Outcome::Success => (Counter::TrialSuccess, OUTCOME_SUCCESS),
+        Outcome::Failure1 => (Counter::TrialFailure1, OUTCOME_FAILURE1),
+        Outcome::Failure2 => (Counter::TrialFailure2, OUTCOME_FAILURE2),
+    };
+    metrics.inc(outcome_counter);
+    let slot = spec.strategy.map_or(ADAPTIVE_SLOT, |k| usize::from(k.id().0));
+    metrics.record_strategy_outcome(slot, outcome_col);
+    metrics.observe(HistId::TrialResetsSeen, resets);
+    let dpi_bytes = metrics.counter(Counter::GfwDpiBytesScanned);
+    metrics.observe(HistId::TrialDpiBytes, dpi_bytes);
+    let failure_vector = intang_telemetry::classify(outcome.telemetry(), &TrialEvidence::from_sheet(&metrics));
+
     TrialResult {
         outcome,
         response_status: report.response.as_ref().map(|r| r.status),
@@ -262,6 +331,8 @@ fn classify(_sim: &Simulation, parts: &TrialParts, spec: &TrialSpec<'_>) -> Tria
         // (its choice is visible via the shared History).
         strategy_used: spec.strategy,
         events: 0,
+        metrics,
+        failure_vector,
     }
 }
 

@@ -54,11 +54,22 @@ pub fn run_dns_trial(spec: &DnsTrialSpec<'_>) -> DnsOutcome {
 
     // Client queries its "configured" resolver over UDP; INTANG reroutes.
     let (driver, report) = DnsUdpClientDriver::new(spec.resolver, CENSORED_DOMAIN);
-    add_host(&mut sim, "client", vp.addr, StackProfile::linux_4_4(), Box::new(driver), Direction::ToServer);
+    add_host(
+        &mut sim,
+        "client",
+        vp.addr,
+        StackProfile::linux_4_4(),
+        Box::new(driver),
+        Direction::ToServer,
+    );
 
     sim.add_link(Link::new(Duration::from_micros(50), 0));
     let cfg = IntangConfig {
-        strategy: if spec.use_intang { Some(StrategyKind::ImprovedTeardown) } else { Some(StrategyKind::NoStrategy) },
+        strategy: if spec.use_intang {
+            Some(StrategyKind::ImprovedTeardown)
+        } else {
+            Some(StrategyKind::NoStrategy)
+        },
         dns_forward: if spec.use_intang { Some(spec.resolver) } else { None },
         measure_hops: spec.use_intang,
         ..IntangConfig::default()
@@ -91,7 +102,14 @@ pub fn run_dns_trial(spec: &DnsTrialSpec<'_>) -> DnsOutcome {
     // The clean resolver, answering over both UDP and TCP.
     sim.add_link(Link::new(Duration::from_millis(30), 8).with_loss(0.004));
     let zone = Zone::new(Ipv4Addr::new(198, 18, 0, 1)).with(CENSORED_DOMAIN, REAL_ADDR);
-    let (_i, shandle) = add_host(&mut sim, "resolver", spec.resolver, StackProfile::linux_4_4(), Box::new(DnsServerDriver::new(zone)), Direction::ToClient);
+    let (_i, shandle) = add_host(
+        &mut sim,
+        "resolver",
+        spec.resolver,
+        StackProfile::linux_4_4(),
+        Box::new(DnsServerDriver::new(zone)),
+        Direction::ToClient,
+    );
     shandle.with_tcp(|t| t.listen(53));
 
     sim.run_until(Instant(20_000_000));
@@ -119,7 +137,13 @@ mod tests {
         let vp = &s.vantage_points[0];
         let mut poisoned = 0;
         for seed in 0..6 {
-            let spec = DnsTrialSpec { vp, resolver: DYN1, use_intang: false, seed: 100 + seed, nat_prob: 0.0 };
+            let spec = DnsTrialSpec {
+                vp,
+                resolver: DYN1,
+                use_intang: false,
+                seed: 100 + seed,
+                nat_prob: 0.0,
+            };
             if run_dns_trial(&spec) == DnsOutcome::Poisoned {
                 poisoned += 1;
             }
@@ -133,7 +157,13 @@ mod tests {
         let vp = &s.vantage_points[0];
         let mut resolved = 0;
         for seed in 0..6 {
-            let spec = DnsTrialSpec { vp, resolver: DYN1, use_intang: true, seed: 200 + seed, nat_prob: 0.0 };
+            let spec = DnsTrialSpec {
+                vp,
+                resolver: DYN1,
+                use_intang: true,
+                seed: 200 + seed,
+                nat_prob: 0.0,
+            };
             if run_dns_trial(&spec) == DnsOutcome::Resolved {
                 resolved += 1;
             }
@@ -147,7 +177,13 @@ mod tests {
         let tj = s.vantage_points.iter().find(|v| v.name == "unicom-tj").unwrap();
         let mut failed = 0;
         for seed in 0..6 {
-            let spec = DnsTrialSpec { vp: tj, resolver: DYN1, use_intang: true, seed: 300 + seed, nat_prob: 1.0 };
+            let spec = DnsTrialSpec {
+                vp: tj,
+                resolver: DYN1,
+                use_intang: true,
+                seed: 300 + seed,
+                nat_prob: 1.0,
+            };
             if run_dns_trial(&spec) == DnsOutcome::Failed {
                 failed += 1;
             }

@@ -40,11 +40,22 @@ pub fn run_tor_trial(spec: &TorTrialSpec<'_>) -> (TorOutcome, GfwHandle) {
     let mut sim = Simulation::new(spec.seed);
 
     let (driver, report) = TorClientDriver::new(BRIDGE_ADDR, BRIDGE_PORT, spec.cells);
-    add_host(&mut sim, "tor-client", vp.addr, StackProfile::linux_4_4(), Box::new(driver), Direction::ToServer);
+    add_host(
+        &mut sim,
+        "tor-client",
+        vp.addr,
+        StackProfile::linux_4_4(),
+        Box::new(driver),
+        Direction::ToServer,
+    );
 
     sim.add_link(Link::new(Duration::from_micros(50), 0));
     let cfg = IntangConfig {
-        strategy: Some(if spec.use_intang { StrategyKind::ImprovedTeardown } else { StrategyKind::NoStrategy }),
+        strategy: Some(if spec.use_intang {
+            StrategyKind::ImprovedTeardown
+        } else {
+            StrategyKind::NoStrategy
+        }),
         measure_hops: spec.use_intang,
         ..IntangConfig::default()
     };
@@ -65,7 +76,14 @@ pub fn run_tor_trial(spec: &TorTrialSpec<'_>) -> (TorOutcome, GfwHandle) {
     // Transpacific haul to the EC2 bridge.
     sim.add_link(Link::new(Duration::from_millis(70), 9).with_loss(0.003));
     let bridge = TorBridgeDriver::new(BRIDGE_PORT);
-    let (_i, bh) = add_host(&mut sim, "bridge", BRIDGE_ADDR, StackProfile::linux_4_4(), Box::new(bridge), Direction::ToClient);
+    let (_i, bh) = add_host(
+        &mut sim,
+        "bridge",
+        BRIDGE_ADDR,
+        StackProfile::linux_4_4(),
+        Box::new(bridge),
+        Direction::ToClient,
+    );
     bh.with_tcp(|t| t.listen(BRIDGE_PORT));
 
     sim.run_until(Instant(60_000_000));
@@ -102,11 +120,22 @@ pub fn run_vpn_trial(spec: &VpnTrialSpec<'_>) -> VpnOutcome {
     let mut sim = Simulation::new(spec.seed);
 
     let (driver, report) = VpnClientDriver::new(VPN_ADDR, 1194, 3);
-    add_host(&mut sim, "vpn-client", vp.addr, StackProfile::linux_4_4(), Box::new(driver), Direction::ToServer);
+    add_host(
+        &mut sim,
+        "vpn-client",
+        vp.addr,
+        StackProfile::linux_4_4(),
+        Box::new(driver),
+        Direction::ToServer,
+    );
 
     sim.add_link(Link::new(Duration::from_micros(50), 0));
     let cfg = IntangConfig {
-        strategy: Some(if spec.use_intang { StrategyKind::ImprovedTeardown } else { StrategyKind::NoStrategy }),
+        strategy: Some(if spec.use_intang {
+            StrategyKind::ImprovedTeardown
+        } else {
+            StrategyKind::NoStrategy
+        }),
         measure_hops: spec.use_intang,
         ..IntangConfig::default()
     };
@@ -120,7 +149,14 @@ pub fn run_vpn_trial(spec: &VpnTrialSpec<'_>) -> VpnOutcome {
     sim.add_element(Box::new(gfw));
 
     sim.add_link(Link::new(Duration::from_millis(20), 8).with_loss(0.003));
-    let (_i, sh) = add_host(&mut sim, "vpn-server", VPN_ADDR, StackProfile::linux_4_4(), Box::new(VpnServerDriver::new()), Direction::ToClient);
+    let (_i, sh) = add_host(
+        &mut sim,
+        "vpn-server",
+        VPN_ADDR,
+        StackProfile::linux_4_4(),
+        Box::new(VpnServerDriver::new()),
+        Direction::ToClient,
+    );
     sh.with_tcp(|t| t.listen(1194));
 
     sim.run_until(Instant(30_000_000));
@@ -143,7 +179,12 @@ mod tests {
     fn unfiltered_northern_paths_run_tor_freely() {
         let s = Scenario::paper_inside(9);
         let vp = s.vantage_points.iter().find(|v| !v.tor_filtered).unwrap();
-        let (outcome, handle) = run_tor_trial(&TorTrialSpec { vp, use_intang: false, seed: 11, cells: 3 });
+        let (outcome, handle) = run_tor_trial(&TorTrialSpec {
+            vp,
+            use_intang: false,
+            seed: 11,
+            cells: 3,
+        });
         assert_eq!(outcome, TorOutcome::Working);
         assert_eq!(handle.probes_launched(), 0, "no Tor-filtering devices on this path");
     }
@@ -152,7 +193,12 @@ mod tests {
     fn filtered_paths_get_actively_probed_and_ip_blocked() {
         let s = Scenario::paper_inside(9);
         let vp = s.vantage_points.iter().find(|v| v.tor_filtered).unwrap();
-        let (outcome, handle) = run_tor_trial(&TorTrialSpec { vp, use_intang: false, seed: 12, cells: 3 });
+        let (outcome, handle) = run_tor_trial(&TorTrialSpec {
+            vp,
+            use_intang: false,
+            seed: 12,
+            cells: 3,
+        });
         assert_eq!(outcome, TorOutcome::IpBlocked, "probing confirms the bridge and blocks its IP");
         assert!(handle.probes_launched() >= 1);
     }
@@ -161,7 +207,12 @@ mod tests {
     fn intang_hides_tor_from_filtered_paths() {
         let s = Scenario::paper_inside(9);
         let vp = s.vantage_points.iter().find(|v| v.tor_filtered).unwrap();
-        let (outcome, handle) = run_tor_trial(&TorTrialSpec { vp, use_intang: true, seed: 13, cells: 3 });
+        let (outcome, handle) = run_tor_trial(&TorTrialSpec {
+            vp,
+            use_intang: true,
+            seed: 13,
+            cells: 3,
+        });
         assert_eq!(outcome, TorOutcome::Working, "teardown blinds the fingerprinter");
         assert_eq!(handle.probes_launched(), 0);
     }
@@ -171,16 +222,31 @@ mod tests {
         let s = Scenario::paper_inside(9);
         let vp = &s.vantage_points[0];
         assert_eq!(
-            run_vpn_trial(&VpnTrialSpec { vp, vpn_dpi: true, use_intang: false, seed: 14 }),
+            run_vpn_trial(&VpnTrialSpec {
+                vp,
+                vpn_dpi: true,
+                use_intang: false,
+                seed: 14
+            }),
             VpnOutcome::ResetDuringHandshake
         );
         assert_eq!(
-            run_vpn_trial(&VpnTrialSpec { vp, vpn_dpi: true, use_intang: true, seed: 15 }),
+            run_vpn_trial(&VpnTrialSpec {
+                vp,
+                vpn_dpi: true,
+                use_intang: true,
+                seed: 15
+            }),
             VpnOutcome::TunnelUp,
             "INTANG keeps openvpn-over-TCP alive under the 2016 regime"
         );
         assert_eq!(
-            run_vpn_trial(&VpnTrialSpec { vp, vpn_dpi: false, use_intang: false, seed: 16 }),
+            run_vpn_trial(&VpnTrialSpec {
+                vp,
+                vpn_dpi: false,
+                use_intang: false,
+                seed: 16
+            }),
             VpnOutcome::TunnelUp,
             "after the regime change plain VPN works again"
         );

@@ -3,8 +3,8 @@
 
 use crate::dpi::RuleSet;
 use intang_netsim::Duration;
-use intang_tcpstack::reasm::SegmentOverlapPolicy;
 use intang_packet::frag::OverlapPolicy;
+use intang_tcpstack::reasm::SegmentOverlapPolicy;
 
 /// Which generation of the GFW model a device implements.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -152,7 +152,10 @@ mod tests {
         assert_eq!(new.generation, GfwGeneration::Evolved);
         assert_eq!(old.rst_resync_prob, 0.0, "prior model always tears down on RST");
         assert!(new.rst_resync_prob > 0.0);
-        assert!(new.rst_resync_prob_handshake > new.rst_resync_prob, "§4: resync more frequent mid-handshake");
+        assert!(
+            new.rst_resync_prob_handshake > new.rst_resync_prob,
+            "§4: resync more frequent mid-handshake"
+        );
     }
 
     #[test]

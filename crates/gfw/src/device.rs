@@ -16,6 +16,7 @@ use crate::tcb::{CensorState, CensorTcb};
 use intang_netsim::{Ctx, Direction, Duration, Element, Instant};
 use intang_packet::frag::Reassembler;
 use intang_packet::{dns, udp, FourTuple, IpProtocol, Ipv4Packet, Ipv4Repr, TcpPacket, TcpRepr, Wire};
+use intang_telemetry::{Counter, MetricsSheet};
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
@@ -30,14 +31,28 @@ pub const POISON_ADDR: Ipv4Addr = Ipv4Addr::new(243, 185, 187, 39);
 #[derive(Debug, Default)]
 pub struct GfwStats {
     pub detections: Vec<(Instant, DetectionKind, FourTuple)>,
+    /// TCBs created (from SYN or, evolved model, from SYN/ACK).
+    pub tcbs_created: u64,
+    /// TCBs torn down by RST/FIN processing.
+    pub tcbs_removed: u64,
     /// TCBs evicted because the table hit capacity (§2.1 cost pressure).
     pub tcbs_evicted: u64,
+    /// Transitions into the resync state (§4 evolved behaviors).
+    pub tcb_resyncs: u64,
     pub resets_injected: u64,
+    /// Of `resets_injected`: resets fired by the type-1 device.
+    pub type1_resets_injected: u64,
+    /// Of `resets_injected`: resets fired by the type-2 device.
+    pub type2_resets_injected: u64,
     pub forged_synacks: u64,
     pub dns_poisoned: u64,
+    /// IP pairs added to the §2.1 blacklist.
+    pub blacklist_inserts: u64,
     pub blacklist_hits: u64,
     pub probes_launched: u64,
     pub ip_blocked_drops: u64,
+    /// Payload bytes run through the DPI automaton.
+    pub dpi_bytes_scanned: u64,
 }
 
 struct GfwCore {
@@ -105,7 +120,13 @@ impl GfwElement {
             rst_resync_sticky: None,
             rst_resync_hs_sticky: None,
         }));
-        (GfwElement { core: core.clone(), label: label.to_string() }, GfwHandle { core })
+        (
+            GfwElement {
+                core: core.clone(),
+                label: label.to_string(),
+            },
+            GfwHandle { core },
+        )
     }
 }
 
@@ -120,6 +141,22 @@ impl GfwHandle {
 
     pub fn resets_injected(&self) -> u64 {
         self.core.borrow().stats.resets_injected
+    }
+
+    pub fn type1_resets_injected(&self) -> u64 {
+        self.core.borrow().stats.type1_resets_injected
+    }
+
+    pub fn type2_resets_injected(&self) -> u64 {
+        self.core.borrow().stats.type2_resets_injected
+    }
+
+    pub fn tcb_resyncs(&self) -> u64 {
+        self.core.borrow().stats.tcb_resyncs
+    }
+
+    pub fn dpi_bytes_scanned(&self) -> u64 {
+        self.core.borrow().stats.dpi_bytes_scanned
     }
 
     pub fn forged_synacks(&self) -> u64 {
@@ -189,6 +226,25 @@ impl Element for GfwElement {
         ctx.send(dir, wire.clone());
         core.analyze(ctx, dir, wire);
     }
+
+    fn export_metrics(&self, m: &mut MetricsSheet) {
+        let core = self.core.borrow();
+        let s = &core.stats;
+        m.add(Counter::GfwTcbsCreated, s.tcbs_created);
+        m.add(Counter::GfwTcbsRemoved, s.tcbs_removed);
+        m.add(Counter::GfwTcbsEvicted, s.tcbs_evicted);
+        m.add(Counter::GfwTcbResyncs, s.tcb_resyncs);
+        m.add(Counter::GfwDetections, s.detections.len() as u64);
+        m.add(Counter::GfwType1ResetsInjected, s.type1_resets_injected);
+        m.add(Counter::GfwType2ResetsInjected, s.type2_resets_injected);
+        m.add(Counter::GfwForgedSynacks, s.forged_synacks);
+        m.add(Counter::GfwDnsPoisoned, s.dns_poisoned);
+        m.add(Counter::GfwBlacklistInserts, s.blacklist_inserts);
+        m.add(Counter::GfwBlacklistHits, s.blacklist_hits);
+        m.add(Counter::GfwProbesLaunched, s.probes_launched);
+        m.add(Counter::GfwIpBlockedDrops, s.ip_blocked_drops);
+        m.add(Counter::GfwDpiBytesScanned, s.dpi_bytes_scanned);
+    }
 }
 
 impl GfwCore {
@@ -222,6 +278,7 @@ impl GfwCore {
             return;
         }
         let Some(name) = query.first_name() else { return };
+        self.stats.dpi_bytes_scanned += name.len() as u64;
         if !self.aut.scan(name.as_bytes()).contains(&DetectionKind::Domain) {
             return;
         }
@@ -313,12 +370,19 @@ impl GfwCore {
                     } else {
                         self.cfg.rst_resync_prob
                     };
-                    let slot = if tcb.in_handshake { &mut self.rst_resync_hs_sticky } else { &mut self.rst_resync_sticky };
+                    let slot = if tcb.in_handshake {
+                        &mut self.rst_resync_hs_sticky
+                    } else {
+                        &mut self.rst_resync_sticky
+                    };
                     *slot.get_or_insert_with(|| ctx.rng.chance(prob))
                 } else {
                     false
                 };
                 if resync {
+                    if tcb.state != CensorState::Resync {
+                        self.stats.tcb_resyncs += 1;
+                    }
                     tcb.state = CensorState::Resync;
                 } else {
                     remove = true;
@@ -338,6 +402,9 @@ impl GfwCore {
                         tcb.syn_count += 1;
                         if evolved && tcb.syn_count > 1 {
                             // Hypothesized New Behavior 2(a).
+                            if tcb.state != CensorState::Resync {
+                                self.stats.tcb_resyncs += 1;
+                            }
                             tcb.state = CensorState::Resync;
                         }
                         // Prior model: later SYNs are ignored, the first
@@ -359,10 +426,11 @@ impl GfwCore {
                         tcb.synack_count += 1;
                         tcb.server_next = seg.seq.wrapping_add(1);
                         tcb.last_synack = Some((seg.seq, seg.ack));
-                        if evolved
-                            && (tcb.synack_count > 1 || seg.ack != tcb.client_isn.wrapping_add(1))
-                        {
+                        if evolved && (tcb.synack_count > 1 || seg.ack != tcb.client_isn.wrapping_add(1)) {
                             // Hypothesized New Behavior 2(b)/(c).
+                            if tcb.state != CensorState::Resync {
+                                self.stats.tcb_resyncs += 1;
+                            }
                             tcb.state = CensorState::Resync;
                         } else if evolved {
                             // The evolved censor anchors the client stream
@@ -398,7 +466,7 @@ impl GfwCore {
                         }
                     }
                     if let Some(tsval) = tsval {
-                        let newer = tcb.ts_recent.map_or(true, |r| tsval.wrapping_sub(r) < 0x8000_0000);
+                        let newer = tcb.ts_recent.is_none_or(|r| tsval.wrapping_sub(r) < 0x8000_0000);
                         if newer {
                             tcb.ts_recent = Some(tsval);
                         }
@@ -411,13 +479,8 @@ impl GfwCore {
                             // §4: the next client data packet re-anchors.
                             tcb.resync_to(seg.seq);
                         }
-                        detections = tcb.feed_client_data(
-                            &self.aut,
-                            seg.seq,
-                            &seg.payload,
-                            self.cfg.type1,
-                            self.cfg.type2,
-                        );
+                        self.stats.dpi_bytes_scanned += seg.payload.len() as u64;
+                        detections = tcb.feed_client_data(&self.aut, seg.seq, &seg.payload, self.cfg.type1, self.cfg.type2);
                     }
                 } else {
                     // Server→client data: never a resync trigger (§4).
@@ -426,6 +489,7 @@ impl GfwCore {
                         tcb.server_next = end;
                     }
                     if self.cfg.censor_responses && !seg.payload.is_empty() {
+                        self.stats.dpi_bytes_scanned += seg.payload.len() as u64;
                         detections = tcb.feed_server_data(&self.aut, &seg.payload);
                     }
                 }
@@ -434,6 +498,7 @@ impl GfwCore {
 
         if remove {
             self.tcbs.remove(&key);
+            self.stats.tcbs_removed += 1;
             return;
         }
         if !detections.is_empty() {
@@ -451,6 +516,7 @@ impl GfwCore {
         }
         self.tcbs.insert(key, tcb);
         self.tcb_order.push_back(key);
+        self.stats.tcbs_created += 1;
     }
 
     fn act_on_detections(&mut self, ctx: &mut Ctx<'_>, key: FourTuple, kinds: Vec<DetectionKind>) {
@@ -459,17 +525,16 @@ impl GfwCore {
             (tcb.client, tcb.server, tcb.client_next(), tcb.server_next, tcb.detected)
         };
         for kind in kinds {
-            self.stats.detections.push((
-                ctx.now,
-                kind,
-                FourTuple::new(client.0, client.1, server.0, server.1),
-            ));
+            self.stats
+                .detections
+                .push((ctx.now, kind, FourTuple::new(client.0, client.1, server.0, server.1)));
             match kind {
                 DetectionKind::HttpKeyword | DetectionKind::Domain => {
                     if !already {
                         self.inject_detection_resets(ctx, client, server, client_next, server_next);
                         if self.cfg.type2 {
                             self.blacklist.add(client.0, server.0, ctx.now, self.cfg.blacklist_duration);
+                            self.stats.blacklist_inserts += 1;
                         }
                         self.tcbs.get_mut(&key).expect("tcb present").detected = true;
                     }
@@ -510,40 +575,37 @@ impl GfwCore {
             ctx.send_delayed(Direction::ToClient, to_client, d);
             ctx.send_delayed(Direction::ToServer, to_server, d);
             self.stats.resets_injected += 2;
+            self.stats.type1_resets_injected += 2;
         }
         if self.cfg.type2 {
             for w in self.injector.type2(server, client, server_next, client_next) {
                 ctx.send_delayed(Direction::ToClient, w, d);
                 self.stats.resets_injected += 1;
+                self.stats.type2_resets_injected += 1;
             }
             for w in self.injector.type2(client, server, client_next, server_next) {
                 ctx.send_delayed(Direction::ToServer, w, d);
                 self.stats.resets_injected += 1;
+                self.stats.type2_resets_injected += 1;
             }
         }
     }
 
     /// Resets fired at arbitrary packets during the blacklist period.
-    fn inject_pair_resets(
-        &mut self,
-        ctx: &mut Ctx<'_>,
-        dir: Direction,
-        src: (Ipv4Addr, u16),
-        dst: (Ipv4Addr, u16),
-        seq: u32,
-        ack: u32,
-    ) {
+    fn inject_pair_resets(&mut self, ctx: &mut Ctx<'_>, dir: Direction, src: (Ipv4Addr, u16), dst: (Ipv4Addr, u16), seq: u32, ack: u32) {
         let d = self.cfg.reaction_delay;
         if self.cfg.type1 {
             let w = self.injector.type1(ctx.rng, dst, src, ack);
             ctx.send_delayed(dir.reversed(), w, d);
             self.stats.resets_injected += 1;
+            self.stats.type1_resets_injected += 1;
         }
         if self.cfg.type2 {
             // Reset the sender of the observed packet (spoofed from its peer).
             for w in self.injector.type2(dst, src, ack, seq) {
                 ctx.send_delayed(dir.reversed(), w, d);
                 self.stats.resets_injected += 1;
+                self.stats.type2_resets_injected += 1;
             }
         }
     }

@@ -40,18 +40,33 @@ impl RuleSet {
     /// The paper's measurement workload: keyword `ultrasurf`, a censored
     /// domain list, plus Tor/VPN fingerprints.
     pub fn paper_default() -> RuleSet {
-        let mut rules = vec![Rule { pattern: b"ultrasurf".to_vec(), kind: DetectionKind::HttpKeyword }];
+        let mut rules = vec![Rule {
+            pattern: b"ultrasurf".to_vec(),
+            kind: DetectionKind::HttpKeyword,
+        }];
         for domain in ["dropbox.com", "facebook.com", "twitter.com", "youtube.com"] {
             // Two patterns per domain: the dotted text form (HTTP Host
             // headers, plain-text protocols) and the DNS wire encoding with
             // length-prefixed labels (catches queries inside UDP/TCP DNS
             // messages). Registrable part only, so `www.dropbox.com` also
             // matches.
-            rules.push(Rule { pattern: domain.as_bytes().to_vec(), kind: DetectionKind::Domain });
-            rules.push(Rule { pattern: dns_label_encoding(domain), kind: DetectionKind::Domain });
+            rules.push(Rule {
+                pattern: domain.as_bytes().to_vec(),
+                kind: DetectionKind::Domain,
+            });
+            rules.push(Rule {
+                pattern: dns_label_encoding(domain),
+                kind: DetectionKind::Domain,
+            });
         }
-        rules.push(Rule { pattern: TOR_FINGERPRINT.to_vec(), kind: DetectionKind::TorHandshake });
-        rules.push(Rule { pattern: VPN_FINGERPRINT.to_vec(), kind: DetectionKind::VpnHandshake });
+        rules.push(Rule {
+            pattern: TOR_FINGERPRINT.to_vec(),
+            kind: DetectionKind::TorHandshake,
+        });
+        rules.push(Rule {
+            pattern: VPN_FINGERPRINT.to_vec(),
+            kind: DetectionKind::VpnHandshake,
+        });
         RuleSet { rules }
     }
 
@@ -60,12 +75,18 @@ impl RuleSet {
     }
 
     pub fn with_keyword(mut self, kw: &str) -> RuleSet {
-        self.rules.push(Rule { pattern: kw.as_bytes().to_vec(), kind: DetectionKind::HttpKeyword });
+        self.rules.push(Rule {
+            pattern: kw.as_bytes().to_vec(),
+            kind: DetectionKind::HttpKeyword,
+        });
         self
     }
 
     pub fn with_domain(mut self, d: &str) -> RuleSet {
-        self.rules.push(Rule { pattern: d.as_bytes().to_vec(), kind: DetectionKind::Domain });
+        self.rules.push(Rule {
+            pattern: d.as_bytes().to_vec(),
+            kind: DetectionKind::Domain,
+        });
         self
     }
 }
@@ -169,7 +190,11 @@ impl Automaton {
                     }
                     if f == 0 {
                         nodes[v as usize].fail = if let Some(&n) = nodes[0].children.get(&b) {
-                            if n != v { n } else { 0 }
+                            if n != v {
+                                n
+                            } else {
+                                0
+                            }
                         } else {
                             0
                         };
@@ -206,7 +231,12 @@ impl Automaton {
             out_ranges.push((outputs.len() as u32, n.outputs.len() as u32));
             outputs.extend_from_slice(&n.outputs);
         }
-        Automaton { trans, out_ranges, outputs, kinds }
+        Automaton {
+            trans,
+            out_ranges,
+            outputs,
+            kinds,
+        }
     }
 
     #[inline]
@@ -238,7 +268,9 @@ impl Automaton {
 /// pure waste — measurable at thousands of trials per sweep.
 pub fn shared_paper_default() -> Arc<Automaton> {
     static PAPER_DEFAULT: OnceLock<Arc<Automaton>> = OnceLock::new();
-    PAPER_DEFAULT.get_or_init(|| Arc::new(Automaton::build(&RuleSet::paper_default()))).clone()
+    PAPER_DEFAULT
+        .get_or_init(|| Arc::new(Automaton::build(&RuleSet::paper_default())))
+        .clone()
 }
 
 /// Streaming matcher state: one `u32` per monitored flow.
@@ -334,9 +366,18 @@ mod tests {
         // Count raw rule hits via distinct kinds instead:
         let rules2 = RuleSet {
             rules: vec![
-                Rule { pattern: b"abcd".to_vec(), kind: DetectionKind::HttpKeyword },
-                Rule { pattern: b"bc".to_vec(), kind: DetectionKind::Domain },
-                Rule { pattern: b"cd".to_vec(), kind: DetectionKind::TorHandshake },
+                Rule {
+                    pattern: b"abcd".to_vec(),
+                    kind: DetectionKind::HttpKeyword,
+                },
+                Rule {
+                    pattern: b"bc".to_vec(),
+                    kind: DetectionKind::Domain,
+                },
+                Rule {
+                    pattern: b"cd".to_vec(),
+                    kind: DetectionKind::TorHandshake,
+                },
             ],
         };
         let a2 = Automaton::build(&rules2);

@@ -50,7 +50,11 @@ pub struct ActiveProber {
 
 impl ActiveProber {
     pub fn new() -> ActiveProber {
-        ActiveProber { next_port: 33_000, next_prober: 1, ..ActiveProber::default() }
+        ActiveProber {
+            next_port: 33_000,
+            next_prober: 1,
+            ..ActiveProber::default()
+        }
     }
 
     pub fn is_blocked(&self, ip: Ipv4Addr) -> bool {
@@ -73,7 +77,12 @@ impl ActiveProber {
         let port = self.next_port;
         self.next_port = self.next_port.wrapping_add(1).max(33_000);
         let iss = 0x6000_0000 ^ (u32::from(port) << 8);
-        let probe = Probe { state: ProbeState::SynSent, prober: (prober_ip, port), target, iss };
+        let probe = Probe {
+            state: ProbeState::SynSent,
+            prober: (prober_ip, port),
+            target,
+            iss,
+        };
         let mut syn = TcpRepr::new(port, target.1);
         syn.seq = iss;
         syn.flags = TcpFlags::SYN;
@@ -117,12 +126,7 @@ impl ActiveProber {
                 }
             }
             ProbeState::HelloSent => {
-                if !seg.payload.is_empty()
-                    && seg
-                        .payload
-                        .windows(TOR_SERVER_HELLO.len())
-                        .any(|w| w == TOR_SERVER_HELLO)
-                {
+                if !seg.payload.is_empty() && seg.payload.windows(TOR_SERVER_HELLO.len()).any(|w| w == TOR_SERVER_HELLO) {
                     // Confirmed: block the bridge IP, drop probe state.
                     let ip = probe.target.0;
                     self.probes.remove(&src);

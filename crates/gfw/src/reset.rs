@@ -40,7 +40,10 @@ impl Default for ResetInjector {
 
 impl ResetInjector {
     pub fn new() -> ResetInjector {
-        ResetInjector { type2_ttl: 60, type2_window: 2000 }
+        ResetInjector {
+            type2_ttl: 60,
+            type2_window: 2000,
+        }
     }
 
     /// One type-1 RST spoofed as `from -> to`, claiming sequence `seq`.
@@ -65,7 +68,11 @@ impl ResetInjector {
             .map(|&off| {
                 // Cyclic counters advance once per emitted packet.
                 self.type2_ttl = if self.type2_ttl >= 250 { 60 } else { self.type2_ttl + 1 };
-                self.type2_window = if self.type2_window >= 60_000 { 2000 } else { self.type2_window + 79 };
+                self.type2_window = if self.type2_window >= 60_000 {
+                    2000
+                } else {
+                    self.type2_window + 79
+                };
                 let mut tcp = TcpRepr::new(from.1, to.1);
                 tcp.flags = TcpFlags::RST_ACK;
                 tcp.seq = seq.wrapping_add(off);
@@ -173,8 +180,12 @@ mod tests {
         let mut rng = SimRng::seed_from(3);
         let a = inj.forged_synack(&mut rng, srv, cli, 42);
         let b = inj.forged_synack(&mut rng, srv, cli, 42);
-        let sa = TcpPacket::new_checked(Ipv4Packet::new_checked(&a[..]).unwrap().payload()).unwrap().seq_number();
-        let sb = TcpPacket::new_checked(Ipv4Packet::new_checked(&b[..]).unwrap().payload()).unwrap().seq_number();
+        let sa = TcpPacket::new_checked(Ipv4Packet::new_checked(&a[..]).unwrap().payload())
+            .unwrap()
+            .seq_number();
+        let sb = TcpPacket::new_checked(Ipv4Packet::new_checked(&b[..]).unwrap().payload())
+            .unwrap()
+            .seq_number();
         assert_ne!(sa, sb);
     }
 

@@ -140,14 +140,7 @@ impl CensorTcb {
 
     /// Feed a client→server data segment into both detection pipelines.
     /// Returns all newly detected rule kinds.
-    pub fn feed_client_data(
-        &mut self,
-        aut: &Automaton,
-        seq: u32,
-        payload: &[u8],
-        type1: bool,
-        type2: bool,
-    ) -> Vec<DetectionKind> {
+    pub fn feed_client_data(&mut self, aut: &Automaton, seq: u32, payload: &[u8], type1: bool, type2: bool) -> Vec<DetectionKind> {
         if self.overloaded || payload.is_empty() {
             return Vec::new();
         }

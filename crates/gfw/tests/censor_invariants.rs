@@ -27,10 +27,16 @@ fn syn_flood_evicts_oldest_tcbs() {
     let client = Ipv4Addr::new(10, 0, 0, 1);
     let server = Ipv4Addr::new(203, 0, 113, 9);
     // The victim flow, then a flood of 200 other flows.
-    let victim = PacketBuilder::tcp(client, server, 40_000, 80).seq(1_000).flags(TcpFlags::SYN).build();
+    let victim = PacketBuilder::tcp(client, server, 40_000, 80)
+        .seq(1_000)
+        .flags(TcpFlags::SYN)
+        .build();
     sim.inject_at(0, Direction::ToServer, victim, Instant(0));
     for i in 0..200u16 {
-        let syn = PacketBuilder::tcp(client, server, 50_000 + i, 80).seq(5).flags(TcpFlags::SYN).build();
+        let syn = PacketBuilder::tcp(client, server, 50_000 + i, 80)
+            .seq(5)
+            .flags(TcpFlags::SYN)
+            .build();
         sim.inject_at(0, Direction::ToServer, syn, Instant(1_000 + u64::from(i)));
     }
     sim.run_to_quiescence(10_000);

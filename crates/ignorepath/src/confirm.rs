@@ -3,9 +3,9 @@
 //! insertion packets against the live GFW; we validate against the
 //! simulated one — same methodology, same observable (does state change?).
 
-use crate::disposition::{Disposition, PacketClass, StateContext};
 #[cfg(test)]
 use crate::disposition::server_disposition;
+use crate::disposition::{Disposition, PacketClass, StateContext};
 use intang_packet::{PacketBuilder, TcpFlags, TcpOption, Wire};
 use intang_tcpstack::{StackProfile, TcpEndpoint, TcpState};
 use std::net::Ipv4Addr;
@@ -133,7 +133,11 @@ mod tests {
 
     #[test]
     fn abstract_model_matches_old_kernels() {
-        for profile in [StackProfile::linux_2_4_37(), StackProfile::linux_2_6_34(), StackProfile::linux_pre_3_8()] {
+        for profile in [
+            StackProfile::linux_2_4_37(),
+            StackProfile::linux_2_6_34(),
+            StackProfile::linux_pre_3_8(),
+        ] {
             for class in [
                 PacketClass::UnsolicitedMd5,
                 PacketClass::NoFlag,

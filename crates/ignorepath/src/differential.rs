@@ -39,7 +39,12 @@ impl Finding {
         } else {
             (self.states[0].label().to_string(), "ESTABLISHED/RESYNC".to_string())
         };
-        [tcp_state, gfw_state, self.class.flags_label().to_string(), self.class.condition().to_string()]
+        [
+            tcp_state,
+            gfw_state,
+            self.class.flags_label().to_string(),
+            self.class.condition().to_string(),
+        ]
     }
 }
 
@@ -107,7 +112,12 @@ pub fn derive_table3(server: &StackProfile, censor: &GfwConfig) -> Vec<Finding> 
             .iter()
             .filter_map(|p| version_caveat(p.version, class).map(|c| format!("{}: {}", p.version, c)))
             .collect();
-        findings.push(Finding { states, class, dropped_by, version_caveats });
+        findings.push(Finding {
+            states,
+            class,
+            dropped_by,
+            version_caveats,
+        });
     }
     findings
 }

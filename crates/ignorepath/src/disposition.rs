@@ -254,15 +254,9 @@ pub fn gfw_disposition(cfg: &intang_gfw::GfwConfig, _state: StateContext, class:
 /// against `version`?
 pub fn version_caveat(version: LinuxVersion, class: PacketClass) -> Option<&'static str> {
     match (version, class) {
-        (LinuxVersion::L2_6_34 | LinuxVersion::L2_4_37, PacketClass::NoFlag) => {
-            Some("data without ACK flag is accepted — insertion fails")
-        }
-        (LinuxVersion::L2_4_37, PacketClass::UnsolicitedMd5) => {
-            Some("no MD5 option check (pre-RFC 2385 support) — insertion fails")
-        }
-        (LinuxVersion::Pre3_8, PacketClass::NoFlag) => {
-            Some("no-flag data sometimes accepted — insertion fails")
-        }
+        (LinuxVersion::L2_6_34 | LinuxVersion::L2_4_37, PacketClass::NoFlag) => Some("data without ACK flag is accepted — insertion fails"),
+        (LinuxVersion::L2_4_37, PacketClass::UnsolicitedMd5) => Some("no MD5 option check (pre-RFC 2385 support) — insertion fails"),
+        (LinuxVersion::Pre3_8, PacketClass::NoFlag) => Some("no-flag data sometimes accepted — insertion fails"),
         (LinuxVersion::L3_14, PacketClass::ValidData) => None,
         _ => None,
     }
@@ -295,7 +289,10 @@ mod tests {
                 assert_eq!(server_disposition(&p, state, class), Disposition::Ignore, "{class:?} in {state:?}");
             }
         }
-        assert_eq!(server_disposition(&p, StateContext::SynRecv, PacketClass::RstAckWrongAck), Disposition::Ignore);
+        assert_eq!(
+            server_disposition(&p, StateContext::SynRecv, PacketClass::RstAckWrongAck),
+            Disposition::Ignore
+        );
     }
 
     #[test]

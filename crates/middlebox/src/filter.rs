@@ -3,6 +3,7 @@
 
 use intang_netsim::{Ctx, Direction, Element};
 use intang_packet::{IpProtocol, Ipv4Packet, TcpPacket, Wire};
+use intang_telemetry::{Counter, MetricsSheet};
 
 /// Drop probabilities per packet anomaly (0.0 = pass, 1.0 = always drop).
 /// "Sometimes dropped" cells of Table 2 use intermediate values.
@@ -44,13 +45,21 @@ pub struct FieldFilter {
 
 impl FieldFilter {
     pub fn new(label: &str, spec: FilterSpec) -> FieldFilter {
-        FieldFilter { label: label.to_string(), spec, dropped: 0 }
+        FieldFilter {
+            label: label.to_string(),
+            spec,
+            dropped: 0,
+        }
     }
 }
 
 impl Element for FieldFilter {
     fn name(&self) -> &str {
         &self.label
+    }
+
+    fn export_metrics(&self, m: &mut MetricsSheet) {
+        m.add(Counter::MiddleboxFilterDrops, self.dropped);
     }
 
     fn on_packet(&mut self, ctx: &mut Ctx<'_>, dir: Direction, wire: Wire) {
@@ -103,8 +112,8 @@ pub fn drop_probability(spec: &FilterSpec, wire: &[u8]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use intang_netsim::{Duration, Link, Simulation, Instant};
     use intang_netsim::element::PassThrough;
+    use intang_netsim::{Duration, Instant, Link, Simulation};
     use intang_packet::{PacketBuilder, TcpFlags};
     use std::cell::RefCell;
     use std::net::Ipv4Addr;
@@ -145,15 +154,27 @@ mod tests {
 
     #[test]
     fn deterministic_drops() {
-        let spec = FilterSpec { drop_bad_checksum: 1.0, drop_no_flag: 1.0, drop_bare_fin: 1.0, ..FilterSpec::default() };
-        let bad_csum = PacketBuilder::tcp(c(), s(), 1, 80).flags(TcpFlags::ACK).payload(b"x").bad_checksum().build();
+        let spec = FilterSpec {
+            drop_bad_checksum: 1.0,
+            drop_no_flag: 1.0,
+            drop_bare_fin: 1.0,
+            ..FilterSpec::default()
+        };
+        let bad_csum = PacketBuilder::tcp(c(), s(), 1, 80)
+            .flags(TcpFlags::ACK)
+            .payload(b"x")
+            .bad_checksum()
+            .build();
         assert_eq!(run_through(spec, bad_csum), 0);
         let noflag = PacketBuilder::tcp(c(), s(), 1, 80).flags(TcpFlags::NONE).payload(b"x").build();
         assert_eq!(run_through(spec, noflag), 0);
         let bare_fin = PacketBuilder::tcp(c(), s(), 1, 80).flags(TcpFlags::FIN).build();
         assert_eq!(run_through(spec, bare_fin), 0);
         // Healthy traffic passes.
-        let ok = PacketBuilder::tcp(c(), s(), 1, 80).flags(TcpFlags::PSH_ACK).payload(b"GET /").build();
+        let ok = PacketBuilder::tcp(c(), s(), 1, 80)
+            .flags(TcpFlags::PSH_ACK)
+            .payload(b"GET /")
+            .build();
         assert_eq!(run_through(spec, ok), 1);
         // FIN/ACK (a normal close) is NOT a bare FIN.
         let finack = PacketBuilder::tcp(c(), s(), 1, 80).flags(TcpFlags::FIN_ACK).build();
@@ -163,14 +184,27 @@ mod tests {
     #[test]
     fn md5_never_dropped_by_paper_profiles() {
         // §5.3: no middlebox encountered drops unsolicited-MD5 segments.
-        let spec = FilterSpec { drop_bad_checksum: 1.0, drop_no_flag: 1.0, drop_bare_fin: 1.0, drop_bare_rst: 1.0, ..FilterSpec::default() };
-        let md5 = PacketBuilder::tcp(c(), s(), 1, 80).flags(TcpFlags::PSH_ACK).payload(b"x").md5_option().build();
+        let spec = FilterSpec {
+            drop_bad_checksum: 1.0,
+            drop_no_flag: 1.0,
+            drop_bare_fin: 1.0,
+            drop_bare_rst: 1.0,
+            ..FilterSpec::default()
+        };
+        let md5 = PacketBuilder::tcp(c(), s(), 1, 80)
+            .flags(TcpFlags::PSH_ACK)
+            .payload(b"x")
+            .md5_option()
+            .build();
         assert_eq!(run_through(spec, md5), 1);
     }
 
     #[test]
     fn probabilistic_drop_roughly_calibrated() {
-        let spec = FilterSpec { drop_bare_rst: 0.5, ..FilterSpec::default() };
+        let spec = FilterSpec {
+            drop_bare_rst: 0.5,
+            ..FilterSpec::default()
+        };
         let mut passed = 0;
         let got = Rc::new(RefCell::new(Vec::new()));
         let mut sim = Simulation::new(77);
@@ -190,7 +224,10 @@ mod tests {
 
     #[test]
     fn returning_traffic_untouched() {
-        let spec = FilterSpec { drop_bare_rst: 1.0, ..FilterSpec::default() };
+        let spec = FilterSpec {
+            drop_bare_rst: 1.0,
+            ..FilterSpec::default()
+        };
         let got = Rc::new(RefCell::new(Vec::new()));
         let mut sim = Simulation::new(1);
         sim.add_element(Box::new(Sink { got: got.clone() }));

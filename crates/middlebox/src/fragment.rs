@@ -9,6 +9,7 @@
 use intang_netsim::{Ctx, Direction, Element};
 use intang_packet::frag::{OverlapPolicy, Reassembler};
 use intang_packet::{Ipv4Packet, Wire};
+use intang_telemetry::{Counter, MetricsSheet};
 
 /// What the box does with fragments.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -50,6 +51,10 @@ impl FragmentHandler {
 impl Element for FragmentHandler {
     fn name(&self) -> &str {
         &self.label
+    }
+
+    fn export_metrics(&self, m: &mut MetricsSheet) {
+        m.add(Counter::MiddleboxFragDrops, self.dropped);
     }
 
     fn on_packet(&mut self, ctx: &mut Ctx<'_>, dir: Direction, wire: Wire) {
@@ -154,7 +159,10 @@ mod tests {
         // bytes — handing the GFW the sensitive payload.
         let c = Ipv4Addr::new(10, 0, 0, 1);
         let s = Ipv4Addr::new(203, 0, 113, 9);
-        let base = Ipv4Repr { ident: 9, ..Ipv4Repr::new(c, s, IpProtocol::Tcp) };
+        let base = Ipv4Repr {
+            ident: 9,
+            ..Ipv4Repr::new(c, s, IpProtocol::Tcp)
+        };
         let garbage = frag::raw_fragment(&base, 8, true, &[0xAA; 8]);
         let real = frag::raw_fragment(&base, 8, false, b"ultrasur");
         let head = frag::raw_fragment(&base, 0, true, &[0x20; 8]);

@@ -23,7 +23,7 @@ pub mod seqfw;
 pub mod stateful;
 
 pub use filter::{FieldFilter, FilterSpec};
-pub use fragment::{FragmentMode, FragmentHandler};
+pub use fragment::{FragmentHandler, FragmentMode};
 pub use profiles::ClientSideProfile;
 pub use seqfw::SeqStrictFirewall;
 pub use stateful::StatefulFirewall;

@@ -37,9 +37,18 @@ impl ClientSideProfile {
 
     pub fn filter_spec(self) -> FilterSpec {
         match self {
-            ClientSideProfile::Aliyun => FilterSpec { drop_bare_fin: SOMETIMES, ..FilterSpec::default() },
-            ClientSideProfile::QCloud => FilterSpec { drop_bare_rst: SOMETIMES, ..FilterSpec::default() },
-            ClientSideProfile::UnicomShijiazhuang => FilterSpec { drop_bare_fin: 1.0, ..FilterSpec::default() },
+            ClientSideProfile::Aliyun => FilterSpec {
+                drop_bare_fin: SOMETIMES,
+                ..FilterSpec::default()
+            },
+            ClientSideProfile::QCloud => FilterSpec {
+                drop_bare_rst: SOMETIMES,
+                ..FilterSpec::default()
+            },
+            ClientSideProfile::UnicomShijiazhuang => FilterSpec {
+                drop_bare_fin: 1.0,
+                ..FilterSpec::default()
+            },
             ClientSideProfile::UnicomTianjin => FilterSpec {
                 drop_bad_checksum: 1.0,
                 drop_no_flag: 1.0,

@@ -9,6 +9,7 @@
 use intang_netsim::{Ctx, Direction, Element};
 use intang_packet::tcp::seq;
 use intang_packet::{four_tuple_of, FourTuple, Ipv4Packet, TcpPacket, Wire};
+use intang_telemetry::{Counter, MetricsSheet};
 use std::collections::HashMap;
 
 #[derive(Debug, Clone, Copy)]
@@ -30,13 +31,22 @@ pub struct SeqStrictFirewall {
 
 impl SeqStrictFirewall {
     pub fn new(label: &str) -> SeqStrictFirewall {
-        SeqStrictFirewall { label: label.to_string(), conns: HashMap::new(), validate_checksum: false, blocked: 0 }
+        SeqStrictFirewall {
+            label: label.to_string(),
+            conns: HashMap::new(),
+            validate_checksum: false,
+            blocked: 0,
+        }
     }
 }
 
 impl Element for SeqStrictFirewall {
     fn name(&self) -> &str {
         &self.label
+    }
+
+    fn export_metrics(&self, m: &mut MetricsSheet) {
+        m.add(Counter::MiddleboxSeqfwBlocked, self.blocked);
     }
 
     fn on_packet(&mut self, ctx: &mut Ctx<'_>, dir: Direction, wire: Wire) {
@@ -60,7 +70,13 @@ impl Element for SeqStrictFirewall {
         let flags = tcp.flags();
         let key = tuple.canonical();
         if flags.syn() {
-            self.conns.insert(key, Track { expected: tcp.seq_number().wrapping_add(1), established: true });
+            self.conns.insert(
+                key,
+                Track {
+                    expected: tcp.seq_number().wrapping_add(1),
+                    established: true,
+                },
+            );
             ctx.send(dir, wire);
             return;
         }
@@ -147,8 +163,17 @@ mod tests {
         // junk, so the real request is dropped — Failure 1.
         let (mut sim, got) = setup(false);
         let syn = PacketBuilder::tcp(c(), s(), 40000, 80).flags(TcpFlags::SYN).seq(100).build();
-        let junk = PacketBuilder::tcp(c(), s(), 40000, 80).flags(TcpFlags::PSH_ACK).seq(101).payload(b"XXXXX").bad_checksum().build();
-        let real = PacketBuilder::tcp(c(), s(), 40000, 80).flags(TcpFlags::PSH_ACK).seq(101).payload(b"GET /").build();
+        let junk = PacketBuilder::tcp(c(), s(), 40000, 80)
+            .flags(TcpFlags::PSH_ACK)
+            .seq(101)
+            .payload(b"XXXXX")
+            .bad_checksum()
+            .build();
+        let real = PacketBuilder::tcp(c(), s(), 40000, 80)
+            .flags(TcpFlags::PSH_ACK)
+            .seq(101)
+            .payload(b"GET /")
+            .build();
         sim.inject_at(0, Direction::ToServer, syn, Instant(0));
         sim.inject_at(0, Direction::ToServer, junk, Instant(1_000));
         sim.inject_at(0, Direction::ToServer, real, Instant(2_000));
@@ -162,8 +187,17 @@ mod tests {
     fn checksum_validating_variant_is_harmless() {
         let (mut sim, got) = setup(true);
         let syn = PacketBuilder::tcp(c(), s(), 40000, 80).flags(TcpFlags::SYN).seq(100).build();
-        let junk = PacketBuilder::tcp(c(), s(), 40000, 80).flags(TcpFlags::PSH_ACK).seq(101).payload(b"XXXXX").bad_checksum().build();
-        let real = PacketBuilder::tcp(c(), s(), 40000, 80).flags(TcpFlags::PSH_ACK).seq(101).payload(b"GET /").build();
+        let junk = PacketBuilder::tcp(c(), s(), 40000, 80)
+            .flags(TcpFlags::PSH_ACK)
+            .seq(101)
+            .payload(b"XXXXX")
+            .bad_checksum()
+            .build();
+        let real = PacketBuilder::tcp(c(), s(), 40000, 80)
+            .flags(TcpFlags::PSH_ACK)
+            .seq(101)
+            .payload(b"GET /")
+            .build();
         sim.inject_at(0, Direction::ToServer, syn, Instant(0));
         sim.inject_at(0, Direction::ToServer, junk, Instant(1_000));
         sim.inject_at(0, Direction::ToServer, real, Instant(2_000));
@@ -177,8 +211,16 @@ mod tests {
     fn in_order_stream_passes() {
         let (mut sim, got) = setup(false);
         let syn = PacketBuilder::tcp(c(), s(), 40000, 80).flags(TcpFlags::SYN).seq(100).build();
-        let d1 = PacketBuilder::tcp(c(), s(), 40000, 80).flags(TcpFlags::PSH_ACK).seq(101).payload(b"ab").build();
-        let d2 = PacketBuilder::tcp(c(), s(), 40000, 80).flags(TcpFlags::PSH_ACK).seq(103).payload(b"cd").build();
+        let d1 = PacketBuilder::tcp(c(), s(), 40000, 80)
+            .flags(TcpFlags::PSH_ACK)
+            .seq(101)
+            .payload(b"ab")
+            .build();
+        let d2 = PacketBuilder::tcp(c(), s(), 40000, 80)
+            .flags(TcpFlags::PSH_ACK)
+            .seq(103)
+            .payload(b"cd")
+            .build();
         sim.inject_at(0, Direction::ToServer, syn, Instant(0));
         sim.inject_at(0, Direction::ToServer, d1, Instant(1_000));
         sim.inject_at(0, Direction::ToServer, d2, Instant(2_000));
@@ -189,7 +231,10 @@ mod tests {
     #[test]
     fn server_to_client_traffic_untouched() {
         let (mut sim, _got) = setup(false);
-        let resp = PacketBuilder::tcp(s(), c(), 80, 40000).flags(TcpFlags::PSH_ACK).payload(b"200 OK").build();
+        let resp = PacketBuilder::tcp(s(), c(), 80, 40000)
+            .flags(TcpFlags::PSH_ACK)
+            .payload(b"200 OK")
+            .build();
         sim.inject_at(2, Direction::ToClient, resp, Instant(0));
         sim.run_to_quiescence(100);
         // No panic, no block counting.

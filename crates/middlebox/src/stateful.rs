@@ -6,6 +6,7 @@
 
 use intang_netsim::{Ctx, Direction, Element};
 use intang_packet::{four_tuple_of, FourTuple, Ipv4Packet, TcpPacket, Wire};
+use intang_telemetry::{Counter, MetricsSheet};
 use std::collections::HashMap;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -44,6 +45,10 @@ impl Element for StatefulFirewall {
         &self.label
     }
 
+    fn export_metrics(&self, m: &mut MetricsSheet) {
+        m.add(Counter::MiddleboxConntrackBlocked, self.blocked);
+    }
+
     fn on_packet(&mut self, ctx: &mut Ctx<'_>, dir: Direction, wire: Wire) {
         let Some(tuple) = four_tuple_of(&wire) else {
             ctx.send(dir, wire);
@@ -69,7 +74,6 @@ impl Element for StatefulFirewall {
                 } else {
                     self.blocked += 1;
                 }
-                return;
             }
             Some(ConnState::Open) => {
                 if (flags.rst() && self.rst_tears_down) || (flags.fin() && !flags.ack() && self.fin_tears_down) {
@@ -136,7 +140,11 @@ mod tests {
         let (mut sim, got) = setup();
         let syn = PacketBuilder::tcp(c(), s(), 40000, 80).flags(TcpFlags::SYN).seq(100).build();
         let rst = PacketBuilder::tcp(c(), s(), 40000, 80).flags(TcpFlags::RST).seq(101).ttl(4).build();
-        let data = PacketBuilder::tcp(c(), s(), 40000, 80).flags(TcpFlags::PSH_ACK).seq(101).payload(b"GET /").build();
+        let data = PacketBuilder::tcp(c(), s(), 40000, 80)
+            .flags(TcpFlags::PSH_ACK)
+            .seq(101)
+            .payload(b"GET /")
+            .build();
         sim.inject_at(0, Direction::ToServer, syn, Instant(0));
         sim.inject_at(0, Direction::ToServer, rst, Instant(1_000));
         sim.inject_at(0, Direction::ToServer, data, Instant(2_000));
@@ -154,7 +162,10 @@ mod tests {
         sim.inject_at(0, Direction::ToServer, syn.clone(), Instant(0));
         sim.inject_at(0, Direction::ToServer, rst, Instant(1_000));
         sim.inject_at(0, Direction::ToServer, syn.clone(), Instant(2_000));
-        let data = PacketBuilder::tcp(c(), s(), 40000, 80).flags(TcpFlags::PSH_ACK).payload(b"x").build();
+        let data = PacketBuilder::tcp(c(), s(), 40000, 80)
+            .flags(TcpFlags::PSH_ACK)
+            .payload(b"x")
+            .build();
         sim.inject_at(0, Direction::ToServer, data, Instant(3_000));
         sim.run_to_quiescence(100);
         assert_eq!(got.borrow().len(), 4, "everything passes once re-opened");
@@ -166,7 +177,10 @@ mod tests {
         let syn_a = PacketBuilder::tcp(c(), s(), 40000, 80).flags(TcpFlags::SYN).build();
         let rst_a = PacketBuilder::tcp(c(), s(), 40000, 80).flags(TcpFlags::RST).build();
         let syn_b = PacketBuilder::tcp(c(), s(), 40001, 80).flags(TcpFlags::SYN).build();
-        let data_b = PacketBuilder::tcp(c(), s(), 40001, 80).flags(TcpFlags::PSH_ACK).payload(b"y").build();
+        let data_b = PacketBuilder::tcp(c(), s(), 40001, 80)
+            .flags(TcpFlags::PSH_ACK)
+            .payload(b"y")
+            .build();
         sim.inject_at(0, Direction::ToServer, syn_a, Instant(0));
         sim.inject_at(0, Direction::ToServer, rst_a, Instant(1_000));
         sim.inject_at(0, Direction::ToServer, syn_b, Instant(2_000));

@@ -4,6 +4,7 @@
 use crate::rng::SimRng;
 use crate::time::{Duration, Instant};
 use intang_packet::Wire;
+use intang_telemetry::MetricsSheet;
 
 /// Which way a packet is traveling along the path.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -53,20 +54,25 @@ pub struct Ctx<'a> {
 impl<'a> Ctx<'a> {
     #[cfg(test)]
     pub(crate) fn new(now: Instant, rng: &'a mut SimRng) -> Self {
-        Ctx { now, rng, emissions: Vec::new(), timers: Vec::new() }
+        Ctx {
+            now,
+            rng,
+            emissions: Vec::new(),
+            timers: Vec::new(),
+        }
     }
 
     /// Build a context around caller-provided scratch buffers (must be
     /// empty). The simulation lends its reusable buffers here so the event
     /// loop allocates nothing per event once the buffers have grown.
-    pub(crate) fn with_buffers(
-        now: Instant,
-        rng: &'a mut SimRng,
-        emissions: Vec<Emission>,
-        timers: Vec<(Instant, u64)>,
-    ) -> Self {
+    pub(crate) fn with_buffers(now: Instant, rng: &'a mut SimRng, emissions: Vec<Emission>, timers: Vec<(Instant, u64)>) -> Self {
         debug_assert!(emissions.is_empty() && timers.is_empty());
-        Ctx { now, rng, emissions, timers }
+        Ctx {
+            now,
+            rng,
+            emissions,
+            timers,
+        }
     }
 
     /// Send `wire` onward in direction `dir` immediately (from this
@@ -105,6 +111,12 @@ pub trait Element {
 
     /// A timer set through [`Ctx::set_timer`] fired.
     fn on_timer(&mut self, _ctx: &mut Ctx<'_>, _token: u64) {}
+
+    /// Export this element's counters into a [`MetricsSheet`]. Called once
+    /// per trial by [`crate::Simulation::export_metrics`] — never on the
+    /// packet hot path — so elements keep incrementing their own cheap
+    /// local counters and translate them here. Default: nothing to export.
+    fn export_metrics(&self, _m: &mut MetricsSheet) {}
 }
 
 /// A trivial element that forwards everything untouched (useful as a

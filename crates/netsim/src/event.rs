@@ -2,6 +2,7 @@
 
 use crate::element::Direction;
 use crate::time::Instant;
+use crate::trace::TraceId;
 use intang_packet::Wire;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -9,8 +10,15 @@ use std::collections::BinaryHeap;
 /// Something scheduled to happen.
 #[derive(Debug)]
 pub enum Event {
-    /// Deliver `wire`, traveling in `dir`, to element `elem`.
-    Deliver { elem: usize, dir: Direction, wire: Wire },
+    /// Deliver `wire`, traveling in `dir`, to element `elem`. `cause` is
+    /// the trace id of the emission that put the packet in flight (lineage
+    /// threading; `None` when tracing is off or the packet was injected).
+    Deliver {
+        elem: usize,
+        dir: Direction,
+        wire: Wire,
+        cause: Option<TraceId>,
+    },
     /// Fire element `elem`'s timer with `token`.
     Timer { elem: usize, token: u64 },
 }

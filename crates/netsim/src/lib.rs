@@ -36,4 +36,4 @@ pub use link::Link;
 pub use rng::SimRng;
 pub use sim::Simulation;
 pub use time::{Duration, Instant};
-pub use trace::{Trace, TraceEvent, TracePoint};
+pub use trace::{Trace, TraceEvent, TraceId, TracePoint};

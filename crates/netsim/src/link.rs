@@ -23,7 +23,12 @@ pub struct Link {
 
 impl Link {
     pub fn new(latency: Duration, hops: u8) -> Link {
-        Link { latency, loss: 0.0, hops, router_base: Ipv4Addr::new(172, 16, 0, 0) }
+        Link {
+            latency,
+            loss: 0.0,
+            hops,
+            router_base: Ipv4Addr::new(172, 16, 0, 0),
+        }
     }
 
     pub fn with_loss(mut self, loss: f64) -> Link {

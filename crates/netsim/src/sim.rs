@@ -5,11 +5,12 @@ use crate::element::{Ctx, Direction, Element, Emission};
 use crate::event::{Event, EventQueue};
 use crate::link::Link;
 use crate::rng::SimRng;
-use crate::time::Instant;
 #[cfg(test)]
 use crate::time::Duration;
-use crate::trace::{NameId, Trace, TraceKind, TracePoint};
+use crate::time::Instant;
+use crate::trace::{NameId, Trace, TraceId, TraceKind, TracePoint};
 use intang_packet::{icmp, Ipv4Packet, Wire};
+use intang_telemetry::{Counter, MetricsSheet};
 
 /// A linear-path network simulation.
 ///
@@ -51,6 +52,8 @@ pub struct Simulation {
     pub lost: u64,
     /// Packets that died of TTL expiry.
     pub ttl_expired: u64,
+    /// Events popped from the queue over the simulation's lifetime.
+    pub events_processed: u64,
 }
 
 impl Simulation {
@@ -68,6 +71,7 @@ impl Simulation {
             delivered: 0,
             lost: 0,
             ttl_expired: 0,
+            events_processed: 0,
         }
     }
 
@@ -97,7 +101,15 @@ impl Simulation {
 
     /// Deliver a packet to an element at a given time (test/bootstrap hook).
     pub fn inject_at(&mut self, elem: usize, dir: Direction, wire: Wire, at: Instant) {
-        self.queue.push(at, Event::Deliver { elem, dir, wire });
+        self.queue.push(
+            at,
+            Event::Deliver {
+                elem,
+                dir,
+                wire,
+                cause: None,
+            },
+        );
     }
 
     /// Schedule a timer for an element (bootstrap hook; elements normally
@@ -140,6 +152,7 @@ impl Simulation {
         };
         debug_assert!(at >= self.now, "time went backwards");
         self.now = at;
+        self.events_processed += 1;
         // Lend the simulation's scratch buffers to the element context so no
         // Vec is allocated per event; they come back (drained, capacity
         // intact) after the effects are applied.
@@ -147,26 +160,36 @@ impl Simulation {
         let scratch_tm = std::mem::take(&mut self.scratch_timers);
         let (mut emissions, mut timers);
         match event {
-            Event::Deliver { elem, dir, wire } => {
-                if self.trace.is_enabled() {
+            Event::Deliver { elem, dir, wire, cause } => {
+                // Lineage: the arrival is caused by the emission that put
+                // the packet in flight; everything the element now emits is
+                // caused by this arrival. The is_enabled() guard keeps the
+                // disabled-trace hot path free of argument construction.
+                let arrive_id = if self.trace.is_enabled() {
                     self.trace.record(
                         at,
-                        TracePoint::Element { index: elem, name: self.element_names[elem] },
+                        TracePoint::Element {
+                            index: elem,
+                            name: self.element_names[elem],
+                        },
                         TraceKind::Arrive,
                         dir,
+                        cause,
                         intang_packet::summarize(&wire),
-                    );
-                }
+                    )
+                } else {
+                    None
+                };
                 let mut ctx = Ctx::with_buffers(at, &mut self.rng, scratch_em, scratch_tm);
                 self.elements[elem].on_packet(&mut ctx, dir, wire);
                 (emissions, timers) = (ctx.emissions, ctx.timers);
-                self.apply_effects(elem, &mut emissions, &mut timers);
+                self.apply_effects(elem, arrive_id, &mut emissions, &mut timers);
             }
             Event::Timer { elem, token } => {
                 let mut ctx = Ctx::with_buffers(at, &mut self.rng, scratch_em, scratch_tm);
                 self.elements[elem].on_timer(&mut ctx, token);
                 (emissions, timers) = (ctx.emissions, ctx.timers);
-                self.apply_effects(elem, &mut emissions, &mut timers);
+                self.apply_effects(elem, None, &mut emissions, &mut timers);
             }
         }
         self.scratch_emissions = emissions;
@@ -174,7 +197,7 @@ impl Simulation {
         true
     }
 
-    fn apply_effects(&mut self, from: usize, emissions: &mut Vec<Emission>, timers: &mut Vec<(Instant, u64)>) {
+    fn apply_effects(&mut self, from: usize, cause: Option<TraceId>, emissions: &mut Vec<Emission>, timers: &mut Vec<(Instant, u64)>) {
         for (mut at, token) in timers.drain(..) {
             if at < self.now {
                 at = self.now;
@@ -182,23 +205,30 @@ impl Simulation {
             self.queue.push(at, Event::Timer { elem: from, token });
         }
         for em in emissions.drain(..) {
-            self.transmit(from, em);
+            self.transmit(from, em, cause);
         }
     }
 
     /// Move a packet from element `from` across the adjacent link in
-    /// `em.dir`, applying TTL decrements, loss and latency.
-    fn transmit(&mut self, from: usize, em: Emission) {
+    /// `em.dir`, applying TTL decrements, loss and latency. `cause` is the
+    /// trace id of the arrival that provoked the emission (lineage).
+    fn transmit(&mut self, from: usize, em: Emission, cause: Option<TraceId>) {
         let Emission { dir, mut wire, delay } = em;
-        if self.trace.is_enabled() {
+        let emit_id = if self.trace.is_enabled() {
             self.trace.record(
                 self.now,
-                TracePoint::Element { index: from, name: self.element_names[from] },
+                TracePoint::Element {
+                    index: from,
+                    name: self.element_names[from],
+                },
                 TraceKind::Emit,
                 dir,
+                cause,
                 intang_packet::summarize(&wire),
-            );
-        }
+            )
+        } else {
+            None
+        };
         let link_idx = match dir {
             Direction::ToServer => {
                 if from + 1 >= self.elements.len() {
@@ -235,19 +265,31 @@ impl Simulation {
             if ttl == 0 {
                 self.ttl_expired += 1;
                 let died_at = depart + per_hop * u64::from(hop);
-                if self.trace.is_enabled() {
+                let ttl_id = if self.trace.is_enabled() {
                     self.trace.record(
                         died_at,
                         TracePoint::Link { after: link_idx, hop },
                         TraceKind::TtlExpired,
                         dir,
+                        emit_id,
                         intang_packet::summarize(&wire),
-                    );
-                }
-                // ICMP time-exceeded travels back to the emitting side.
+                    )
+                } else {
+                    None
+                };
+                // ICMP time-exceeded travels back to the emitting side; its
+                // lineage parent is the expiry that generated it.
                 if let Some(te) = icmp::time_exceeded_for(self.links[link_idx].router_addr(hop), &wire) {
                     let back_at = died_at + per_hop * u64::from(hop);
-                    self.queue.push(back_at, Event::Deliver { elem: from, dir: dir.reversed(), wire: te });
+                    self.queue.push(
+                        back_at,
+                        Event::Deliver {
+                            elem: from,
+                            dir: dir.reversed(),
+                            wire: te,
+                            cause: ttl_id,
+                        },
+                    );
                 }
                 return;
             }
@@ -261,6 +303,7 @@ impl Simulation {
                     TracePoint::Link { after: link_idx, hop: 0 },
                     TraceKind::Loss,
                     dir,
+                    emit_id,
                     intang_packet::summarize(&wire),
                 );
             }
@@ -268,7 +311,15 @@ impl Simulation {
         }
 
         self.delivered += 1;
-        self.queue.push(depart + latency, Event::Deliver { elem: to, dir, wire });
+        self.queue.push(
+            depart + latency,
+            Event::Deliver {
+                elem: to,
+                dir,
+                wire,
+                cause: emit_id,
+            },
+        );
     }
 
     /// Immutable access to an element (for assertions in tests).
@@ -294,6 +345,20 @@ impl Simulation {
 
     pub fn pending_events(&self) -> usize {
         self.queue.len()
+    }
+
+    /// Export the simulation's substrate counters plus every element's
+    /// counters into `m`. Elements are visited in path order (left to
+    /// right), so the export is deterministic for a given topology.
+    pub fn export_metrics(&self, m: &mut MetricsSheet) {
+        m.add(Counter::NetsimEvents, self.events_processed);
+        m.add(Counter::NetsimDelivered, self.delivered);
+        m.add(Counter::NetsimLost, self.lost);
+        m.add(Counter::NetsimTtlExpired, self.ttl_expired);
+        m.add(Counter::TraceEventsDropped, self.trace.dropped());
+        for e in &self.elements {
+            e.export_metrics(m);
+        }
     }
 }
 
@@ -327,7 +392,9 @@ mod tests {
             .build()
     }
 
-    fn two_node_sim(link: Link) -> (Simulation, Rc<RefCell<Vec<(Instant, Wire)>>>) {
+    type DeliveryLog = Rc<RefCell<Vec<(Instant, Wire)>>>;
+
+    fn two_node_sim(link: Link) -> (Simulation, DeliveryLog) {
         let got = Rc::new(RefCell::new(Vec::new()));
         let mut sim = Simulation::new(1);
         sim.add_element(Box::new(PassThrough::new("client")));
@@ -455,6 +522,58 @@ mod tests {
         assert_eq!(sim.run_until(Instant(5_000)), 1);
         assert_eq!(*fired.borrow(), vec![1, 2, 3], "each event popped exactly once");
         assert_eq!(sim.now, Instant(5_000), "clock advances to the idle deadline");
+    }
+
+    #[test]
+    fn lineage_threads_from_injection_to_delivery() {
+        use crate::trace::TraceKind;
+        let (mut sim, _got) = two_node_sim(Link::new(Duration::from_millis(10), 3));
+        sim.trace.enable();
+        sim.inject_at(0, Direction::ToServer, pkt(64), Instant::ZERO);
+        sim.run_to_quiescence(100);
+        let events = sim.trace.events();
+        // inject → Arrive(client, no parent) → Emit(client, parent=arrive)
+        // → Arrive(sink, parent=emit)
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].kind, TraceKind::Arrive);
+        assert_eq!(events[0].parent, None, "injected packet has no cause");
+        assert_eq!(events[1].kind, TraceKind::Emit);
+        assert_eq!(events[1].parent, Some(events[0].id));
+        assert_eq!(events[2].kind, TraceKind::Arrive);
+        assert_eq!(events[2].parent, Some(events[1].id));
+        // The rendered lineage of the final arrival walks back to the root.
+        let lineage = sim.trace.render_lineage(events[2].id);
+        assert_eq!(lineage.lines().count(), 3, "{lineage}");
+    }
+
+    #[test]
+    fn icmp_lineage_points_at_the_ttl_expiry() {
+        use crate::trace::TraceKind;
+        let (mut sim, _got) = two_node_sim(Link::new(Duration::from_millis(9), 3));
+        sim.trace.enable();
+        sim.inject_at(0, Direction::ToServer, pkt(2), Instant::ZERO);
+        sim.run_to_quiescence(100);
+        let events = sim.trace.events();
+        let ttl = events.iter().find(|e| e.kind == TraceKind::TtlExpired).expect("ttl event");
+        let icmp_arrive = events
+            .iter()
+            .find(|e| e.kind == TraceKind::Arrive && e.parent == Some(ttl.id))
+            .expect("ICMP arrival parented on the expiry");
+        assert_eq!(icmp_arrive.dir, Direction::ToClient);
+    }
+
+    #[test]
+    fn export_metrics_reports_substrate_counters() {
+        use intang_telemetry::{Counter, MetricsSheet};
+        let (mut sim, _got) = two_node_sim(Link::new(Duration::from_millis(10), 3));
+        sim.inject_at(0, Direction::ToServer, pkt(64), Instant::ZERO);
+        sim.run_to_quiescence(100);
+        let mut m = MetricsSheet::new();
+        sim.export_metrics(&mut m);
+        assert_eq!(m.counter(Counter::NetsimDelivered), 1);
+        assert_eq!(m.counter(Counter::NetsimEvents), sim.events_processed);
+        assert!(sim.events_processed >= 2);
+        assert_eq!(m.counter(Counter::TraceEventsDropped), 0);
     }
 
     #[test]

@@ -6,13 +6,29 @@
 //! records carry a compact [`NameId`] instead of a freshly allocated
 //! `String`, so recording is allocation-free on the name side even for
 //! million-event runs.
+//!
+//! Every record also carries a *lineage*: a [`TraceId`] of its own and an
+//! optional parent id pointing at the event that caused it. The simulation
+//! threads causation through the event queue (an `Emit` is parented on the
+//! `Arrive` being processed; the resulting delivery's `Arrive` is parented
+//! on the `Emit`; losses and TTL expiries on the emit that put the packet
+//! on the link), so a full causal chain — "client SYN → GFW TCB created →
+//! insertion RST absorbed" — can be rendered for any single packet with
+//! [`Trace::render_lineage`].
 
 use crate::element::Direction;
 use crate::time::Instant;
+use std::collections::HashMap;
 
 /// Interned element name: an index into the trace's name table.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct NameId(pub u32);
+
+/// Identity of one trace event, assigned sequentially from 1. Ids keep
+/// advancing past the event cap so causal references stay coherent even
+/// when the referenced event itself was dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TraceId(pub u64);
 
 /// Where a trace event happened.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -39,12 +55,22 @@ pub enum TraceKind {
 /// One trace record.
 #[derive(Debug, Clone)]
 pub struct TraceEvent {
+    /// This event's own id (events are stored in ascending id order).
+    pub id: TraceId,
+    /// The event that caused this one, if causation is known: the `Emit`
+    /// behind an `Arrive`/`Loss`/`TtlExpired`, the `Arrive` behind an
+    /// `Emit`. `None` for injected bootstrap packets and timer-driven
+    /// emissions.
+    pub parent: Option<TraceId>,
     pub at: Instant,
     pub point: TracePoint,
     pub kind: TraceKind,
     pub dir: Direction,
     pub summary: String,
 }
+
+/// Default bound on stored events (overridable via [`Trace::set_cap`]).
+pub const DEFAULT_TRACE_CAP: usize = 100_000;
 
 /// A bounded in-memory trace. Disabled by default (experiments run millions
 /// of packets); enable for diagnostics and figure generation.
@@ -53,12 +79,25 @@ pub struct Trace {
     enabled: bool,
     events: Vec<TraceEvent>,
     cap: usize,
+    next_id: u64,
+    /// Events that hit the cap and were not stored (they still consumed an
+    /// id so lineage references remain valid).
+    dropped: u64,
     names: Vec<String>,
+    name_index: HashMap<String, NameId>,
 }
 
 impl Trace {
     pub fn new() -> Trace {
-        Trace { enabled: false, events: Vec::new(), cap: 100_000, names: Vec::new() }
+        Trace {
+            enabled: false,
+            events: Vec::new(),
+            cap: DEFAULT_TRACE_CAP,
+            next_id: 0,
+            dropped: 0,
+            names: Vec::new(),
+            name_index: HashMap::new(),
+        }
     }
 
     pub fn enable(&mut self) {
@@ -69,18 +108,35 @@ impl Trace {
         self.enabled
     }
 
+    /// Change the stored-event bound. Takes effect for future records; does
+    /// not discard events already stored.
+    pub fn set_cap(&mut self, cap: usize) {
+        self.cap = cap;
+    }
+
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Events that were recorded past the cap and not stored.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
     /// Intern `name`, returning its stable id (idempotent per string).
     pub fn intern(&mut self, name: &str) -> NameId {
-        if let Some(i) = self.names.iter().position(|n| n == name) {
-            return NameId(i as u32);
+        if let Some(&id) = self.name_index.get(name) {
+            return id;
         }
+        let id = NameId(self.names.len() as u32);
         self.names.push(name.to_string());
-        NameId((self.names.len() - 1) as u32)
+        self.name_index.insert(name.to_string(), id);
+        id
     }
 
     /// The id a name was interned under, if it has been.
     pub fn lookup(&self, name: &str) -> Option<NameId> {
-        self.names.iter().position(|n| n == name).map(|i| NameId(i as u32))
+        self.name_index.get(name).copied()
     }
 
     /// Resolve an interned id back to the element name.
@@ -88,35 +144,120 @@ impl Trace {
         &self.names[id.0 as usize]
     }
 
-    pub fn record(&mut self, at: Instant, point: TracePoint, kind: TraceKind, dir: Direction, summary: String) {
-        if self.enabled && self.events.len() < self.cap {
-            self.events.push(TraceEvent { at, point, kind, dir, summary });
+    /// Record one event with an optional causal parent. Returns the id the
+    /// event was assigned, or `None` when the trace is disabled. Events
+    /// past the cap still get an id (and count in [`Trace::dropped`]) so
+    /// lineage chains queued before overflow stay coherent.
+    pub fn record(
+        &mut self,
+        at: Instant,
+        point: TracePoint,
+        kind: TraceKind,
+        dir: Direction,
+        parent: Option<TraceId>,
+        summary: String,
+    ) -> Option<TraceId> {
+        if !self.enabled {
+            return None;
         }
+        self.next_id += 1;
+        let id = TraceId(self.next_id);
+        if self.events.len() < self.cap {
+            self.events.push(TraceEvent {
+                id,
+                parent,
+                at,
+                point,
+                kind,
+                dir,
+                summary,
+            });
+        } else {
+            self.dropped += 1;
+        }
+        Some(id)
     }
 
     pub fn events(&self) -> &[TraceEvent] {
         &self.events
     }
 
+    /// Look up a stored event by id (binary search; events are stored in
+    /// ascending id order). `None` if the id fell past the cap.
+    pub fn find(&self, id: TraceId) -> Option<&TraceEvent> {
+        self.events.binary_search_by_key(&id, |e| e.id).ok().map(|i| &self.events[i])
+    }
+
     pub fn clear(&mut self) {
         self.events.clear();
+        self.dropped = 0;
+        self.next_id = 0;
+    }
+
+    fn format_event(&self, e: &TraceEvent) -> String {
+        let loc = match &e.point {
+            TracePoint::Element { name, .. } => self.name(*name).to_string(),
+            TracePoint::Link { after, hop } => format!("link[{}]+{}", after, hop),
+        };
+        let kind = match e.kind {
+            TraceKind::Arrive => "rx",
+            TraceKind::Emit => "tx",
+            TraceKind::Loss => "LOST",
+            TraceKind::TtlExpired => "TTL!",
+        };
+        let lineage = match e.parent {
+            Some(p) => format!("#{}<-#{}", e.id.0, p.0),
+            None => format!("#{}", e.id.0),
+        };
+        format!(
+            "{:>12}  {:<12} {:<4} {} {:<10} {}",
+            format!("{}", e.at),
+            loc,
+            kind,
+            e.dir,
+            lineage,
+            e.summary
+        )
     }
 
     /// Render the trace as a textual sequence, one line per event.
     pub fn render(&self) -> String {
         let mut out = String::new();
         for e in &self.events {
-            let loc = match &e.point {
-                TracePoint::Element { name, .. } => self.name(*name).to_string(),
-                TracePoint::Link { after, hop } => format!("link[{}]+{}", after, hop),
-            };
-            let kind = match e.kind {
-                TraceKind::Arrive => "rx",
-                TraceKind::Emit => "tx",
-                TraceKind::Loss => "LOST",
-                TraceKind::TtlExpired => "TTL!",
-            };
-            out.push_str(&format!("{:>12}  {:<12} {:<4} {} {}\n", format!("{}", e.at), loc, kind, e.dir, e.summary));
+            out.push_str(&self.format_event(e));
+            out.push('\n');
+        }
+        if self.dropped > 0 {
+            out.push_str(&format!("... {} event(s) dropped at cap {}\n", self.dropped, self.cap));
+        }
+        out
+    }
+
+    /// Render the causal chain ending at `id`, root first — a Fig. 3-style
+    /// single-packet storyline. Chain links that fell past the cap are
+    /// shown as elided.
+    pub fn render_lineage(&self, id: TraceId) -> String {
+        let mut chain = Vec::new();
+        let mut cursor = Some(id);
+        while let Some(cur) = cursor {
+            match self.find(cur) {
+                Some(e) => {
+                    cursor = e.parent;
+                    chain.push(Some(e));
+                }
+                None => {
+                    chain.push(None);
+                    break;
+                }
+            }
+        }
+        let mut out = String::new();
+        for (depth, entry) in chain.iter().rev().enumerate() {
+            let indent = "  ".repeat(depth);
+            match entry {
+                Some(e) => out.push_str(&format!("{}{}\n", indent, self.format_event(e))),
+                None => out.push_str(&format!("{}(event evicted at cap)\n", indent)),
+            }
         }
         out
     }
@@ -126,12 +267,22 @@ impl Trace {
 mod tests {
     use super::*;
 
+    fn elem(t: &mut Trace, name: &str) -> TracePoint {
+        let n = t.intern(name);
+        TracePoint::Element {
+            index: n.0 as usize,
+            name: n,
+        }
+    }
+
     #[test]
     fn disabled_trace_records_nothing() {
         let mut t = Trace::new();
-        let x = t.intern("x");
-        t.record(Instant(1), TracePoint::Element { index: 0, name: x }, TraceKind::Arrive, Direction::ToServer, "p".into());
+        let p = elem(&mut t, "x");
+        let id = t.record(Instant(1), p, TraceKind::Arrive, Direction::ToServer, None, "p".into());
+        assert_eq!(id, None);
         assert!(t.events().is_empty());
+        assert_eq!(t.dropped(), 0);
     }
 
     #[test]
@@ -147,6 +298,19 @@ mod tests {
     }
 
     #[test]
+    fn interning_many_names_stays_consistent() {
+        // The HashMap side index must agree with the name table even for
+        // name counts where the old linear scan was the bottleneck.
+        let mut t = Trace::new();
+        let ids: Vec<NameId> = (0..1_000).map(|i| t.intern(&format!("elem{i}"))).collect();
+        for (i, id) in ids.iter().enumerate() {
+            assert_eq!(t.name(*id), format!("elem{i}"));
+            assert_eq!(t.intern(&format!("elem{i}")), *id);
+            assert_eq!(t.lookup(&format!("elem{i}")), Some(*id));
+        }
+    }
+
+    #[test]
     fn enabled_trace_renders() {
         let mut t = Trace::new();
         t.enable();
@@ -156,6 +320,7 @@ mod tests {
             TracePoint::Element { index: 2, name: gfw },
             TraceKind::Arrive,
             Direction::ToServer,
+            None,
             "SYN".into(),
         );
         t.record(
@@ -163,11 +328,72 @@ mod tests {
             TracePoint::Link { after: 2, hop: 3 },
             TraceKind::TtlExpired,
             Direction::ToServer,
+            None,
             "RST ttl=0".into(),
         );
         let s = t.render();
         assert!(s.contains("GFW"));
         assert!(s.contains("TTL!"));
         assert!(s.contains("link[2]+3"));
+    }
+
+    #[test]
+    fn lineage_chains_render_root_first() {
+        let mut t = Trace::new();
+        t.enable();
+        let c = elem(&mut t, "client");
+        let g = elem(&mut t, "GFW");
+        let syn = t.record(Instant(0), c, TraceKind::Emit, Direction::ToServer, None, "SYN".into());
+        let arrive = t.record(Instant(10), g, TraceKind::Arrive, Direction::ToServer, syn, "SYN".into());
+        let rst = t.record(Instant(10), g, TraceKind::Emit, Direction::ToClient, arrive, "RST".into());
+        let back = t
+            .record(Instant(20), c, TraceKind::Arrive, Direction::ToClient, rst, "RST".into())
+            .unwrap();
+
+        assert_eq!(t.find(back).unwrap().parent, rst);
+        let lineage = t.render_lineage(back);
+        let lines: Vec<&str> = lineage.lines().collect();
+        assert_eq!(lines.len(), 4, "{lineage}");
+        assert!(lines[0].contains("SYN") && lines[0].contains("#1"), "{lineage}");
+        assert!(lines[3].contains("RST") && lines[3].contains("#4<-#3"), "{lineage}");
+    }
+
+    #[test]
+    fn overflow_counts_drops_and_keeps_ids_coherent() {
+        let mut t = Trace::new();
+        t.enable();
+        t.set_cap(2);
+        let p = elem(&mut t, "x");
+        let a = t.record(Instant(0), p, TraceKind::Emit, Direction::ToServer, None, "a".into());
+        let b = t.record(Instant(1), p, TraceKind::Emit, Direction::ToServer, a, "b".into());
+        // Past the cap: not stored, but still identified and counted.
+        let c = t.record(Instant(2), p, TraceKind::Emit, Direction::ToServer, b, "c".into());
+        let d = t.record(Instant(3), p, TraceKind::Emit, Direction::ToServer, c, "d".into());
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.dropped(), 2);
+        assert_eq!(c, Some(TraceId(3)));
+        assert_eq!(d, Some(TraceId(4)));
+        assert!(t.find(TraceId(3)).is_none());
+        assert!(t.render().contains("2 event(s) dropped"));
+        // Lineage through an evicted link reports the gap instead of lying.
+        let lineage = t.render_lineage(TraceId(4));
+        assert!(lineage.contains("evicted"), "id 4 itself was evicted: {lineage}");
+        let lineage_b = t.render_lineage(b.unwrap());
+        assert!(lineage_b.contains('a') && lineage_b.contains('b'));
+    }
+
+    #[test]
+    fn clear_resets_ids_and_drop_counter() {
+        let mut t = Trace::new();
+        t.enable();
+        t.set_cap(1);
+        let p = elem(&mut t, "x");
+        t.record(Instant(0), p, TraceKind::Emit, Direction::ToServer, None, "a".into());
+        t.record(Instant(1), p, TraceKind::Emit, Direction::ToServer, None, "b".into());
+        assert_eq!(t.dropped(), 1);
+        t.clear();
+        assert_eq!(t.dropped(), 0);
+        let id = t.record(Instant(2), p, TraceKind::Emit, Direction::ToServer, None, "c".into());
+        assert_eq!(id, Some(TraceId(1)), "ids restart after clear");
     }
 }

@@ -167,11 +167,7 @@ mod tests {
 
     #[test]
     fn malformations_compose() {
-        let wire = PacketBuilder::tcp(c(), s(), 1, 2)
-            .payload(b"junk")
-            .bad_checksum()
-            .ttl(3)
-            .build();
+        let wire = PacketBuilder::tcp(c(), s(), 1, 2).payload(b"junk").bad_checksum().ttl(3).build();
         let ip = Ipv4Packet::new_checked(&wire[..]).unwrap();
         assert_eq!(ip.ttl(), 3);
         let tcp = TcpPacket::new_checked(ip.payload()).unwrap();

@@ -46,7 +46,11 @@ impl DnsMessage {
             id,
             is_response: false,
             rcode: 0,
-            questions: vec![Question { name: name.to_string(), qtype: TYPE_A, qclass: CLASS_IN }],
+            questions: vec![Question {
+                name: name.to_string(),
+                qtype: TYPE_A,
+                qclass: CLASS_IN,
+            }],
             answers: Vec::new(),
         }
     }
@@ -59,7 +63,12 @@ impl DnsMessage {
             is_response: true,
             rcode: 0,
             questions: query.questions.clone(),
-            answers: vec![Record { name, rtype: TYPE_A, ttl, addr }],
+            answers: vec![Record {
+                name,
+                rtype: TYPE_A,
+                ttl,
+                addr,
+            }],
         }
     }
 
@@ -235,7 +244,10 @@ mod tests {
         let q = DnsMessage::query(9, "tor.bridges.example");
         let framed = q.encode_tcp();
         // Partial buffer -> Truncated.
-        assert_eq!(DnsMessage::decode_tcp(&framed[..framed.len() - 1]).unwrap_err(), ParseError::Truncated);
+        assert_eq!(
+            DnsMessage::decode_tcp(&framed[..framed.len() - 1]).unwrap_err(),
+            ParseError::Truncated
+        );
         let (msg, used) = DnsMessage::decode_tcp(&framed).unwrap();
         assert_eq!(msg, q);
         assert_eq!(used, framed.len());

@@ -91,7 +91,11 @@ pub struct Reassembler {
 
 impl Reassembler {
     pub fn new(policy: OverlapPolicy) -> Self {
-        Reassembler { policy, pending: Vec::new(), capacity: 64 }
+        Reassembler {
+            policy,
+            pending: Vec::new(),
+            capacity: 64,
+        }
     }
 
     /// Feed one datagram. Non-fragments are returned unchanged. Fragments
@@ -117,7 +121,14 @@ impl Reassembler {
                 if self.pending.len() >= self.capacity {
                     self.pending.remove(0);
                 }
-                self.pending.push((key, Assembly { bytes: Vec::new(), total: None, base }));
+                self.pending.push((
+                    key,
+                    Assembly {
+                        bytes: Vec::new(),
+                        total: None,
+                        base,
+                    },
+                ));
                 self.pending.len() - 1
             }
         };

@@ -66,7 +66,12 @@ impl HttpRequest {
         if rest.len() < clen {
             return Err(ParseError::Truncated);
         }
-        Ok(HttpRequest { method, target, headers, body: rest[..clen].to_vec() })
+        Ok(HttpRequest {
+            method,
+            target,
+            headers,
+            body: rest[..clen].to_vec(),
+        })
     }
 }
 
@@ -135,22 +140,28 @@ impl HttpResponse {
         if !version.starts_with("HTTP/1.") {
             return Err(ParseError::Unsupported);
         }
-        let status: u16 = parts.next().ok_or(ParseError::Malformed)?.parse().map_err(|_| ParseError::Malformed)?;
+        let status: u16 = parts
+            .next()
+            .ok_or(ParseError::Malformed)?
+            .parse()
+            .map_err(|_| ParseError::Malformed)?;
         let reason = parts.next().unwrap_or("").to_string();
         let headers = parse_headers(lines)?;
         let clen = content_length(&headers);
         if rest.len() < clen {
             return Err(ParseError::Truncated);
         }
-        Ok(HttpResponse { status, reason, headers, body: rest[..clen].to_vec() })
+        Ok(HttpResponse {
+            status,
+            reason,
+            headers,
+            body: rest[..clen].to_vec(),
+        })
     }
 }
 
 fn split_head(data: &[u8]) -> Result<(&str, &[u8])> {
-    let pos = data
-        .windows(4)
-        .position(|w| w == b"\r\n\r\n")
-        .ok_or(ParseError::Truncated)?;
+    let pos = data.windows(4).position(|w| w == b"\r\n\r\n").ok_or(ParseError::Truncated)?;
     let head = std::str::from_utf8(&data[..pos]).map_err(|_| ParseError::Malformed)?;
     Ok((head, &data[pos + 4..]))
 }

@@ -76,11 +76,21 @@ impl<T: AsRef<[u8]>> IcmpPacket<T> {
 /// High-level ICMP messages.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum IcmpRepr {
-    EchoRequest { ident: u16, seq_no: u16, payload: Vec<u8> },
-    EchoReply { ident: u16, seq_no: u16, payload: Vec<u8> },
+    EchoRequest {
+        ident: u16,
+        seq_no: u16,
+        payload: Vec<u8>,
+    },
+    EchoReply {
+        ident: u16,
+        seq_no: u16,
+        payload: Vec<u8>,
+    },
     /// TTL expired in transit; carries the offending datagram's IP header
     /// plus the first 8 bytes of its payload.
-    TimeExceeded { original: Vec<u8> },
+    TimeExceeded {
+        original: Vec<u8>,
+    },
 }
 
 impl IcmpRepr {
@@ -96,7 +106,9 @@ impl IcmpRepr {
                 seq_no: pkt.seq_no(),
                 payload: pkt.payload().to_vec(),
             }),
-            (TYPE_TIME_EXCEEDED, 0) => Ok(IcmpRepr::TimeExceeded { original: pkt.payload().to_vec() }),
+            (TYPE_TIME_EXCEEDED, 0) => Ok(IcmpRepr::TimeExceeded {
+                original: pkt.payload().to_vec(),
+            }),
             _ => Err(ParseError::Unsupported),
         }
     }
@@ -132,7 +144,9 @@ impl IcmpRepr {
 pub fn time_exceeded_for(router: Ipv4Addr, expired_wire: &[u8]) -> Option<Vec<u8>> {
     let expired = ipv4::Ipv4Packet::new_checked(expired_wire).ok()?;
     let quote_len = (expired.header_len() + 8).min(expired_wire.len());
-    let repr = IcmpRepr::TimeExceeded { original: expired_wire[..quote_len].to_vec() };
+    let repr = IcmpRepr::TimeExceeded {
+        original: expired_wire[..quote_len].to_vec(),
+    };
     let ip = ipv4::Ipv4Repr::new(router, expired.src_addr(), ipv4::IpProtocol::Icmp);
     Some(ip.emit(&repr.emit()))
 }
@@ -194,7 +208,11 @@ mod tests {
 
     #[test]
     fn echo_round_trip() {
-        let repr = IcmpRepr::EchoRequest { ident: 42, seq_no: 7, payload: b"ping".to_vec() };
+        let repr = IcmpRepr::EchoRequest {
+            ident: 42,
+            seq_no: 7,
+            payload: b"ping".to_vec(),
+        };
         let wire = repr.emit();
         let pkt = IcmpPacket::new_checked(&wire[..]).unwrap();
         assert!(pkt.verify_checksum());
@@ -206,8 +224,15 @@ mod tests {
         let client = Ipv4Addr::new(10, 0, 0, 1);
         let server = Ipv4Addr::new(93, 184, 216, 34);
         let router = Ipv4Addr::new(172, 16, 5, 9);
-        let tcp = TcpRepr { seq: 0xdeadbeef, flags: TcpFlags::SYN, ..TcpRepr::new(40000, 80) };
-        let ip = Ipv4Repr { ttl: 1, ..Ipv4Repr::new(client, server, IpProtocol::Tcp) };
+        let tcp = TcpRepr {
+            seq: 0xdeadbeef,
+            flags: TcpFlags::SYN,
+            ..TcpRepr::new(40000, 80)
+        };
+        let ip = Ipv4Repr {
+            ttl: 1,
+            ..Ipv4Repr::new(client, server, IpProtocol::Tcp)
+        };
         let expired = ip.emit(&tcp.emit(client, server));
 
         let te = time_exceeded_for(router, &expired).unwrap();

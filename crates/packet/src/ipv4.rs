@@ -289,9 +289,7 @@ impl Ipv4Repr {
         buf[HEADER_LEN..].copy_from_slice(payload);
         let mut pkt = Ipv4Packet::new_unchecked(&mut buf[..]);
         pkt.set_version_and_header_len(HEADER_LEN);
-        let total = self
-            .total_len_override
-            .unwrap_or((HEADER_LEN + payload.len()) as u16);
+        let total = self.total_len_override.unwrap_or((HEADER_LEN + payload.len()) as u16);
         pkt.set_total_len(total);
         pkt.set_ident(self.ident);
         pkt.set_flags_and_frag_offset(self.dont_fragment, self.more_fragments, self.frag_offset);
@@ -363,7 +361,10 @@ mod tests {
 
     #[test]
     fn decrement_ttl_keeps_checksum_valid() {
-        let repr = Ipv4Repr { ttl: 3, ..Ipv4Repr::new(addr(1), addr(2), IpProtocol::Tcp) };
+        let repr = Ipv4Repr {
+            ttl: 3,
+            ..Ipv4Repr::new(addr(1), addr(2), IpProtocol::Tcp)
+        };
         let mut wire = repr.emit(b"x");
         let mut pkt = Ipv4Packet::new_unchecked(&mut wire[..]);
         assert_eq!(pkt.decrement_ttl(), 2);

@@ -80,12 +80,22 @@ pub struct FourTuple {
 
 impl FourTuple {
     pub fn new(src: Ipv4Addr, src_port: u16, dst: Ipv4Addr, dst_port: u16) -> Self {
-        FourTuple { src, src_port, dst, dst_port }
+        FourTuple {
+            src,
+            src_port,
+            dst,
+            dst_port,
+        }
     }
 
     /// The same flow seen from the opposite direction.
     pub fn reversed(&self) -> FourTuple {
-        FourTuple { src: self.dst, src_port: self.dst_port, dst: self.src, dst_port: self.src_port }
+        FourTuple {
+            src: self.dst,
+            src_port: self.dst_port,
+            dst: self.src,
+            dst_port: self.src_port,
+        }
     }
 
     /// A direction-independent key: both directions of a flow map to the

@@ -94,13 +94,19 @@ pub enum TcpOption {
     WindowScale(u8),
     SackPermitted,
     /// RFC 7323 timestamps: (TSval, TSecr).
-    Timestamps { tsval: u32, tsecr: u32 },
+    Timestamps {
+        tsval: u32,
+        tsecr: u32,
+    },
     /// RFC 2385 TCP MD5 signature option. The 16-byte digest is opaque to
     /// us; an *unsolicited* MD5 option causes modern Linux to drop the
     /// segment while the GFW processes it (Table 3).
     Md5Sig([u8; 16]),
     /// Unknown option kind with raw payload, preserved verbatim.
-    Unknown { kind: u8, data: Vec<u8> },
+    Unknown {
+        kind: u8,
+        data: Vec<u8>,
+    },
 }
 
 impl TcpOption {
@@ -148,8 +154,8 @@ pub fn parse_options(mut raw: &[u8]) -> Vec<TcpOption> {
     let mut opts = Vec::new();
     while let Some((&kind, rest)) = raw.split_first() {
         match kind {
-            0 => break,          // end of option list
-            1 => raw = rest,     // NOP padding
+            0 => break,      // end of option list
+            1 => raw = rest, // NOP padding
             _ => {
                 let Some(&len) = rest.first() else { break };
                 let len = usize::from(len);
@@ -411,10 +417,7 @@ mod tests {
             ack: 0x9abc_def0,
             flags: TcpFlags::PSH_ACK,
             window: 29200,
-            options: vec![
-                TcpOption::Mss(1460),
-                TcpOption::Timestamps { tsval: 100, tsecr: 200 },
-            ],
+            options: vec![TcpOption::Mss(1460), TcpOption::Timestamps { tsval: 100, tsecr: 200 }],
             payload: b"GET / HTTP/1.1\r\n\r\n".to_vec(),
             ..TcpRepr::new(40001, 80)
         }
@@ -440,7 +443,10 @@ mod tests {
 
     #[test]
     fn bad_checksum_override() {
-        let repr = TcpRepr { checksum_override: Some(0xdead), ..sample_repr() };
+        let repr = TcpRepr {
+            checksum_override: Some(0xdead),
+            ..sample_repr()
+        };
         let wire = repr.emit(a1(), a2());
         let pkt = TcpPacket::new_checked(&wire[..]).unwrap();
         assert!(!pkt.verify_checksum(a1(), a2()));
@@ -450,7 +456,10 @@ mod tests {
     #[test]
     fn md5_option_round_trip() {
         let digest = [7u8; 16];
-        let repr = TcpRepr { options: vec![TcpOption::Md5Sig(digest)], ..sample_repr() };
+        let repr = TcpRepr {
+            options: vec![TcpOption::Md5Sig(digest)],
+            ..sample_repr()
+        };
         let wire = repr.emit(a1(), a2());
         let pkt = TcpPacket::new_checked(&wire[..]).unwrap();
         assert!(pkt.has_md5_option());
@@ -459,7 +468,10 @@ mod tests {
 
     #[test]
     fn no_flag_segment() {
-        let repr = TcpRepr { flags: TcpFlags::NONE, ..sample_repr() };
+        let repr = TcpRepr {
+            flags: TcpFlags::NONE,
+            ..sample_repr()
+        };
         let wire = repr.emit(a1(), a2());
         let pkt = TcpPacket::new_checked(&wire[..]).unwrap();
         assert!(pkt.flags().is_empty());
@@ -468,7 +480,10 @@ mod tests {
 
     #[test]
     fn short_data_offset_rejected_by_checked_parse() {
-        let repr = TcpRepr { data_offset_words_override: Some(3), ..sample_repr() };
+        let repr = TcpRepr {
+            data_offset_words_override: Some(3),
+            ..sample_repr()
+        };
         let wire = repr.emit(a1(), a2());
         assert_eq!(TcpPacket::new_checked(&wire[..]).unwrap_err(), ParseError::BadLength);
     }

@@ -72,11 +72,19 @@ pub struct UdpRepr {
 
 impl UdpRepr {
     pub fn new(src_port: u16, dst_port: u16, payload: Vec<u8>) -> Self {
-        UdpRepr { src_port, dst_port, payload }
+        UdpRepr {
+            src_port,
+            dst_port,
+            payload,
+        }
     }
 
     pub fn parse<T: AsRef<[u8]>>(pkt: &UdpPacket<T>) -> UdpRepr {
-        UdpRepr { src_port: pkt.src_port(), dst_port: pkt.dst_port(), payload: pkt.payload().to_vec() }
+        UdpRepr {
+            src_port: pkt.src_port(),
+            dst_port: pkt.dst_port(),
+            payload: pkt.payload().to_vec(),
+        }
     }
 
     pub fn emit(&self, src: Ipv4Addr, dst: Ipv4Addr) -> Vec<u8> {

@@ -7,11 +7,25 @@ use crate::socket::{Micros, Socket, TcpState};
 use intang_packet::frag::{OverlapPolicy, Reassembler};
 use intang_packet::tcp::{TcpFlags, TcpPacket, TcpRepr};
 use intang_packet::{FourTuple, IpProtocol, Ipv4Packet, Ipv4Repr, ParseError, Wire};
+use intang_telemetry::{Counter, MetricsSheet};
 use std::net::Ipv4Addr;
 
 /// Index of a socket inside an endpoint.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SocketHandle(pub usize);
+
+/// Cheap always-on counters for one endpoint (telemetry reads these once
+/// per trial via [`TcpEndpoint::export_metrics`]).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct StackStats {
+    /// TCP segments addressed to this endpoint that parsed far enough to
+    /// be considered (pre-validation).
+    pub segments_rx: u64,
+    /// IP datagrams this endpoint emitted.
+    pub segments_tx: u64,
+    /// Segments carrying an RST flag seen by this endpoint.
+    pub resets_rx: u64,
+}
 
 /// A host's TCP layer.
 pub struct TcpEndpoint {
@@ -19,6 +33,7 @@ pub struct TcpEndpoint {
     pub profile: StackProfile,
     /// Every ignore-path hit, for tests and the differential analysis.
     pub ignore_log: IgnoreLog,
+    pub stats: StackStats,
     sockets: Vec<Socket>,
     /// Parallel to `sockets`: true when the socket was opened by `connect`.
     client_flags: Vec<bool>,
@@ -39,6 +54,7 @@ impl TcpEndpoint {
             addr,
             profile,
             ignore_log: IgnoreLog::default(),
+            stats: StackStats::default(),
             sockets: Vec::new(),
             client_flags: Vec::new(),
             listeners: Vec::new(),
@@ -135,6 +151,10 @@ impl TcpEndpoint {
         let remote = ip.src_addr();
         let tuple_local = FourTuple::new(self.addr, tcp.dst_port(), remote, tcp.src_port());
         let seg = TcpRepr::parse(&tcp);
+        self.stats.segments_rx += 1;
+        if seg.flags.rst() {
+            self.stats.resets_rx += 1;
+        }
 
         // Demux: existing socket?
         if let Some(idx) = self
@@ -200,6 +220,7 @@ impl TcpEndpoint {
         ip.ident = self.ident_counter;
         self.ident_counter = self.ident_counter.wrapping_add(1);
         let wire = ip.emit(&seg.emit(self.addr, dst));
+        self.stats.segments_tx += 1;
         self.out.push(wire);
     }
 
@@ -230,6 +251,15 @@ impl TcpEndpoint {
     /// Number of live (non-closed) sockets.
     pub fn live_sockets(&self) -> usize {
         self.sockets.iter().filter(|s| s.state() != TcpState::Closed).count()
+    }
+
+    /// Export this endpoint's counters into a telemetry sheet (called by
+    /// the host element wrapper once per trial).
+    pub fn export_metrics(&self, m: &mut MetricsSheet) {
+        m.add(Counter::StackSegmentsRx, self.stats.segments_rx);
+        m.add(Counter::StackSegmentsTx, self.stats.segments_tx);
+        m.add(Counter::StackResetsRx, self.stats.resets_rx);
+        m.add(Counter::StackSegmentsIgnored, self.ignore_log.total());
     }
 }
 

@@ -85,13 +85,22 @@ pub struct IgnoreEvent {
 #[derive(Debug, Default)]
 pub struct IgnoreLog {
     events: Vec<IgnoreEvent>,
+    /// Lifetime count of recorded events — unaffected by the storage cap
+    /// and by `drain` (telemetry reads this).
+    total: u64,
 }
 
 impl IgnoreLog {
     pub fn record(&mut self, reason: IgnoreReason, tuple: Option<FourTuple>) {
+        self.total += 1;
         if self.events.len() < 10_000 {
             self.events.push(IgnoreEvent { reason, tuple });
         }
+    }
+
+    /// Total events ever recorded (survives `drain` and the cap).
+    pub fn total(&self) -> u64 {
+        self.total
     }
 
     pub fn drain(&mut self) -> Vec<IgnoreEvent> {

@@ -105,7 +105,10 @@ impl StackProfile {
 
     /// Linux 4.0: identical dispositions to 4.4 in the paper's checks.
     pub fn linux_4_0() -> StackProfile {
-        StackProfile { version: LinuxVersion::L4_0, ..StackProfile::linux_4_4() }
+        StackProfile {
+            version: LinuxVersion::L4_0,
+            ..StackProfile::linux_4_4()
+        }
     }
 
     /// Linux 3.14: SYN in ESTABLISHED silently ignored (§5.3).
@@ -180,7 +183,13 @@ mod tests {
         let v2437 = StackProfile::linux_2_4_37();
 
         // 4.0 differs from 4.4 only in its label.
-        assert_eq!(StackProfile { version: v44.version, ..v40 }, v44);
+        assert_eq!(
+            StackProfile {
+                version: v44.version,
+                ..v40
+            },
+            v44
+        );
         // 3.14 ignores SYN in ESTABLISHED instead of challenge-ACKing.
         assert_eq!(v314.syn_in_established, SynInEstablished::Ignore);
         assert_eq!(v44.syn_in_established, SynInEstablished::ChallengeAck);

@@ -40,7 +40,12 @@ pub struct Assembler {
 
 impl Assembler {
     pub fn new(policy: SegmentOverlapPolicy) -> Assembler {
-        Assembler { policy, head: 0, segments: BTreeMap::new(), capacity: 256 * 1024 }
+        Assembler {
+            policy,
+            head: 0,
+            segments: BTreeMap::new(),
+            capacity: 256 * 1024,
+        }
     }
 
     /// Total bytes currently buffered (not yet pulled).

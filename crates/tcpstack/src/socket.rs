@@ -32,7 +32,10 @@ pub enum TcpState {
 
 impl TcpState {
     pub fn can_receive_data(self) -> bool {
-        matches!(self, TcpState::SynRecv | TcpState::Established | TcpState::FinWait1 | TcpState::FinWait2)
+        matches!(
+            self,
+            TcpState::SynRecv | TcpState::Established | TcpState::FinWait1 | TcpState::FinWait2
+        )
     }
 }
 
@@ -243,9 +246,7 @@ impl Socket {
     /// SYN_RECV the data queues silently and flows once established.
     fn flush(&mut self, now: Micros) {
         let mss = self.profile.mss;
-        while !self.send_queue.is_empty()
-            && matches!(self.state, TcpState::Established | TcpState::CloseWait)
-        {
+        while !self.send_queue.is_empty() && matches!(self.state, TcpState::Established | TcpState::CloseWait) {
             let take = self.send_queue.len().min(mss);
             let chunk: Vec<u8> = self.send_queue.drain(..take).collect();
             let mut seg = self.segment(TcpFlags::PSH_ACK, self.snd_nxt, self.rcv_nxt, now);
@@ -450,7 +451,11 @@ impl Socket {
         }
         if !seg.flags.ack() {
             log.record(
-                if seg.flags.is_empty() { IgnoreReason::NoFlags } else { IgnoreReason::NoAckFlag },
+                if seg.flags.is_empty() {
+                    IgnoreReason::NoFlags
+                } else {
+                    IgnoreReason::NoAckFlag
+                },
                 Some(self.tuple.reversed()),
             );
             return;
@@ -587,7 +592,7 @@ impl Socket {
         // --- Timestamp bookkeeping ---------------------------------------------
         if let Some((tsval, _)) = timestamps_of(seg) {
             if seq::le(seg.seq, self.rcv_nxt) {
-                let newer = self.ts_recent.map_or(true, |r| tsval.wrapping_sub(r) < 0x8000_0000);
+                let newer = self.ts_recent.is_none_or(|r| tsval.wrapping_sub(r) < 0x8000_0000);
                 if newer {
                     self.ts_recent = Some(tsval);
                 }

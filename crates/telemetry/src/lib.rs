@@ -1,0 +1,32 @@
+//! # intang-telemetry
+//!
+//! The reproduction's stand-in for INTANG's **measurement module** (§6):
+//! the real daemon logs every connection's strategy, outcome and failure
+//! cause to a local store and reports upstream — that pipeline is how the
+//! paper's Table 5/6 success rates and the §5 failure-vector analysis were
+//! produced at all. This crate provides the same capability for the
+//! simulated system, as three pieces:
+//!
+//! * [`metrics`] — an allocation-free [`MetricsSheet`]: fixed-slot counters
+//!   and log₂ histograms with named instruments for every hot path (GFW
+//!   resets by type, censor TCB lifecycle, blacklist activity, DPI bytes
+//!   scanned, netsim events/drops/TTL expiries, per-strategy trial
+//!   outcomes). Each sweep worker owns a shard; shards merge
+//!   deterministically in cell-index order, so parallel metrics are
+//!   byte-identical to a serial run.
+//! * [`diagnose`] — the per-trial failure-diagnosis pass: classifies every
+//!   unsuccessful trial into one of the paper's §5 failure vectors from
+//!   the trial's counters.
+//! * [`json`] — a minimal JSONL writer (std-only; the build environment has
+//!   no registry access) used to export metrics snapshots and diagnosis
+//!   records.
+//!
+//! The crate depends on nothing, so every layer — netsim, gfw, middlebox,
+//! tcpstack, core, experiments, bench — can write into the same sheet.
+
+pub mod diagnose;
+pub mod json;
+pub mod metrics;
+
+pub use diagnose::{classify, FailureVector, TrialEvidence, TrialOutcome};
+pub use metrics::{Counter, HistId, Histogram, MetricsSheet};

@@ -1,0 +1,352 @@
+//! The metrics registry: a fixed-slot, allocation-free sheet of named
+//! counters and log₂ histograms.
+//!
+//! Design: every instrument is a compile-time slot in a plain array — no
+//! maps, no strings, no locks on the hot path. Incrementing is an array
+//! add; merging two sheets is element-wise addition, which is associative
+//! and commutative, so as long as shards are folded in a deterministic
+//! order (the sweep executor folds per-cell sheets in cell-index order)
+//! the merged sheet is byte-identical to a serial run at any worker count.
+
+macro_rules! counters {
+    ($($variant:ident => $name:literal,)*) => {
+        /// Every named counter instrument in the system.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+        #[repr(usize)]
+        pub enum Counter { $($variant),* }
+
+        impl Counter {
+            pub const COUNT: usize = [$(Counter::$variant),*].len();
+            pub const ALL: [Counter; Self::COUNT] = [$(Counter::$variant),*];
+
+            /// Stable snake_case export name (the JSONL key).
+            pub fn name(self) -> &'static str {
+                match self { $(Counter::$variant => $name),* }
+            }
+        }
+    };
+}
+
+counters! {
+    // Simulation substrate.
+    NetsimEvents => "netsim_events",
+    NetsimDelivered => "netsim_delivered",
+    NetsimLost => "netsim_lost",
+    NetsimTtlExpired => "netsim_ttl_expired",
+    TraceEventsDropped => "trace_events_dropped",
+    // Censor (GFW tap).
+    GfwTcbsCreated => "gfw_tcbs_created",
+    GfwTcbsRemoved => "gfw_tcbs_removed",
+    GfwTcbsEvicted => "gfw_tcbs_evicted",
+    GfwTcbResyncs => "gfw_tcb_resyncs",
+    GfwDetections => "gfw_detections",
+    GfwType1ResetsInjected => "gfw_type1_resets_injected",
+    GfwType2ResetsInjected => "gfw_type2_resets_injected",
+    GfwForgedSynacks => "gfw_forged_synacks",
+    GfwDnsPoisoned => "gfw_dns_poisoned",
+    GfwBlacklistInserts => "gfw_blacklist_inserts",
+    GfwBlacklistHits => "gfw_blacklist_hits",
+    GfwProbesLaunched => "gfw_probes_launched",
+    GfwIpBlockedDrops => "gfw_ip_blocked_drops",
+    GfwDpiBytesScanned => "gfw_dpi_bytes_scanned",
+    // Middleboxes.
+    MiddleboxFilterDrops => "middlebox_filter_drops",
+    MiddleboxFragDrops => "middlebox_frag_drops",
+    MiddleboxSeqfwBlocked => "middlebox_seqfw_blocked",
+    MiddleboxConntrackBlocked => "middlebox_conntrack_blocked",
+    // Host TCP stacks.
+    StackSegmentsRx => "stack_segments_rx",
+    StackSegmentsTx => "stack_segments_tx",
+    StackResetsRx => "stack_resets_rx",
+    StackSegmentsIgnored => "stack_segments_ignored",
+    // The INTANG shim.
+    IntangInsertionsSent => "intang_insertions_sent",
+    IntangProbesSent => "intang_probes_sent",
+    IntangType1ResetsSeen => "intang_type1_resets_seen",
+    IntangType2ResetsSeen => "intang_type2_resets_seen",
+    IntangFlows => "intang_flows",
+    IntangResetsPreRequest => "intang_resets_pre_request",
+    IntangResetsPostRequest => "intang_resets_post_request",
+    // Trial outcomes (recorded by the sweep executor).
+    TrialsRun => "trials_run",
+    TrialSuccess => "trial_success",
+    TrialFailure1 => "trial_failure1",
+    TrialFailure2 => "trial_failure2",
+}
+
+macro_rules! hists {
+    ($($variant:ident => $name:literal,)*) => {
+        /// Every named histogram instrument.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+        #[repr(usize)]
+        pub enum HistId { $($variant),* }
+
+        impl HistId {
+            pub const COUNT: usize = [$(HistId::$variant),*].len();
+            pub const ALL: [HistId; Self::COUNT] = [$(HistId::$variant),*];
+
+            pub fn name(self) -> &'static str {
+                match self { $(HistId::$variant => $name),* }
+            }
+        }
+    };
+}
+
+hists! {
+    // Simulation events per trial / resets seen by the shim per trial /
+    // DPI bytes scanned by the censor per trial.
+    TrialEvents => "trial_events",
+    TrialResetsSeen => "trial_resets_seen",
+    TrialDpiBytes => "trial_dpi_bytes",
+}
+
+/// Number of log₂ buckets: bucket `i` counts values `v` with
+/// `bucket_of(v) == i`, i.e. `v == 0` in bucket 0 and otherwise
+/// `floor(log2(v)) + 1`, saturating at the last bucket.
+pub const HIST_BUCKETS: usize = 33;
+
+/// A fixed-bucket log₂ histogram with exact count and sum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Histogram {
+    pub buckets: [u64; HIST_BUCKETS],
+    pub count: u64,
+    pub sum: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            buckets: [0; HIST_BUCKETS],
+            count: 0,
+            sum: 0,
+        }
+    }
+}
+
+fn bucket_of(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        ((64 - v.leading_zeros()) as usize).min(HIST_BUCKETS - 1)
+    }
+}
+
+impl Histogram {
+    pub fn observe(&mut self, v: u64) {
+        self.buckets[bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum += v;
+    }
+
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+}
+
+/// Per-strategy outcome slots: the 20 fixed `StrategyId`s plus one slot for
+/// "adaptive" (the engine chose per flow).
+pub const STRATEGY_SLOTS: usize = 21;
+/// Slot used when no fixed strategy was configured (adaptive mode).
+pub const ADAPTIVE_SLOT: usize = STRATEGY_SLOTS - 1;
+
+/// Outcome column indices inside a strategy slot.
+pub const OUTCOME_SUCCESS: usize = 0;
+pub const OUTCOME_FAILURE1: usize = 1;
+pub const OUTCOME_FAILURE2: usize = 2;
+
+/// One shard of the metrics registry. `Default` is the zero sheet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsSheet {
+    counters: [u64; Counter::COUNT],
+    hists: [Histogram; HistId::COUNT],
+    /// `[strategy slot][outcome]` trial counts.
+    strategy_outcomes: [[u64; 3]; STRATEGY_SLOTS],
+}
+
+impl Default for MetricsSheet {
+    fn default() -> MetricsSheet {
+        MetricsSheet {
+            counters: [0; Counter::COUNT],
+            hists: [Histogram::default(); HistId::COUNT],
+            strategy_outcomes: [[0; 3]; STRATEGY_SLOTS],
+        }
+    }
+}
+
+impl MetricsSheet {
+    pub fn new() -> MetricsSheet {
+        MetricsSheet::default()
+    }
+
+    #[inline]
+    pub fn inc(&mut self, c: Counter) {
+        self.counters[c as usize] += 1;
+    }
+
+    #[inline]
+    pub fn add(&mut self, c: Counter, n: u64) {
+        self.counters[c as usize] += n;
+    }
+
+    #[inline]
+    pub fn counter(&self, c: Counter) -> u64 {
+        self.counters[c as usize]
+    }
+
+    #[inline]
+    pub fn observe(&mut self, h: HistId, v: u64) {
+        self.hists[h as usize].observe(v);
+    }
+
+    pub fn hist(&self, h: HistId) -> &Histogram {
+        &self.hists[h as usize]
+    }
+
+    /// Record one trial outcome for a strategy slot (see
+    /// [`STRATEGY_SLOTS`]; pass [`ADAPTIVE_SLOT`] for adaptive mode).
+    /// Out-of-range slots are clamped into the adaptive slot rather than
+    /// panicking — a forward-compatibility guard for new strategy ids.
+    pub fn record_strategy_outcome(&mut self, slot: usize, outcome: usize) {
+        let slot = if slot < STRATEGY_SLOTS { slot } else { ADAPTIVE_SLOT };
+        self.strategy_outcomes[slot][outcome.min(2)] += 1;
+    }
+
+    pub fn strategy_outcomes(&self, slot: usize) -> [u64; 3] {
+        self.strategy_outcomes[slot.min(STRATEGY_SLOTS - 1)]
+    }
+
+    /// Element-wise addition; the deterministic-merge primitive.
+    pub fn merge(&mut self, other: &MetricsSheet) {
+        for (a, b) in self.counters.iter_mut().zip(&other.counters) {
+            *a += b;
+        }
+        for (a, b) in self.hists.iter_mut().zip(&other.hists) {
+            a.merge(b);
+        }
+        for (row_a, row_b) in self.strategy_outcomes.iter_mut().zip(&other.strategy_outcomes) {
+            for (a, b) in row_a.iter_mut().zip(row_b) {
+                *a += b;
+            }
+        }
+    }
+
+    /// All counters with a non-zero value, in declaration order.
+    pub fn nonzero_counters(&self) -> impl Iterator<Item = (Counter, u64)> + '_ {
+        Counter::ALL.iter().filter_map(move |&c| {
+            let v = self.counter(c);
+            (v != 0).then_some((c, v))
+        })
+    }
+
+    /// All histograms with at least one observation, in declaration order.
+    pub fn nonzero_hists(&self) -> impl Iterator<Item = (HistId, &Histogram)> + '_ {
+        HistId::ALL.iter().filter_map(move |&h| {
+            let hist = self.hist(h);
+            (!hist.is_empty()).then_some((h, hist))
+        })
+    }
+
+    pub fn is_zero(&self) -> bool {
+        *self == MetricsSheet::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_names_are_unique_and_snake_case() {
+        let mut names: Vec<&str> = Counter::ALL.iter().map(|c| c.name()).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(names.len(), before, "duplicate counter name");
+        for n in names {
+            assert!(n.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'), "{n}");
+        }
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        let mut h = Histogram::default();
+        h.observe(0);
+        h.observe(1);
+        h.observe(2);
+        h.observe(3);
+        h.observe(1024);
+        assert_eq!(h.buckets[0], 1, "zero bucket");
+        assert_eq!(h.buckets[1], 1, "v=1");
+        assert_eq!(h.buckets[2], 2, "v=2,3");
+        assert_eq!(h.buckets[11], 1, "v=1024");
+        assert_eq!(h.count, 5);
+        assert_eq!(h.sum, 1030);
+        assert!((h.mean() - 206.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn extreme_values_saturate_the_last_bucket() {
+        let mut h = Histogram::default();
+        h.observe(u64::MAX);
+        assert_eq!(h.buckets[HIST_BUCKETS - 1], 1);
+    }
+
+    #[test]
+    fn merge_is_elementwise_addition() {
+        let mut a = MetricsSheet::new();
+        a.inc(Counter::GfwDetections);
+        a.add(Counter::GfwDpiBytesScanned, 100);
+        a.observe(HistId::TrialEvents, 7);
+        a.record_strategy_outcome(3, OUTCOME_SUCCESS);
+
+        let mut b = MetricsSheet::new();
+        b.add(Counter::GfwDetections, 2);
+        b.observe(HistId::TrialEvents, 9);
+        b.record_strategy_outcome(3, OUTCOME_FAILURE2);
+        b.record_strategy_outcome(ADAPTIVE_SLOT, OUTCOME_SUCCESS);
+
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.counter(Counter::GfwDetections), 3);
+        assert_eq!(merged.counter(Counter::GfwDpiBytesScanned), 100);
+        assert_eq!(merged.hist(HistId::TrialEvents).count, 2);
+        assert_eq!(merged.strategy_outcomes(3), [1, 0, 1]);
+        assert_eq!(merged.strategy_outcomes(ADAPTIVE_SLOT), [1, 0, 0]);
+
+        // Merge order cannot matter (element-wise addition commutes).
+        let mut other_order = b.clone();
+        other_order.merge(&a);
+        assert_eq!(merged, other_order);
+    }
+
+    #[test]
+    fn out_of_range_slot_clamps_to_adaptive() {
+        let mut m = MetricsSheet::new();
+        m.record_strategy_outcome(999, OUTCOME_FAILURE1);
+        assert_eq!(m.strategy_outcomes(ADAPTIVE_SLOT), [0, 1, 0]);
+    }
+
+    #[test]
+    fn zero_sheet_reports_nothing() {
+        let m = MetricsSheet::new();
+        assert!(m.is_zero());
+        assert_eq!(m.nonzero_counters().count(), 0);
+        assert_eq!(m.nonzero_hists().count(), 0);
+    }
+}

@@ -25,7 +25,13 @@ fn main() {
         let mut failed = 0;
         let n = 10;
         for seed in 0..n {
-            let spec = DnsTrialSpec { vp: vantage, resolver: DYN1, use_intang, seed: 500 + seed, nat_prob: 0.0 };
+            let spec = DnsTrialSpec {
+                vp: vantage,
+                resolver: DYN1,
+                use_intang,
+                seed: 500 + seed,
+                nat_prob: 0.0,
+            };
             match run_dns_trial(&spec) {
                 DnsOutcome::Resolved => resolved += 1,
                 DnsOutcome::Poisoned => poisoned += 1,

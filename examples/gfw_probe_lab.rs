@@ -29,7 +29,11 @@ fn main() {
     let mut t = 0u64;
     let mut step = |sim: &mut Simulation, from_client: bool, wire: Vec<u8>, label: &str| {
         t += 5_000;
-        let (elem, dir) = if from_client { (0, Direction::ToServer) } else { (2, Direction::ToClient) };
+        let (elem, dir) = if from_client {
+            (0, Direction::ToServer)
+        } else {
+            (2, Direction::ToClient)
+        };
         sim.inject_at(elem, dir, wire, Instant(t));
         sim.run_to_quiescence(10_000);
         let state = censor.tcb_state(tuple);
@@ -48,10 +52,30 @@ fn main() {
     let s2c = || PacketBuilder::tcp(SERVER, CLIENT, 80, 40_000);
 
     println!("--- a scripted desynchronization session against the evolved censor ---\n");
-    step(&mut sim, true, c2s().seq(1000).flags(TcpFlags::SYN).build(), "client SYN (isn=1000)");
-    step(&mut sim, false, s2c().seq(9000).ack(1001).flags(TcpFlags::SYN_ACK).build(), "server SYN/ACK");
-    step(&mut sim, true, c2s().seq(1001).ack(9001).flags(TcpFlags::ACK).build(), "client ACK (handshake done)");
-    step(&mut sim, true, c2s().seq(0x5000_0000).flags(TcpFlags::SYN).build(), "insertion SYN, bogus ISN (resync trigger)");
+    step(
+        &mut sim,
+        true,
+        c2s().seq(1000).flags(TcpFlags::SYN).build(),
+        "client SYN (isn=1000)",
+    );
+    step(
+        &mut sim,
+        false,
+        s2c().seq(9000).ack(1001).flags(TcpFlags::SYN_ACK).build(),
+        "server SYN/ACK",
+    );
+    step(
+        &mut sim,
+        true,
+        c2s().seq(1001).ack(9001).flags(TcpFlags::ACK).build(),
+        "client ACK (handshake done)",
+    );
+    step(
+        &mut sim,
+        true,
+        c2s().seq(0x5000_0000).flags(TcpFlags::SYN).build(),
+        "insertion SYN, bogus ISN (resync trigger)",
+    );
     step(
         &mut sim,
         true,
@@ -61,7 +85,12 @@ fn main() {
     step(
         &mut sim,
         true,
-        c2s().seq(1001).ack(9001).flags(TcpFlags::PSH_ACK).payload(b"GET /ultrasurf HTTP/1.1\r\n\r\n").build(),
+        c2s()
+            .seq(1001)
+            .ack(9001)
+            .flags(TcpFlags::PSH_ACK)
+            .payload(b"GET /ultrasurf HTTP/1.1\r\n\r\n")
+            .build(),
         "the real request, at the true sequence",
     );
 

@@ -13,12 +13,25 @@ use intang_experiments::trial_tor::{run_tor_trial, TorOutcome, TorTrialSpec, BRI
 fn main() {
     let scenario = Scenario::paper_inside(13);
     println!("hidden bridge at {BRIDGE_ADDR}:443 (EC2, US)\n");
-    println!("{:<13} {:<13} {:<10} {:<28} {:<28}", "vantage", "city", "filtered?", "plain Tor", "Tor + INTANG");
+    println!(
+        "{:<13} {:<13} {:<10} {:<28} {:<28}",
+        "vantage", "city", "filtered?", "plain Tor", "Tor + INTANG"
+    );
 
     for vantage in &scenario.vantage_points {
-        let (plain, handle) = run_tor_trial(&TorTrialSpec { vp: vantage, use_intang: false, seed: 31, cells: 3 });
+        let (plain, handle) = run_tor_trial(&TorTrialSpec {
+            vp: vantage,
+            use_intang: false,
+            seed: 31,
+            cells: 3,
+        });
         let probes = handle.probes_launched();
-        let (prot, handle2) = run_tor_trial(&TorTrialSpec { vp: vantage, use_intang: true, seed: 32, cells: 3 });
+        let (prot, handle2) = run_tor_trial(&TorTrialSpec {
+            vp: vantage,
+            use_intang: true,
+            seed: 32,
+            cells: 3,
+        });
         let fmt = |o: TorOutcome, probes: u64| match o {
             TorOutcome::Working => "working".to_string(),
             TorOutcome::IpBlocked => format!("IP BLOCKED ({} probe)", probes),

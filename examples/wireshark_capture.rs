@@ -23,7 +23,14 @@ fn capture(strategy: StrategyKind, path: &str) {
     let server_addr = Ipv4Addr::new(203, 0, 113, 80);
     let mut sim = Simulation::new(7);
     let (driver, report) = HttpClientDriver::new(server_addr, 80, HttpRequest::get("/search?q=ultrasurf", "demo.example"));
-    add_host(&mut sim, "client", client_addr, StackProfile::linux_4_4(), Box::new(driver), Direction::ToServer);
+    add_host(
+        &mut sim,
+        "client",
+        client_addr,
+        StackProfile::linux_4_4(),
+        Box::new(driver),
+        Direction::ToServer,
+    );
 
     sim.add_link(Link::new(Duration::from_micros(50), 0));
     let (tap, tap_handle) = RecorderTap::new("capture-point");
@@ -40,7 +47,14 @@ fn capture(strategy: StrategyKind, path: &str) {
     sim.add_element(Box::new(gfw));
 
     sim.add_link(Link::new(Duration::from_millis(6), 5));
-    let (_i, sh) = add_host(&mut sim, "server", server_addr, StackProfile::linux_4_4(), Box::new(HttpServerDriver::new(80)), Direction::ToClient);
+    let (_i, sh) = add_host(
+        &mut sim,
+        "server",
+        server_addr,
+        StackProfile::linux_4_4(),
+        Box::new(HttpServerDriver::new(80)),
+        Direction::ToClient,
+    );
     sh.with_tcp(|t| t.listen(80));
 
     sim.run_until(Instant(20_000_000));

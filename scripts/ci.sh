@@ -1,13 +1,19 @@
 #!/usr/bin/env sh
-# Tier-1 CI gate: build everything, run the full test suite, then smoke-test
-# the sweep executor (bench_sweep --quick also verifies that parallel
-# aggregates are byte-identical to the serial run, exiting non-zero if not).
+# Tier-1 CI gate: formatting, lints, build, the full test suite, then
+# smoke-test the sweep executor (bench_sweep --quick also verifies that
+# parallel aggregates, metrics sheets and diagnoses are byte-identical to
+# the serial run, exiting non-zero if not).
 set -eu
 
 cd "$(dirname "$0")/.."
 
+cargo fmt --check
+cargo clippy --workspace --all-targets -- -D warnings
 cargo build --release --all-targets
 cargo test -q --release --workspace
+# Telemetry determinism: parallel metrics/diagnoses must be byte-identical
+# to serial, and every failed trial must land in a concrete §5 vector.
+cargo test -q --release --test telemetry
 cargo run --release -p intang-experiments --bin bench_sweep -- --quick >/dev/null
 
 echo "ci: OK"

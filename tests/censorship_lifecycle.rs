@@ -40,7 +40,14 @@ fn censored_fetch_world(seed: u64, second_fetch_at: Option<Instant>) -> World {
         drivers.push(Box::new(d2.starting_at(at)));
         // No periodic wakeups in HttpClientDriver: nudge the host.
     }
-    add_host(&mut sim, "client", CLIENT, StackProfile::linux_4_4(), Box::new(Pair(drivers)), Direction::ToServer);
+    add_host(
+        &mut sim,
+        "client",
+        CLIENT,
+        StackProfile::linux_4_4(),
+        Box::new(Pair(drivers)),
+        Direction::ToServer,
+    );
     if let Some(at) = second_fetch_at {
         sim.schedule_timer(0, at, 1);
     }
@@ -53,12 +60,27 @@ fn censored_fetch_world(seed: u64, second_fetch_at: Option<Instant>) -> World {
     let (gfw, gfw_handle) = GfwElement::new(cfg);
     sim.add_element(Box::new(gfw));
     sim.add_link(Link::new(Duration::from_millis(6), 5));
-    let (_i, sh) = add_host(&mut sim, "server", SERVER, StackProfile::linux_4_4(), Box::new(HttpServerDriver::new(80)), Direction::ToClient);
+    let (_i, sh) = add_host(
+        &mut sim,
+        "server",
+        SERVER,
+        StackProfile::linux_4_4(),
+        Box::new(HttpServerDriver::new(80)),
+        Direction::ToClient,
+    );
     sh.with_tcp(|t| t.listen(80));
-    World { sim, gfw: gfw_handle, report, tap: tap_handle }
+    World {
+        sim,
+        gfw: gfw_handle,
+        report,
+        tap: tap_handle,
+    }
 }
 
-fn rst_families(tap: &intang_experiments::tap::TapHandle) -> (Vec<(u8, u16, u32)>, Vec<(u8, u16, u32)>) {
+/// (TTL, window, seq) triples for each reset family.
+type RstFingerprints = Vec<(u8, u16, u32)>;
+
+fn rst_families(tap: &intang_experiments::tap::TapHandle) -> (RstFingerprints, RstFingerprints) {
     let mut t1 = Vec::new();
     let mut t2 = Vec::new();
     for c in tap.captures() {
@@ -144,7 +166,9 @@ fn forged_synack_has_a_wrong_isn_and_wedges_the_handshake() {
         })
         .collect();
     assert!(
-        synacks.iter().any(|(_, ack)| client_isns.iter().any(|isn| isn.wrapping_add(1) == *ack)),
+        synacks
+            .iter()
+            .any(|(_, ack)| client_isns.iter().any(|isn| isn.wrapping_add(1) == *ack)),
         "a forged SYN/ACK still acks the real SYN (that's what obstructs the handshake)"
     );
 }

@@ -12,8 +12,20 @@ fn identical_seeds_reproduce_identical_outcomes() {
     let site = &s.websites[3];
     let vp = &s.vantage_points[4];
     for seed in [1u64, 17, 999_983] {
-        let a = run_http_trial(&TrialSpec::new(vp, site, Some(StrategyKind::TeardownRst(intang_core::Discrepancy::SmallTtl)), true, seed));
-        let b = run_http_trial(&TrialSpec::new(vp, site, Some(StrategyKind::TeardownRst(intang_core::Discrepancy::SmallTtl)), true, seed));
+        let a = run_http_trial(&TrialSpec::new(
+            vp,
+            site,
+            Some(StrategyKind::TeardownRst(intang_core::Discrepancy::SmallTtl)),
+            true,
+            seed,
+        ));
+        let b = run_http_trial(&TrialSpec::new(
+            vp,
+            site,
+            Some(StrategyKind::TeardownRst(intang_core::Discrepancy::SmallTtl)),
+            true,
+            seed,
+        ));
         assert_eq!(a.outcome, b.outcome, "seed {seed}");
         assert_eq!(a.resets_seen, b.resets_seen, "seed {seed}");
         assert_eq!(a.gfw_detections, b.gfw_detections, "seed {seed}");
@@ -37,14 +49,23 @@ fn different_seeds_vary_stochastic_outcomes() {
     let mut successes = 0;
     let mut failures = 0;
     for seed in 0..24 {
-        let mut spec = TrialSpec::new(vp, &site, Some(StrategyKind::TeardownRst(intang_core::Discrepancy::SmallTtl)), true, 4_000 + seed);
+        let mut spec = TrialSpec::new(
+            vp,
+            &site,
+            Some(StrategyKind::TeardownRst(intang_core::Discrepancy::SmallTtl)),
+            true,
+            4_000 + seed,
+        );
         spec.route_change_prob = 0.0;
         match run_http_trial(&spec).outcome {
             Outcome::Success => successes += 1,
             _ => failures += 1,
         }
     }
-    assert!(successes > 0 && failures > 0, "both outcomes occur: {successes} ok / {failures} bad");
+    assert!(
+        successes > 0 && failures > 0,
+        "both outcomes occur: {successes} ok / {failures} bad"
+    );
 }
 
 #[test]

@@ -49,10 +49,7 @@ fn new_strategies_beat_every_generation_mix() {
     ] {
         for (old, evolved) in [(true, false), (false, true), (true, true)] {
             let r = rate(kind, old, evolved, 8);
-            assert!(
-                r >= 0.85,
-                "{kind:?} vs (old={old}, evolved={evolved}): success rate {r}"
-            );
+            assert!(r >= 0.85, "{kind:?} vs (old={old}, evolved={evolved}): success rate {r}");
         }
     }
 }
@@ -129,13 +126,7 @@ fn reversal_flips_the_censors_orientation() {
     // Drive one trial and inspect the censor's belief directly.
     let s = Scenario::paper_inside(1234);
     let site = clean_site(false, true);
-    let mut spec = TrialSpec::new(
-        &s.vantage_points[0],
-        &site,
-        Some(StrategyKind::TeardownTcbReversal),
-        true,
-        555,
-    );
+    let mut spec = TrialSpec::new(&s.vantage_points[0], &site, Some(StrategyKind::TeardownTcbReversal), true, 555);
     spec.route_change_prob = 0.0;
     let (mut sim, parts) = intang_experiments::trial::build_http_sim(&spec);
     sim.run_until(intang_netsim::Instant(25_000_000));
@@ -156,10 +147,22 @@ fn old_gfw_segment_preference_is_exploitable_but_evolved_first_wins_is_not() {
     let mut ok_fooled = 0;
     let mut ok_robust = 0;
     for seed in 0..8 {
-        let mut spec = TrialSpec::new(&s.vantage_points[0], &fooled, Some(StrategyKind::OutOfOrderTcpSeg), true, 600 + seed);
+        let mut spec = TrialSpec::new(
+            &s.vantage_points[0],
+            &fooled,
+            Some(StrategyKind::OutOfOrderTcpSeg),
+            true,
+            600 + seed,
+        );
         spec.route_change_prob = 0.0;
         ok_fooled += u32::from(run_http_trial(&spec).outcome == Outcome::Success);
-        let mut spec = TrialSpec::new(&s.vantage_points[0], &robust, Some(StrategyKind::OutOfOrderTcpSeg), true, 700 + seed);
+        let mut spec = TrialSpec::new(
+            &s.vantage_points[0],
+            &robust,
+            Some(StrategyKind::OutOfOrderTcpSeg),
+            true,
+            700 + seed,
+        );
         spec.route_change_prob = 0.0;
         ok_robust += u32::from(run_http_trial(&spec).outcome == Outcome::Success);
     }

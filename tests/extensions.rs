@@ -27,9 +27,15 @@ fn response_censorship_catches_location_header_leak() {
     let server_addr = Ipv4Addr::new(203, 0, 113, 70);
     let run = |censor_responses: bool| {
         let mut sim = Simulation::new(42);
-        let (driver, report) =
-            HttpClientDriver::new(server_addr, 80, HttpRequest::get("/ultrasurf-mirror", "redirector.example"));
-        add_host(&mut sim, "client", client_addr, StackProfile::linux_4_4(), Box::new(driver), Direction::ToServer);
+        let (driver, report) = HttpClientDriver::new(server_addr, 80, HttpRequest::get("/ultrasurf-mirror", "redirector.example"));
+        add_host(
+            &mut sim,
+            "client",
+            client_addr,
+            StackProfile::linux_4_4(),
+            Box::new(driver),
+            Direction::ToServer,
+        );
         sim.add_link(Link::new(Duration::from_millis(3), 4));
         let mut cfg = GfwConfig::evolved();
         cfg.overload_miss_prob = 0.0;
@@ -72,7 +78,14 @@ fn response_only_keyword_detected_only_when_response_censoring_enabled() {
     let run = |censor_responses: bool| {
         let mut sim = Simulation::new(43);
         let (driver, report) = HttpClientDriver::new(server_addr, 80, HttpRequest::get("/page", "clean.example"));
-        add_host(&mut sim, "client", client_addr, StackProfile::linux_4_4(), Box::new(driver), Direction::ToServer);
+        add_host(
+            &mut sim,
+            "client",
+            client_addr,
+            StackProfile::linux_4_4(),
+            Box::new(driver),
+            Direction::ToServer,
+        );
         sim.add_link(Link::new(Duration::from_millis(3), 4));
         let mut cfg = GfwConfig::evolved();
         cfg.overload_miss_prob = 0.0;
@@ -169,7 +182,14 @@ fn censored_run_exports_valid_pcap() {
     let server_addr = Ipv4Addr::new(203, 0, 113, 90);
     let mut sim = Simulation::new(3);
     let (driver, _report) = HttpClientDriver::new(server_addr, 80, HttpRequest::get("/ultrasurf", "x.example"));
-    add_host(&mut sim, "client", client_addr, StackProfile::linux_4_4(), Box::new(driver), Direction::ToServer);
+    add_host(
+        &mut sim,
+        "client",
+        client_addr,
+        StackProfile::linux_4_4(),
+        Box::new(driver),
+        Direction::ToServer,
+    );
     sim.add_link(Link::new(Duration::from_micros(100), 0));
     let (tap, tap_handle) = RecorderTap::new("tap");
     sim.add_element(Box::new(tap));
@@ -179,7 +199,14 @@ fn censored_run_exports_valid_pcap() {
     let (gfw, _h) = GfwElement::new(cfg);
     sim.add_element(Box::new(gfw));
     sim.add_link(Link::new(Duration::from_millis(5), 4));
-    let (_i, sh) = add_host(&mut sim, "server", server_addr, StackProfile::linux_4_4(), Box::new(HttpServerDriver::new(80)), Direction::ToClient);
+    let (_i, sh) = add_host(
+        &mut sim,
+        "server",
+        server_addr,
+        StackProfile::linux_4_4(),
+        Box::new(HttpServerDriver::new(80)),
+        Direction::ToClient,
+    );
     sh.with_tcp(|t| t.listen(80));
     sim.run_until(Instant(10_000_000));
 

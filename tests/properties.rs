@@ -62,7 +62,10 @@ fn gen_options(g: &mut Gen) -> Vec<TcpOption> {
             0 => TcpOption::Mss(g.u16()),
             1 => TcpOption::WindowScale(g.u8() % 15),
             2 => TcpOption::SackPermitted,
-            3 => TcpOption::Timestamps { tsval: g.u32(), tsecr: g.u32() },
+            3 => TcpOption::Timestamps {
+                tsval: g.u32(),
+                tsecr: g.u32(),
+            },
             _ => {
                 let mut sig = [0u8; 16];
                 for b in &mut sig {
@@ -118,7 +121,11 @@ fn ipv4_round_trip() {
         let ident = g.u16();
         let payload = g.bytes(0, 512);
 
-        let repr = Ipv4Repr { ttl, ident, ..Ipv4Repr::new(src, dst, IpProtocol::Tcp) };
+        let repr = Ipv4Repr {
+            ttl,
+            ident,
+            ..Ipv4Repr::new(src, dst, IpProtocol::Tcp)
+        };
         let wire = repr.emit(&payload);
         let pkt = Ipv4Packet::new_checked(&wire[..]).unwrap();
         assert!(pkt.verify_header_checksum());
@@ -144,7 +151,10 @@ fn fragmentation_reassembly_identity() {
 
         let src = Ipv4Addr::new(10, 0, 0, 1);
         let dst = Ipv4Addr::new(10, 0, 0, 2);
-        let repr = Ipv4Repr { ident: 7, ..Ipv4Repr::new(src, dst, IpProtocol::Tcp) };
+        let repr = Ipv4Repr {
+            ident: 7,
+            ..Ipv4Repr::new(src, dst, IpProtocol::Tcp)
+        };
         let wire = repr.emit(&payload);
         // 8-aligned boundaries; fragment_at ignores any outside (0, len).
         let boundaries: Vec<usize> = cuts.iter().map(|c| c * 8).collect();
@@ -155,7 +165,11 @@ fn fragmentation_reassembly_identity() {
             o = o.wrapping_mul(6364136223846793005).wrapping_add(1);
             frags.swap(i, (o as usize) % (i + 1));
         }
-        let policy = if last_wins { OverlapPolicy::LastWins } else { OverlapPolicy::FirstWins };
+        let policy = if last_wins {
+            OverlapPolicy::LastWins
+        } else {
+            OverlapPolicy::FirstWins
+        };
         let out = frag::reassemble(policy, frags).expect("must complete");
         let pkt = Ipv4Packet::new_checked(&out[..]).unwrap();
         assert_eq!(pkt.payload(), &payload[..]);
@@ -173,7 +187,11 @@ fn assembler_delivers_contiguous_stream() {
         let order = g.u64();
         let last_wins = g.bool();
 
-        let policy = if last_wins { SegmentOverlapPolicy::LastWins } else { SegmentOverlapPolicy::FirstWins };
+        let policy = if last_wins {
+            SegmentOverlapPolicy::LastWins
+        } else {
+            SegmentOverlapPolicy::FirstWins
+        };
         let mut asm = Assembler::new(policy);
         // Compute offsets.
         let mut offsets = Vec::new();
@@ -237,7 +255,13 @@ fn dense_automaton_matches_naive_scanner_across_arbitrary_splits() {
         (b"rf".to_vec(), DetectionKind::VpnHandshake),
     ];
     let rules = RuleSet {
-        rules: patterns.iter().map(|(p, k)| Rule { pattern: p.clone(), kind: *k }).collect(),
+        rules: patterns
+            .iter()
+            .map(|(p, k)| Rule {
+                pattern: p.clone(),
+                kind: *k,
+            })
+            .collect(),
     };
     let aut = Automaton::build(&rules);
     let alphabet = b"ultrasfx";
@@ -252,7 +276,7 @@ fn dense_automaton_matches_naive_scanner_across_arbitrary_splits() {
             .map(|i| {
                 patterns
                     .iter()
-                    .filter(|(p, _)| i + 1 >= p.len() && &hay[i + 1 - p.len()..=i] == &p[..])
+                    .filter(|(p, _)| i + 1 >= p.len() && hay[i + 1 - p.len()..=i] == p[..])
                     .map(|(_, k)| *k)
                     .collect()
             })

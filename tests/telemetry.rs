@@ -1,0 +1,145 @@
+//! Telemetry subsystem integration tests: deterministic metrics merging
+//! across worker counts, §5 failure-vector totality on the paper-default
+//! scenarios, trace-overflow accounting, and JSONL export shape.
+
+use intang_core::{Discrepancy, StrategyKind};
+use intang_experiments::runner::{overall, sweep_with_threads, SweepConfig};
+use intang_experiments::scenario::Scenario;
+use intang_experiments::telemetry::TelemetrySink;
+use intang_experiments::trial::{build_http_sim, TrialSpec};
+use intang_netsim::Instant;
+use intang_telemetry::{Counter, FailureVector, HistId, MetricsSheet};
+
+fn strategies() -> Vec<Option<StrategyKind>> {
+    vec![
+        Some(StrategyKind::NoStrategy),
+        Some(StrategyKind::InOrderOverlap(Discrepancy::SmallTtl)),
+        Some(StrategyKind::ImprovedTeardown),
+        Some(StrategyKind::TcbCreationResyncDesync),
+        None, // adaptive
+    ]
+}
+
+/// The merged metrics sheet (and the diagnosis stream) must be
+/// byte-identical between a serial and a 4-worker sweep — same guarantee
+/// the executor already gives for the outcome rows.
+#[test]
+fn parallel_sweep_metrics_are_byte_identical_to_serial() {
+    let scenario = Scenario::smoke(2017);
+    for strategy in [Some(StrategyKind::NoStrategy), Some(StrategyKind::ImprovedTeardown), None] {
+        let cfg = SweepConfig::new(strategy, true, 2, 2017);
+        let serial = sweep_with_threads(&scenario, &cfg, 1);
+        let parallel = sweep_with_threads(&scenario, &cfg, 4);
+        assert_eq!(serial.rows, parallel.rows);
+        assert_eq!(serial.events, parallel.events);
+        assert_eq!(serial.metrics, parallel.metrics, "metrics diverged for {strategy:?}");
+        assert_eq!(serial.diagnoses, parallel.diagnoses, "diagnoses diverged for {strategy:?}");
+        assert!(!serial.metrics.is_zero());
+    }
+}
+
+/// Every unsuccessful trial on the paper-default scenarios must land in a
+/// concrete §5 vector: exactly one diagnosis per failure, zero
+/// `unclassified`.
+#[test]
+fn every_failed_trial_gets_exactly_one_section5_vector() {
+    let scenario = Scenario::smoke(2017);
+    for strategy in strategies() {
+        let cfg = SweepConfig::new(strategy, true, 3, 2017);
+        let run = sweep_with_threads(&scenario, &cfg, 2);
+        let agg = overall(&run.rows);
+        let failures = u64::from(agg.failure1) + u64::from(agg.failure2);
+        assert_eq!(
+            run.diagnoses.len() as u64,
+            failures,
+            "one diagnosis per failed trial for {strategy:?}"
+        );
+        let unclassified = run.diagnoses.iter().filter(|d| d.vector == FailureVector::Unclassified).count();
+        assert_eq!(unclassified, 0, "unclassified failures for {strategy:?}: {:?}", run.diagnoses);
+        // The sheet's outcome counters agree with the aggregate rows.
+        assert_eq!(run.metrics.counter(Counter::TrialsRun), run.trials);
+        assert_eq!(run.metrics.counter(Counter::TrialSuccess), u64::from(agg.success));
+        assert_eq!(run.metrics.counter(Counter::TrialFailure1), u64::from(agg.failure1));
+        assert_eq!(run.metrics.counter(Counter::TrialFailure2), u64::from(agg.failure2));
+        assert_eq!(run.metrics.hist(HistId::TrialEvents).count, run.trials);
+        assert_eq!(run.metrics.hist(HistId::TrialEvents).sum, run.events);
+    }
+}
+
+/// Events recorded past the trace cap are counted, and the count flows
+/// into the merged metrics sheet as `trace_events_dropped`.
+#[test]
+fn trace_overflow_is_counted_in_the_metrics_sheet() {
+    let scenario = Scenario::smoke(2017);
+    let site = &scenario.websites[0];
+    let spec = TrialSpec::new(&scenario.vantage_points[0], site, Some(StrategyKind::NoStrategy), true, 42);
+    let (mut sim, _parts) = build_http_sim(&spec);
+    sim.trace.enable();
+    sim.trace.set_cap(8);
+    sim.run_until(Instant(25_000_000));
+    assert!(sim.trace.dropped() > 0, "a full trial should overflow an 8-event cap");
+    assert_eq!(sim.trace.events().len(), 8);
+    let mut m = MetricsSheet::new();
+    sim.export_metrics(&mut m);
+    assert_eq!(m.counter(Counter::TraceEventsDropped), sim.trace.dropped());
+}
+
+/// `--telemetry` output is line-oriented JSON: one metrics record per
+/// sweep, then one diagnosis record per failed trial.
+#[test]
+fn jsonl_export_emits_one_metrics_record_and_one_diagnosis_per_failure() {
+    let scenario = Scenario::smoke(2017);
+    let cfg = SweepConfig::new(Some(StrategyKind::NoStrategy), true, 2, 2017);
+    let run = sweep_with_threads(&scenario, &cfg, 2);
+    let agg = overall(&run.rows);
+    assert!(agg.failure1 + agg.failure2 > 0, "no-strategy + keyword must fail sometimes");
+
+    let path = std::path::Path::new(env!("CARGO_TARGET_TMPDIR")).join("telemetry_export_test.jsonl");
+    let mut sink = TelemetrySink::create(path.to_str().unwrap()).unwrap();
+    sink.record_sweep("test", "no-strategy", &run).unwrap();
+    drop(sink);
+
+    let text = std::fs::read_to_string(&path).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 1 + run.diagnoses.len());
+    for line in &lines {
+        assert!(line.starts_with('{') && line.ends_with('}'), "not a JSON object: {line}");
+        assert_eq!(line.matches('"').count() % 2, 0, "unbalanced quotes: {line}");
+    }
+    assert!(lines[0].contains("\"record\":\"metrics\""));
+    assert!(lines[0].contains("\"counters\":{"));
+    assert!(lines[0].contains("\"trials_run\":"));
+    assert!(lines[0].contains("\"strategy_outcomes\":{"));
+    for line in &lines[1..] {
+        assert!(line.contains("\"record\":\"diagnosis\""));
+        assert!(line.contains("\"vector\":"));
+    }
+}
+
+/// Sub-experiments of a multi-experiment binary (`all`) each open their
+/// own sink against the same `--telemetry` path: the second open must
+/// append, not wipe out the first sub-experiment's records.
+#[test]
+fn reopening_the_same_telemetry_path_appends_instead_of_truncating() {
+    let scenario = Scenario::smoke(2017);
+    let cfg = SweepConfig::new(Some(StrategyKind::NoStrategy), true, 1, 2017);
+    let run = sweep_with_threads(&scenario, &cfg, 1);
+
+    let path = std::path::Path::new(env!("CARGO_TARGET_TMPDIR")).join("telemetry_reopen_test.jsonl");
+    let path = path.to_str().unwrap();
+    let mut first = TelemetrySink::create(path).unwrap();
+    first.record_sweep("exp-a", "sweep", &run).unwrap();
+    drop(first);
+    let mut second = TelemetrySink::create(path).unwrap();
+    second.record_sweep("exp-b", "sweep", &run).unwrap();
+    drop(second);
+
+    let text = std::fs::read_to_string(path).unwrap();
+    assert_eq!(text.lines().count(), 2 * (1 + run.diagnoses.len()));
+    assert_eq!(text.matches("\"record\":\"metrics\"").count(), 2);
+    assert!(
+        text.contains("\"experiment\":\"exp-a\""),
+        "first sink's records survived the reopen"
+    );
+    assert!(text.contains("\"experiment\":\"exp-b\""));
+}
