@@ -47,6 +47,11 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
         self.map.remove(k)
     }
 
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.order.clear();
+    }
+
     pub fn len(&self) -> usize {
         self.map.len()
     }
@@ -90,6 +95,14 @@ impl<K: Eq + Hash + Clone, V> TtlStore<K, V> {
             return None;
         }
         self.map.get(k).map(|(v, _)| v)
+    }
+
+    pub fn remove(&mut self, k: &K) -> Option<V> {
+        self.map.remove(k).map(|(v, _)| v)
+    }
+
+    pub fn clear(&mut self) {
+        self.map.clear();
     }
 
     pub fn len(&self) -> usize {
@@ -157,6 +170,20 @@ impl<K: Eq + Hash + Clone, V: Clone> TwoLevelCache<K, V> {
     pub fn put(&mut self, k: K, v: V, now_us: u64, ttl_us: u64) {
         self.front.put(k.clone(), (v.clone(), now_us.saturating_add(ttl_us)));
         self.back.put(k, v, now_us, ttl_us);
+    }
+
+    /// Drop one key from both levels — a suspected-stale entry (e.g. a hop
+    /// estimate contradicted by censor resets) is re-measured on next use.
+    pub fn invalidate(&mut self, k: &K) {
+        self.front.remove(k);
+        self.back.remove(k);
+    }
+
+    /// Drop everything — the paper's response to a route change is to
+    /// distrust every previously measured TTL distance (§7.1).
+    pub fn clear(&mut self) {
+        self.front.clear();
+        self.back.clear();
     }
 }
 

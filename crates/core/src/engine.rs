@@ -11,7 +11,7 @@ use crate::select::History;
 use crate::strategies;
 use crate::strategy::{FlowState, ShimCtx, Strategy, StrategyKind, Verdict};
 use crate::ttl::HopEstimator;
-use intang_netsim::{Ctx, Direction, Element, Instant};
+use intang_netsim::{Ctx, Direction, Duration, Element, Instant};
 use intang_packet::{FourTuple, IpProtocol, Ipv4Packet, TcpPacket, TcpRepr, Wire};
 use intang_telemetry::{Counter, MetricsSheet};
 use std::cell::RefCell;
@@ -53,6 +53,42 @@ pub struct IntangConfig {
     pub max_probe_ttl: u8,
     /// Forward UDP DNS over TCP to this clean resolver (§6).
     pub dns_forward: Option<Ipv4Addr>,
+    /// Robustness mode for hostile paths (fault-injection runs set this):
+    /// retransmission-aware re-protection with bounded retry + backoff, and
+    /// TTL re-probing after route disturbance. `None` keeps the legacy
+    /// behavior exactly — unbounded first-payload re-protection, no SYN
+    /// re-protection, no backoff — so fault-free runs are byte-identical.
+    pub robustness: Option<RobustnessConfig>,
+}
+
+/// Knobs for the engine's fault-tolerance responses.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RobustnessConfig {
+    /// Re-apply `on_syn` protection when the client stack retransmits its
+    /// SYN (the original insertions may have been lost with it).
+    pub reprotect_syn: bool,
+    /// Re-protections allowed per flow; beyond this the retransmission is
+    /// forwarded unprotected (retry abandoned — better a censored attempt
+    /// than an insertion storm on a collapsed path).
+    pub max_reprotects: u32,
+    /// Linear backoff: re-protection `n` delays its insertions by `n ×
+    /// backoff`, giving a congested path room before the next volley.
+    pub backoff: Duration,
+    /// On a pre-request censor reset, invalidate the destination's cached
+    /// hop estimate: the TTL-scoped insertion evidently died short of the
+    /// censor, which after a route flap means the estimate is stale.
+    pub reprobe_on_reset: bool,
+}
+
+impl Default for RobustnessConfig {
+    fn default() -> Self {
+        RobustnessConfig {
+            reprotect_syn: true,
+            max_reprotects: 4,
+            backoff: Duration::from_millis(15),
+            reprobe_on_reset: true,
+        }
+    }
 }
 
 impl Default for IntangConfig {
@@ -66,6 +102,7 @@ impl Default for IntangConfig {
             prefer_ttl: true,
             max_probe_ttl: 24,
             dns_forward: None,
+            robustness: None,
         }
     }
 }
@@ -94,6 +131,14 @@ pub struct IntangStats {
     pub flows: u64,
     pub successes: u64,
     pub failures: u64,
+    /// Robustness mode: retransmissions whose protection was re-applied.
+    pub reprotects: u64,
+    /// Robustness mode: retransmissions forwarded unprotected because the
+    /// flow exhausted its re-protection budget.
+    pub retries_abandoned: u64,
+    /// Hop-estimate invalidations (route-change notifications and
+    /// reset-triggered re-probes).
+    pub ttl_reprobes: u64,
 }
 
 struct Shim {
@@ -183,6 +228,16 @@ impl IntangHandle {
     pub fn delta_for(&self, server: Ipv4Addr) -> Option<u8> {
         self.shim.borrow().delta_overrides.get(&server).copied()
     }
+
+    /// A route change was observed (e.g. a fault-plan route flap): every
+    /// cached TTL distance is now suspect, so drop the whole hop cache. The
+    /// next flow per destination re-probes (§7.1: "routes are dynamic and
+    /// could change unexpectedly", invalidating measured TTLs).
+    pub fn notify_route_change(&self) {
+        let mut s = self.shim.borrow_mut();
+        s.hops_cache.clear();
+        s.stats.ttl_reprobes += 1;
+    }
 }
 
 impl Element for IntangElement {
@@ -199,6 +254,9 @@ impl Element for IntangElement {
         m.add(Counter::IntangResetsPreRequest, s.resets_pre_request);
         m.add(Counter::IntangResetsPostRequest, s.resets_post_request);
         m.add(Counter::IntangFlows, s.flows);
+        m.add(Counter::IntangReprotects, s.reprotects);
+        m.add(Counter::IntangRetriesAbandoned, s.retries_abandoned);
+        m.add(Counter::IntangTtlReprobes, s.ttl_reprobes);
     }
 
     fn on_packet(&mut self, ctx: &mut Ctx<'_>, dir: Direction, wire: Wire) {
@@ -335,17 +393,54 @@ impl Shim {
             return;
         };
 
+        let robust = self.cfg.robustness.clone();
+        // Extra delay applied to this round of insertions (robustness-mode
+        // linear backoff on re-protected retransmissions; ZERO otherwise).
+        let mut backoff_extra = Duration::ZERO;
         let (verdict, injections) = {
             let mut sctx = ShimCtx::new(ctx.now, ctx.rng, self.client, self.cfg.redundancy);
             let verdict = if seg.flags.syn() && !seg.flags.ack() && flow.client_isn.is_none() {
                 flow.client_isn = Some(seg.seq);
                 strat.on_syn(&mut sctx, flow, &seg)
+            } else if seg.flags.syn()
+                && !seg.flags.ack()
+                && flow.client_isn == Some(seg.seq)
+                && robust.as_ref().is_some_and(|r| r.reprotect_syn)
+            {
+                // Robustness: the client stack retransmitted its SYN, so the
+                // insertions sent alongside the original likely died on the
+                // same loss burst — re-protect, within budget.
+                let r = robust.as_ref().expect("guard checked");
+                if flow.reprotect_count < r.max_reprotects {
+                    flow.reprotect_count += 1;
+                    self.stats.reprotects += 1;
+                    backoff_extra = r.backoff * u64::from(flow.reprotect_count);
+                    strat.on_syn(&mut sctx, flow, &seg)
+                } else {
+                    self.stats.retries_abandoned += 1;
+                    Verdict::Forward
+                }
             } else if !seg.payload.is_empty() && (!flow.first_payload_sent || flow.first_payload_seq == Some(seg.seq)) {
                 // First request — or an RTO retransmission of it, which the
-                // shim re-protects exactly like the original.
-                flow.first_payload_sent = true;
-                flow.first_payload_seq = Some(seg.seq);
-                strat.on_first_payload(&mut sctx, flow, &seg)
+                // shim re-protects like the original (bounded and backed off
+                // in robustness mode, unbounded otherwise).
+                let retransmission = flow.first_payload_sent;
+                let budget_left = robust.as_ref().is_none_or(|r| flow.reprotect_count < r.max_reprotects);
+                if retransmission && !budget_left {
+                    self.stats.retries_abandoned += 1;
+                    Verdict::Forward
+                } else {
+                    if retransmission {
+                        if let Some(r) = robust.as_ref() {
+                            flow.reprotect_count += 1;
+                            self.stats.reprotects += 1;
+                            backoff_extra = r.backoff * u64::from(flow.reprotect_count);
+                        }
+                    }
+                    flow.first_payload_sent = true;
+                    flow.first_payload_seq = Some(seg.seq);
+                    strat.on_first_payload(&mut sctx, flow, &seg)
+                }
             } else {
                 Verdict::Forward
             };
@@ -353,7 +448,7 @@ impl Shim {
         };
         self.stats.insertions_sent += injections.len() as u64;
         for (w, d) in injections {
-            ctx.send_delayed(Direction::ToServer, w, d);
+            ctx.send_delayed(Direction::ToServer, w, d + backoff_extra);
         }
         match verdict {
             Verdict::Forward => ctx.send(Direction::ToServer, wire),
@@ -407,6 +502,7 @@ impl Shim {
                         ResetSignature::Type2RstAck => self.stats.type2_resets_seen += 1,
                     }
                 }
+                let mut reprobe: Option<Ipv4Addr> = None;
                 if let Some((flow, strat)) = self.flows.get_mut(&tuple) {
                     if seg_flags.syn() && seg_flags.ack() {
                         flow.synack_seen = true;
@@ -424,6 +520,14 @@ impl Shim {
                             self.stats.resets_post_request += 1;
                         } else {
                             self.stats.resets_pre_request += 1;
+                            // Robustness: a pre-request censor reset means
+                            // the TTL-scoped insertion died short of the
+                            // censor — after a route flap that is the
+                            // signature of a stale hop estimate, so drop it
+                            // and re-measure on the next flow.
+                            if self.cfg.robustness.as_ref().is_some_and(|r| r.reprobe_on_reset) && flow.hops.is_some() {
+                                reprobe = Some(tuple.dst);
+                            }
                         }
                         if !flow.outcome_recorded && flow.first_payload_sent {
                             flow.outcome_recorded = true;
@@ -446,6 +550,10 @@ impl Shim {
                             self.history.borrow_mut().record(tuple.dst, flow.strategy, true);
                         }
                     }
+                }
+                if let Some(dst) = reprobe {
+                    self.hops_cache.invalidate(&dst);
+                    self.stats.ttl_reprobes += 1;
                 }
                 ctx.send(Direction::ToClient, wire);
             }

@@ -168,6 +168,10 @@ pub struct FlowState {
     pub response_bytes: u64,
     /// The outcome was already pushed into the selection history.
     pub outcome_recorded: bool,
+    /// Times this flow's protection was re-applied to a retransmission
+    /// (bounded by `RobustnessConfig::max_reprotects` when robustness mode
+    /// is on; unbounded otherwise).
+    pub reprotect_count: u32,
     pub strategy: StrategyKind,
 }
 
@@ -185,6 +189,7 @@ impl FlowState {
             resets_seen: 0,
             response_bytes: 0,
             outcome_recorded: false,
+            reprotect_count: 0,
             strategy,
         }
     }

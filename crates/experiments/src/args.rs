@@ -40,12 +40,13 @@ impl CommonArgs {
                         .and_then(|v| v.parse().ok())
                         .unwrap_or_else(|| panic!("--seed needs a number"));
                 }
-                "--quick" => out.quick = true,
+                // --smoke is the CI-facing alias: same shrunken scenario.
+                "--quick" | "--smoke" => out.quick = true,
                 "--telemetry" => {
                     out.telemetry = Some(it.next().unwrap_or_else(|| panic!("--telemetry needs a path")));
                 }
                 "--help" | "-h" => {
-                    eprintln!("flags: --trials N        trials per cell (default: per-experiment)\n       --seed S          master seed (default 2017)\n       --quick           shrink the scenario for a fast smoke run\n       --telemetry PATH  write JSONL metrics + failure diagnoses to PATH\n                         (INTANG_TELEMETRY env is the fallback)");
+                    eprintln!("flags: --trials N        trials per cell (default: per-experiment)\n       --seed S          master seed (default 2017)\n       --quick           shrink the scenario for a fast smoke run\n       --smoke           alias for --quick\n       --telemetry PATH  write JSONL metrics + failure diagnoses to PATH\n                         (INTANG_TELEMETRY env is the fallback)");
                     std::process::exit(0);
                 }
                 other => panic!("unknown flag {other}"),
@@ -86,6 +87,8 @@ mod tests {
         let a = CommonArgs::parse_from(vec!["--quick".into()]);
         assert!(a.quick);
         assert_eq!(a.trials_or(48), 12);
+        let a = CommonArgs::parse_from(vec!["--smoke".into()]);
+        assert!(a.quick, "--smoke is an alias for --quick");
     }
 
     #[test]

@@ -19,6 +19,7 @@ fn main() {
         ("arms_race", exps::arms_race::run),
         ("device_types", exps::device_types::run),
         ("convergence", exps::convergence::run),
+        ("fault_matrix", exps::fault_matrix::run),
     ] {
         eprintln!(">>> running {name} ...");
         println!("{}", f(&args));

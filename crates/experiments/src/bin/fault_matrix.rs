@@ -1,0 +1,6 @@
+//! Regenerates the fault-degradation matrix; see
+//! `intang_experiments::exps::fault_matrix`.
+fn main() {
+    let args = intang_experiments::args::CommonArgs::parse();
+    print!("{}", intang_experiments::exps::fault_matrix::run(&args));
+}

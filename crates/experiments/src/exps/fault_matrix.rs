@@ -1,0 +1,137 @@
+//! Fault matrix: success-rate degradation under increasing fault intensity.
+//!
+//! The paper's numbers come from live paths whose noise it could not
+//! control — bursty loss, route dynamics (§3.4), and a censor whose
+//! injection behaviour varies by vantage point (the Table 2/Table 4
+//! min–max spread). This harness makes that noise a controlled axis:
+//! every trial derives a seeded [`intang_faults::FaultPlan`] and the
+//! sweep is repeated at increasing intensities, so the output reads as
+//! degradation curves — how fast each strategy's success rate decays as
+//! the path and the censor get less cooperative, and how much of the
+//! vantage-point spread the fault layer alone reproduces.
+//!
+//! Intensity 0.0 is the control row: it must match a faultless build
+//! byte-for-byte (the plan derivation returns `None` without consuming
+//! randomness).
+
+use crate::args::CommonArgs;
+use crate::report::{pct, Table};
+use crate::runner::{min_max_avg, sweep_with_threads, worker_count, Aggregate, SweepConfig, SweepRun};
+use crate::scenario::Scenario;
+use crate::telemetry::TelemetrySink;
+use intang_core::StrategyKind;
+use intang_faults::FaultConfig;
+use intang_telemetry::{Counter, FailureVector};
+
+/// The fault-intensity axis (0.0 = control, byte-identical to no layer).
+pub const INTENSITIES: [f64; 4] = [0.0, 0.25, 0.5, 1.0];
+
+/// Strategies swept at each intensity: the no-evasion baseline, two fixed
+/// strategies with distinct failure modes (teardown leans on resets
+/// reaching the censor; resync/desync on insertions surviving the path),
+/// and INTANG's adaptive mode.
+pub fn rows() -> Vec<(&'static str, Option<StrategyKind>)> {
+    vec![
+        ("No strategy", Some(StrategyKind::NoStrategy)),
+        ("Improved TCB Teardown", Some(StrategyKind::ImprovedTeardown)),
+        ("TCB Creation + Resync/Desync", Some(StrategyKind::TcbCreationResyncDesync)),
+        ("INTANG adaptive", None),
+    ]
+}
+
+/// Sum of the counters the fault layer (and only the fault layer) drives.
+fn fault_events(run: &SweepRun) -> u64 {
+    [
+        Counter::NetsimBurstLosses,
+        Counter::NetsimReordered,
+        Counter::NetsimDuplicated,
+        Counter::NetsimMtuDropped,
+        Counter::FaultRouteFlaps,
+        Counter::GfwInjectionsSuppressed,
+        Counter::GfwDeviceFlaps,
+        Counter::GfwBlacklistJitterApplied,
+        Counter::IntangReprotects,
+        Counter::IntangRetriesAbandoned,
+        Counter::IntangTtlReprobes,
+    ]
+    .iter()
+    .map(|&c| run.metrics.counter(c))
+    .sum()
+}
+
+pub fn run(args: &CommonArgs) -> String {
+    let trials = args.trials_or(8);
+    let scenario = if args.quick {
+        Scenario::smoke(args.seed)
+    } else {
+        Scenario::paper_inside(args.seed)
+    };
+    let workers = worker_count();
+    let mut sink = TelemetrySink::from_args(args);
+    let mut out = String::new();
+    // success avg per (strategy row, intensity) for the closing summary.
+    let mut curves: Vec<Vec<f64>> = vec![Vec::new(); rows().len()];
+
+    for &intensity in &INTENSITIES {
+        let mut t = Table::new(
+            &format!(
+                "Fault matrix @ intensity {intensity:.2} — {} vp x {} sites x {} trials",
+                scenario.vantage_points.len(),
+                scenario.websites.len(),
+                trials
+            ),
+            &[
+                "Strategy",
+                "Success min",
+                "Success max",
+                "Success avg",
+                "F1 avg",
+                "F2 avg",
+                "Fault events",
+                "Unclassified",
+            ],
+        );
+        for (row_idx, (label, kind)) in rows().into_iter().enumerate() {
+            let mut cfg = SweepConfig::new(kind, true, trials, args.seed);
+            cfg.faults = FaultConfig::at_intensity(intensity);
+            let run = sweep_with_threads(&scenario, &cfg, workers);
+            if let Some(s) = sink.as_mut() {
+                s.record_sweep("fault_matrix", &format!("intensity {intensity:.2}: {label}"), &run)
+                    .expect("telemetry write");
+            }
+            let s = min_max_avg(&run.rows, Aggregate::success_rate);
+            let f1 = min_max_avg(&run.rows, Aggregate::failure1_rate);
+            let f2 = min_max_avg(&run.rows, Aggregate::failure2_rate);
+            let unclassified = run.diagnoses.iter().filter(|d| d.vector == FailureVector::Unclassified).count();
+            curves[row_idx].push(s.avg);
+            t.row(vec![
+                label.to_string(),
+                pct(s.min),
+                pct(s.max),
+                pct(s.avg),
+                pct(f1.avg),
+                pct(f2.avg),
+                fault_events(&run).to_string(),
+                unclassified.to_string(),
+            ]);
+        }
+        out.push_str(&t.render());
+        out.push('\n');
+    }
+
+    // Degradation curves: success avg across the intensity axis, plus the
+    // total drop from the control column — the headline number.
+    let mut t = Table::new(
+        "Success-rate degradation (avg across vantage points)",
+        &["Strategy", "i=0.00", "i=0.25", "i=0.50", "i=1.00", "drop"],
+    );
+    for ((label, _), curve) in rows().into_iter().zip(&curves) {
+        let drop = curve.first().copied().unwrap_or(0.0) - curve.last().copied().unwrap_or(0.0);
+        let mut cells = vec![label.to_string()];
+        cells.extend(curve.iter().map(|&v| pct(v)));
+        cells.push(pct(drop));
+        t.row(cells);
+    }
+    out.push_str(&t.render());
+    out
+}

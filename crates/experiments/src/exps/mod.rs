@@ -5,6 +5,7 @@ pub mod ablations;
 pub mod arms_race;
 pub mod convergence;
 pub mod device_types;
+pub mod fault_matrix;
 pub mod figures;
 pub mod hypotheses;
 pub mod reset_fingerprint;

@@ -12,6 +12,7 @@ use crate::scenario::{Scenario, VantagePoint, Website};
 use crate::trial::{run_http_trial, Outcome, TrialSpec};
 use intang_core::select::History;
 use intang_core::StrategyKind;
+use intang_faults::{FaultConfig, FaultPlan};
 use intang_telemetry::{FailureVector, MetricsSheet};
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -68,6 +69,9 @@ pub struct SweepConfig {
     pub redundancy: u32,
     pub master_seed: u64,
     pub route_change_prob: f64,
+    /// Fault-injection configuration; [`FaultConfig::off`] (the default)
+    /// leaves every trial byte-identical to a faultless build.
+    pub faults: FaultConfig,
 }
 
 impl SweepConfig {
@@ -79,6 +83,7 @@ impl SweepConfig {
             redundancy: 3,
             master_seed,
             route_change_prob: 0.12,
+            faults: FaultConfig::off(),
         }
     }
 }
@@ -152,6 +157,7 @@ pub fn run_cell_telemetry(vp: &VantagePoint, vp_idx: usize, site: &Website, site
         spec.redundancy = cfg.redundancy;
         spec.history = history.clone();
         spec.route_change_prob = cfg.route_change_prob;
+        spec.faults = FaultPlan::derive(&cfg.faults, seed);
         let r = run_http_trial(&spec);
         agg.add(r.outcome);
         events += r.events;

@@ -5,7 +5,8 @@ use crate::scenario::{VantagePoint, Website};
 use intang_apps::host::add_host;
 use intang_apps::http::{listen, HttpClientDriver, HttpServerDriver};
 use intang_core::select::History;
-use intang_core::{IntangConfig, IntangElement, StrategyKind};
+use intang_core::{IntangConfig, IntangElement, RobustnessConfig, StrategyKind};
+use intang_faults::FaultPlan;
 use intang_gfw::{GfwElement, GfwHandle};
 use intang_middlebox::{FieldFilter, FilterSpec, FragmentHandler, SeqStrictFirewall, StatefulFirewall};
 use intang_netsim::{Direction, Duration, Instant, Link, Simulation};
@@ -58,6 +59,10 @@ pub struct TrialSpec<'a> {
     /// δ subtracted from the hop estimate when scoping insertion TTLs
     /// (§7.1 heuristic; the ablations sweep it).
     pub delta: u8,
+    /// Realized fault schedule for this trial (`None` = pristine path;
+    /// an absent plan leaves the simulation byte-identical to a build
+    /// without the fault layer).
+    pub faults: Option<FaultPlan>,
 }
 
 impl<'a> TrialSpec<'a> {
@@ -72,6 +77,7 @@ impl<'a> TrialSpec<'a> {
             history: None,
             route_change_prob: 0.12,
             delta: 2,
+            faults: None,
         }
     }
 }
@@ -148,6 +154,14 @@ pub fn build_http_sim(spec: &TrialSpec<'_>) -> (Simulation, TrialParts) {
         // The baseline also skips measurement probes.
         cfg.measure_hops = false;
     }
+    if let Some(plan) = &spec.faults {
+        cfg.robustness = Some(RobustnessConfig {
+            reprotect_syn: plan.client.reprotect_syn,
+            max_reprotects: plan.client.max_reprotects,
+            backoff: plan.client.backoff,
+            reprobe_on_reset: plan.client.reprobe_on_reset,
+        });
+    }
     let (intang_el, intang) = match &spec.history {
         Some(h) => IntangElement::with_history(vp.addr, cfg, h.clone()),
         None => IntangElement::new(vp.addr, cfg),
@@ -155,6 +169,7 @@ pub fn build_http_sim(spec: &TrialSpec<'_>) -> (Simulation, TrialParts) {
     sim.add_element(Box::new(intang_el));
 
     // Client-side middleboxes (Table 2 profile).
+    let access_link = sim.link_count();
     sim.add_link(Link::new(Duration::from_millis(1), vp.access_hops).with_router_base(Ipv4Addr::new(172, 16, 1, 0)));
     sim.add_element(Box::new(FragmentHandler::new(vp.profile.label(), vp.profile.fragment_mode())));
     sim.add_link(Link::new(Duration::from_micros(100), 0));
@@ -167,7 +182,7 @@ pub fn build_http_sim(spec: &TrialSpec<'_>) -> (Simulation, TrialParts) {
             .with_loss(site.loss)
             .with_router_base(Ipv4Addr::new(172, 16, 2, 0)),
     );
-    let midpath_spec = if site.path_drops_noflag {
+    let mut midpath_spec = if site.path_drops_noflag {
         FilterSpec {
             drop_no_flag: 1.0,
             ..FilterSpec::default()
@@ -175,6 +190,11 @@ pub fn build_http_sim(spec: &TrialSpec<'_>) -> (Simulation, TrialParts) {
     } else {
         FilterSpec::passes_everything()
     };
+    if let Some(p) = spec.faults.as_ref().and_then(|plan| plan.midpath_drop_no_flag) {
+        // Profile perturbation: an unattributed hop starts eating flagless
+        // segments mid-trial-set (Table 2's "varies by path" rows).
+        midpath_spec.drop_no_flag = midpath_spec.drop_no_flag.max(p);
+    }
     sim.add_element(Box::new(FieldFilter::new("midpath", midpath_spec)));
 
     // The censor tap(s) at the border.
@@ -182,6 +202,11 @@ pub fn build_http_sim(spec: &TrialSpec<'_>) -> (Simulation, TrialParts) {
     let mut first = true;
     for mut gcfg in site.gfw_configs() {
         gcfg.tor_filter = vp.tor_filtered;
+        if let Some(plan) = &spec.faults {
+            gcfg.chaos_rst_inject_prob = plan.censor.rst_inject_prob;
+            gcfg.chaos_blacklist_jitter = plan.censor.blacklist_jitter;
+            gcfg.chaos_device_flap_prob = plan.censor.device_flap_prob;
+        }
         if !first {
             sim.add_link(Link::new(Duration::from_micros(10), 0));
         } else {
@@ -247,6 +272,12 @@ pub fn build_http_sim(spec: &TrialSpec<'_>) -> (Simulation, TrialParts) {
     shandle.with_tcp(|t| t.set_ip_overlap(site.server_ip_overlap));
     listen(&shandle, 80);
 
+    if let Some(plan) = &spec.faults {
+        sim.link_mut(access_link).faults = plan.access.clone();
+        apply_link_faults(&mut sim, core_link, &plan.core);
+        apply_link_faults(&mut sim, last_link, &plan.server);
+    }
+
     let parts = TrialParts {
         report,
         intang,
@@ -256,6 +287,18 @@ pub fn build_http_sim(spec: &TrialSpec<'_>) -> (Simulation, TrialParts) {
         core_link,
     };
     (sim, parts)
+}
+
+/// Install a plan's faults on one link. The burst channel *replaces* the
+/// link's independent loss draw, so the link's own residual loss is folded
+/// into the good-state loss rate — faults can only add loss, never mask it.
+fn apply_link_faults(sim: &mut Simulation, idx: usize, faults: &intang_netsim::LinkFaults) {
+    let link = sim.link_mut(idx);
+    let mut f = faults.clone();
+    if let Some(ge) = f.burst.as_mut() {
+        ge.loss_good = ge.loss_good.max(link.loss);
+    }
+    link.faults = f;
 }
 
 fn finish_http_trial(mut sim: Simulation, parts: TrialParts, spec: &TrialSpec<'_>) -> TrialResult {
@@ -283,10 +326,32 @@ fn finish_http_trial(mut sim: Simulation, parts: TrialParts, spec: &TrialSpec<'_
             link.hops + delta
         };
     }
+    // Planned route flaps (fault layer): each one moves a link's hop count
+    // mid-trial and tells INTANG the route changed so it re-probes TTL
+    // distance on the next flow. The natural route-change draw above keeps
+    // its exact RNG sequence; plan flaps ride on top.
+    let mut fault_flaps = 0u64;
+    if let Some(plan) = &spec.faults {
+        for flap in &plan.route_flaps {
+            events += sim.run_until(flap.at);
+            let idx = if flap.pre_censor { parts.core_link } else { parts.last_link };
+            let link = sim.link_mut(idx);
+            link.hops = if flap.shrink {
+                link.hops.saturating_sub(flap.delta).max(1)
+            } else {
+                link.hops + flap.delta
+            };
+            parts.intang.notify_route_change();
+            fault_flaps += 1;
+        }
+    }
     events += sim.run_until(Instant(25_000_000));
     let mut result = classify(&sim, &parts, spec);
     result.events = events;
     result.metrics.observe(HistId::TrialEvents, events);
+    if fault_flaps > 0 {
+        result.metrics.add(Counter::FaultRouteFlaps, fault_flaps);
+    }
     result
 }
 

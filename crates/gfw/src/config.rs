@@ -84,6 +84,20 @@ pub struct GfwConfig {
     /// discontinued, §7.3).
     pub vpn_dpi: bool,
 
+    // ---- fault-injection chaos (Ensafi et al.: GFW behavior is ---------
+    // ---- probabilistic and spatially non-uniform) ----------------------
+    /// Probability that an injection volley (detection resets, blacklist
+    /// resets) actually goes out. 1.0 = always inject (no chaos; draws no
+    /// randomness). Lower values model vantage points where the censor's
+    /// resets only sometimes arrive.
+    pub chaos_rst_inject_prob: f64,
+    /// Fractional jitter on `blacklist_duration`: each insertion draws a
+    /// duration in `[1-j, 1+j] × blacklist_duration`. 0.0 = no jitter.
+    pub chaos_blacklist_jitter: f64,
+    /// Probability that a type-1/type-2 instance is "down" for one
+    /// detection (device flapping). 0.0 = devices never flap.
+    pub chaos_device_flap_prob: f64,
+
     pub rules: RuleSet,
 }
 
@@ -112,6 +126,9 @@ impl GfwConfig {
             tor_filter: true,
             active_probing: true,
             vpn_dpi: false,
+            chaos_rst_inject_prob: 1.0,
+            chaos_blacklist_jitter: 0.0,
+            chaos_device_flap_prob: 0.0,
             rules: RuleSet::paper_default(),
         }
     }

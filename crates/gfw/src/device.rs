@@ -53,6 +53,13 @@ pub struct GfwStats {
     pub ip_blocked_drops: u64,
     /// Payload bytes run through the DPI automaton.
     pub dpi_bytes_scanned: u64,
+    /// Chaos gates (fault injection): reset volleys withheld because the
+    /// per-vantage-point injection rate said no.
+    pub injections_suppressed: u64,
+    /// Chaos gates: volleys withheld because the device instance flapped.
+    pub device_flaps: u64,
+    /// Blacklist insertions whose duration was jittered.
+    pub blacklist_jitter_draws: u64,
 }
 
 struct GfwCore {
@@ -244,6 +251,9 @@ impl Element for GfwElement {
         m.add(Counter::GfwProbesLaunched, s.probes_launched);
         m.add(Counter::GfwIpBlockedDrops, s.ip_blocked_drops);
         m.add(Counter::GfwDpiBytesScanned, s.dpi_bytes_scanned);
+        m.add(Counter::GfwInjectionsSuppressed, s.injections_suppressed);
+        m.add(Counter::GfwDeviceFlaps, s.device_flaps);
+        m.add(Counter::GfwBlacklistJitterApplied, s.blacklist_jitter_draws);
     }
 }
 
@@ -533,7 +543,8 @@ impl GfwCore {
                     if !already {
                         self.inject_detection_resets(ctx, client, server, client_next, server_next);
                         if self.cfg.type2 {
-                            self.blacklist.add(client.0, server.0, ctx.now, self.cfg.blacklist_duration);
+                            let duration = self.chaos_blacklist_duration(ctx);
+                            self.blacklist.add(client.0, server.0, ctx.now, duration);
                             self.stats.blacklist_inserts += 1;
                         }
                         self.tcbs.get_mut(&key).expect("tcb present").detected = true;
@@ -558,6 +569,37 @@ impl GfwCore {
         }
     }
 
+    /// Chaos gate for one device instance's injection volley. With the
+    /// inert defaults (`chaos_device_flap_prob` 0.0, `chaos_rst_inject_prob`
+    /// 1.0) both `chance` calls short-circuit without drawing randomness,
+    /// so fault-free runs stay byte-identical. Per Ensafi et al., both the
+    /// flap and the injection rate are drawn per volley: the same vantage
+    /// point sees the censor react inconsistently over time.
+    fn chaos_volley_fires(&mut self, ctx: &mut Ctx<'_>) -> bool {
+        if ctx.rng.chance(self.cfg.chaos_device_flap_prob) {
+            self.stats.device_flaps += 1;
+            self.stats.injections_suppressed += 1;
+            return false;
+        }
+        if !ctx.rng.chance(self.cfg.chaos_rst_inject_prob) {
+            self.stats.injections_suppressed += 1;
+            return false;
+        }
+        true
+    }
+
+    /// Blacklist duration with chaos jitter applied (inert at 0.0).
+    fn chaos_blacklist_duration(&mut self, ctx: &mut Ctx<'_>) -> Duration {
+        let j = self.cfg.chaos_blacklist_jitter;
+        if j <= 0.0 {
+            return self.cfg.blacklist_duration;
+        }
+        let base = self.cfg.blacklist_duration.micros();
+        let span = (base as f64 * j.min(1.0)) as u64;
+        self.stats.blacklist_jitter_draws += 1;
+        Duration::from_micros(ctx.rng.range_u64(base.saturating_sub(span), base + span + 1))
+    }
+
     /// The full §2.1 reset volley, both directions.
     fn inject_detection_resets(
         &mut self,
@@ -568,7 +610,7 @@ impl GfwCore {
         server_next: u32,
     ) {
         let d = self.cfg.reaction_delay;
-        if self.cfg.type1 {
+        if self.cfg.type1 && self.chaos_volley_fires(ctx) {
             // One RST each way, spoofed from the opposite endpoint.
             let to_client = self.injector.type1(ctx.rng, server, client, server_next);
             let to_server = self.injector.type1(ctx.rng, client, server, client_next);
@@ -577,7 +619,7 @@ impl GfwCore {
             self.stats.resets_injected += 2;
             self.stats.type1_resets_injected += 2;
         }
-        if self.cfg.type2 {
+        if self.cfg.type2 && self.chaos_volley_fires(ctx) {
             for w in self.injector.type2(server, client, server_next, client_next) {
                 ctx.send_delayed(Direction::ToClient, w, d);
                 self.stats.resets_injected += 1;
@@ -594,13 +636,13 @@ impl GfwCore {
     /// Resets fired at arbitrary packets during the blacklist period.
     fn inject_pair_resets(&mut self, ctx: &mut Ctx<'_>, dir: Direction, src: (Ipv4Addr, u16), dst: (Ipv4Addr, u16), seq: u32, ack: u32) {
         let d = self.cfg.reaction_delay;
-        if self.cfg.type1 {
+        if self.cfg.type1 && self.chaos_volley_fires(ctx) {
             let w = self.injector.type1(ctx.rng, dst, src, ack);
             ctx.send_delayed(dir.reversed(), w, d);
             self.stats.resets_injected += 1;
             self.stats.type1_resets_injected += 1;
         }
-        if self.cfg.type2 {
+        if self.cfg.type2 && self.chaos_volley_fires(ctx) {
             // Reset the sender of the observed packet (spoofed from its peer).
             for w in self.injector.type2(dst, src, ack, seq) {
                 ctx.send_delayed(dir.reversed(), w, d);

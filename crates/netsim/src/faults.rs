@@ -1,0 +1,136 @@
+//! Per-link fault mechanics: burst loss (Gilbert–Elliott), reordering,
+//! duplication, latency jitter, and MTU clamps.
+//!
+//! This module holds the *mechanisms* the event loop applies in
+//! [`crate::Simulation`]; the seeded plan deciding which link suffers which
+//! fault lives in the `intang-faults` crate (which depends on this one).
+//!
+//! The inert [`LinkFaults::default`] performs **zero** extra RNG draws and
+//! adds zero latency inside `Simulation::transmit`, so a fault-free
+//! simulation stays byte-identical to one built before this module existed.
+
+use crate::rng::SimRng;
+use crate::time::Duration;
+
+/// The classic two-state Gilbert–Elliott burst-loss channel.
+///
+/// Each packet first drives the state machine (good → bad with `p_enter`,
+/// bad → good with `p_exit`), then is lost with the loss rate of the state
+/// it landed in. Mean burst length is `1 / p_exit` packets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GilbertElliott {
+    /// Per-packet probability of entering the bad (burst) state.
+    pub p_enter: f64,
+    /// Per-packet probability of leaving the bad state.
+    pub p_exit: f64,
+    /// Loss rate in the good state (typically the link's residual loss).
+    pub loss_good: f64,
+    /// Loss rate inside a burst.
+    pub loss_bad: f64,
+    in_burst: bool,
+}
+
+impl GilbertElliott {
+    pub fn new(p_enter: f64, p_exit: f64, loss_good: f64, loss_bad: f64) -> GilbertElliott {
+        GilbertElliott {
+            p_enter,
+            p_exit,
+            loss_good,
+            loss_bad,
+            in_burst: false,
+        }
+    }
+
+    /// Advance the channel by one packet; returns true when the packet is
+    /// lost. All randomness comes from `rng`, so a replay from the same
+    /// seed reproduces the same burst schedule.
+    pub fn step(&mut self, rng: &mut SimRng) -> bool {
+        if self.in_burst {
+            if rng.chance(self.p_exit) {
+                self.in_burst = false;
+            }
+        } else if rng.chance(self.p_enter) {
+            self.in_burst = true;
+        }
+        let p = if self.in_burst { self.loss_bad } else { self.loss_good };
+        rng.chance(p)
+    }
+
+    pub fn in_burst(&self) -> bool {
+        self.in_burst
+    }
+}
+
+/// Fault set applied to one link, carried on [`crate::Link`].
+///
+/// The default is inert: every branch in `Simulation::transmit` guards on
+/// the zero value, so a default-faulted link draws no extra randomness and
+/// delivers with unmodified timing.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LinkFaults {
+    /// Burst-loss channel; when set it *replaces* the link's independent
+    /// `loss` draw (configure `loss_good` to keep residual loss).
+    pub burst: Option<GilbertElliott>,
+    /// Probability a delivered packet is held back `reorder_delay` extra —
+    /// long enough that packets emitted after it arrive first.
+    pub reorder_prob: f64,
+    /// Extra in-flight delay for reordered packets.
+    pub reorder_delay: Duration,
+    /// Probability a delivered packet arrives twice (second copy trails
+    /// shortly behind the first).
+    pub dup_prob: f64,
+    /// Uniform extra latency in `[0, jitter]` added to each traversal.
+    pub jitter: Duration,
+    /// Drop frames whose wire length exceeds this clamp (path-MTU fault).
+    pub mtu: Option<usize>,
+}
+
+impl LinkFaults {
+    /// True when this fault set changes nothing — the fast-path guard the
+    /// event loop uses to keep fault-free runs byte-identical.
+    pub fn is_inert(&self) -> bool {
+        self.burst.is_none() && self.reorder_prob <= 0.0 && self.dup_prob <= 0.0 && self.jitter == Duration::ZERO && self.mtu.is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_faults_are_inert() {
+        assert!(LinkFaults::default().is_inert());
+        let f = LinkFaults {
+            dup_prob: 0.1,
+            ..LinkFaults::default()
+        };
+        assert!(!f.is_inert());
+    }
+
+    #[test]
+    fn gilbert_elliott_produces_bursts() {
+        let mut rng = SimRng::seed_from(7);
+        let mut ge = GilbertElliott::new(0.05, 0.25, 0.0, 1.0);
+        let losses: Vec<bool> = (0..2_000).map(|_| ge.step(&mut rng)).collect();
+        let lost = losses.iter().filter(|&&l| l).count();
+        // Stationary bad-state share is p_enter / (p_enter + p_exit) ≈ 1/6.
+        assert!((150..600).contains(&lost), "burst loss calibrated, got {lost}");
+        // Losses cluster: count runs of consecutive losses vs. singletons.
+        let runs = losses.windows(2).filter(|w| w[0] && w[1]).count();
+        assert!(
+            runs > lost / 4,
+            "losses arrive in bursts ({runs} adjacent pairs over {lost} losses)"
+        );
+    }
+
+    #[test]
+    fn gilbert_elliott_replays_identically() {
+        let run = |seed: u64| -> Vec<bool> {
+            let mut rng = SimRng::seed_from(seed);
+            let mut ge = GilbertElliott::new(0.08, 0.3, 0.01, 0.8);
+            (0..500).map(|_| ge.step(&mut rng)).collect()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+}

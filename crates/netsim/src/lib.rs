@@ -24,6 +24,7 @@
 
 pub mod element;
 pub mod event;
+pub mod faults;
 pub mod link;
 pub mod pcap;
 pub mod rng;
@@ -32,6 +33,7 @@ pub mod time;
 pub mod trace;
 
 pub use element::{Ctx, Direction, Element};
+pub use faults::{GilbertElliott, LinkFaults};
 pub use link::Link;
 pub use rng::SimRng;
 pub use sim::Simulation;

@@ -1,5 +1,6 @@
 //! Links: latency, loss, and routers that decrement TTL.
 
+use crate::faults::LinkFaults;
 use crate::time::Duration;
 use std::net::Ipv4Addr;
 
@@ -19,6 +20,9 @@ pub struct Link {
     pub hops: u8,
     /// Base address for router identities on this link.
     pub router_base: Ipv4Addr,
+    /// Injected fault set (burst loss, reorder, dup, jitter, MTU clamp).
+    /// Inert by default — see [`LinkFaults::is_inert`].
+    pub faults: LinkFaults,
 }
 
 impl Link {
@@ -28,11 +32,17 @@ impl Link {
             loss: 0.0,
             hops,
             router_base: Ipv4Addr::new(172, 16, 0, 0),
+            faults: LinkFaults::default(),
         }
     }
 
     pub fn with_loss(mut self, loss: f64) -> Link {
         self.loss = loss;
+        self
+    }
+
+    pub fn with_faults(mut self, faults: LinkFaults) -> Link {
+        self.faults = faults;
         self
     }
 

@@ -5,9 +5,7 @@ use crate::element::{Ctx, Direction, Element, Emission};
 use crate::event::{Event, EventQueue};
 use crate::link::Link;
 use crate::rng::SimRng;
-#[cfg(test)]
-use crate::time::Duration;
-use crate::time::Instant;
+use crate::time::{Duration, Instant};
 use crate::trace::{NameId, Trace, TraceId, TraceKind, TracePoint};
 use intang_packet::{icmp, Ipv4Packet, Wire};
 use intang_telemetry::{Counter, MetricsSheet};
@@ -54,6 +52,13 @@ pub struct Simulation {
     pub ttl_expired: u64,
     /// Events popped from the queue over the simulation's lifetime.
     pub events_processed: u64,
+    /// Fault-layer statistics (all zero unless a link carries
+    /// non-inert [`crate::faults::LinkFaults`]).
+    pub duplicated: u64,
+    pub reordered: u64,
+    pub mtu_dropped: u64,
+    /// Losses incurred while a Gilbert–Elliott channel was in its burst state.
+    pub burst_losses: u64,
 }
 
 impl Simulation {
@@ -72,6 +77,10 @@ impl Simulation {
             lost: 0,
             ttl_expired: 0,
             events_processed: 0,
+            duplicated: 0,
+            reordered: 0,
+            mtu_dropped: 0,
+            burst_losses: 0,
         }
     }
 
@@ -295,7 +304,41 @@ impl Simulation {
             }
         }
 
-        if self.rng.chance(loss) {
+        // Fault layer. Every branch guards on the inert default, so a
+        // fault-free link draws no extra randomness and keeps its timing —
+        // the property that makes zero-intensity fault runs byte-identical.
+        let faults_active = !self.links[link_idx].faults.is_inert();
+        if faults_active {
+            if let Some(mtu) = self.links[link_idx].faults.mtu {
+                if wire.len() > mtu {
+                    self.mtu_dropped += 1;
+                    if self.trace.is_enabled() {
+                        self.trace.record(
+                            depart,
+                            TracePoint::Link { after: link_idx, hop: 0 },
+                            TraceKind::Loss,
+                            dir,
+                            emit_id,
+                            intang_packet::summarize(&wire),
+                        );
+                    }
+                    return;
+                }
+            }
+        }
+
+        let lost = if faults_active && self.links[link_idx].faults.burst.is_some() {
+            // The burst channel replaces the link's independent loss draw.
+            let ge = self.links[link_idx].faults.burst.as_mut().expect("checked above");
+            let lost = ge.step(&mut self.rng);
+            if lost && ge.in_burst() {
+                self.burst_losses += 1;
+            }
+            lost
+        } else {
+            self.rng.chance(loss)
+        };
+        if lost {
             self.lost += 1;
             if self.trace.is_enabled() {
                 self.trace.record(
@@ -310,9 +353,36 @@ impl Simulation {
             return;
         }
 
+        let mut arrival = depart + latency;
+        if faults_active {
+            let f = &self.links[link_idx].faults;
+            let (jitter, reorder_prob, reorder_delay, dup_prob) = (f.jitter, f.reorder_prob, f.reorder_delay, f.dup_prob);
+            if jitter > Duration::ZERO {
+                arrival = arrival + Duration::from_micros(self.rng.range_u64(0, jitter.micros() + 1));
+            }
+            if reorder_prob > 0.0 && self.rng.chance(reorder_prob) {
+                // Held back long enough that later emissions overtake it.
+                self.reordered += 1;
+                arrival = arrival + reorder_delay;
+            }
+            if dup_prob > 0.0 && self.rng.chance(dup_prob) {
+                self.duplicated += 1;
+                self.delivered += 1;
+                self.queue.push(
+                    arrival + Duration::from_micros(150),
+                    Event::Deliver {
+                        elem: to,
+                        dir,
+                        wire: wire.clone(),
+                        cause: emit_id,
+                    },
+                );
+            }
+        }
+
         self.delivered += 1;
         self.queue.push(
-            depart + latency,
+            arrival,
             Event::Deliver {
                 elem: to,
                 dir,
@@ -355,6 +425,10 @@ impl Simulation {
         m.add(Counter::NetsimDelivered, self.delivered);
         m.add(Counter::NetsimLost, self.lost);
         m.add(Counter::NetsimTtlExpired, self.ttl_expired);
+        m.add(Counter::NetsimDuplicated, self.duplicated);
+        m.add(Counter::NetsimReordered, self.reordered);
+        m.add(Counter::NetsimMtuDropped, self.mtu_dropped);
+        m.add(Counter::NetsimBurstLosses, self.burst_losses);
         m.add(Counter::TraceEventsDropped, self.trace.dropped());
         for e in &self.elements {
             e.export_metrics(m);

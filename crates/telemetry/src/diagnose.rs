@@ -104,6 +104,10 @@ pub struct TrialEvidence {
     pub middlebox_drops: u64,
     /// Packets dropped because the destination IP was null-routed.
     pub ip_blocked_drops: u64,
+    /// Packets dropped by an injected path-MTU clamp (fault layer). Treated
+    /// as middlebox interference: an MTU-clamping hop is a middlebox from
+    /// the flow's point of view, and the failure mode is identical.
+    pub link_fault_drops: u64,
 }
 
 impl TrialEvidence {
@@ -121,6 +125,7 @@ impl TrialEvidence {
                 + m.counter(Counter::MiddleboxSeqfwBlocked)
                 + m.counter(Counter::MiddleboxConntrackBlocked),
             ip_blocked_drops: m.counter(Counter::GfwIpBlockedDrops),
+            link_fault_drops: m.counter(Counter::NetsimMtuDropped),
         }
     }
 }
@@ -158,7 +163,7 @@ fn classify_reset(ev: &TrialEvidence) -> FailureVector {
 }
 
 fn classify_silent(ev: &TrialEvidence) -> FailureVector {
-    if ev.middlebox_drops + ev.ip_blocked_drops > 0 {
+    if ev.middlebox_drops + ev.ip_blocked_drops + ev.link_fault_drops > 0 {
         FailureVector::MiddleboxInterference
     } else {
         FailureVector::Timeout
@@ -279,6 +284,16 @@ mod tests {
         };
         assert_eq!(
             classify(TrialOutcome::SilentFailure, &null_routed),
+            Some(FailureVector::MiddleboxInterference)
+        );
+        // An injected path-MTU clamp silently eating frames presents the
+        // same way and must not fall through to `timeout`.
+        let clamped = TrialEvidence {
+            link_fault_drops: 3,
+            ..base()
+        };
+        assert_eq!(
+            classify(TrialOutcome::SilentFailure, &clamped),
             Some(FailureVector::MiddleboxInterference)
         );
     }

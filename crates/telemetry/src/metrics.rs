@@ -72,6 +72,18 @@ counters! {
     TrialSuccess => "trial_success",
     TrialFailure1 => "trial_failure1",
     TrialFailure2 => "trial_failure2",
+    // Fault-injection layer (all zero unless a FaultPlan is active).
+    NetsimDuplicated => "netsim_duplicated",
+    NetsimReordered => "netsim_reordered",
+    NetsimMtuDropped => "netsim_mtu_dropped",
+    NetsimBurstLosses => "netsim_burst_losses",
+    FaultRouteFlaps => "fault_route_flaps",
+    GfwInjectionsSuppressed => "gfw_injections_suppressed",
+    GfwDeviceFlaps => "gfw_device_flaps",
+    GfwBlacklistJitterApplied => "gfw_blacklist_jitter_applied",
+    IntangReprotects => "intang_reprotects",
+    IntangRetriesAbandoned => "intang_retries_abandoned",
+    IntangTtlReprobes => "intang_ttl_reprobes",
 }
 
 macro_rules! hists {

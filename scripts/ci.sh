@@ -14,6 +14,12 @@ cargo test -q --release --workspace
 # Telemetry determinism: parallel metrics/diagnoses must be byte-identical
 # to serial, and every failed trial must land in a concrete §5 vector.
 cargo test -q --release --test telemetry
+# Golden traces: the packet-level mechanism of one canonical trial per
+# strategy family, byte-compared against tests/golden/ snapshots.
+cargo test -q --release --test golden_traces
 cargo run --release -p intang-experiments --bin bench_sweep -- --quick >/dev/null
+# Fault layer smoke: degradation matrix at all intensities; the 0.00 row
+# doubles as a no-op check for the fault plumbing.
+cargo run --release -p intang-experiments --bin fault_matrix -- --smoke >/dev/null
 
 echo "ci: OK"

@@ -5,6 +5,8 @@ use intang_core::StrategyKind;
 use intang_experiments::runner::{run_cell, sweep_with_threads, SweepConfig};
 use intang_experiments::scenario::Scenario;
 use intang_experiments::trial::{run_http_trial, Outcome, TrialSpec};
+use intang_faults::FaultConfig;
+use intang_telemetry::{Counter, FailureVector};
 
 #[test]
 fn identical_seeds_reproduce_identical_outcomes() {
@@ -94,6 +96,84 @@ fn sweep_results_are_independent_of_worker_count() {
         assert_eq!(serial.rows, parallel.rows, "rows differ at {max_workers} workers");
         assert_eq!(serial.events, parallel.events);
         assert_eq!(serial.trials, parallel.trials);
+    }
+}
+
+#[test]
+fn faulted_sweeps_are_independent_of_worker_count() {
+    // The fault layer must not weaken the executor's determinism contract:
+    // with plans active, rows, events, the merged metrics sheet, and every
+    // per-trial diagnosis must be byte-identical at 1, 2, and 8 workers.
+    let s = Scenario::smoke(7);
+    let mut cfg = SweepConfig::new(Some(StrategyKind::ImprovedTeardown), true, 3, 1312);
+    cfg.faults = FaultConfig::at_intensity(0.75);
+    let serial = sweep_with_threads(&s, &cfg, 1);
+    for workers in [2usize, 8] {
+        let parallel = sweep_with_threads(&s, &cfg, workers);
+        assert_eq!(serial.rows, parallel.rows, "rows differ at {workers} workers");
+        assert_eq!(serial.events, parallel.events, "events differ at {workers} workers");
+        assert_eq!(serial.metrics, parallel.metrics, "metrics differ at {workers} workers");
+        assert_eq!(serial.diagnoses, parallel.diagnoses, "diagnoses differ at {workers} workers");
+    }
+    // The plans actually did something (otherwise this test is vacuous) ...
+    let faulted: u64 = [
+        Counter::NetsimBurstLosses,
+        Counter::NetsimReordered,
+        Counter::NetsimDuplicated,
+        Counter::FaultRouteFlaps,
+        Counter::GfwInjectionsSuppressed,
+    ]
+    .iter()
+    .map(|&c| serial.metrics.counter(c))
+    .sum();
+    assert!(faulted > 0, "intensity 0.75 should realize some faults");
+    // ... and every fault-induced failure still lands in a §5 bin.
+    assert!(
+        serial.diagnoses.iter().all(|d| d.vector != FailureVector::Unclassified),
+        "fault-induced failures must classify: {:?}",
+        serial.diagnoses
+    );
+}
+
+#[test]
+fn faulted_sweeps_replay_bit_identically() {
+    let s = Scenario::smoke(19);
+    let mut cfg = SweepConfig::new(None, true, 2, 77);
+    cfg.faults = FaultConfig::at_intensity(0.5);
+    let a = sweep_with_threads(&s, &cfg, 4);
+    let b = sweep_with_threads(&s, &cfg, 4);
+    assert_eq!(a.rows, b.rows);
+    assert_eq!(a.events, b.events);
+    assert_eq!(a.metrics, b.metrics);
+    assert_eq!(a.diagnoses, b.diagnoses);
+}
+
+#[test]
+fn zero_intensity_faults_change_nothing() {
+    // FaultConfig::off() must leave a sweep byte-identical to one that
+    // never mentions faults — the control row of the fault matrix.
+    let s = Scenario::smoke(7);
+    let plain = SweepConfig::new(Some(StrategyKind::TcbCreationResyncDesync), true, 3, 555);
+    let mut zeroed = plain.clone();
+    zeroed.faults = FaultConfig::off();
+    let a = sweep_with_threads(&s, &plain, 2);
+    let b = sweep_with_threads(&s, &zeroed, 2);
+    assert_eq!(a.rows, b.rows);
+    assert_eq!(a.metrics, b.metrics);
+    for c in [
+        Counter::NetsimBurstLosses,
+        Counter::NetsimReordered,
+        Counter::NetsimDuplicated,
+        Counter::NetsimMtuDropped,
+        Counter::FaultRouteFlaps,
+        Counter::GfwInjectionsSuppressed,
+        Counter::GfwDeviceFlaps,
+        Counter::GfwBlacklistJitterApplied,
+        Counter::IntangReprotects,
+        Counter::IntangRetriesAbandoned,
+        Counter::IntangTtlReprobes,
+    ] {
+        assert_eq!(a.metrics.counter(c), 0, "{c:?} must stay zero without a plan");
     }
 }
 

@@ -1,0 +1,124 @@
+//! Golden-trace regression tests: one canonical trial per strategy family,
+//! rendered as the causal lineage of the trial's final packet event and
+//! compared byte-for-byte against a checked-in snapshot.
+//!
+//! These pin the *mechanism*, not just the outcome: if a refactor changes
+//! which packets a strategy emits, in what order, or how the censor reacts
+//! to them, the lineage changes even when the trial still "succeeds".
+//!
+//! To regenerate after an intentional behaviour change:
+//!
+//! ```text
+//! INTANG_BLESS=1 cargo test --test golden_traces
+//! ```
+//!
+//! then review the diff under `tests/golden/` like any other code change.
+
+use intang_core::{Discrepancy, StrategyKind};
+use intang_experiments::scenario::{Scenario, Website};
+use intang_experiments::trial::{build_http_sim, TrialSpec};
+use intang_netsim::Instant;
+use std::path::PathBuf;
+
+/// A benign, fully deterministic path: evolved censor only, no client- or
+/// server-side middlebox interference, zero natural loss, no route change.
+fn benign_site() -> (Scenario, Website) {
+    let s = Scenario::smoke(11);
+    let mut site = s.websites[0].clone();
+    site.old_device = false;
+    site.evolved_device = true;
+    site.server_seqfw = false;
+    site.server_conntrack = false;
+    site.path_drops_noflag = false;
+    site.flaky_server = false;
+    site.loss = 0.0;
+    site.rst_resync_prob = 0.2;
+    (s, site)
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.txt"))
+}
+
+/// Run the canonical trial for `kind` and render the last trace event's
+/// causal chain.
+fn render_trial(kind: StrategyKind) -> String {
+    let (s, site) = benign_site();
+    let mut spec = TrialSpec::new(&s.vantage_points[0], &site, Some(kind), true, 42);
+    spec.route_change_prob = 0.0;
+    let (mut sim, parts) = build_http_sim(&spec);
+    sim.trace.enable();
+    sim.run_until(Instant(25_000_000));
+    let last = sim.trace.events().last().expect("trial produced trace events").id;
+    let got_response = parts.report.borrow().response.is_some();
+    let resets = {
+        let st = parts.intang.stats();
+        st.type1_resets_seen + st.type2_resets_seen
+    };
+    format!(
+        "strategy: {kind:?}\nresponse: {got_response}\nresets_seen: {resets}\nlineage of final event:\n{}",
+        sim.trace.render_lineage(last)
+    )
+}
+
+fn check(name: &str, kind: StrategyKind) {
+    let rendered = render_trial(kind);
+    let path = golden_path(name);
+    if std::env::var("INTANG_BLESS").as_deref() == Ok("1") {
+        std::fs::create_dir_all(path.parent().expect("golden dir")).expect("create tests/golden");
+        std::fs::write(&path, &rendered).expect("write golden snapshot");
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden snapshot {} ({e}); run INTANG_BLESS=1 cargo test --test golden_traces",
+            path.display()
+        )
+    });
+    assert_eq!(
+        rendered, want,
+        "golden trace '{name}' drifted; if intentional, regenerate with INTANG_BLESS=1 cargo test --test golden_traces"
+    );
+}
+
+#[test]
+fn golden_no_strategy() {
+    check("no_strategy", StrategyKind::NoStrategy);
+}
+
+#[test]
+fn golden_tcb_creation_syn() {
+    check("tcb_creation_syn", StrategyKind::TcbCreationSyn(Discrepancy::SmallTtl));
+}
+
+#[test]
+fn golden_in_order_overlap() {
+    check("in_order_overlap", StrategyKind::InOrderOverlap(Discrepancy::SmallTtl));
+}
+
+#[test]
+fn golden_teardown_rst() {
+    check("teardown_rst", StrategyKind::TeardownRst(Discrepancy::SmallTtl));
+}
+
+#[test]
+fn golden_improved_teardown() {
+    check("improved_teardown", StrategyKind::ImprovedTeardown);
+}
+
+#[test]
+fn golden_tcb_creation_resync_desync() {
+    check("tcb_creation_resync_desync", StrategyKind::TcbCreationResyncDesync);
+}
+
+#[test]
+fn golden_teardown_tcb_reversal() {
+    check("teardown_tcb_reversal", StrategyKind::TeardownTcbReversal);
+}
+
+#[test]
+fn golden_out_of_order_ip_frag() {
+    check("out_of_order_ip_frag", StrategyKind::OutOfOrderIpFrag);
+}

@@ -177,6 +177,45 @@ fn fragmentation_reassembly_identity() {
     }
 }
 
+/// Regression: a specific fragmentation case that once failed under
+/// proptest (shrunken input preserved from the retired
+/// `tests/properties.proptest-regressions` file). The 217-byte payload
+/// with boundary cuts at 448 and 272 exercises an out-of-range second cut
+/// plus a LastWins shuffle that delivered the tail fragment first.
+#[test]
+fn fragmentation_regression_out_of_range_cut_last_wins() {
+    let payload: Vec<u8> = vec![
+        0, 0, 0, 0, 0, 0, 0, 0, 0, 2, 65, 170, 190, 59, 19, 57, 215, 126, 131, 87, 5, 19, 89, 213, 76, 52, 32, 242, 216, 225, 246, 247,
+        145, 58, 86, 88, 242, 185, 84, 76, 152, 5, 171, 154, 30, 53, 242, 221, 75, 242, 229, 47, 190, 116, 201, 92, 85, 226, 64, 30, 188,
+        135, 40, 203, 31, 91, 54, 94, 41, 214, 233, 246, 138, 236, 56, 17, 11, 153, 238, 243, 114, 225, 232, 90, 59, 251, 204, 32, 171,
+        154, 164, 16, 7, 135, 216, 144, 175, 139, 144, 66, 28, 115, 215, 244, 3, 16, 148, 23, 134, 93, 246, 115, 227, 81, 188, 93, 5, 189,
+        167, 102, 89, 218, 147, 158, 100, 193, 53, 147, 19, 70, 176, 54, 59, 168, 97, 41, 51, 83, 66, 240, 162, 182, 22, 46, 117, 1, 134,
+        97, 151, 68, 237, 174, 14, 117, 171, 56, 172, 150, 232, 33, 88, 195, 194, 97, 253, 80, 45, 44, 59, 235, 230, 59, 9, 87, 115, 88,
+        241, 164, 87, 85, 41, 149, 150, 41, 111, 59, 149, 2, 162, 31, 42, 135, 90, 99, 156, 149, 135, 32, 253, 152, 117, 188, 139, 16, 140,
+        132, 91, 174, 52, 215, 172, 95, 210, 223, 60, 43, 62,
+    ];
+    let (cuts, order) = ([56usize, 34], 3269660298547634385u64);
+
+    let src = Ipv4Addr::new(10, 0, 0, 1);
+    let dst = Ipv4Addr::new(10, 0, 0, 2);
+    let repr = Ipv4Repr {
+        ident: 7,
+        ..Ipv4Repr::new(src, dst, IpProtocol::Tcp)
+    };
+    let wire = repr.emit(&payload);
+    let boundaries: Vec<usize> = cuts.iter().map(|c| c * 8).collect();
+    let mut frags = frag::fragment_at(&wire, &boundaries);
+    let mut o = order;
+    for i in (1..frags.len()).rev() {
+        o = o.wrapping_mul(6364136223846793005).wrapping_add(1);
+        frags.swap(i, (o as usize) % (i + 1));
+    }
+    let out = frag::reassemble(OverlapPolicy::LastWins, frags).expect("must complete");
+    let pkt = Ipv4Packet::new_checked(&out[..]).unwrap();
+    assert_eq!(pkt.payload(), &payload[..]);
+    assert!(!pkt.is_fragment());
+}
+
 /// The stream assembler delivers exactly the in-order byte stream when
 /// segments don't overlap, regardless of arrival order.
 #[test]
@@ -214,6 +253,77 @@ fn assembler_delivers_contiguous_stream() {
         }
         assert_eq!(got, expected);
         assert!(!asm.has_gaps());
+    }
+}
+
+/// TCP stream reassembly is immune to fault-plan-style delivery schedules:
+/// whatever combination of Gilbert–Elliott loss (with retransmission),
+/// duplication, and reorder delay the fault layer realizes, the assembler
+/// delivers exactly the byte stream an in-order run delivers.
+///
+/// The schedule is derived with the same primitives `intang-faults` uses
+/// (`SimRng` + `GilbertElliott`), so this pins the invariant the fault
+/// matrix rests on: link chaos may slow or kill a trial, but it can never
+/// corrupt the bytes a surviving stream carries.
+#[test]
+fn assembler_is_immune_to_fault_schedules() {
+    use intang_netsim::{GilbertElliott, SimRng};
+    let mut g = Gen::new(9);
+    for case in 0..96u64 {
+        let chunks: Vec<Vec<u8>> = (0..g.range(2, 10)).map(|_| g.bytes(1, 32)).collect();
+        let last_wins = g.bool();
+        let mut offsets = Vec::new();
+        let mut off = 0u64;
+        for c in &chunks {
+            offsets.push(off);
+            off += c.len() as u64;
+        }
+        let expected: Vec<u8> = chunks.iter().flatten().copied().collect();
+
+        // Realize a delivery schedule under a bursty channel: each segment
+        // is retransmitted until a copy survives, surviving copies pick up
+        // jittered arrival times (reordering), and some are duplicated.
+        let mut rng = SimRng::seed_from(0xFA17_0000 ^ case);
+        let mut ge = GilbertElliott::new(0.2, 0.3, 0.05, 0.7);
+        let mut arrivals: Vec<(u64, u64, usize)> = Vec::new(); // (time, tiebreak, idx)
+        let mut tiebreak = 0u64;
+        for i in 0..chunks.len() {
+            let base = 1_000 * i as u64;
+            let mut attempt = 0u64;
+            loop {
+                let sent_at = base + attempt * 700; // crude RTO
+                if ge.step(&mut rng) {
+                    attempt += 1;
+                    continue; // this copy died on the link; retransmit
+                }
+                let mut at = sent_at + 100;
+                if rng.chance(0.3) {
+                    at += rng.range_u64(1, 2_000); // reorder delay
+                }
+                arrivals.push((at, tiebreak, i));
+                tiebreak += 1;
+                if rng.chance(0.2) {
+                    arrivals.push((at + rng.range_u64(1, 300), tiebreak, i)); // duplicate
+                    tiebreak += 1;
+                }
+                break;
+            }
+        }
+        arrivals.sort_unstable();
+
+        let policy = if last_wins {
+            SegmentOverlapPolicy::LastWins
+        } else {
+            SegmentOverlapPolicy::FirstWins
+        };
+        let mut asm = Assembler::new(policy);
+        let mut got = Vec::new();
+        for &(_, _, i) in &arrivals {
+            asm.insert(offsets[i], &chunks[i]);
+            got.extend_from_slice(&asm.pull());
+        }
+        assert_eq!(got, expected, "case {case}: fault schedule corrupted the stream");
+        assert!(!asm.has_gaps(), "case {case}");
     }
 }
 
