@@ -34,7 +34,7 @@ impl UdpLayer {
         let src = self.local.expect("UDP layer not attached to a host");
         let repr = udp::UdpRepr::new(src_port, dst_port, payload);
         let ip = Ipv4Repr::new(src, dst, IpProtocol::Udp);
-        self.tx.push(ip.emit(&repr.emit(src, dst)));
+        self.tx.push(ip.emit(&repr.emit(src, dst)).into());
     }
 
     /// Drain received datagrams addressed to `port`.

@@ -1,0 +1,88 @@
+//! Event-queue benchmarks: the timing wheel under simulation-shaped load.
+//!
+//! The sweep's per-event budget is a few hundred nanoseconds, so queue
+//! push/pop overhead is a first-order term. These benches replay the
+//! queue access patterns the simulator actually produces — small resident
+//! queues (tens of events), link-delay pushes clustered at the
+//! millisecond scale, and an advancing time cursor — and compare against
+//! a `BinaryHeap` reference to keep the wheel honest.
+
+use intang_bench::harness::bench_elems;
+use intang_netsim::event::{Event, EventQueue};
+use intang_netsim::Instant;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::hint::black_box;
+
+/// Deterministic xorshift so both queues see identical schedules.
+struct Rng(u64);
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+}
+
+/// Simulation-shaped delays: mostly ~1 ms link hops, some short timers,
+/// occasional long (retransmit-scale) deadlines.
+fn delay(rng: &mut Rng) -> u64 {
+    match rng.next() % 10 {
+        0..=5 => 1_000 + rng.next() % 512,
+        6..=7 => 1 + rng.next() % 64,
+        8 => 15_000 + rng.next() % 4_096,
+        _ => 200_000 + rng.next() % 65_536,
+    }
+}
+
+/// Steady-state churn: hold `resident` events, then pop one / push one per
+/// step, cursor advancing like sim time.
+fn churn_wheel(resident: usize, steps: u64) -> u64 {
+    let mut q = EventQueue::new();
+    let mut rng = Rng(0x2017_1cc7);
+    let mut now = 0u64;
+    for _ in 0..resident {
+        q.push(Instant(now + delay(&mut rng)), Event::Timer { elem: 0, token: 0 });
+    }
+    let mut acc = 0u64;
+    for _ in 0..steps {
+        let (at, _) = q.pop().expect("resident events");
+        now = at.0;
+        acc = acc.wrapping_add(now);
+        q.push(Instant(now + delay(&mut rng)), Event::Timer { elem: 0, token: 0 });
+    }
+    acc
+}
+
+fn churn_heap(resident: usize, steps: u64) -> u64 {
+    let mut q: BinaryHeap<Reverse<(u64, u64, u64)>> = BinaryHeap::new();
+    let mut rng = Rng(0x2017_1cc7);
+    let mut now = 0u64;
+    let mut seq = 0u64;
+    for _ in 0..resident {
+        q.push(Reverse((now + delay(&mut rng), seq, 0)));
+        seq += 1;
+    }
+    let mut acc = 0u64;
+    for _ in 0..steps {
+        let Reverse((at, _, _)) = q.pop().expect("resident events");
+        now = at;
+        acc = acc.wrapping_add(now);
+        q.push(Reverse((now + delay(&mut rng), seq, 0)));
+        seq += 1;
+    }
+    acc
+}
+
+fn main() {
+    const STEPS: u64 = 4_096;
+    for resident in [8usize, 32, 256] {
+        bench_elems(&format!("queue/wheel/churn-{resident}"), STEPS, || {
+            black_box(churn_wheel(resident, STEPS))
+        });
+        bench_elems(&format!("queue/heap-ref/churn-{resident}"), STEPS, || {
+            black_box(churn_heap(resident, STEPS))
+        });
+    }
+}

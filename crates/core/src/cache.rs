@@ -3,14 +3,14 @@
 //! in front of Redis; the store here is the in-memory equivalent with the
 //! same observable semantics — persistence across connections, key expiry).
 
-use std::collections::HashMap;
+use intang_packet::FxHashMap;
 use std::hash::Hash;
 
 /// A classic LRU cache over a `HashMap` + recency list.
 #[derive(Debug)]
 pub struct LruCache<K: Eq + Hash + Clone, V> {
     capacity: usize,
-    map: HashMap<K, V>,
+    map: FxHashMap<K, V>,
     /// Most-recent last.
     order: Vec<K>,
 }
@@ -20,7 +20,7 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
         assert!(capacity > 0);
         LruCache {
             capacity,
-            map: HashMap::new(),
+            map: FxHashMap::default(),
             order: Vec::new(),
         }
     }
@@ -70,12 +70,12 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
 /// in simulation microseconds.
 #[derive(Debug)]
 pub struct TtlStore<K: Eq + Hash + Clone, V> {
-    map: HashMap<K, (V, u64)>,
+    map: FxHashMap<K, (V, u64)>,
 }
 
 impl<K: Eq + Hash + Clone, V> Default for TtlStore<K, V> {
     fn default() -> Self {
-        TtlStore { map: HashMap::new() }
+        TtlStore { map: FxHashMap::default() }
     }
 }
 

@@ -124,7 +124,7 @@ impl DnsForwarder {
                     // Convert back to UDP, spoofing the original resolver.
                     let reply = udp::UdpRepr::new(53, p.app_port, resp.encode());
                     let ipr = Ipv4Repr::new(p.orig_resolver, client, IpProtocol::Udp);
-                    udp_out.push(ipr.emit(&reply.emit(p.orig_resolver, client)));
+                    udp_out.push(ipr.emit(&reply.emit(p.orig_resolver, client)).into());
                     p.done = true;
                     self.responses_delivered += 1;
                     self.tcp.socket(p.socket).close(now_us);

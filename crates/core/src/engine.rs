@@ -12,10 +12,9 @@ use crate::strategies;
 use crate::strategy::{FlowState, ShimCtx, Strategy, StrategyKind, Verdict};
 use crate::ttl::HopEstimator;
 use intang_netsim::{Ctx, Direction, Duration, Element, Instant};
-use intang_packet::{FourTuple, IpProtocol, Ipv4Packet, TcpPacket, TcpRepr, Wire};
+use intang_packet::{FourTuple, FxHashMap, IpProtocol, Ipv4Packet, TcpPacket, TcpRepr, Wire};
 use intang_telemetry::{Counter, MetricsSheet};
 use std::cell::RefCell;
-use std::collections::HashMap;
 use std::net::Ipv4Addr;
 use std::rc::Rc;
 
@@ -144,14 +143,17 @@ pub struct IntangStats {
 struct Shim {
     cfg: IntangConfig,
     client: Ipv4Addr,
-    flows: HashMap<FourTuple, (FlowState, Box<dyn Strategy>)>,
+    flows: FxHashMap<FourTuple, (FlowState, Box<dyn Strategy>)>,
     estimator: HopEstimator,
     hops_cache: TwoLevelCache<Ipv4Addr, u8>,
     history: Rc<RefCell<History>>,
     fwd: Option<DnsForwarder>,
     stats: IntangStats,
     /// Per-destination δ overrides learned by the §7.1 iteration.
-    delta_overrides: HashMap<Ipv4Addr, u8>,
+    delta_overrides: FxHashMap<Ipv4Addr, u8>,
+    /// Scratch repr reused by `process_egress` (no steady-state parse
+    /// allocations).
+    rx_seg: TcpRepr,
 }
 
 /// The element.
@@ -177,13 +179,14 @@ impl IntangElement {
         let shim = Rc::new(RefCell::new(Shim {
             cfg,
             client,
-            flows: HashMap::new(),
+            flows: FxHashMap::default(),
             estimator: HopEstimator::new(),
             hops_cache: TwoLevelCache::new(64),
             history,
             fwd,
             stats: IntangStats::default(),
-            delta_overrides: HashMap::new(),
+            delta_overrides: FxHashMap::default(),
+            rx_seg: TcpRepr::new(0, 0),
         }));
         (IntangElement { shim: shim.clone() }, IntangHandle { shim })
     }
@@ -347,8 +350,17 @@ impl Shim {
         };
         let server = ip.dst_addr();
         let tuple = FourTuple::new(ip.src_addr(), tcp.src_port(), server, tcp.dst_port());
-        let seg = TcpRepr::parse(&tcp);
+        // Scratch-parse (no steady-state allocation); the repr is moved out
+        // and back so `&seg` can ride along `&mut self` through the
+        // strategy calls.
+        let mut seg = std::mem::replace(&mut self.rx_seg, TcpRepr::new(0, 0));
+        TcpRepr::parse_into(&tcp, &mut seg);
+        self.egress_segment(ctx, wire, &seg, tuple, server);
+        self.rx_seg = seg;
+    }
 
+    /// The strategy pipeline for one parsed client->server TCP segment.
+    fn egress_segment(&mut self, ctx: &mut Ctx<'_>, wire: Wire, seg: &TcpRepr, tuple: FourTuple, server: Ipv4Addr) {
         // New flow bookkeeping: choose a strategy on the first SYN.
         if !self.flows.contains_key(&tuple) && seg.flags.syn() && !seg.flags.ack() {
             let kind = self
@@ -376,7 +388,7 @@ impl Shim {
                 } else {
                     let probes = self
                         .estimator
-                        .start(self.client, server, tcp.dst_port(), ctx.now, self.cfg.max_probe_ttl, wire);
+                        .start(self.client, server, seg.dst_port, ctx.now, self.cfg.max_probe_ttl, wire);
                     self.stats.probes_sent += probes.len() as u64;
                     for p in probes {
                         ctx.send(Direction::ToServer, p);
@@ -401,7 +413,7 @@ impl Shim {
             let mut sctx = ShimCtx::new(ctx.now, ctx.rng, self.client, self.cfg.redundancy);
             let verdict = if seg.flags.syn() && !seg.flags.ack() && flow.client_isn.is_none() {
                 flow.client_isn = Some(seg.seq);
-                strat.on_syn(&mut sctx, flow, &seg)
+                strat.on_syn(&mut sctx, flow, seg)
             } else if seg.flags.syn()
                 && !seg.flags.ack()
                 && flow.client_isn == Some(seg.seq)
@@ -415,7 +427,7 @@ impl Shim {
                     flow.reprotect_count += 1;
                     self.stats.reprotects += 1;
                     backoff_extra = r.backoff * u64::from(flow.reprotect_count);
-                    strat.on_syn(&mut sctx, flow, &seg)
+                    strat.on_syn(&mut sctx, flow, seg)
                 } else {
                     self.stats.retries_abandoned += 1;
                     Verdict::Forward
@@ -439,7 +451,7 @@ impl Shim {
                     }
                     flow.first_payload_sent = true;
                     flow.first_payload_seq = Some(seg.seq);
-                    strat.on_first_payload(&mut sctx, flow, &seg)
+                    strat.on_first_payload(&mut sctx, flow, seg)
                 }
             } else {
                 Verdict::Forward

@@ -9,7 +9,7 @@
 use crate::insertion::{Discrepancy, InsertionKind, InsertionSpec};
 use crate::strategy::{FlowState, ShimCtx, Strategy, StrategyKind, Verdict};
 use intang_netsim::Duration;
-use intang_packet::{frag, IpProtocol, Ipv4Repr, PacketBuilder, TcpFlags, TcpRepr};
+use intang_packet::{frag, IpProtocol, Ipv4Repr, PacketBuilder, TcpFlags, TcpRepr, Wire};
 
 /// Offset the desynchronization / fake-SYN sequence numbers sit at: far
 /// outside any plausible receive window (§5.1).
@@ -194,7 +194,7 @@ impl Strategy for Teardown {
 /// The desynchronization building block (§5.1): a 1-byte data packet with
 /// an out-of-window sequence number. Inherently ignored by the server
 /// (duplicate-ACK path) — no extra discrepancy needed.
-fn desync_packet(flow: &FlowState, seg: &TcpRepr) -> Vec<u8> {
+fn desync_packet(flow: &FlowState, seg: &TcpRepr) -> Wire {
     PacketBuilder::tcp(flow.tuple.src, flow.tuple.dst, flow.tuple.src_port, flow.tuple.dst_port)
         .seq(seg.seq.wrapping_add(OUT_OF_WINDOW))
         .ack(seg.ack)
@@ -398,7 +398,7 @@ mod tests {
         seg
     }
 
-    fn run_first_payload(strategy: &mut dyn Strategy, redundancy: u32) -> (Verdict, Vec<(Vec<u8>, u64)>) {
+    fn run_first_payload(strategy: &mut dyn Strategy, redundancy: u32) -> (Verdict, Vec<(intang_packet::Wire, u64)>) {
         let mut rng = SimRng::seed_from(7);
         let mut ctx = ShimCtx::new(Instant::ZERO, &mut rng, Ipv4Addr::new(10, 0, 0, 1), redundancy);
         let mut f = flow();
@@ -497,7 +497,7 @@ mod tests {
         assert_eq!(frags[2].0, 0, "head fills the gap last");
         assert!(frags[2].1, "head has more-fragments set");
         // Reassembling all three LastWins (server-style) restores the real segment.
-        let all: Vec<Vec<u8>> = inj.iter().map(|(w, _)| w.clone()).collect();
+        let all: Vec<intang_packet::Wire> = inj.iter().map(|(w, _)| w.clone()).collect();
         let whole = intang_packet::frag::reassemble(intang_packet::frag::OverlapPolicy::LastWins, all).unwrap();
         let ip = Ipv4Packet::new_checked(&whole[..]).unwrap();
         let t = TcpPacket::new_checked(ip.payload()).unwrap();

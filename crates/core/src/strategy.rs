@@ -309,7 +309,7 @@ mod tests {
     fn redundancy_spacing_is_twenty_ms() {
         let mut rng = SimRng::seed_from(1);
         let mut ctx = ShimCtx::new(Instant::ZERO, &mut rng, Ipv4Addr::new(10, 0, 0, 1), 3);
-        ctx.inject(vec![1, 2, 3], Duration::ZERO);
+        ctx.inject(vec![1, 2, 3].into(), Duration::ZERO);
         let delays: Vec<u64> = ctx.injections.iter().map(|(_, d)| d.micros()).collect();
         assert_eq!(delays, vec![0, 20_000, 40_000]);
         assert_eq!(ctx.after_redundancy(), Duration::from_millis(50));

@@ -7,8 +7,7 @@
 //! messages (router hit) and SYN/ACKs (server reached) can be attributed.
 
 use intang_netsim::{Duration, Instant};
-use intang_packet::{icmp, PacketBuilder, TcpFlags, Wire};
-use std::collections::HashMap;
+use intang_packet::{icmp, FxHashMap, PacketBuilder, TcpFlags, Wire};
 use std::net::Ipv4Addr;
 
 /// Base source port for probes; probe with TTL `t` uses `PROBE_PORT_BASE + t`.
@@ -45,7 +44,7 @@ impl Measurement {
 /// The estimator: active measurements plus attribution of responses.
 #[derive(Debug, Default)]
 pub struct HopEstimator {
-    active: HashMap<Ipv4Addr, Measurement>,
+    active: FxHashMap<Ipv4Addr, Measurement>,
 }
 
 impl HopEstimator {

@@ -51,7 +51,7 @@ fn measurement_probes_icmp_is_consumed_not_leaked_to_client() {
         fn name(&self) -> &str {
             "client-edge"
         }
-        fn on_packet(&mut self, ctx: &mut intang_netsim::Ctx<'_>, dir: Direction, wire: Vec<u8>) {
+        fn on_packet(&mut self, ctx: &mut intang_netsim::Ctx<'_>, dir: Direction, wire: intang_packet::Wire) {
             if dir == Direction::ToClient {
                 if let Ok(ip) = intang_packet::Ipv4Packet::new_checked(&wire[..]) {
                     if ip.protocol() == intang_packet::IpProtocol::Icmp {

@@ -1,17 +1,32 @@
 //! Sweep-executor benchmark: runs a fixed-seed multi-strategy sweep at
 //! several worker counts and reports wall time, trials/sec, events/sec and
 //! speedup vs the serial (1-worker) run, verifying along the way that every
-//! worker count produces byte-identical aggregates.
+//! worker count produces byte-identical aggregates. Also reports the wire
+//! pool's hit/miss counters and — built with `--features alloc-count` —
+//! heap allocations per trial at steady state.
 //!
 //! Writes `BENCH_sweep.json` into the current directory. `--quick` shrinks
-//! the workload to a smoke-test size (used by `scripts/ci.sh`);
-//! `INTANG_THREADS` caps the "max" worker count.
+//! the workload to a smoke-test size (used by `scripts/ci.sh`); `--smoke`
+//! additionally gates serial throughput against the blessed baseline in
+//! `scripts/bench_smoke_baseline.txt` (set `INTANG_BLESS=1` to re-bless on
+//! a new machine). `INTANG_THREADS` caps the "max" worker count.
 
 use intang_core::{Discrepancy, StrategyKind};
 use intang_experiments::runner::{overall, sweep_with_threads, worker_count, SweepConfig, SweepRun};
 use intang_experiments::scenario::Scenario;
 use std::fmt::Write as _;
 use std::time::Instant;
+
+#[cfg(feature = "alloc-count")]
+#[global_allocator]
+static ALLOC: intang_telemetry::alloc::CountingAlloc = intang_telemetry::alloc::CountingAlloc;
+
+/// Fraction of the blessed serial events/s the smoke gate tolerates.
+/// Wide on purpose: on a shared single-vCPU container, identical runs
+/// vary by ±25%, so the gate blesses the median sample and compares the
+/// best sample against this floor — catching real (structural) slowdowns
+/// without flaking on scheduler noise.
+const SMOKE_FLOOR: f64 = 0.75;
 
 struct Workload {
     name: &'static str,
@@ -67,8 +82,64 @@ fn run_all(w: &Workload, threads: usize) -> (Vec<SweepRun>, f64) {
     (runs, start.elapsed().as_secs_f64())
 }
 
+/// `--smoke`: serial-only throughput gate for CI. Takes five multi-run
+/// samples of the quick workload and compares the best events/s against
+/// the blessed baseline (written on first run or with `INTANG_BLESS=1` —
+/// the *median* sample, so a lucky scheduling moment can't bless an
+/// unreachable bar).
+/// Baselines are machine-specific, so the file lives out of tree unless
+/// deliberately checked in.
+fn smoke_gate() -> ! {
+    let w = workload(true);
+    let baseline_path = std::path::Path::new("scripts/bench_smoke_baseline.txt");
+    // A single quick run is only a few ms — hopeless to time on a busy
+    // machine. Each sample aggregates 8 consecutive runs (~50 ms of
+    // work); warm up once, then take 5 samples.
+    let _ = run_all(&w, 1);
+    let mut rates: Vec<f64> = (0..5)
+        .map(|_| {
+            let (mut events, mut wall_s) = (0u64, 0.0f64);
+            for _ in 0..8 {
+                let (runs, w_s) = run_all(&w, 1);
+                events += runs.iter().map(|r| r.events).sum::<u64>();
+                wall_s += w_s;
+            }
+            events as f64 / wall_s
+        })
+        .collect();
+    rates.sort_by(|a, b| a.total_cmp(b));
+    let (median, best) = (rates[2], rates[4]);
+    let bless = std::env::var("INTANG_BLESS").is_ok_and(|v| v == "1");
+    let baseline: Option<f64> = std::fs::read_to_string(baseline_path).ok().and_then(|s| s.trim().parse().ok());
+    match baseline {
+        Some(base) if !bless => {
+            let floor = base * SMOKE_FLOOR;
+            eprintln!("bench_sweep --smoke: serial {best:.0} events/s, blessed baseline {base:.0} (floor {floor:.0})");
+            if best < floor {
+                eprintln!(
+                    "ERROR: serial throughput regressed more than {}% below the blessed baseline",
+                    100.0 - SMOKE_FLOOR * 100.0
+                );
+                std::process::exit(1);
+            }
+            std::process::exit(0);
+        }
+        _ => {
+            std::fs::write(baseline_path, format!("{median:.0}\n")).expect("write smoke baseline");
+            eprintln!(
+                "bench_sweep --smoke: blessed new baseline {median:.0} events/s (median sample) -> {}",
+                baseline_path.display()
+            );
+            std::process::exit(0);
+        }
+    }
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    if std::env::args().any(|a| a == "--smoke") {
+        smoke_gate();
+    }
     let w = workload(quick);
     let max = worker_count();
     let mut thread_counts = vec![1usize, 4, max];
@@ -118,6 +189,30 @@ fn main() {
         });
     }
 
+    // Steady-state allocation profile: the loop above warmed every scratch
+    // buffer and code path; rerun the serial workload with the counters
+    // zeroed. Pool counters are always available; the heap-allocation
+    // counter needs the `alloc-count` feature (reported as null without it).
+    intang_packet::wire::reset_pool_stats();
+    #[cfg(feature = "alloc-count")]
+    intang_telemetry::alloc::reset_alloc_count();
+    let (steady_runs, steady_wall) = run_all(&w, 1);
+    #[cfg(feature = "alloc-count")]
+    let allocs_per_trial: Option<f64> = {
+        let steady_trials: u64 = steady_runs.iter().map(|r| r.trials).sum();
+        Some(intang_telemetry::alloc::alloc_count() as f64 / steady_trials as f64)
+    };
+    let (pool_hits, pool_misses) = intang_packet::wire::pool_stats();
+    #[cfg(not(feature = "alloc-count"))]
+    let allocs_per_trial: Option<f64> = None;
+    let pool_hit_rate = pool_hits as f64 / (pool_hits + pool_misses).max(1) as f64;
+    eprintln!(
+        "  steady state: {steady_wall:.2}s, wire pool {pool_hits} hits / {pool_misses} misses ({:.1}% hit), allocs/trial {}",
+        pool_hit_rate * 100.0,
+        allocs_per_trial.map_or("n/a (build with --features alloc-count)".to_string(), |a| format!("{a:.1}")),
+    );
+    drop(steady_runs);
+
     let serial = serial_runs.expect("at least one worker count ran");
     let success_rates: Vec<(&str, f64)> = w
         .strategies
@@ -150,7 +245,17 @@ fn main() {
     json.push_str("},\n  \"counters\": {");
     let counters: Vec<String> = merged.nonzero_counters().map(|(c, v)| format!("\"{}\": {v}", c.name())).collect();
     json.push_str(&counters.join(", "));
-    json.push_str("},\n  \"runs\": [\n");
+    json.push_str("},\n");
+    let _ = writeln!(
+        json,
+        "  \"wire_pool\": {{\"hits\": {pool_hits}, \"misses\": {pool_misses}, \"hit_rate\": {pool_hit_rate:.4}}},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"allocs_per_trial\": {},",
+        allocs_per_trial.map_or("null".to_string(), |a| format!("{a:.1}")),
+    );
+    json.push_str("  \"runs\": [\n");
     for (i, m) in measurements.iter().enumerate() {
         let _ = write!(
             json,

@@ -37,7 +37,7 @@ fn probe(type1: bool, type2: bool, split: bool, seed: u64) -> (bool, usize, usiz
     sim.add_element(Box::new(PassThrough::new("server-edge")));
 
     let mut t = 0u64;
-    let mut send = |sim: &mut Simulation, from_client: bool, wire: Vec<u8>| {
+    let mut send = |sim: &mut Simulation, from_client: bool, wire: intang_packet::Wire| {
         t += 5_000;
         let (e, d) = if from_client {
             (0, Direction::ToServer)

@@ -3,13 +3,13 @@
 //! packet draws fresh RST + RST/ACK injections until the period lapses.
 
 use intang_netsim::{Duration, Instant};
-use std::collections::HashMap;
+use intang_packet::FxHashMap;
 use std::net::Ipv4Addr;
 
 /// Pair blacklist with expiry.
 #[derive(Debug, Default)]
 pub struct Blacklist {
-    entries: HashMap<(Ipv4Addr, Ipv4Addr), Instant>,
+    entries: FxHashMap<(Ipv4Addr, Ipv4Addr), Instant>,
 }
 
 fn key(a: Ipv4Addr, b: Ipv4Addr) -> (Ipv4Addr, Ipv4Addr) {

@@ -15,10 +15,9 @@ use crate::reset::ResetInjector;
 use crate::tcb::{CensorState, CensorTcb};
 use intang_netsim::{Ctx, Direction, Duration, Element, Instant};
 use intang_packet::frag::Reassembler;
-use intang_packet::{dns, udp, FourTuple, IpProtocol, Ipv4Packet, Ipv4Repr, TcpPacket, TcpRepr, Wire};
+use intang_packet::{dns, udp, FourTuple, FxHashMap, IpProtocol, Ipv4Packet, Ipv4Repr, TcpPacket, TcpRepr, Wire};
 use intang_telemetry::{Counter, MetricsSheet};
 use std::cell::RefCell;
-use std::collections::HashMap;
 use std::net::Ipv4Addr;
 use std::rc::Rc;
 use std::sync::Arc;
@@ -65,7 +64,7 @@ pub struct GfwStats {
 struct GfwCore {
     cfg: GfwConfig,
     aut: Arc<Automaton>,
-    tcbs: HashMap<FourTuple, CensorTcb>,
+    tcbs: FxHashMap<FourTuple, CensorTcb>,
     /// Insertion order of TCB keys, for oldest-first eviction.
     tcb_order: std::collections::VecDeque<FourTuple>,
     blacklist: Blacklist,
@@ -117,7 +116,7 @@ impl GfwElement {
         let core = Rc::new(RefCell::new(GfwCore {
             cfg,
             aut,
-            tcbs: HashMap::new(),
+            tcbs: FxHashMap::default(),
             tcb_order: std::collections::VecDeque::new(),
             blacklist: Blacklist::new(),
             injector: ResetInjector::new(),
@@ -261,13 +260,15 @@ impl GfwCore {
     fn analyze(&mut self, ctx: &mut Ctx<'_>, dir: Direction, wire: Wire) {
         // The censor reassembles IP fragments itself (first-wins, §3.2).
         let Some(wire) = self.ip_reasm.push(wire) else { return };
-        let Ok(ip) = Ipv4Packet::new_checked(&wire[..]) else { return };
-        if self.cfg.validate_ip_total_len && !ip.total_len_consistent() {
+        // The cached header index: the forwarded copy shares this buffer, so
+        // the downstream endpoint's parse hits the same memoized view.
+        let Some(hdr) = wire.headers() else { return };
+        if self.cfg.validate_ip_total_len && !Ipv4Packet::new_unchecked(&wire[..]).total_len_consistent() {
             return;
         }
-        match ip.protocol() {
-            IpProtocol::Udp => self.analyze_udp(ctx, dir, &ip),
-            IpProtocol::Tcp => self.analyze_tcp(ctx, dir, &ip),
+        match hdr.protocol {
+            IpProtocol::Udp => self.analyze_udp(ctx, dir, &Ipv4Packet::new_unchecked(&wire[..])),
+            IpProtocol::Tcp => self.analyze_tcp(ctx, dir, &wire, &hdr),
             _ => {}
         }
     }
@@ -296,7 +297,7 @@ impl GfwCore {
         let forged = dns::DnsMessage::answer_a(&query, POISON_ADDR, 300);
         let resp = udp::UdpRepr::new(53, u.src_port(), forged.encode());
         let ipr = Ipv4Repr::new(ip.dst_addr(), ip.src_addr(), IpProtocol::Udp);
-        let wire = ipr.emit(&resp.emit(ip.dst_addr(), ip.src_addr()));
+        let wire = Wire::from_vec(ipr.emit(&resp.emit(ip.dst_addr(), ip.src_addr())));
         self.stats.dns_poisoned += 1;
         self.stats.detections.push((
             ctx.now,
@@ -309,25 +310,33 @@ impl GfwCore {
     // ------------------------------------------------------------------
     // TCP: TCB lifecycle, DPI, resets.
     // ------------------------------------------------------------------
-    fn analyze_tcp(&mut self, ctx: &mut Ctx<'_>, dir: Direction, ip: &Ipv4Packet<&[u8]>) {
-        let Ok(tcp) = TcpPacket::new_checked(ip.payload()) else { return };
+    fn analyze_tcp(&mut self, ctx: &mut Ctx<'_>, dir: Direction, wire: &Wire, hdr: &intang_packet::HeaderIndex) {
+        let Some(seg) = hdr.tcp().copied() else { return };
+        let l4 = &wire[usize::from(hdr.ip_payload_start)..usize::from(hdr.ip_payload_end)];
         // Discrepancy checks the real GFW does NOT perform (all default-off).
-        if self.cfg.validate_checksum && !tcp.verify_checksum(ip.src_addr(), ip.dst_addr()) {
+        if self.cfg.validate_checksum && !TcpPacket::new_unchecked(l4).verify_checksum(hdr.src, hdr.dst) {
             return;
         }
-        let seg = TcpRepr::parse(&tcp);
-        if self.cfg.check_md5 && seg.options.iter().any(|o| matches!(o, intang_packet::TcpOption::Md5Sig(_))) {
+        if self.cfg.check_md5
+            && TcpPacket::new_unchecked(l4)
+                .options()
+                .iter()
+                .any(|o| matches!(o, intang_packet::TcpOption::Md5Sig(_)))
+        {
             return;
         }
+        let payload = &wire[usize::from(seg.payload_start)..usize::from(seg.payload_end)];
 
-        let src = (ip.src_addr(), seg.src_port);
-        let dst = (ip.dst_addr(), seg.dst_port);
+        let src = (hdr.src, seg.src_port);
+        let dst = (hdr.dst, seg.dst_port);
         let tuple = FourTuple::new(src.0, src.1, dst.0, dst.1);
         let key = tuple.canonical();
 
-        // Route packets addressed to our probers into the probe logic.
+        // Route packets addressed to our probers into the probe logic. The
+        // prober wants a full repr; this path is rare enough to pay for one.
         if self.prober.owns(dst.0) {
-            for inj in self.prober.on_packet_to_prober(src, dst, &seg) {
+            let repr = TcpRepr::parse(&TcpPacket::new_unchecked(l4));
+            for inj in self.prober.on_packet_to_prober(src, dst, &repr) {
                 ctx.send_delayed(Direction::ToServer, inj, self.cfg.reaction_delay);
             }
             return;
@@ -464,7 +473,7 @@ impl GfwCore {
                     {
                         return;
                     }
-                    let tsval = seg.options.iter().find_map(|o| match o {
+                    let tsval = TcpPacket::new_unchecked(l4).options().iter().find_map(|o| match o {
                         intang_packet::TcpOption::Timestamps { tsval, .. } => Some(*tsval),
                         _ => None,
                     });
@@ -484,23 +493,23 @@ impl GfwCore {
                     if seg.flags.ack() {
                         tcb.in_handshake = false;
                     }
-                    if !seg.payload.is_empty() {
+                    if !payload.is_empty() {
                         if tcb.state == CensorState::Resync {
                             // §4: the next client data packet re-anchors.
                             tcb.resync_to(seg.seq);
                         }
-                        self.stats.dpi_bytes_scanned += seg.payload.len() as u64;
-                        detections = tcb.feed_client_data(&self.aut, seg.seq, &seg.payload, self.cfg.type1, self.cfg.type2);
+                        self.stats.dpi_bytes_scanned += payload.len() as u64;
+                        detections = tcb.feed_client_data(&self.aut, seg.seq, payload, self.cfg.type1, self.cfg.type2);
                     }
                 } else {
                     // Server→client data: never a resync trigger (§4).
-                    let end = seg.seq.wrapping_add(seg.payload.len() as u32);
+                    let end = seg.seq.wrapping_add(payload.len() as u32);
                     if intang_packet::tcp::seq::gt(end, tcb.server_next) {
                         tcb.server_next = end;
                     }
-                    if self.cfg.censor_responses && !seg.payload.is_empty() {
-                        self.stats.dpi_bytes_scanned += seg.payload.len() as u64;
-                        detections = tcb.feed_server_data(&self.aut, &seg.payload);
+                    if self.cfg.censor_responses && !payload.is_empty() {
+                        self.stats.dpi_bytes_scanned += payload.len() as u64;
+                        detections = tcb.feed_server_data(&self.aut, payload);
                     }
                 }
             }

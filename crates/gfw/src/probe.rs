@@ -13,8 +13,7 @@
 //! confirms the bridge.
 
 use crate::dpi::TOR_FINGERPRINT;
-use intang_packet::{IpProtocol, Ipv4Repr, TcpFlags, TcpRepr, Wire};
-use std::collections::{HashMap, HashSet};
+use intang_packet::{FxHashMap, FxHashSet, IpProtocol, Ipv4Repr, TcpFlags, TcpRepr, Wire};
 use std::net::Ipv4Addr;
 
 /// Reply a Tor bridge sends to a valid client hello (what the prober
@@ -39,11 +38,11 @@ struct Probe {
 /// they feed.
 #[derive(Debug, Default)]
 pub struct ActiveProber {
-    probes: HashMap<(Ipv4Addr, u16), Probe>,
+    probes: FxHashMap<(Ipv4Addr, u16), Probe>,
     /// Bridges already probed (do not re-probe).
-    probed: HashSet<(Ipv4Addr, u16)>,
+    probed: FxHashSet<(Ipv4Addr, u16)>,
     /// Confirmed bridges: blocked at the IP level.
-    pub blocked_ips: HashSet<Ipv4Addr>,
+    pub blocked_ips: FxHashSet<Ipv4Addr>,
     next_port: u16,
     next_prober: u8,
 }
@@ -88,7 +87,7 @@ impl ActiveProber {
         syn.flags = TcpFlags::SYN;
         syn.options.push(intang_packet::TcpOption::Mss(1460));
         let ip = Ipv4Repr::new(prober_ip, target.0, IpProtocol::Tcp);
-        let wire = ip.emit(&syn.emit(prober_ip, target.0));
+        let wire = intang_packet::wire::emit_tcp(&ip, &syn);
         self.probes.insert(target, probe);
         Some(wire)
     }
@@ -113,7 +112,7 @@ impl ActiveProber {
                     ack.ack = seg.seq.wrapping_add(1);
                     ack.flags = TcpFlags::ACK;
                     let ip = Ipv4Repr::new(probe.prober.0, probe.target.0, IpProtocol::Tcp);
-                    out.push(ip.emit(&ack.emit(probe.prober.0, probe.target.0)));
+                    out.push(intang_packet::wire::emit_tcp(&ip, &ack));
 
                     let mut hello = TcpRepr::new(probe.prober.1, probe.target.1);
                     hello.seq = probe.iss.wrapping_add(1);
@@ -121,7 +120,7 @@ impl ActiveProber {
                     hello.flags = TcpFlags::PSH_ACK;
                     hello.payload = TOR_FINGERPRINT.to_vec();
                     let ip = Ipv4Repr::new(probe.prober.0, probe.target.0, IpProtocol::Tcp);
-                    out.push(ip.emit(&hello.emit(probe.prober.0, probe.target.0)));
+                    out.push(intang_packet::wire::emit_tcp(&ip, &hello));
                     probe.state = ProbeState::HelloSent;
                 }
             }

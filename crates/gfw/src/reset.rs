@@ -56,7 +56,7 @@ impl ResetInjector {
         // Random TTL in a plausible injected range.
         ip.ttl = 32 + (rng.next_u16() % 200) as u8;
         ip.ident = rng.next_u16();
-        ip.emit(&tcp.emit(from.0, to.0))
+        intang_packet::wire::emit_tcp(&ip, &tcp)
     }
 
     /// The three type-2 RST/ACKs spoofed as `from -> to`. `seq` is the
@@ -80,7 +80,7 @@ impl ResetInjector {
                 tcp.window = self.type2_window;
                 let mut ip = Ipv4Repr::new(from.0, to.0, IpProtocol::Tcp);
                 ip.ttl = self.type2_ttl;
-                ip.emit(&tcp.emit(from.0, to.0))
+                intang_packet::wire::emit_tcp(&ip, &tcp)
             })
             .collect()
     }
@@ -95,7 +95,7 @@ impl ResetInjector {
         tcp.window = 8192;
         let mut ip = Ipv4Repr::new(from.0, to.0, IpProtocol::Tcp);
         ip.ttl = 64;
-        ip.emit(&tcp.emit(from.0, to.0))
+        intang_packet::wire::emit_tcp(&ip, &tcp)
     }
 }
 

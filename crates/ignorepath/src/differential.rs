@@ -50,7 +50,7 @@ impl Finding {
 
 /// A representative wire packet for a class (used for middlebox
 /// cross-validation and by the probing tests).
-pub fn representative_packet(class: PacketClass) -> Vec<u8> {
+pub fn representative_packet(class: PacketClass) -> intang_packet::Wire {
     let c = Ipv4Addr::new(10, 0, 0, 1);
     let s = Ipv4Addr::new(203, 0, 113, 80);
     let base = PacketBuilder::tcp(c, s, 40_000, 80).seq(1001).ack(9001);

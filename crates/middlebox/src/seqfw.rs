@@ -8,9 +8,8 @@
 
 use intang_netsim::{Ctx, Direction, Element};
 use intang_packet::tcp::seq;
-use intang_packet::{four_tuple_of, FourTuple, Ipv4Packet, TcpPacket, Wire};
+use intang_packet::{FourTuple, FxHashMap, TcpPacket, Wire};
 use intang_telemetry::{Counter, MetricsSheet};
-use std::collections::HashMap;
 
 #[derive(Debug, Clone, Copy)]
 struct Track {
@@ -22,7 +21,7 @@ struct Track {
 /// Strict in-order sequence firewall on the server side of the path.
 pub struct SeqStrictFirewall {
     label: String,
-    conns: HashMap<FourTuple, Track>,
+    conns: FxHashMap<FourTuple, Track>,
     /// When true the box validates TCP checksums and so *drops* corrupt
     /// insertion packets instead of accepting them (harmless variant).
     pub validate_checksum: bool,
@@ -33,7 +32,7 @@ impl SeqStrictFirewall {
     pub fn new(label: &str) -> SeqStrictFirewall {
         SeqStrictFirewall {
             label: label.to_string(),
-            conns: HashMap::new(),
+            conns: FxHashMap::default(),
             validate_checksum: false,
             blocked: 0,
         }
@@ -55,25 +54,28 @@ impl Element for SeqStrictFirewall {
             ctx.send(dir, wire);
             return;
         }
-        let (Some(tuple), Ok(ip)) = (four_tuple_of(&wire), Ipv4Packet::new_checked(&wire[..])) else {
+        let Some(hdr) = wire.headers() else {
             ctx.send(dir, wire);
             return;
         };
-        let Ok(tcp) = TcpPacket::new_checked(ip.payload()) else {
+        let Some(seg) = hdr.tcp().copied() else {
             ctx.send(dir, wire);
             return;
         };
-        if self.validate_checksum && !tcp.verify_checksum(ip.src_addr(), ip.dst_addr()) {
-            self.blocked += 1;
-            return;
+        if self.validate_checksum {
+            let l4 = &wire[usize::from(hdr.ip_payload_start)..usize::from(hdr.ip_payload_end)];
+            if !TcpPacket::new_unchecked(l4).verify_checksum(hdr.src, hdr.dst) {
+                self.blocked += 1;
+                return;
+            }
         }
-        let flags = tcp.flags();
-        let key = tuple.canonical();
+        let flags = seg.flags;
+        let key = FourTuple::new(hdr.src, seg.src_port, hdr.dst, seg.dst_port).canonical();
         if flags.syn() {
             self.conns.insert(
                 key,
                 Track {
-                    expected: tcp.seq_number().wrapping_add(1),
+                    expected: seg.seq.wrapping_add(1),
                     established: true,
                 },
             );
@@ -89,12 +91,12 @@ impl Element for SeqStrictFirewall {
             ctx.send(dir, wire);
             return;
         };
-        let plen = tcp.payload().len() as u32;
+        let plen = u32::from(seg.payload_end - seg.payload_start);
         if plen == 0 || !track.established {
             ctx.send(dir, wire);
             return;
         }
-        let sn = tcp.seq_number();
+        let sn = seg.seq;
         if sn == track.expected {
             track.expected = track.expected.wrapping_add(plen);
             ctx.send(dir, wire);
@@ -114,7 +116,7 @@ mod tests {
     use super::*;
     use intang_netsim::element::PassThrough;
     use intang_netsim::{Duration, Instant, Link, Simulation};
-    use intang_packet::{PacketBuilder, TcpFlags};
+    use intang_packet::{Ipv4Packet, PacketBuilder, TcpFlags};
     use std::cell::RefCell;
     use std::net::Ipv4Addr;
     use std::rc::Rc;

@@ -5,9 +5,8 @@
 //! flow — the connection hangs with no censor reset, i.e. **Failure 1**.
 
 use intang_netsim::{Ctx, Direction, Element};
-use intang_packet::{four_tuple_of, FourTuple, Ipv4Packet, TcpPacket, Wire};
+use intang_packet::{FourTuple, FxHashMap, Wire};
 use intang_telemetry::{Counter, MetricsSheet};
-use std::collections::HashMap;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum ConnState {
@@ -20,7 +19,7 @@ enum ConnState {
 /// Connection-tracking firewall.
 pub struct StatefulFirewall {
     label: String,
-    conns: HashMap<FourTuple, ConnState>,
+    conns: FxHashMap<FourTuple, ConnState>,
     /// Tear down tracked state on any RST passing through.
     pub rst_tears_down: bool,
     /// Tear down tracked state on bare FINs passing through.
@@ -32,7 +31,7 @@ impl StatefulFirewall {
     pub fn new(label: &str) -> StatefulFirewall {
         StatefulFirewall {
             label: label.to_string(),
-            conns: HashMap::new(),
+            conns: FxHashMap::default(),
             rst_tears_down: true,
             fin_tears_down: false,
             blocked: 0,
@@ -50,20 +49,16 @@ impl Element for StatefulFirewall {
     }
 
     fn on_packet(&mut self, ctx: &mut Ctx<'_>, dir: Direction, wire: Wire) {
-        let Some(tuple) = four_tuple_of(&wire) else {
+        // Non-TCP and unparseable traffic is not conntracked; the cached
+        // header index means no re-parse when the wire was seen upstream.
+        let Some((tuple, flags)) = wire.headers().and_then(|h| {
+            let t = h.tcp()?;
+            Some((FourTuple::new(h.src, t.src_port, h.dst, t.dst_port), t.flags))
+        }) else {
             ctx.send(dir, wire);
             return;
         };
         let key = tuple.canonical();
-        let Ok(ip) = Ipv4Packet::new_checked(&wire[..]) else {
-            ctx.send(dir, wire);
-            return;
-        };
-        let Ok(tcp) = TcpPacket::new_checked(ip.payload()) else {
-            ctx.send(dir, wire);
-            return;
-        };
-        let flags = tcp.flags();
 
         match self.conns.get(&key).copied() {
             Some(ConnState::Dead) => {

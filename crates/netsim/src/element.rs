@@ -160,8 +160,8 @@ mod tests {
     fn ctx_records_emissions_and_timers() {
         let mut rng = SimRng::seed_from(1);
         let mut ctx = Ctx::new(Instant(5), &mut rng);
-        ctx.send(Direction::ToServer, vec![1, 2, 3]);
-        ctx.send_delayed(Direction::ToClient, vec![4], Duration::from_millis(20));
+        ctx.send(Direction::ToServer, vec![1, 2, 3].into());
+        ctx.send_delayed(Direction::ToClient, vec![4].into(), Duration::from_millis(20));
         ctx.set_timer(Instant(1_000), 42);
         assert_eq!(ctx.emissions.len(), 2);
         assert_eq!(ctx.emissions[1].delay, Duration::from_millis(20));

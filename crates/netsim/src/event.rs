@@ -1,10 +1,42 @@
-//! The event queue: a time-ordered heap with FIFO tie-breaking.
+//! The event queue: a hierarchical timing wheel with FIFO tie-breaking.
+//!
+//! Replaces the original `BinaryHeap` queue with a two-tier structure
+//! shaped by the simulator's delay distribution:
+//!
+//! * **Front tier** — all events inside the cursor's current 4096 µs
+//!   *epoch* (the level-0 span) live in a small binary min-heap keyed by
+//!   `(time, insertion-seq)`. Simulated deadlines cluster at the
+//!   link-latency scale (~1 ms), so the overwhelming majority of events
+//!   spend their whole life here, at contiguous-array heap speed — a slot
+//!   array at 1 µs granularity pays a cache miss per touched slot, which
+//!   benches (`queue/*`) showed is slower than the heap at simulation
+//!   queue sizes (tens of events).
+//! * **Upper tiers** — five classic wheel levels of 64 slots (6 bits per
+//!   level, 2^42 µs ≈ 52-day horizon) absorb far deadlines with O(1)
+//!   pushes and per-level occupancy bitmaps, so retransmit timeouts and
+//!   quiescence guards never bloat the front heap. Anything beyond the
+//!   horizon waits in an overflow list and migrates in when the cursor
+//!   catches up.
+//!
+//! The epoch only advances when the front heap is empty (a cascade or an
+//! overflow migration), which is what makes the split sound: every front
+//! event precedes every upper-level event, and upper levels are totally
+//! ordered among themselves by the shared cursor prefix. Slot storage and
+//! the front heap's buffer are recycled through a thread-local pool across
+//! `EventQueue` lifetimes (a simulation is built per trial), so queue
+//! construction and steady-state operation stay off the allocator.
+//!
+//! Pop order is **exactly** `(time, insertion-seq)` — identical to the old
+//! heap, including pushes scheduled in the past (they clamp to the cursor's
+//! epoch and pop immediately, still ordered by their original timestamp).
+//! Golden traces and the determinism suite depend on this;
+//! `tests/properties.rs` drives a randomized interleaving against a
+//! reference heap to lock it in.
 
 use crate::element::Direction;
 use crate::time::Instant;
 use crate::trace::TraceId;
 use intang_packet::Wire;
-use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 /// Something scheduled to happen.
@@ -30,55 +62,237 @@ struct Queued {
     event: Event,
 }
 
-impl PartialEq for Queued {
+/// Front-heap entry: min-heap by `(at, seq)` (comparison reversed for
+/// `std`'s max-heap).
+#[derive(Debug)]
+struct FrontItem(Queued);
+
+impl PartialEq for FrontItem {
     fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+        (self.0.at, self.0.seq) == (other.0.at, other.0.seq)
     }
 }
-impl Eq for Queued {}
-impl PartialOrd for Queued {
+impl Eq for FrontItem {}
+impl PartialOrd for FrontItem {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
 }
-impl Ord for Queued {
+impl Ord for FrontItem {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
+        (other.0.at, other.0.seq).cmp(&(self.0.at, self.0.seq))
     }
 }
 
+/// The front tier spans one `1 << L0_BITS` µs epoch of the cursor.
+const L0_BITS: usize = 12;
+/// Bits per upper wheel level; each upper level has 64 slots.
+const LEVEL_BITS: usize = 6;
+const SLOTS: usize = 1 << LEVEL_BITS;
+/// Upper levels above the front tier.
+const UP_LEVELS: usize = 5;
+/// Times within `wheel_now + 2^HORIZON_BITS` µs live in the wheel proper.
+const HORIZON_BITS: u32 = (L0_BITS + LEVEL_BITS * UP_LEVELS) as u32;
+const TOTAL_SLOTS: usize = UP_LEVELS * SLOTS;
+
 /// Deterministic event queue: pops strictly in `(time, insertion order)`.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct EventQueue {
-    heap: BinaryHeap<Reverse<Queued>>,
+    /// Current-epoch events, popped directly.
+    front: BinaryHeap<FrontItem>,
+    /// `TOTAL_SLOTS` upper-level buckets, level-major (recycled via the
+    /// thread-local storage pool). Bucket vectors keep their capacity
+    /// across reuse, so the steady state allocates nothing.
+    slots: Vec<Vec<Queued>>,
+    /// Per-upper-level occupancy bitmap: bit `s` set ⇔
+    /// `slots[u * SLOTS + s]` is non-empty.
+    occ_up: [u64; UP_LEVELS],
+    /// The wheel cursor: a lower bound on every event time in the wheel
+    /// (monotone; only ever advanced to popped times / cascade slot bases).
+    /// Its bits above `L0_BITS` name the front epoch.
+    wheel_now: u64,
+    /// Events currently in upper-level slots (excludes front and overflow).
+    upper_len: usize,
+    /// Events beyond the wheel horizon, unordered; migrated in when the
+    /// wheel drains. Every overflow time exceeds every wheel time.
+    overflow: Vec<Queued>,
+    /// Earliest `(at, seq)` in `overflow`, maintained on push.
+    overflow_min: Option<(Instant, u64)>,
     next_seq: u64,
+    len: usize,
+}
+
+impl Default for EventQueue {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+/// Retired queue storage: the upper-level slot table plus the front heap's
+/// buffer, both capacity-warm.
+type RetiredStorage = (Vec<Vec<Queued>>, Vec<FrontItem>);
+
+std::thread_local! {
+    /// Retired (slots, front-buffer) storage, capacity-warm. A simulation
+    /// is built per trial; recycling keeps queue construction off the
+    /// allocator.
+    static STORAGE_POOL: std::cell::RefCell<Vec<RetiredStorage>> = const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Max retired storages kept per thread (sims rarely nest deeper).
+const STORAGE_POOL_CAP: usize = 4;
+
+impl Drop for EventQueue {
+    fn drop(&mut self) {
+        // Clear only the buckets the bitmaps say are occupied (a dropped
+        // mid-run queue may hold events), then hand the storage back.
+        for (u, &bits) in self.occ_up.iter().enumerate() {
+            let mut word = bits;
+            while word != 0 {
+                let s = word.trailing_zeros() as usize;
+                word &= word - 1;
+                self.slots[u * SLOTS + s].clear();
+            }
+        }
+        let storage = std::mem::take(&mut self.slots);
+        let mut front_buf = std::mem::take(&mut self.front).into_vec();
+        front_buf.clear();
+        if storage.len() == TOTAL_SLOTS {
+            let _ = STORAGE_POOL.try_with(|pool| {
+                let mut pool = pool.borrow_mut();
+                if pool.len() < STORAGE_POOL_CAP {
+                    pool.push((storage, front_buf));
+                }
+            });
+        }
+    }
 }
 
 impl EventQueue {
     pub fn new() -> Self {
-        EventQueue::default()
+        let (slots, front_buf) = STORAGE_POOL
+            .try_with(|pool| pool.borrow_mut().pop())
+            .ok()
+            .flatten()
+            .unwrap_or_else(|| (std::iter::repeat_with(Vec::new).take(TOTAL_SLOTS).collect(), Vec::new()));
+        EventQueue {
+            front: BinaryHeap::from(front_buf),
+            slots,
+            occ_up: [0; UP_LEVELS],
+            wheel_now: 0,
+            upper_len: 0,
+            overflow: Vec::new(),
+            overflow_min: None,
+            next_seq: 0,
+            len: 0,
+        }
     }
 
     pub fn push(&mut self, at: Instant, event: Event) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Reverse(Queued { at, seq, event }));
+        self.len += 1;
+        self.insert(Queued { at, seq, event });
+    }
+
+    /// Place one entry into the front heap, an upper-level slot, or the
+    /// overflow. Past-due times clamp to the cursor (current epoch), where
+    /// the front heap's `(at, seq)` order still yields them first.
+    fn insert(&mut self, q: Queued) {
+        let t = q.at.0.max(self.wheel_now);
+        let masked = t ^ self.wheel_now;
+        if masked >> L0_BITS == 0 {
+            // Same epoch as the cursor: the common, cascade-free case.
+            self.front.push(FrontItem(q));
+            return;
+        }
+        if masked >> HORIZON_BITS != 0 {
+            if self.overflow_min.is_none_or(|m| (q.at, q.seq) < m) {
+                self.overflow_min = Some((q.at, q.seq));
+            }
+            self.overflow.push(q);
+            return;
+        }
+        // The highest differing bit picks the upper level; within it, the
+        // time's own 6-bit block picks the slot.
+        let up = ((63 - masked.leading_zeros()) as usize - L0_BITS) / LEVEL_BITS;
+        let slot = ((t >> (L0_BITS + up * LEVEL_BITS)) & (SLOTS - 1) as u64) as usize;
+        self.occ_up[up] |= 1 << slot;
+        self.slots[up * SLOTS + slot].push(q);
+        self.upper_len += 1;
+    }
+
+    /// Refill the wheel from overflow once it drains. Sound because every
+    /// overflow time is strictly beyond every wheel time (they differ from
+    /// the cursor above the horizon bit), so migration can never reorder.
+    fn migrate_overflow(&mut self) {
+        debug_assert!(self.front.is_empty() && self.upper_len == 0 && !self.overflow.is_empty());
+        let min_at = self.overflow.iter().map(|q| q.at.0).min().expect("overflow non-empty");
+        self.wheel_now = self.wheel_now.max(min_at);
+        let pending = std::mem::take(&mut self.overflow);
+        self.overflow_min = None;
+        for q in pending {
+            self.insert(q);
+        }
     }
 
     pub fn pop(&mut self) -> Option<(Instant, Event)> {
-        self.heap.pop().map(|Reverse(q)| (q.at, q.event))
+        if self.len == 0 {
+            return None;
+        }
+        loop {
+            if let Some(FrontItem(q)) = self.front.pop() {
+                // The front min is the global min: upper levels and
+                // overflow hold strictly-later epochs only.
+                self.len -= 1;
+                self.wheel_now = self.wheel_now.max(q.at.0);
+                return Some((q.at, q.event));
+            }
+            if self.upper_len == 0 {
+                self.migrate_overflow();
+                continue;
+            }
+            // Cascade: advance the cursor to the earliest occupied upper
+            // slot's base time and re-insert its entries — each lands in
+            // the (new) front epoch or a strictly lower upper level. Upper
+            // levels are totally ordered: every level-u event precedes
+            // every level-(u+1) event (shared cursor prefix above block u).
+            let up = (0..UP_LEVELS).find(|&u| self.occ_up[u] != 0).expect("upper_len > 0");
+            let slot = self.occ_up[up].trailing_zeros() as usize;
+            let shift = L0_BITS + up * LEVEL_BITS;
+            let base = (self.wheel_now & (!0u64 << (shift + LEVEL_BITS))) | ((slot as u64) << shift);
+            debug_assert!(base > self.wheel_now);
+            self.wheel_now = base;
+            let idx = up * SLOTS + slot;
+            let mut bucket = std::mem::take(&mut self.slots[idx]);
+            self.occ_up[up] &= !(1 << slot);
+            self.upper_len -= bucket.len();
+            for q in bucket.drain(..) {
+                self.insert(q);
+            }
+            // Hand the (empty) allocation back so reuse stays alloc-free.
+            self.slots[idx] = bucket;
+        }
     }
 
     pub fn peek_time(&self) -> Option<Instant> {
-        self.heap.peek().map(|Reverse(q)| q.at)
+        if let Some(FrontItem(q)) = self.front.peek() {
+            return Some(q.at);
+        }
+        if self.upper_len > 0 {
+            let up = (0..UP_LEVELS).find(|&u| self.occ_up[u] != 0).expect("upper_len > 0");
+            let slot = self.occ_up[up].trailing_zeros() as usize;
+            return self.slots[up * SLOTS + slot].iter().map(|q| q.at).min();
+        }
+        self.overflow_min.map(|(at, _)| at)
     }
 
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.len
     }
 
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len == 0
     }
 }
 
@@ -86,18 +300,24 @@ impl EventQueue {
 mod tests {
     use super::*;
 
+    fn token_of(e: Event) -> u64 {
+        match e {
+            Event::Timer { token, .. } => token,
+            _ => unreachable!(),
+        }
+    }
+
+    fn drain(q: &mut EventQueue) -> Vec<(u64, u64)> {
+        std::iter::from_fn(|| q.pop()).map(|(at, e)| (at.0, token_of(e))).collect()
+    }
+
     #[test]
     fn pops_in_time_then_fifo_order() {
         let mut q = EventQueue::new();
         q.push(Instant(10), Event::Timer { elem: 0, token: 1 });
         q.push(Instant(5), Event::Timer { elem: 0, token: 2 });
         q.push(Instant(10), Event::Timer { elem: 0, token: 3 });
-        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
-            .map(|(_, e)| match e {
-                Event::Timer { token, .. } => token,
-                _ => unreachable!(),
-            })
-            .collect();
+        let order: Vec<u64> = drain(&mut q).into_iter().map(|(_, t)| t).collect();
         assert_eq!(order, vec![2, 1, 3], "time order, then insertion order");
     }
 
@@ -108,5 +328,69 @@ mod tests {
         q.push(Instant(7), Event::Timer { elem: 1, token: 0 });
         assert_eq!(q.peek_time(), Some(Instant(7)));
         assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn cascades_across_levels() {
+        let mut q = EventQueue::new();
+        // One event per wheel level, pushed in reverse time order.
+        let times = [1u64 << 32, 1 << 20, 1 << 13, 70, 3];
+        for (i, &t) in times.iter().enumerate() {
+            q.push(Instant(t), Event::Timer { elem: 0, token: i as u64 });
+        }
+        assert_eq!(q.peek_time(), Some(Instant(3)));
+        let mut sorted = times.to_vec();
+        sorted.sort_unstable();
+        assert_eq!(drain(&mut q).into_iter().map(|(at, _)| at).collect::<Vec<_>>(), sorted);
+    }
+
+    #[test]
+    fn past_due_push_pops_first_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(Instant(100), Event::Timer { elem: 0, token: 0 });
+        assert_eq!(q.pop().unwrap().0, Instant(100));
+        // The cursor sits at 100; these land in its epoch but must still
+        // pop by (time, seq).
+        q.push(Instant(40), Event::Timer { elem: 0, token: 1 });
+        q.push(Instant(7), Event::Timer { elem: 0, token: 2 });
+        q.push(Instant(40), Event::Timer { elem: 0, token: 3 });
+        q.push(Instant(100), Event::Timer { elem: 0, token: 4 });
+        assert_eq!(q.peek_time(), Some(Instant(7)));
+        assert_eq!(drain(&mut q), vec![(7, 2), (40, 1), (40, 3), (100, 4)]);
+    }
+
+    #[test]
+    fn overflow_beyond_horizon_migrates_back() {
+        let far = 1u64 << 43; // past the 2^42 µs horizon
+        let mut q = EventQueue::new();
+        q.push(Instant(far + 1), Event::Timer { elem: 0, token: 0 });
+        q.push(Instant(5), Event::Timer { elem: 0, token: 1 });
+        q.push(Instant(far), Event::Timer { elem: 0, token: 2 });
+        assert_eq!(q.peek_time(), Some(Instant(5)));
+        assert_eq!(drain(&mut q), vec![(5, 1), (far, 2), (far + 1, 0)]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn epoch_boundary_keeps_order() {
+        // Events straddling a 4096 µs epoch edge: the later one waits in
+        // an upper level and cascades into the front only after the epoch
+        // advances.
+        let mut q = EventQueue::new();
+        q.push(Instant(4_095), Event::Timer { elem: 0, token: 0 });
+        q.push(Instant(4_097), Event::Timer { elem: 0, token: 1 });
+        q.push(Instant(4_096), Event::Timer { elem: 0, token: 2 });
+        assert_eq!(drain(&mut q), vec![(4_095, 0), (4_096, 2), (4_097, 1)]);
+    }
+
+    #[test]
+    fn interleaved_push_pop_keeps_global_order() {
+        let mut q = EventQueue::new();
+        q.push(Instant(50), Event::Timer { elem: 0, token: 0 });
+        q.push(Instant(10), Event::Timer { elem: 0, token: 1 });
+        assert_eq!(q.pop().unwrap().0, Instant(10));
+        q.push(Instant(20), Event::Timer { elem: 0, token: 2 });
+        q.push(Instant(50), Event::Timer { elem: 0, token: 3 });
+        assert_eq!(drain(&mut q), vec![(20, 2), (50, 0), (50, 3)]);
     }
 }

@@ -7,7 +7,7 @@ use crate::link::Link;
 use crate::rng::SimRng;
 use crate::time::{Duration, Instant};
 use crate::trace::{NameId, Trace, TraceId, TraceKind, TracePoint};
-use intang_packet::{icmp, Ipv4Packet, Wire};
+use intang_packet::{icmp, Wire};
 use intang_telemetry::{Counter, MetricsSheet};
 
 /// A linear-path network simulation.
@@ -264,14 +264,20 @@ impl Simulation {
         };
         let depart = self.now + delay;
 
-        // Walk the routers: decrement TTL once per hop.
-        for hop in 1..=hops {
-            if Ipv4Packet::new_checked(&wire[..]).is_err() {
-                break; // unparseable payloads glide through unrouted
-            }
-            let mut ip = Ipv4Packet::new_unchecked(&mut wire[..]);
-            let ttl = ip.decrement_ttl();
-            if ttl == 0 {
+        // Walk the routers in one step: a single TTL writedown plus one
+        // checksum refresh is byte-identical to per-hop decrements, and
+        // `Wire::decrement_ttl` keeps the cached header index warm (TTL and
+        // checksum are not indexed fields). Unparseable payloads glide
+        // through unrouted, exactly as before.
+        if hops > 0 && wire.ttl().is_some() {
+            let ttl0 = wire.ttl().expect("checked above");
+            if ttl0 > hops {
+                wire.decrement_ttl(hops);
+            } else {
+                // Dies at the router that writes TTL 0: hop `ttl0`, or the
+                // first router when the packet already arrived with TTL 0.
+                let hop = ttl0.max(1);
+                wire.decrement_ttl(hop);
                 self.ttl_expired += 1;
                 let died_at = depart + per_hop * u64::from(hop);
                 let ttl_id = if self.trace.is_enabled() {
@@ -440,7 +446,7 @@ impl Simulation {
 mod tests {
     use super::*;
     use crate::element::PassThrough;
-    use intang_packet::{PacketBuilder, TcpFlags};
+    use intang_packet::{Ipv4Packet, PacketBuilder, TcpFlags};
     use std::cell::RefCell;
     use std::net::Ipv4Addr;
     use std::rc::Rc;

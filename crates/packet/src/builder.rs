@@ -19,6 +19,8 @@
 use crate::ipv4::{IpProtocol, Ipv4Repr};
 use crate::tcp::{TcpFlags, TcpOption, TcpRepr};
 use crate::udp::UdpRepr;
+use crate::wire::Wire;
+use std::cell::RefCell;
 use std::net::Ipv4Addr;
 
 /// Fluent builder for one IPv4 datagram carrying TCP or UDP.
@@ -126,15 +128,28 @@ impl PacketBuilder {
         self
     }
 
-    /// Serialize into a wire datagram.
-    pub fn build(self) -> Vec<u8> {
+    /// Serialize into a wire datagram. The transport segment is staged in a
+    /// thread-local scratch buffer and the datagram lands in a pooled
+    /// [`Wire`], so steady-state packet construction allocates nothing.
+    pub fn build(self) -> Wire {
+        thread_local! {
+            static SCRATCH: RefCell<Vec<u8>> = const { RefCell::new(Vec::new()) };
+        }
         let PacketBuilder { ip, tcp, udp } = self;
-        let transport = match (&tcp, &udp) {
-            (Some(t), None) => t.emit(ip.src, ip.dst),
-            (None, Some(u)) => u.emit(ip.src, ip.dst),
-            _ => unreachable!("builder always holds exactly one transport"),
-        };
-        ip.emit(&transport)
+        SCRATCH
+            .try_with(|scratch| {
+                let mut transport = scratch.borrow_mut();
+                transport.clear();
+                match (&tcp, &udp) {
+                    (Some(t), None) => t.emit_into(ip.src, ip.dst, &mut transport),
+                    (None, Some(u)) => u.emit_into(ip.src, ip.dst, &mut transport),
+                    _ => unreachable!("builder always holds exactly one transport"),
+                }
+                let mut wire = Wire::with_capacity(crate::ipv4::HEADER_LEN + transport.len());
+                ip.emit_into(&transport, wire.vec_mut());
+                wire
+            })
+            .expect("packet built during thread teardown")
     }
 }
 

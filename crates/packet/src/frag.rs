@@ -7,7 +7,14 @@
 //! preference explicit so the GFW, middleboxes and servers can be
 //! configured per the paper's findings.
 
-use crate::{Ipv4Packet, Ipv4Repr};
+use crate::{Ipv4Packet, Ipv4Repr, Wire};
+
+/// Emit a header + payload straight into a pooled [`Wire`].
+fn emit_wire(repr: &Ipv4Repr, payload: &[u8]) -> Wire {
+    let mut w = Wire::with_capacity(crate::ipv4::HEADER_LEN + payload.len());
+    repr.emit_into(payload, w.vec_mut());
+    w
+}
 
 /// Who wins when two fragments cover the same byte range.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -22,7 +29,7 @@ pub enum OverlapPolicy {
 /// Split a full (non-fragment) IPv4 datagram into fragments at the given
 /// payload byte boundaries. `boundaries` are offsets into the transport
 /// payload and must be multiples of 8 (IP fragment granularity).
-pub fn fragment_at(wire: &[u8], boundaries: &[usize]) -> Vec<Vec<u8>> {
+pub fn fragment_at(wire: &[u8], boundaries: &[usize]) -> Vec<Wire> {
     let pkt = Ipv4Packet::new_checked(wire).expect("fragment_at requires a valid datagram");
     assert!(!pkt.is_fragment(), "cannot re-fragment a fragment");
     let payload = pkt.payload();
@@ -49,14 +56,14 @@ pub fn fragment_at(wire: &[u8], boundaries: &[usize]) -> Vec<Vec<u8>> {
             total_len_override: None,
             ..base
         };
-        out.push(repr.emit(&payload[start..end]));
+        out.push(emit_wire(&repr, &payload[start..end]));
     }
     out
 }
 
 /// Build a single raw fragment carrying `data` at payload offset `offset`
 /// for the flow described by `base` (same ident ties fragments together).
-pub fn raw_fragment(base: &Ipv4Repr, offset: usize, more: bool, data: &[u8]) -> Vec<u8> {
+pub fn raw_fragment(base: &Ipv4Repr, offset: usize, more: bool, data: &[u8]) -> Wire {
     let repr = Ipv4Repr {
         dont_fragment: false,
         more_fragments: more,
@@ -64,7 +71,7 @@ pub fn raw_fragment(base: &Ipv4Repr, offset: usize, more: bool, data: &[u8]) -> 
         total_len_override: None,
         ..*base
     };
-    repr.emit(data)
+    emit_wire(&repr, data)
 }
 
 /// A reassembly buffer for one (src, dst, ident, protocol) key.
@@ -101,7 +108,7 @@ impl Reassembler {
     /// Feed one datagram. Non-fragments are returned unchanged. Fragments
     /// are buffered; when an assembly completes, the full datagram is
     /// returned.
-    pub fn push(&mut self, wire: Vec<u8>) -> Option<Vec<u8>> {
+    pub fn push(&mut self, wire: Wire) -> Option<Wire> {
         let pkt = match Ipv4Packet::new_checked(&wire[..]) {
             Ok(p) => p,
             Err(_) => return Some(wire), // pass through unparseable data
@@ -162,7 +169,7 @@ impl Reassembler {
                 ..asm.base
             };
             self.pending.remove(idx);
-            Some(repr.emit(&payload))
+            Some(emit_wire(&repr, &payload))
         } else {
             None
         }
@@ -175,7 +182,7 @@ impl Reassembler {
 }
 
 /// Reassemble a complete set of fragments in one call (test helper).
-pub fn reassemble(policy: OverlapPolicy, frags: impl IntoIterator<Item = Vec<u8>>) -> Option<Vec<u8>> {
+pub fn reassemble(policy: OverlapPolicy, frags: impl IntoIterator<Item = Wire>) -> Option<Wire> {
     let mut r = Reassembler::new(policy);
     let mut done = None;
     for f in frags {
@@ -199,8 +206,8 @@ mod tests {
         }
     }
 
-    fn full_datagram(payload: &[u8]) -> Vec<u8> {
-        base().emit(payload)
+    fn full_datagram(payload: &[u8]) -> Wire {
+        Wire::from_vec(base().emit(payload))
     }
 
     #[test]

@@ -1,0 +1,130 @@
+//! A fast, deterministic hasher for hot-path lookup tables.
+//!
+//! The simulator keys its per-packet tables (censor TCBs, engine flows,
+//! middlebox conntracks, blacklists) by small fixed-size values —
+//! [`FourTuple`](crate::FourTuple)s, addresses, ports. `std`'s default
+//! SipHash is DoS-resistant but costs more than the table lookup itself
+//! for such keys; none of these tables ever hash attacker-controlled input
+//! across a trust boundary, so the resistance buys nothing here.
+//!
+//! `FxHasher` is the word-at-a-time multiply-xor scheme used by rustc
+//! (`rustc-hash`): fold each 8-byte word into the state with a rotate, an
+//! xor and a multiply by a single odd constant. Unlike `RandomState` it is
+//! seed-free, so iteration order — while still arbitrary — is identical
+//! across processes, which keeps replay debugging sane. Correctness never
+//! depends on iteration order anywhere these maps are used (the sweep's
+//! golden traces already prove that: `RandomState` reseeds every process
+//! and the traces are byte-stable).
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiply-xor hasher over native words (the rustc-hash scheme).
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for w in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(w.try_into().expect("8-byte chunk")));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`]; zero-sized and seed-free.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using [`FxHasher`]. Drop-in for `std` maps keyed by small
+/// non-adversarial values.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(v: &T) -> u64 {
+        FxBuildHasher::default().hash_one(v)
+    }
+
+    #[test]
+    fn deterministic_across_builders() {
+        let tuple = (0x0a00_0001u32, 40000u16, 0xcb00_7109u32, 80u16);
+        assert_eq!(hash_of(&tuple), hash_of(&tuple));
+        assert_ne!(hash_of(&tuple), hash_of(&(tuple.0, tuple.1, tuple.2, 81u16)));
+    }
+
+    #[test]
+    fn tail_bytes_affect_hash() {
+        assert_ne!(hash_of(&[1u8, 2, 3]), hash_of(&[1u8, 2, 4]));
+        assert_ne!(hash_of(&[0u8; 9]), hash_of(&[0u8; 10]));
+    }
+
+    #[test]
+    fn map_round_trips() {
+        let mut m: FxHashMap<(u32, u16), u64> = FxHashMap::default();
+        for i in 0..1000u32 {
+            m.insert((i, (i % 7) as u16), u64::from(i) * 3);
+        }
+        for i in 0..1000u32 {
+            assert_eq!(m.get(&(i, (i % 7) as u16)), Some(&(u64::from(i) * 3)));
+        }
+        let mut s: FxHashSet<u32> = FxHashSet::default();
+        assert!(s.insert(42));
+        assert!(!s.insert(42));
+        assert!(s.contains(&42));
+    }
+}

@@ -141,14 +141,17 @@ impl IcmpRepr {
 
 /// Build a complete time-exceeded IPv4 datagram from `router` back to the
 /// source of the expired datagram `expired_wire`.
-pub fn time_exceeded_for(router: Ipv4Addr, expired_wire: &[u8]) -> Option<Vec<u8>> {
+pub fn time_exceeded_for(router: Ipv4Addr, expired_wire: &[u8]) -> Option<crate::Wire> {
     let expired = ipv4::Ipv4Packet::new_checked(expired_wire).ok()?;
     let quote_len = (expired.header_len() + 8).min(expired_wire.len());
     let repr = IcmpRepr::TimeExceeded {
         original: expired_wire[..quote_len].to_vec(),
     };
     let ip = ipv4::Ipv4Repr::new(router, expired.src_addr(), ipv4::IpProtocol::Icmp);
-    Some(ip.emit(&repr.emit()))
+    let msg = repr.emit();
+    let mut w = crate::Wire::with_capacity(ipv4::HEADER_LEN + msg.len());
+    ip.emit_into(&msg, w.vec_mut());
+    Some(w)
 }
 
 /// Given a received time-exceeded datagram, recover the (dst, protocol,

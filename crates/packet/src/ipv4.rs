@@ -285,9 +285,18 @@ impl Ipv4Repr {
 
     /// Serialize this header plus `payload` into a fresh datagram.
     pub fn emit(&self, payload: &[u8]) -> Vec<u8> {
-        let mut buf = vec![0u8; HEADER_LEN + payload.len()];
-        buf[HEADER_LEN..].copy_from_slice(payload);
-        let mut pkt = Ipv4Packet::new_unchecked(&mut buf[..]);
+        let mut buf = Vec::with_capacity(HEADER_LEN + payload.len());
+        self.emit_into(payload, &mut buf);
+        buf
+    }
+
+    /// Serialize by appending to `out` — the allocation-free path used with
+    /// a reusable or pooled buffer. Byte-identical to [`Ipv4Repr::emit`].
+    pub fn emit_into(&self, payload: &[u8], out: &mut Vec<u8>) {
+        let base = out.len();
+        out.resize(base + HEADER_LEN, 0);
+        out.extend_from_slice(payload);
+        let mut pkt = Ipv4Packet::new_unchecked(&mut out[base..]);
         pkt.set_version_and_header_len(HEADER_LEN);
         let total = self.total_len_override.unwrap_or((HEADER_LEN + payload.len()) as u16);
         pkt.set_total_len(total);
@@ -298,7 +307,6 @@ impl Ipv4Repr {
         pkt.set_src_addr(self.src);
         pkt.set_dst_addr(self.dst);
         pkt.fill_header_checksum();
-        buf
     }
 }
 

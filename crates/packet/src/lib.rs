@@ -21,20 +21,21 @@ pub mod builder;
 pub mod checksum;
 pub mod dns;
 pub mod frag;
+pub mod fxhash;
 pub mod http;
 pub mod icmp;
 pub mod ipv4;
 pub mod tcp;
 pub mod udp;
+pub mod wire;
 
 pub use builder::PacketBuilder;
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use ipv4::{IpProtocol, Ipv4Packet, Ipv4Repr};
-pub use tcp::{TcpFlags, TcpOption, TcpPacket, TcpRepr};
+pub use tcp::{TcpFlags, TcpOption, TcpOptionList, TcpPacket, TcpRepr};
+pub use wire::{HeaderIndex, L4Index, TcpIndex, UdpIndex, Wire};
 
 use std::net::Ipv4Addr;
-
-/// A raw serialized IPv4 datagram as it travels over the simulated wire.
-pub type Wire = Vec<u8>;
 
 /// Errors produced when parsing wire data.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

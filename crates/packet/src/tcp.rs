@@ -147,11 +147,110 @@ impl TcpOption {
     }
 }
 
+/// Maximum number of parsed options per header: the options area is at most
+/// 40 bytes and every non-NOP option occupies at least 2, so 20 always fits.
+pub const MAX_OPTIONS: usize = 20;
+
+/// A fixed-capacity, inline list of TCP options. Replaces `Vec<TcpOption>`
+/// on the parse path so per-packet option parsing performs no heap
+/// allocation (the `Unknown` variant still owns its payload, but no real
+/// stack emits unknown options on the hot path). Dereferences to
+/// `&[TcpOption]`, so slice methods (`iter`, `contains`, `is_empty`, ...)
+/// work unchanged.
+#[derive(Debug, Clone)]
+pub struct TcpOptionList {
+    items: [TcpOption; MAX_OPTIONS],
+    len: u8,
+}
+
+impl TcpOptionList {
+    pub fn new() -> TcpOptionList {
+        TcpOptionList {
+            // Inert filler, never observable past `len`.
+            items: std::array::from_fn(|_| TcpOption::SackPermitted),
+            len: 0,
+        }
+    }
+
+    /// Append an option; returns `false` (dropping it) when full. A valid
+    /// options area can never overflow the capacity — see [`MAX_OPTIONS`].
+    pub fn push(&mut self, opt: TcpOption) -> bool {
+        let at = usize::from(self.len);
+        if at == MAX_OPTIONS {
+            return false;
+        }
+        self.items[at] = opt;
+        self.len += 1;
+        true
+    }
+
+    pub fn as_slice(&self) -> &[TcpOption] {
+        &self.items[..usize::from(self.len)]
+    }
+
+    pub fn to_vec(&self) -> Vec<TcpOption> {
+        self.as_slice().to_vec()
+    }
+}
+
+impl Default for TcpOptionList {
+    fn default() -> TcpOptionList {
+        TcpOptionList::new()
+    }
+}
+
+impl std::ops::Deref for TcpOptionList {
+    type Target = [TcpOption];
+    fn deref(&self) -> &[TcpOption] {
+        self.as_slice()
+    }
+}
+
+impl PartialEq for TcpOptionList {
+    fn eq(&self, other: &TcpOptionList) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl Eq for TcpOptionList {}
+
+impl PartialEq<Vec<TcpOption>> for TcpOptionList {
+    fn eq(&self, other: &Vec<TcpOption>) -> bool {
+        self.as_slice() == &other[..]
+    }
+}
+
+impl PartialEq<[TcpOption]> for TcpOptionList {
+    fn eq(&self, other: &[TcpOption]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl<'a> IntoIterator for &'a TcpOptionList {
+    type Item = &'a TcpOption;
+    type IntoIter = std::slice::Iter<'a, TcpOption>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+impl FromIterator<TcpOption> for TcpOptionList {
+    fn from_iter<I: IntoIterator<Item = TcpOption>>(iter: I) -> TcpOptionList {
+        let mut list = TcpOptionList::new();
+        for o in iter {
+            if !list.push(o) {
+                break;
+            }
+        }
+        list
+    }
+}
+
 /// Parse the options region of a TCP header. Tolerant: stops at end-of-list
 /// or on malformed lengths (returning what was parsed so far), matching how
-/// real stacks skip unparseable trailing options.
-pub fn parse_options(mut raw: &[u8]) -> Vec<TcpOption> {
-    let mut opts = Vec::new();
+/// real stacks skip unparseable trailing options. Allocation-free for every
+/// standard option kind.
+pub fn parse_options(mut raw: &[u8]) -> TcpOptionList {
+    let mut opts = TcpOptionList::new();
     while let Some((&kind, rest)) = raw.split_first() {
         match kind {
             0 => break,      // end of option list
@@ -178,7 +277,9 @@ pub fn parse_options(mut raw: &[u8]) -> Vec<TcpOption> {
                     }
                     _ => TcpOption::Unknown { kind, data: body.to_vec() },
                 };
-                opts.push(opt);
+                if !opts.push(opt) {
+                    break;
+                }
                 raw = &raw[len..];
             }
         }
@@ -257,7 +358,7 @@ impl<T: AsRef<[u8]>> TcpPacket<T> {
         &self.data()[HEADER_LEN..self.header_len()]
     }
 
-    pub fn options(&self) -> Vec<TcpOption> {
+    pub fn options(&self) -> TcpOptionList {
         parse_options(self.options_raw())
     }
 
@@ -319,33 +420,53 @@ impl TcpRepr {
     }
 
     pub fn parse<T: AsRef<[u8]>>(pkt: &TcpPacket<T>) -> TcpRepr {
-        TcpRepr {
-            src_port: pkt.src_port(),
-            dst_port: pkt.dst_port(),
-            seq: pkt.seq_number(),
-            ack: pkt.ack_number(),
-            flags: pkt.flags(),
-            window: pkt.window(),
-            options: pkt.options(),
-            payload: pkt.payload().to_vec(),
-            checksum_override: None,
-            data_offset_words_override: None,
-        }
+        let mut repr = TcpRepr::new(0, 0);
+        TcpRepr::parse_into(pkt, &mut repr);
+        repr
+    }
+
+    /// Parse into an existing repr, reusing its `options`/`payload`
+    /// capacity — the hot receive paths keep one scratch repr per endpoint
+    /// so steady-state parsing allocates nothing.
+    pub fn parse_into<T: AsRef<[u8]>>(pkt: &TcpPacket<T>, out: &mut TcpRepr) {
+        out.src_port = pkt.src_port();
+        out.dst_port = pkt.dst_port();
+        out.seq = pkt.seq_number();
+        out.ack = pkt.ack_number();
+        out.flags = pkt.flags();
+        out.window = pkt.window();
+        out.options.clear();
+        out.options.extend_from_slice(pkt.options().as_slice());
+        out.payload.clear();
+        out.payload.extend_from_slice(pkt.payload());
+        out.checksum_override = None;
+        out.data_offset_words_override = None;
     }
 
     /// Serialize into a raw TCP segment for the given IP endpoints.
     pub fn emit(&self, src: Ipv4Addr, dst: Ipv4Addr) -> Vec<u8> {
-        let mut opt_bytes = Vec::new();
+        let mut buf = Vec::with_capacity(self.wire_len());
+        self.emit_into(src, dst, &mut buf);
+        buf
+    }
+
+    /// Serialize by appending to `out` — the allocation-free path used with
+    /// a reusable scratch buffer. Byte-identical to [`TcpRepr::emit`].
+    pub fn emit_into(&self, src: Ipv4Addr, dst: Ipv4Addr, out: &mut Vec<u8>) {
+        let base = out.len();
+        out.resize(base + HEADER_LEN, 0);
+        // Options are emitted straight into `out`, then padded to a 4-byte
+        // boundary with end-of-list + zeros.
         for o in &self.options {
-            o.emit(&mut opt_bytes);
+            o.emit(out);
         }
-        // Pad options to a 4-byte boundary with end-of-list + zeros.
-        while opt_bytes.len() % 4 != 0 {
-            opt_bytes.push(0);
+        while !(out.len() - base).is_multiple_of(4) {
+            out.push(0);
         }
-        debug_assert!(opt_bytes.len() <= 40, "TCP options exceed 40 bytes");
-        let header_len = HEADER_LEN + opt_bytes.len();
-        let mut buf = vec![0u8; header_len + self.payload.len()];
+        let header_len = out.len() - base;
+        debug_assert!(header_len - HEADER_LEN <= 40, "TCP options exceed 40 bytes");
+        out.extend_from_slice(&self.payload);
+        let buf = &mut out[base..];
         buf[0..2].copy_from_slice(&self.src_port.to_be_bytes());
         buf[2..4].copy_from_slice(&self.dst_port.to_be_bytes());
         buf[4..8].copy_from_slice(&self.seq.to_be_bytes());
@@ -354,14 +475,11 @@ impl TcpRepr {
         buf[12] = words << 4;
         buf[13] = self.flags.0;
         buf[14..16].copy_from_slice(&self.window.to_be_bytes());
-        buf[HEADER_LEN..header_len].copy_from_slice(&opt_bytes);
-        buf[header_len..].copy_from_slice(&self.payload);
         let ck = match self.checksum_override {
             Some(bad) => bad,
-            None => checksum::transport_checksum(src, dst, PROTO_TCP, &buf),
+            None => checksum::transport_checksum(src, dst, PROTO_TCP, buf),
         };
         buf[16..18].copy_from_slice(&ck.to_be_bytes());
-        buf
     }
 
     /// Total wire length of the emitted segment.

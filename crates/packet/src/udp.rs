@@ -88,18 +88,26 @@ impl UdpRepr {
     }
 
     pub fn emit(&self, src: Ipv4Addr, dst: Ipv4Addr) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(HEADER_LEN + self.payload.len());
+        self.emit_into(src, dst, &mut buf);
+        buf
+    }
+
+    /// Serialize by appending to `out`. Byte-identical to [`UdpRepr::emit`].
+    pub fn emit_into(&self, src: Ipv4Addr, dst: Ipv4Addr, out: &mut Vec<u8>) {
+        let base = out.len();
         let len = HEADER_LEN + self.payload.len();
-        let mut buf = vec![0u8; len];
+        out.resize(base + HEADER_LEN, 0);
+        out.extend_from_slice(&self.payload);
+        let buf = &mut out[base..];
         buf[0..2].copy_from_slice(&self.src_port.to_be_bytes());
         buf[2..4].copy_from_slice(&self.dst_port.to_be_bytes());
         buf[4..6].copy_from_slice(&(len as u16).to_be_bytes());
-        buf[HEADER_LEN..].copy_from_slice(&self.payload);
-        let mut ck = checksum::transport_checksum(src, dst, PROTO_UDP, &buf);
+        let mut ck = checksum::transport_checksum(src, dst, PROTO_UDP, buf);
         if ck == 0 {
             ck = 0xffff; // 0 is reserved for "no checksum"
         }
         buf[6..8].copy_from_slice(&ck.to_be_bytes());
-        buf
     }
 }
 

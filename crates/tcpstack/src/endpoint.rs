@@ -43,6 +43,10 @@ pub struct TcpEndpoint {
     accepted: Vec<SocketHandle>,
     out: Vec<Wire>,
     ip_reasm: Reassembler,
+    /// Scratch repr reused by `on_packet`: parsing a segment into it reuses
+    /// the previous segment's `options`/`payload` capacity, so the receive
+    /// path stops allocating once warm.
+    rx_seg: TcpRepr,
     isn_counter: u32,
     ident_counter: u16,
     ephemeral_next: u16,
@@ -64,6 +68,7 @@ impl TcpEndpoint {
             // server variant (§3.4) is modeled by profiles that set
             // FirstWins via `set_ip_overlap`.
             ip_reasm: Reassembler::new(OverlapPolicy::LastWins),
+            rx_seg: TcpRepr::new(0, 0),
             isn_counter: 0x1000_0000,
             ident_counter: 1,
             ephemeral_next: 40_000,
@@ -150,12 +155,21 @@ impl TcpEndpoint {
 
         let remote = ip.src_addr();
         let tuple_local = FourTuple::new(self.addr, tcp.dst_port(), remote, tcp.src_port());
-        let seg = TcpRepr::parse(&tcp);
+        // Move the scratch repr out (putting it back below) so `&seg` and
+        // `&mut self` can coexist across the socket calls.
+        let mut seg = std::mem::replace(&mut self.rx_seg, TcpRepr::new(0, 0));
+        TcpRepr::parse_into(&tcp, &mut seg);
         self.stats.segments_rx += 1;
         if seg.flags.rst() {
             self.stats.resets_rx += 1;
         }
+        self.dispatch_segment(&seg, tuple_local, remote, now);
+        self.rx_seg = seg;
+    }
 
+    /// Demux one validated TCP segment to a socket, a listener, or the
+    /// closed-port RST path.
+    fn dispatch_segment(&mut self, seg: &TcpRepr, tuple_local: FourTuple, remote: Ipv4Addr, now: Micros) {
         // Demux: existing socket?
         if let Some(idx) = self
             .sockets
@@ -163,7 +177,7 @@ impl TcpEndpoint {
             .position(|s| s.tuple == tuple_local && s.state() != TcpState::Closed)
         {
             let was_established = self.sockets[idx].is_established();
-            self.sockets[idx].process(&seg, now, &mut self.ignore_log);
+            self.sockets[idx].process(seg, now, &mut self.ignore_log);
             self.sockets[idx].schedule_time_wait(now);
             if !was_established && self.sockets[idx].is_established() && !self.is_client_socket(idx) {
                 self.accepted.push(SocketHandle(idx));
@@ -173,9 +187,9 @@ impl TcpEndpoint {
         }
 
         // No socket. A SYN to a listening port opens one.
-        if seg.flags.syn() && !seg.flags.ack() && self.listeners.contains(&tcp.dst_port()) {
+        if seg.flags.syn() && !seg.flags.ack() && self.listeners.contains(&seg.dst_port) {
             let iss = self.next_isn();
-            let remote_ts = crate::socket::timestamps_of(&seg).map(|(v, _)| v);
+            let remote_ts = crate::socket::timestamps_of(seg).map(|(v, _)| v);
             let sock = Socket::accept(tuple_local, iss, seg.seq, remote_ts, self.profile, now);
             self.sockets.push(sock);
             let idx = self.sockets.len() - 1;
@@ -193,7 +207,7 @@ impl TcpEndpoint {
                 let seg_len = seg.payload.len() as u32 + u32::from(seg.flags.syn()) + u32::from(seg.flags.fin());
                 (0, seg.seq.wrapping_add(seg_len), TcpFlags::RST_ACK)
             };
-            let mut rst = TcpRepr::new(tcp.dst_port(), tcp.src_port());
+            let mut rst = TcpRepr::new(seg.dst_port, seg.src_port);
             rst.seq = rst_seq;
             rst.ack = rst_ack;
             rst.flags = flags;
@@ -219,7 +233,7 @@ impl TcpEndpoint {
         let mut ip = Ipv4Repr::new(self.addr, dst, IpProtocol::Tcp);
         ip.ident = self.ident_counter;
         self.ident_counter = self.ident_counter.wrapping_add(1);
-        let wire = ip.emit(&seg.emit(self.addr, dst));
+        let wire = intang_packet::wire::emit_tcp(&ip, &seg);
         self.stats.segments_tx += 1;
         self.out.push(wire);
     }

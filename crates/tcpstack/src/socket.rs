@@ -248,12 +248,12 @@ impl Socket {
         let mss = self.profile.mss;
         while !self.send_queue.is_empty() && matches!(self.state, TcpState::Established | TcpState::CloseWait) {
             let take = self.send_queue.len().min(mss);
-            let chunk: Vec<u8> = self.send_queue.drain(..take).collect();
             let mut seg = self.segment(TcpFlags::PSH_ACK, self.snd_nxt, self.rcv_nxt, now);
-            seg.payload = chunk.clone();
+            seg.payload.extend_from_slice(&self.send_queue[..take]);
+            self.send_queue.drain(..take);
+            self.unacked.extend_from_slice(&seg.payload);
             self.out.push(seg);
-            self.snd_nxt = self.snd_nxt.wrapping_add(chunk.len() as u32);
-            self.unacked.extend_from_slice(&chunk);
+            self.snd_nxt = self.snd_nxt.wrapping_add(take as u32);
             self.arm_rto(now);
         }
         if self.fin_queued && !self.fin_sent && self.send_queue.is_empty() {

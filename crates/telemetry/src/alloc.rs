@@ -1,0 +1,59 @@
+//! A counting global allocator, gated behind the `alloc-count` feature.
+//!
+//! Wraps [`std::alloc::System`] and bumps a relaxed atomic on every
+//! `alloc`/`realloc`. Binaries opt in by installing it:
+//!
+//! ```ignore
+//! #[cfg(feature = "alloc-count")]
+//! #[global_allocator]
+//! static ALLOC: intang_telemetry::alloc::CountingAlloc = intang_telemetry::alloc::CountingAlloc;
+//! ```
+//!
+//! `bench_sweep` uses it to report `allocs_per_trial`: the wire pool and
+//! scratch buffers are supposed to drive steady-state *packet* allocations
+//! to zero, and this is the instrument that catches a regression. The
+//! feature is off by default — the counter costs one atomic add per
+//! allocation, which is noise for a benchmark but not something the
+//! library should impose on every build.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Heap allocations (`alloc` + `realloc` calls) since process start or the
+/// last [`reset_alloc_count`].
+pub fn alloc_count() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Zero the allocation counter (warm-up boundary).
+pub fn reset_alloc_count() {
+    ALLOCATIONS.store(0, Ordering::Relaxed);
+}
+
+/// The counting allocator. Delegates every operation to [`System`].
+pub struct CountingAlloc;
+
+// SAFETY: defers entirely to `System`; the counter has no effect on the
+// returned memory.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+}

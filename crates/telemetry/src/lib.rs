@@ -24,6 +24,8 @@
 //! The crate depends on nothing, so every layer — netsim, gfw, middlebox,
 //! tcpstack, core, experiments, bench — can write into the same sheet.
 
+#[cfg(feature = "alloc-count")]
+pub mod alloc;
 pub mod diagnose;
 pub mod json;
 pub mod metrics;

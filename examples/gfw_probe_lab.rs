@@ -27,7 +27,7 @@ fn main() {
 
     let tuple = FourTuple::new(CLIENT, 40_000, SERVER, 80);
     let mut t = 0u64;
-    let mut step = |sim: &mut Simulation, from_client: bool, wire: Vec<u8>, label: &str| {
+    let mut step = |sim: &mut Simulation, from_client: bool, wire: intang_packet::Wire, label: &str| {
         t += 5_000;
         let (elem, dir) = if from_client {
             (0, Direction::ToServer)

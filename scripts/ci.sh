@@ -18,6 +18,14 @@ cargo test -q --release --test telemetry
 # strategy family, byte-compared against tests/golden/ snapshots.
 cargo test -q --release --test golden_traces
 cargo run --release -p intang-experiments --bin bench_sweep -- --quick >/dev/null
+# Zero-copy substrate invariants: the timing-wheel event queue must pop in
+# exactly the reference (time, insertion-seq) order, and COW wire buffers
+# must never alias writes across clones.
+cargo test -q --release --test properties
+# Throughput regression gate: serial events/s within 10% of the blessed
+# baseline (scripts/bench_smoke_baseline.txt; INTANG_BLESS=1 re-blesses
+# after a hardware change; a missing file blesses automatically).
+cargo run --release -p intang-experiments --bin bench_sweep -- --smoke
 # Fault layer smoke: degradation matrix at all intensities; the 0.00 row
 # doubles as a no-op check for the fault plumbing.
 cargo run --release -p intang-experiments --bin fault_matrix -- --smoke >/dev/null

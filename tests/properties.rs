@@ -459,3 +459,186 @@ fn seq_order_sanity() {
         assert!(seq::in_window(b, a, d + 1));
     }
 }
+
+/// The hierarchical timing wheel pops in exactly `(time, insertion-seq)`
+/// order — the contract the old `BinaryHeap` queue provided and that the
+/// golden traces and determinism suite rest on. Random interleavings of
+/// pushes (normal, same-time ties, past-due, and beyond-horizon overflow
+/// times) and pops are compared against a reference heap step by step.
+#[test]
+fn event_queue_matches_reference_heap() {
+    use intang_netsim::event::{Event, EventQueue};
+    use intang_netsim::Instant;
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    let token_of = |e: Event| match e {
+        Event::Timer { token, .. } => token,
+        _ => unreachable!("only timers are pushed"),
+    };
+
+    for case in 0..200u64 {
+        let mut g = Gen::new(0xa11ce ^ (case << 8));
+        let mut q = EventQueue::new();
+        let mut reference: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
+        let mut recent: Vec<u64> = Vec::new();
+        let mut seq = 0u64;
+        for _ in 0..g.range(1, 150) {
+            if reference.is_empty() || g.below(5) < 3 {
+                let at = match g.below(10) {
+                    // Beyond the 2^36 µs wheel horizon (overflow list).
+                    0 => 1 + (g.u64() >> g.below(24)),
+                    // Time zero / far in the past of anything popped so far.
+                    1 => g.u64() % 3,
+                    // Reuse an earlier time: exercises FIFO tie-breaking.
+                    2 | 3 if !recent.is_empty() => recent[g.below(recent.len())],
+                    // Ordinary microsecond-scale times.
+                    _ => g.u64() % 1_000_000,
+                };
+                recent.push(at);
+                q.push(Instant(at), Event::Timer { elem: 0, token: seq });
+                reference.push(Reverse((at, seq)));
+                seq += 1;
+            } else {
+                let Reverse((want_at, want_seq)) = reference.pop().expect("checked non-empty");
+                let (got_at, ev) = q.pop().expect("wheel agrees queue is non-empty");
+                assert_eq!((got_at.0, token_of(ev)), (want_at, want_seq), "case {case}");
+            }
+            assert_eq!(
+                q.peek_time().map(|t| t.0),
+                reference.peek().map(|Reverse((at, _))| *at),
+                "case {case}"
+            );
+            assert_eq!(q.len(), reference.len(), "case {case}");
+        }
+        while let Some(Reverse((want_at, want_seq))) = reference.pop() {
+            let (got_at, ev) = q.pop().expect("wheel drains with reference");
+            assert_eq!((got_at.0, token_of(ev)), (want_at, want_seq), "case {case} drain");
+        }
+        assert!(q.is_empty());
+        assert_eq!(q.pop().map(|_| ()), None);
+    }
+}
+
+/// Copy-on-write isolation: a cloned wire (the censor tap's "copy", a
+/// link-level duplicate) shares its buffer with the original, but any
+/// mutation of either side — TTL decrements, header edits, payload writes —
+/// must never show through to the other.
+#[test]
+fn wire_clone_mutations_never_alias() {
+    use intang_packet::{PacketBuilder, Wire};
+
+    let mut g = Gen::new(0xc0_57);
+    for case in 0..200 {
+        let payload = g.bytes(0, 600);
+        let wire: Wire = PacketBuilder::tcp(g.addr(), g.addr(), g.u16(), g.u16())
+            .flags(TcpFlags::PSH_ACK)
+            .seq(g.u32())
+            .ttl(2 + g.u8() % 60)
+            .payload(&payload)
+            .build();
+        let original = wire.to_vec();
+
+        let mut dup = wire.clone();
+        assert_eq!(dup.ref_count(), 2, "clone shares the buffer");
+        // Prime the shared header cache, as the censor tap would.
+        let before = dup.headers();
+
+        // Mutate the duplicate three different ways.
+        match case % 3 {
+            0 => {
+                dup.decrement_ttl(1 + g.u8() % 4);
+            }
+            1 => {
+                let len = dup.len();
+                dup.bytes_mut()[len - 1] ^= 0xff;
+            }
+            _ => {
+                dup.vec_mut().extend_from_slice(b"trailing-junk");
+            }
+        }
+
+        assert_eq!(
+            &wire[..],
+            &original[..],
+            "case {case}: mutation of the duplicate leaked into the original"
+        );
+        assert_ne!(
+            &dup[..],
+            &original[..],
+            "case {case}: the mutation itself must be visible on the duplicate"
+        );
+        assert_eq!(wire.ref_count(), 1, "COW unshared the buffers");
+        assert_eq!(wire.headers(), before, "the original's cached index survives the clone's mutation");
+    }
+}
+
+/// End-to-end COW: an on-path tap (the censor) holds a clone of every
+/// packet it forwards; the downstream link's routers then decrement TTL on
+/// the forwarded wire. The held copies must keep their original bytes —
+/// in-flight header rewrites never alias into an analyzer's buffer.
+#[test]
+fn held_tap_copies_survive_downstream_ttl_rewrites() {
+    use intang_netsim::{Ctx, Direction, Duration, Element, Link, Simulation};
+    use intang_packet::{PacketBuilder, Wire};
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    struct Tap {
+        held: Rc<RefCell<Vec<Wire>>>,
+    }
+    impl Element for Tap {
+        fn name(&self) -> &str {
+            "tap"
+        }
+        fn on_packet(&mut self, ctx: &mut Ctx<'_>, dir: Direction, wire: Wire) {
+            self.held.borrow_mut().push(wire.clone());
+            ctx.send(dir, wire);
+        }
+    }
+    struct Sink {
+        got: Rc<RefCell<Vec<Wire>>>,
+    }
+    impl Element for Sink {
+        fn name(&self) -> &str {
+            "sink"
+        }
+        fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _dir: Direction, wire: Wire) {
+            self.got.borrow_mut().push(wire);
+        }
+    }
+
+    let held = Rc::new(RefCell::new(Vec::new()));
+    let got = Rc::new(RefCell::new(Vec::new()));
+    let mut sim = Simulation::new(11);
+    sim.add_element(Box::new(Tap { held: held.clone() }));
+    sim.add_link(Link::new(Duration::from_millis(1), 3));
+    sim.add_element(Box::new(Sink { got: got.clone() }));
+
+    let mut g = Gen::new(0x7a9);
+    let mut originals = Vec::new();
+    for i in 0..32u64 {
+        let w = PacketBuilder::tcp(g.addr(), g.addr(), g.u16(), g.u16())
+            .flags(TcpFlags::PSH_ACK)
+            .seq(g.u32())
+            .ttl(8 + g.u8() % 32)
+            .payload(&g.bytes(1, 200))
+            .build();
+        originals.push(w.to_vec());
+        sim.inject_at(0, Direction::ToServer, w, intang_netsim::Instant(i * 1_000));
+    }
+    sim.run_to_quiescence(10_000);
+
+    let held = held.borrow();
+    let got = got.borrow();
+    assert_eq!(held.len(), 32);
+    assert_eq!(got.len(), 32);
+    for ((orig, held), got) in originals.iter().zip(held.iter()).zip(got.iter()) {
+        assert_eq!(&held[..], &orig[..], "the tap's held copy kept its pre-rewrite bytes");
+        assert_eq!(got[8], orig[8] - 3, "the delivered wire crossed 3 routers");
+        assert!(
+            Ipv4Packet::new_checked(&got[..]).unwrap().verify_header_checksum(),
+            "TTL rewrite refreshed the header checksum"
+        );
+    }
+}
