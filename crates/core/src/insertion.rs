@@ -150,7 +150,14 @@ impl InsertionSpec {
                 b = b.inflated_total_len(24);
             }
         }
-        b.build()
+        let wire = b.build();
+        if self.disc == Discrepancy::BadChecksum {
+            // The corrupt checksum is the point of this insertion packet —
+            // tell simcheck so wire-integrity checking doesn't flag it.
+            // No-op unless checking is enabled.
+            intang_simcheck::expect_bad_checksum(&wire);
+        }
+        wire
     }
 
     /// Is this (kind, discrepancy) combination on the Table 5 whitelist?

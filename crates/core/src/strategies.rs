@@ -338,6 +338,7 @@ impl Strategy for WestChamber {
                 .flags(TcpFlags::RST)
                 .bad_checksum()
                 .build();
+            intang_simcheck::expect_bad_checksum(&spoofed);
             ctx.inject(spoofed, Duration::from_millis(2));
         }
         Verdict::ForwardDelayed(ctx.after_redundancy())

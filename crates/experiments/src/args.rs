@@ -1,5 +1,8 @@
 //! Minimal flag parsing shared by the experiment binaries.
 
+/// The usage text printed by `--help` and on parse errors.
+const USAGE: &str = "flags: --trials N        trials per cell (default: per-experiment)\n       --seed S          master seed (default 2017)\n       --quick           shrink the scenario for a fast smoke run\n       --smoke           alias for --quick\n       --telemetry PATH  write JSONL metrics + failure diagnoses to PATH\n                         (INTANG_TELEMETRY env is the fallback)";
+
 /// Parsed common flags.
 #[derive(Debug, Clone)]
 pub struct CommonArgs {
@@ -14,11 +17,20 @@ pub struct CommonArgs {
 }
 
 impl CommonArgs {
+    /// Parse the process arguments; on a bad flag, print the error and
+    /// usage to stderr and exit with status 2 (no panic, no backtrace).
     pub fn parse() -> CommonArgs {
-        CommonArgs::parse_from(std::env::args().skip(1))
+        match CommonArgs::parse_from(std::env::args().skip(1)) {
+            Ok(args) => args,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                eprintln!("{USAGE}");
+                std::process::exit(2);
+            }
+        }
     }
 
-    pub fn parse_from(args: impl IntoIterator<Item = String>) -> CommonArgs {
+    pub fn parse_from(args: impl IntoIterator<Item = String>) -> Result<CommonArgs, String> {
         let mut out = CommonArgs {
             trials: 0,
             seed: 2017,
@@ -29,33 +41,33 @@ impl CommonArgs {
         while let Some(a) = it.next() {
             match a.as_str() {
                 "--trials" => {
-                    out.trials = it
-                        .next()
-                        .and_then(|v| v.parse().ok())
-                        .unwrap_or_else(|| panic!("--trials needs a number"));
+                    out.trials = match it.next() {
+                        Some(v) => v.parse().map_err(|_| format!("--trials needs a number, got {v:?}"))?,
+                        None => return Err("--trials needs a number".to_string()),
+                    };
                 }
                 "--seed" => {
-                    out.seed = it
-                        .next()
-                        .and_then(|v| v.parse().ok())
-                        .unwrap_or_else(|| panic!("--seed needs a number"));
+                    out.seed = match it.next() {
+                        Some(v) => v.parse().map_err(|_| format!("--seed needs a number, got {v:?}"))?,
+                        None => return Err("--seed needs a number".to_string()),
+                    };
                 }
                 // --smoke is the CI-facing alias: same shrunken scenario.
                 "--quick" | "--smoke" => out.quick = true,
                 "--telemetry" => {
-                    out.telemetry = Some(it.next().unwrap_or_else(|| panic!("--telemetry needs a path")));
+                    out.telemetry = Some(it.next().ok_or_else(|| "--telemetry needs a path".to_string())?);
                 }
                 "--help" | "-h" => {
-                    eprintln!("flags: --trials N        trials per cell (default: per-experiment)\n       --seed S          master seed (default 2017)\n       --quick           shrink the scenario for a fast smoke run\n       --smoke           alias for --quick\n       --telemetry PATH  write JSONL metrics + failure diagnoses to PATH\n                         (INTANG_TELEMETRY env is the fallback)");
+                    eprintln!("{USAGE}");
                     std::process::exit(0);
                 }
-                other => panic!("unknown flag {other}"),
+                other => return Err(format!("unknown flag {other}")),
             }
         }
         if out.telemetry.is_none() {
             out.telemetry = std::env::var("INTANG_TELEMETRY").ok().filter(|p| !p.is_empty());
         }
-        out
+        Ok(out)
     }
 
     /// Trials to use, with a per-experiment default.
@@ -78,22 +90,32 @@ mod tests {
 
     #[test]
     fn defaults_and_flags() {
-        let a = CommonArgs::parse_from(Vec::new());
+        let a = CommonArgs::parse_from(Vec::new()).unwrap();
         assert_eq!(a.seed, 2017);
         assert_eq!(a.trials_or(50), 50);
-        let a = CommonArgs::parse_from(vec!["--trials".into(), "7".into(), "--seed".into(), "9".into()]);
+        let a = CommonArgs::parse_from(vec!["--trials".into(), "7".into(), "--seed".into(), "9".into()]).unwrap();
         assert_eq!(a.trials_or(50), 7);
         assert_eq!(a.seed, 9);
-        let a = CommonArgs::parse_from(vec!["--quick".into()]);
+        let a = CommonArgs::parse_from(vec!["--quick".into()]).unwrap();
         assert!(a.quick);
         assert_eq!(a.trials_or(48), 12);
-        let a = CommonArgs::parse_from(vec!["--smoke".into()]);
+        let a = CommonArgs::parse_from(vec!["--smoke".into()]).unwrap();
         assert!(a.quick, "--smoke is an alias for --quick");
     }
 
     #[test]
     fn telemetry_flag_takes_a_path() {
-        let a = CommonArgs::parse_from(vec!["--telemetry".into(), "out.jsonl".into()]);
+        let a = CommonArgs::parse_from(vec!["--telemetry".into(), "out.jsonl".into()]).unwrap();
         assert_eq!(a.telemetry.as_deref(), Some("out.jsonl"));
+    }
+
+    #[test]
+    fn bad_flags_are_errors_not_panics() {
+        assert!(CommonArgs::parse_from(vec!["--trials".into()]).is_err());
+        assert!(CommonArgs::parse_from(vec!["--trials".into(), "many".into()]).is_err());
+        assert!(CommonArgs::parse_from(vec!["--seed".into(), "0x9".into()]).is_err());
+        assert!(CommonArgs::parse_from(vec!["--telemetry".into()]).is_err());
+        let err = CommonArgs::parse_from(vec!["--frobnicate".into()]).unwrap_err();
+        assert!(err.contains("--frobnicate"), "{err}");
     }
 }

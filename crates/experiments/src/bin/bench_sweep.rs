@@ -159,10 +159,12 @@ fn main() {
     let mut serial_runs: Option<Vec<SweepRun>> = None;
     let mut serial_wall = 0.0f64;
     let mut measurements = Vec::new();
+    let mut total_violations = 0u64;
     for &threads in &thread_counts {
         let (runs, wall_s) = run_all(&w, threads);
         let trials: u64 = runs.iter().map(|r| r.trials).sum();
         let events: u64 = runs.iter().map(|r| r.events).sum();
+        total_violations += runs.iter().map(|r| r.violations).sum::<u64>();
         let identical = match &serial_runs {
             None => {
                 serial_wall = wall_s;
@@ -283,5 +285,16 @@ fn main() {
     if measurements.iter().any(|m| !m.identical_to_serial) {
         eprintln!("ERROR: parallel aggregates diverged from the serial run");
         std::process::exit(1);
+    }
+
+    if intang_simcheck::enabled() {
+        eprintln!("  simcheck: {total_violations} invariant violation(s) across all runs");
+        if total_violations > 0 {
+            eprintln!(
+                "ERROR: simcheck reported invariant violations; minimal repro artifacts are in {}",
+                intang_experiments::simcheck::artifact_dir().display()
+            );
+            std::process::exit(1);
+        }
     }
 }

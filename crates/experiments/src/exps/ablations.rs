@@ -133,7 +133,7 @@ mod tests {
 
     #[test]
     fn cache_front_matters() {
-        let out = cache_ablation(&CommonArgs::parse_from(Vec::new()));
+        let out = cache_ablation(&CommonArgs::parse_from(Vec::new()).unwrap());
         assert!(out.contains("32 entries"));
         // The 32-entry front absorbs most of the Zipf head; the 1-entry
         // front cannot.
@@ -146,7 +146,7 @@ mod tests {
 
     #[test]
     fn redundancy_helps_under_loss() {
-        let args = CommonArgs::parse_from(vec!["--trials".to_string(), "3".to_string()]);
+        let args = CommonArgs::parse_from(vec!["--trials".to_string(), "3".to_string()]).unwrap();
         let out = redundancy_ablation(&args);
         let rate = |n: &str| -> f64 {
             out.lines()

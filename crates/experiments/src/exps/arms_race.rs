@@ -113,7 +113,7 @@ mod tests {
 
     #[test]
     fn hardening_kills_matching_strategy_but_not_ttl() {
-        let out = run(&CommonArgs::parse_from(vec!["--trials".into(), "4".into()]));
+        let out = run(&CommonArgs::parse_from(vec!["--trials".into(), "4".into()]).unwrap());
         let line = |prefix: &str| -> Vec<f64> {
             out.lines()
                 .find(|l| l.starts_with(prefix))

@@ -151,7 +151,7 @@ mod tests {
 
     #[test]
     fn split_requests_draw_only_type2_resets() {
-        let out = run(&CommonArgs::parse_from(Vec::new()));
+        let out = run(&CommonArgs::parse_from(Vec::new()).unwrap());
         let line = |p: &str| out.lines().find(|l| l.starts_with(p)).unwrap().to_string();
         let t1only = line("type-1 only");
         assert!(t1only.contains("DETECTED"), "{t1only}");

@@ -93,7 +93,7 @@ mod tests {
 
     #[test]
     fn figures_render_and_evade() {
-        let out = run(&CommonArgs::parse_from(Vec::new()));
+        let out = run(&CommonArgs::parse_from(Vec::new()).unwrap());
         assert!(out.contains("Figure 3"));
         assert!(out.contains("Figure 4"));
         // Both simulated runs must evade: response received, no detections.

@@ -262,7 +262,7 @@ mod tests {
 
     #[test]
     fn all_probes_pass() {
-        let out = run(&CommonArgs::parse_from(Vec::new()));
+        let out = run(&CommonArgs::parse_from(Vec::new()).unwrap());
         assert!(out.contains("ALL HYPOTHESIS PROBES PASSED"), "{out}");
         assert!(!out.contains("FAIL]"), "{out}");
     }

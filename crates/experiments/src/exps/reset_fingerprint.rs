@@ -146,7 +146,7 @@ mod tests {
 
     #[test]
     fn fingerprints_match_section_2_1() {
-        let out = run(&CommonArgs::parse_from(Vec::new()));
+        let out = run(&CommonArgs::parse_from(Vec::new()).unwrap());
         assert!(out.contains("[0, 1460, 4380]"), "{out}");
         assert!(out.contains("cyclically increasing: true"), "{out}");
         assert!(out.contains("succeeded: true"), "{out}");

@@ -72,7 +72,7 @@ mod tests {
 
     #[test]
     fn every_row_confirms_against_the_executable_stack() {
-        let out = run(&CommonArgs::parse_from(Vec::new()));
+        let out = run(&CommonArgs::parse_from(Vec::new()).unwrap());
         assert!(!out.contains("NO"), "all findings must confirm:\n{out}");
         assert!(out.contains("unsolicited MD5"));
         assert!(out.contains("Timestamps too old"));
@@ -80,7 +80,7 @@ mod tests {
 
     #[test]
     fn first_rows_cover_any_state() {
-        let out = run(&CommonArgs::parse_from(Vec::new()));
+        let out = run(&CommonArgs::parse_from(Vec::new()).unwrap());
         assert!(out.contains("IP total length > actual length"));
         assert!(out.contains("TCP Header Length < 20"));
         assert!(out.contains("TCP checksum incorrect"));

@@ -69,7 +69,7 @@ mod tests {
 
     #[test]
     fn matrix_matches_paper_table5() {
-        let out = run(&CommonArgs::parse_from(Vec::new()));
+        let out = run(&CommonArgs::parse_from(Vec::new()).unwrap());
         let lines: Vec<&str> = out.lines().collect();
         let syn = lines.iter().find(|l| l.starts_with("SYN")).unwrap();
         let rst = lines.iter().find(|l| l.starts_with("RST")).unwrap();

@@ -117,7 +117,7 @@ mod tests {
 
     #[test]
     fn tor_geography_and_rescue_shape() {
-        let args = CommonArgs::parse_from(vec!["--trials".to_string(), "2".to_string()]);
+        let args = CommonArgs::parse_from(vec!["--trials".to_string(), "2".to_string()]).unwrap();
         let out = run(&args);
         // Unfiltered northern points run plain Tor fine.
         for name in ["aliyun-bj", "aliyun-qd", "qcloud-bj", "qcloud-zjk"] {

@@ -23,6 +23,7 @@ pub mod args;
 pub mod report;
 pub mod runner;
 pub mod scenario;
+pub mod simcheck;
 pub mod tap;
 pub mod telemetry;
 pub mod trial;

@@ -72,6 +72,11 @@ pub struct SweepConfig {
     /// Fault-injection configuration; [`FaultConfig::off`] (the default)
     /// leaves every trial byte-identical to a faultless build.
     pub faults: FaultConfig,
+    /// Enable the runtime invariant layer (`intang-simcheck`) for this
+    /// sweep's worker threads, as if `INTANG_SIMCHECK=1` were set. Checks
+    /// are read-only, so results stay byte-identical either way; a
+    /// violation triggers the minimal-repro shrinker.
+    pub simcheck: bool,
 }
 
 impl SweepConfig {
@@ -84,6 +89,7 @@ impl SweepConfig {
             master_seed,
             route_change_prob: 0.12,
             faults: FaultConfig::off(),
+            simcheck: false,
         }
     }
 }
@@ -123,6 +129,9 @@ pub struct CellRun {
     pub events: u64,
     pub metrics: MetricsSheet,
     pub diagnoses: Vec<TrialDiagnosis>,
+    /// Invariant violations recorded by simcheck across the cell's trials
+    /// (0 when checking is disabled — and, with correct code, when it's on).
+    pub violations: u64,
 }
 
 /// Run `cfg.trials` trials of one (vantage point, site) cell.
@@ -144,6 +153,12 @@ pub fn run_cell_telemetry(vp: &VantagePoint, vp_idx: usize, site: &Website, site
     let mut events = 0u64;
     let mut metrics = MetricsSheet::new();
     let mut diagnoses = Vec::new();
+    let mut violations = 0u64;
+    // Thread-local simcheck override: must be in place before any
+    // Simulation is constructed (hot paths cache the flag). Restored on
+    // the way out so the worker thread is reusable.
+    let prev_simcheck = cfg.simcheck.then(|| intang_simcheck::set_thread(Some(true)));
+    let sc = cfg.simcheck || intang_simcheck::enabled();
     // Adaptive mode: one history per (vantage point, site), shared across
     // the repeated trials — this is how INTANG converges (§6).
     let history = if cfg.strategy.is_none() {
@@ -158,7 +173,40 @@ pub fn run_cell_telemetry(vp: &VantagePoint, vp_idx: usize, site: &Website, site
         spec.history = history.clone();
         spec.route_change_prob = cfg.route_change_prob;
         spec.faults = FaultPlan::derive(&cfg.faults, seed);
+        if sc {
+            intang_simcheck::begin_trial(seed);
+        }
         let r = run_http_trial(&spec);
+        if sc {
+            let total = intang_simcheck::violation_total();
+            let vs = intang_simcheck::take_violations();
+            if !vs.is_empty() {
+                // Shrink the first violating trial of the cell only — one
+                // artifact per cell is enough to debug from, and the
+                // shrinker's replays are not free.
+                if violations == 0 {
+                    let input = crate::simcheck::ShrinkInput {
+                        vp,
+                        site,
+                        strategy: cfg.strategy,
+                        keyword: cfg.keyword,
+                        seed,
+                        redundancy: cfg.redundancy,
+                        route_change_prob: cfg.route_change_prob,
+                        faults: spec.faults.clone(),
+                    };
+                    let report = crate::simcheck::shrink(&input, &vs, &crate::simcheck::artifact_dir());
+                    if let Some(path) = &report.artifact {
+                        eprintln!(
+                            "simcheck: {} violation(s) in trial seed {seed:#x}; repro written to {}",
+                            total,
+                            path.display()
+                        );
+                    }
+                }
+                violations += total;
+            }
+        }
         agg.add(r.outcome);
         events += r.events;
         metrics.merge(&r.metrics);
@@ -174,11 +222,20 @@ pub fn run_cell_telemetry(vp: &VantagePoint, vp_idx: usize, site: &Website, site
             });
         }
     }
+    if let Some(prev) = prev_simcheck {
+        intang_simcheck::set_thread(prev);
+    }
+    if violations > 0 {
+        // Only stamped when non-zero so a clean simcheck-enabled sweep's
+        // metrics stay byte-identical to a disabled one.
+        metrics.add(intang_telemetry::Counter::SimcheckViolations, violations);
+    }
     CellRun {
         agg,
         events,
         metrics,
         diagnoses,
+        violations,
     }
 }
 
@@ -207,6 +264,9 @@ pub struct SweepRun {
     /// One §5 diagnosis per unsuccessful trial, in cell-index then trial
     /// order.
     pub diagnoses: Vec<TrialDiagnosis>,
+    /// Simcheck invariant violations summed over all cells (0 unless
+    /// checking was enabled *and* an invariant actually broke).
+    pub violations: u64,
 }
 
 /// Per-vantage-point aggregates over all sites.
@@ -276,12 +336,14 @@ pub fn sweep_with_threads(scenario: &Scenario, cfg: &SweepConfig, workers: usize
     let mut events = 0u64;
     let mut metrics = MetricsSheet::new();
     let mut diagnoses = Vec::new();
+    let mut violations = 0u64;
     for (i, cell) in cells.into_iter().enumerate() {
         let cell = cell.expect("all cells claimed");
         rows[i / n_sites.max(1)].1.merge(cell.agg);
         events += cell.events;
         metrics.merge(&cell.metrics);
         diagnoses.extend(cell.diagnoses);
+        violations += cell.violations;
     }
     let trials = n_cells as u64 * u64::from(cfg.trials);
     SweepRun {
@@ -290,6 +352,7 @@ pub fn sweep_with_threads(scenario: &Scenario, cfg: &SweepConfig, workers: usize
         events,
         metrics,
         diagnoses,
+        violations,
     }
 }
 

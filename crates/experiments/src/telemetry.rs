@@ -58,11 +58,17 @@ impl TelemetrySink {
 
     /// Sink for the parsed `--telemetry` / `INTANG_TELEMETRY` setting;
     /// `None` when telemetry is off. A path that cannot be opened is a
-    /// hard error — silently dropping requested telemetry would be worse.
+    /// hard error — silently dropping requested telemetry would be worse —
+    /// but it is reported as a usage error (status 2), not a panic.
     pub fn from_args(args: &CommonArgs) -> Option<TelemetrySink> {
-        args.telemetry
-            .as_deref()
-            .map(|path| TelemetrySink::create(path).unwrap_or_else(|e| panic!("cannot open telemetry file {path}: {e}")))
+        args.telemetry.as_deref().map(|path| match TelemetrySink::create(path) {
+            Ok(sink) => sink,
+            Err(e) => {
+                eprintln!("error: cannot open telemetry file {path:?}: {e}");
+                eprintln!("hint: check that the parent directory exists and is writable,\n      or drop --telemetry / unset INTANG_TELEMETRY to disable telemetry");
+                std::process::exit(2);
+            }
+        })
     }
 
     /// Record one finished sweep: its metrics snapshot, then one diagnosis

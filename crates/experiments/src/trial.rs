@@ -63,6 +63,13 @@ pub struct TrialSpec<'a> {
     /// an absent plan leaves the simulation byte-identical to a build
     /// without the fault layer).
     pub faults: Option<FaultPlan>,
+    /// Event horizon: the trial runs until this simulated time. The
+    /// simcheck shrinker bisects it downward to find the smallest horizon
+    /// that still reproduces a violation.
+    pub horizon: Instant,
+    /// Pin the first ISN both stacks draw (wraparound property tests pin
+    /// this near `u32::MAX`); `None` keeps the stacks' own counters.
+    pub isn_base: Option<u32>,
 }
 
 impl<'a> TrialSpec<'a> {
@@ -78,9 +85,14 @@ impl<'a> TrialSpec<'a> {
             route_change_prob: 0.12,
             delta: 2,
             faults: None,
+            horizon: DEFAULT_HORIZON,
+            isn_base: None,
         }
     }
 }
+
+/// Default trial horizon (25 simulated seconds).
+pub const DEFAULT_HORIZON: Instant = Instant(25_000_000);
 
 /// Detailed result of a trial.
 #[derive(Debug)]
@@ -129,7 +141,7 @@ pub fn build_http_sim(spec: &TrialSpec<'_>) -> (Simulation, TrialParts) {
     let (client_driver, report) = HttpClientDriver::new(site.addr, 80, request);
 
     // [0] client host.
-    add_host(
+    let (_cidx, chandle) = add_host(
         &mut sim,
         "client",
         vp.addr,
@@ -137,6 +149,9 @@ pub fn build_http_sim(spec: &TrialSpec<'_>) -> (Simulation, TrialParts) {
         Box::new(client_driver),
         Direction::ToServer,
     );
+    if let Some(base) = spec.isn_base {
+        chandle.with_tcp(|t| t.set_isn_base(base));
+    }
 
     // [1] INTANG shim, directly on the client machine.
     sim.add_link(Link::new(Duration::from_micros(50), 0));
@@ -270,6 +285,9 @@ pub fn build_http_sim(spec: &TrialSpec<'_>) -> (Simulation, TrialParts) {
     );
     shandle.with_tcp(|t| t.listen(80));
     shandle.with_tcp(|t| t.set_ip_overlap(site.server_ip_overlap));
+    if let Some(base) = spec.isn_base {
+        shandle.with_tcp(|t| t.set_isn_base(base));
+    }
     listen(&shandle, 80);
 
     if let Some(plan) = &spec.faults {
@@ -302,6 +320,21 @@ fn apply_link_faults(sim: &mut Simulation, idx: usize, faults: &intang_netsim::L
 }
 
 fn finish_http_trial(mut sim: Simulation, parts: TrialParts, spec: &TrialSpec<'_>) -> TrialResult {
+    let (events, fault_flaps) = drive_http_trial(&mut sim, &parts, spec);
+    let mut result = classify(&sim, &parts, spec);
+    result.events = events;
+    result.metrics.observe(HistId::TrialEvents, events);
+    if fault_flaps > 0 {
+        result.metrics.add(Counter::FaultRouteFlaps, fault_flaps);
+    }
+    result
+}
+
+/// Run an assembled trial to its horizon without classifying, returning
+/// `(events, fault_route_flaps)`. Exposed so the simcheck shrinker can
+/// drive a traced replay and still hold the simulation (and its trace)
+/// afterwards.
+pub fn drive_http_trial(sim: &mut Simulation, parts: &TrialParts, spec: &TrialSpec<'_>) -> (u64, u64) {
     // Route dynamics (§3.4): between INTANG's hop measurement (~150 ms)
     // and the insertion packets (~300 ms) the route may change by a few
     // hops, on either side of the censor. A post-censor shrink makes the
@@ -310,7 +343,9 @@ fn finish_http_trial(mut sim: Simulation, parts: TrialParts, spec: &TrialSpec<'_
     let mut events = 0;
     let route_changes = sim.rng.chance(spec.route_change_prob);
     if route_changes {
-        events += sim.run_until(Instant(160_000));
+        // min() keeps a shrunken horizon a true truncation of the full
+        // trial (a no-op at the default horizon).
+        events += sim.run_until(Instant(160_000.min(spec.horizon.0)));
         let post_side = sim.rng.chance(0.6);
         // Post-censor changes stay small (1-2 hops): enough to expose a
         // server-side middlebox to TTL-scoped insertions without reaching
@@ -333,7 +368,7 @@ fn finish_http_trial(mut sim: Simulation, parts: TrialParts, spec: &TrialSpec<'_
     let mut fault_flaps = 0u64;
     if let Some(plan) = &spec.faults {
         for flap in &plan.route_flaps {
-            events += sim.run_until(flap.at);
+            events += sim.run_until(Instant(flap.at.0.min(spec.horizon.0)));
             let idx = if flap.pre_censor { parts.core_link } else { parts.last_link };
             let link = sim.link_mut(idx);
             link.hops = if flap.shrink {
@@ -345,17 +380,13 @@ fn finish_http_trial(mut sim: Simulation, parts: TrialParts, spec: &TrialSpec<'_
             fault_flaps += 1;
         }
     }
-    events += sim.run_until(Instant(25_000_000));
-    let mut result = classify(&sim, &parts, spec);
-    result.events = events;
-    result.metrics.observe(HistId::TrialEvents, events);
-    if fault_flaps > 0 {
-        result.metrics.add(Counter::FaultRouteFlaps, fault_flaps);
-    }
-    result
+    events += sim.run_until(spec.horizon);
+    (events, fault_flaps)
 }
 
-fn classify(sim: &Simulation, parts: &TrialParts, spec: &TrialSpec<'_>) -> TrialResult {
+/// Classify a finished trial (public for the simcheck shrinker's traced
+/// replays; normal callers go through [`run_http_trial`]).
+pub fn classify(sim: &Simulation, parts: &TrialParts, spec: &TrialSpec<'_>) -> TrialResult {
     let report = parts.report.borrow();
     let stats = parts.intang.stats();
     let resets = stats.type1_resets_seen + stats.type2_resets_seen;

@@ -191,6 +191,69 @@ impl FaultPlan {
             && self.censor == CensorChaos::none()
             && self.midpath_drop_no_flag.is_none()
     }
+
+    /// Candidate one-component simplifications of this plan, used by the
+    /// simcheck shrinker to minimize a violating trial: each entry is the
+    /// plan with exactly one component neutralized, labeled by what was
+    /// dropped. Components that are already inert produce no candidate.
+    pub fn shrink_candidates(&self) -> Vec<(&'static str, FaultPlan)> {
+        let mut out = Vec::new();
+        if !self.access.is_inert() {
+            out.push((
+                "access-link-faults",
+                FaultPlan {
+                    access: LinkFaults::default(),
+                    ..self.clone()
+                },
+            ));
+        }
+        if !self.core.is_inert() {
+            out.push((
+                "core-link-faults",
+                FaultPlan {
+                    core: LinkFaults::default(),
+                    ..self.clone()
+                },
+            ));
+        }
+        if !self.server.is_inert() {
+            out.push((
+                "server-link-faults",
+                FaultPlan {
+                    server: LinkFaults::default(),
+                    ..self.clone()
+                },
+            ));
+        }
+        if !self.route_flaps.is_empty() {
+            out.push((
+                "route-flaps",
+                FaultPlan {
+                    route_flaps: Vec::new(),
+                    ..self.clone()
+                },
+            ));
+        }
+        if self.censor != CensorChaos::none() {
+            out.push((
+                "censor-chaos",
+                FaultPlan {
+                    censor: CensorChaos::none(),
+                    ..self.clone()
+                },
+            ));
+        }
+        if self.midpath_drop_no_flag.is_some() {
+            out.push((
+                "midpath-perturbation",
+                FaultPlan {
+                    midpath_drop_no_flag: None,
+                    ..self.clone()
+                },
+            ));
+        }
+        out
+    }
 }
 
 /// Uniform fraction in `[0, 1]` used to spread fault parameters.

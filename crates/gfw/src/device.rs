@@ -64,6 +64,9 @@ pub struct GfwStats {
 struct GfwCore {
     cfg: GfwConfig,
     aut: Arc<Automaton>,
+    /// Simcheck shadow domain for this device's TCB table (0 when checking
+    /// is disabled).
+    sc_domain: u64,
     tcbs: FxHashMap<FourTuple, CensorTcb>,
     /// Insertion order of TCB keys, for oldest-first eviction.
     tcb_order: std::collections::VecDeque<FourTuple>,
@@ -116,6 +119,7 @@ impl GfwElement {
         let core = Rc::new(RefCell::new(GfwCore {
             cfg,
             aut,
+            sc_domain: intang_simcheck::new_tcb_domain(),
             tcbs: FxHashMap::default(),
             tcb_order: std::collections::VecDeque::new(),
             blacklist: Blacklist::new(),
@@ -403,6 +407,7 @@ impl GfwCore {
                         self.stats.tcb_resyncs += 1;
                     }
                     tcb.state = CensorState::Resync;
+                    intang_simcheck::tcb_resync(self.sc_domain, key, intang_simcheck::ResyncTrigger::Rst);
                 } else {
                     remove = true;
                 }
@@ -425,6 +430,7 @@ impl GfwCore {
                                 self.stats.tcb_resyncs += 1;
                             }
                             tcb.state = CensorState::Resync;
+                            intang_simcheck::tcb_resync(self.sc_domain, key, intang_simcheck::ResyncTrigger::MultipleSyn);
                         }
                         // Prior model: later SYNs are ignored, the first
                         // sequence number stands (Prior Assumption 2).
@@ -438,6 +444,7 @@ impl GfwCore {
                     } else if tcb.state == CensorState::Resync {
                         // §4: a server SYN/ACK resolves resynchronization.
                         tcb.resync_to(seg.ack);
+                        intang_simcheck::tcb_resync(self.sc_domain, key, intang_simcheck::ResyncTrigger::ServerSynAck);
                         tcb.synack_count = 1;
                         tcb.server_next = seg.seq.wrapping_add(1);
                         tcb.last_synack = Some((seg.seq, seg.ack));
@@ -451,6 +458,7 @@ impl GfwCore {
                                 self.stats.tcb_resyncs += 1;
                             }
                             tcb.state = CensorState::Resync;
+                            intang_simcheck::tcb_resync(self.sc_domain, key, intang_simcheck::ResyncTrigger::SynAckMismatch);
                         } else if evolved {
                             // The evolved censor anchors the client stream
                             // at the SYN/ACK's ACK (§5.2).
@@ -497,6 +505,7 @@ impl GfwCore {
                         if tcb.state == CensorState::Resync {
                             // §4: the next client data packet re-anchors.
                             tcb.resync_to(seg.seq);
+                            intang_simcheck::tcb_resync(self.sc_domain, key, intang_simcheck::ResyncTrigger::ClientData);
                         }
                         self.stats.dpi_bytes_scanned += payload.len() as u64;
                         detections = tcb.feed_client_data(&self.aut, seg.seq, payload, self.cfg.type1, self.cfg.type2);
@@ -518,6 +527,7 @@ impl GfwCore {
         if remove {
             self.tcbs.remove(&key);
             self.stats.tcbs_removed += 1;
+            intang_simcheck::tcb_removed(self.sc_domain, key);
             return;
         }
         if !detections.is_empty() {
@@ -531,14 +541,17 @@ impl GfwCore {
             let Some(oldest) = self.tcb_order.pop_front() else { break };
             if self.tcbs.remove(&oldest).is_some() {
                 self.stats.tcbs_evicted += 1;
+                intang_simcheck::tcb_removed(self.sc_domain, oldest);
             }
         }
         self.tcbs.insert(key, tcb);
         self.tcb_order.push_back(key);
         self.stats.tcbs_created += 1;
+        intang_simcheck::tcb_created(self.sc_domain, key);
     }
 
     fn act_on_detections(&mut self, ctx: &mut Ctx<'_>, key: FourTuple, kinds: Vec<DetectionKind>) {
+        intang_simcheck::tcb_detection(self.sc_domain, key);
         let (client, server, client_next, server_next, already) = {
             let tcb = self.tcbs.get(&key).expect("tcb present");
             (tcb.client, tcb.server, tcb.client_next(), tcb.server_next, tcb.detected)

@@ -182,6 +182,34 @@ mod tests {
     }
 
     #[test]
+    fn probe_emissions_have_fresh_checksums() {
+        // Regression guard: the prober's SYN, handshake ACK and Tor hello
+        // are all forged packets — each must carry checksums computed from
+        // its final field values (`refresh_checksums` must be a no-op).
+        let mut p = ActiveProber::new();
+        let syn_wire = p.on_tor_fingerprint(bridge()).unwrap();
+        let ip = Ipv4Packet::new_checked(&syn_wire[..]).unwrap();
+        let t = TcpPacket::new_checked(ip.payload()).unwrap();
+        let prober = (ip.src_addr(), t.src_port());
+        let mut synack = TcpRepr::new(bridge().1, prober.1);
+        synack.seq = 9_000;
+        synack.ack = t.seq_number().wrapping_add(1);
+        synack.flags = TcpFlags::SYN_ACK;
+        let mut wires = vec![syn_wire];
+        wires.extend(p.on_packet_to_prober(bridge(), prober, &synack));
+        assert_eq!(wires.len(), 3, "SYN + ACK + Tor hello");
+        for w in &wires {
+            let ip = Ipv4Packet::new_checked(&w[..]).unwrap();
+            assert!(ip.verify_header_checksum(), "IP checksum stale on {w:?}");
+            let t = TcpPacket::new_checked(ip.payload()).unwrap();
+            assert!(t.verify_checksum(ip.src_addr(), ip.dst_addr()), "TCP checksum stale on {w:?}");
+            let mut refreshed = w.to_vec();
+            assert!(intang_packet::refresh_checksums(&mut refreshed));
+            assert_eq!(refreshed, w.to_vec(), "refresh must be a no-op on fresh packets");
+        }
+    }
+
+    #[test]
     fn bridge_is_probed_only_once() {
         let mut p = ActiveProber::new();
         assert!(p.on_tor_fingerprint(bridge()).is_some());

@@ -190,6 +190,31 @@ mod tests {
     }
 
     #[test]
+    fn every_injected_packet_has_fresh_checksums() {
+        // Regression guard for the stale-checksum bug class: type-2 resets
+        // mutate `tcp.seq` per offset and the forged SYN/ACK draws a random
+        // ISN; all of that must happen *before* checksum emission. Verify
+        // both checksums on every packet, and that the shared
+        // `refresh_checksums` helper is a byte-level no-op (i.e. nothing
+        // was mutated after the checksums were computed).
+        let (srv, cli) = endpoints();
+        let mut inj = ResetInjector::new();
+        let mut rng = SimRng::seed_from(11);
+        let mut wires = vec![inj.type1(&mut rng, srv, cli, 0xffff_fff0)];
+        wires.extend(inj.type2(srv, cli, u32::MAX - 100, 777));
+        wires.push(inj.forged_synack(&mut rng, srv, cli, 42));
+        for w in &wires {
+            let ip = Ipv4Packet::new_checked(&w[..]).unwrap();
+            assert!(ip.verify_header_checksum(), "IP checksum stale on {w:?}");
+            let t = TcpPacket::new_checked(ip.payload()).unwrap();
+            assert!(t.verify_checksum(ip.src_addr(), ip.dst_addr()), "TCP checksum stale on {w:?}");
+            let mut refreshed = w.to_vec();
+            assert!(intang_packet::refresh_checksums(&mut refreshed));
+            assert_eq!(refreshed, w.to_vec(), "refresh must be a no-op on fresh packets");
+        }
+    }
+
+    #[test]
     fn classifier_distinguishes_types() {
         assert_eq!(classify_reset(TcpFlags::RST), Some(ResetKind::Type1Rst));
         assert_eq!(classify_reset(TcpFlags::RST_ACK), Some(ResetKind::Type2RstAck));

@@ -52,7 +52,11 @@ fn probe_packet(class: PacketClass, cseq: u32, sack: u32) -> Wire {
     match class {
         PacketClass::InflatedIpTotalLen => base.flags(TcpFlags::PSH_ACK).payload(b"JJ").inflated_total_len(16).build(),
         PacketClass::ShortTcpHeader => base.flags(TcpFlags::PSH_ACK).payload(b"JJ").short_data_offset().build(),
-        PacketClass::BadChecksum => base.flags(TcpFlags::PSH_ACK).payload(b"JJ").bad_checksum().build(),
+        PacketClass::BadChecksum => {
+            let w = base.flags(TcpFlags::PSH_ACK).payload(b"JJ").bad_checksum().build();
+            intang_simcheck::expect_bad_checksum(&w);
+            w
+        }
         PacketClass::RstAckWrongAck => base.flags(TcpFlags::RST_ACK).ack(sack.wrapping_add(77_777)).build(),
         PacketClass::AckWrongAck => base.flags(TcpFlags::PSH_ACK).payload(b"JJ").ack(sack.wrapping_add(77_777)).build(),
         PacketClass::UnsolicitedMd5 => base.flags(TcpFlags::PSH_ACK).payload(b"JJ").md5_option().build(),

@@ -57,7 +57,11 @@ pub fn representative_packet(class: PacketClass) -> intang_packet::Wire {
     match class {
         PacketClass::InflatedIpTotalLen => base.flags(TcpFlags::PSH_ACK).payload(b"JJ").inflated_total_len(32).build(),
         PacketClass::ShortTcpHeader => base.flags(TcpFlags::PSH_ACK).payload(b"JJ").short_data_offset().build(),
-        PacketClass::BadChecksum => base.flags(TcpFlags::PSH_ACK).payload(b"JJ").bad_checksum().build(),
+        PacketClass::BadChecksum => {
+            let w = base.flags(TcpFlags::PSH_ACK).payload(b"JJ").bad_checksum().build();
+            intang_simcheck::expect_bad_checksum(&w);
+            w
+        }
         PacketClass::RstAckWrongAck => base.flags(TcpFlags::RST_ACK).ack(0xdead_0000).build(),
         PacketClass::AckWrongAck => base.flags(TcpFlags::PSH_ACK).payload(b"JJ").ack(0xdead_0000).build(),
         PacketClass::UnsolicitedMd5 => base.flags(TcpFlags::PSH_ACK).payload(b"JJ").md5_option().build(),

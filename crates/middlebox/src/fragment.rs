@@ -75,6 +75,10 @@ impl Element for FragmentHandler {
             FragmentMode::Reassemble => {
                 if let Some(full) = self.reasm.push(wire) {
                     self.reassembled += 1;
+                    // The reassembled datagram is a rewritten packet; check
+                    // it at the rewrite site so a stale checksum is pinned
+                    // on this box rather than on a downstream hop.
+                    intang_simcheck::check_wire(&full, &self.label);
                     ctx.send(dir, full);
                 }
             }

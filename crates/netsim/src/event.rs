@@ -291,6 +291,23 @@ impl EventQueue {
         self.len
     }
 
+    /// Simcheck probe: every queued event must sit in exactly one of the
+    /// front heap, an upper-level slot, or the overflow, and the
+    /// bookkeeping totals must agree. Returns a description of the
+    /// imbalance, or `None` when coherent. O(1).
+    pub fn structural_imbalance(&self) -> Option<String> {
+        let held = self.front.len() + self.upper_len + self.overflow.len();
+        (held != self.len).then(|| {
+            format!(
+                "event queue holds {held} events (front {} + upper {} + overflow {}) but len says {}",
+                self.front.len(),
+                self.upper_len,
+                self.overflow.len(),
+                self.len
+            )
+        })
+    }
+
     pub fn is_empty(&self) -> bool {
         self.len == 0
     }

@@ -59,6 +59,15 @@ pub struct Simulation {
     pub mtu_dropped: u64,
     /// Losses incurred while a Gilbert–Elliott channel was in its burst state.
     pub burst_losses: u64,
+    /// Whether `intang-simcheck` invariant checking was enabled when this
+    /// simulation was constructed; cached so the disabled-mode cost per
+    /// hop is one field read.
+    simcheck: bool,
+    /// Conservation accounting (simcheck): total transmissions attempted.
+    sc_emitted: u64,
+    /// Conservation accounting (simcheck): emissions past the edge of the
+    /// world (no adjacent link in the emitted direction).
+    sc_edge: u64,
 }
 
 impl Simulation {
@@ -81,6 +90,9 @@ impl Simulation {
             reordered: 0,
             mtu_dropped: 0,
             burst_losses: 0,
+            simcheck: intang_simcheck::enabled(),
+            sc_emitted: 0,
+            sc_edge: 0,
         }
     }
 
@@ -159,7 +171,19 @@ impl Simulation {
         let Some((at, event)) = self.queue.pop() else {
             return false;
         };
-        debug_assert!(at >= self.now, "time went backwards");
+        if self.simcheck {
+            if at < self.now {
+                let now = self.now;
+                intang_simcheck::report(intang_simcheck::Family::TimeMonotonicity, || {
+                    format!("event at {at:?} popped while the clock was already at {now:?}")
+                });
+            }
+            if let Some(desc) = self.queue.structural_imbalance() {
+                intang_simcheck::report(intang_simcheck::Family::Conservation, || desc);
+            }
+        } else {
+            debug_assert!(at >= self.now, "time went backwards");
+        }
         self.now = at;
         self.events_processed += 1;
         // Lend the simulation's scratch buffers to the element context so no
@@ -238,15 +262,21 @@ impl Simulation {
         } else {
             None
         };
+        if self.simcheck {
+            self.check_emission(&mut wire, from);
+        }
+        self.sc_emitted += 1;
         let link_idx = match dir {
             Direction::ToServer => {
                 if from + 1 >= self.elements.len() {
+                    self.sc_edge += 1;
                     return; // emitted past the right edge of the world
                 }
                 from
             }
             Direction::ToClient => {
                 if from == 0 {
+                    self.sc_edge += 1;
                     return; // emitted past the left edge of the world
                 }
                 from - 1
@@ -398,6 +428,60 @@ impl Simulation {
         );
     }
 
+    /// Per-emission simcheck: the test-only corruption hook, header-cache
+    /// coherency, and wire integrity (IPv4 + TCP checksums) of every
+    /// packet an element puts on the wire. Only called when checking is
+    /// enabled; read-only except for the armed corruption hook.
+    fn check_emission(&mut self, wire: &mut Wire, from: usize) {
+        if let Some(h) = wire.headers() {
+            if h.tcp().is_some() && !h.is_fragment() && intang_simcheck::corruption_due() {
+                // Armed fault injection: flip a TCP checksum byte so the
+                // integrity check (and downstream, the shrinker) has a
+                // real violation to chew on.
+                let off = usize::from(h.ip_header_len) + 16;
+                wire.bytes_mut()[off] ^= 0xAA;
+            }
+        }
+        if let Some(desc) = wire.check_header_cache() {
+            let name = self.elements[from].name();
+            intang_simcheck::report(intang_simcheck::Family::HeaderIndex, || format!("emitted by {name}: {desc}"));
+        }
+        intang_simcheck::check_wire(wire, self.elements[from].name());
+    }
+
+    /// Simcheck: verify that every transmission is accounted for by
+    /// exactly one outcome. Duplication delivers an extra copy without a
+    /// new emission, hence the `delivered - duplicated` term.
+    pub fn simcheck_reconcile(&self) {
+        if !self.simcheck {
+            return;
+        }
+        let accounted = self.sc_edge + self.ttl_expired + self.mtu_dropped + self.lost + (self.delivered - self.duplicated);
+        if self.sc_emitted != accounted {
+            intang_simcheck::report(intang_simcheck::Family::Conservation, || {
+                format!(
+                    "packet conservation broken: emitted {} but accounted {} \
+                     (edge {} + ttl {} + mtu {} + lost {} + delivered {} - dup {})",
+                    self.sc_emitted,
+                    accounted,
+                    self.sc_edge,
+                    self.ttl_expired,
+                    self.mtu_dropped,
+                    self.lost,
+                    self.delivered,
+                    self.duplicated
+                )
+            });
+        }
+    }
+
+    /// Test-only: skew the conservation ledger so self-tests can prove
+    /// [`Simulation::simcheck_reconcile`] actually fires.
+    #[doc(hidden)]
+    pub fn simcheck_skew_for_test(&mut self) {
+        self.sc_emitted += 1;
+    }
+
     /// Immutable access to an element (for assertions in tests).
     pub fn element(&self, idx: usize) -> &dyn Element {
         self.elements[idx].as_ref()
@@ -427,6 +511,7 @@ impl Simulation {
     /// counters into `m`. Elements are visited in path order (left to
     /// right), so the export is deterministic for a given topology.
     pub fn export_metrics(&self, m: &mut MetricsSheet) {
+        let before_delivered = self.simcheck.then(|| m.counter(Counter::NetsimDelivered));
         m.add(Counter::NetsimEvents, self.events_processed);
         m.add(Counter::NetsimDelivered, self.delivered);
         m.add(Counter::NetsimLost, self.lost);
@@ -436,6 +521,21 @@ impl Simulation {
         m.add(Counter::NetsimMtuDropped, self.mtu_dropped);
         m.add(Counter::NetsimBurstLosses, self.burst_losses);
         m.add(Counter::TraceEventsDropped, self.trace.dropped());
+        if let Some(before) = before_delivered {
+            // Reconcile the outcome ledger, and the ledger against what
+            // the telemetry sheet actually absorbed.
+            self.simcheck_reconcile();
+            let delta = m.counter(Counter::NetsimDelivered) - before;
+            if delta != self.delivered {
+                let delivered = self.delivered;
+                intang_simcheck::report(intang_simcheck::Family::Conservation, || {
+                    format!(
+                        "telemetry sheet absorbed {delta} delivered packets but the \
+                         simulation counted {delivered}"
+                    )
+                });
+            }
+        }
         for e in &self.elements {
             e.export_metrics(m);
         }

@@ -137,6 +137,36 @@ pub fn four_tuple_of(wire: &[u8]) -> Option<FourTuple> {
     Some(FourTuple::new(ip.src_addr(), sp, ip.dst_addr(), dp))
 }
 
+/// Recompute the IPv4 header checksum — and, for non-fragmented TCP
+/// datagrams, the TCP checksum — in place. The one shared helper every
+/// site that mutates `seq`/`ack`/flags/addresses *after* serialization
+/// must call before putting the packet back on the wire; hand-rolled
+/// per-site refresh code is how stale-checksum bugs happen.
+///
+/// Returns `false` (buffer untouched) when the bytes are not a valid
+/// IPv4 datagram. A deliberately-bad checksum (the Table 5 insertion
+/// discrepancy) must be reapplied *after* calling this.
+pub fn refresh_checksums(bytes: &mut [u8]) -> bool {
+    let Ok(ip) = Ipv4Packet::new_checked(&bytes[..]) else {
+        return false;
+    };
+    let ihl = ip.header_len();
+    let src = ip.src_addr();
+    let dst = ip.dst_addr();
+    let seg_end = usize::from(ip.total_len()).max(ihl).min(bytes.len());
+    let tcp_ok = !ip.is_fragment() && ip.protocol() == IpProtocol::Tcp && seg_end - ihl >= tcp::HEADER_LEN;
+    if tcp_ok {
+        let seg = &mut bytes[ihl..seg_end];
+        seg[16..18].copy_from_slice(&[0, 0]);
+        let ck = checksum::transport_checksum(src, dst, u8::from(IpProtocol::Tcp), seg);
+        seg[16..18].copy_from_slice(&ck.to_be_bytes());
+    }
+    bytes[10..12].copy_from_slice(&[0, 0]);
+    let ck = checksum::checksum(&bytes[..ihl]);
+    bytes[10..12].copy_from_slice(&ck.to_be_bytes());
+    true
+}
+
 /// A compact human-readable summary of a datagram, used in traces and the
 /// figure-3/figure-4 sequence diagrams.
 pub fn summarize(wire: &[u8]) -> String {

@@ -438,6 +438,31 @@ impl Wire {
     pub fn to_vec(&self) -> Vec<u8> {
         self.buf.data.clone()
     }
+
+    /// Simcheck probe: does the memoized header index still agree with a
+    /// fresh parse of the bytes? Returns a description of the first
+    /// disagreement, or `None` when coherent (an uncomputed cache is
+    /// trivially coherent). Read-only — never computes or repairs the
+    /// cache.
+    pub fn check_header_cache(&self) -> Option<String> {
+        let fresh = HeaderIndex::compute(&self.buf.data);
+        match (self.buf.cache.get(), fresh) {
+            (CacheState::Empty, _) => None,
+            (CacheState::Unparseable, None) => None,
+            (CacheState::Unparseable, Some(_)) => Some("cache says unparseable but the bytes parse".to_string()),
+            (CacheState::Parsed(ix), Some(f)) if ix == f => None,
+            (CacheState::Parsed(ix), f) => Some(format!("cached header index {ix:?} disagrees with fresh parse {f:?}")),
+        }
+    }
+
+    /// Test-only: overwrite one byte while (incorrectly) keeping the
+    /// header cache, simulating the cache-coherency bug class that
+    /// [`Wire::check_header_cache`] exists to catch. Never use outside
+    /// tests — real mutation paths go through [`Wire::bytes_mut`].
+    #[doc(hidden)]
+    pub fn poke_preserving_cache_for_test(&mut self, idx: usize, val: u8) {
+        self.make_unique(true).data[idx] = val;
+    }
 }
 
 impl Default for Wire {

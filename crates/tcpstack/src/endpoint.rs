@@ -111,6 +111,14 @@ impl TcpEndpoint {
         self.isn_counter
     }
 
+    /// Pin the next ISN this endpoint hands out to exactly `base`.
+    /// Wraparound property tests use this to start connections with ISNs
+    /// near `u32::MAX` so every absolute-sequence comparison downstream
+    /// gets exercised across the wrap.
+    pub fn set_isn_base(&mut self, base: u32) {
+        self.isn_counter = base.wrapping_sub(0x01ab_cd07);
+    }
+
     pub fn socket(&mut self, h: SocketHandle) -> &mut Socket {
         &mut self.sockets[h.0]
     }

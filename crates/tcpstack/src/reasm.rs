@@ -36,6 +36,10 @@ pub struct Assembler {
     segments: BTreeMap<u64, Vec<u8>>,
     /// Hard cap on buffered bytes (receive window worth of data).
     capacity: usize,
+    /// Simcheck enablement, cached at construction.
+    simcheck: bool,
+    /// Highest head ever observed (simcheck: the head must never regress).
+    max_head: u64,
 }
 
 impl Assembler {
@@ -45,6 +49,8 @@ impl Assembler {
             head: 0,
             segments: BTreeMap::new(),
             capacity: 256 * 1024,
+            simcheck: intang_simcheck::enabled(),
+            max_head: 0,
         }
     }
 
@@ -127,6 +133,9 @@ impl Assembler {
             }
         }
         self.normalize();
+        if self.simcheck {
+            self.validate("insert");
+        }
         stored
     }
 
@@ -150,7 +159,44 @@ impl Assembler {
             self.head += seg.len() as u64;
             out.extend_from_slice(&seg);
         }
+        if self.simcheck {
+            self.validate("pull");
+        }
         out
+    }
+
+    /// Simcheck: the head never regresses, buffered segments are non-empty
+    /// and mutually disjoint, and nothing is buffered behind the head.
+    /// Only called when checking was enabled at construction.
+    fn validate(&mut self, op: &str) {
+        if self.head < self.max_head {
+            let (head, max) = (self.head, self.max_head);
+            intang_simcheck::report(intang_simcheck::Family::Reassembly, || {
+                format!("{op}: head regressed from {max} to {head}")
+            });
+        }
+        self.max_head = self.max_head.max(self.head);
+        let mut prev_end = self.head;
+        for (&start, seg) in &self.segments {
+            if seg.is_empty() || start < prev_end {
+                let head = self.head;
+                intang_simcheck::report(intang_simcheck::Family::Reassembly, || {
+                    format!(
+                        "{op}: segment [{start}, {}) overlaps previous end {prev_end} \
+                         (head {head})",
+                        start + seg.len() as u64
+                    )
+                });
+            }
+            prev_end = prev_end.max(start + seg.len() as u64);
+        }
+    }
+
+    /// Test-only: regress the head so self-tests can prove the
+    /// reassembly invariant check fires.
+    #[doc(hidden)]
+    pub fn force_head_for_test(&mut self, head: u64) {
+        self.head = head;
     }
 
     /// True when out-of-order data is waiting beyond the head.

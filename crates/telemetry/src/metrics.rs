@@ -84,6 +84,7 @@ counters! {
     IntangReprotects => "intang_reprotects",
     IntangRetriesAbandoned => "intang_retries_abandoned",
     IntangTtlReprobes => "intang_ttl_reprobes",
+    SimcheckViolations => "simcheck_violations",
 }
 
 macro_rules! hists {

@@ -18,6 +18,13 @@ cargo test -q --release --test telemetry
 # strategy family, byte-compared against tests/golden/ snapshots.
 cargo test -q --release --test golden_traces
 cargo run --release -p intang-experiments --bin bench_sweep -- --quick >/dev/null
+# Simcheck gate: the same smoke sweep with the runtime invariant checker
+# enabled must report zero violations (bench_sweep exits non-zero and
+# drops a minimal-repro artifact into .simcheck/ otherwise), and the
+# violation-injection suite must show the shrinker producing a
+# deterministic repro for a known-bad trial.
+INTANG_SIMCHECK=1 cargo run --release -p intang-experiments --bin bench_sweep -- --quick >/dev/null
+cargo test -q --release --test simcheck
 # Zero-copy substrate invariants: the timing-wheel event queue must pop in
 # exactly the reference (time, insertion-seq) order, and COW wire buffers
 # must never alias writes across clones.
