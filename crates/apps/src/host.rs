@@ -112,7 +112,11 @@ impl HostElement {
     /// ToClient. Inferred lazily from the first packet's arrival direction
     /// is fragile, so it's explicit.
     pub fn into_boxed(self, egress: Direction) -> Box<DirectedHost> {
-        Box::new(DirectedHost { host: self, egress })
+        Box::new(DirectedHost {
+            host: self,
+            egress,
+            tx_scratch: Vec::new(),
+        })
     }
 }
 
@@ -138,6 +142,8 @@ impl HostHandle {
 pub struct DirectedHost {
     host: HostElement,
     egress: Direction,
+    /// Reused per-pump transmit staging (capacity survives across events).
+    tx_scratch: Vec<Wire>,
 }
 
 impl DirectedHost {
@@ -145,7 +151,8 @@ impl DirectedHost {
         let mut core = self.host.core.borrow_mut();
         let HostCore { tcp, udp, driver, .. } = &mut *core;
         driver.poll(ctx.now, tcp, udp);
-        for w in tcp.poll_transmit() {
+        tcp.poll_transmit_into(&mut self.tx_scratch);
+        for w in self.tx_scratch.drain(..) {
             ctx.send(self.egress, w);
         }
         for w in std::mem::take(&mut udp.tx) {

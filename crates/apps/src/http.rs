@@ -38,7 +38,9 @@ enum FetchState {
 pub struct HttpClientDriver {
     server: Ipv4Addr,
     port: u16,
-    request: HttpRequest,
+    /// The request, pre-encoded (shared so sweep harnesses can hand every
+    /// trial of a cell the same buffer instead of re-encoding per trial).
+    request: Rc<Vec<u8>>,
     start_at: Instant,
     state: FetchState,
     pub report: Rc<RefCell<HttpClientReport>>,
@@ -46,6 +48,11 @@ pub struct HttpClientDriver {
 
 impl HttpClientDriver {
     pub fn new(server: Ipv4Addr, port: u16, request: HttpRequest) -> (HttpClientDriver, Rc<RefCell<HttpClientReport>>) {
+        HttpClientDriver::with_encoded(server, port, Rc::new(request.encode()))
+    }
+
+    /// Build from an already-encoded request (see [`HttpRequest::encode`]).
+    pub fn with_encoded(server: Ipv4Addr, port: u16, request: Rc<Vec<u8>>) -> (HttpClientDriver, Rc<RefCell<HttpClientReport>>) {
         let report = Rc::new(RefCell::new(HttpClientReport::default()));
         (
             HttpClientDriver {
@@ -78,7 +85,7 @@ impl HostDriver for HttpClientDriver {
             FetchState::Connecting(h) => {
                 let sock = tcp.socket(h);
                 if sock.is_established() {
-                    sock.send(&self.request.encode(), now.micros());
+                    sock.send(&self.request, now.micros());
                     let mut rep = self.report.borrow_mut();
                     rep.connected = true;
                     rep.request_sent = true;
@@ -90,16 +97,18 @@ impl HostDriver for HttpClientDriver {
             }
             FetchState::Awaiting(h) => {
                 let sock = tcp.socket(h);
-                let data = sock.recv_drain();
                 let closed = sock.is_closed() || sock.peer_closed();
                 let reset = sock.reset_by_peer;
                 let mut rep = self.report.borrow_mut();
-                rep.raw.extend_from_slice(&data);
+                sock.drain_recv_into(&mut rep.raw);
                 if reset {
                     rep.reset = true;
                 }
-                if let Ok(resp) = HttpResponse::decode(&rep.raw) {
-                    rep.response = Some(resp);
+                // The allocation-free completeness probe gates the real
+                // decode, so the per-poll cost while bytes trickle in is a
+                // scan rather than a header parse.
+                if HttpResponse::is_complete(&rep.raw) {
+                    rep.response = HttpResponse::decode(&rep.raw).ok();
                     drop(rep);
                     tcp.socket(h).close(now.micros());
                     self.state = FetchState::Done;
@@ -118,7 +127,11 @@ impl HostDriver for HttpClientDriver {
 pub struct HttpServerDriver {
     port: u16,
     /// Body served on success.
-    body: Vec<u8>,
+    body: Rc<Vec<u8>>,
+    /// `HttpResponse::ok(&body).encode()`, computed once per driver: the
+    /// 200 response is identical for every connection, so the per-request
+    /// construct-and-encode round trip is hoisted out of the poll loop.
+    ok_response: Rc<Vec<u8>>,
     /// Serve a 301-to-HTTPS instead (copies the request target into the
     /// Location header — the §3.3 keyword-echo hazard).
     redirect_https: bool,
@@ -132,9 +145,21 @@ pub struct HttpServerDriver {
 
 impl HttpServerDriver {
     pub fn new(port: u16) -> HttpServerDriver {
+        // Sweeps build one server per trial, all serving the same default
+        // page: share the body and its canned 200 across every driver on
+        // this shard.
+        thread_local! {
+            static DEFAULT: (Rc<Vec<u8>>, Rc<Vec<u8>>) = {
+                let body = Rc::new(b"<html><body>It works (simulated).</body></html>".to_vec());
+                let ok = Rc::new(HttpResponse::ok(&body).encode());
+                (body, ok)
+            };
+        }
+        let (body, ok_response) = DEFAULT.with(Clone::clone);
         HttpServerDriver {
             port,
-            body: b"<html><body>It works (simulated).</body></html>".to_vec(),
+            body,
+            ok_response,
             redirect_https: false,
             unresponsive: false,
             conns: Vec::new(),
@@ -148,7 +173,8 @@ impl HttpServerDriver {
     }
 
     pub fn with_body(mut self, body: &[u8]) -> HttpServerDriver {
-        self.body = body.to_vec();
+        self.body = Rc::new(body.to_vec());
+        self.ok_response = Rc::new(HttpResponse::ok(&self.body).encode());
         self
     }
 
@@ -175,20 +201,27 @@ impl HostDriver for HttpServerDriver {
             if *answered {
                 continue;
             }
-            let data = tcp.socket(*h).recv_drain();
-            buf.extend_from_slice(&data);
+            tcp.socket(*h).drain_recv_into(buf);
             if self.unresponsive {
                 continue;
             }
-            if let Ok(req) = HttpRequest::decode(buf) {
-                let resp = if self.redirect_https {
+            if self.redirect_https {
+                // The redirect echoes request fields, so it needs the full
+                // decode.
+                if let Ok(req) = HttpRequest::decode(buf) {
                     let host = req.header("host").unwrap_or("unknown").to_string();
-                    HttpResponse::redirect_to_https(&host, &req.target)
-                } else {
-                    HttpResponse::ok(&self.body)
-                };
+                    let resp = HttpResponse::redirect_to_https(&host, &req.target);
+                    let sock = tcp.socket(*h);
+                    sock.send(&resp.encode(), now.micros());
+                    sock.close(now.micros());
+                    *answered = true;
+                    *self.served.borrow_mut() += 1;
+                }
+            } else if HttpRequest::is_complete(buf) {
+                // The canned 200 doesn't look at the request at all; the
+                // no-alloc completeness probe is all that gates it.
                 let sock = tcp.socket(*h);
-                sock.send(&resp.encode(), now.micros());
+                sock.send(&self.ok_response, now.micros());
                 sock.close(now.micros());
                 *answered = true;
                 *self.served.borrow_mut() += 1;

@@ -1,9 +1,13 @@
 //! Sweep-executor benchmark: runs a fixed-seed multi-strategy sweep at
 //! several worker counts and reports wall time, trials/sec, events/sec and
 //! speedup vs the serial (1-worker) run, verifying along the way that every
-//! worker count produces byte-identical aggregates. Also reports the wire
-//! pool's hit/miss counters and — built with `--features alloc-count` —
-//! heap allocations per trial at steady state.
+//! worker count produces byte-identical aggregates. Also reports the
+//! machine's available cores (warning when a worker count exceeds them —
+//! those "speedups" are scheduler artifacts), per-worker busy time and the
+//! streaming merge's reorder high-water mark per run, event-batching
+//! statistics, the wire pool's and recycling arenas' hit/miss counters,
+//! and — built with `--features alloc-count` — heap allocations per trial
+//! at steady state.
 //!
 //! Writes `BENCH_sweep.json` into the current directory. `--quick` shrinks
 //! the workload to a smoke-test size (used by `scripts/ci.sh`); `--smoke`
@@ -66,6 +70,11 @@ struct Measurement {
     trials: u64,
     events: u64,
     identical_to_serial: bool,
+    /// Per-worker busy time, summed across the workload's strategy sweeps
+    /// (worker i of each sweep maps to slot i).
+    busy_s: Vec<f64>,
+    /// Largest reorder window the streaming merge buffered in any sweep.
+    merge_high_water: usize,
 }
 
 fn run_all(w: &Workload, threads: usize) -> (Vec<SweepRun>, f64) {
@@ -142,19 +151,28 @@ fn main() {
     }
     let w = workload(quick);
     let max = worker_count();
+    let cores = std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1);
     let mut thread_counts = vec![1usize, 4, max];
     thread_counts.sort_unstable();
     thread_counts.dedup();
 
     eprintln!(
-        "bench_sweep: scenario={} ({} VPs x {} sites), {} strategies, {} trials/cell, worker counts {:?}",
+        "bench_sweep: scenario={} ({} VPs x {} sites), {} strategies, {} trials/cell, worker counts {:?}, {} core(s)",
         w.name,
         w.scenario.vantage_points.len(),
         w.scenario.websites.len(),
         w.strategies.len(),
         w.trials,
         thread_counts,
+        cores,
     );
+    if thread_counts.iter().any(|&t| t > cores) {
+        eprintln!(
+            "  WARNING: some worker counts exceed the machine's {cores} available core(s); \
+             their \"speedup\" measures scheduler time-slicing, not parallel hardware"
+        );
+    }
+    intang_netsim::batch::reset_stats();
 
     let mut serial_runs: Option<Vec<SweepRun>> = None;
     let mut serial_wall = 0.0f64;
@@ -165,6 +183,14 @@ fn main() {
         let trials: u64 = runs.iter().map(|r| r.trials).sum();
         let events: u64 = runs.iter().map(|r| r.events).sum();
         total_violations += runs.iter().map(|r| r.violations).sum::<u64>();
+        let mut busy_s = vec![0.0f64; threads];
+        let mut merge_high_water = 0usize;
+        for r in &runs {
+            for (slot, d) in busy_s.iter_mut().zip(&r.worker_busy) {
+                *slot += d.as_secs_f64();
+            }
+            merge_high_water = merge_high_water.max(r.merge_high_water);
+        }
         let identical = match &serial_runs {
             None => {
                 serial_wall = wall_s;
@@ -188,14 +214,18 @@ fn main() {
             trials,
             events,
             identical_to_serial: identical,
+            busy_s,
+            merge_high_water,
         });
     }
+    let (batches, batched_events, batch_hist) = intang_netsim::batch::stats();
 
     // Steady-state allocation profile: the loop above warmed every scratch
     // buffer and code path; rerun the serial workload with the counters
     // zeroed. Pool counters are always available; the heap-allocation
     // counter needs the `alloc-count` feature (reported as null without it).
     intang_packet::wire::reset_pool_stats();
+    intang_packet::arena::reset_stats();
     #[cfg(feature = "alloc-count")]
     intang_telemetry::alloc::reset_alloc_count();
     let (steady_runs, steady_wall) = run_all(&w, 1);
@@ -205,15 +235,40 @@ fn main() {
         Some(intang_telemetry::alloc::alloc_count() as f64 / steady_trials as f64)
     };
     let (pool_hits, pool_misses) = intang_packet::wire::pool_stats();
+    let (arena_hits, arena_misses) = intang_packet::arena::stats();
     #[cfg(not(feature = "alloc-count"))]
     let allocs_per_trial: Option<f64> = None;
     let pool_hit_rate = pool_hits as f64 / (pool_hits + pool_misses).max(1) as f64;
+    let arena_hit_rate = arena_hits as f64 / (arena_hits + arena_misses).max(1) as f64;
     eprintln!(
-        "  steady state: {steady_wall:.2}s, wire pool {pool_hits} hits / {pool_misses} misses ({:.1}% hit), allocs/trial {}",
+        "  steady state: {steady_wall:.2}s, wire pool {pool_hits} hits / {pool_misses} misses ({:.1}% hit), \
+         arenas {arena_hits} hits / {arena_misses} misses ({:.1}% hit), allocs/trial {}",
         pool_hit_rate * 100.0,
+        arena_hit_rate * 100.0,
         allocs_per_trial.map_or("n/a (build with --features alloc-count)".to_string(), |a| format!("{a:.1}")),
     );
     drop(steady_runs);
+
+    // Allocation ceiling gate (CI): INTANG_ALLOC_GATE=<max> fails the run
+    // if the steady-state heap-allocation rate regresses past the ceiling.
+    // Requires the counting allocator — a gate that cannot count must fail
+    // loudly rather than pass vacuously.
+    if let Ok(gate) = std::env::var("INTANG_ALLOC_GATE") {
+        let ceiling: f64 = gate.parse().expect("INTANG_ALLOC_GATE must be a number");
+        match allocs_per_trial {
+            Some(a) if a < ceiling => {
+                eprintln!("  alloc gate: {a:.1} allocs/trial < ceiling {ceiling}");
+            }
+            Some(a) => {
+                eprintln!("bench_sweep: FAIL: {a:.1} allocs/trial >= ceiling {ceiling}");
+                std::process::exit(1);
+            }
+            None => {
+                eprintln!("bench_sweep: FAIL: INTANG_ALLOC_GATE set but binary lacks --features alloc-count");
+                std::process::exit(1);
+            }
+        }
+    }
 
     let serial = serial_runs.expect("at least one worker count ran");
     let success_rates: Vec<(&str, f64)> = w
@@ -248,9 +303,24 @@ fn main() {
     let counters: Vec<String> = merged.nonzero_counters().map(|(c, v)| format!("\"{}\": {v}", c.name())).collect();
     json.push_str(&counters.join(", "));
     json.push_str("},\n");
+    let _ = writeln!(json, "  \"cores\": {cores},");
     let _ = writeln!(
         json,
         "  \"wire_pool\": {{\"hits\": {pool_hits}, \"misses\": {pool_misses}, \"hit_rate\": {pool_hit_rate:.4}}},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"arenas\": {{\"hits\": {arena_hits}, \"misses\": {arena_misses}, \"hit_rate\": {arena_hit_rate:.4}}},"
+    );
+    // Batch accounting covers the whole measurement loop (all worker
+    // counts); diagnostics only — never part of the telemetry sheets.
+    let mean_batch = batched_events as f64 / batches.max(1) as f64;
+    let hist: Vec<String> = batch_hist.iter().map(u64::to_string).collect();
+    let _ = writeln!(
+        json,
+        "  \"event_batching\": {{\"batches\": {batches}, \"batched_events\": {batched_events}, \
+         \"mean_batch\": {mean_batch:.2}, \"size_hist_log2\": [{}]}},",
+        hist.join(", ")
     );
     let _ = writeln!(
         json,
@@ -259,9 +329,10 @@ fn main() {
     );
     json.push_str("  \"runs\": [\n");
     for (i, m) in measurements.iter().enumerate() {
+        let busy: Vec<String> = m.busy_s.iter().map(|b| format!("{b:.3}")).collect();
         let _ = write!(
             json,
-            "    {{\"threads\": {}, \"wall_s\": {:.3}, \"trials\": {}, \"trials_per_s\": {:.1}, \"events\": {}, \"events_per_s\": {:.0}, \"speedup_vs_serial\": {:.2}, \"identical_to_serial\": {}}}",
+            "    {{\"threads\": {}, \"wall_s\": {:.3}, \"trials\": {}, \"trials_per_s\": {:.1}, \"events\": {}, \"events_per_s\": {:.0}, \"speedup_vs_serial\": {:.2}, \"identical_to_serial\": {}, \"worker_busy_s\": [{}], \"merge_high_water\": {}}}",
             m.threads,
             m.wall_s,
             m.trials,
@@ -270,6 +341,8 @@ fn main() {
             m.events as f64 / m.wall_s,
             serial_wall / m.wall_s,
             m.identical_to_serial,
+            busy.join(", "),
+            m.merge_high_water,
         );
         json.push_str(if i + 1 < measurements.len() { ",\n" } else { "\n" });
     }

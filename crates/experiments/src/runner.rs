@@ -13,10 +13,11 @@ use crate::trial::{run_http_trial, Outcome, TrialSpec};
 use intang_core::select::History;
 use intang_core::StrategyKind;
 use intang_faults::{FaultConfig, FaultPlan};
-use intang_telemetry::{FailureVector, MetricsSheet};
+use intang_telemetry::{FailureVector, MetricsSheet, OrderedFold};
 use std::cell::RefCell;
 use std::rc::Rc;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Outcome counts.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
@@ -267,6 +268,15 @@ pub struct SweepRun {
     /// Simcheck invariant violations summed over all cells (0 unless
     /// checking was enabled *and* an invariant actually broke).
     pub violations: u64,
+    /// Wall-clock each worker spent inside its claim-run-merge loop, in
+    /// worker-spawn order. Diagnostics only (varies run to run): exposes
+    /// scheduling skew — a worker much below the max was starved or
+    /// finished the tail early.
+    pub worker_busy: Vec<std::time::Duration>,
+    /// Most cell results the streaming merge ever buffered at once (the
+    /// reorder window behind the slowest straggler). A serial sweep pins
+    /// this at 1.
+    pub merge_high_water: usize,
 }
 
 /// Per-vantage-point aggregates over all sites.
@@ -277,29 +287,69 @@ pub fn sweep(scenario: &Scenario, cfg: &SweepConfig) -> Vec<(String, Aggregate)>
     sweep_with_threads(scenario, cfg, worker_count()).rows
 }
 
+/// The streaming merge's accumulated state: per-VP rows, the one merged
+/// metrics sheet, and the flat diagnosis list.
+struct SweepAcc {
+    rows: Vec<(String, Aggregate)>,
+    events: u64,
+    metrics: MetricsSheet,
+    diagnoses: Vec<TrialDiagnosis>,
+    violations: u64,
+}
+
 /// Run the sweep on `workers` threads claiming (vantage point, site) cells
 /// from a shared atomic cursor.
 ///
 /// Cells are independent units of work — each derives its trial seeds
 /// purely from `(master_seed, vp_idx, site_idx, trial)` and owns its
-/// adaptive history — so stealing order cannot leak into results. Workers
-/// report `(cell index, aggregate)` pairs; the merge walks cells in index
-/// order, which makes the output byte-identical to a serial sweep for any
-/// `workers >= 1`.
+/// adaptive history — so stealing order cannot leak into results. Each
+/// worker is a *shard*: it owns its thread-local arenas (packet wires,
+/// TCP reprs, sim scratch) and a cell's full telemetry, and hands the
+/// finished cell to a shared [`OrderedFold`] that folds results in strict
+/// cell-index order the moment the in-order prefix reaches them. The fold
+/// order — not the retirement order — is what the output depends on, so
+/// results are byte-identical to a serial sweep for any `workers >= 1`,
+/// while the merge buffers only the reorder window instead of every
+/// cell's sheet.
 pub fn sweep_with_threads(scenario: &Scenario, cfg: &SweepConfig, workers: usize) -> SweepRun {
     let n_sites = scenario.websites.len();
     let n_cells = scenario.vantage_points.len() * n_sites;
     let cursor = AtomicUsize::new(0);
     let workers = workers.max(1).min(n_cells.max(1));
 
-    let mut cells: Vec<Option<CellRun>> = vec![None; n_cells];
-    std::thread::scope(|scope| {
+    let acc = SweepAcc {
+        rows: scenario
+            .vantage_points
+            .iter()
+            .map(|vp| (vp.name.to_string(), Aggregate::default()))
+            .collect(),
+        events: 0,
+        metrics: MetricsSheet::new(),
+        diagnoses: Vec::new(),
+        violations: 0,
+    };
+    let merge = Mutex::new(OrderedFold::new(acc, move |acc: &mut SweepAcc, i, cell: CellRun| {
+        acc.rows[i / n_sites.max(1)].1.merge(cell.agg);
+        acc.events += cell.events;
+        acc.metrics.merge(&cell.metrics);
+        acc.diagnoses.extend(cell.diagnoses);
+        acc.violations += cell.violations;
+    }));
+
+    // The caller's batching override is a thread-local; replay it inside
+    // every worker so an A/B harness (determinism matrix, bench_sweep)
+    // controls the mode of worker-constructed simulations too.
+    let batch_override = intang_netsim::batch::thread_override();
+
+    let worker_busy = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 let cursor = &cursor;
                 let cfg = &*cfg;
+                let merge = &merge;
                 scope.spawn(move || {
-                    let mut done: Vec<(usize, CellRun)> = Vec::new();
+                    intang_netsim::batch::set_thread(batch_override);
+                    let started = std::time::Instant::now();
                     loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         if i >= n_cells {
@@ -313,46 +363,32 @@ pub fn sweep_with_threads(scenario: &Scenario, cfg: &SweepConfig, workers: usize
                             site_idx,
                             cfg,
                         );
-                        done.push((i, cell));
+                        // Retire the cell immediately: the fold advances as
+                        // far as the in-order prefix allows and the cell's
+                        // sheet is freed, not parked until the end.
+                        merge.lock().expect("merge lock poisoned").push(i, cell);
                     }
-                    done
+                    started.elapsed()
                 })
             })
             .collect();
-        for h in handles {
-            for (i, cell) in h.join().expect("sweep worker panicked") {
-                cells[i] = Some(cell);
-            }
-        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sweep worker panicked"))
+            .collect::<Vec<_>>()
     });
 
-    // Deterministic merge: fold cells in index order into per-VP rows,
-    // one merged metrics sheet, and the flat diagnosis list.
-    let mut rows: Vec<(String, Aggregate)> = scenario
-        .vantage_points
-        .iter()
-        .map(|vp| (vp.name.to_string(), Aggregate::default()))
-        .collect();
-    let mut events = 0u64;
-    let mut metrics = MetricsSheet::new();
-    let mut diagnoses = Vec::new();
-    let mut violations = 0u64;
-    for (i, cell) in cells.into_iter().enumerate() {
-        let cell = cell.expect("all cells claimed");
-        rows[i / n_sites.max(1)].1.merge(cell.agg);
-        events += cell.events;
-        metrics.merge(&cell.metrics);
-        diagnoses.extend(cell.diagnoses);
-        violations += cell.violations;
-    }
+    let (acc, merge_high_water) = merge.into_inner().expect("merge lock poisoned").finish();
     let trials = n_cells as u64 * u64::from(cfg.trials);
     SweepRun {
-        rows,
+        rows: acc.rows,
         trials,
-        events,
-        metrics,
-        diagnoses,
-        violations,
+        events: acc.events,
+        metrics: acc.metrics,
+        diagnoses: acc.diagnoses,
+        violations: acc.violations,
+        worker_busy,
+        merge_high_water,
     }
 }
 

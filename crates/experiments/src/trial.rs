@@ -17,6 +17,25 @@ use std::cell::RefCell;
 use std::net::Ipv4Addr;
 use std::rc::Rc;
 
+/// Per-shard memo of encoded GET requests: a sweep re-runs the same
+/// `(target, host)` pairs thousands of times, and the encoded bytes are
+/// what every trial actually needs — build each once per thread.
+fn encoded_request(target: &str, host: &str) -> Rc<Vec<u8>> {
+    type RequestCache = Vec<((String, String), Rc<Vec<u8>>)>;
+    thread_local! {
+        static CACHE: RefCell<RequestCache> = const { RefCell::new(Vec::new()) };
+    }
+    CACHE.with(|c| {
+        let mut cache = c.borrow_mut();
+        if let Some((_, bytes)) = cache.iter().find(|((t, h), _)| t == target && h == host) {
+            return bytes.clone();
+        }
+        let bytes = Rc::new(HttpRequest::get(target, host).encode());
+        cache.push(((target.to_string(), host.to_string()), bytes.clone()));
+        bytes
+    })
+}
+
 /// The paper's outcome taxonomy (§3.4).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Outcome {
@@ -137,8 +156,8 @@ pub fn build_http_sim(spec: &TrialSpec<'_>) -> (Simulation, TrialParts) {
     let mut sim = Simulation::new(spec.seed);
 
     let target = if spec.keyword { "/search?q=ultrasurf" } else { "/index.html" };
-    let request = HttpRequest::get(target, &site.name);
-    let (client_driver, report) = HttpClientDriver::new(site.addr, 80, request);
+    let request = encoded_request(target, &site.name);
+    let (client_driver, report) = HttpClientDriver::with_encoded(site.addr, 80, request);
 
     // [0] client host.
     let (_cidx, chandle) = add_host(

@@ -5,6 +5,7 @@ use crate::dpi::RuleSet;
 use intang_netsim::Duration;
 use intang_packet::frag::OverlapPolicy;
 use intang_tcpstack::reasm::SegmentOverlapPolicy;
+use std::sync::Arc;
 
 /// Which generation of the GFW model a device implements.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -98,7 +99,10 @@ pub struct GfwConfig {
     /// detection (device flapping). 0.0 = devices never flap.
     pub chaos_device_flap_prob: f64,
 
-    pub rules: RuleSet,
+    /// Shared reference to the rule database. `GfwConfig::evolved` hands out
+    /// the process-wide [`crate::dpi::shared_paper_rules`] `Arc`, so cloning
+    /// configs (one per sweep cell × element) never copies the rules.
+    pub rules: Arc<RuleSet>,
 }
 
 impl GfwConfig {
@@ -129,7 +133,7 @@ impl GfwConfig {
             chaos_rst_inject_prob: 1.0,
             chaos_blacklist_jitter: 0.0,
             chaos_device_flap_prob: 0.0,
-            rules: RuleSet::paper_default(),
+            rules: crate::dpi::shared_paper_rules(),
         }
     }
 
@@ -152,7 +156,7 @@ impl GfwConfig {
     }
 
     pub fn with_rules(mut self, rules: RuleSet) -> GfwConfig {
-        self.rules = rules;
+        self.rules = Arc::new(rules);
         self
     }
 }

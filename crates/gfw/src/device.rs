@@ -103,8 +103,13 @@ impl GfwElement {
         // The paper-default rule database compiles to the same automaton
         // every time; reuse the process-wide shared copy instead of
         // rebuilding it per element (one build per trial adds up fast in a
-        // sweep). Custom rule sets still get their own build.
-        let aut = if cfg.rules == crate::dpi::RuleSet::paper_default() {
+        // sweep). Custom rule sets still get their own build. `Arc::ptr_eq`
+        // catches every config built from `GfwConfig::evolved`/`old` without
+        // touching the rules; the deep comparison (against the shared static,
+        // not a fresh copy) covers `with_rules` callers that happen to pass
+        // the paper set.
+        let shared = crate::dpi::shared_paper_rules();
+        let aut = if Arc::ptr_eq(&cfg.rules, &shared) || *cfg.rules == *shared {
             crate::dpi::shared_paper_default()
         } else {
             Arc::new(Automaton::build(&cfg.rules))

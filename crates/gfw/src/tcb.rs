@@ -162,15 +162,26 @@ impl CensorTcb {
         if type2 {
             let rel = seq.wrapping_sub(self.stream_base);
             if rel < ACCEPT_WINDOW {
+                thread_local! {
+                    // Reassembled bytes live only for the matcher call
+                    // below; one grown scratch serves every TCB on the
+                    // thread instead of a fresh Vec per data segment.
+                    static PULLED: std::cell::RefCell<Vec<u8>> =
+                        const { std::cell::RefCell::new(Vec::new()) };
+                }
                 self.asm.insert(u64::from(rel), payload);
-                let pulled = self.asm.pull();
-                if !pulled.is_empty() {
-                    for k in self.matcher.feed(aut, &pulled) {
-                        if !hits.contains(&k) {
-                            hits.push(k);
+                PULLED.with(|p| {
+                    let mut pulled = p.borrow_mut();
+                    pulled.clear();
+                    self.asm.pull_into(&mut pulled);
+                    if !pulled.is_empty() {
+                        for k in self.matcher.feed(aut, &pulled) {
+                            if !hits.contains(&k) {
+                                hits.push(k);
+                            }
                         }
                     }
-                }
+                });
             }
         }
         hits

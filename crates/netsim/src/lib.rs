@@ -22,6 +22,7 @@
 //! randomness flows from one seeded [`rng::SimRng`], so a `(scenario, seed)`
 //! pair always reproduces the same run.
 
+pub mod batch;
 pub mod element;
 pub mod event;
 pub mod faults;

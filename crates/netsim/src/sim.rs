@@ -7,8 +7,41 @@ use crate::link::Link;
 use crate::rng::SimRng;
 use crate::time::{Duration, Instant};
 use crate::trace::{NameId, Trace, TraceId, TraceKind, TracePoint};
+use intang_packet::arena::Arena;
 use intang_packet::{icmp, Wire};
 use intang_telemetry::{Counter, MetricsSheet};
+use std::cell::RefCell;
+
+/// The six recycled `Simulation` construction buffers, in declaration
+/// order: emission scratch, timer scratch, batch drain ring, element
+/// table, element-name table, link table.
+type SimScratchArenas = (
+    Arena<Vec<Emission>>,
+    Arena<Vec<(Instant, u64)>>,
+    Arena<Vec<(Instant, Event)>>,
+    Arena<Vec<Box<dyn Element>>>,
+    Arena<Vec<NameId>>,
+    Arena<Vec<Link>>,
+);
+
+thread_local! {
+    /// Recycled buffers for `Simulation`s built on this thread: a sweep
+    /// constructs one simulation per trial, and these vectors only ever
+    /// need to *grow* — handing the grown capacity to the next trial
+    /// removes the per-trial growth allocations (the three event-loop
+    /// scratch buffers plus the element/name/link tables). Behavior is
+    /// unaffected: leased vectors are always empty.
+    static SCRATCH_POOL: RefCell<SimScratchArenas> = const {
+        RefCell::new((
+            Arena::new(4),
+            Arena::new(4),
+            Arena::new(4),
+            Arena::new(4),
+            Arena::new(4),
+            Arena::new(4),
+        ))
+    };
+}
 
 /// A linear-path network simulation.
 ///
@@ -44,6 +77,9 @@ pub struct Simulation {
     /// here so the event loop stops allocating once they have grown.
     scratch_emissions: Vec<Emission>,
     scratch_timers: Vec<(Instant, u64)>,
+    /// Reusable drain ring for [`Simulation::step_batch`]; like the other
+    /// scratch buffers it grows once and is then lent out per batch.
+    scratch_batch: Vec<(Instant, Event)>,
     /// Total packets that fully traversed at least one link (statistics).
     pub delivered: u64,
     /// Packets lost to link loss.
@@ -63,11 +99,52 @@ pub struct Simulation {
     /// simulation was constructed; cached so the disabled-mode cost per
     /// hop is one field read.
     simcheck: bool,
+    /// Whether batched dispatch was enabled when this simulation was
+    /// constructed (see [`crate::batch`]); cached like `simcheck`.
+    batching: bool,
+    /// Batches dispatched / events dispatched in batches / log₂ batch-size
+    /// histogram — plain integers on the hot path, folded into the
+    /// process-wide [`crate::batch::stats`] on drop.
+    batch_batches: u64,
+    batch_events: u64,
+    batch_hist: [u64; crate::batch::HIST_BUCKETS],
     /// Conservation accounting (simcheck): total transmissions attempted.
     sc_emitted: u64,
     /// Conservation accounting (simcheck): emissions past the edge of the
     /// world (no adjacent link in the emitted direction).
     sc_edge: u64,
+}
+
+impl Drop for Simulation {
+    fn drop(&mut self) {
+        // Diagnostics only: fold this run's batch accounting into the
+        // process-wide totals (never into a MetricsSheet — batching on/off
+        // must not change telemetry bytes).
+        crate::batch::note_run(self.batch_batches, self.batch_events, &self.batch_hist);
+        // Hand the grown scratch buffers to the next simulation on this
+        // thread (cleared — only capacity is recycled).
+        let mut emissions = std::mem::take(&mut self.scratch_emissions);
+        let mut timers = std::mem::take(&mut self.scratch_timers);
+        let mut batch = std::mem::take(&mut self.scratch_batch);
+        let mut elements = std::mem::take(&mut self.elements);
+        let mut element_names = std::mem::take(&mut self.element_names);
+        let mut links = std::mem::take(&mut self.links);
+        emissions.clear();
+        timers.clear();
+        batch.clear();
+        elements.clear();
+        element_names.clear();
+        links.clear();
+        let _ = SCRATCH_POOL.try_with(|p| {
+            let mut p = p.borrow_mut();
+            p.0.put(emissions);
+            p.1.put(timers);
+            p.2.put(batch);
+            p.3.put(elements);
+            p.4.put(element_names);
+            p.5.put(links);
+        });
+    }
 }
 
 impl Simulation {
@@ -76,12 +153,13 @@ impl Simulation {
             now: Instant::ZERO,
             rng: SimRng::seed_from(seed),
             trace: Trace::new(),
-            elements: Vec::new(),
-            element_names: Vec::new(),
-            links: Vec::new(),
+            elements: SCRATCH_POOL.with(|p| p.borrow_mut().3.take_with(Vec::new)),
+            element_names: SCRATCH_POOL.with(|p| p.borrow_mut().4.take_with(Vec::new)),
+            links: SCRATCH_POOL.with(|p| p.borrow_mut().5.take_with(Vec::new)),
             queue: EventQueue::new(),
-            scratch_emissions: Vec::new(),
-            scratch_timers: Vec::new(),
+            scratch_emissions: SCRATCH_POOL.with(|p| p.borrow_mut().0.take_with(Vec::new)),
+            scratch_timers: SCRATCH_POOL.with(|p| p.borrow_mut().1.take_with(Vec::new)),
+            scratch_batch: SCRATCH_POOL.with(|p| p.borrow_mut().2.take_with(Vec::new)),
             delivered: 0,
             lost: 0,
             ttl_expired: 0,
@@ -91,6 +169,10 @@ impl Simulation {
             mtu_dropped: 0,
             burst_losses: 0,
             simcheck: intang_simcheck::enabled(),
+            batching: crate::batch::enabled(),
+            batch_batches: 0,
+            batch_events: 0,
+            batch_hist: [0; crate::batch::HIST_BUCKETS],
             sc_emitted: 0,
             sc_edge: 0,
         }
@@ -141,14 +223,29 @@ impl Simulation {
 
     /// Run until the queue empties or `deadline` passes. Returns the number
     /// of events processed.
+    ///
+    /// With batching enabled (the default, see [`crate::batch`]), each
+    /// iteration drains the whole equal-timestamp run at the head of the
+    /// queue via [`Simulation::step_batch`]; the batch shares the head's
+    /// timestamp, so the deadline test on the head covers every event in
+    /// it. Result-identical to single-step mode either way.
     pub fn run_until(&mut self, deadline: Instant) -> u64 {
         let mut n = 0;
-        while let Some(t) = self.queue.peek_time() {
-            if t > deadline {
-                break;
+        if self.batching {
+            while let Some(t) = self.queue.peek_time() {
+                if t > deadline {
+                    break;
+                }
+                n += self.step_batch();
             }
-            self.step();
-            n += 1;
+        } else {
+            while let Some(t) = self.queue.peek_time() {
+                if t > deadline {
+                    break;
+                }
+                self.step();
+                n += 1;
+            }
         }
         if self.now < deadline {
             self.now = deadline;
@@ -166,11 +263,10 @@ impl Simulation {
         n
     }
 
-    /// Process a single event. Returns false when the queue is empty.
-    pub fn step(&mut self) -> bool {
-        let Some((at, event)) = self.queue.pop() else {
-            return false;
-        };
+    /// Pre-dispatch invariants for a popped head time: clock monotonicity
+    /// and queue-structure coherence. One enablement read per call — which
+    /// batching turns into one per *batch*.
+    fn pre_dispatch_checks(&mut self, at: Instant) {
         if self.simcheck {
             if at < self.now {
                 let now = self.now;
@@ -184,8 +280,58 @@ impl Simulation {
         } else {
             debug_assert!(at >= self.now, "time went backwards");
         }
+    }
+
+    /// Process a single event. Returns false when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some((at, event)) = self.queue.pop() else {
+            return false;
+        };
+        self.pre_dispatch_checks(at);
         self.now = at;
         self.events_processed += 1;
+        let tracing = self.trace.is_enabled();
+        self.dispatch(at, event, tracing);
+        true
+    }
+
+    /// Drain and process the entire equal-timestamp run at the head of the
+    /// queue: one clock update, one trace-enablement check and one
+    /// simcheck-enablement load for the whole run, with the events
+    /// dispatched in exact pop order (so emissions are appended in pop
+    /// order and `(time, insertion-seq)` semantics are untouched — events
+    /// pushed *by* the batch carry later seqs and drain in a later batch,
+    /// exactly as under single-stepping). Returns the number of events
+    /// processed (0 = queue empty).
+    pub fn step_batch(&mut self) -> u64 {
+        let mut ring = std::mem::take(&mut self.scratch_batch);
+        debug_assert!(ring.is_empty());
+        let n = self.queue.pop_batch(&mut ring);
+        if n == 0 {
+            self.scratch_batch = ring;
+            return 0;
+        }
+        let at = ring[0].0;
+        self.pre_dispatch_checks(at);
+        self.now = at;
+        self.events_processed += n as u64;
+        self.batch_batches += 1;
+        self.batch_events += n as u64;
+        self.batch_hist[crate::batch::bucket(n as u64)] += 1;
+        let tracing = self.trace.is_enabled();
+        for (at, event) in ring.drain(..) {
+            self.dispatch(at, event, tracing);
+        }
+        self.scratch_batch = ring;
+        n as u64
+    }
+
+    /// Deliver one already-popped event to its element and apply the
+    /// effects. `at` is the event's timestamp (== `self.now` by the time
+    /// this runs; passed through to keep trace records exact). `tracing`
+    /// is the caller's hoisted `trace.is_enabled()` read — per batch in
+    /// [`Simulation::step_batch`], per event in [`Simulation::step`].
+    fn dispatch(&mut self, at: Instant, event: Event, tracing: bool) {
         // Lend the simulation's scratch buffers to the element context so no
         // Vec is allocated per event; they come back (drained, capacity
         // intact) after the effects are applied.
@@ -196,9 +342,9 @@ impl Simulation {
             Event::Deliver { elem, dir, wire, cause } => {
                 // Lineage: the arrival is caused by the emission that put
                 // the packet in flight; everything the element now emits is
-                // caused by this arrival. The is_enabled() guard keeps the
+                // caused by this arrival. The `tracing` guard keeps the
                 // disabled-trace hot path free of argument construction.
-                let arrive_id = if self.trace.is_enabled() {
+                let arrive_id = if tracing {
                     self.trace.record(
                         at,
                         TracePoint::Element {
@@ -227,7 +373,6 @@ impl Simulation {
         }
         self.scratch_emissions = emissions;
         self.scratch_timers = timers;
-        true
     }
 
     fn apply_effects(&mut self, from: usize, cause: Option<TraceId>, emissions: &mut Vec<Emission>, timers: &mut Vec<(Instant, u64)>) {
@@ -702,6 +847,32 @@ mod tests {
         assert_eq!(sim.run_until(Instant(5_000)), 1);
         assert_eq!(*fired.borrow(), vec![1, 2, 3], "each event popped exactly once");
         assert_eq!(sim.now, Instant(5_000), "clock advances to the idle deadline");
+    }
+
+    #[test]
+    fn batched_run_matches_single_step_run() {
+        // Same seed, same injected load (including same-time collisions and
+        // loss draws): batched and single-step dispatch must agree on every
+        // observable — clock, counters, deliveries and the trace.
+        let build_and_run = |batch: bool| {
+            let prev = crate::batch::set_thread(Some(batch));
+            let link = Link::new(Duration::from_millis(1), 2).with_loss(0.3);
+            let (mut sim, got) = two_node_sim(link);
+            sim.trace.enable();
+            for i in 0..60u64 {
+                // Three same-time injections per wave → real batches.
+                let t = Instant((i / 3) * 500);
+                sim.inject_at(0, Direction::ToServer, pkt(64), t);
+            }
+            let n = sim.run_until(Instant(1_000_000));
+            crate::batch::set_thread(prev);
+            let deliveries: Vec<(Instant, Vec<u8>)> = got.borrow().iter().map(|(at, w)| (*at, w.to_vec())).collect();
+            let trace: Vec<String> = sim.trace.events().iter().map(|e| format!("{e:?}")).collect();
+            (n, sim.now, sim.delivered, sim.lost, sim.events_processed, deliveries, trace)
+        };
+        let single = build_and_run(false);
+        let batched = build_and_run(true);
+        assert_eq!(single, batched);
     }
 
     #[test]

@@ -18,7 +18,24 @@
 
 use crate::element::Direction;
 use crate::time::Instant;
-use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Process-wide string pool backing every trace's name table. Element
+/// names form a small closed set ("client", "GFW", "INTANG", ...), but a
+/// sweep constructs one `Trace` per trial — interning into per-trace
+/// `String`s re-allocated that same handful of names thousands of times.
+/// Each distinct name is now leaked exactly once per process and shared as
+/// a `&'static str` by all traces on all threads.
+fn process_interned(name: &str) -> &'static str {
+    static POOL: Mutex<Vec<&'static str>> = Mutex::new(Vec::new());
+    let mut pool = POOL.lock().expect("name pool poisoned");
+    if let Some(&s) = pool.iter().find(|s| ***s == *name) {
+        return s;
+    }
+    let s: &'static str = Box::leak(name.to_string().into_boxed_str());
+    pool.push(s);
+    s
+}
 
 /// Interned element name: an index into the trace's name table.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -83,21 +100,60 @@ pub struct Trace {
     /// Events that hit the cap and were not stored (they still consumed an
     /// id so lineage references remain valid).
     dropped: u64,
-    names: Vec<String>,
-    name_index: HashMap<String, NameId>,
+    /// Interned names, id = index. Doubles as the lookup index: the set is
+    /// small enough (one entry per distinct element name) that a linear
+    /// scan beats a map, and the `&'static str` entries come from the
+    /// process-wide pool so interning allocates nothing per trace.
+    names: Vec<&'static str>,
+}
+
+impl Drop for Trace {
+    fn drop(&mut self) {
+        // Hand the grown storage to the next trace on this thread (cleared
+        // — only capacity is recycled).
+        let mut events = std::mem::take(&mut self.events);
+        let mut names = std::mem::take(&mut self.names);
+        events.clear();
+        names.clear();
+        let _ = STORAGE_POOL.try_with(|p| {
+            let mut p = p.borrow_mut();
+            p.0.put(events);
+            p.1.put(names);
+        });
+    }
+}
+
+/// The recycled `Trace` storage pair: the event log and the name table.
+type TraceStorageArenas = (
+    intang_packet::arena::Arena<Vec<TraceEvent>>,
+    intang_packet::arena::Arena<Vec<&'static str>>,
+);
+
+thread_local! {
+    /// Recycled `events`/`names` buffers: sweeps build one `Trace` per
+    /// trial and the vectors only ever need to grow, so leasing the grown
+    /// capacity removes the per-trial growth allocations.
+    static STORAGE_POOL: std::cell::RefCell<TraceStorageArenas> = const {
+        std::cell::RefCell::new((
+            intang_packet::arena::Arena::new(4),
+            intang_packet::arena::Arena::new(4),
+        ))
+    };
 }
 
 impl Trace {
     pub fn new() -> Trace {
-        Trace {
-            enabled: false,
-            events: Vec::new(),
-            cap: DEFAULT_TRACE_CAP,
-            next_id: 0,
-            dropped: 0,
-            names: Vec::new(),
-            name_index: HashMap::new(),
-        }
+        STORAGE_POOL.with(|p| {
+            let mut p = p.borrow_mut();
+            Trace {
+                enabled: false,
+                events: p.0.take_with(Vec::new),
+                cap: DEFAULT_TRACE_CAP,
+                next_id: 0,
+                dropped: 0,
+                names: p.1.take_with(Vec::new),
+            }
+        })
     }
 
     pub fn enable(&mut self) {
@@ -125,23 +181,22 @@ impl Trace {
 
     /// Intern `name`, returning its stable id (idempotent per string).
     pub fn intern(&mut self, name: &str) -> NameId {
-        if let Some(&id) = self.name_index.get(name) {
+        if let Some(id) = self.lookup(name) {
             return id;
         }
         let id = NameId(self.names.len() as u32);
-        self.names.push(name.to_string());
-        self.name_index.insert(name.to_string(), id);
+        self.names.push(process_interned(name));
         id
     }
 
     /// The id a name was interned under, if it has been.
     pub fn lookup(&self, name: &str) -> Option<NameId> {
-        self.name_index.get(name).copied()
+        self.names.iter().position(|n| *n == name).map(|i| NameId(i as u32))
     }
 
     /// Resolve an interned id back to the element name.
     pub fn name(&self, id: NameId) -> &str {
-        &self.names[id.0 as usize]
+        self.names[id.0 as usize]
     }
 
     /// Record one event with an optional causal parent. Returns the id the

@@ -1,0 +1,123 @@
+//! Shard arenas: bounded recycling pools for hot-path transients.
+//!
+//! A sweep runs thousands of short trials per worker shard, and each trial
+//! used to pay the same small allocations over and over: TCP segment reprs,
+//! drain buffers, event-queue scratch. An [`Arena`] keeps a bounded
+//! free-list of such objects so a shard's steady state re-uses yesterday's
+//! capacity instead of round-tripping the global allocator. The intended
+//! deployment is one thread-local arena per object type per subsystem (see
+//! `intang_tcpstack::pool` and the wire pool in [`crate::wire`]): shards
+//! never contend, and because an arena only recycles *capacity* — every
+//! `take` hands out an object in a caller-defined reset state — behavior is
+//! bit-identical to allocating fresh.
+//!
+//! Hit/miss counters aggregate process-wide (the `pool_stats` pattern):
+//! scheduling-dependent diagnostics for `bench_sweep`, never part of the
+//! deterministic metrics merge.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static HITS: AtomicU64 = AtomicU64::new(0);
+static MISSES: AtomicU64 = AtomicU64::new(0);
+
+/// `(hits, misses)` across every arena in the process since start (or the
+/// last [`reset_stats`]). A hit is an object served from a free-list; a
+/// miss fell through to a fresh construction.
+pub fn stats() -> (u64, u64) {
+    (HITS.load(Ordering::Relaxed), MISSES.load(Ordering::Relaxed))
+}
+
+/// Zero the process-wide arena counters (benchmark warm-up boundary).
+pub fn reset_stats() {
+    HITS.store(0, Ordering::Relaxed);
+    MISSES.store(0, Ordering::Relaxed);
+}
+
+/// A bounded free-list of `T`s. Not a true bump arena — objects here own
+/// normal heap storage — but it plays the same role per shard: transient
+/// objects are leased, used for one trial step, and returned with their
+/// capacity intact.
+#[derive(Debug)]
+pub struct Arena<T> {
+    free: Vec<T>,
+    max_free: usize,
+}
+
+impl<T> Arena<T> {
+    /// An empty arena retaining at most `max_free` returned objects
+    /// (returns beyond that are dropped, bounding worst-case hoarding).
+    pub const fn new(max_free: usize) -> Arena<T> {
+        Arena {
+            free: Vec::new(),
+            max_free,
+        }
+    }
+
+    /// Lease an object: recycled if one is free, otherwise `make()`.
+    /// The caller is responsible for resetting recycled state — arenas
+    /// return objects exactly as [`Arena::put`] received them.
+    pub fn take_with(&mut self, make: impl FnOnce() -> T) -> T {
+        match self.free.pop() {
+            Some(t) => {
+                HITS.fetch_add(1, Ordering::Relaxed);
+                t
+            }
+            None => {
+                MISSES.fetch_add(1, Ordering::Relaxed);
+                make()
+            }
+        }
+    }
+
+    /// Return an object to the free-list (dropped if the arena is full).
+    pub fn put(&mut self, item: T) {
+        if self.free.len() < self.max_free {
+            self.free.push(item);
+        }
+    }
+
+    /// Objects currently on the free-list.
+    pub fn free_len(&self) -> usize {
+        self.free.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_recycles_and_preserves_capacity() {
+        let mut a: Arena<Vec<u8>> = Arena::new(4);
+        let mut v = a.take_with(Vec::new);
+        v.reserve(1024);
+        let cap = v.capacity();
+        let ptr = v.as_ptr();
+        v.clear();
+        a.put(v);
+        let v2 = a.take_with(Vec::new);
+        assert_eq!(v2.capacity(), cap);
+        assert_eq!(v2.as_ptr(), ptr, "same buffer came back");
+    }
+
+    #[test]
+    fn bounded_free_list_drops_overflow() {
+        let mut a: Arena<Box<u32>> = Arena::new(2);
+        a.put(Box::new(1));
+        a.put(Box::new(2));
+        a.put(Box::new(3));
+        assert_eq!(a.free_len(), 2);
+    }
+
+    #[test]
+    fn counters_track_hits_and_misses() {
+        let (h0, m0) = stats();
+        let mut a: Arena<Vec<u8>> = Arena::new(4);
+        let v = a.take_with(Vec::new); // miss
+        a.put(v);
+        let _v = a.take_with(Vec::new); // hit
+        let (h1, m1) = stats();
+        assert!(h1 > h0);
+        assert!(m1 > m0);
+    }
+}

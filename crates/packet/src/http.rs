@@ -39,13 +39,41 @@ impl HttpRequest {
     }
 
     pub fn encode(&self) -> Vec<u8> {
-        let mut out = format!("{} {} HTTP/1.1\r\n", self.method, self.target).into_bytes();
-        for (k, v) in &self.headers {
-            out.extend_from_slice(format!("{}: {}\r\n", k, v).as_bytes());
-        }
-        out.extend_from_slice(b"\r\n");
-        out.extend_from_slice(&self.body);
+        let mut out = Vec::new();
+        self.encode_into(&mut out);
         out
+    }
+
+    /// Serialize by appending to `out` — the allocation-free path for
+    /// reused buffers. Byte-identical to [`HttpRequest::encode`].
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(self.method.as_bytes());
+        out.push(b' ');
+        out.extend_from_slice(self.target.as_bytes());
+        out.extend_from_slice(b" HTTP/1.1\r\n");
+        encode_headers_into(&self.headers, out);
+        out.extend_from_slice(&self.body);
+    }
+
+    /// Would [`HttpRequest::decode`] succeed on `data`? Same validation,
+    /// no `String`/`Vec` construction — the per-poll completeness probe
+    /// servers run on every received chunk.
+    pub fn is_complete(data: &[u8]) -> bool {
+        let Ok((head, rest)) = split_head(data) else { return false };
+        let mut lines = head.split("\r\n");
+        let Some(request_line) = lines.next() else { return false };
+        let mut parts = request_line.split(' ');
+        if parts.next().is_none() || parts.next().is_none() {
+            return false;
+        }
+        let Some(version) = parts.next() else { return false };
+        if !version.starts_with("HTTP/1.") {
+            return false;
+        }
+        match scan_content_length(lines) {
+            Some(clen) => rest.len() >= clen,
+            None => false,
+        }
     }
 
     /// Parse a request from a complete byte stream (headers terminated by
@@ -122,13 +150,43 @@ impl HttpResponse {
     }
 
     pub fn encode(&self) -> Vec<u8> {
-        let mut out = format!("HTTP/1.1 {} {}\r\n", self.status, self.reason).into_bytes();
-        for (k, v) in &self.headers {
-            out.extend_from_slice(format!("{}: {}\r\n", k, v).as_bytes());
-        }
-        out.extend_from_slice(b"\r\n");
-        out.extend_from_slice(&self.body);
+        let mut out = Vec::new();
+        self.encode_into(&mut out);
         out
+    }
+
+    /// Serialize by appending to `out` — byte-identical to
+    /// [`HttpResponse::encode`].
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(b"HTTP/1.1 ");
+        push_decimal(out, u64::from(self.status));
+        out.push(b' ');
+        out.extend_from_slice(self.reason.as_bytes());
+        out.extend_from_slice(b"\r\n");
+        encode_headers_into(&self.headers, out);
+        out.extend_from_slice(&self.body);
+    }
+
+    /// Would [`HttpResponse::decode`] succeed on `data`? Same validation,
+    /// no `String`/`Vec` construction — clients probe this on every
+    /// received chunk and only pay for the real decode once it passes.
+    pub fn is_complete(data: &[u8]) -> bool {
+        let Ok((head, rest)) = split_head(data) else { return false };
+        let mut lines = head.split("\r\n");
+        let Some(status_line) = lines.next() else { return false };
+        let mut parts = status_line.splitn(3, ' ');
+        let Some(version) = parts.next() else { return false };
+        if !version.starts_with("HTTP/1.") {
+            return false;
+        }
+        match parts.next().map(str::parse::<u16>) {
+            Some(Ok(_)) => {}
+            _ => return false,
+        }
+        match scan_content_length(lines) {
+            Some(clen) => rest.len() >= clen,
+            None => false,
+        }
     }
 
     pub fn decode(data: &[u8]) -> Result<HttpResponse> {
@@ -158,6 +216,49 @@ impl HttpResponse {
             body: rest[..clen].to_vec(),
         })
     }
+}
+
+fn encode_headers_into(headers: &[(String, String)], out: &mut Vec<u8>) {
+    for (k, v) in headers {
+        out.extend_from_slice(k.as_bytes());
+        out.extend_from_slice(b": ");
+        out.extend_from_slice(v.as_bytes());
+        out.extend_from_slice(b"\r\n");
+    }
+    out.extend_from_slice(b"\r\n");
+}
+
+fn push_decimal(out: &mut Vec<u8>, n: u64) {
+    let mut digits = [0u8; 20];
+    let mut i = digits.len();
+    let mut n = n;
+    loop {
+        i -= 1;
+        digits[i] = b'0' + (n % 10) as u8;
+        n /= 10;
+        if n == 0 {
+            break;
+        }
+    }
+    out.extend_from_slice(&digits[i..]);
+}
+
+/// Walk header lines the way [`parse_headers`] + [`content_length`] would,
+/// without materializing them: `None` for a malformed line, otherwise the
+/// effective Content-Length (0 when absent or unparsable — matching
+/// [`content_length`]).
+fn scan_content_length<'a>(lines: impl Iterator<Item = &'a str>) -> Option<usize> {
+    let mut clen = None;
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (k, v) = line.split_once(':')?;
+        if clen.is_none() && k.trim().eq_ignore_ascii_case("content-length") {
+            clen = Some(v.trim().parse().unwrap_or(0));
+        }
+    }
+    Some(clen.unwrap_or(0))
 }
 
 fn split_head(data: &[u8]) -> Result<(&str, &[u8])> {
@@ -215,6 +316,82 @@ mod tests {
         let wire = resp.encode();
         let s = String::from_utf8(wire).unwrap();
         assert!(s.contains("Location: https://example.com/ultrasurf"));
+    }
+
+    #[test]
+    fn encode_into_matches_format_based_encoding() {
+        let req = HttpRequest::get("/search?q=ultrasurf", "www.example.com");
+        let expected = {
+            let mut out = format!("{} {} HTTP/1.1\r\n", req.method, req.target).into_bytes();
+            for (k, v) in &req.headers {
+                out.extend_from_slice(format!("{}: {}\r\n", k, v).as_bytes());
+            }
+            out.extend_from_slice(b"\r\n");
+            out.extend_from_slice(&req.body);
+            out
+        };
+        assert_eq!(req.encode(), expected);
+
+        let resp = HttpResponse::ok(b"<html>hi</html>");
+        let expected = {
+            let mut out = format!("HTTP/1.1 {} {}\r\n", resp.status, resp.reason).into_bytes();
+            for (k, v) in &resp.headers {
+                out.extend_from_slice(format!("{}: {}\r\n", k, v).as_bytes());
+            }
+            out.extend_from_slice(b"\r\n");
+            out.extend_from_slice(&resp.body);
+            out
+        };
+        assert_eq!(resp.encode(), expected);
+    }
+
+    #[test]
+    fn is_complete_agrees_with_decode() {
+        let full = HttpRequest::get("/ultrasurf", "example.com").encode();
+        // Every prefix, the full message, and the full message with junk
+        // appended must agree with what decode says.
+        for cut in 0..=full.len() {
+            assert_eq!(
+                HttpRequest::is_complete(&full[..cut]),
+                HttpRequest::decode(&full[..cut]).is_ok(),
+                "cut={cut}"
+            );
+        }
+        let mut with_body = HttpRequest::get("/post", "example.com");
+        with_body.headers.push(("Content-Length".into(), "5".into()));
+        with_body.body = b"12345".to_vec();
+        let wire = with_body.encode();
+        for cut in 0..=wire.len() {
+            assert_eq!(
+                HttpRequest::is_complete(&wire[..cut]),
+                HttpRequest::decode(&wire[..cut]).is_ok(),
+                "cut={cut}"
+            );
+        }
+        // Malformed header line: both must reject.
+        let bad = b"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n";
+        assert_eq!(HttpRequest::is_complete(bad), HttpRequest::decode(bad).is_ok());
+        // Wrong protocol version: both must reject.
+        let bad = b"GET / SPDY/9\r\n\r\n";
+        assert_eq!(HttpRequest::is_complete(bad), HttpRequest::decode(bad).is_ok());
+    }
+
+    #[test]
+    fn response_is_complete_agrees_with_decode() {
+        let full = HttpResponse::ok(b"<html>hi</html>").encode();
+        for cut in 0..=full.len() {
+            assert_eq!(
+                HttpResponse::is_complete(&full[..cut]),
+                HttpResponse::decode(&full[..cut]).is_ok(),
+                "cut={cut}"
+            );
+        }
+        let bad = b"HTTP/1.1 abc OK\r\n\r\n";
+        assert_eq!(HttpResponse::is_complete(bad), HttpResponse::decode(bad).is_ok());
+        let bad = b"SPDY/9 200 OK\r\n\r\n";
+        assert_eq!(HttpResponse::is_complete(bad), HttpResponse::decode(bad).is_ok());
+        let bad = b"HTTP/1.1 200 OK\r\nno-colon\r\n\r\n";
+        assert_eq!(HttpResponse::is_complete(bad), HttpResponse::decode(bad).is_ok());
     }
 
     #[test]

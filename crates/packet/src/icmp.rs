@@ -144,13 +144,20 @@ impl IcmpRepr {
 pub fn time_exceeded_for(router: Ipv4Addr, expired_wire: &[u8]) -> Option<crate::Wire> {
     let expired = ipv4::Ipv4Packet::new_checked(expired_wire).ok()?;
     let quote_len = (expired.header_len() + 8).min(expired_wire.len());
-    let repr = IcmpRepr::TimeExceeded {
-        original: expired_wire[..quote_len].to_vec(),
-    };
     let ip = ipv4::Ipv4Repr::new(router, expired.src_addr(), ipv4::IpProtocol::Icmp);
-    let msg = repr.emit();
-    let mut w = crate::Wire::with_capacity(ipv4::HEADER_LEN + msg.len());
-    ip.emit_into(&msg, w.vec_mut());
+    // Assemble directly in the (pooled) wire buffer: IP header space, ICMP
+    // header, quoted bytes, then checksum and header fill in place. Routers
+    // on lossy/TTL-scoped paths emit these per expiry, so the old
+    // quote-vec + `IcmpRepr::emit` intermediates were two allocations per
+    // expired packet. Byte-identical to emitting via `IcmpRepr`.
+    let mut w = crate::Wire::with_capacity(ipv4::HEADER_LEN + HEADER_LEN + quote_len);
+    let out = w.vec_mut();
+    out.resize(ipv4::HEADER_LEN + HEADER_LEN, 0);
+    out[ipv4::HEADER_LEN] = TYPE_TIME_EXCEEDED;
+    out.extend_from_slice(&expired_wire[..quote_len]);
+    let ck = checksum::checksum(&out[ipv4::HEADER_LEN..]);
+    out[ipv4::HEADER_LEN + 2..ipv4::HEADER_LEN + 4].copy_from_slice(&ck.to_be_bytes());
+    ip.finish_in_place(0, out);
     Some(w)
 }
 
@@ -251,6 +258,39 @@ mod tests {
         // The ICMP datagram must be addressed back to the expired packet's source.
         let outer = crate::Ipv4Packet::new_checked(&te[..]).unwrap();
         assert_eq!(outer.dst_addr(), client);
+    }
+
+    #[test]
+    fn time_exceeded_matches_repr_emit_path() {
+        // The in-place assembly must stay byte-identical to the readable
+        // IcmpRepr-based construction it replaced.
+        let client = Ipv4Addr::new(10, 0, 0, 1);
+        let server = Ipv4Addr::new(93, 184, 216, 34);
+        let router = Ipv4Addr::new(172, 16, 5, 9);
+        for payload_len in [0usize, 3, 8, 40] {
+            let tcp = TcpRepr {
+                seq: 0x01020304,
+                flags: TcpFlags::PSH_ACK,
+                payload: vec![0xa5; payload_len],
+                ..TcpRepr::new(40000, 80)
+            };
+            let ip = Ipv4Repr {
+                ttl: 1,
+                ..Ipv4Repr::new(client, server, IpProtocol::Tcp)
+            };
+            let expired = ip.emit(&tcp.emit(client, server));
+
+            let fast = time_exceeded_for(router, &expired).unwrap();
+
+            let quote_len = (ipv4::HEADER_LEN + 8).min(expired.len());
+            let msg = IcmpRepr::TimeExceeded {
+                original: expired[..quote_len].to_vec(),
+            }
+            .emit();
+            let outer = Ipv4Repr::new(router, client, IpProtocol::Icmp);
+            let slow = outer.emit(&msg);
+            assert_eq!(&fast[..], &slow[..], "payload_len={payload_len}");
+        }
     }
 
     #[test]

@@ -296,9 +296,19 @@ impl Ipv4Repr {
         let base = out.len();
         out.resize(base + HEADER_LEN, 0);
         out.extend_from_slice(payload);
+        self.finish_in_place(base, out);
+    }
+
+    /// Fill in the header for a datagram assembled directly in `out`:
+    /// the caller reserved `HEADER_LEN` zeroed bytes at `base` and appended
+    /// the payload after them (possibly from several pieces — this is the
+    /// scatter-gather variant of [`Ipv4Repr::emit_into`], byte-identical to
+    /// it for the same concatenated payload).
+    pub fn finish_in_place(&self, base: usize, out: &mut [u8]) {
+        let payload_len = out.len() - base - HEADER_LEN;
         let mut pkt = Ipv4Packet::new_unchecked(&mut out[base..]);
         pkt.set_version_and_header_len(HEADER_LEN);
-        let total = self.total_len_override.unwrap_or((HEADER_LEN + payload.len()) as u16);
+        let total = self.total_len_override.unwrap_or((HEADER_LEN + payload_len) as u16);
         pkt.set_total_len(total);
         pkt.set_ident(self.ident);
         pkt.set_flags_and_frag_offset(self.dont_fragment, self.more_fragments, self.frag_offset);

@@ -17,6 +17,7 @@
 //! strategies are built from (§3.2, §5.3, Table 3, Table 5). The
 //! [`builder::PacketBuilder`] API exposes every such knob.
 
+pub mod arena;
 pub mod builder;
 pub mod checksum;
 pub mod dns;

@@ -417,19 +417,24 @@ impl Wire {
     }
 
     /// Decrement the IPv4 TTL by up to `hops` (saturating at zero) and
-    /// refresh the header checksum once. Byte-for-byte equivalent to
-    /// `hops` single decrements, but with one checksum fill and — because
-    /// neither TTL nor checksum is indexed — a still-warm header index.
+    /// adjust the header checksum via RFC 1624 incremental update — only
+    /// the (TTL, protocol) word is re-summed, not the whole header.
+    /// Byte-for-byte equivalent to `hops` single decrements with a full
+    /// checksum refresh (every in-sim header carries its canonical
+    /// checksum, which simcheck separately enforces), and — because
+    /// neither TTL nor checksum is indexed — the header index stays warm.
     ///
     /// Returns the remaining TTL, or `None` (buffer untouched) when the
     /// bytes are not a valid IPv4 datagram.
     pub fn decrement_ttl(&mut self, hops: u8) -> Option<u8> {
-        let ihl = usize::from(self.headers()?.ip_header_len);
+        self.headers()?;
         let buf = self.make_unique(true);
         let ttl = buf.data[8].saturating_sub(hops);
+        let old_word = u16::from_be_bytes([buf.data[8], buf.data[9]]);
+        let new_word = u16::from_be_bytes([ttl, buf.data[9]]);
+        let old_ck = u16::from_be_bytes([buf.data[10], buf.data[11]]);
+        let ck = crate::checksum::incremental_update(old_ck, old_word, new_word);
         buf.data[8] = ttl;
-        buf.data[10..12].copy_from_slice(&[0, 0]);
-        let ck = crate::checksum::checksum(&buf.data[..ihl]);
         buf.data[10..12].copy_from_slice(&ck.to_be_bytes());
         Some(ttl)
     }

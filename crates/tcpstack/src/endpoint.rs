@@ -52,23 +52,38 @@ pub struct TcpEndpoint {
     ephemeral_next: u16,
 }
 
+impl Drop for TcpEndpoint {
+    fn drop(&mut self) {
+        crate::pool::put_repr(std::mem::replace(&mut self.rx_seg, TcpRepr::new(0, 0)));
+        // Dropping the sockets inside put_socket_table recycles their
+        // queues; the table, datagram queue and ignore-log storage keep
+        // their capacity for the next endpoint on this thread.
+        crate::pool::put_socket_table(std::mem::take(&mut self.sockets));
+        crate::pool::put_wire_queue(std::mem::take(&mut self.out));
+        self.ignore_log.recycle();
+    }
+}
+
 impl TcpEndpoint {
     pub fn new(addr: Ipv4Addr, profile: StackProfile) -> TcpEndpoint {
         TcpEndpoint {
             addr,
             profile,
-            ignore_log: IgnoreLog::default(),
+            ignore_log: IgnoreLog::pooled(),
             stats: StackStats::default(),
-            sockets: Vec::new(),
+            sockets: crate::pool::take_socket_table(),
             client_flags: Vec::new(),
             listeners: Vec::new(),
             accepted: Vec::new(),
-            out: Vec::new(),
+            out: crate::pool::take_wire_queue(),
             // Servers reassemble fragments; the "accepts junk like the GFW"
             // server variant (§3.4) is modeled by profiles that set
             // FirstWins via `set_ip_overlap`.
             ip_reasm: Reassembler::new(OverlapPolicy::LastWins),
-            rx_seg: TcpRepr::new(0, 0),
+            // Leased from the thread-local repr pool so a fresh endpoint
+            // inherits a previous one's grown options/payload capacity
+            // (returned in Drop).
+            rx_seg: crate::pool::take_repr(0, 0),
             isn_counter: 0x1000_0000,
             ident_counter: 1,
             ephemeral_next: 40_000,
@@ -215,7 +230,7 @@ impl TcpEndpoint {
                 let seg_len = seg.payload.len() as u32 + u32::from(seg.flags.syn()) + u32::from(seg.flags.fin());
                 (0, seg.seq.wrapping_add(seg_len), TcpFlags::RST_ACK)
             };
-            let mut rst = TcpRepr::new(seg.dst_port, seg.src_port);
+            let mut rst = crate::pool::take_repr(seg.dst_port, seg.src_port);
             rst.seq = rst_seq;
             rst.ack = rst_ack;
             rst.flags = flags;
@@ -231,10 +246,13 @@ impl TcpEndpoint {
     /// Wrap queued TCP segments of socket `idx` into IP datagrams.
     fn drain_socket(&mut self, idx: usize) {
         let dst = self.sockets[idx].tuple.dst;
-        let segs = std::mem::take(&mut self.sockets[idx].out);
-        for seg in segs {
+        let mut segs = std::mem::take(&mut self.sockets[idx].out);
+        for seg in segs.drain(..) {
             self.push_wire(dst, seg);
         }
+        // Hand the drained (now empty) queue back so its capacity survives
+        // to the next flush.
+        self.sockets[idx].out = segs;
     }
 
     fn push_wire(&mut self, dst: Ipv4Addr, seg: TcpRepr) {
@@ -244,15 +262,24 @@ impl TcpEndpoint {
         let wire = intang_packet::wire::emit_tcp(&ip, &seg);
         self.stats.segments_tx += 1;
         self.out.push(wire);
+        crate::pool::put_repr(seg);
     }
 
     /// Take all pending outgoing datagrams.
     pub fn poll_transmit(&mut self) -> Vec<Wire> {
+        let mut out = Vec::new();
+        self.poll_transmit_into(&mut out);
+        out
+    }
+
+    /// Append all pending outgoing datagrams to `out` — the allocation-free
+    /// variant for callers that keep a scratch vector across polls.
+    pub fn poll_transmit_into(&mut self, out: &mut Vec<Wire>) {
         // App-level sends land in socket.out; sweep them all.
         for idx in 0..self.sockets.len() {
             self.drain_socket(idx);
         }
-        std::mem::take(&mut self.out)
+        out.append(&mut self.out);
     }
 
     /// Earliest timer deadline across sockets.

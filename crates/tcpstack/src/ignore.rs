@@ -91,6 +91,20 @@ pub struct IgnoreLog {
 }
 
 impl IgnoreLog {
+    /// An empty log whose storage is leased from the thread-local pool
+    /// (recycled capacity; contents identical to `IgnoreLog::default()`).
+    pub(crate) fn pooled() -> IgnoreLog {
+        IgnoreLog {
+            events: crate::pool::take_ignore_buf(),
+            total: 0,
+        }
+    }
+
+    /// Hand the storage back to the pool (used by the endpoint on drop).
+    pub(crate) fn recycle(&mut self) {
+        crate::pool::put_ignore_buf(std::mem::take(&mut self.events));
+    }
+
     pub fn record(&mut self, reason: IgnoreReason, tuple: Option<FourTuple>) {
         self.total += 1;
         if self.events.len() < 10_000 {

@@ -24,6 +24,7 @@
 
 pub mod endpoint;
 pub mod ignore;
+mod pool;
 pub mod profile;
 pub mod reasm;
 pub mod socket;

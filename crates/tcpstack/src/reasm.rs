@@ -132,7 +132,11 @@ impl Assembler {
                 stored += data.len();
             }
         }
-        self.normalize();
+        // A single buffered segment has nothing to merge with; skipping
+        // normalization keeps the common in-order case allocation-light.
+        if self.segments.len() > 1 {
+            self.normalize();
+        }
         if self.simcheck {
             self.validate("insert");
         }
@@ -155,6 +159,15 @@ impl Assembler {
     /// Drain all contiguous bytes at the head.
     pub fn pull(&mut self) -> Vec<u8> {
         let mut out = Vec::new();
+        self.pull_into(&mut out);
+        out
+    }
+
+    /// [`Assembler::pull`], appending into a caller-owned buffer — the
+    /// allocation-free path for consumers that keep a receive buffer.
+    /// Returns the number of bytes pulled.
+    pub fn pull_into(&mut self, out: &mut Vec<u8>) -> usize {
+        let before = out.len();
         while let Some(seg) = self.segments.remove(&self.head) {
             self.head += seg.len() as u64;
             out.extend_from_slice(&seg);
@@ -162,7 +175,7 @@ impl Assembler {
         if self.simcheck {
             self.validate("pull");
         }
-        out
+        out.len() - before
     }
 
     /// Simcheck: the head never regresses, buffered segments are non-empty

@@ -93,6 +93,18 @@ pub struct Socket {
     pub out: Vec<TcpRepr>,
 }
 
+impl Drop for Socket {
+    fn drop(&mut self) {
+        // Recycle the queue storage (and the queued reprs) through the
+        // thread-local pools: sweeps build several sockets per trial and
+        // the buffers only ever need capacity, not contents.
+        crate::pool::put_seg_queue(std::mem::take(&mut self.out));
+        crate::pool::put_bytes(std::mem::take(&mut self.send_queue));
+        crate::pool::put_bytes(std::mem::take(&mut self.unacked));
+        crate::pool::put_bytes(std::mem::take(&mut self.recv_buf));
+    }
+}
+
 impl Socket {
     /// Client side: create and emit the initial SYN.
     pub fn connect(tuple: FourTuple, iss: u32, profile: StackProfile, now: Micros) -> Socket {
@@ -129,14 +141,14 @@ impl Socket {
             iss,
             snd_una: iss,
             snd_nxt: iss,
-            send_queue: Vec::new(),
-            unacked: Vec::new(),
+            send_queue: crate::pool::take_bytes(),
+            unacked: crate::pool::take_bytes(),
             fin_queued: false,
             fin_sent: false,
             irs: 0,
             rcv_nxt: 0,
             asm: Assembler::new(profile.overlap_policy),
-            recv_buf: Vec::new(),
+            recv_buf: crate::pool::take_bytes(),
             peer_closed: false,
             ts_recent: None,
             use_timestamps: true,
@@ -145,7 +157,7 @@ impl Socket {
             retries: 0,
             time_wait_deadline: None,
             reset_by_peer: false,
-            out: Vec::new(),
+            out: crate::pool::take_seg_queue(),
         }
     }
 
@@ -162,6 +174,23 @@ impl Socket {
     /// Read everything received so far.
     pub fn recv_drain(&mut self) -> Vec<u8> {
         std::mem::take(&mut self.recv_buf)
+    }
+
+    /// Append everything received so far to `out` — the allocation-free
+    /// drain: the socket's receive buffer keeps its capacity and the app
+    /// accumulates into a buffer it already owns.
+    pub fn drain_recv_into(&mut self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.recv_buf);
+        self.recv_buf.clear();
+    }
+
+    /// Discard everything received so far, returning how many bytes there
+    /// were. For apps that only count bytes (keeps the buffer's capacity,
+    /// unlike `recv_drain().len()`).
+    pub fn recv_discard(&mut self) -> usize {
+        let n = self.recv_buf.len();
+        self.recv_buf.clear();
+        n
     }
 
     /// Bytes available without draining.
@@ -213,7 +242,7 @@ impl Socket {
     // ------------------------------------------------------------------
 
     fn segment(&self, flags: TcpFlags, seqno: u32, ack: u32, now: Micros) -> TcpRepr {
-        let mut repr = TcpRepr::new(self.tuple.src_port, self.tuple.dst_port);
+        let mut repr = crate::pool::take_repr(self.tuple.src_port, self.tuple.dst_port);
         repr.seq = seqno;
         repr.ack = ack;
         repr.flags = flags;
@@ -657,10 +686,7 @@ impl Socket {
         if !seg.payload.is_empty() {
             let rel = seg.seq.wrapping_sub(base) as u64;
             self.asm.insert(rel, &seg.payload);
-            let pulled = self.asm.pull();
-            if !pulled.is_empty() {
-                self.recv_buf.extend_from_slice(&pulled);
-            }
+            self.asm.pull_into(&mut self.recv_buf);
             self.rcv_nxt = base.wrapping_add(self.asm.head() as u32);
         }
         if seg.flags.fin() {

@@ -14,6 +14,10 @@
 //!   outcomes). Each sweep worker owns a shard; shards merge
 //!   deterministically in cell-index order, so parallel metrics are
 //!   byte-identical to a serial run.
+//! * [`merge`] — the streaming in-order merge ([`OrderedFold`]): sweep
+//!   workers retire per-cell results in stealing order, the fold observes
+//!   them in cell-index order, and only the out-of-order reorder window is
+//!   ever buffered (constant memory in the sweep size).
 //! * [`diagnose`] — the per-trial failure-diagnosis pass: classifies every
 //!   unsuccessful trial into one of the paper's §5 failure vectors from
 //!   the trial's counters.
@@ -28,7 +32,9 @@
 pub mod alloc;
 pub mod diagnose;
 pub mod json;
+pub mod merge;
 pub mod metrics;
 
 pub use diagnose::{classify, FailureVector, TrialEvidence, TrialOutcome};
+pub use merge::OrderedFold;
 pub use metrics::{Counter, HistId, Histogram, MetricsSheet};

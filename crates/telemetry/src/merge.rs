@@ -1,0 +1,166 @@
+//! Streaming in-order merge of indexed results produced out of order.
+//!
+//! The sweep executor's workers retire (vantage point, site) cells in
+//! whatever order the work-stealing cursor hands them out, but every
+//! consumer of sweep telemetry requires *cell-index order* — that ordering
+//! is what makes parallel metrics byte-identical to a serial run. The old
+//! executor achieved it by buffering every cell's full result until the
+//! end of the sweep (`O(cells)` live sheets). [`OrderedFold`] achieves the
+//! same ordering with a reorder buffer: results are folded into the
+//! accumulator the moment they become the next expected index, so the
+//! buffer only ever holds the out-of-order window — in practice a handful
+//! of cells around each straggler, not the whole sweep.
+//!
+//! The fold function observes items in strict index order `0, 1, 2, ...`
+//! regardless of push order, which is exactly the serial fold — so any
+//! accumulator built this way is byte-identical to a single-threaded run.
+
+use std::collections::BTreeMap;
+
+/// Reorder buffer + streaming fold. `T` is one producer's result, `S` the
+/// accumulated state, and the fold observes `(state, index, item)` in
+/// strict index order.
+#[derive(Debug)]
+pub struct OrderedFold<T, S, F: FnMut(&mut S, usize, T)> {
+    state: S,
+    fold: F,
+    /// Next index the fold expects.
+    next: usize,
+    /// Results that arrived ahead of `next`, keyed by index.
+    pending: BTreeMap<usize, T>,
+    /// Largest number of results ever buffered at once (diagnostics: the
+    /// memory high-water mark of the reorder window).
+    high_water: usize,
+}
+
+impl<T, S, F: FnMut(&mut S, usize, T)> OrderedFold<T, S, F> {
+    pub fn new(state: S, fold: F) -> OrderedFold<T, S, F> {
+        OrderedFold {
+            state,
+            fold,
+            next: 0,
+            pending: BTreeMap::new(),
+            high_water: 0,
+        }
+    }
+
+    /// Accept result `index`. Folds it (and any buffered successors) as
+    /// soon as the in-order prefix extends to cover them.
+    ///
+    /// Panics if `index` was already pushed — every index must be produced
+    /// exactly once.
+    pub fn push(&mut self, index: usize, item: T) {
+        assert!(index >= self.next, "index {index} already folded (next = {})", self.next);
+        let clash = self.pending.insert(index, item);
+        assert!(clash.is_none(), "index {index} pushed twice");
+        self.high_water = self.high_water.max(self.pending.len());
+        while let Some(item) = self.pending.remove(&self.next) {
+            (self.fold)(&mut self.state, self.next, item);
+            self.next += 1;
+        }
+    }
+
+    /// Indices folded so far (equals the length of the in-order prefix).
+    pub fn folded(&self) -> usize {
+        self.next
+    }
+
+    /// Results currently waiting in the reorder buffer.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Memory high-water mark: the most results ever buffered at once.
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Consume the fold, returning the accumulated state and the buffer
+    /// high-water mark.
+    ///
+    /// Panics if results are still waiting on a gap (an index was never
+    /// pushed) — finishing with holes would silently drop folded-ahead
+    /// results.
+    pub fn finish(self) -> (S, usize) {
+        assert!(
+            self.pending.is_empty(),
+            "OrderedFold finished with {} result(s) stuck behind missing index {}",
+            self.pending.len(),
+            self.next
+        );
+        (self.state, self.high_water)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_order_pushes_fold_immediately() {
+        let mut f = OrderedFold::new(Vec::new(), |acc: &mut Vec<usize>, i, item: usize| {
+            assert_eq!(i, item);
+            acc.push(item);
+        });
+        for i in 0..5 {
+            f.push(i, i);
+            assert_eq!(f.folded(), i + 1);
+            assert_eq!(f.pending(), 0);
+        }
+        let (acc, high) = f.finish();
+        assert_eq!(acc, vec![0, 1, 2, 3, 4]);
+        // In-order arrival buffers exactly one item at a time.
+        assert_eq!(high, 1);
+    }
+
+    #[test]
+    fn out_of_order_pushes_fold_in_index_order() {
+        let mut f = OrderedFold::new(Vec::new(), |acc: &mut Vec<usize>, _i, item: usize| acc.push(item));
+        for i in [3, 1, 4, 0, 2, 5] {
+            f.push(i, i * 10);
+        }
+        let (acc, high) = f.finish();
+        assert_eq!(acc, vec![0, 10, 20, 30, 40, 50]);
+        assert!(high >= 3, "3,1,4 buffered before 0 arrived; high_water = {high}");
+    }
+
+    #[test]
+    fn high_water_tracks_straggler_window() {
+        let mut f = OrderedFold::new(0usize, |acc: &mut usize, _i, item: usize| *acc += item);
+        // Index 0 is the straggler: everything else queues behind it.
+        for i in 1..=7 {
+            f.push(i, 1);
+            assert_eq!(f.folded(), 0);
+        }
+        assert_eq!(f.pending(), 7);
+        f.push(0, 1);
+        assert_eq!(f.pending(), 0);
+        let (sum, high) = f.finish();
+        assert_eq!(sum, 8);
+        assert_eq!(high, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "pushed twice")]
+    fn duplicate_pending_index_panics() {
+        let mut f = OrderedFold::new((), |_: &mut (), _, _: usize| {});
+        f.push(1, 1);
+        f.push(1, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "already folded")]
+    fn duplicate_folded_index_panics() {
+        let mut f = OrderedFold::new((), |_: &mut (), _, _: usize| {});
+        f.push(0, 1);
+        f.push(0, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "stuck behind missing index")]
+    fn finish_with_gap_panics() {
+        let mut f = OrderedFold::new((), |_: &mut (), _, _: usize| {});
+        f.push(2, 1);
+        let _ = f.finish();
+    }
+}

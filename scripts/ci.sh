@@ -26,9 +26,24 @@ cargo run --release -p intang-experiments --bin bench_sweep -- --quick >/dev/nul
 INTANG_SIMCHECK=1 cargo run --release -p intang-experiments --bin bench_sweep -- --quick >/dev/null
 cargo test -q --release --test simcheck
 # Zero-copy substrate invariants: the timing-wheel event queue must pop in
-# exactly the reference (time, insertion-seq) order, and COW wire buffers
-# must never alias writes across clones.
+# exactly the reference (time, insertion-seq) order, COW wire buffers must
+# never alias writes across clones, the wide-word checksum and DPI
+# skip-loop kernels must agree with their scalar references at every
+# length/alignment/split, and arena recycling must be observationally
+# invisible.
 cargo test -q --release --test properties
+# Determinism matrix: sweep outputs byte-identical at 1/2/8 workers with
+# event batching forced on and off — plus a whole-process A/B with
+# batching env-disabled (the cached-flag path bench_sweep itself takes).
+cargo test -q --release --test determinism
+INTANG_BATCH=0 cargo run --release -p intang-experiments --bin bench_sweep -- --quick >/dev/null
+# Kernel microbench smoke: asserts kernel/reference agreement on real
+# iterations (a tiny time budget keeps it a compile-and-agree check, not a
+# measurement).
+INTANG_BENCH_BUDGET_MS=20 cargo bench -q -p intang-bench --bench kernels >/dev/null
+# Allocation ceiling: steady-state heap allocations per trial must stay
+# under 100 (the shard arenas' reason to exist; the seed was ~307).
+INTANG_ALLOC_GATE=100 cargo run --release -p intang-experiments --features alloc-count --bin bench_sweep -- --quick >/dev/null
 # Throughput regression gate: serial events/s within 10% of the blessed
 # baseline (scripts/bench_smoke_baseline.txt; INTANG_BLESS=1 re-blesses
 # after a hardware change; a missing file blesses automatically).

@@ -100,6 +100,38 @@ fn sweep_results_are_independent_of_worker_count() {
 }
 
 #[test]
+fn sweeps_are_identical_across_workers_and_batching_modes() {
+    // The full tentpole matrix: every observable sweep output — rows,
+    // events, the merged metrics sheet, and every per-trial diagnosis —
+    // must be byte-identical at 1, 2, and 8 workers, with batched event
+    // dispatch forced on AND forced off. Batching and the streaming merge
+    // are pure scheduling changes; any drift here means a hot-path
+    // "optimisation" changed semantics.
+    let s = Scenario::smoke(7);
+    let cfg = SweepConfig::new(Some(StrategyKind::ImprovedTeardown), true, 3, 1312);
+    let reference = {
+        let prev = intang_netsim::batch::set_thread(Some(false));
+        let run = sweep_with_threads(&s, &cfg, 1);
+        intang_netsim::batch::set_thread(prev);
+        run
+    };
+    for batching in [false, true] {
+        for workers in [1usize, 2, 8] {
+            let prev = intang_netsim::batch::set_thread(Some(batching));
+            let run = sweep_with_threads(&s, &cfg, workers);
+            intang_netsim::batch::set_thread(prev);
+            let tag = format!("{workers} workers, batching={batching}");
+            assert_eq!(reference.rows, run.rows, "rows differ at {tag}");
+            assert_eq!(reference.events, run.events, "events differ at {tag}");
+            assert_eq!(reference.metrics, run.metrics, "metrics differ at {tag}");
+            assert_eq!(reference.diagnoses, run.diagnoses, "diagnoses differ at {tag}");
+            // Diagnostics (worker_busy, merge_high_water) are intentionally
+            // excluded: wall-clock and reorder depth are scheduling-dependent.
+        }
+    }
+}
+
+#[test]
 fn faulted_sweeps_are_independent_of_worker_count() {
     // The fault layer must not weaken the executor's determinism contract:
     // with plans active, rows, events, the merged metrics sheet, and every

@@ -42,7 +42,7 @@ fn response_censorship_catches_location_header_leak() {
         cfg.censor_responses = censor_responses;
         // The *request* pattern here is not a rule; only the response leaks
         // a blacklisted domain through the Location header.
-        cfg.rules = intang_gfw::RuleSet::empty().with_domain("redirector.example");
+        cfg.rules = intang_gfw::RuleSet::empty().with_domain("redirector.example").into();
         let (gfw, handle) = GfwElement::new(cfg);
         sim.add_element(Box::new(gfw));
         sim.add_link(Link::new(Duration::from_millis(5), 5));

@@ -642,3 +642,156 @@ fn held_tap_copies_survive_downstream_ttl_rewrites() {
         );
     }
 }
+
+/// Fold a `sum_words` accumulator to its 16-bit ones-complement value —
+/// the only way accumulators are consumed, and hence the equivalence class
+/// the wide kernel must preserve.
+fn ones_fold(mut acc: u32) -> u16 {
+    while acc >> 16 != 0 {
+        acc = (acc & 0xffff) + (acc >> 16);
+    }
+    acc as u16
+}
+
+/// The wide-word checksum kernel agrees with the scalar reference at every
+/// length 0..512, at every alignment offset (the kernel uses unaligned
+/// loads — a misaligned slice must not change the sum), for random
+/// incoming accumulators, and under split accumulation (summing a buffer
+/// in two chunks at any even boundary equals summing it whole — the
+/// pseudo-header-then-segment pattern `transport_checksum` relies on).
+#[test]
+fn wide_checksum_equals_scalar_at_every_length_alignment_and_split() {
+    use intang_packet::checksum::{sum_words, sum_words_scalar};
+    let mut g = Gen::new(0x5c5c);
+    // One oversized backing buffer; slicing at `offset` exercises
+    // misaligned starting addresses without UB or copies.
+    let backing: Vec<u8> = (0..600).map(|_| g.u8()).collect();
+    for len in 0..512usize {
+        for offset in 0..4usize {
+            let data = &backing[offset..offset + len];
+            let acc = u32::from(g.u16()); // arbitrary carry-in
+            assert_eq!(
+                ones_fold(sum_words(acc, data)),
+                ones_fold(sum_words_scalar(acc, data)),
+                "len {len} offset {offset} acc {acc:#x}"
+            );
+        }
+        // Split accumulation at an even cut: checksums chain across chunk
+        // boundaries only at 16-bit word granularity (an odd-length chunk
+        // zero-pads its last byte, which whole-buffer summation does not).
+        let data = &backing[..len];
+        let cut = (g.below(len + 1)) & !1;
+        let whole = ones_fold(sum_words_scalar(0, data));
+        let split = ones_fold(sum_words(sum_words(0, &data[..cut]), &data[cut..]));
+        assert_eq!(split, whole, "len {len} cut {cut}");
+    }
+}
+
+/// The DPI clean-byte skip loop is an observational no-op: against the
+/// paper ruleset (whose root has no outputs, so skipping is armed),
+/// `StreamMatcher::feed` must report exactly what the node-by-node
+/// reference walk reports, for streams with planted patterns at random
+/// positions and arbitrary segmentation across feed calls.
+#[test]
+fn dpi_skip_loop_equals_reference_walk_across_arbitrary_splits() {
+    let aut = Automaton::build(&RuleSet::paper_default());
+    let plants: [&[u8]; 4] = [b"ultrasurf", b"facebook.com", b"tras", b"no-op filler"];
+    let mut g = Gen::new(0xd121);
+    for _ in 0..128 {
+        // Mostly clean bytes (the skip loop's fast path) with patterns —
+        // and near-miss prefixes — spliced in at random points.
+        let mut hay: Vec<u8> = Vec::new();
+        while hay.len() < 700 {
+            if g.below(5) == 0 {
+                hay.extend_from_slice(plants[g.below(plants.len())]);
+            } else {
+                hay.extend((0..g.range(1, 40)).map(|_| b'a' + (g.u8() % 26)));
+            }
+        }
+        let mut bounds: Vec<usize> = (0..g.below(10)).map(|_| g.below(hay.len() + 1)).collect();
+        bounds.push(0);
+        bounds.push(hay.len());
+        bounds.sort_unstable();
+
+        let mut fast = StreamMatcher::new();
+        let mut reference = StreamMatcher::new();
+        for w in bounds.windows(2) {
+            let seg = &hay[w[0]..w[1]];
+            assert_eq!(
+                fast.feed(&aut, seg),
+                reference.feed_reference(&aut, seg),
+                "segment {}..{}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+}
+
+/// Arena recycling is invisible: a leased-and-reset object behaves exactly
+/// like a fresh one (same contents from the consumer's viewpoint), the
+/// recycled capacity really is reused, and the free-list never exceeds its
+/// bound no matter the put pressure.
+#[test]
+fn arena_reuse_is_indistinguishable_from_fresh_allocation() {
+    use intang_packet::arena::Arena;
+    let mut g = Gen::new(0xa7e2);
+    let mut arena: Arena<Vec<u8>> = Arena::new(4);
+    for round in 0..200 {
+        let payload = g.bytes(0, 300);
+        // Consumer A: arena-leased buffer (possibly recycled, possibly
+        // still holding last round's capacity).
+        let mut leased = arena.take_with(Vec::new);
+        assert!(leased.is_empty(), "put-side contract: objects return reset");
+        leased.extend_from_slice(&payload);
+        // Consumer B: fresh allocation.
+        let mut fresh = Vec::new();
+        fresh.extend_from_slice(&payload);
+        assert_eq!(leased, fresh, "round {round}");
+        let ck_leased = intang_packet::checksum::checksum(&leased);
+        let ck_fresh = intang_packet::checksum::checksum(&fresh);
+        assert_eq!(ck_leased, ck_fresh, "round {round}");
+        leased.clear();
+        arena.put(leased);
+        assert!(arena.free_len() <= 4, "free-list bound violated");
+    }
+    // Extra puts beyond the bound are dropped, not hoarded.
+    for _ in 0..10 {
+        arena.put(Vec::with_capacity(64));
+    }
+    assert!(arena.free_len() <= 4);
+}
+
+/// The RFC 1624 incremental TTL writedown is byte-for-byte equivalent to
+/// the historical path (rewrite TTL, zero the checksum field, re-sum the
+/// whole header), for random headers, random option lengths, and every
+/// hop count including TTL saturation at zero.
+#[test]
+fn incremental_ttl_writedown_matches_full_header_resum() {
+    use intang_packet::Wire;
+    let mut g = Gen::new(0x1624);
+    for _ in 0..256 {
+        let mut repr = Ipv4Repr::new(g.addr(), g.addr(), IpProtocol::Tcp);
+        repr.ttl = g.u8();
+        repr.ident = g.u16();
+        repr.dont_fragment = g.bool();
+        let bytes = repr.emit(&g.bytes(0, 64));
+        let hops = (g.u8() % 5).max(1);
+
+        // Fast path: Wire's incremental update.
+        let mut fast = Wire::from_vec(bytes.clone());
+        let remaining = fast.decrement_ttl(hops).expect("emitted header parses");
+        assert_eq!(remaining, repr.ttl.saturating_sub(hops));
+
+        // Reference path: full re-sum via the packet view.
+        let mut slow = Ipv4Packet::new_checked(bytes).unwrap();
+        slow.set_ttl(repr.ttl.saturating_sub(hops));
+        slow.fill_header_checksum();
+
+        assert_eq!(fast.to_vec(), slow.into_inner(), "ttl {} hops {hops}", repr.ttl);
+        assert!(
+            Ipv4Packet::new_checked(fast.to_vec()).unwrap().verify_header_checksum(),
+            "incremental update left a verifiable checksum"
+        );
+    }
+}
