@@ -4,7 +4,7 @@
 use intang_netsim::{Ctx, Direction, Element, Instant};
 use intang_packet::{udp, IpProtocol, Ipv4Packet, Ipv4Repr, Wire};
 use intang_tcpstack::{StackProfile, TcpEndpoint};
-use intang_telemetry::MetricsSheet;
+use intang_telemetry::{span, MetricsSheet, SpanId};
 use std::cell::RefCell;
 use std::net::Ipv4Addr;
 use std::rc::Rc;
@@ -180,6 +180,7 @@ impl Element for DirectedHost {
     }
 
     fn on_packet(&mut self, ctx: &mut Ctx<'_>, _dir: Direction, wire: Wire) {
+        let _s = span(SpanId::Tcpstack);
         {
             let mut core = self.host.core.borrow_mut();
             let local = core.tcp.addr;
@@ -206,6 +207,7 @@ impl Element for DirectedHost {
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        let _s = span(SpanId::Tcpstack);
         if token == TOKEN_TCP {
             self.host.core.borrow_mut().tcp.on_timer(ctx.now.micros());
         }

@@ -13,7 +13,7 @@ use crate::strategy::{FlowState, ShimCtx, Strategy, StrategyKind, Verdict};
 use crate::ttl::HopEstimator;
 use intang_netsim::{Ctx, Direction, Duration, Element, Instant};
 use intang_packet::{FourTuple, FxHashMap, IpProtocol, Ipv4Packet, TcpPacket, TcpRepr, Wire};
-use intang_telemetry::{Counter, MetricsSheet};
+use intang_telemetry::{span, Counter, GaugeId, GaugeSample, MetricsSheet, SpanId};
 use std::cell::RefCell;
 use std::net::Ipv4Addr;
 use std::rc::Rc;
@@ -262,7 +262,12 @@ impl Element for IntangElement {
         m.add(Counter::IntangTtlReprobes, s.ttl_reprobes);
     }
 
+    fn sample_gauges(&self, g: &mut GaugeSample) {
+        g.add(GaugeId::IntangFlows, self.shim.borrow().flows.len() as u64);
+    }
+
     fn on_packet(&mut self, ctx: &mut Ctx<'_>, dir: Direction, wire: Wire) {
+        let _s = span(SpanId::Intang);
         let mut shim = self.shim.borrow_mut();
         match dir {
             Direction::ToServer => shim.process_egress(ctx, wire),
@@ -272,6 +277,7 @@ impl Element for IntangElement {
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        let _s = span(SpanId::Intang);
         let mut shim = self.shim.borrow_mut();
         match token {
             TOKEN_MEASURE => {

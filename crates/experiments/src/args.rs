@@ -1,7 +1,7 @@
 //! Minimal flag parsing shared by the experiment binaries.
 
 /// The usage text printed by `--help` and on parse errors.
-const USAGE: &str = "flags: --trials N        trials per cell (default: per-experiment)\n       --seed S          master seed (default 2017)\n       --quick           shrink the scenario for a fast smoke run\n       --smoke           alias for --quick\n       --telemetry PATH  write JSONL metrics + failure diagnoses to PATH\n                         (INTANG_TELEMETRY env is the fallback)";
+const USAGE: &str = "flags: --trials N        trials per cell (default: per-experiment)\n       --seed S          master seed (default 2017)\n       --quick           shrink the scenario for a fast smoke run\n       --smoke           alias for --quick\n       --telemetry PATH  write JSONL metrics + failure diagnoses to PATH\n                         (INTANG_TELEMETRY env is the fallback)\n       --progress        live sweep console on stderr\n                         (INTANG_PROGRESS=1 env is the fallback)\n       --profile-folded PATH\n                         enable the span profiler and write folded stacks\n                         to PATH (one 'a;b;c nanos' line per stack)";
 
 /// Parsed common flags.
 #[derive(Debug, Clone)]
@@ -14,6 +14,12 @@ pub struct CommonArgs {
     /// JSONL telemetry output path (`--telemetry PATH`, or the
     /// `INTANG_TELEMETRY` environment variable when the flag is absent).
     pub telemetry: Option<String>,
+    /// Live sweep console on stderr (`--progress`, or `INTANG_PROGRESS=1`
+    /// when the flag is absent).
+    pub progress: bool,
+    /// Folded-stack output path (`--profile-folded PATH`); also enables
+    /// span profiling for the run.
+    pub profile_folded: Option<String>,
 }
 
 impl CommonArgs {
@@ -36,6 +42,8 @@ impl CommonArgs {
             seed: 2017,
             quick: false,
             telemetry: None,
+            progress: false,
+            profile_folded: None,
         };
         let mut it = args.into_iter();
         while let Some(a) = it.next() {
@@ -57,6 +65,10 @@ impl CommonArgs {
                 "--telemetry" => {
                     out.telemetry = Some(it.next().ok_or_else(|| "--telemetry needs a path".to_string())?);
                 }
+                "--progress" => out.progress = true,
+                "--profile-folded" => {
+                    out.profile_folded = Some(it.next().ok_or_else(|| "--profile-folded needs a path".to_string())?);
+                }
                 "--help" | "-h" => {
                     eprintln!("{USAGE}");
                     std::process::exit(0);
@@ -67,7 +79,29 @@ impl CommonArgs {
         if out.telemetry.is_none() {
             out.telemetry = std::env::var("INTANG_TELEMETRY").ok().filter(|p| !p.is_empty());
         }
+        if !out.progress {
+            out.progress = matches!(std::env::var("INTANG_PROGRESS"), Ok(v) if !v.is_empty() && v != "0");
+        }
         Ok(out)
+    }
+
+    /// Apply the observability flags to this thread: enables span
+    /// profiling when `--profile-folded` was given. Call once per binary
+    /// before running sweeps.
+    pub fn apply_observability(&self) {
+        if self.profile_folded.is_some() {
+            intang_telemetry::spans::set_thread(Some(true));
+        }
+    }
+
+    /// Write the merged folded-stack profile to the `--profile-folded`
+    /// path (no-op when the flag is absent). One line per observed stack:
+    /// `trial;gfw;dpi_scan 12345`.
+    pub fn write_profile_folded(&self, profile: &intang_telemetry::SpanSheet) {
+        let Some(path) = &self.profile_folded else { return };
+        if let Err(e) = std::fs::write(path, profile.folded()) {
+            eprintln!("warning: could not write folded profile to {path}: {e}");
+        }
     }
 
     /// Trials to use, with a per-experiment default.
@@ -107,6 +141,14 @@ mod tests {
     fn telemetry_flag_takes_a_path() {
         let a = CommonArgs::parse_from(vec!["--telemetry".into(), "out.jsonl".into()]).unwrap();
         assert_eq!(a.telemetry.as_deref(), Some("out.jsonl"));
+    }
+
+    #[test]
+    fn observability_flags_parse() {
+        let a = CommonArgs::parse_from(vec!["--progress".into(), "--profile-folded".into(), "prof.folded".into()]).unwrap();
+        assert!(a.progress);
+        assert_eq!(a.profile_folded.as_deref(), Some("prof.folded"));
+        assert!(CommonArgs::parse_from(vec!["--profile-folded".into()]).is_err());
     }
 
     #[test]

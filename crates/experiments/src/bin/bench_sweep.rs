@@ -3,23 +3,32 @@
 //! speedup vs the serial (1-worker) run, verifying along the way that every
 //! worker count produces byte-identical aggregates. Also reports the
 //! machine's available cores (warning when a worker count exceeds them —
-//! those "speedups" are scheduler artifacts), per-worker busy time and the
+//! those "speedups" are scheduler artifacts), per-worker busy time with
+//! contention counters (merge-mutex wait, steal attempts/failures) and the
 //! streaming merge's reorder high-water mark per run, event-batching
 //! statistics, the wire pool's and recycling arenas' hit/miss counters,
 //! and — built with `--features alloc-count` — heap allocations per trial
-//! at steady state.
+//! at steady state. After the timed measurements an *instrumented* serial
+//! pass (gauge series + span profiler enabled) populates the `series` and
+//! `profile` sections, so observability cost never touches the throughput
+//! numbers.
 //!
 //! Writes `BENCH_sweep.json` into the current directory. `--quick` shrinks
 //! the workload to a smoke-test size (used by `scripts/ci.sh`); `--smoke`
 //! additionally gates serial throughput against the blessed baseline in
 //! `scripts/bench_smoke_baseline.txt` (set `INTANG_BLESS=1` to re-bless on
 //! a new machine). `INTANG_THREADS` caps the "max" worker count.
+//! `--progress` draws the live sweep console during the measurement loop;
+//! `--profile-folded PATH` writes the instrumented pass's folded stacks.
 
 use intang_core::{Discrepancy, StrategyKind};
+use intang_experiments::args::CommonArgs;
+use intang_experiments::progress::Progress;
 use intang_experiments::runner::{overall, sweep_with_threads, worker_count, SweepConfig, SweepRun};
 use intang_experiments::scenario::Scenario;
+use intang_telemetry::{GaugeId, SpanId};
 use std::fmt::Write as _;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 #[cfg(feature = "alloc-count")]
 #[global_allocator]
@@ -73,11 +82,21 @@ struct Measurement {
     /// Per-worker busy time, summed across the workload's strategy sweeps
     /// (worker i of each sweep maps to slot i).
     busy_s: Vec<f64>,
+    /// Per-worker time spent waiting on the ordered-merge mutex.
+    merge_wait_s: Vec<f64>,
+    /// Per-worker cursor claims (successful + failed).
+    steal_attempts: Vec<u64>,
+    /// Per-worker claims that found the cursor exhausted.
+    steal_failures: Vec<u64>,
     /// Largest reorder window the streaming merge buffered in any sweep.
     merge_high_water: usize,
 }
 
-fn run_all(w: &Workload, threads: usize) -> (Vec<SweepRun>, f64) {
+fn run_all(w: &Workload, threads: usize, progress: bool) -> (Vec<SweepRun>, f64) {
+    let bar = progress.then(|| {
+        let cells = w.scenario.vantage_points.len() * w.scenario.websites.len();
+        Progress::start(&format!("bench/{threads}w"), w.strategies.len() * cells, threads)
+    });
     let start = Instant::now();
     let runs = w
         .strategies
@@ -85,6 +104,7 @@ fn run_all(w: &Workload, threads: usize) -> (Vec<SweepRun>, f64) {
         .map(|(_, kind)| {
             let mut cfg = SweepConfig::new(*kind, true, w.trials, 2017);
             cfg.route_change_prob = 0.12;
+            cfg.progress = bar.clone();
             sweep_with_threads(&w.scenario, &cfg, threads)
         })
         .collect();
@@ -104,12 +124,12 @@ fn smoke_gate() -> ! {
     // A single quick run is only a few ms — hopeless to time on a busy
     // machine. Each sample aggregates 8 consecutive runs (~50 ms of
     // work); warm up once, then take 5 samples.
-    let _ = run_all(&w, 1);
+    let _ = run_all(&w, 1, false);
     let mut rates: Vec<f64> = (0..5)
         .map(|_| {
             let (mut events, mut wall_s) = (0u64, 0.0f64);
             for _ in 0..8 {
-                let (runs, w_s) = run_all(&w, 1);
+                let (runs, w_s) = run_all(&w, 1, false);
                 events += runs.iter().map(|r| r.events).sum::<u64>();
                 wall_s += w_s;
             }
@@ -145,7 +165,8 @@ fn smoke_gate() -> ! {
 }
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args = CommonArgs::parse();
+    let quick = args.quick;
     if std::env::args().any(|a| a == "--smoke") {
         smoke_gate();
     }
@@ -179,15 +200,21 @@ fn main() {
     let mut measurements = Vec::new();
     let mut total_violations = 0u64;
     for &threads in &thread_counts {
-        let (runs, wall_s) = run_all(&w, threads);
+        let (runs, wall_s) = run_all(&w, threads, args.progress);
         let trials: u64 = runs.iter().map(|r| r.trials).sum();
         let events: u64 = runs.iter().map(|r| r.events).sum();
         total_violations += runs.iter().map(|r| r.violations).sum::<u64>();
         let mut busy_s = vec![0.0f64; threads];
+        let mut merge_wait_s = vec![0.0f64; threads];
+        let mut steal_attempts = vec![0u64; threads];
+        let mut steal_failures = vec![0u64; threads];
         let mut merge_high_water = 0usize;
         for r in &runs {
-            for (slot, d) in busy_s.iter_mut().zip(&r.worker_busy) {
-                *slot += d.as_secs_f64();
+            for (slot, ws) in r.worker_stats.iter().enumerate().take(threads) {
+                busy_s[slot] += ws.busy.as_secs_f64();
+                merge_wait_s[slot] += ws.merge_wait.as_secs_f64();
+                steal_attempts[slot] += ws.steal_attempts;
+                steal_failures[slot] += ws.steal_failures;
             }
             merge_high_water = merge_high_water.max(r.merge_high_water);
         }
@@ -215,6 +242,9 @@ fn main() {
             events,
             identical_to_serial: identical,
             busy_s,
+            merge_wait_s,
+            steal_attempts,
+            steal_failures,
             merge_high_water,
         });
     }
@@ -228,7 +258,7 @@ fn main() {
     intang_packet::arena::reset_stats();
     #[cfg(feature = "alloc-count")]
     intang_telemetry::alloc::reset_alloc_count();
-    let (steady_runs, steady_wall) = run_all(&w, 1);
+    let (steady_runs, steady_wall) = run_all(&w, 1, false);
     #[cfg(feature = "alloc-count")]
     let allocs_per_trial: Option<f64> = {
         let steady_trials: u64 = steady_runs.iter().map(|r| r.trials).sum();
@@ -269,6 +299,34 @@ fn main() {
             }
         }
     }
+
+    // Instrumented pass: one serial run with the gauge series and the span
+    // profiler switched on. Kept strictly after the timed measurements so
+    // the observability cost never leaks into the throughput numbers.
+    let prev_series = intang_telemetry::series::set_thread(Some(true));
+    let prev_spans = intang_telemetry::spans::set_thread(Some(true));
+    let (instrumented_runs, instrumented_wall) = run_all(&w, 1, false);
+    intang_telemetry::series::set_thread(prev_series);
+    intang_telemetry::spans::set_thread(prev_spans);
+    let mut series = intang_telemetry::SeriesSheet::new();
+    let mut profile = intang_telemetry::SpanSheet::new();
+    let mut instrumented_busy = Duration::ZERO;
+    for r in &instrumented_runs {
+        if let Some(s) = &r.series {
+            series.merge(s);
+        }
+        profile.merge(&r.profile());
+        for ws in &r.worker_stats {
+            instrumented_busy += ws.busy;
+        }
+    }
+    let busy_coverage = profile.total_self_nanos() as f64 / (instrumented_busy.as_nanos().max(1) as f64);
+    eprintln!(
+        "  instrumented: {instrumented_wall:.2}s serial; profile covers {:.1}% of worker busy time",
+        busy_coverage * 100.0,
+    );
+    args.write_profile_folded(&profile);
+    drop(instrumented_runs);
 
     let serial = serial_runs.expect("at least one worker count ran");
     let success_rates: Vec<(&str, f64)> = w
@@ -322,17 +380,43 @@ fn main() {
          \"mean_batch\": {mean_batch:.2}, \"size_hist_log2\": [{}]}},",
         hist.join(", ")
     );
+    // An unmeasurable quantity is reported as unmeasured, never as a bare
+    // null a consumer could misread as "zero allocations".
     let _ = writeln!(
         json,
         "  \"allocs_per_trial\": {},",
-        allocs_per_trial.map_or("null".to_string(), |a| format!("{a:.1}")),
+        allocs_per_trial.map_or_else(
+            || "{\"measured\": false}".to_string(),
+            |a| format!("{{\"measured\": true, \"per_trial\": {a:.1}}}")
+        ),
+    );
+    json.push_str("  \"series\": {");
+    let gauges: Vec<String> = GaugeId::ALL
+        .iter()
+        .filter(|&&id| !series.series(id).is_empty())
+        .map(|&id| format!("\"{}\": {}", id.name(), series.series(id).to_json()))
+        .collect();
+    json.push_str(&gauges.join(", "));
+    json.push_str("},\n");
+    let buckets: Vec<String> = SpanId::ALL
+        .iter()
+        .map(|&id| format!("\"{}\": {}", id.name(), profile.self_nanos[id as usize]))
+        .collect();
+    let _ = writeln!(
+        json,
+        "  \"profile\": {{\"total_self_nanos\": {}, \"busy_coverage\": {busy_coverage:.3}, \"self_nanos\": {{{}}}}},",
+        profile.total_self_nanos(),
+        buckets.join(", "),
     );
     json.push_str("  \"runs\": [\n");
     for (i, m) in measurements.iter().enumerate() {
         let busy: Vec<String> = m.busy_s.iter().map(|b| format!("{b:.3}")).collect();
+        let waits: Vec<String> = m.merge_wait_s.iter().map(|b| format!("{b:.3}")).collect();
+        let attempts: Vec<String> = m.steal_attempts.iter().map(u64::to_string).collect();
+        let failures: Vec<String> = m.steal_failures.iter().map(u64::to_string).collect();
         let _ = write!(
             json,
-            "    {{\"threads\": {}, \"wall_s\": {:.3}, \"trials\": {}, \"trials_per_s\": {:.1}, \"events\": {}, \"events_per_s\": {:.0}, \"speedup_vs_serial\": {:.2}, \"identical_to_serial\": {}, \"worker_busy_s\": [{}], \"merge_high_water\": {}}}",
+            "    {{\"threads\": {}, \"wall_s\": {:.3}, \"trials\": {}, \"trials_per_s\": {:.1}, \"events\": {}, \"events_per_s\": {:.0}, \"speedup_vs_serial\": {:.2}, \"identical_to_serial\": {}, \"worker_busy_s\": [{}], \"merge_wait_s\": [{}], \"steal_attempts\": [{}], \"steal_failures\": [{}], \"merge_high_water\": {}}}",
             m.threads,
             m.wall_s,
             m.trials,
@@ -342,6 +426,9 @@ fn main() {
             serial_wall / m.wall_s,
             m.identical_to_serial,
             busy.join(", "),
+            waits.join(", "),
+            attempts.join(", "),
+            failures.join(", "),
             m.merge_high_water,
         );
         json.push_str(if i + 1 < measurements.len() { ",\n" } else { "\n" });

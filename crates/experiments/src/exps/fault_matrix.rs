@@ -68,6 +68,13 @@ pub fn run(args: &CommonArgs) -> String {
     };
     let workers = worker_count();
     let mut sink = TelemetrySink::from_args(args);
+    args.apply_observability();
+    let cells = scenario.vantage_points.len() * scenario.websites.len();
+    let total_cells = INTENSITIES.len() * rows().len() * cells;
+    let progress = args
+        .progress
+        .then(|| crate::progress::Progress::start("fault_matrix", total_cells, workers));
+    let mut profile = intang_telemetry::SpanSheet::new();
     let mut out = String::new();
     // success avg per (strategy row, intensity) for the closing summary.
     let mut curves: Vec<Vec<f64>> = vec![Vec::new(); rows().len()];
@@ -94,7 +101,9 @@ pub fn run(args: &CommonArgs) -> String {
         for (row_idx, (label, kind)) in rows().into_iter().enumerate() {
             let mut cfg = SweepConfig::new(kind, true, trials, args.seed);
             cfg.faults = FaultConfig::at_intensity(intensity);
+            cfg.progress = progress.clone();
             let run = sweep_with_threads(&scenario, &cfg, workers);
+            profile.merge(&run.profile());
             if let Some(s) = sink.as_mut() {
                 s.record_sweep("fault_matrix", &format!("intensity {intensity:.2}: {label}"), &run)
                     .expect("telemetry write");
@@ -133,5 +142,6 @@ pub fn run(args: &CommonArgs) -> String {
         t.row(cells);
     }
     out.push_str(&t.render());
+    args.write_profile_folded(&profile);
     out
 }

@@ -126,10 +126,22 @@ pub fn run(args: &CommonArgs) -> String {
         ],
     );
     let mut sink = TelemetrySink::from_args(args);
+    args.apply_observability();
     let workers = worker_count();
+    let cells = scenario.vantage_points.len() * scenario.websites.len();
+    let progress = args
+        .progress
+        .then(|| crate::progress::Progress::start("table1", rows().len() * 2 * cells, workers));
+    let mut profile = intang_telemetry::SpanSheet::new();
     for (label, kind, paper_kw, paper_nokw) in rows() {
-        let kw_run = sweep_with_threads(&scenario, &SweepConfig::new(Some(kind), true, trials, args.seed), workers);
-        let nk_run = sweep_with_threads(&scenario, &SweepConfig::new(Some(kind), false, trials, args.seed ^ 0x5a5a), workers);
+        let mut kw_cfg = SweepConfig::new(Some(kind), true, trials, args.seed);
+        kw_cfg.progress = progress.clone();
+        let kw_run = sweep_with_threads(&scenario, &kw_cfg, workers);
+        let mut nk_cfg = SweepConfig::new(Some(kind), false, trials, args.seed ^ 0x5a5a);
+        nk_cfg.progress = progress.clone();
+        let nk_run = sweep_with_threads(&scenario, &nk_cfg, workers);
+        profile.merge(&kw_run.profile());
+        profile.merge(&nk_run.profile());
         if let Some(s) = sink.as_mut() {
             s.record_sweep("table1", &format!("{label} (keyword)"), &kw_run)
                 .expect("telemetry write");
@@ -147,5 +159,6 @@ pub fn run(args: &CommonArgs) -> String {
             format!("{} ({})", pct(nk.failure1_rate()), pct(paper_nokw[1])),
         ]);
     }
+    args.write_profile_folded(&profile);
     t.render()
 }

@@ -43,15 +43,15 @@ pub fn rows() -> Vec<Table4Row> {
     ]
 }
 
-fn render_block(
-    out: &mut String,
-    sink: &mut Option<TelemetrySink>,
-    title: &str,
-    scenario: &Scenario,
-    trials: u32,
-    seed: u64,
-    outside: bool,
-) {
+/// Observability state shared by both blocks: the telemetry sink, the
+/// parsed flags (progress/profile), and the accumulated span profile.
+struct BlockCtx<'a> {
+    sink: &'a mut Option<TelemetrySink>,
+    args: &'a CommonArgs,
+    profile: &'a mut intang_telemetry::SpanSheet,
+}
+
+fn render_block(out: &mut String, ctx: &mut BlockCtx<'_>, title: &str, scenario: &Scenario, trials: u32, seed: u64, outside: bool) {
     let mut t = Table::new(
         &format!(
             "{title} — {} vp x {} sites x {} trials (paper avg in parentheses)",
@@ -62,14 +62,23 @@ fn render_block(
         &["Strategy", "Success min", "Success max", "Success avg", "F1 avg", "F2 avg"],
     );
     let workers = worker_count();
+    let sweeps = rows().iter().filter(|(_, _, _, po)| !outside || po.is_some()).count();
+    let cells = scenario.vantage_points.len() * scenario.websites.len();
+    let progress = ctx
+        .args
+        .progress
+        .then(|| crate::progress::Progress::start(title, sweeps * cells, workers));
     let mut empty_cells = 0usize;
     for (label, kind, paper_inside, paper_outside) in rows() {
         if outside && paper_outside.is_none() {
             continue; // the paper reports the INTANG row inside China only
         }
         let paper = if outside { paper_outside.unwrap() } else { paper_inside };
-        let run = sweep_with_threads(scenario, &SweepConfig::new(kind, true, trials, seed), workers);
-        if let Some(s) = sink.as_mut() {
+        let mut cfg = SweepConfig::new(kind, true, trials, seed);
+        cfg.progress = progress.clone();
+        let run = sweep_with_threads(scenario, &cfg, workers);
+        ctx.profile.merge(&run.profile());
+        if let Some(s) = ctx.sink.as_mut() {
             s.record_sweep("table4", &format!("{title}: {label}"), &run)
                 .expect("telemetry write");
         }
@@ -101,12 +110,19 @@ pub fn run(args: &CommonArgs) -> String {
     let trials = args.trials_or(8);
     let mut out = String::new();
     let mut sink = TelemetrySink::from_args(args);
+    args.apply_observability();
+    let mut profile = intang_telemetry::SpanSheet::new();
+    let mut ctx = BlockCtx {
+        sink: &mut sink,
+        args,
+        profile: &mut profile,
+    };
     let inside = if args.quick {
         Scenario::smoke(args.seed)
     } else {
         Scenario::paper_inside(args.seed)
     };
-    render_block(&mut out, &mut sink, "Table 4 (inside China)", &inside, trials, args.seed, false);
+    render_block(&mut out, &mut ctx, "Table 4 (inside China)", &inside, trials, args.seed, false);
     let mut outside = Scenario::paper_outside(args.seed);
     if args.quick {
         outside.vantage_points.truncate(2);
@@ -114,12 +130,13 @@ pub fn run(args: &CommonArgs) -> String {
     }
     render_block(
         &mut out,
-        &mut sink,
+        &mut ctx,
         "Table 4 (outside China)",
         &outside,
         trials,
         args.seed ^ 0x77,
         true,
     );
+    args.write_profile_folded(&profile);
     out
 }

@@ -13,7 +13,7 @@ use crate::trial::{run_http_trial, Outcome, TrialSpec};
 use intang_core::select::History;
 use intang_core::StrategyKind;
 use intang_faults::{FaultConfig, FaultPlan};
-use intang_telemetry::{FailureVector, MetricsSheet, OrderedFold};
+use intang_telemetry::{span, FailureVector, MetricsSheet, OrderedFold, SeriesSheet, SpanId, SpanSheet};
 use std::cell::RefCell;
 use std::rc::Rc;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -78,6 +78,9 @@ pub struct SweepConfig {
     /// are read-only, so results stay byte-identical either way; a
     /// violation triggers the minimal-repro shrinker.
     pub simcheck: bool,
+    /// Live console for this sweep (see [`crate::progress`]); workers
+    /// report each finished cell. `None` (the default) is silent.
+    pub progress: Option<std::sync::Arc<crate::progress::Progress>>,
 }
 
 impl SweepConfig {
@@ -91,6 +94,7 @@ impl SweepConfig {
             route_change_prob: 0.12,
             faults: FaultConfig::off(),
             simcheck: false,
+            progress: None,
         }
     }
 }
@@ -133,6 +137,9 @@ pub struct CellRun {
     /// Invariant violations recorded by simcheck across the cell's trials
     /// (0 when checking is disabled — and, with correct code, when it's on).
     pub violations: u64,
+    /// The cell's trials' gauge time-series merged in trial order (`None`
+    /// unless series telemetry was enabled).
+    pub series: Option<Box<SeriesSheet>>,
 }
 
 /// Run `cfg.trials` trials of one (vantage point, site) cell.
@@ -155,6 +162,7 @@ pub fn run_cell_telemetry(vp: &VantagePoint, vp_idx: usize, site: &Website, site
     let mut metrics = MetricsSheet::new();
     let mut diagnoses = Vec::new();
     let mut violations = 0u64;
+    let mut series: Option<Box<SeriesSheet>> = None;
     // Thread-local simcheck override: must be in place before any
     // Simulation is constructed (hot paths cache the flag). Restored on
     // the way out so the worker thread is reusable.
@@ -173,7 +181,10 @@ pub fn run_cell_telemetry(vp: &VantagePoint, vp_idx: usize, site: &Website, site
         spec.redundancy = cfg.redundancy;
         spec.history = history.clone();
         spec.route_change_prob = cfg.route_change_prob;
-        spec.faults = FaultPlan::derive(&cfg.faults, seed);
+        spec.faults = {
+            let _s = span(SpanId::FaultDerive);
+            FaultPlan::derive(&cfg.faults, seed)
+        };
         if sc {
             intang_simcheck::begin_trial(seed);
         }
@@ -211,6 +222,12 @@ pub fn run_cell_telemetry(vp: &VantagePoint, vp_idx: usize, site: &Website, site
         agg.add(r.outcome);
         events += r.events;
         metrics.merge(&r.metrics);
+        if let Some(ts) = r.series {
+            match &mut series {
+                Some(s) => s.merge(&ts),
+                None => series = Some(ts),
+            }
+        }
         if let Some(vector) = r.failure_vector {
             diagnoses.push(TrialDiagnosis {
                 vp: vp.name.to_string(),
@@ -237,6 +254,7 @@ pub fn run_cell_telemetry(vp: &VantagePoint, vp_idx: usize, site: &Website, site
         metrics,
         diagnoses,
         violations,
+        series,
     }
 }
 
@@ -248,6 +266,23 @@ pub fn worker_count() -> usize {
         Some(n) if n >= 1 => n,
         _ => std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1),
     }
+}
+
+/// One worker's executor statistics for a sweep, in worker-spawn order.
+/// All wall-clock — diagnostics only (varies run to run), never part of
+/// the deterministic merge.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WorkerStats {
+    /// Wall-clock spent inside the claim-run-merge loop. A worker much
+    /// below the max was starved or finished the tail early.
+    pub busy: std::time::Duration,
+    /// Wall-clock spent waiting to acquire the shared merge mutex —
+    /// direct evidence of merge contention at high worker counts.
+    pub merge_wait: std::time::Duration,
+    /// Cursor claims attempted (the last claim of each worker overshoots).
+    pub steal_attempts: u64,
+    /// Claims that found the grid exhausted.
+    pub steal_failures: u64,
 }
 
 /// A finished sweep: per-vantage-point rows plus executor statistics.
@@ -268,15 +303,30 @@ pub struct SweepRun {
     /// Simcheck invariant violations summed over all cells (0 unless
     /// checking was enabled *and* an invariant actually broke).
     pub violations: u64,
-    /// Wall-clock each worker spent inside its claim-run-merge loop, in
-    /// worker-spawn order. Diagnostics only (varies run to run): exposes
-    /// scheduling skew — a worker much below the max was starved or
-    /// finished the tail early.
-    pub worker_busy: Vec<std::time::Duration>,
+    /// Gauge time-series merged in cell-index order (byte-identical at any
+    /// worker count, like `metrics`); `None` unless series telemetry was
+    /// enabled.
+    pub series: Option<Box<SeriesSheet>>,
+    /// Per-worker executor statistics, in worker-spawn order.
+    pub worker_stats: Vec<WorkerStats>,
+    /// Per-worker span-profiler sheets, parallel to `worker_stats` (empty
+    /// sheets unless span profiling was enabled).
+    pub worker_profiles: Vec<SpanSheet>,
     /// Most cell results the streaming merge ever buffered at once (the
     /// reorder window behind the slowest straggler). A serial sweep pins
     /// this at 1.
     pub merge_high_water: usize,
+}
+
+impl SweepRun {
+    /// All workers' span profiles merged into one sheet.
+    pub fn profile(&self) -> SpanSheet {
+        let mut all = SpanSheet::default();
+        for p in &self.worker_profiles {
+            all.merge(p);
+        }
+        all
+    }
 }
 
 /// Per-vantage-point aggregates over all sites.
@@ -295,6 +345,7 @@ struct SweepAcc {
     metrics: MetricsSheet,
     diagnoses: Vec<TrialDiagnosis>,
     violations: u64,
+    series: Option<Box<SeriesSheet>>,
 }
 
 /// Run the sweep on `workers` threads claiming (vantage point, site) cells
@@ -327,6 +378,7 @@ pub fn sweep_with_threads(scenario: &Scenario, cfg: &SweepConfig, workers: usize
         metrics: MetricsSheet::new(),
         diagnoses: Vec::new(),
         violations: 0,
+        series: None,
     };
     let merge = Mutex::new(OrderedFold::new(acc, move |acc: &mut SweepAcc, i, cell: CellRun| {
         acc.rows[i / n_sites.max(1)].1.merge(cell.agg);
@@ -334,14 +386,24 @@ pub fn sweep_with_threads(scenario: &Scenario, cfg: &SweepConfig, workers: usize
         acc.metrics.merge(&cell.metrics);
         acc.diagnoses.extend(cell.diagnoses);
         acc.violations += cell.violations;
+        if let Some(cs) = cell.series {
+            match &mut acc.series {
+                Some(s) => s.merge(&cs),
+                None => acc.series = Some(cs),
+            }
+        }
     }));
 
-    // The caller's batching override is a thread-local; replay it inside
-    // every worker so an A/B harness (determinism matrix, bench_sweep)
-    // controls the mode of worker-constructed simulations too.
+    // The caller's observability overrides are thread-locals; replay them
+    // inside every worker so an A/B harness (determinism matrix,
+    // bench_sweep, the observability tests) controls the mode of
+    // worker-constructed simulations too.
     let batch_override = intang_netsim::batch::thread_override();
+    let flight_override = intang_netsim::flight::thread_override();
+    let series_override = intang_telemetry::series::thread_override();
+    let spans_override = intang_telemetry::spans::thread_override();
 
-    let worker_busy = std::thread::scope(|scope| {
+    let worker_results = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 let cursor = &cursor;
@@ -349,13 +411,23 @@ pub fn sweep_with_threads(scenario: &Scenario, cfg: &SweepConfig, workers: usize
                 let merge = &merge;
                 scope.spawn(move || {
                     intang_netsim::batch::set_thread(batch_override);
+                    intang_netsim::flight::set_thread(flight_override);
+                    intang_telemetry::series::set_thread(series_override);
+                    intang_telemetry::spans::set_thread(spans_override);
                     let started = std::time::Instant::now();
+                    let mut stats = WorkerStats::default();
                     loop {
-                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let i = {
+                            let _s = span(SpanId::IdleSteal);
+                            stats.steal_attempts += 1;
+                            cursor.fetch_add(1, Ordering::Relaxed)
+                        };
                         if i >= n_cells {
+                            stats.steal_failures += 1;
                             break;
                         }
                         let (vp_idx, site_idx) = (i / n_sites, i % n_sites);
+                        let cell_started = std::time::Instant::now();
                         let cell = run_cell_telemetry(
                             &scenario.vantage_points[vp_idx],
                             vp_idx,
@@ -363,12 +435,24 @@ pub fn sweep_with_threads(scenario: &Scenario, cfg: &SweepConfig, workers: usize
                             site_idx,
                             cfg,
                         );
+                        let cell_wall = cell_started.elapsed();
                         // Retire the cell immediately: the fold advances as
                         // far as the in-order prefix allows and the cell's
                         // sheet is freed, not parked until the end.
-                        merge.lock().expect("merge lock poisoned").push(i, cell);
+                        let high_water = {
+                            let _m = span(SpanId::TelemetryMerge);
+                            let wait_started = std::time::Instant::now();
+                            let mut guard = merge.lock().expect("merge lock poisoned");
+                            stats.merge_wait += wait_started.elapsed();
+                            guard.push(i, cell);
+                            guard.high_water()
+                        };
+                        if let Some(p) = &cfg.progress {
+                            p.cell_done(cell_wall, high_water);
+                        }
                     }
-                    started.elapsed()
+                    stats.busy = started.elapsed();
+                    (stats, intang_telemetry::spans::take_thread())
                 })
             })
             .collect();
@@ -378,6 +462,7 @@ pub fn sweep_with_threads(scenario: &Scenario, cfg: &SweepConfig, workers: usize
             .collect::<Vec<_>>()
     });
 
+    let (worker_stats, worker_profiles) = worker_results.into_iter().unzip();
     let (acc, merge_high_water) = merge.into_inner().expect("merge lock poisoned").finish();
     let trials = n_cells as u64 * u64::from(cfg.trials);
     SweepRun {
@@ -387,7 +472,9 @@ pub fn sweep_with_threads(scenario: &Scenario, cfg: &SweepConfig, workers: usize
         metrics: acc.metrics,
         diagnoses: acc.diagnoses,
         violations: acc.violations,
-        worker_busy,
+        series: acc.series,
+        worker_stats,
+        worker_profiles,
         merge_high_water,
     }
 }

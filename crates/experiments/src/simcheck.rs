@@ -73,10 +73,21 @@ pub fn artifact_dir() -> PathBuf {
         .map_or_else(|| PathBuf::from(".simcheck"), PathBuf::from)
 }
 
-/// Replay `input` once at `horizon` with `faults`, returning the
-/// violations it produced (and, when `trace` is on, the causal lineage of
-/// the final trace event — the packet storyline the trial ended on).
-fn replay(input: &ShrinkInput<'_>, horizon: Instant, faults: &Option<FaultPlan>, trace: bool) -> (Vec<Violation>, Option<String>) {
+/// What one isolated replay observed: the violations it produced and —
+/// when `trace` is on — the causal lineage of the final trace event plus
+/// the flight recorder's dump of the most recent dispatched events.
+struct Replay {
+    violations: Vec<Violation>,
+    lineage: Option<String>,
+    flight: Option<String>,
+}
+
+/// Replay `input` once at `horizon` with `faults`.
+fn replay(input: &ShrinkInput<'_>, horizon: Instant, faults: &Option<FaultPlan>, trace: bool) -> Replay {
+    // The traced (final) replay also forces the flight recorder on, so the
+    // artifact can show the event tail even when simcheck alone would not
+    // have recorded one on this thread.
+    let prev_flight = trace.then(|| intang_netsim::flight::set_thread(Some(true)));
     intang_simcheck::begin_trial(input.seed);
     let _ = intang_simcheck::take_violations();
     let mut spec = TrialSpec::new(input.vp, input.site, input.strategy, input.keyword, input.seed);
@@ -99,7 +110,15 @@ fn replay(input: &ShrinkInput<'_>, horizon: Instant, faults: &Option<FaultPlan>,
     let _ = classify(&sim, &parts, &spec);
     let violations = intang_simcheck::take_violations();
     let lineage = trace.then(|| render_tail_lineage(&sim));
-    (violations, lineage)
+    let flight = sim.flight_dump().filter(|_| trace);
+    if let Some(prev) = prev_flight {
+        intang_netsim::flight::set_thread(prev);
+    }
+    Replay {
+        violations,
+        lineage,
+        flight,
+    }
 }
 
 fn render_tail_lineage(sim: &Simulation) -> String {
@@ -116,8 +135,8 @@ fn render_tail_lineage(sim: &Simulation) -> String {
 /// not reproduce in isolation.
 pub fn shrink(input: &ShrinkInput<'_>, sweep_violations: &[Violation], out_dir: &Path) -> ShrinkReport {
     // 1. Reproduce in isolation at the full horizon.
-    let (repro, _) = replay(input, DEFAULT_HORIZON, &input.faults, false);
-    if repro.is_empty() {
+    let repro = replay(input, DEFAULT_HORIZON, &input.faults, false);
+    if repro.violations.is_empty() {
         let report = ShrinkReport {
             seed: input.seed,
             reproducible: false,
@@ -131,6 +150,7 @@ pub fn shrink(input: &ShrinkInput<'_>, sweep_violations: &[Violation], out_dir: 
             &report,
             &input.faults,
             "(not reproducible in isolation; no lineage)\n",
+            None,
             out_dir,
         );
         return ShrinkReport { artifact, ..report };
@@ -142,8 +162,7 @@ pub fn shrink(input: &ShrinkInput<'_>, sweep_violations: &[Violation], out_dir: 
     let mut hi = DEFAULT_HORIZON.0;
     while hi - lo > HORIZON_GRAIN {
         let mid = lo + (hi - lo) / 2;
-        let (v, _) = replay(input, Instant(mid), &input.faults, false);
-        if v.is_empty() {
+        if replay(input, Instant(mid), &input.faults, false).violations.is_empty() {
             lo = mid;
         } else {
             hi = mid;
@@ -154,20 +173,16 @@ pub fn shrink(input: &ShrinkInput<'_>, sweep_violations: &[Violation], out_dir: 
     // 3. Greedily drop fault-plan components the violation survives without.
     let mut faults = input.faults.clone();
     let mut dropped = Vec::new();
-    if faults.is_some() {
-        let (v, _) = replay(input, horizon, &None, false);
-        if !v.is_empty() {
-            faults = None;
-            dropped.push("entire-fault-plan");
-        }
+    if faults.is_some() && !replay(input, horizon, &None, false).violations.is_empty() {
+        faults = None;
+        dropped.push("entire-fault-plan");
     }
     if let Some(mut plan) = faults.take() {
         loop {
             let mut next = None;
             for (label, candidate) in plan.shrink_candidates() {
                 let cand = Some(candidate.clone());
-                let (v, _) = replay(input, horizon, &cand, false);
-                if !v.is_empty() {
+                if !replay(input, horizon, &cand, false).violations.is_empty() {
                     next = Some((label, candidate));
                     break;
                 }
@@ -184,16 +199,23 @@ pub fn shrink(input: &ShrinkInput<'_>, sweep_violations: &[Violation], out_dir: 
     }
 
     // 4. Final traced replay of the minimal configuration.
-    let (violations, lineage) = replay(input, horizon, &faults, true);
+    let last = replay(input, horizon, &faults, true);
     let report = ShrinkReport {
         seed: input.seed,
         reproducible: true,
         horizon,
         dropped,
-        violations,
+        violations: last.violations,
         artifact: None,
     };
-    let artifact = write_artifact(input, &report, &faults, lineage.as_deref().unwrap_or(""), out_dir);
+    let artifact = write_artifact(
+        input,
+        &report,
+        &faults,
+        last.lineage.as_deref().unwrap_or(""),
+        last.flight.as_deref(),
+        out_dir,
+    );
     ShrinkReport { artifact, ..report }
 }
 
@@ -203,9 +225,10 @@ fn write_artifact(
     report: &ShrinkReport,
     minimal_faults: &Option<FaultPlan>,
     lineage: &str,
+    flight: Option<&str>,
     out_dir: &Path,
 ) -> Option<PathBuf> {
-    let text = render_artifact(input, report, minimal_faults, lineage);
+    let text = render_artifact(input, report, minimal_faults, lineage, flight);
     std::fs::create_dir_all(out_dir).ok()?;
     let path = out_dir.join(format!("repro_{:016x}.txt", input.seed));
     let mut f = std::fs::File::create(&path).ok()?;
@@ -213,7 +236,13 @@ fn write_artifact(
     Some(path)
 }
 
-fn render_artifact(input: &ShrinkInput<'_>, report: &ShrinkReport, minimal_faults: &Option<FaultPlan>, lineage: &str) -> String {
+fn render_artifact(
+    input: &ShrinkInput<'_>,
+    report: &ShrinkReport,
+    minimal_faults: &Option<FaultPlan>,
+    lineage: &str,
+    flight: Option<&str>,
+) -> String {
     let mut out = String::new();
     out.push_str("simcheck minimal repro\n");
     out.push_str("======================\n\n");
@@ -248,6 +277,12 @@ fn render_artifact(input: &ShrinkInput<'_>, report: &ShrinkReport, minimal_fault
     out.push_str("\nlineage of the final trace event:\n");
     for line in lineage.lines() {
         out.push_str(&format!("  {line}\n"));
+    }
+    if let Some(flight) = flight {
+        out.push_str("\nflight recorder (most recent dispatched events, oldest first):\n");
+        for line in flight.lines() {
+            out.push_str(&format!("  {line}\n"));
+        }
     }
     out.push_str(
         "\nreplay:\n  Build a TrialSpec::new(vp, site, strategy, keyword, seed) with the\n  \

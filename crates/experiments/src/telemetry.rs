@@ -5,12 +5,16 @@
 //! executes appends two kinds of records to the file:
 //!
 //! * one `metrics` record — the sweep's merged [`MetricsSheet`] snapshot
-//!   (non-zero counters, histograms, per-strategy outcome grid), and
+//!   (non-zero counters, histograms, per-strategy outcome grid),
 //! * one `diagnosis` record per unsuccessful trial, carrying the trial's
-//!   identity and its §5 failure vector.
+//!   identity and its §5 failure vector, and
+//! * one `series` record per gauge when gauge time-series sampling was
+//!   enabled (`INTANG_SERIES=1`), carrying the sweep's merged series.
 //!
-//! Records are self-describing (`"record": "metrics" | "diagnosis"`) so a
-//! single file can interleave sweeps from several experiments.
+//! Records are self-describing (`"record": "metrics" | "diagnosis" |
+//! "series"`) and every record carries the writer's `schema_version`
+//! ([`intang_telemetry::SCHEMA_VERSION`]) so a single file can interleave
+//! sweeps from several experiments and still be parsed later.
 
 use crate::args::CommonArgs;
 use crate::runner::SweepRun;
@@ -76,6 +80,7 @@ impl TelemetrySink {
     pub fn record_sweep(&mut self, experiment: &str, sweep: &str, run: &SweepRun) -> io::Result<()> {
         let mut o = JsonObject::new();
         o.str("record", "metrics")
+            .u64("schema_version", intang_telemetry::SCHEMA_VERSION)
             .str("experiment", experiment)
             .str("sweep", sweep)
             .u64("trials", run.trials)
@@ -93,6 +98,7 @@ impl TelemetrySink {
             };
             let mut o = JsonObject::new();
             o.str("record", "diagnosis")
+                .u64("schema_version", intang_telemetry::SCHEMA_VERSION)
                 .str("experiment", experiment)
                 .str("sweep", sweep)
                 .str("vp", &d.vp)
@@ -103,6 +109,23 @@ impl TelemetrySink {
                 .str("vector", d.vector.name())
                 .u64("resets_seen", d.resets_seen);
             self.w.record(&o.finish())?;
+        }
+
+        if let Some(series) = &run.series {
+            for id in intang_telemetry::GaugeId::ALL {
+                let s = series.series(id);
+                if s.is_empty() {
+                    continue;
+                }
+                let mut o = JsonObject::new();
+                o.str("record", "series")
+                    .u64("schema_version", intang_telemetry::SCHEMA_VERSION)
+                    .str("experiment", experiment)
+                    .str("sweep", sweep)
+                    .str("gauge", id.name())
+                    .raw("series", &s.to_json());
+                self.w.record(&o.finish())?;
+            }
         }
         self.w.flush()
     }

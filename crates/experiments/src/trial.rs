@@ -12,7 +12,7 @@ use intang_middlebox::{FieldFilter, FilterSpec, FragmentHandler, SeqStrictFirewa
 use intang_netsim::{Direction, Duration, Instant, Link, Simulation};
 use intang_packet::http::HttpRequest;
 use intang_telemetry::metrics::{ADAPTIVE_SLOT, OUTCOME_FAILURE1, OUTCOME_FAILURE2, OUTCOME_SUCCESS};
-use intang_telemetry::{Counter, FailureVector, HistId, MetricsSheet, TrialEvidence, TrialOutcome};
+use intang_telemetry::{span, Counter, FailureVector, HistId, MetricsSheet, SeriesSheet, SpanId, TrialEvidence, TrialOutcome};
 use std::cell::RefCell;
 use std::net::Ipv4Addr;
 use std::rc::Rc;
@@ -128,10 +128,14 @@ pub struct TrialResult {
     pub metrics: MetricsSheet,
     /// §5 failure vector for unsuccessful trials (`None` on success).
     pub failure_vector: Option<FailureVector>,
+    /// Gauge time-series sampled on the sim-time cadence, present only
+    /// when series telemetry was enabled (see [`intang_telemetry::series`]).
+    pub series: Option<Box<SeriesSheet>>,
 }
 
 /// Assemble and run one HTTP fetch through the full path.
 pub fn run_http_trial(spec: &TrialSpec<'_>) -> TrialResult {
+    let _s = span(SpanId::Trial);
     let (sim, parts) = build_http_sim(spec);
     finish_http_trial(sim, parts, spec)
 }
@@ -341,6 +345,7 @@ fn apply_link_faults(sim: &mut Simulation, idx: usize, faults: &intang_netsim::L
 fn finish_http_trial(mut sim: Simulation, parts: TrialParts, spec: &TrialSpec<'_>) -> TrialResult {
     let (events, fault_flaps) = drive_http_trial(&mut sim, &parts, spec);
     let mut result = classify(&sim, &parts, spec);
+    result.series = sim.take_series();
     result.events = events;
     result.metrics.observe(HistId::TrialEvents, events);
     if fault_flaps > 0 {
@@ -448,6 +453,7 @@ pub fn classify(sim: &Simulation, parts: &TrialParts, spec: &TrialSpec<'_>) -> T
         events: 0,
         metrics,
         failure_vector,
+        series: None,
     }
 }
 

@@ -16,7 +16,7 @@ use crate::tcb::{CensorState, CensorTcb};
 use intang_netsim::{Ctx, Direction, Duration, Element, Instant};
 use intang_packet::frag::Reassembler;
 use intang_packet::{dns, udp, FourTuple, FxHashMap, IpProtocol, Ipv4Packet, Ipv4Repr, TcpPacket, TcpRepr, Wire};
-use intang_telemetry::{Counter, MetricsSheet};
+use intang_telemetry::{span, Counter, GaugeId, GaugeSample, MetricsSheet, SpanId};
 use std::cell::RefCell;
 use std::net::Ipv4Addr;
 use std::rc::Rc;
@@ -226,6 +226,7 @@ impl Element for GfwElement {
     }
 
     fn on_packet(&mut self, ctx: &mut Ctx<'_>, dir: Direction, wire: Wire) {
+        let _s = span(SpanId::Gfw);
         let mut core = self.core.borrow_mut();
 
         // IP-level blocking of confirmed Tor bridges (documented in-path
@@ -263,6 +264,17 @@ impl Element for GfwElement {
         m.add(Counter::GfwDeviceFlaps, s.device_flaps);
         m.add(Counter::GfwBlacklistJitterApplied, s.blacklist_jitter_draws);
     }
+
+    fn sample_gauges(&self, g: &mut GaugeSample) {
+        let core = self.core.borrow();
+        let id = if core.cfg.generation == GfwGeneration::Evolved {
+            GaugeId::GfwTcbsEvolved
+        } else {
+            GaugeId::GfwTcbsOld
+        };
+        g.add(id, core.tcbs.len() as u64);
+        g.add(GaugeId::GfwBlacklist, core.blacklist.len() as u64);
+    }
 }
 
 impl GfwCore {
@@ -299,7 +311,11 @@ impl GfwCore {
         }
         let Some(name) = query.first_name() else { return };
         self.stats.dpi_bytes_scanned += name.len() as u64;
-        if !self.aut.scan(name.as_bytes()).contains(&DetectionKind::Domain) {
+        let domain_hit = {
+            let _s = span(SpanId::DpiScan);
+            self.aut.scan(name.as_bytes()).contains(&DetectionKind::Domain)
+        };
+        if !domain_hit {
             return;
         }
         // Inject a forged response "from" the resolver with a bogus A record.
@@ -513,6 +529,7 @@ impl GfwCore {
                             intang_simcheck::tcb_resync(self.sc_domain, key, intang_simcheck::ResyncTrigger::ClientData);
                         }
                         self.stats.dpi_bytes_scanned += payload.len() as u64;
+                        let _s = span(SpanId::DpiScan);
                         detections = tcb.feed_client_data(&self.aut, seg.seq, payload, self.cfg.type1, self.cfg.type2);
                     }
                 } else {
@@ -523,6 +540,7 @@ impl GfwCore {
                     }
                     if self.cfg.censor_responses && !payload.is_empty() {
                         self.stats.dpi_bytes_scanned += payload.len() as u64;
+                        let _s = span(SpanId::DpiScan);
                         detections = tcb.feed_server_data(&self.aut, payload);
                     }
                 }

@@ -4,7 +4,7 @@
 use crate::rng::SimRng;
 use crate::time::{Duration, Instant};
 use intang_packet::Wire;
-use intang_telemetry::MetricsSheet;
+use intang_telemetry::{GaugeSample, MetricsSheet};
 
 /// Which way a packet is traveling along the path.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -117,6 +117,13 @@ pub trait Element {
     /// packet hot path — so elements keep incrementing their own cheap
     /// local counters and translate them here. Default: nothing to export.
     fn export_metrics(&self, _m: &mut MetricsSheet) {}
+
+    /// Contribute instantaneous gauge readings (table sizes, tracked-flow
+    /// counts) to a telemetry time-series sample. Called on the sim-time
+    /// cadence only when gauge sampling is enabled (see
+    /// [`intang_telemetry::series`]); must be read-only so sampling can
+    /// never perturb the run. Default: nothing to report.
+    fn sample_gauges(&self, _g: &mut GaugeSample) {}
 }
 
 /// A trivial element that forwards everything untouched (useful as a

@@ -120,6 +120,9 @@ pub struct EventQueue {
     overflow_min: Option<(Instant, u64)>,
     next_seq: u64,
     len: usize,
+    /// Deliver events currently queued (packets in flight, excluding
+    /// timers) — a gauge for the telemetry time-series.
+    deliver_len: usize,
 }
 
 impl Default for EventQueue {
@@ -185,6 +188,7 @@ impl EventQueue {
             overflow_min: None,
             next_seq: 0,
             len: 0,
+            deliver_len: 0,
         }
     }
 
@@ -192,6 +196,9 @@ impl EventQueue {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.len += 1;
+        if matches!(event, Event::Deliver { .. }) {
+            self.deliver_len += 1;
+        }
         self.insert(Queued { at, seq, event });
     }
 
@@ -245,6 +252,9 @@ impl EventQueue {
                 // The front min is the global min: upper levels and
                 // overflow hold strictly-later epochs only.
                 self.len -= 1;
+                if matches!(q.event, Event::Deliver { .. }) {
+                    self.deliver_len -= 1;
+                }
                 self.wheel_now = self.wheel_now.max(q.at.0);
                 return Some((q.at, q.event));
             }
@@ -294,6 +304,9 @@ impl EventQueue {
             }
             let FrontItem(q) = self.front.pop().expect("peeked non-empty");
             self.len -= 1;
+            if matches!(q.event, Event::Deliver { .. }) {
+                self.deliver_len -= 1;
+            }
             out.push((q.at, q.event));
             n += 1;
         }
@@ -314,6 +327,12 @@ impl EventQueue {
 
     pub fn len(&self) -> usize {
         self.len
+    }
+
+    /// Deliver events currently queued — packets in flight, excluding
+    /// timers (see [`intang_telemetry::series::GaugeId::InflightPackets`]).
+    pub fn deliver_len(&self) -> usize {
+        self.deliver_len
     }
 
     /// Simcheck probe: every queued event must sit in exactly one of the
@@ -457,6 +476,38 @@ mod tests {
         assert_eq!(q.pop_batch(&mut out), 2, "new same-time pushes drain next");
         let seen: Vec<u64> = out.into_iter().map(|(_, e)| token_of(e)).collect();
         assert_eq!(seen, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn deliver_len_tracks_only_deliver_events() {
+        let mut q = EventQueue::new();
+        q.push(Instant(1), Event::Timer { elem: 0, token: 0 });
+        q.push(
+            Instant(2),
+            Event::Deliver {
+                elem: 0,
+                dir: Direction::ToServer,
+                wire: vec![1, 2, 3].into(),
+                cause: None,
+            },
+        );
+        q.push(
+            Instant(2),
+            Event::Deliver {
+                elem: 0,
+                dir: Direction::ToServer,
+                wire: vec![4].into(),
+                cause: None,
+            },
+        );
+        assert_eq!(q.deliver_len(), 2);
+        assert_eq!(q.len(), 3);
+        q.pop(); // timer
+        assert_eq!(q.deliver_len(), 2);
+        let mut out = Vec::new();
+        assert_eq!(q.pop_batch(&mut out), 2, "both delivers share t=2");
+        assert_eq!(q.deliver_len(), 0);
+        assert!(q.is_empty());
     }
 
     #[test]

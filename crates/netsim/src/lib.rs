@@ -26,6 +26,7 @@ pub mod batch;
 pub mod element;
 pub mod event;
 pub mod faults;
+pub mod flight;
 pub mod link;
 pub mod pcap;
 pub mod rng;

@@ -9,7 +9,8 @@ use crate::time::{Duration, Instant};
 use crate::trace::{NameId, Trace, TraceId, TraceKind, TracePoint};
 use intang_packet::arena::Arena;
 use intang_packet::{icmp, Wire};
-use intang_telemetry::{Counter, MetricsSheet};
+use intang_telemetry::series::CADENCE_US;
+use intang_telemetry::{Counter, GaugeId, GaugeSample, MetricsSheet, SeriesSheet, SpanId};
 use std::cell::RefCell;
 
 /// The six recycled `Simulation` construction buffers, in declaration
@@ -113,10 +114,39 @@ pub struct Simulation {
     /// Conservation accounting (simcheck): emissions past the edge of the
     /// world (no adjacent link in the emitted direction).
     sc_edge: u64,
+    /// Gauge time-series sampler, present only when series telemetry was
+    /// enabled at construction (see [`intang_telemetry::series`]). Boxed so
+    /// the disabled-mode cost is one pointer-width `Option` check.
+    series: Option<Box<SeriesRecorder>>,
+    /// Flight recorder ring, present when flight recording or simcheck was
+    /// enabled at construction (see [`crate::flight`]).
+    flight: Option<Box<crate::flight::FlightRecorder>>,
+}
+
+/// Sim-time gauge sampler: samples every element plus the substrate gauges
+/// on the [`CADENCE_US`] cadence as the event loop advances the clock.
+struct SeriesRecorder {
+    sheet: SeriesSheet,
+    /// Next cadence tick index to sample (tick `k` samples at sim-time
+    /// `k * CADENCE_US`).
+    next_tick: u64,
+    /// Thread-local live-buffer / lease counts at construction, so the
+    /// gauges report this simulation's own footprint rather than whatever
+    /// the surrounding sweep worker has outstanding.
+    wire_base: u64,
+    arena_base: u64,
 }
 
 impl Drop for Simulation {
     fn drop(&mut self) {
+        // A panic mid-run takes the simulation down with it: dump the
+        // flight ring to stderr so the crash report shows what the event
+        // loop was doing right before.
+        if std::thread::panicking() && self.flight.as_ref().is_some_and(|f| !f.is_empty()) {
+            if let Some(dump) = self.flight_dump() {
+                eprintln!("{dump}");
+            }
+        }
         // Diagnostics only: fold this run's batch accounting into the
         // process-wide totals (never into a MetricsSheet — batching on/off
         // must not change telemetry bytes).
@@ -175,6 +205,15 @@ impl Simulation {
             batch_hist: [0; crate::batch::HIST_BUCKETS],
             sc_emitted: 0,
             sc_edge: 0,
+            series: intang_telemetry::series::enabled().then(|| {
+                Box::new(SeriesRecorder {
+                    sheet: SeriesSheet::new(),
+                    next_tick: 0,
+                    wire_base: intang_packet::wire::live_buffers(),
+                    arena_base: intang_packet::arena::live(),
+                })
+            }),
+            flight: (intang_simcheck::enabled() || crate::flight::enabled()).then(|| Box::new(crate::flight::FlightRecorder::new())),
         }
     }
 
@@ -230,11 +269,15 @@ impl Simulation {
     /// timestamp, so the deadline test on the head covers every event in
     /// it. Result-identical to single-step mode either way.
     pub fn run_until(&mut self, deadline: Instant) -> u64 {
+        let _s = intang_telemetry::span(SpanId::EventLoop);
         let mut n = 0;
         if self.batching {
             while let Some(t) = self.queue.peek_time() {
                 if t > deadline {
                     break;
+                }
+                if self.series.is_some() {
+                    self.sample_series_upto(t);
                 }
                 n += self.step_batch();
             }
@@ -243,9 +286,15 @@ impl Simulation {
                 if t > deadline {
                     break;
                 }
+                if self.series.is_some() {
+                    self.sample_series_upto(t);
+                }
                 self.step();
                 n += 1;
             }
+        }
+        if self.series.is_some() {
+            self.sample_series_upto(deadline);
         }
         if self.now < deadline {
             self.now = deadline;
@@ -261,6 +310,47 @@ impl Simulation {
             n += 1;
         }
         n
+    }
+
+    /// Sample every cadence tick up to and including `upto` into the gauge
+    /// series. Called just before dispatching the events at `upto` (and
+    /// once with the deadline when the loop idles out), so tick `k`
+    /// observes the world as it stood *before* any event at `k·cadence` —
+    /// a pure function of the event history, independent of how the sweep
+    /// schedules trials across workers.
+    fn sample_series_upto(&mut self, upto: Instant) {
+        let Some(mut rec) = self.series.take() else { return };
+        while rec.next_tick.saturating_mul(CADENCE_US) <= upto.0 {
+            let mut g = GaugeSample::default();
+            for e in &self.elements {
+                e.sample_gauges(&mut g);
+            }
+            g.add(GaugeId::EventQueueDepth, self.queue.len() as u64);
+            g.add(GaugeId::InflightPackets, self.queue.deliver_len() as u64);
+            g.add(
+                GaugeId::WireBuffers,
+                intang_packet::wire::live_buffers().saturating_sub(rec.wire_base),
+            );
+            g.add(GaugeId::ArenaLeased, intang_packet::arena::live().saturating_sub(rec.arena_base));
+            rec.sheet.push_sample(&g);
+            rec.next_tick += 1;
+        }
+        self.series = Some(rec);
+    }
+
+    /// Detach the accumulated gauge series (if sampling was enabled).
+    /// Subsequent `run_until` calls would resume sampling into a fresh
+    /// sheet; trials take it once at the end.
+    pub fn take_series(&mut self) -> Option<Box<SeriesSheet>> {
+        self.series.take().map(|rec| Box::new(rec.sheet))
+    }
+
+    /// Render the flight-recorder ring (if one is attached), resolving
+    /// element indices to their names.
+    pub fn flight_dump(&self) -> Option<String> {
+        self.flight
+            .as_ref()
+            .map(|f| f.render(|i| self.elements.get(i).map_or_else(|| format!("elem{i}"), |e| e.name().to_string())))
     }
 
     /// Pre-dispatch invariants for a popped head time: clock monotonicity
@@ -332,6 +422,9 @@ impl Simulation {
     /// is the caller's hoisted `trace.is_enabled()` read — per batch in
     /// [`Simulation::step_batch`], per event in [`Simulation::step`].
     fn dispatch(&mut self, at: Instant, event: Event, tracing: bool) {
+        if let Some(f) = &mut self.flight {
+            f.record(crate::flight::FlightRec::of(at, &event));
+        }
         // Lend the simulation's scratch buffers to the element context so no
         // Vec is allocated per event; they come back (drained, capacity
         // intact) after the effects are applied.

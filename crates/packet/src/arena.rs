@@ -33,6 +33,21 @@ pub fn reset_stats() {
     MISSES.store(0, Ordering::Relaxed);
 }
 
+thread_local! {
+    /// Objects currently leased from this thread's arenas (taken and not
+    /// yet returned). A plain thread-local gauge: leases are a pure
+    /// function of the code the thread runs, so — unlike free-list sizes,
+    /// which depend on what previous trials warmed up — deltas of this
+    /// counter are deterministic per trial and safe to feed the telemetry
+    /// time-series.
+    static LIVE: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// Objects currently leased from this thread's arenas.
+pub fn live() -> u64 {
+    LIVE.with(std::cell::Cell::get)
+}
+
 /// A bounded free-list of `T`s. Not a true bump arena — objects here own
 /// normal heap storage — but it plays the same role per shard: transient
 /// objects are leased, used for one trial step, and returned with their
@@ -57,6 +72,7 @@ impl<T> Arena<T> {
     /// The caller is responsible for resetting recycled state — arenas
     /// return objects exactly as [`Arena::put`] received them.
     pub fn take_with(&mut self, make: impl FnOnce() -> T) -> T {
+        LIVE.with(|c| c.set(c.get() + 1));
         match self.free.pop() {
             Some(t) => {
                 HITS.fetch_add(1, Ordering::Relaxed);
@@ -71,6 +87,7 @@ impl<T> Arena<T> {
 
     /// Return an object to the free-list (dropped if the arena is full).
     pub fn put(&mut self, item: T) {
+        LIVE.with(|c| c.set(c.get().saturating_sub(1)));
         if self.free.len() < self.max_free {
             self.free.push(item);
         }
@@ -107,6 +124,19 @@ mod tests {
         a.put(Box::new(2));
         a.put(Box::new(3));
         assert_eq!(a.free_len(), 2);
+    }
+
+    #[test]
+    fn live_gauge_tracks_leases() {
+        let base = live();
+        let mut a: Arena<Vec<u8>> = Arena::new(4);
+        let v = a.take_with(Vec::new);
+        let w = a.take_with(Vec::new);
+        assert_eq!(live(), base + 2);
+        a.put(v);
+        assert_eq!(live(), base + 1);
+        a.put(w);
+        assert_eq!(live(), base);
     }
 
     #[test]

@@ -95,6 +95,7 @@ pub fn sum_words(acc: u32, data: &[u8]) -> u32 {
 
 /// The Internet checksum of a buffer.
 pub fn checksum(data: &[u8]) -> u16 {
+    let _s = intang_telemetry::span(intang_telemetry::SpanId::Checksum);
     !fold(sum_words(0, data))
 }
 
@@ -113,6 +114,7 @@ pub fn pseudo_header_sum(src: Ipv4Addr, dst: Ipv4Addr, protocol: u8, length: usi
 
 /// Checksum of a TCP/UDP segment including its pseudo-header.
 pub fn transport_checksum(src: Ipv4Addr, dst: Ipv4Addr, protocol: u8, segment: &[u8]) -> u16 {
+    let _s = intang_telemetry::span(intang_telemetry::SpanId::Checksum);
     let acc = pseudo_header_sum(src, dst, protocol, segment.len());
     !fold(sum_words(acc, segment))
 }

@@ -71,6 +71,21 @@ pub fn reset_pool_stats() {
     POOL_MISSES.store(0, Ordering::Relaxed);
 }
 
+thread_local! {
+    /// Buffers currently referenced by at least one `Wire` handle on this
+    /// thread. Unlike the pool's free-list size — which depends on what
+    /// earlier trials warmed up — this is a pure function of the packets a
+    /// trial holds in flight, so per-trial deltas are deterministic and
+    /// safe to feed the telemetry time-series.
+    static LIVE: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Buffers currently referenced by at least one `Wire` handle on this
+/// thread (pooled free buffers do not count).
+pub fn live_buffers() -> u64 {
+    LIVE.try_with(Cell::get).unwrap_or(0)
+}
+
 /// Build a complete IPv4+TCP datagram into a pooled [`Wire`]: the transport
 /// segment is staged in a thread-local scratch buffer, so the common
 /// emit-a-segment path (`ip.emit(&tcp.emit(..))` historically — two heap
@@ -283,6 +298,7 @@ impl WireBuf {
 
 /// Pop a unique buffer from the pool (cleared, cache reset) or allocate.
 fn fresh_buf(min_capacity: usize) -> Rc<WireBuf> {
+    let _ = LIVE.try_with(|c| c.set(c.get() + 1));
     let pooled = POOL.try_with(|p| p.borrow_mut().pop()).ok().flatten();
     match pooled {
         Some(mut rc) => {
@@ -334,6 +350,7 @@ impl Wire {
     /// Wrap an existing allocation (no pool interaction; the vector's
     /// allocation is reused as-is).
     pub fn from_vec(v: Vec<u8>) -> Wire {
+        let _ = LIVE.try_with(|c| c.set(c.get() + 1));
         Wire {
             buf: ManuallyDrop::new(Rc::new(WireBuf {
                 data: v,
@@ -489,15 +506,18 @@ impl Drop for Wire {
         // SAFETY: `buf` is never touched again; ManuallyDrop::take moves
         // the Rc out exactly once.
         let rc = unsafe { ManuallyDrop::take(&mut self.buf) };
-        if Rc::strong_count(&rc) == 1 && rc.data.capacity() > 0 && rc.data.capacity() <= MAX_POOLED_CAP {
-            // Last handle: recycle the allocation. `try_with` guards
-            // against drops during thread teardown.
-            let _ = POOL.try_with(move |p| {
-                let mut pool = p.borrow_mut();
-                if pool.len() < POOL_CAP {
-                    pool.push(rc);
-                }
-            });
+        if Rc::strong_count(&rc) == 1 {
+            let _ = LIVE.try_with(|c| c.set(c.get().saturating_sub(1)));
+            if rc.data.capacity() > 0 && rc.data.capacity() <= MAX_POOLED_CAP {
+                // Last handle: recycle the allocation. `try_with` guards
+                // against drops during thread teardown.
+                let _ = POOL.try_with(move |p| {
+                    let mut pool = p.borrow_mut();
+                    if pool.len() < POOL_CAP {
+                        pool.push(rc);
+                    }
+                });
+            }
         }
     }
 }
@@ -696,6 +716,28 @@ mod tests {
         drop(a); // refcount 2 -> 1: must NOT enter the pool
         assert_eq!(b.ref_count(), 1);
         assert_eq!(b.as_slice(), &[9; 64][..]);
+    }
+
+    #[test]
+    fn live_buffers_counts_handles_not_pool() {
+        let base = live_buffers();
+        let a = Wire::copy_from(&[1, 2, 3]);
+        assert_eq!(live_buffers(), base + 1);
+        let b = a.clone();
+        assert_eq!(live_buffers(), base + 1, "clones share one buffer");
+        let mut c = b.clone();
+        c.bytes_mut()[0] = 9; // copy-on-write: a second buffer appears
+        assert_eq!(live_buffers(), base + 2);
+        drop(a);
+        assert_eq!(live_buffers(), base + 2, "co-owner still holds the first buffer");
+        drop(b);
+        assert_eq!(live_buffers(), base + 1, "pooled buffers are not live");
+        drop(c);
+        assert_eq!(live_buffers(), base);
+        let v = Wire::from_vec(vec![4, 5]);
+        assert_eq!(live_buffers(), base + 1);
+        drop(v);
+        assert_eq!(live_buffers(), base);
     }
 
     #[test]

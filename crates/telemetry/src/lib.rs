@@ -24,6 +24,12 @@
 //! * [`json`] — a minimal JSONL writer (std-only; the build environment has
 //!   no registry access) used to export metrics snapshots and diagnosis
 //!   records.
+//! * [`series`] — deterministic, sim-time-driven gauge time-series with
+//!   log₂ down-compaction (constant memory), merged in cell-index order
+//!   like the metrics sheet.
+//! * [`spans`] — a scoped span profiler over the monotonic clock with
+//!   fixed subsystem buckets and folded-stack export (diagnostics only;
+//!   wall-clock, never part of experiment output).
 //!
 //! The crate depends on nothing, so every layer — netsim, gfw, middlebox,
 //! tcpstack, core, experiments, bench — can write into the same sheet.
@@ -34,7 +40,16 @@ pub mod diagnose;
 pub mod json;
 pub mod merge;
 pub mod metrics;
+pub mod series;
+pub mod spans;
 
 pub use diagnose::{classify, FailureVector, TrialEvidence, TrialOutcome};
 pub use merge::OrderedFold;
 pub use metrics::{Counter, HistId, Histogram, MetricsSheet};
+pub use series::{GaugeId, GaugeSample, GaugeSeries, SeriesSheet};
+pub use spans::{span, SpanGuard, SpanId, SpanSheet};
+
+/// Schema version stamped on every exported JSONL record (`metrics`,
+/// `diagnosis`, `series`). Bumped whenever a record's shape changes;
+/// records written before the field existed are implicitly version 1.
+pub const SCHEMA_VERSION: u64 = 2;

@@ -48,6 +48,18 @@ INTANG_ALLOC_GATE=100 cargo run --release -p intang-experiments --features alloc
 # baseline (scripts/bench_smoke_baseline.txt; INTANG_BLESS=1 re-blesses
 # after a hardware change; a missing file blesses automatically).
 cargo run --release -p intang-experiments --bin bench_sweep -- --smoke
+# Observability overhead: with the whole observability stack explicitly
+# disabled the same smoke gate must still pass — the dormant span sites,
+# gauge hooks and flight checks may not cost measurable throughput.
+INTANG_SERIES=0 INTANG_SPANS=0 INTANG_FLIGHT=0 INTANG_PROGRESS=0 \
+    cargo run --release -p intang-experiments --bin bench_sweep -- --smoke
+# Folded-stack export smoke: the instrumented pass must produce a
+# non-empty profile where every line parses as `stack<space>count`.
+folded="${TMPDIR:-/tmp}/ci_profile.folded"
+cargo run --release -p intang-experiments --bin bench_sweep -- --quick --profile-folded "$folded" >/dev/null
+test -s "$folded" || { echo "ci: FAIL: folded profile is empty" >&2; exit 1; }
+awk 'NF < 2 || $NF !~ /^[0-9]+$/ { print "ci: FAIL: bad folded line: " $0; bad = 1 } END { exit bad }' "$folded"
+rm -f "$folded"
 # Fault layer smoke: degradation matrix at all intensities; the 0.00 row
 # doubles as a no-op check for the fault plumbing.
 cargo run --release -p intang-experiments --bin fault_matrix -- --smoke >/dev/null

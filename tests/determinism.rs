@@ -125,7 +125,7 @@ fn sweeps_are_identical_across_workers_and_batching_modes() {
             assert_eq!(reference.events, run.events, "events differ at {tag}");
             assert_eq!(reference.metrics, run.metrics, "metrics differ at {tag}");
             assert_eq!(reference.diagnoses, run.diagnoses, "diagnoses differ at {tag}");
-            // Diagnostics (worker_busy, merge_high_water) are intentionally
+            // Diagnostics (worker_stats, merge_high_water) are intentionally
             // excluded: wall-clock and reorder depth are scheduling-dependent.
         }
     }

@@ -1,0 +1,167 @@
+//! Observability stack integration tests: gauge-series determinism across
+//! worker counts, series compaction at the full trial horizon, span
+//! profiling's non-interference with experiment output, and the flight
+//! recorder's bounded ring over a real trial.
+
+use intang_core::StrategyKind;
+use intang_experiments::runner::{sweep_with_threads, SweepConfig};
+use intang_experiments::scenario::Scenario;
+use intang_experiments::trial::{build_http_sim, drive_http_trial, TrialSpec};
+use intang_netsim::flight::FLIGHT_CAP;
+use intang_telemetry::series::SERIES_CAP;
+use intang_telemetry::{GaugeId, SpanId};
+
+/// The merged gauge series of a sweep must be byte-identical at 1, 2 and 8
+/// workers — the same guarantee the executor gives for rows and metrics.
+#[test]
+fn gauge_series_are_byte_identical_across_worker_counts() {
+    let scenario = Scenario::smoke(2017);
+    let prev = intang_telemetry::series::set_thread(Some(true));
+    let cfg = SweepConfig::new(Some(StrategyKind::ImprovedTeardown), true, 2, 2017);
+    let runs: Vec<_> = [1usize, 2, 8].iter().map(|&t| sweep_with_threads(&scenario, &cfg, t)).collect();
+    intang_telemetry::series::set_thread(prev);
+
+    let base = runs[0].series.as_ref().expect("series enabled on the sweep thread");
+    assert!(!base.is_empty(), "a full sweep must sample at least one tick");
+    for run in &runs[1..] {
+        let other = run.series.as_ref().expect("workers inherit the series override");
+        assert_eq!(base, other, "merged series diverged across worker counts");
+        for id in GaugeId::ALL {
+            assert_eq!(
+                base.series(id).to_json(),
+                other.series(id).to_json(),
+                "JSON bytes diverged for {}",
+                id.name()
+            );
+        }
+    }
+    // The substrate gauges genuinely observe traffic: the event queue is
+    // never empty while a trial is in flight.
+    let q = base.series(GaugeId::EventQueueDepth);
+    assert!(q.bins().iter().any(|b| b.max > 0), "event-queue gauge never saw a pending event");
+}
+
+/// A full 25 s trial horizon at the 100 ms cadence crosses the series
+/// capacity twice: the retained series must be compacted (stride > 1)
+/// while staying within [`SERIES_CAP`] bins and losing no samples.
+#[test]
+fn full_horizon_series_compact_within_capacity() {
+    let scenario = Scenario::smoke(2017);
+    let spec = TrialSpec::new(
+        &scenario.vantage_points[0],
+        &scenario.websites[0],
+        Some(StrategyKind::NoStrategy),
+        true,
+        7,
+    );
+    let prev = intang_telemetry::series::set_thread(Some(true));
+    let (mut sim, parts) = build_http_sim(&spec);
+    drive_http_trial(&mut sim, &parts, &spec);
+    let sheet = sim.take_series().expect("series enabled at sim construction");
+    intang_telemetry::series::set_thread(prev);
+
+    for id in GaugeId::ALL {
+        let s = sheet.series(id);
+        assert!(
+            s.bins().len() <= SERIES_CAP,
+            "{}: {} bins exceed the cap",
+            id.name(),
+            s.bins().len()
+        );
+        assert!(s.stride() > 1, "{}: a full horizon must have compacted", id.name());
+        let count: u64 = s.bins().iter().map(|b| b.count).sum();
+        assert_eq!(count, s.ticks(), "{}: compaction lost samples", id.name());
+        assert!(
+            s.ticks() > u64::from(SERIES_CAP as u32),
+            "{}: expected more ticks than the cap",
+            id.name()
+        );
+    }
+}
+
+/// Span profiling is wall-clock observation only: a sweep with the
+/// profiler on produces byte-identical experiment output (rows, metrics,
+/// diagnoses, event counts) to one with it off.
+#[test]
+fn span_profiler_never_touches_experiment_output() {
+    let scenario = Scenario::smoke(2017);
+    let cfg = SweepConfig::new(Some(StrategyKind::NoStrategy), true, 2, 2017);
+    let prev = intang_telemetry::spans::set_thread(Some(false));
+    let off = sweep_with_threads(&scenario, &cfg, 2);
+    intang_telemetry::spans::set_thread(Some(true));
+    let on = sweep_with_threads(&scenario, &cfg, 2);
+    intang_telemetry::spans::set_thread(prev);
+
+    assert_eq!(off.rows, on.rows);
+    assert_eq!(off.events, on.events);
+    assert_eq!(off.metrics, on.metrics);
+    assert_eq!(off.diagnoses, on.diagnoses);
+    assert!(off.profile().is_empty(), "disabled profiler must record nothing");
+
+    let profile = on.profile();
+    assert!(!profile.is_empty(), "enabled profiler must attribute time");
+    assert!(profile.self_nanos[SpanId::Trial as usize] > 0, "trials were profiled");
+    // Folded export: every line is `stack<space>count`.
+    let folded = profile.folded();
+    assert!(!folded.is_empty());
+    for line in folded.lines() {
+        let (stack, count) = line.rsplit_once(' ').expect("stack<space>count");
+        assert!(!stack.is_empty());
+        count.parse::<u64>().expect("count parses");
+    }
+}
+
+/// The flight recorder keeps a bounded, oldest-first tail of dispatches
+/// through a real trial, and the rendered dump names simulation elements.
+#[test]
+fn flight_recorder_wraps_and_dumps_through_a_real_trial() {
+    let scenario = Scenario::smoke(2017);
+    // A successful evasion trial completes the full HTTP fetch and
+    // dispatches well past FLIGHT_CAP events, so the ring must wrap.
+    let spec = TrialSpec::new(
+        &scenario.vantage_points[0],
+        &scenario.websites[0],
+        Some(StrategyKind::ImprovedTeardown),
+        true,
+        42,
+    );
+    let prev = intang_netsim::flight::set_thread(Some(true));
+    let (mut sim, parts) = build_http_sim(&spec);
+    drive_http_trial(&mut sim, &parts, &spec);
+    let dump = sim.flight_dump().expect("flight recorder enabled at sim construction");
+    intang_netsim::flight::set_thread(prev);
+
+    // A full trial dispatches far more than FLIGHT_CAP events: the header
+    // line must say so and the body must be exactly the retained tail.
+    let mut lines = dump.lines();
+    let header = lines.next().expect("dump has a header");
+    assert!(
+        header.contains(&format!("last {FLIGHT_CAP} of")) && header.contains("older overwritten"),
+        "expected a wrapped ring, got: {header}"
+    );
+    assert_eq!(lines.clone().count(), FLIGHT_CAP);
+    // Timestamps are rendered oldest-first and non-decreasing.
+    let times: Vec<u64> = dump
+        .lines()
+        .skip(1)
+        .map(|l| {
+            let open = l.find('[').unwrap();
+            let close = l.find("us]").unwrap();
+            l[open + 1..close].trim().parse().unwrap()
+        })
+        .collect();
+    assert!(times.windows(2).all(|w| w[0] <= w[1]), "dump not oldest-first");
+    // Element indices resolve to names, not raw numbers.
+    assert!(dump.contains("deliver"), "a trial tail must contain deliveries:\n{header}");
+}
+
+/// Disabled observability is the default: a plain sweep carries no series
+/// and an empty profile, so pre-existing outputs cannot have changed.
+#[test]
+fn observability_is_off_by_default() {
+    let scenario = Scenario::smoke(2017);
+    let cfg = SweepConfig::new(Some(StrategyKind::NoStrategy), true, 1, 2017);
+    let run = sweep_with_threads(&scenario, &cfg, 2);
+    assert!(run.series.is_none(), "series sampled without INTANG_SERIES");
+    assert!(run.profile().is_empty(), "spans recorded without INTANG_SPANS");
+}

@@ -116,6 +116,39 @@ fn jsonl_export_emits_one_metrics_record_and_one_diagnosis_per_failure() {
     }
 }
 
+/// Every exported record — metrics, diagnosis, and series alike — stamps
+/// the writer's schema version, so mixed files remain parseable after the
+/// format evolves.
+#[test]
+fn every_jsonl_record_carries_the_schema_version() {
+    let scenario = Scenario::smoke(2017);
+    let cfg = SweepConfig::new(Some(StrategyKind::NoStrategy), true, 2, 2017);
+    // Enable gauge sampling so the series writer is exercised too.
+    let prev = intang_telemetry::series::set_thread(Some(true));
+    let run = sweep_with_threads(&scenario, &cfg, 2);
+    intang_telemetry::series::set_thread(prev);
+    assert!(run.series.is_some(), "series enabled for this sweep");
+    assert!(!run.diagnoses.is_empty(), "no-strategy + keyword must fail sometimes");
+
+    let path = std::path::Path::new(env!("CARGO_TARGET_TMPDIR")).join("telemetry_schema_version_test.jsonl");
+    let mut sink = TelemetrySink::create(path.to_str().unwrap()).unwrap();
+    sink.record_sweep("test", "no-strategy", &run).unwrap();
+    drop(sink);
+
+    let text = std::fs::read_to_string(&path).unwrap();
+    let stamp = format!("\"schema_version\":{}", intang_telemetry::SCHEMA_VERSION);
+    let mut kinds = std::collections::HashSet::new();
+    for line in text.lines() {
+        assert!(line.contains(&stamp), "record without a schema stamp: {line}");
+        for kind in ["metrics", "diagnosis", "series"] {
+            if line.contains(&format!("\"record\":\"{kind}\"")) {
+                kinds.insert(kind);
+            }
+        }
+    }
+    assert_eq!(kinds.len(), 3, "expected all three record kinds, saw {kinds:?}");
+}
+
 /// Sub-experiments of a multi-experiment binary (`all`) each open their
 /// own sink against the same `--telemetry` path: the second open must
 /// append, not wipe out the first sub-experiment's records.
