@@ -15,6 +15,7 @@
 pub mod dnsapp;
 pub mod host;
 pub mod http;
+pub mod metro;
 pub mod tor;
 pub mod vpn;
 

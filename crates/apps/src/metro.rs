@@ -1,0 +1,746 @@
+//! Metropolis: one shared world hosting very many concurrent client flows.
+//!
+//! The classic trial topology (one client host, one server host, one fetch)
+//! scales to the paper's *population* questions — blacklist collateral
+//! damage, censor TCB eviction under load, resynchronization storms — by
+//! replacing the two hosts with two multiplexing elements:
+//!
+//! * [`MetroClients`] (leftmost): hosts every client flow. Per-flow state
+//!   (a dedicated [`TcpEndpoint`], HTTP fetch machine, outcome slot) lives
+//!   in **shards** — flow-keyed hash maps partitioned by a pure function of
+//!   the flow's four-tuple ([`shard_of`]) — so post-run aggregation can be
+//!   farmed out per shard while the event loop itself stays serial and
+//!   deterministic.
+//! * [`MetroServers`] (rightmost): hosts every origin site. One small
+//!   endpoint per *connection*, created on the first SYN and dropped after
+//!   a short linger, so the cost of a finished flow is zero (the underlying
+//!   endpoint never reaps sockets; a shared per-site endpoint would make
+//!   every poll O(all flows ever)).
+//!
+//! Everything in between — the INTANG shim, middleboxes, the GFW tap — is
+//! the ordinary single-flow path, now observing (and entangling) all flows
+//! at once through the censor's shared TCB table and blacklist.
+//!
+//! Determinism: flows spawn from a pre-generated, start-sorted spec list
+//! via a chained timer (never by iterating a hash map), per-flow timers are
+//! keyed by flow id, and the end-of-run sweep walks flow ids in order.
+//! Shard assignment is a pure function of the flow key, so any shard count
+//! partitions the *same* per-flow results.
+
+use intang_netsim::{Ctx, Direction, Duration, Element, Instant, Simulation};
+use intang_packet::http::{HttpRequest, HttpResponse};
+use intang_packet::{FourTuple, FxHashMap, Ipv4Packet, TcpPacket, Wire};
+use intang_tcpstack::{SocketHandle, StackProfile, TcpEndpoint};
+use intang_telemetry::{Counter, GaugeId, GaugeSample, HistId, MetricsSheet};
+use std::cell::RefCell;
+use std::net::Ipv4Addr;
+use std::rc::Rc;
+
+/// Every metropolis site serves plain HTTP.
+pub const METRO_PORT: u16 = 80;
+/// First source port assigned per client address; the per-address budget
+/// (`65535 - METRO_BASE_PORT`) caps concurrent+finished flows per address.
+pub const METRO_BASE_PORT: u16 = 40_000;
+
+/// Chained spawn cursor timer.
+const TOKEN_SPAWN: u64 = 1;
+/// End-of-run sweep: mark every still-live flow stalled.
+const TOKEN_FINISH: u64 = 2;
+/// Per-flow TCP/retransmit clock: `CLIENT_TCP_BASE | flow_id`.
+const CLIENT_TCP_BASE: u64 = 1 << 32;
+
+/// One planned flow. Specs are generated up front by the load generator
+/// (seeded arrival process) and must be sorted by `start`.
+#[derive(Debug, Clone, Copy)]
+pub struct FlowSpec {
+    pub start: Instant,
+    /// Index into the client address pool.
+    pub client: u32,
+    /// Index into the site address pool.
+    pub site: u32,
+    /// The flow's initial sequence number draw.
+    pub isn: u32,
+    /// Request carries the sensitive keyword.
+    pub keyword: bool,
+    /// Idle time between ESTABLISHED and sending the request (capacity
+    /// tests use this to age a TCB toward eviction).
+    pub request_delay: Duration,
+}
+
+/// Terminal classification of one flow (the §3.4 taxonomy, per flow).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FlowOutcome {
+    /// Never reached a terminal state (only visible mid-run).
+    Pending,
+    /// Complete HTTP response received.
+    Success,
+    /// Torn down by a reset (censor type-1/type-2, or blacklist collateral).
+    Reset,
+    /// Hung: no response and no reset by the horizon (Failure 1).
+    Stalled,
+}
+
+/// Result slot for one flow, indexed by flow id.
+#[derive(Debug, Clone, Copy)]
+pub struct FlowResult {
+    pub outcome: FlowOutcome,
+    /// Spawn → complete-response latency (successes only, else 0).
+    pub latency_us: u64,
+    /// Shard this flow's state lived in.
+    pub shard: u32,
+}
+
+/// Pure shard assignment: a function of the flow key alone, so the
+/// partition a flow lands in never depends on spawn order, map iteration
+/// order, or the shard count of *other* runs (SplitMix64 over the packed
+/// tuple).
+pub fn shard_of(tuple: &FourTuple, shards: u32) -> u32 {
+    let hi = (u64::from(u32::from(tuple.src)) << 32) | u64::from(u32::from(tuple.dst));
+    let lo = (u64::from(tuple.src_port) << 16) | u64::from(tuple.dst_port);
+    let mut x = hi ^ lo.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    (x % u64::from(shards.max(1))) as u32
+}
+
+/// Fetch progress of one live flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// SYN sent, waiting for the handshake.
+    Connecting,
+    /// Established at `since`; the request goes out at
+    /// `since + request_delay`.
+    Established { since: Instant },
+    /// Request sent; reading the response.
+    Awaiting,
+}
+
+/// Per-flow state: its own tiny TCP endpoint plus the fetch machine.
+struct FlowCell {
+    tuple: FourTuple,
+    ep: TcpEndpoint,
+    sock: SocketHandle,
+    phase: Phase,
+    request: Rc<Vec<u8>>,
+    request_delay: Duration,
+    rx: Vec<u8>,
+    started: Instant,
+}
+
+/// Shared, handle-visible run state (outcome grid + interference-free
+/// aggregate counters + the per-shard event ordering ledger).
+pub struct MetroState {
+    /// One slot per flow id; `shard` is filled at construction.
+    pub results: Vec<FlowResult>,
+    pub spawned: u64,
+    pub succeeded: u64,
+    pub reset: u64,
+    pub stalled: u64,
+    /// Flows spawned and not yet retired.
+    pub live: u64,
+    /// Per-shard monotone event sequence (feeds the simcheck FlowOrder
+    /// shadow and the cheap always-on ordering check below).
+    shard_seq: Vec<u64>,
+    /// Last `(time, shard-seq)` observed per live flow.
+    flow_last: FxHashMap<u32, (u64, u64)>,
+    /// Events observed out of `(time, seq)` order within a flow — must
+    /// stay zero; checked even when simcheck is off.
+    pub order_violations: u64,
+}
+
+/// Cheap cloneable view of a [`MetroClients`] element's shared state.
+#[derive(Clone)]
+pub struct MetroHandle {
+    state: Rc<RefCell<MetroState>>,
+}
+
+impl MetroHandle {
+    pub fn results(&self) -> Vec<FlowResult> {
+        self.state.borrow().results.clone()
+    }
+
+    /// `(spawned, succeeded, reset, stalled)` aggregate counts.
+    pub fn counts(&self) -> (u64, u64, u64, u64) {
+        let s = self.state.borrow();
+        (s.spawned, s.succeeded, s.reset, s.stalled)
+    }
+
+    pub fn live(&self) -> u64 {
+        self.state.borrow().live
+    }
+
+    pub fn order_violations(&self) -> u64 {
+        self.state.borrow().order_violations
+    }
+
+    /// Outcome of one flow by id.
+    pub fn outcome(&self, id: u32) -> FlowOutcome {
+        self.state.borrow().results[id as usize].outcome
+    }
+}
+
+/// The client-side multiplexer element (leftmost, egress `ToServer`).
+pub struct MetroClients {
+    specs: Vec<FlowSpec>,
+    /// Flow id → four-tuple (derived once: per-client port counters in
+    /// spec order).
+    tuples: Vec<FourTuple>,
+    /// Flow id → shard index (pure [`shard_of`] of the tuple).
+    shard_idx: Vec<u32>,
+    /// Sharded per-flow engine state, keyed by flow id inside each shard.
+    shards: Vec<FxHashMap<u32, FlowCell>>,
+    /// Ingress demux: `(client addr, src port)` → live flow id.
+    route: FxHashMap<(Ipv4Addr, u16), u32>,
+    /// Next spec the chained spawn timer will realize.
+    cursor: usize,
+    state: Rc<RefCell<MetroState>>,
+    profile: StackProfile,
+    req_keyword: Rc<Vec<u8>>,
+    req_benign: Rc<Vec<u8>>,
+    tx_scratch: Vec<Wire>,
+    /// Invoked once per retired flow (the experiment wires this to
+    /// `IntangHandle::retire_flow` so shim-side per-flow state dies with
+    /// the flow).
+    on_retire: Option<Box<dyn Fn(FourTuple)>>,
+    /// `intang_simcheck::enabled()` cached at construction.
+    sc: bool,
+}
+
+impl MetroClients {
+    /// Build the element. `specs` must be sorted by `start`; source ports
+    /// are assigned per client address in spec order starting at
+    /// [`METRO_BASE_PORT`] (panics if an address would exhaust its range).
+    pub fn new(clients: Vec<Ipv4Addr>, sites: Vec<Ipv4Addr>, specs: Vec<FlowSpec>, shards: u32) -> (MetroClients, MetroHandle) {
+        assert!(!clients.is_empty() && !sites.is_empty());
+        assert!(specs.windows(2).all(|w| w[0].start <= w[1].start), "specs must be start-sorted");
+        let shards = shards.max(1);
+        let mut next_port = vec![METRO_BASE_PORT; clients.len()];
+        let mut tuples = Vec::with_capacity(specs.len());
+        let mut shard_idx = Vec::with_capacity(specs.len());
+        let mut results = Vec::with_capacity(specs.len());
+        for spec in &specs {
+            let addr = clients[spec.client as usize];
+            let site = sites[spec.site as usize];
+            let port = next_port[spec.client as usize];
+            assert!(port < u16::MAX, "client {addr} exhausted its source-port range");
+            next_port[spec.client as usize] = port + 1;
+            let tuple = FourTuple::new(addr, port, site, METRO_PORT);
+            let shard = shard_of(&tuple, shards);
+            tuples.push(tuple);
+            shard_idx.push(shard);
+            results.push(FlowResult {
+                outcome: FlowOutcome::Pending,
+                latency_us: 0,
+                shard,
+            });
+        }
+        let state = Rc::new(RefCell::new(MetroState {
+            results,
+            spawned: 0,
+            succeeded: 0,
+            reset: 0,
+            stalled: 0,
+            live: 0,
+            shard_seq: vec![0; shards as usize],
+            flow_last: FxHashMap::default(),
+            order_violations: 0,
+        }));
+        let el = MetroClients {
+            specs,
+            tuples,
+            shard_idx,
+            shards: (0..shards).map(|_| FxHashMap::default()).collect(),
+            route: FxHashMap::default(),
+            cursor: 0,
+            state: state.clone(),
+            profile: StackProfile::linux_4_4(),
+            req_keyword: Rc::new(HttpRequest::get("/search?q=ultrasurf", "metropolis.example").encode()),
+            req_benign: Rc::new(HttpRequest::get("/index.html", "metropolis.example").encode()),
+            tx_scratch: Vec::new(),
+            on_retire: None,
+            sc: intang_simcheck::enabled(),
+        };
+        (el, MetroHandle { state })
+    }
+
+    /// Four-tuple each flow id will use (available before the element is
+    /// boxed into the simulation — experiments preset per-flow strategies
+    /// against these keys).
+    pub fn tuples(&self) -> &[FourTuple] {
+        &self.tuples
+    }
+
+    /// Install the per-flow retirement hook (e.g. the INTANG shim's
+    /// `retire_flow`).
+    pub fn set_retire_hook(&mut self, f: Box<dyn Fn(FourTuple)>) {
+        self.on_retire = Some(f);
+    }
+
+    /// Register the spawn-cursor and end-of-run timers. Call once, after
+    /// the element was added at `idx`.
+    pub fn bootstrap(sim: &mut Simulation, idx: usize, first_start: Instant, horizon: Instant) {
+        sim.schedule_timer(idx, first_start, TOKEN_SPAWN);
+        sim.schedule_timer(idx, horizon, TOKEN_FINISH);
+    }
+
+    /// Record one flow event on the flow's shard ledger: bumps the shard
+    /// sequence, checks per-flow `(time, seq)` monotonicity, and feeds the
+    /// simcheck FlowOrder shadow.
+    fn note_event(&mut self, id: u32, now: Instant) {
+        let shard = self.shard_idx[id as usize] as usize;
+        let (t, seq) = {
+            let mut st = self.state.borrow_mut();
+            st.shard_seq[shard] += 1;
+            let seq = st.shard_seq[shard];
+            let t = now.micros();
+            let last = st.flow_last.entry(id).or_insert((0, 0));
+            let regressed = (t, seq) < *last;
+            *last = (t, seq);
+            if regressed {
+                st.order_violations += 1;
+            }
+            (t, seq)
+        };
+        if self.sc {
+            intang_simcheck::flow_event(u64::from(id), t, seq);
+        }
+    }
+
+    /// Realize every spec due at `now`, then re-arm the cursor timer.
+    fn spawn_due(&mut self, ctx: &mut Ctx<'_>) {
+        while self.cursor < self.specs.len() && self.specs[self.cursor].start <= ctx.now {
+            let id = self.cursor as u32;
+            self.cursor += 1;
+            self.spawn(ctx, id);
+        }
+        if self.cursor < self.specs.len() {
+            ctx.set_timer(self.specs[self.cursor].start, TOKEN_SPAWN);
+        }
+    }
+
+    fn spawn(&mut self, ctx: &mut Ctx<'_>, id: u32) {
+        let spec = self.specs[id as usize];
+        let tuple = self.tuples[id as usize];
+        let shard = self.shard_idx[id as usize] as usize;
+        let mut ep = TcpEndpoint::new(tuple.src, self.profile);
+        ep.set_isn_base(spec.isn);
+        let sock = ep.connect_from(tuple.src_port, tuple.dst, tuple.dst_port, ctx.now.micros());
+        let request = if spec.keyword {
+            self.req_keyword.clone()
+        } else {
+            self.req_benign.clone()
+        };
+        self.route.insert((tuple.src, tuple.src_port), id);
+        self.shards[shard].insert(
+            id,
+            FlowCell {
+                tuple,
+                ep,
+                sock,
+                phase: Phase::Connecting,
+                request,
+                request_delay: spec.request_delay,
+                rx: Vec::new(),
+                started: ctx.now,
+            },
+        );
+        {
+            let mut st = self.state.borrow_mut();
+            st.spawned += 1;
+            st.live += 1;
+        }
+        self.note_event(id, ctx.now);
+        self.pump_flow(ctx, id);
+    }
+
+    /// Advance one flow's fetch machine, transmit, and re-arm its timer.
+    fn pump_flow(&mut self, ctx: &mut Ctx<'_>, id: u32) {
+        let shard = self.shard_idx[id as usize] as usize;
+        let Some(cell) = self.shards[shard].get_mut(&id) else { return };
+        let now = ctx.now;
+        let mut done: Option<(FlowOutcome, u64)> = None;
+        {
+            let sock = cell.ep.socket(cell.sock);
+            if cell.phase == Phase::Connecting {
+                if sock.is_established() {
+                    cell.phase = Phase::Established { since: now };
+                } else if sock.is_closed() {
+                    let o = if sock.reset_by_peer {
+                        FlowOutcome::Reset
+                    } else {
+                        FlowOutcome::Stalled
+                    };
+                    done = Some((o, 0));
+                }
+            }
+            if let Phase::Established { since } = cell.phase {
+                if now >= since + cell.request_delay {
+                    sock.send(&cell.request, now.micros());
+                    cell.phase = Phase::Awaiting;
+                } else if sock.reset_by_peer || sock.is_closed() {
+                    let o = if sock.reset_by_peer {
+                        FlowOutcome::Reset
+                    } else {
+                        FlowOutcome::Stalled
+                    };
+                    done = Some((o, 0));
+                }
+            }
+            if cell.phase == Phase::Awaiting && done.is_none() {
+                let reset = sock.reset_by_peer;
+                let closed = sock.is_closed() || sock.peer_closed();
+                sock.drain_recv_into(&mut cell.rx);
+                if HttpResponse::is_complete(&cell.rx) {
+                    done = Some((FlowOutcome::Success, now.micros().saturating_sub(cell.started.micros())));
+                } else if reset {
+                    done = Some((FlowOutcome::Reset, 0));
+                } else if closed {
+                    done = Some((FlowOutcome::Stalled, 0));
+                }
+            }
+            if done.is_some() {
+                // Best-effort graceful teardown: the FIN rides the final
+                // transmit below; the cell itself is dropped right after.
+                sock.close(now.micros());
+            }
+        }
+        let mut scratch = std::mem::take(&mut self.tx_scratch);
+        cell.ep.poll_transmit_into(&mut scratch);
+        for w in scratch.drain(..) {
+            ctx.send(Direction::ToServer, w);
+        }
+        self.tx_scratch = scratch;
+        match done {
+            Some((outcome, latency_us)) => {
+                self.note_event(id, now);
+                self.retire(id, outcome, latency_us);
+            }
+            None => {
+                let mut wake = cell.ep.next_deadline().map(Instant);
+                if let Phase::Established { since } = cell.phase {
+                    let due = since + cell.request_delay;
+                    wake = Some(wake.map_or(due, |w| w.min(due)));
+                }
+                if let Some(at) = wake {
+                    let at = at.max(Instant(now.micros() + 1));
+                    ctx.set_timer(at, CLIENT_TCP_BASE | u64::from(id));
+                }
+            }
+        }
+    }
+
+    /// Drop a flow's cell and record its terminal outcome.
+    fn retire(&mut self, id: u32, outcome: FlowOutcome, latency_us: u64) {
+        let shard = self.shard_idx[id as usize] as usize;
+        let Some(cell) = self.shards[shard].remove(&id) else { return };
+        self.route.remove(&(cell.tuple.src, cell.tuple.src_port));
+        {
+            let mut st = self.state.borrow_mut();
+            st.live -= 1;
+            match outcome {
+                FlowOutcome::Success => st.succeeded += 1,
+                FlowOutcome::Reset => st.reset += 1,
+                FlowOutcome::Stalled => st.stalled += 1,
+                FlowOutcome::Pending => {}
+            }
+            st.results[id as usize] = FlowResult {
+                outcome,
+                latency_us,
+                shard: shard as u32,
+            };
+            st.flow_last.remove(&id);
+        }
+        if self.sc {
+            intang_simcheck::flow_retired(u64::from(id));
+        }
+        if let Some(f) = &self.on_retire {
+            f(cell.tuple);
+        }
+    }
+}
+
+impl Element for MetroClients {
+    fn name(&self) -> &str {
+        "metro-clients"
+    }
+
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, _dir: Direction, wire: Wire) {
+        let id = {
+            let Ok(ip) = Ipv4Packet::new_checked(&wire[..]) else { return };
+            let Ok(tcp) = TcpPacket::new_checked(ip.payload()) else { return };
+            // Demux on the flow's own (addr, port); packets for retired
+            // flows (late FIN-ACKs, censor stragglers) fall off the edge.
+            match self.route.get(&(ip.dst_addr(), tcp.dst_port())) {
+                Some(&id) => id,
+                None => return,
+            }
+        };
+        self.note_event(id, ctx.now);
+        let shard = self.shard_idx[id as usize] as usize;
+        if let Some(cell) = self.shards[shard].get_mut(&id) {
+            cell.ep.on_packet(wire, ctx.now.micros());
+        }
+        self.pump_flow(ctx, id);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        if token == TOKEN_SPAWN {
+            self.spawn_due(ctx);
+        } else if token == TOKEN_FINISH {
+            // End of the world: every still-live flow is stalled. Flow ids
+            // are swept in order — never the shard maps — for determinism.
+            for id in 0..self.specs.len() as u32 {
+                let shard = self.shard_idx[id as usize] as usize;
+                if self.shards[shard].contains_key(&id) {
+                    self.note_event(id, ctx.now);
+                    self.retire(id, FlowOutcome::Stalled, 0);
+                }
+            }
+        } else if token >= CLIENT_TCP_BASE {
+            let id = (token & 0xFFFF_FFFF) as u32;
+            let shard = self.shard_idx[id as usize] as usize;
+            if let Some(cell) = self.shards[shard].get_mut(&id) {
+                cell.ep.on_timer(ctx.now.micros());
+                self.note_event(id, ctx.now);
+                self.pump_flow(ctx, id);
+            }
+        }
+    }
+
+    fn export_metrics(&self, m: &mut MetricsSheet) {
+        let st = self.state.borrow();
+        m.add(Counter::MetroFlowsSpawned, st.spawned);
+        m.add(Counter::MetroFlowsSucceeded, st.succeeded);
+        m.add(Counter::MetroFlowsReset, st.reset);
+        m.add(Counter::MetroFlowsStalled, st.stalled);
+        for r in &st.results {
+            if r.outcome == FlowOutcome::Success {
+                m.observe(HistId::MetroFlowLatencyUs, r.latency_us);
+            }
+        }
+    }
+
+    fn sample_gauges(&self, g: &mut GaugeSample) {
+        g.add(GaugeId::MetroLiveFlows, self.state.borrow().live);
+    }
+}
+
+/// Server-cell timer kinds live in bits 52+ of the token; the low 48 bits
+/// encode the `(client addr, client port)` cell key.
+const SRV_KIND_TCP: u64 = 1;
+const SRV_KIND_EXPIRE: u64 = 2;
+const SRV_KIND_SHIFT: u64 = 52;
+
+fn srv_token(kind: u64, key: (Ipv4Addr, u16)) -> u64 {
+    (kind << SRV_KIND_SHIFT) | (u64::from(u32::from(key.0)) << 16) | u64::from(key.1)
+}
+
+fn srv_token_key(token: u64) -> (Ipv4Addr, u16) {
+    let addr = Ipv4Addr::from(((token >> 16) & 0xFFFF_FFFF) as u32);
+    (addr, (token & 0xFFFF) as u16)
+}
+
+/// One accepted connection on the server side.
+struct ServerCell {
+    ep: TcpEndpoint,
+    sock: Option<SocketHandle>,
+    rx: Vec<u8>,
+    served: bool,
+}
+
+/// The origin-site multiplexer element (rightmost, egress `ToClient`).
+///
+/// Connections are keyed by the *peer's* `(addr, port)` — unique per flow
+/// by construction — and each gets a throwaway [`TcpEndpoint`] so finished
+/// flows cost nothing. Every cell dies by its expiry timer ([`Self::ttl`]
+/// after creation) whether or not the conversation completed.
+pub struct MetroServers {
+    sites: Vec<Ipv4Addr>,
+    profile: StackProfile,
+    cells: FxHashMap<(Ipv4Addr, u16), ServerCell>,
+    response: Rc<Vec<u8>>,
+    /// Hard per-cell lifetime.
+    ttl: Duration,
+    tx_scratch: Vec<Wire>,
+    served: u64,
+}
+
+impl MetroServers {
+    pub fn new(sites: Vec<Ipv4Addr>) -> MetroServers {
+        MetroServers {
+            sites,
+            profile: StackProfile::linux_4_4(),
+            cells: FxHashMap::default(),
+            response: Rc::new(HttpResponse::ok(b"<html>metropolis says hello</html>").encode()),
+            ttl: Duration::from_secs(30),
+            tx_scratch: Vec::new(),
+            served: 0,
+        }
+    }
+
+    /// Requests fully answered over the run.
+    pub fn served(&self) -> u64 {
+        self.served
+    }
+
+    fn pump_cell(&mut self, ctx: &mut Ctx<'_>, key: (Ipv4Addr, u16)) {
+        let Some(cell) = self.cells.get_mut(&key) else { return };
+        if cell.sock.is_none() {
+            cell.sock = cell.ep.take_accepted().pop();
+        }
+        let mut answered = false;
+        if let Some(h) = cell.sock {
+            if !cell.served {
+                let now = ctx.now.micros();
+                let sock = cell.ep.socket(h);
+                sock.drain_recv_into(&mut cell.rx);
+                if HttpRequest::is_complete(&cell.rx) {
+                    sock.send(&self.response, now);
+                    sock.close(now);
+                    cell.served = true;
+                    answered = true;
+                } else if sock.is_closed() || sock.reset_by_peer {
+                    cell.served = true;
+                }
+            }
+        }
+        let mut scratch = std::mem::take(&mut self.tx_scratch);
+        cell.ep.poll_transmit_into(&mut scratch);
+        for w in scratch.drain(..) {
+            ctx.send(Direction::ToClient, w);
+        }
+        self.tx_scratch = scratch;
+        if let Some(d) = cell.ep.next_deadline() {
+            let at = Instant(d).max(Instant(ctx.now.micros() + 1));
+            ctx.set_timer(at, srv_token(SRV_KIND_TCP, key));
+        }
+        if answered {
+            self.served += 1;
+        }
+    }
+}
+
+impl Element for MetroServers {
+    fn name(&self) -> &str {
+        "metro-servers"
+    }
+
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, _dir: Direction, wire: Wire) {
+        let key = {
+            let Ok(ip) = Ipv4Packet::new_checked(&wire[..]) else { return };
+            let dst = ip.dst_addr();
+            if !self.sites.contains(&dst) {
+                return;
+            }
+            let Ok(tcp) = TcpPacket::new_checked(ip.payload()) else { return };
+            let key = (ip.src_addr(), tcp.src_port());
+            if !self.cells.contains_key(&key) {
+                // Only a SYN opens a cell; stray non-SYN segments for dead
+                // connections (or censor injections) are swallowed.
+                if !tcp.flags().syn() {
+                    return;
+                }
+                let mut ep = TcpEndpoint::new(dst, self.profile);
+                ep.listen(METRO_PORT);
+                self.cells.insert(
+                    key,
+                    ServerCell {
+                        ep,
+                        sock: None,
+                        rx: Vec::new(),
+                        served: false,
+                    },
+                );
+                ctx.set_timer(ctx.now + self.ttl, srv_token(SRV_KIND_EXPIRE, key));
+            }
+            key
+        };
+        if let Some(cell) = self.cells.get_mut(&key) {
+            cell.ep.on_packet(wire, ctx.now.micros());
+        }
+        self.pump_cell(ctx, key);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        let key = srv_token_key(token);
+        match token >> SRV_KIND_SHIFT {
+            SRV_KIND_TCP => {
+                if let Some(cell) = self.cells.get_mut(&key) {
+                    cell.ep.on_timer(ctx.now.micros());
+                    self.pump_cell(ctx, key);
+                }
+            }
+            SRV_KIND_EXPIRE => {
+                self.cells.remove(&key);
+            }
+            _ => {}
+        }
+    }
+
+    fn sample_gauges(&self, g: &mut GaugeSample) {
+        g.add(GaugeId::MetroServerCells, self.cells.len() as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tuple(sp: u16) -> FourTuple {
+        FourTuple::new(Ipv4Addr::new(10, 0, 0, 1), sp, Ipv4Addr::new(93, 184, 216, 34), 80)
+    }
+
+    #[test]
+    fn shard_assignment_is_a_pure_function_of_the_key() {
+        for sp in [40_000u16, 40_001, 55_555] {
+            let a = shard_of(&tuple(sp), 8);
+            let b = shard_of(&tuple(sp), 8);
+            assert_eq!(a, b);
+            assert!(a < 8);
+        }
+        assert_eq!(shard_of(&tuple(1), 1), 0);
+    }
+
+    #[test]
+    fn shards_spread_flows() {
+        let mut seen = [false; 4];
+        for sp in 40_000u16..40_200 {
+            seen[shard_of(&tuple(sp), 4) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "200 flows should touch all 4 shards");
+    }
+
+    #[test]
+    fn srv_tokens_round_trip() {
+        let key = (Ipv4Addr::new(203, 0, 113, 9), 41_234u16);
+        let t = srv_token(SRV_KIND_EXPIRE, key);
+        assert_eq!(t >> SRV_KIND_SHIFT, SRV_KIND_EXPIRE);
+        assert_eq!(srv_token_key(t), key);
+    }
+
+    #[test]
+    fn port_assignment_is_per_client_and_in_spec_order() {
+        let clients = vec![Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2)];
+        let sites = vec![Ipv4Addr::new(93, 184, 216, 34)];
+        let specs: Vec<FlowSpec> = (0..4)
+            .map(|i| FlowSpec {
+                start: Instant(i * 1_000),
+                client: (i % 2) as u32,
+                site: 0,
+                isn: 1,
+                keyword: false,
+                request_delay: Duration::ZERO,
+            })
+            .collect();
+        let (el, _h) = MetroClients::new(clients, sites, specs, 2);
+        let t = el.tuples();
+        assert_eq!(t[0].src_port, METRO_BASE_PORT);
+        assert_eq!(t[1].src_port, METRO_BASE_PORT, "second client starts its own range");
+        assert_eq!(t[2].src_port, METRO_BASE_PORT + 1);
+        assert_eq!(t[3].src_port, METRO_BASE_PORT + 1);
+        assert_ne!(t[0].src, t[1].src);
+    }
+}

@@ -142,7 +142,6 @@ pub struct IntangStats {
 
 struct Shim {
     cfg: IntangConfig,
-    client: Ipv4Addr,
     flows: FxHashMap<FourTuple, (FlowState, Box<dyn Strategy>)>,
     estimator: HopEstimator,
     hops_cache: TwoLevelCache<Ipv4Addr, u8>,
@@ -151,6 +150,10 @@ struct Shim {
     stats: IntangStats,
     /// Per-destination δ overrides learned by the §7.1 iteration.
     delta_overrides: FxHashMap<Ipv4Addr, u8>,
+    /// Per-flow strategy presets registered before the flow's first SYN
+    /// (metropolis load generators draw a strategy per flow). Consumed on
+    /// flow creation; `cfg.strategy` / the adaptive history otherwise.
+    strategy_presets: FxHashMap<FourTuple, StrategyKind>,
     /// Scratch repr reused by `process_egress` (no steady-state parse
     /// allocations).
     rx_seg: TcpRepr,
@@ -178,7 +181,6 @@ impl IntangElement {
         let fwd = cfg.dns_forward.map(|resolver| DnsForwarder::new(client, resolver));
         let shim = Rc::new(RefCell::new(Shim {
             cfg,
-            client,
             flows: FxHashMap::default(),
             estimator: HopEstimator::new(),
             hops_cache: TwoLevelCache::new(64),
@@ -186,6 +188,7 @@ impl IntangElement {
             fwd,
             stats: IntangStats::default(),
             delta_overrides: FxHashMap::default(),
+            strategy_presets: FxHashMap::default(),
             rx_seg: TcpRepr::new(0, 0),
         }));
         (IntangElement { shim: shim.clone() }, IntangHandle { shim })
@@ -218,6 +221,24 @@ impl IntangHandle {
 
     pub fn dns_responses_delivered(&self) -> u64 {
         self.shim.borrow().fwd.as_ref().map_or(0, |f| f.responses_delivered)
+    }
+
+    /// Drop one flow's strategy state (and any unconsumed preset). Called
+    /// by metropolis load generators when a flow retires; without it a
+    /// million-flow run would hold per-flow state for every flow ever
+    /// spawned.
+    pub fn retire_flow(&self, tuple: FourTuple) {
+        let mut s = self.shim.borrow_mut();
+        s.flows.remove(&tuple);
+        s.strategy_presets.remove(&tuple);
+    }
+
+    /// Pre-register the strategy one specific flow will use, overriding
+    /// `cfg.strategy` and the adaptive history for that flow only. Must be
+    /// called before the flow's first SYN crosses the shim; the preset is
+    /// consumed at flow creation.
+    pub fn preset_strategy(&self, tuple: FourTuple, kind: StrategyKind) {
+        self.shim.borrow_mut().strategy_presets.insert(tuple, kind);
     }
 
     /// Pre-seed a hop estimate (used by tests and by experiments that model
@@ -370,8 +391,9 @@ impl Shim {
         // New flow bookkeeping: choose a strategy on the first SYN.
         if !self.flows.contains_key(&tuple) && seg.flags.syn() && !seg.flags.ack() {
             let kind = self
-                .cfg
-                .strategy
+                .strategy_presets
+                .remove(&tuple)
+                .or(self.cfg.strategy)
                 .unwrap_or_else(|| self.history.borrow().choose(server, &StrategyKind::adaptive_pool()));
             let mut flow = FlowState::new(tuple, kind);
             flow.prefer_ttl = self.cfg.prefer_ttl;
@@ -394,7 +416,7 @@ impl Shim {
                 } else {
                     let probes = self
                         .estimator
-                        .start(self.client, server, seg.dst_port, ctx.now, self.cfg.max_probe_ttl, wire);
+                        .start(tuple.src, server, seg.dst_port, ctx.now, self.cfg.max_probe_ttl, wire);
                     self.stats.probes_sent += probes.len() as u64;
                     for p in probes {
                         ctx.send(Direction::ToServer, p);
@@ -416,7 +438,10 @@ impl Shim {
         // linear backoff on re-protected retransmissions; ZERO otherwise).
         let mut backoff_extra = Duration::ZERO;
         let (verdict, injections) = {
-            let mut sctx = ShimCtx::new(ctx.now, ctx.rng, self.client, self.cfg.redundancy);
+            // Keyed on the flow's own source address, not the element-wide
+            // `client`: in metropolis mode one shim fronts many client
+            // addresses, and injections must be forged as the flow's owner.
+            let mut sctx = ShimCtx::new(ctx.now, ctx.rng, tuple.src, self.cfg.redundancy);
             let verdict = if seg.flags.syn() && !seg.flags.ack() && flow.client_isn.is_none() {
                 flow.client_isn = Some(seg.seq);
                 strat.on_syn(&mut sctx, flow, seg)
@@ -526,7 +551,7 @@ impl Shim {
                         flow.synack_seen = true;
                         flow.server_isn = Some(tcp.seq_number());
                         let seg = TcpRepr::parse(&tcp);
-                        let mut sctx = ShimCtx::new(ctx.now, ctx.rng, self.client, self.cfg.redundancy);
+                        let mut sctx = ShimCtx::new(ctx.now, ctx.rng, tuple.src, self.cfg.redundancy);
                         strat.on_synack(&mut sctx, flow, &seg);
                         for (w, d) in std::mem::take(&mut sctx.injections) {
                             ctx.send_delayed(Direction::ToServer, w, d);

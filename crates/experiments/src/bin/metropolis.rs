@@ -1,0 +1,290 @@
+//! Metropolis scale runner: one shared simulated world hosting a large
+//! population of concurrent client flows behind a single INTANG shim and
+//! a single GFW tap. Sweeps the flow count (1k → 100k by default, higher
+//! with `--flows`), reporting per-flow outcome counts, cross-flow
+//! interference counters (blacklist collateral resets, TCB evictions,
+//! resync storms), throughput (flows/s, events/s) and peak RSS — and
+//! verifies at every flow count that per-shard aggregation is
+//! byte-identical at 1, 2 and 8 workers.
+//!
+//! Writes `BENCH_metropolis.json` into the current directory (skipped on
+//! `--quick`, so the CI smoke run never clobbers the full artifact).
+//! `--smoke` runs a 1k-flow world with simcheck forced on, requires zero
+//! invariant violations and zero per-flow ordering regressions, and
+//! gates peak RSS against `INTANG_METRO_RSS_MB` when set.
+//!
+//! Extra flags beyond the common set: `--flows N` caps the sweep at `N`
+//! flows (adding `N` as a sweep point), `--shards N` overrides the shard
+//! count (default 8).
+
+use intang_experiments::args::CommonArgs;
+use intang_experiments::metropolis::{run_metropolis_with_workers, shard_latency_stats, MetroParams, MetroRun};
+use intang_gfw::EvictionPolicy;
+use intang_telemetry::GaugeId;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Peak resident-set high-water mark (`VmHWM`) of this process in kB,
+/// from `/proc/self/status`. Process-wide and monotonic: a value reported
+/// after a sweep point covers everything run so far. `None` off Linux.
+fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+struct Measurement {
+    flows: u32,
+    wall_s: f64,
+    run: MetroRun,
+    aggregation_identical: bool,
+    peak_rss_kb: Option<u64>,
+}
+
+fn measure(flows: u32, seed: u64, shards: u32) -> Measurement {
+    let mut p = MetroParams::new(flows, seed);
+    p.shards = shards;
+    let start = Instant::now();
+    let run = run_metropolis_with_workers(&p, 1);
+    let wall_s = start.elapsed().as_secs_f64();
+    // The event loop is serial by construction; the worker axis is the
+    // per-shard aggregation sweep. Re-fold the same outcome grid at 2 and
+    // 8 workers and demand byte-identical shard summaries.
+    let aggregation_identical = [2usize, 8]
+        .iter()
+        .all(|&w| intang_experiments::metropolis::aggregate_shards(&run.results, p.shards, w) == run.shards);
+    Measurement {
+        flows,
+        wall_s,
+        run,
+        aggregation_identical,
+        peak_rss_kb: peak_rss_kb(),
+    }
+}
+
+/// `--smoke`: CI gate. 1k flows with simcheck forced on; fails on any
+/// invariant violation, ordering regression, aggregation divergence, or
+/// (when `INTANG_METRO_RSS_MB` is set) peak RSS above the ceiling.
+fn smoke_gate(seed: u64, shards: u32) -> ! {
+    intang_simcheck::set_thread(Some(true));
+    let m = measure(1_000, seed, shards);
+    let (spawned, succeeded, reset, stalled) = m.run.counts;
+    eprintln!(
+        "metropolis --smoke: {spawned} flows in {:.2}s ({succeeded} ok / {reset} reset / {stalled} stalled), \
+         {} collateral resets, {} evictions, {} storms, {} simcheck violation(s)",
+        m.wall_s, m.run.collateral_resets, m.run.tcbs_evicted, m.run.resync_storms, m.run.violations,
+    );
+    let mut failed = false;
+    if m.run.violations > 0 {
+        eprintln!(
+            "ERROR: simcheck reported {} invariant violation(s); minimal repro artifacts are in {}",
+            m.run.violations,
+            intang_experiments::simcheck::artifact_dir().display()
+        );
+        failed = true;
+    }
+    if m.run.order_violations > 0 {
+        eprintln!("ERROR: {} per-flow (time, seq) ordering regression(s)", m.run.order_violations);
+        failed = true;
+    }
+    if !m.aggregation_identical {
+        eprintln!("ERROR: shard aggregation diverged across worker counts");
+        failed = true;
+    }
+    if succeeded + reset + stalled != spawned {
+        eprintln!(
+            "ERROR: {} flow(s) left in a non-terminal state",
+            spawned - succeeded - reset - stalled
+        );
+        failed = true;
+    }
+    if let Ok(gate) = std::env::var("INTANG_METRO_RSS_MB") {
+        let ceiling_mb: u64 = gate.parse().expect("INTANG_METRO_RSS_MB must be a number of megabytes");
+        match m.peak_rss_kb {
+            Some(kb) if kb / 1024 <= ceiling_mb => {
+                eprintln!("  rss gate: peak {} MB <= ceiling {ceiling_mb} MB", kb / 1024);
+            }
+            Some(kb) => {
+                eprintln!("ERROR: peak RSS {} MB exceeds ceiling {ceiling_mb} MB", kb / 1024);
+                failed = true;
+            }
+            None => {
+                eprintln!("ERROR: INTANG_METRO_RSS_MB set but /proc/self/status is unreadable");
+                failed = true;
+            }
+        }
+    }
+    std::process::exit(if failed { 1 } else { 0 });
+}
+
+fn main() {
+    // Split off the metropolis-specific flags, delegate the rest.
+    let mut flows_cap: Option<u32> = None;
+    let mut shards: u32 = 8;
+    let mut smoke = false;
+    let mut rest: Vec<String> = Vec::new();
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--flows" => {
+                let v = it.next().unwrap_or_default();
+                flows_cap = Some(v.parse().unwrap_or_else(|_| {
+                    eprintln!("error: --flows needs a number, got {v:?}");
+                    std::process::exit(2);
+                }));
+            }
+            "--shards" => {
+                let v = it.next().unwrap_or_default();
+                shards = v.parse().unwrap_or_else(|_| {
+                    eprintln!("error: --shards needs a number, got {v:?}");
+                    std::process::exit(2);
+                });
+            }
+            _ => {
+                smoke |= a == "--smoke";
+                rest.push(a);
+            }
+        }
+    }
+    let args = match CommonArgs::parse_from(rest) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("metropolis flags: --flows N, --shards N, plus the common set (--quick/--smoke/--seed/...)");
+            std::process::exit(2);
+        }
+    };
+    if smoke {
+        smoke_gate(args.seed, shards);
+    }
+
+    let mut sweep: Vec<u32> = if args.quick { vec![1_000] } else { vec![1_000, 10_000, 100_000] };
+    if let Some(cap) = flows_cap {
+        sweep.retain(|&f| f < cap);
+        sweep.push(cap);
+    }
+    eprintln!("metropolis: sweeping {sweep:?} flows, {shards} shards, seed {}", args.seed);
+
+    let mut measurements = Vec::new();
+    for &flows in &sweep {
+        let m = measure(flows, args.seed, shards);
+        let (spawned, succeeded, reset, stalled) = m.run.counts;
+        eprintln!(
+            "  {flows:>8} flows: {:8.2}s  {:>9.0} flows/s  {:>11.0} events/s  \
+             {succeeded} ok / {reset} reset / {stalled} stalled  \
+             collateral={} evicted={} storms={} rss={}MB identical={}",
+            m.wall_s,
+            spawned as f64 / m.wall_s,
+            m.run.events as f64 / m.wall_s,
+            m.run.collateral_resets,
+            m.run.tcbs_evicted,
+            m.run.resync_storms,
+            m.peak_rss_kb.map_or(0, |kb| kb / 1024),
+            m.aggregation_identical,
+        );
+        measurements.push(m);
+    }
+
+    // Instrumented pass: rerun the smallest sweep point with the gauge
+    // series enabled, strictly after the timed loop so sampling cost never
+    // touches the throughput numbers.
+    let prev = intang_telemetry::series::set_thread(Some(true));
+    let instrumented = measure(sweep[0], args.seed, shards);
+    intang_telemetry::series::set_thread(prev);
+    let series = instrumented.run.series.as_deref();
+
+    let largest = measurements.last().expect("sweep is non-empty");
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"master_seed\": {},", args.seed);
+    let _ = writeln!(json, "  \"shards\": {shards},");
+    let flows_list: Vec<String> = sweep.iter().map(u32::to_string).collect();
+    let _ = writeln!(json, "  \"flows_sweep\": [{}],", flows_list.join(", "));
+    let _ = writeln!(
+        json,
+        "  \"censor\": {{\"max_tcbs\": {}, \"eviction\": \"{:?}\"}},",
+        MetroParams::new(1, 0).max_tcbs,
+        EvictionPolicy::Oldest,
+    );
+    json.push_str("  \"runs\": [\n");
+    for (i, m) in measurements.iter().enumerate() {
+        let (spawned, succeeded, reset, stalled) = m.run.counts;
+        let lat = shard_latency_stats(&m.run.shards);
+        let _ = write!(
+            json,
+            "    {{\"flows\": {}, \"wall_s\": {:.3}, \"flows_per_s\": {:.1}, \"events\": {}, \"events_per_s\": {:.0}, \
+             \"succeeded\": {succeeded}, \"reset\": {reset}, \"stalled\": {stalled}, \
+             \"collateral_resets\": {}, \"tcbs_evicted\": {}, \"resync_storms\": {}, \
+             \"order_violations\": {}, \"aggregation_identical_1_2_8\": {}, \"peak_rss_kb\": {}, \
+             \"shard_latency_us\": {{\"min\": {:.1}, \"max\": {:.1}, \"avg\": {:.1}, \"empty_shards\": {}}}}}",
+            m.flows,
+            m.wall_s,
+            spawned as f64 / m.wall_s,
+            m.run.events,
+            m.run.events as f64 / m.wall_s,
+            m.run.collateral_resets,
+            m.run.tcbs_evicted,
+            m.run.resync_storms,
+            m.run.order_violations,
+            m.aggregation_identical,
+            m.peak_rss_kb.map_or_else(|| "null".to_string(), |kb| kb.to_string()),
+            lat.min,
+            lat.max,
+            lat.avg,
+            lat.empty,
+        );
+        json.push_str(if i + 1 < measurements.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n  \"counters\": {");
+    let counters: Vec<String> = largest
+        .run
+        .metrics
+        .nonzero_counters()
+        .map(|(c, v)| format!("\"{}\": {v}", c.name()))
+        .collect();
+    json.push_str(&counters.join(", "));
+    json.push_str("},\n  \"series\": {");
+    let gauges: Vec<String> = series
+        .map(|s| {
+            GaugeId::ALL
+                .iter()
+                .filter(|&&id| !s.series(id).is_empty())
+                .map(|&id| format!("\"{}\": {}", id.name(), s.series(id).to_json()))
+                .collect()
+        })
+        .unwrap_or_default();
+    json.push_str(&gauges.join(", "));
+    json.push_str("}\n}\n");
+
+    if !args.quick {
+        std::fs::write("BENCH_metropolis.json", &json).expect("write BENCH_metropolis.json");
+    }
+    println!("{json}");
+
+    let mut failed = false;
+    if measurements.iter().any(|m| !m.aggregation_identical) {
+        eprintln!("ERROR: shard aggregation diverged across worker counts");
+        failed = true;
+    }
+    if let Some(m) = measurements.iter().find(|m| m.run.order_violations > 0) {
+        eprintln!(
+            "ERROR: {} per-flow (time, seq) ordering regression(s) at {} flows",
+            m.run.order_violations, m.flows
+        );
+        failed = true;
+    }
+    let total_violations: u64 = measurements.iter().map(|m| m.run.violations).sum();
+    if intang_simcheck::enabled() {
+        eprintln!("  simcheck: {total_violations} invariant violation(s) across all runs");
+        if total_violations > 0 {
+            eprintln!(
+                "ERROR: simcheck reported invariant violations; minimal repro artifacts are in {}",
+                intang_experiments::simcheck::artifact_dir().display()
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -20,6 +20,7 @@
 //! `reset_fingerprint`, `all`) regenerate each artifact.
 
 pub mod args;
+pub mod metropolis;
 pub mod progress;
 pub mod report;
 pub mod runner;

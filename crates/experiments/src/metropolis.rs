@@ -1,0 +1,426 @@
+//! Metropolis: one shared world, very many concurrent flows.
+//!
+//! Where [`crate::trial`] builds one simulation per fetch, this module
+//! builds **one** simulation hosting the whole population: a seeded load
+//! generator plans every flow up front (arrival time, client address,
+//! site, ISN, keyword, per-flow INTANG strategy), the
+//! [`intang_apps::metro`] multiplexers host the endpoints, and a single
+//! GFW tap — one shared TCB table, one shared blacklist — watches them
+//! all. That sharing is the point: one flow's detection blacklists a
+//! `(src, dst)` pair and resets *other* flows on it, capacity pressure
+//! evicts TCBs and degrades detection, and resync churn from many flows
+//! counts as storms.
+//!
+//! Determinism: the event loop is strictly serial. "Workers" here are
+//! post-run aggregation threads over the per-flow result grid, one shard
+//! at a time, folded in shard-index order — so any worker count produces
+//! byte-identical [`MetroRun`]s (asserted by `tests/determinism.rs`).
+
+use crate::runner::MinMaxAvg;
+use intang_apps::metro::{FlowOutcome, FlowResult, FlowSpec, MetroClients, MetroHandle, MetroServers};
+use intang_core::{IntangConfig, IntangElement, IntangHandle, StrategyKind};
+use intang_gfw::{EvictionPolicy, GfwConfig, GfwElement, GfwHandle};
+use intang_netsim::rng::SimRng;
+use intang_netsim::{Duration, Instant, Link, Simulation};
+use intang_telemetry::{MetricsSheet, SeriesSheet};
+use std::net::Ipv4Addr;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Total client→server hop count of the metropolis path (2 on the censor
+/// side + 3 on the server side); seeded into the INTANG shim so
+/// TTL-scoped insertions cross the censor and die before the servers
+/// without a probe storm per site.
+const PATH_HOPS: u8 = 5;
+
+/// Everything defining one metropolis run.
+#[derive(Debug, Clone)]
+pub struct MetroParams {
+    /// Flows to spawn over the run.
+    pub flows: u32,
+    pub seed: u64,
+    /// Shard count for per-flow state (aggregation workers sweep shards).
+    pub shards: u32,
+    /// Client address pool size (source ports are per-address, so this
+    /// bounds flows-per-address; [`MetroParams::new`] scales it).
+    pub clients: u32,
+    /// Origin-site pool size (kept small: the shim's hop cache holds 64).
+    pub sites: u32,
+    /// Censor TCB-table capacity and eviction policy.
+    pub max_tcbs: usize,
+    pub eviction: EvictionPolicy,
+    /// Mean flow inter-arrival time in microseconds (uniform on
+    /// `[0, 2·mean]`).
+    pub mean_interarrival_us: u64,
+    /// Probability a flow's request carries the sensitive keyword.
+    pub keyword_prob: f64,
+    /// Upper bound of the uniform ESTABLISHED→request delay draw.
+    pub max_request_delay_us: u64,
+    /// Event horizon: spawn window plus drain time.
+    pub horizon: Instant,
+}
+
+impl MetroParams {
+    /// Defaults scaled to `flows`: enough client addresses that no
+    /// address exhausts its port range, and a horizon covering the
+    /// arrival window plus a 25 s drain.
+    pub fn new(flows: u32, seed: u64) -> MetroParams {
+        let mean_interarrival_us = 200;
+        let spawn_window = u64::from(flows) * mean_interarrival_us;
+        MetroParams {
+            flows,
+            seed,
+            shards: 8,
+            // Scale the address pool with the population: too few client
+            // addresses and every (src, dst) pair is blacklisted within
+            // the spawn window, collapsing the world into pure collateral.
+            clients: (flows / 16).clamp(8, 4_096),
+            sites: 8,
+            max_tcbs: 65_536,
+            eviction: EvictionPolicy::Oldest,
+            mean_interarrival_us,
+            keyword_prob: 0.5,
+            max_request_delay_us: 50_000,
+            horizon: Instant(spawn_window + 25_000_000),
+        }
+    }
+}
+
+/// The generated world: address pools, start-sorted flow specs, and each
+/// flow's preset strategy draw.
+pub struct MetroWorld {
+    pub clients: Vec<Ipv4Addr>,
+    pub sites: Vec<Ipv4Addr>,
+    pub specs: Vec<FlowSpec>,
+    pub strategies: Vec<StrategyKind>,
+}
+
+/// Deterministic load plan: every draw comes from one SplitMix stream
+/// seeded by `params.seed`, so the same params always produce the same
+/// world regardless of shard or worker count.
+pub fn generate_world(p: &MetroParams) -> MetroWorld {
+    let mut rng = SimRng::seed_from(p.seed ^ 0x4d45_5452_4f50_4f4c); // "METROPOL"
+    let clients: Vec<Ipv4Addr> = (0..p.clients.max(1))
+        .map(|i| Ipv4Addr::new(10, 1, (i >> 8) as u8, (i & 0xff) as u8))
+        .collect();
+    let sites: Vec<Ipv4Addr> = (0..p.sites.clamp(1, 64))
+        .map(|i| Ipv4Addr::new(203, 0, 113, (i + 1) as u8))
+        .collect();
+    let pool = StrategyKind::adaptive_pool();
+    let mut specs = Vec::with_capacity(p.flows as usize);
+    let mut strategies = Vec::with_capacity(p.flows as usize);
+    let mut t = 0u64;
+    for _ in 0..p.flows {
+        t += rng.range_u64(0, 2 * p.mean_interarrival_us + 1);
+        specs.push(FlowSpec {
+            start: Instant(t),
+            client: rng.index(clients.len()) as u32,
+            site: rng.index(sites.len()) as u32,
+            isn: rng.next_u32(),
+            keyword: rng.chance(p.keyword_prob),
+            request_delay: Duration::from_micros(rng.range_u64(0, p.max_request_delay_us + 1)),
+        });
+        // One draw in five runs bare: those keyword flows are the ones the
+        // censor detects, and their blacklist entries are what makes
+        // cross-flow collateral observable in the shared world.
+        let k = rng.index(pool.len() + 1);
+        strategies.push(if k == pool.len() { StrategyKind::NoStrategy } else { pool[k] });
+    }
+    MetroWorld {
+        clients,
+        sites,
+        specs,
+        strategies,
+    }
+}
+
+/// Per-shard fold of the flow-result grid (pure function of the shard's
+/// rows — identical whichever worker computes it).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSummary {
+    pub flows: u64,
+    pub succeeded: u64,
+    pub reset: u64,
+    pub stalled: u64,
+    pub pending: u64,
+    pub latency_sum_us: u64,
+    pub latency_min_us: u64,
+    pub latency_max_us: u64,
+}
+
+impl ShardSummary {
+    fn fold(&mut self, r: &FlowResult) {
+        self.flows += 1;
+        match r.outcome {
+            FlowOutcome::Success => {
+                self.succeeded += 1;
+                self.latency_sum_us += r.latency_us;
+                self.latency_max_us = self.latency_max_us.max(r.latency_us);
+                self.latency_min_us = if self.latency_min_us == 0 {
+                    r.latency_us
+                } else {
+                    self.latency_min_us.min(r.latency_us)
+                };
+            }
+            FlowOutcome::Reset => self.reset += 1,
+            FlowOutcome::Stalled => self.stalled += 1,
+            FlowOutcome::Pending => self.pending += 1,
+        }
+    }
+}
+
+/// Aggregate the outcome grid shard by shard on `workers` threads. Each
+/// shard's summary is a pure function of that shard's rows and lands at
+/// its own index, so the result is byte-identical for any `workers >= 1`.
+pub fn aggregate_shards(results: &[FlowResult], shards: u32, workers: usize) -> Vec<ShardSummary> {
+    let shards = shards.max(1) as usize;
+    let mut out = vec![ShardSummary::default(); shards];
+    let workers = workers.max(1).min(shards);
+    if workers == 1 {
+        for r in results {
+            out[r.shard as usize].fold(r);
+        }
+        return out;
+    }
+    let cursor = AtomicUsize::new(0);
+    let computed = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let cursor = &cursor;
+                scope.spawn(move || {
+                    let mut mine = Vec::new();
+                    loop {
+                        let s = cursor.fetch_add(1, Ordering::Relaxed);
+                        if s >= shards {
+                            break;
+                        }
+                        let mut sum = ShardSummary::default();
+                        for r in results.iter().filter(|r| r.shard as usize == s) {
+                            sum.fold(r);
+                        }
+                        mine.push((s, sum));
+                    }
+                    mine
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("shard aggregation worker panicked"))
+            .collect::<Vec<_>>()
+    });
+    for (s, sum) in computed {
+        out[s] = sum;
+    }
+    out
+}
+
+/// Min/max/avg of mean per-flow success latency across shards, with
+/// success-free shards surfaced via [`MinMaxAvg::empty`] rather than
+/// folded in as zeros (the PR-2 empty-cell convention).
+pub fn shard_latency_stats(shards: &[ShardSummary]) -> MinMaxAvg {
+    let empty = shards.iter().filter(|s| s.succeeded == 0).count();
+    let vals: Vec<f64> = shards
+        .iter()
+        .filter(|s| s.succeeded > 0)
+        .map(|s| s.latency_sum_us as f64 / s.succeeded as f64)
+        .collect();
+    if vals.is_empty() {
+        return MinMaxAvg {
+            min: 0.0,
+            max: 0.0,
+            avg: 0.0,
+            empty,
+        };
+    }
+    let min = vals.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = vals.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let avg = vals.iter().sum::<f64>() / vals.len() as f64;
+    MinMaxAvg { min, max, avg, empty }
+}
+
+/// Everything a metropolis run reports.
+pub struct MetroRun {
+    /// Per-flow outcome grid, indexed by flow id.
+    pub results: Vec<FlowResult>,
+    /// `(spawned, succeeded, reset, stalled)`.
+    pub counts: (u64, u64, u64, u64),
+    /// Per-shard summaries in shard order.
+    pub shards: Vec<ShardSummary>,
+    /// Simulator events processed.
+    pub events: u64,
+    /// Cross-flow interference counters from the shared censor.
+    pub collateral_resets: u64,
+    pub tcbs_evicted: u64,
+    pub resync_storms: u64,
+    /// Full merged metrics sheet (every element on the path).
+    pub metrics: MetricsSheet,
+    /// Gauge series when series telemetry was enabled.
+    pub series: Option<Box<SeriesSheet>>,
+    /// Per-flow `(time, seq)` ordering regressions — must be zero.
+    pub order_violations: u64,
+    /// Simcheck violations observed during the run (0 when disabled).
+    pub violations: u64,
+}
+
+/// Live handles of an assembled metropolis world (exposed so tests can
+/// poke at the censor or the outcome grid mid-run).
+pub struct MetroParts {
+    pub metro: MetroHandle,
+    pub intang: IntangHandle,
+    pub gfw: GfwHandle,
+}
+
+/// Build the metropolis simulation without running it.
+pub fn build_metropolis(p: &MetroParams, world: &MetroWorld) -> (Simulation, MetroParts) {
+    let mut sim = Simulation::new(p.seed);
+
+    // The INTANG shim fronts every client address; per-flow strategy
+    // state is keyed by four-tuple and preset from the world's draws.
+    let cfg = IntangConfig {
+        strategy: None,
+        measure_hops: true,
+        prefer_ttl: true,
+        ..IntangConfig::default()
+    };
+    let (intang_el, intang) = IntangElement::new(world.clients[0], cfg);
+    for site in &world.sites {
+        intang.seed_hops(*site, PATH_HOPS);
+    }
+
+    // [0] every client flow.
+    let (mut clients_el, metro) = MetroClients::new(world.clients.clone(), world.sites.clone(), world.specs.clone(), p.shards);
+    for (tuple, kind) in clients_el.tuples().iter().zip(&world.strategies) {
+        intang.preset_strategy(*tuple, *kind);
+    }
+    let shim = intang.clone();
+    clients_el.set_retire_hook(Box::new(move |tuple| shim.retire_flow(tuple)));
+    let first_start = world.specs.first().map_or(Instant::ZERO, |s| s.start);
+    let cidx = sim.add_element(Box::new(clients_el));
+
+    // [1] the shim, directly on the client side.
+    sim.add_link(Link::new(Duration::from_micros(50), 0));
+    sim.add_element(Box::new(intang_el));
+
+    // [2] the censor tap at the border (2 hops out).
+    sim.add_link(Link::new(Duration::from_millis(1), 2).with_router_base(Ipv4Addr::new(172, 16, 2, 0)));
+    let mut gcfg = GfwConfig::evolved();
+    gcfg.max_tcbs = p.max_tcbs;
+    gcfg.eviction = p.eviction;
+    let (gfw_el, gfw) = GfwElement::labeled(gcfg, "GFW");
+    sim.add_element(Box::new(gfw_el));
+
+    // [3] every origin site (3 more hops; TTL-scoped insertions with the
+    // seeded PATH_HOPS estimate die on this link).
+    sim.add_link(Link::new(Duration::from_millis(2), 3).with_router_base(Ipv4Addr::new(172, 16, 3, 0)));
+    sim.add_element(Box::new(MetroServers::new(world.sites.clone())));
+
+    MetroClients::bootstrap(&mut sim, cidx, first_start, p.horizon);
+    (sim, MetroParts { metro, intang, gfw })
+}
+
+/// Run a metropolis world to its horizon and aggregate with `workers`
+/// shard-sweep threads.
+pub fn run_metropolis_with_workers(p: &MetroParams, workers: usize) -> MetroRun {
+    let sc = intang_simcheck::enabled();
+    if sc {
+        intang_simcheck::begin_trial(p.seed);
+        let _ = intang_simcheck::take_violations();
+    }
+    let world = generate_world(p);
+    let (mut sim, parts) = build_metropolis(p, &world);
+    let events = sim.run_until(p.horizon);
+
+    let mut metrics = MetricsSheet::new();
+    sim.export_metrics(&mut metrics);
+    let series = sim.take_series();
+    let violations = if sc { intang_simcheck::take_violations().len() as u64 } else { 0 };
+
+    let results = parts.metro.results();
+    let shards = aggregate_shards(&results, p.shards, workers);
+    let (spawned, succeeded, reset, stalled) = parts.metro.counts();
+    MetroRun {
+        results,
+        counts: (spawned, succeeded, reset, stalled),
+        shards,
+        events,
+        collateral_resets: parts.gfw.blacklist_collateral_resets(),
+        tcbs_evicted: parts.gfw.tcbs_evicted(),
+        resync_storms: parts.gfw.resync_storms(),
+        metrics,
+        series,
+        order_violations: parts.metro.order_violations(),
+        violations,
+    }
+}
+
+/// Serial-aggregation convenience wrapper.
+pub fn run_metropolis(p: &MetroParams) -> MetroRun {
+    run_metropolis_with_workers(p, 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn world_generation_is_deterministic_and_start_sorted() {
+        let p = MetroParams::new(500, 7);
+        let a = generate_world(&p);
+        let b = generate_world(&p);
+        assert_eq!(a.specs.len(), 500);
+        assert!(a.specs.windows(2).all(|w| w[0].start <= w[1].start));
+        for (x, y) in a.specs.iter().zip(&b.specs) {
+            assert_eq!(format!("{x:?}"), format!("{y:?}"));
+        }
+        assert_eq!(a.strategies, b.strategies);
+    }
+
+    #[test]
+    fn small_world_completes_with_terminal_outcomes() {
+        let mut p = MetroParams::new(40, 2017);
+        p.shards = 4;
+        let run = run_metropolis(&p);
+        let (spawned, succeeded, reset, stalled) = run.counts;
+        assert_eq!(spawned, 40);
+        assert_eq!(succeeded + reset + stalled, 40, "every flow reaches a terminal state");
+        assert!(succeeded > 0, "some flows must fetch their page: {:?}", run.counts);
+        assert!(run.results.iter().all(|r| r.outcome != FlowOutcome::Pending));
+        assert_eq!(run.order_violations, 0);
+        let total: u64 = run.shards.iter().map(|s| s.flows).sum();
+        assert_eq!(total, 40, "shard summaries partition the grid");
+    }
+
+    #[test]
+    fn aggregation_is_identical_across_worker_counts() {
+        let mut p = MetroParams::new(60, 11);
+        p.shards = 8;
+        let run = run_metropolis(&p);
+        for workers in [2usize, 8] {
+            let again = aggregate_shards(&run.results, p.shards, workers);
+            assert_eq!(again, run.shards, "{workers} workers");
+        }
+    }
+
+    #[test]
+    fn latency_stats_surface_empty_shards() {
+        let shards = vec![
+            ShardSummary {
+                flows: 2,
+                succeeded: 2,
+                latency_sum_us: 2_000,
+                latency_min_us: 800,
+                latency_max_us: 1_200,
+                ..ShardSummary::default()
+            },
+            ShardSummary {
+                flows: 3,
+                reset: 3,
+                ..ShardSummary::default()
+            },
+        ];
+        let stats = shard_latency_stats(&shards);
+        assert_eq!(stats.empty, 1, "the all-reset shard is surfaced, not averaged as zero");
+        assert!((stats.avg - 1_000.0).abs() < f64::EPSILON);
+        assert!((stats.min - 1_000.0).abs() < f64::EPSILON);
+    }
+}

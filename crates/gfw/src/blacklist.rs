@@ -1,15 +1,29 @@
 //! The 90-second host-pair blacklist (§2.1): after a detection, any SYN
 //! between the two hosts draws a forged SYN/ACK (type-2 only) and any other
 //! packet draws fresh RST + RST/ACK injections until the period lapses.
+//!
+//! Each entry remembers the *origin flow* whose detection inserted it, so
+//! the device can distinguish punishment of the offending connection from
+//! collateral disruption of an innocent neighbor on the same (src, dst)
+//! pair — the cross-flow interference a metropolis-scale workload measures.
 
 use intang_netsim::{Duration, Instant};
-use intang_packet::FxHashMap;
+use intang_packet::{FourTuple, FxHashMap};
 use std::net::Ipv4Addr;
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    until: Instant,
+    /// The flow whose detection created this entry. Repeat detections
+    /// extend the expiry but keep the original origin — collateral is
+    /// measured against the first offender of the period.
+    origin: FourTuple,
+}
 
 /// Pair blacklist with expiry.
 #[derive(Debug, Default)]
 pub struct Blacklist {
-    entries: FxHashMap<(Ipv4Addr, Ipv4Addr), Instant>,
+    entries: FxHashMap<(Ipv4Addr, Ipv4Addr), Entry>,
 }
 
 fn key(a: Ipv4Addr, b: Ipv4Addr) -> (Ipv4Addr, Ipv4Addr) {
@@ -26,25 +40,36 @@ impl Blacklist {
     }
 
     /// Blacklist the host pair until `now + duration` (extends on repeat
-    /// detections).
-    pub fn add(&mut self, a: Ipv4Addr, b: Ipv4Addr, now: Instant, duration: Duration) {
+    /// detections), recording the detected flow as the entry's origin.
+    pub fn add(&mut self, a: Ipv4Addr, b: Ipv4Addr, now: Instant, duration: Duration, origin: FourTuple) {
         let until = now + duration;
-        let e = self.entries.entry(key(a, b)).or_insert(until);
-        if *e < until {
-            *e = until;
+        let e = self.entries.entry(key(a, b)).or_insert(Entry {
+            until,
+            origin: origin.canonical(),
+        });
+        if e.until < until {
+            e.until = until;
         }
     }
 
     /// Is the pair currently blacklisted? Expired entries are pruned lazily.
     pub fn contains(&mut self, a: Ipv4Addr, b: Ipv4Addr, now: Instant) -> bool {
+        self.hit(a, b, now, None).is_some()
+    }
+
+    /// Look up the pair for a packet belonging to `tuple`. `None` when the
+    /// pair is not (or no longer) blacklisted; otherwise
+    /// `Some(collateral)`, where `collateral` means the hitting flow is
+    /// *not* the one whose detection inserted the entry.
+    pub fn hit(&mut self, a: Ipv4Addr, b: Ipv4Addr, now: Instant, tuple: Option<FourTuple>) -> Option<bool> {
         let k = key(a, b);
         match self.entries.get(&k) {
-            Some(&until) if until > now => true,
+            Some(e) if e.until > now => Some(tuple.is_some_and(|t| t.canonical() != e.origin)),
             Some(_) => {
                 self.entries.remove(&k);
-                false
+                None
             }
-            None => false,
+            None => None,
         }
     }
 
@@ -67,11 +92,14 @@ mod tests {
     fn b() -> Ipv4Addr {
         Ipv4Addr::new(93, 184, 216, 34)
     }
+    fn origin() -> FourTuple {
+        FourTuple::new(a(), 40_000, b(), 80)
+    }
 
     #[test]
     fn symmetric_and_expiring() {
         let mut bl = Blacklist::new();
-        bl.add(a(), b(), Instant::ZERO, Duration::from_secs(90));
+        bl.add(a(), b(), Instant::ZERO, Duration::from_secs(90), origin());
         assert!(bl.contains(a(), b(), Instant(1)));
         assert!(bl.contains(b(), a(), Instant(1)), "order-independent");
         assert!(bl.contains(a(), b(), Instant(89_999_999)));
@@ -82,8 +110,8 @@ mod tests {
     #[test]
     fn repeat_detection_extends() {
         let mut bl = Blacklist::new();
-        bl.add(a(), b(), Instant::ZERO, Duration::from_secs(90));
-        bl.add(a(), b(), Instant(60_000_000), Duration::from_secs(90));
+        bl.add(a(), b(), Instant::ZERO, Duration::from_secs(90), origin());
+        bl.add(a(), b(), Instant(60_000_000), Duration::from_secs(90), origin());
         assert!(bl.contains(a(), b(), Instant(100_000_000)));
         assert_eq!(bl.len(), 1);
     }
@@ -91,8 +119,33 @@ mod tests {
     #[test]
     fn earlier_expiry_does_not_shorten() {
         let mut bl = Blacklist::new();
-        bl.add(a(), b(), Instant::ZERO, Duration::from_secs(90));
-        bl.add(a(), b(), Instant(1), Duration::from_secs(1));
+        bl.add(a(), b(), Instant::ZERO, Duration::from_secs(90), origin());
+        bl.add(a(), b(), Instant(1), Duration::from_secs(1), origin());
         assert!(bl.contains(a(), b(), Instant(50_000_000)));
+    }
+
+    #[test]
+    fn hits_classify_collateral_against_the_origin_flow() {
+        let mut bl = Blacklist::new();
+        bl.add(a(), b(), Instant::ZERO, Duration::from_secs(90), origin());
+        // The offending flow itself: not collateral (either direction).
+        assert_eq!(bl.hit(a(), b(), Instant(1), Some(origin())), Some(false));
+        let reversed = FourTuple::new(b(), 80, a(), 40_000);
+        assert_eq!(bl.hit(b(), a(), Instant(1), Some(reversed)), Some(false));
+        // A neighbor on the same pair but different ports: collateral.
+        let neighbor = FourTuple::new(a(), 40_001, b(), 80);
+        assert_eq!(bl.hit(a(), b(), Instant(1), Some(neighbor)), Some(true));
+        // Expired: no hit at all.
+        assert_eq!(bl.hit(a(), b(), Instant(90_000_001), Some(neighbor)), None);
+    }
+
+    #[test]
+    fn extension_keeps_the_original_origin() {
+        let mut bl = Blacklist::new();
+        bl.add(a(), b(), Instant::ZERO, Duration::from_secs(90), origin());
+        let second = FourTuple::new(a(), 41_000, b(), 80);
+        bl.add(a(), b(), Instant(10), Duration::from_secs(90), second);
+        assert_eq!(bl.hit(a(), b(), Instant(20), Some(origin())), Some(false));
+        assert_eq!(bl.hit(a(), b(), Instant(20), Some(second)), Some(true));
     }
 }

@@ -19,6 +19,18 @@ pub enum GfwGeneration {
     Evolved,
 }
 
+/// What a full TCB table evicts to make room (§2.1: tracking every flow is
+/// "costly"; how a deployment sheds state decides *which* flows escape
+/// tracking under metropolis-scale pressure).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvictionPolicy {
+    /// Evict the TCB created longest ago (FIFO) — a circular-buffer table.
+    Oldest,
+    /// Evict the TCB touched longest ago — an LRU cache. Long-lived idle
+    /// flows lose tracking first; chatty flows stay observed.
+    Lru,
+}
+
 /// Full device/DPI configuration for a censor tap on one path.
 #[derive(Debug, Clone)]
 pub struct GfwConfig {
@@ -70,6 +82,14 @@ pub struct GfwConfig {
     /// table evicts the oldest TCB. Real deployments are huge, so the
     /// default is effectively unbounded for trial-sized runs.
     pub max_tcbs: usize,
+    /// Which TCB the device sheds when `max_tcbs` is reached.
+    pub eviction: EvictionPolicy,
+    /// Resync-storm detector: a storm is counted every time
+    /// `resync_storm_threshold` resynchronizations land within one sliding
+    /// `resync_storm_window` (the window clears after each counted storm,
+    /// so a sustained burst counts once per threshold-batch).
+    pub resync_storm_window: Duration,
+    pub resync_storm_threshold: usize,
     /// Also censor server→client HTTP responses (rare paths, §3.3).
     pub censor_responses: bool,
 
@@ -125,6 +145,9 @@ impl GfwConfig {
             blacklist_duration: Duration::from_secs(90),
             reaction_delay: Duration::from_millis(2),
             max_tcbs: 1_000_000,
+            eviction: EvictionPolicy::Oldest,
+            resync_storm_window: Duration::from_millis(100),
+            resync_storm_threshold: 8,
             censor_responses: false,
             dns_poison: true,
             tor_filter: true,

@@ -8,7 +8,7 @@
 //! model that as a drop at the tap.
 
 use crate::blacklist::Blacklist;
-use crate::config::{GfwConfig, GfwGeneration};
+use crate::config::{EvictionPolicy, GfwConfig, GfwGeneration};
 use crate::dpi::{Automaton, DetectionKind};
 use crate::probe::ActiveProber;
 use crate::reset::ResetInjector;
@@ -48,6 +48,13 @@ pub struct GfwStats {
     /// IP pairs added to the §2.1 blacklist.
     pub blacklist_inserts: u64,
     pub blacklist_hits: u64,
+    /// Of the blacklist hits that drew a disruption volley: hits by a flow
+    /// *other* than the one whose detection inserted the pair — an
+    /// innocent neighbor reset by someone else's keyword (§2.1 collateral).
+    pub blacklist_collateral_resets: u64,
+    /// Resync-storm episodes: `resync_storm_threshold` TCB
+    /// resynchronizations within one `resync_storm_window`.
+    pub resync_storms: u64,
     pub probes_launched: u64,
     pub ip_blocked_drops: u64,
     /// Payload bytes run through the DPI automaton.
@@ -68,8 +75,16 @@ struct GfwCore {
     /// is disabled).
     sc_domain: u64,
     tcbs: FxHashMap<FourTuple, CensorTcb>,
-    /// Insertion order of TCB keys, for oldest-first eviction.
-    tcb_order: std::collections::VecDeque<FourTuple>,
+    /// Eviction order: `(key, stamp)` pairs, oldest candidate at the
+    /// front. Under FIFO eviction only insertions push entries; under LRU
+    /// every touch pushes a fresh stamp and stale entries (whose stamp no
+    /// longer matches the TCB's `touched`) are skipped lazily at eviction
+    /// time and swept by [`GfwCore::compact_tcb_order`].
+    tcb_order: std::collections::VecDeque<(FourTuple, u64)>,
+    /// Monotonic stamp source for `tcb_order` entries.
+    touch_seq: u64,
+    /// Timestamps of recent resync transitions (the storm window).
+    resync_window: std::collections::VecDeque<Instant>,
     blacklist: Blacklist,
     injector: ResetInjector,
     prober: ActiveProber,
@@ -127,6 +142,8 @@ impl GfwElement {
             sc_domain: intang_simcheck::new_tcb_domain(),
             tcbs: FxHashMap::default(),
             tcb_order: std::collections::VecDeque::new(),
+            touch_seq: 0,
+            resync_window: std::collections::VecDeque::new(),
             blacklist: Blacklist::new(),
             injector: ResetInjector::new(),
             prober: ActiveProber::new(),
@@ -184,6 +201,22 @@ impl GfwHandle {
 
     pub fn blacklist_hits(&self) -> u64 {
         self.core.borrow().stats.blacklist_hits
+    }
+
+    /// Blacklist volleys that landed on a flow other than the pair's
+    /// original offender.
+    pub fn blacklist_collateral_resets(&self) -> u64 {
+        self.core.borrow().stats.blacklist_collateral_resets
+    }
+
+    /// Resync-storm episodes counted by the window detector.
+    pub fn resync_storms(&self) -> u64 {
+        self.core.borrow().stats.resync_storms
+    }
+
+    /// TCBs evicted under capacity pressure.
+    pub fn tcbs_evicted(&self) -> u64 {
+        self.core.borrow().stats.tcbs_evicted
     }
 
     pub fn probes_launched(&self) -> u64 {
@@ -257,6 +290,8 @@ impl Element for GfwElement {
         m.add(Counter::GfwDnsPoisoned, s.dns_poisoned);
         m.add(Counter::GfwBlacklistInserts, s.blacklist_inserts);
         m.add(Counter::GfwBlacklistHits, s.blacklist_hits);
+        m.add(Counter::GfwBlacklistCollateralResets, s.blacklist_collateral_resets);
+        m.add(Counter::GfwResyncStorms, s.resync_storms);
         m.add(Counter::GfwProbesLaunched, s.probes_launched);
         m.add(Counter::GfwIpBlockedDrops, s.ip_blocked_drops);
         m.add(Counter::GfwDpiBytesScanned, s.dpi_bytes_scanned);
@@ -367,15 +402,23 @@ impl GfwCore {
             return;
         }
 
-        // Blacklisted pair: sustained disruption (§2.1).
-        if self.blacklist.contains(src.0, dst.0, ctx.now) {
+        // Blacklisted pair: sustained disruption (§2.1). Volleys drawn by
+        // a flow other than the pair's original offender are collateral —
+        // the cross-flow coupling a shared blacklist creates.
+        if let Some(collateral) = self.blacklist.hit(src.0, dst.0, ctx.now, Some(tuple)) {
             self.stats.blacklist_hits += 1;
             if seg.flags.syn() && !seg.flags.ack() && self.cfg.type2 {
                 let forged = self.injector.forged_synack(ctx.rng, dst, src, seg.seq.wrapping_add(1));
                 self.stats.forged_synacks += 1;
                 ctx.send_delayed(dir.reversed(), forged, self.cfg.reaction_delay);
+                if collateral {
+                    self.stats.blacklist_collateral_resets += 1;
+                }
             } else if !seg.flags.rst() {
                 self.inject_pair_resets(ctx, dir, src, dst, seg.seq, seg.ack);
+                if collateral {
+                    self.stats.blacklist_collateral_resets += 1;
+                }
             }
             // Tracking continues below; repeated detections extend the list.
         }
@@ -399,7 +442,11 @@ impl GfwCore {
         }
 
         // Work on the existing TCB.
+        if self.cfg.eviction == EvictionPolicy::Lru {
+            self.touch_tcb(key);
+        }
         let mut remove = false;
+        let mut resynced = false;
         let mut detections: Vec<DetectionKind> = Vec::new();
         {
             let tcb = self.tcbs.get_mut(&key).expect("checked above");
@@ -426,6 +473,7 @@ impl GfwCore {
                 if resync {
                     if tcb.state != CensorState::Resync {
                         self.stats.tcb_resyncs += 1;
+                        resynced = true;
                     }
                     tcb.state = CensorState::Resync;
                     intang_simcheck::tcb_resync(self.sc_domain, key, intang_simcheck::ResyncTrigger::Rst);
@@ -449,6 +497,7 @@ impl GfwCore {
                             // Hypothesized New Behavior 2(a).
                             if tcb.state != CensorState::Resync {
                                 self.stats.tcb_resyncs += 1;
+                                resynced = true;
                             }
                             tcb.state = CensorState::Resync;
                             intang_simcheck::tcb_resync(self.sc_domain, key, intang_simcheck::ResyncTrigger::MultipleSyn);
@@ -477,6 +526,7 @@ impl GfwCore {
                             // Hypothesized New Behavior 2(b)/(c).
                             if tcb.state != CensorState::Resync {
                                 self.stats.tcb_resyncs += 1;
+                                resynced = true;
                             }
                             tcb.state = CensorState::Resync;
                             intang_simcheck::tcb_resync(self.sc_domain, key, intang_simcheck::ResyncTrigger::SynAckMismatch);
@@ -547,6 +597,9 @@ impl GfwCore {
             }
         }
 
+        if resynced {
+            self.note_resync(ctx.now);
+        }
         if remove {
             self.tcbs.remove(&key);
             self.stats.tcbs_removed += 1;
@@ -558,17 +611,64 @@ impl GfwCore {
         }
     }
 
-    /// Insert a TCB, evicting the oldest when the table is full.
+    /// Record one resync transition into the storm window; when the window
+    /// fills to the configured threshold, count a storm and clear it (so a
+    /// sustained burst counts once per threshold-batch).
+    fn note_resync(&mut self, now: Instant) {
+        let threshold = self.cfg.resync_storm_threshold;
+        if threshold == 0 {
+            return;
+        }
+        let cutoff = now.micros().saturating_sub(self.cfg.resync_storm_window.micros());
+        while self.resync_window.front().is_some_and(|t| t.micros() < cutoff) {
+            self.resync_window.pop_front();
+        }
+        self.resync_window.push_back(now);
+        if self.resync_window.len() >= threshold {
+            self.stats.resync_storms += 1;
+            self.resync_window.clear();
+        }
+    }
+
+    /// LRU bookkeeping: stamp the TCB and append a fresh eviction-order
+    /// entry; the entry it supersedes goes stale and is skipped at
+    /// eviction time. Compaction keeps the lazy deque from growing without
+    /// bound on long runs.
+    fn touch_tcb(&mut self, key: FourTuple) {
+        self.touch_seq += 1;
+        let Some(tcb) = self.tcbs.get_mut(&key) else { return };
+        tcb.touched = self.touch_seq;
+        self.tcb_order.push_back((key, self.touch_seq));
+        if self.tcb_order.len() > self.tcbs.len() * 4 + 16 {
+            self.compact_tcb_order();
+        }
+    }
+
+    /// Drop stale `tcb_order` entries (stamp no longer current), keeping
+    /// relative order of the fresh ones.
+    fn compact_tcb_order(&mut self) {
+        let tcbs = &self.tcbs;
+        self.tcb_order.retain(|(k, stamp)| tcbs.get(k).is_some_and(|t| t.touched == *stamp));
+    }
+
+    /// Insert a TCB, evicting per the configured policy when the table is
+    /// full: FIFO pops the oldest insertion, LRU pops the stalest touch.
     fn insert_tcb(&mut self, key: FourTuple, tcb: CensorTcb) {
         while self.tcbs.len() >= self.cfg.max_tcbs {
-            let Some(oldest) = self.tcb_order.pop_front() else { break };
-            if self.tcbs.remove(&oldest).is_some() {
+            let Some((victim, stamp)) = self.tcb_order.pop_front() else { break };
+            // Stale entries: the key was touched more recently (LRU), or
+            // its TCB was already torn down. Skip without counting.
+            if self.tcbs.get(&victim).is_some_and(|t| t.touched == stamp) {
+                self.tcbs.remove(&victim);
                 self.stats.tcbs_evicted += 1;
-                intang_simcheck::tcb_removed(self.sc_domain, oldest);
+                intang_simcheck::tcb_removed(self.sc_domain, victim);
             }
         }
+        self.touch_seq += 1;
+        let mut tcb = tcb;
+        tcb.touched = self.touch_seq;
         self.tcbs.insert(key, tcb);
-        self.tcb_order.push_back(key);
+        self.tcb_order.push_back((key, self.touch_seq));
         self.stats.tcbs_created += 1;
         intang_simcheck::tcb_created(self.sc_domain, key);
     }
@@ -589,7 +689,8 @@ impl GfwCore {
                         self.inject_detection_resets(ctx, client, server, client_next, server_next);
                         if self.cfg.type2 {
                             let duration = self.chaos_blacklist_duration(ctx);
-                            self.blacklist.add(client.0, server.0, ctx.now, duration);
+                            let origin = FourTuple::new(client.0, client.1, server.0, server.1);
+                            self.blacklist.add(client.0, server.0, ctx.now, duration, origin);
                             self.stats.blacklist_inserts += 1;
                         }
                         self.tcbs.get_mut(&key).expect("tcb present").detected = true;

@@ -31,7 +31,7 @@ pub mod probe;
 pub mod reset;
 pub mod tcb;
 
-pub use config::{GfwConfig, GfwGeneration};
+pub use config::{EvictionPolicy, GfwConfig, GfwGeneration};
 pub use device::{GfwElement, GfwHandle, GfwStats};
 pub use dpi::{DetectionKind, RuleSet};
 pub use reset::ResetKind;

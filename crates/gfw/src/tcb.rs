@@ -51,6 +51,9 @@ pub struct CensorTcb {
     pub overloaded: bool,
     /// A detection already fired on this flow.
     pub detected: bool,
+    /// Monotonic touch stamp assigned by the device's LRU eviction policy
+    /// (0 under FIFO eviction, where the insertion order alone decides).
+    pub touched: u64,
 
     /// Type-2 pipeline: reassembled stream + streaming matcher.
     asm: Assembler,
@@ -80,6 +83,7 @@ impl CensorTcb {
             ts_recent: None,
             overloaded: false,
             detected: false,
+            touched: 0,
             asm: Assembler::new(overlap),
             matcher: StreamMatcher::new(),
             t1_expected: isn.wrapping_add(1),
@@ -113,6 +117,7 @@ impl CensorTcb {
             ts_recent: None,
             overloaded: false,
             detected: false,
+            touched: 0,
             asm: Assembler::new(overlap),
             matcher: StreamMatcher::new(),
             t1_expected: ack,

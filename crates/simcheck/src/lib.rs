@@ -37,7 +37,7 @@ use std::cell::{Cell, RefCell};
 use std::fmt;
 use std::sync::OnceLock;
 
-use intang_packet::{FourTuple, FxHashSet, IpProtocol, Ipv4Packet, TcpPacket};
+use intang_packet::{FourTuple, FxHashMap, FxHashSet, IpProtocol, Ipv4Packet, TcpPacket};
 
 /// The invariant families a violation can belong to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -55,6 +55,9 @@ pub enum Family {
     TcbLegality,
     /// A reassembly buffer regressed its head or held overlapping segments.
     Reassembly,
+    /// A multi-flow run processed one flow's events out of (time, seq)
+    /// order, or touched a flow after it retired.
+    FlowOrder,
 }
 
 impl Family {
@@ -67,6 +70,7 @@ impl Family {
             Family::TimeMonotonicity => "time_monotonicity",
             Family::TcbLegality => "tcb_legality",
             Family::Reassembly => "reassembly",
+            Family::FlowOrder => "flow_order",
         }
     }
 }
@@ -154,6 +158,10 @@ struct Sink {
     /// Domains handed out this trial (deterministic: devices are
     /// constructed in path order, and [`begin_trial`] resets the counter).
     next_domain: u64,
+    /// Multi-flow shadow: last (time µs, shard event seq) seen per flow id.
+    flow_last: FxHashMap<u64, (u64, u64)>,
+    /// Flow ids that already recorded their final outcome.
+    flow_retired: FxHashSet<u64>,
 }
 
 thread_local! {
@@ -196,6 +204,8 @@ pub fn begin_trial(seed: u64) {
         s.tcb_live.clear();
         s.next_domain = 0;
         s.transmit_count = 0;
+        s.flow_last.clear();
+        s.flow_retired.clear();
     });
 }
 
@@ -424,6 +434,75 @@ pub fn tcb_detection(domain: u64, key: FourTuple) {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Multi-flow (metropolis) shadow: per-flow event order + flow conservation
+// ---------------------------------------------------------------------------
+
+/// A load-generator flow processed one event at `(at_micros, seq)`, where
+/// `seq` is the owning shard's monotonically increasing event counter.
+/// Flags (time, seq) going backwards within the flow — the multi-flow
+/// extension of event-queue monotonicity — and any event landing on a flow
+/// that already retired (acting on dead per-flow state, the flow-level
+/// analog of TCB legality).
+pub fn flow_event(flow: u64, at_micros: u64, seq: u64) {
+    if !enabled() {
+        return;
+    }
+    enum Bad {
+        Order((u64, u64)),
+        Retired,
+    }
+    let bad = SINK.with(|s| {
+        let mut s = s.borrow_mut();
+        if s.flow_retired.contains(&flow) {
+            return Some(Bad::Retired);
+        }
+        match s.flow_last.insert(flow, (at_micros, seq)) {
+            Some(prev) if prev > (at_micros, seq) => Some(Bad::Order(prev)),
+            _ => None,
+        }
+    });
+    match bad {
+        Some(Bad::Order((pt, ps))) => report(Family::FlowOrder, || {
+            format!("flow {flow}: event at ({at_micros}µs, seq {seq}) after ({pt}µs, seq {ps})")
+        }),
+        Some(Bad::Retired) => report(Family::FlowOrder, || {
+            format!("flow {flow}: event at ({at_micros}µs, seq {seq}) after the flow retired")
+        }),
+        None => {}
+    }
+}
+
+/// A flow recorded its final outcome. Flags a double-retire and a retire
+/// of a flow that never processed an event — the per-flow analog of packet
+/// conservation: every spawned flow ends in exactly one outcome.
+pub fn flow_retired(flow: u64) {
+    if !enabled() {
+        return;
+    }
+    enum Bad {
+        Double,
+        NeverSeen,
+    }
+    let bad = SINK.with(|s| {
+        let mut s = s.borrow_mut();
+        if !s.flow_retired.insert(flow) {
+            Some(Bad::Double)
+        } else if !s.flow_last.contains_key(&flow) {
+            Some(Bad::NeverSeen)
+        } else {
+            None
+        }
+    });
+    match bad {
+        Some(Bad::Double) => report(Family::Conservation, || format!("flow {flow}: retired twice")),
+        Some(Bad::NeverSeen) => report(Family::Conservation, || {
+            format!("flow {flow}: retired without ever processing an event")
+        }),
+        None => {}
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -517,6 +596,38 @@ mod tests {
         assert_eq!(take_violations().len(), 1, "the torn-down domain still flags");
         begin_trial(4);
         assert_eq!(new_tcb_domain(), 1, "begin_trial resets the allocator");
+        set_thread(prev);
+    }
+
+    #[test]
+    fn flow_shadow_orders_and_conserves() {
+        let prev = set_thread(Some(true));
+        begin_trial(5);
+        take_violations();
+        // In-order events on two interleaved flows are legal.
+        flow_event(1, 100, 1);
+        flow_event(2, 100, 2);
+        flow_event(1, 100, 3);
+        flow_event(1, 250, 4);
+        assert_eq!(violation_total(), 0);
+        // Same time, smaller shard seq: out of order within the flow.
+        flow_event(1, 250, 3);
+        let vs = take_violations();
+        assert_eq!(vs.len(), 1);
+        assert_eq!(vs[0].family, Family::FlowOrder);
+        // One retire is conservation-legal; the second is not, and events
+        // after retirement flag too.
+        flow_retired(1);
+        assert_eq!(violation_total(), 0);
+        flow_retired(1);
+        flow_event(1, 300, 10);
+        let vs = take_violations();
+        assert_eq!(vs.len(), 2);
+        assert_eq!(vs[0].family, Family::Conservation);
+        assert_eq!(vs[1].family, Family::FlowOrder);
+        // Retiring a flow that never ran violates conservation.
+        flow_retired(99);
+        assert_eq!(take_violations()[0].family, Family::Conservation);
         set_thread(prev);
     }
 }

@@ -34,6 +34,11 @@ pub struct TcpEndpoint {
     /// Every ignore-path hit, for tests and the differential analysis.
     pub ignore_log: IgnoreLog,
     pub stats: StackStats,
+    /// Grow-only: closed sockets are never reaped, and `poll_transmit_into`
+    /// / `on_timer` walk every socket ever created. Long-lived multiplexers
+    /// (e.g. `intang-apps`' metropolis elements) must therefore hold one
+    /// short-lived endpoint per flow/connection and drop it at retirement —
+    /// never funnel an unbounded flow population through one endpoint.
     sockets: Vec<Socket>,
     /// Parallel to `sockets`: true when the socket was opened by `connect`.
     client_flags: Vec<bool>,

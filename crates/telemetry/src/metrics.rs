@@ -85,6 +85,19 @@ counters! {
     IntangRetriesAbandoned => "intang_retries_abandoned",
     IntangTtlReprobes => "intang_ttl_reprobes",
     SimcheckViolations => "simcheck_violations",
+    // ---- cross-flow interference (metropolis workloads) ----------------
+    // Blacklist volleys fired at a flow *other* than the one whose
+    // detection inserted the pair — one user's keyword resetting a
+    // neighbor sharing the (src, dst) pair.
+    GfwBlacklistCollateralResets => "gfw_blacklist_collateral_resets",
+    // Resync-storm episodes: bursts of TCB resynchronizations dense
+    // enough to clear the configured storm window.
+    GfwResyncStorms => "gfw_resync_storms",
+    // ---- metropolis load generator --------------------------------------
+    MetroFlowsSpawned => "metro_flows_spawned",
+    MetroFlowsSucceeded => "metro_flows_succeeded",
+    MetroFlowsReset => "metro_flows_reset",
+    MetroFlowsStalled => "metro_flows_stalled",
 }
 
 macro_rules! hists {
@@ -111,6 +124,8 @@ hists! {
     TrialEvents => "trial_events",
     TrialResetsSeen => "trial_resets_seen",
     TrialDpiBytes => "trial_dpi_bytes",
+    // Per-flow fetch latency (µs) across a metropolis run.
+    MetroFlowLatencyUs => "metro_flow_latency_us",
 }
 
 /// Number of log₂ buckets: bucket `i` counts values `v` with

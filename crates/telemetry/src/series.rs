@@ -58,10 +58,14 @@ pub enum GaugeId {
     /// Objects leased from thread-local arenas (taken, not yet returned),
     /// relative to the sim's construction baseline.
     ArenaLeased,
+    /// Metropolis load generator: flows spawned and not yet retired.
+    MetroLiveFlows,
+    /// Metropolis origin servers: live per-connection cells.
+    MetroServerCells,
 }
 
 impl GaugeId {
-    pub const COUNT: usize = 8;
+    pub const COUNT: usize = 10;
 
     pub const ALL: [GaugeId; GaugeId::COUNT] = [
         GaugeId::GfwTcbsOld,
@@ -72,6 +76,8 @@ impl GaugeId {
         GaugeId::InflightPackets,
         GaugeId::WireBuffers,
         GaugeId::ArenaLeased,
+        GaugeId::MetroLiveFlows,
+        GaugeId::MetroServerCells,
     ];
 
     pub fn name(self) -> &'static str {
@@ -84,6 +90,8 @@ impl GaugeId {
             GaugeId::InflightPackets => "inflight_packets",
             GaugeId::WireBuffers => "wire_buffers",
             GaugeId::ArenaLeased => "arena_leased",
+            GaugeId::MetroLiveFlows => "metro_live_flows",
+            GaugeId::MetroServerCells => "metro_server_cells",
         }
     }
 }

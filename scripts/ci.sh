@@ -63,5 +63,11 @@ rm -f "$folded"
 # Fault layer smoke: degradation matrix at all intensities; the 0.00 row
 # doubles as a no-op check for the fault plumbing.
 cargo run --release -p intang-experiments --bin fault_matrix -- --smoke >/dev/null
+# Metropolis smoke: a 1k-flow shared world with the invariant checker on
+# must finish with zero simcheck violations, zero per-flow ordering
+# regressions, identical 1/2/8-worker shard aggregation, and peak RSS
+# under the ceiling (the binary reads VmHWM and exits non-zero past it).
+INTANG_SIMCHECK=1 INTANG_METRO_RSS_MB=512 \
+    cargo run --release -p intang-experiments --bin metropolis -- --smoke
 
 echo "ci: OK"

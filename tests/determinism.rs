@@ -227,3 +227,52 @@ fn scenario_generation_is_pure() {
         .any(|(x, y)| x.core_hops != y.core_hops || x.old_device != y.old_device);
     assert!(differs, "different master seeds give different worlds");
 }
+
+#[test]
+fn metropolis_is_identical_across_shard_counts_workers_and_batching() {
+    // The metropolis tentpole matrix: one 5k-flow shared world, re-run at
+    // 1/2/8 shards (aggregated by as many workers) with batched event
+    // dispatch forced off AND on, byte-compared against the 1-shard
+    // serial, unbatched reference. Sharding partitions per-flow *state*
+    // and workers partition *aggregation*; neither may touch the event
+    // loop, so outcomes, counts, events, the merged metrics sheet, and
+    // the gauge series must all be bit-identical.
+    use intang_experiments::metropolis::{run_metropolis_with_workers, MetroParams, MetroRun};
+
+    let run_grid_cell = |shards: u32, batching: bool, workers: usize| -> MetroRun {
+        let prev_batch = intang_netsim::batch::set_thread(Some(batching));
+        let prev_series = intang_telemetry::series::set_thread(Some(true));
+        let mut p = MetroParams::new(5_000, 77);
+        p.shards = shards;
+        let run = run_metropolis_with_workers(&p, workers);
+        intang_telemetry::series::set_thread(prev_series);
+        intang_netsim::batch::set_thread(prev_batch);
+        run
+    };
+
+    let reference = run_grid_cell(1, false, 1);
+    let ref_grid: Vec<_> = reference.results.iter().map(|r| (r.outcome, r.latency_us)).collect();
+    let (spawned, ..) = reference.counts;
+    assert_eq!(spawned, 5_000);
+    assert_eq!(reference.order_violations, 0);
+
+    for batching in [false, true] {
+        for (shards, workers) in [(1u32, 1usize), (2, 2), (8, 8)] {
+            let run = run_grid_cell(shards, batching, workers);
+            let tag = format!("{shards} shards, {workers} workers, batching={batching}");
+            let grid: Vec<_> = run.results.iter().map(|r| (r.outcome, r.latency_us)).collect();
+            assert_eq!(ref_grid, grid, "per-flow outcome grid differs at {tag}");
+            assert_eq!(reference.counts, run.counts, "counts differ at {tag}");
+            assert_eq!(reference.events, run.events, "events differ at {tag}");
+            assert_eq!(reference.metrics, run.metrics, "merged metrics differ at {tag}");
+            assert_eq!(reference.series, run.series, "gauge series differ at {tag}");
+            assert_eq!(run.order_violations, 0, "ordering regressions at {tag}");
+            // Shard summaries must partition the grid regardless of shape.
+            let (s, ok, rst, stall) = run.counts;
+            assert_eq!(run.shards.iter().map(|x| x.flows).sum::<u64>(), s, "{tag}");
+            assert_eq!(run.shards.iter().map(|x| x.succeeded).sum::<u64>(), ok, "{tag}");
+            assert_eq!(run.shards.iter().map(|x| x.reset).sum::<u64>(), rst, "{tag}");
+            assert_eq!(run.shards.iter().map(|x| x.stalled).sum::<u64>(), stall, "{tag}");
+        }
+    }
+}

@@ -122,3 +122,87 @@ fn golden_teardown_tcb_reversal() {
 fn golden_out_of_order_ip_frag() {
     check("out_of_order_ip_frag", StrategyKind::OutOfOrderIpFrag);
 }
+
+/// Metropolis golden: a 16-flow shared world whose final activity is a
+/// collateral reset — flow 13 carries the keyword and poisons
+/// (client 0, site 0); flow 15, benign on the same pair, starts last and
+/// dies by blacklist. The snapshot pins the cross-flow causal chain: the
+/// lineage of the run's final packet event threads from flow 15's own
+/// traffic through the censor's blacklist volley.
+#[test]
+fn golden_metropolis_collateral() {
+    use intang_apps::metro::{FlowOutcome, FlowSpec};
+    use intang_experiments::metropolis::{build_metropolis, MetroParams, MetroWorld};
+    use intang_netsim::Duration;
+    use std::net::Ipv4Addr;
+
+    // (start_us, client_idx, site_idx, keyword)
+    let placement: [(u64, u32, u32, bool); 16] = [
+        (0, 1, 0, false),
+        (1_000, 1, 1, false),
+        (2_000, 1, 0, false),
+        (3_000, 1, 1, false),
+        (4_000, 1, 0, false),
+        (5_000, 1, 1, false),
+        (6_000, 1, 0, false),
+        (7_000, 1, 1, false),
+        (8_000, 1, 0, false),
+        (9_000, 1, 1, false),
+        (10_000, 1, 0, false),
+        (11_000, 1, 1, false),
+        (12_000, 1, 0, false),
+        (20_000, 0, 0, true),   // detected: blacklists (client 0, site 0)
+        (250_000, 1, 1, false), // unrelated late flow, untouched
+        (300_000, 0, 0, false), // collateral: benign on the poisoned pair
+    ];
+    let world = MetroWorld {
+        clients: vec![Ipv4Addr::new(10, 1, 0, 1), Ipv4Addr::new(10, 1, 0, 2)],
+        sites: vec![Ipv4Addr::new(203, 0, 113, 1), Ipv4Addr::new(203, 0, 113, 2)],
+        specs: placement
+            .iter()
+            .enumerate()
+            .map(|(id, &(start, client, site, keyword))| FlowSpec {
+                start: Instant(start),
+                client,
+                site,
+                isn: 0x2000_0000 + id as u32,
+                keyword,
+                request_delay: Duration::ZERO,
+            })
+            .collect(),
+        strategies: vec![StrategyKind::NoStrategy; 16],
+    };
+    let mut p = MetroParams::new(16, 16);
+    p.shards = 4;
+    p.horizon = Instant(1_000_000);
+    let (mut sim, parts) = build_metropolis(&p, &world);
+    sim.trace.enable();
+    sim.run_until(p.horizon);
+
+    let last = sim.trace.events().last().expect("metropolis produced trace events").id;
+    let results = parts.metro.results();
+    let ok = results.iter().filter(|r| r.outcome == FlowOutcome::Success).count();
+    let reset = results.iter().filter(|r| r.outcome == FlowOutcome::Reset).count();
+    let stalled = results.iter().filter(|r| r.outcome == FlowOutcome::Stalled).count();
+    let rendered = format!(
+        "flows: 16\noutcomes: ok={ok} reset={reset} stalled={stalled}\ncollateral_resets: {}\nvictim outcome: {:?}\nlineage of final event:\n{}",
+        parts.gfw.blacklist_collateral_resets(),
+        results[15].outcome,
+        sim.trace.render_lineage(last)
+    );
+    let path = golden_path("metropolis_16");
+    if std::env::var("INTANG_BLESS").as_deref() == Ok("1") {
+        std::fs::write(&path, &rendered).expect("write golden snapshot");
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden snapshot {} ({e}); run INTANG_BLESS=1 cargo test --test golden_traces",
+            path.display()
+        )
+    });
+    assert_eq!(
+        rendered, want,
+        "golden trace 'metropolis_16' drifted; if intentional, regenerate with INTANG_BLESS=1 cargo test --test golden_traces"
+    );
+}

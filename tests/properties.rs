@@ -795,3 +795,97 @@ fn incremental_ttl_writedown_matches_full_header_resum() {
         );
     }
 }
+
+// ---- Metropolis sharding properties ------------------------------------
+//
+// The shared-world engine keys per-flow state by four-tuple and shards it
+// with a pure hash. Two properties protect that design: the shard map is
+// a pure function of the key, and neither the shard count nor a
+// relabelling (permutation) of the flow keys may change what happens to
+// any flow.
+
+use intang_apps::metro::{shard_of, FlowOutcome};
+use intang_experiments::metropolis::{build_metropolis, generate_world, MetroParams, MetroWorld};
+use intang_packet::FourTuple;
+
+fn gen_tuple(g: &mut Gen) -> FourTuple {
+    FourTuple::new(g.addr(), g.u16(), g.addr(), g.u16())
+}
+
+#[test]
+fn shard_assignment_is_pure_and_covers_every_shard() {
+    let mut g = Gen::new(0x5a4d);
+    for _ in 0..200 {
+        let t = gen_tuple(&mut g);
+        let shards = 1 + g.below(16) as u32;
+        let s = shard_of(&t, shards);
+        assert!(s < shards, "{t:?} landed outside [0, {shards})");
+        assert_eq!(s, shard_of(&t, shards), "same key, same shard");
+        let copy = FourTuple::new(t.src, t.src_port, t.dst, t.dst_port);
+        assert_eq!(s, shard_of(&copy, shards), "purity: value-equal keys agree");
+    }
+    // With enough keys, every shard of a small count must be hit.
+    let mut seen = [false; 8];
+    for _ in 0..512 {
+        seen[shard_of(&gen_tuple(&mut g), 8) as usize] = true;
+    }
+    assert!(seen.iter().all(|&s| s), "512 random keys must cover all 8 shards: {seen:?}");
+}
+
+/// Run a world and return `(per-flow (outcome, latency) grid, order violations)`.
+fn run_metro_world(p: &MetroParams, w: &MetroWorld) -> (Vec<(FlowOutcome, u64)>, u64) {
+    let (mut sim, parts) = build_metropolis(p, w);
+    sim.run_until(p.horizon);
+    let grid = parts.metro.results().iter().map(|r| (r.outcome, r.latency_us)).collect();
+    (grid, parts.metro.order_violations())
+}
+
+#[test]
+fn metropolis_outcomes_survive_shard_count_changes_and_key_permutations() {
+    let mut g = Gen::new(0x6d65_7472);
+    for case in 0..3u64 {
+        let mut p = MetroParams::new(80, 9_000 + case);
+        p.shards = 1;
+        let world = generate_world(&p);
+        let (reference, viol) = run_metro_world(&p, &world);
+        assert_eq!(viol, 0);
+        assert!(reference.iter().all(|(o, _)| *o != FlowOutcome::Pending));
+
+        // Sharding partitions state without touching the event loop: the
+        // full per-flow grid — not just the multiset — must be identical.
+        for shards in [2u32, 5, 8] {
+            let mut ps = p.clone();
+            ps.shards = shards;
+            let (grid, viol) = run_metro_world(&ps, &world);
+            assert_eq!(reference, grid, "case {case}: grid changed at {shards} shards");
+            assert_eq!(viol, 0, "case {case}: order violations at {shards} shards");
+        }
+
+        // Permute the flow keys: shuffling the address pools (indices in
+        // the specs untouched) relabels every flow's four-tuple while
+        // preserving which flows share a (client, site) pair — so the
+        // interference structure, and with it the outcome multiset, must
+        // be unchanged even though every key now hashes elsewhere.
+        let mut permuted = MetroWorld {
+            clients: world.clients.clone(),
+            sites: world.sites.clone(),
+            specs: world.specs.clone(),
+            strategies: world.strategies.clone(),
+        };
+        for i in (1..permuted.clients.len()).rev() {
+            permuted.clients.swap(i, g.below(i + 1));
+        }
+        for i in (1..permuted.sites.len()).rev() {
+            permuted.sites.swap(i, g.below(i + 1));
+        }
+        let mut ps = p.clone();
+        ps.shards = 4;
+        let (grid, viol) = run_metro_world(&ps, &permuted);
+        assert_eq!(viol, 0, "case {case}: order violations under permuted keys");
+        let mut want: Vec<_> = reference.iter().map(|(o, _)| *o).collect();
+        let mut got: Vec<_> = grid.iter().map(|(o, _)| *o).collect();
+        want.sort_unstable_by_key(|o| *o as u8);
+        got.sort_unstable_by_key(|o| *o as u8);
+        assert_eq!(want, got, "case {case}: outcome multiset changed under key permutation");
+    }
+}
