@@ -7,25 +7,32 @@
 //!
 //! * [`MetroClients`] (leftmost): hosts every client flow. Per-flow state
 //!   (a dedicated [`TcpEndpoint`], HTTP fetch machine, outcome slot) lives
-//!   in **shards** — flow-keyed hash maps partitioned by a pure function of
-//!   the flow's four-tuple ([`shard_of`]) — so post-run aggregation can be
-//!   farmed out per shard while the event loop itself stays serial and
-//!   deterministic.
+//!   in **shards** — flow-keyed hash maps partitioned by
+//!   [`intang_packet::pair_shard`] of the flow's *address pair* (never the
+//!   ports, see [`shard_of`]) — the same partition key the sharded censor
+//!   and shim lanes use, so a shard's flows and the cross-flow state they
+//!   touch are causally closed. That closure is what lets
+//!   [`MetroClients::for_domain`] split the shards across independent
+//!   **event domains** (one [`Simulation`] per worker thread) without
+//!   changing a single emitted byte.
 //! * [`MetroServers`] (rightmost): hosts every origin site. One small
-//!   endpoint per *connection*, created on the first SYN and dropped after
-//!   a short linger, so the cost of a finished flow is zero (the underlying
-//!   endpoint never reaps sockets; a shared per-site endpoint would make
-//!   every poll O(all flows ever)).
+//!   endpoint per *connection*, created on the first SYN and reaped as soon
+//!   as the request is answered and every socket has settled (a TTL timer
+//!   remains as a backstop for conversations that never complete), so the
+//!   steady-state cost of finished flows is zero.
 //!
 //! Everything in between — the INTANG shim, middleboxes, the GFW tap — is
 //! the ordinary single-flow path, now observing (and entangling) all flows
-//! at once through the censor's shared TCB table and blacklist.
+//! at once through the censor's shared TCB table and blacklist (or its
+//! per-lane partitions when the censor runs sharded).
 //!
 //! Determinism: flows spawn from a pre-generated, start-sorted spec list
-//! via a chained timer (never by iterating a hash map), per-flow timers are
-//! keyed by flow id, and the end-of-run sweep walks flow ids in order.
-//! Shard assignment is a pure function of the flow key, so any shard count
-//! partitions the *same* per-flow results.
+//! via per-shard chained timers (never by iterating a hash map), per-flow
+//! timers are keyed by flow id, and the end-of-run sweep walks each shard's
+//! flow ids in spec order. Shard assignment is a pure function of the flow
+//! key, so any shard count partitions the *same* per-flow results, and any
+//! grouping of shards into domains replays each shard's exact serial event
+//! stream.
 
 use intang_netsim::{Ctx, Direction, Duration, Element, Instant, Simulation};
 use intang_packet::http::{HttpRequest, HttpResponse};
@@ -42,12 +49,14 @@ pub const METRO_PORT: u16 = 80;
 /// (`65535 - METRO_BASE_PORT`) caps concurrent+finished flows per address.
 pub const METRO_BASE_PORT: u16 = 40_000;
 
-/// Chained spawn cursor timer.
-const TOKEN_SPAWN: u64 = 1;
-/// End-of-run sweep: mark every still-live flow stalled.
-const TOKEN_FINISH: u64 = 2;
-/// Per-flow TCP/retransmit clock: `CLIENT_TCP_BASE | flow_id`.
+/// Timer-token namespaces live in bits 32+; the low 32 bits carry the
+/// argument. Kind 1: per-flow TCP/retransmit clock (`| flow_id`).
 const CLIENT_TCP_BASE: u64 = 1 << 32;
+/// Kind 2: per-shard chained spawn cursor (`| shard`).
+const SPAWN_BASE: u64 = 2 << 32;
+/// Kind 3: per-shard end-of-run sweep (`| shard`) — marks every still-live
+/// flow of that shard stalled.
+const FINISH_BASE: u64 = 3 << 32;
 
 /// One planned flow. Specs are generated up front by the load generator
 /// (seeded arrival process) and must be sorted by `start`.
@@ -81,7 +90,7 @@ pub enum FlowOutcome {
 }
 
 /// Result slot for one flow, indexed by flow id.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FlowResult {
     pub outcome: FlowOutcome,
     /// Spawn → complete-response latency (successes only, else 0).
@@ -90,20 +99,15 @@ pub struct FlowResult {
     pub shard: u32,
 }
 
-/// Pure shard assignment: a function of the flow key alone, so the
-/// partition a flow lands in never depends on spawn order, map iteration
-/// order, or the shard count of *other* runs (SplitMix64 over the packed
-/// tuple).
+/// Pure shard assignment: [`intang_packet::pair_shard`] of the flow's
+/// address pair alone. Ports deliberately do not participate — every
+/// conversation between one (client, server) pair, and therefore every
+/// censor-lane and shim-lane decision it can influence, lands in the same
+/// shard, which is what makes a shard safe to lift into its own event
+/// domain. The assignment never depends on spawn order, map iteration
+/// order, or the shard count of *other* runs.
 pub fn shard_of(tuple: &FourTuple, shards: u32) -> u32 {
-    let hi = (u64::from(u32::from(tuple.src)) << 32) | u64::from(u32::from(tuple.dst));
-    let lo = (u64::from(tuple.src_port) << 16) | u64::from(tuple.dst_port);
-    let mut x = hi ^ lo.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-    x ^= x >> 30;
-    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    x ^= x >> 27;
-    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
-    x ^= x >> 31;
-    (x % u64::from(shards.max(1))) as u32
+    intang_packet::pair_shard(tuple.src, tuple.dst, shards)
 }
 
 /// Fetch progress of one live flow.
@@ -194,8 +198,16 @@ pub struct MetroClients {
     shards: Vec<FxHashMap<u32, FlowCell>>,
     /// Ingress demux: `(client addr, src port)` → live flow id.
     route: FxHashMap<(Ipv4Addr, u16), u32>,
-    /// Next spec the chained spawn timer will realize.
-    cursor: usize,
+    /// Flow ids per shard, in spec (start) order: both the spawn cursor
+    /// chain and the end-of-run sweep walk these, never hash maps.
+    shard_flow_ids: Vec<Vec<u32>>,
+    /// Next position in `shard_flow_ids[s]` that shard's spawn timer will
+    /// realize.
+    cursors: Vec<usize>,
+    /// Shards this instance actually runs. The serial world owns them all;
+    /// an event domain owns the subset `shard % domains == domain` and
+    /// never spawns (or routes, or times) anyone else's flows.
+    owned: Vec<bool>,
     state: Rc<RefCell<MetroState>>,
     profile: StackProfile,
     req_keyword: Rc<Vec<u8>>,
@@ -214,14 +226,34 @@ impl MetroClients {
     /// are assigned per client address in spec order starting at
     /// [`METRO_BASE_PORT`] (panics if an address would exhaust its range).
     pub fn new(clients: Vec<Ipv4Addr>, sites: Vec<Ipv4Addr>, specs: Vec<FlowSpec>, shards: u32) -> (MetroClients, MetroHandle) {
+        Self::for_domain(clients, sites, specs, shards, 1, 0)
+    }
+
+    /// Build the element for one event domain of a `domains`-way split of
+    /// the shards: this instance owns (spawns, pumps, retires) only the
+    /// flows whose shard satisfies `shard % domains == domain`. Tuples,
+    /// shard indices and the result grid still cover *all* flows — slots
+    /// of flows owned elsewhere stay [`FlowOutcome::Pending`] — so
+    /// per-domain result vectors scatter-merge by owned slot into exactly
+    /// the serial grid. `for_domain(.., 1, 0)` *is* the serial element.
+    pub fn for_domain(
+        clients: Vec<Ipv4Addr>,
+        sites: Vec<Ipv4Addr>,
+        specs: Vec<FlowSpec>,
+        shards: u32,
+        domains: u32,
+        domain: u32,
+    ) -> (MetroClients, MetroHandle) {
         assert!(!clients.is_empty() && !sites.is_empty());
         assert!(specs.windows(2).all(|w| w[0].start <= w[1].start), "specs must be start-sorted");
+        assert!(domains >= 1 && domain < domains, "domain index out of range");
         let shards = shards.max(1);
         let mut next_port = vec![METRO_BASE_PORT; clients.len()];
         let mut tuples = Vec::with_capacity(specs.len());
         let mut shard_idx = Vec::with_capacity(specs.len());
         let mut results = Vec::with_capacity(specs.len());
-        for spec in &specs {
+        let mut shard_flow_ids: Vec<Vec<u32>> = vec![Vec::new(); shards as usize];
+        for (id, spec) in specs.iter().enumerate() {
             let addr = clients[spec.client as usize];
             let site = sites[spec.site as usize];
             let port = next_port[spec.client as usize];
@@ -231,12 +263,14 @@ impl MetroClients {
             let shard = shard_of(&tuple, shards);
             tuples.push(tuple);
             shard_idx.push(shard);
+            shard_flow_ids[shard as usize].push(id as u32);
             results.push(FlowResult {
                 outcome: FlowOutcome::Pending,
                 latency_us: 0,
                 shard,
             });
         }
+        let owned: Vec<bool> = (0..shards).map(|s| s % domains == domain).collect();
         let state = Rc::new(RefCell::new(MetroState {
             results,
             spawned: 0,
@@ -254,7 +288,9 @@ impl MetroClients {
             shard_idx,
             shards: (0..shards).map(|_| FxHashMap::default()).collect(),
             route: FxHashMap::default(),
-            cursor: 0,
+            shard_flow_ids,
+            cursors: vec![0; shards as usize],
+            owned,
             state: state.clone(),
             profile: StackProfile::linux_4_4(),
             req_keyword: Rc::new(HttpRequest::get("/search?q=ultrasurf", "metropolis.example").encode()),
@@ -279,11 +315,20 @@ impl MetroClients {
         self.on_retire = Some(f);
     }
 
-    /// Register the spawn-cursor and end-of-run timers. Call once, after
-    /// the element was added at `idx`.
-    pub fn bootstrap(sim: &mut Simulation, idx: usize, first_start: Instant, horizon: Instant) {
-        sim.schedule_timer(idx, first_start, TOKEN_SPAWN);
-        sim.schedule_timer(idx, horizon, TOKEN_FINISH);
+    /// Register each owned, non-empty shard's spawn-cursor and end-of-run
+    /// timers. Call once, after the element was added at `idx`. Shards are
+    /// armed in index order, so same-time spawns across shards execute in
+    /// shard order — but each shard's own stream is fixed regardless, which
+    /// is the property the domain split relies on.
+    pub fn bootstrap(&self, sim: &mut Simulation, idx: usize, horizon: Instant) {
+        for (s, ids) in self.shard_flow_ids.iter().enumerate() {
+            if !self.owned[s] || ids.is_empty() {
+                continue;
+            }
+            let first = self.specs[ids[0] as usize].start;
+            sim.schedule_timer(idx, first, SPAWN_BASE | s as u64);
+            sim.schedule_timer(idx, horizon, FINISH_BASE | s as u64);
+        }
     }
 
     /// Record one flow event on the flow's shard ledger: bumps the shard
@@ -309,15 +354,18 @@ impl MetroClients {
         }
     }
 
-    /// Realize every spec due at `now`, then re-arm the cursor timer.
-    fn spawn_due(&mut self, ctx: &mut Ctx<'_>) {
-        while self.cursor < self.specs.len() && self.specs[self.cursor].start <= ctx.now {
-            let id = self.cursor as u32;
-            self.cursor += 1;
+    /// Realize every spec of one shard due at `now`, then re-arm that
+    /// shard's cursor timer.
+    fn spawn_due(&mut self, ctx: &mut Ctx<'_>, shard: usize) {
+        while let Some(&id) = self.shard_flow_ids[shard].get(self.cursors[shard]) {
+            if self.specs[id as usize].start > ctx.now {
+                break;
+            }
+            self.cursors[shard] += 1;
             self.spawn(ctx, id);
         }
-        if self.cursor < self.specs.len() {
-            ctx.set_timer(self.specs[self.cursor].start, TOKEN_SPAWN);
+        if let Some(&id) = self.shard_flow_ids[shard].get(self.cursors[shard]) {
+            ctx.set_timer(self.specs[id as usize].start, SPAWN_BASE | shard as u64);
         }
     }
 
@@ -487,26 +535,31 @@ impl Element for MetroClients {
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
-        if token == TOKEN_SPAWN {
-            self.spawn_due(ctx);
-        } else if token == TOKEN_FINISH {
-            // End of the world: every still-live flow is stalled. Flow ids
-            // are swept in order — never the shard maps — for determinism.
-            for id in 0..self.specs.len() as u32 {
+        let arg = (token & 0xFFFF_FFFF) as u32;
+        match token >> 32 {
+            k if k == CLIENT_TCP_BASE >> 32 => {
+                let id = arg;
                 let shard = self.shard_idx[id as usize] as usize;
-                if self.shards[shard].contains_key(&id) {
+                if let Some(cell) = self.shards[shard].get_mut(&id) {
+                    cell.ep.on_timer(ctx.now.micros());
                     self.note_event(id, ctx.now);
-                    self.retire(id, FlowOutcome::Stalled, 0);
+                    self.pump_flow(ctx, id);
                 }
             }
-        } else if token >= CLIENT_TCP_BASE {
-            let id = (token & 0xFFFF_FFFF) as u32;
-            let shard = self.shard_idx[id as usize] as usize;
-            if let Some(cell) = self.shards[shard].get_mut(&id) {
-                cell.ep.on_timer(ctx.now.micros());
-                self.note_event(id, ctx.now);
-                self.pump_flow(ctx, id);
+            k if k == SPAWN_BASE >> 32 => self.spawn_due(ctx, arg as usize),
+            k if k == FINISH_BASE >> 32 => {
+                // End of the world for one shard: every still-live flow is
+                // stalled, swept in spec order — never the shard maps.
+                let shard = arg as usize;
+                for i in 0..self.shard_flow_ids[shard].len() {
+                    let id = self.shard_flow_ids[shard][i];
+                    if self.shards[shard].contains_key(&id) {
+                        self.note_event(id, ctx.now);
+                        self.retire(id, FlowOutcome::Stalled, 0);
+                    }
+                }
             }
+            _ => {}
         }
     }
 
@@ -555,8 +608,11 @@ struct ServerCell {
 ///
 /// Connections are keyed by the *peer's* `(addr, port)` — unique per flow
 /// by construction — and each gets a throwaway [`TcpEndpoint`] so finished
-/// flows cost nothing. Every cell dies by its expiry timer ([`Self::ttl`]
-/// after creation) whether or not the conversation completed.
+/// flows cost nothing. A cell is reaped the moment its request has been
+/// answered (or torn down) *and* every socket has settled into
+/// CLOSED/TIME_WAIT ([`TcpEndpoint::all_settled`]); the expiry timer
+/// ([`Self::ttl`] after creation) is only the backstop for conversations
+/// that never complete. Stray timers for a reaped key are no-ops.
 pub struct MetroServers {
     sites: Vec<Ipv4Addr>,
     profile: StackProfile,
@@ -613,7 +669,14 @@ impl MetroServers {
             ctx.send(Direction::ToClient, w);
         }
         self.tx_scratch = scratch;
-        if let Some(d) = cell.ep.next_deadline() {
+        let reap = cell.served && cell.ep.all_settled();
+        let deadline = cell.ep.next_deadline();
+        if reap {
+            // Answered and fully wound down: the cell is garbage now, not
+            // 30 seconds from now. Metropolis links are lossless, so no
+            // late retransmit will ever want it back.
+            self.cells.remove(&key);
+        } else if let Some(d) = deadline {
             let at = Instant(d).max(Instant(ctx.now.micros() + 1));
             ctx.set_timer(at, srv_token(SRV_KIND_TCP, key));
         }
@@ -705,12 +768,51 @@ mod tests {
     }
 
     #[test]
+    fn shard_ignores_ports_so_a_conversation_never_spans_domains() {
+        // Every connection between one address pair — whatever its source
+        // port — shares a shard with the censor-lane state it touches.
+        assert_eq!(shard_of(&tuple(40_000), 8), shard_of(&tuple(51_515), 8));
+    }
+
+    #[test]
     fn shards_spread_flows() {
         let mut seen = [false; 4];
-        for sp in 40_000u16..40_200 {
-            seen[shard_of(&tuple(sp), 4) as usize] = true;
+        for i in 0..200u32 {
+            let t = FourTuple::new(Ipv4Addr::from(0x0A00_0100 + i), 40_000, Ipv4Addr::new(93, 184, 216, 34), 80);
+            seen[shard_of(&t, 4) as usize] = true;
         }
-        assert!(seen.iter().all(|&s| s), "200 flows should touch all 4 shards");
+        assert!(seen.iter().all(|&s| s), "200 client addresses should touch all 4 shards");
+    }
+
+    #[test]
+    fn domains_partition_shards_exhaustively() {
+        let clients: Vec<Ipv4Addr> = (0..32u32).map(|i| Ipv4Addr::from(0x0A00_0100 + i)).collect();
+        let sites = vec![Ipv4Addr::new(93, 184, 216, 34)];
+        let specs: Vec<FlowSpec> = (0..64)
+            .map(|i| FlowSpec {
+                start: Instant(i * 1_000),
+                client: (i % 32) as u32,
+                site: 0,
+                isn: 1,
+                keyword: false,
+                request_delay: Duration::ZERO,
+            })
+            .collect();
+        let els: Vec<MetroClients> = (0..3)
+            .map(|d| MetroClients::for_domain(clients.clone(), sites.clone(), specs.clone(), 8, 3, d).0)
+            .collect();
+        for s in 0..8 {
+            let owners = els.iter().filter(|e| e.owned[s]).count();
+            assert_eq!(owners, 1, "shard {s} must be owned by exactly one domain");
+        }
+        // Every domain sees the same full flow universe, partitioned the
+        // same way.
+        let total: usize = els[0].shard_flow_ids.iter().map(Vec::len).sum();
+        assert_eq!(total, specs.len());
+        for e in &els[1..] {
+            assert_eq!(e.shard_flow_ids, els[0].shard_flow_ids);
+            assert_eq!(e.tuples(), els[0].tuples());
+        }
     }
 
     #[test]

@@ -58,6 +58,17 @@ pub struct IntangConfig {
     /// behavior exactly — unbounded first-payload re-protection, no SYN
     /// re-protection, no backoff — so fault-free runs are byte-identical.
     pub robustness: Option<RobustnessConfig>,
+    /// Number of independent draw/learning lanes. 1 (the default) is the
+    /// exact legacy shim: strategy randomness from the simulation RNG, δ
+    /// overrides shared per destination. Values > 1 give each address-pair
+    /// lane ([`intang_packet::pair_shard`]) its own RNG stream and scope
+    /// the §7.1 δ learning to `(lane, destination)` — the shim-side half
+    /// of the sharded state that lets a metropolis world split into
+    /// parallel event domains byte-identically.
+    pub state_shards: u32,
+    /// Base seed for the per-lane RNG streams (used when
+    /// `state_shards > 1`).
+    pub shard_seed: u64,
 }
 
 /// Knobs for the engine's fault-tolerance responses.
@@ -102,6 +113,8 @@ impl Default for IntangConfig {
             max_probe_ttl: 24,
             dns_forward: None,
             robustness: None,
+            state_shards: 1,
+            shard_seed: 0,
         }
     }
 }
@@ -148,8 +161,13 @@ struct Shim {
     history: Rc<RefCell<History>>,
     fwd: Option<DnsForwarder>,
     stats: IntangStats,
-    /// Per-destination δ overrides learned by the §7.1 iteration.
-    delta_overrides: FxHashMap<Ipv4Addr, u8>,
+    /// Per-lane RNG streams when `cfg.state_shards > 1`; empty in the
+    /// legacy single-lane shim (draws come from the simulation RNG).
+    shard_rngs: Vec<intang_netsim::SimRng>,
+    /// Per-`(lane, destination)` δ overrides learned by the §7.1
+    /// iteration. The lane is always 0 in the legacy shim, so the scoping
+    /// is invisible there.
+    delta_overrides: FxHashMap<(u32, Ipv4Addr), u8>,
     /// Per-flow strategy presets registered before the flow's first SYN
     /// (metropolis load generators draw a strategy per flow). Consumed on
     /// flow creation; `cfg.strategy` / the adaptive history otherwise.
@@ -179,6 +197,13 @@ impl IntangElement {
     /// same servers — how the adaptive mode converges).
     pub fn with_history(client: Ipv4Addr, cfg: IntangConfig, history: Rc<RefCell<History>>) -> (IntangElement, IntangHandle) {
         let fwd = cfg.dns_forward.map(|resolver| DnsForwarder::new(client, resolver));
+        let shard_rngs = if cfg.state_shards > 1 {
+            (0..cfg.state_shards)
+                .map(|i| intang_netsim::SimRng::seed_from(intang_netsim::rng::lane_seed(cfg.shard_seed, i)))
+                .collect()
+        } else {
+            Vec::new()
+        };
         let shim = Rc::new(RefCell::new(Shim {
             cfg,
             flows: FxHashMap::default(),
@@ -187,6 +212,7 @@ impl IntangElement {
             history,
             fwd,
             stats: IntangStats::default(),
+            shard_rngs,
             delta_overrides: FxHashMap::default(),
             strategy_presets: FxHashMap::default(),
             rx_seg: TcpRepr::new(0, 0),
@@ -249,8 +275,17 @@ impl IntangHandle {
     }
 
     /// The learned per-destination δ, if the §7.1 iteration adjusted it.
+    /// Sharded shims scope learning per lane; this reads the lane a flow
+    /// from `client` to `server` would use.
+    pub fn delta_for_pair(&self, client: Ipv4Addr, server: Ipv4Addr) -> Option<u8> {
+        let s = self.shim.borrow();
+        let lane = s.lane_of(client, server);
+        s.delta_overrides.get(&(lane, server)).copied()
+    }
+
+    /// The learned per-destination δ in the legacy single-lane shim.
     pub fn delta_for(&self, server: Ipv4Addr) -> Option<u8> {
-        self.shim.borrow().delta_overrides.get(&server).copied()
+        self.shim.borrow().delta_overrides.get(&(0, server)).copied()
     }
 
     /// A route change was observed (e.g. a fault-plan route flap): every
@@ -323,6 +358,17 @@ impl Element for IntangElement {
 }
 
 impl Shim {
+    /// The draw/learning lane of a `(client, server)` pair: 0 in the
+    /// legacy shim, `pair_shard` otherwise — the same partition the
+    /// sharded censor uses, so a lane never spans event domains.
+    fn lane_of(&self, a: Ipv4Addr, b: Ipv4Addr) -> u32 {
+        if self.shard_rngs.is_empty() {
+            0
+        } else {
+            intang_packet::pair_shard(a, b, self.cfg.state_shards)
+        }
+    }
+
     fn arm_timers(&mut self, ctx: &mut Ctx<'_>) {
         if let Some(t) = self.estimator.next_deadline() {
             ctx.set_timer(t, TOKEN_MEASURE);
@@ -388,6 +434,7 @@ impl Shim {
 
     /// The strategy pipeline for one parsed client->server TCP segment.
     fn egress_segment(&mut self, ctx: &mut Ctx<'_>, wire: Wire, seg: &TcpRepr, tuple: FourTuple, server: Ipv4Addr) {
+        let lane = self.lane_of(tuple.src, server);
         // New flow bookkeeping: choose a strategy on the first SYN.
         if !self.flows.contains_key(&tuple) && seg.flags.syn() && !seg.flags.ack() {
             let kind = self
@@ -397,7 +444,7 @@ impl Shim {
                 .unwrap_or_else(|| self.history.borrow().choose(server, &StrategyKind::adaptive_pool()));
             let mut flow = FlowState::new(tuple, kind);
             flow.prefer_ttl = self.cfg.prefer_ttl;
-            let delta = self.delta_overrides.get(&server).copied().unwrap_or(self.cfg.delta);
+            let delta = self.delta_overrides.get(&(lane, server)).copied().unwrap_or(self.cfg.delta);
             let strat = strategies::build(kind, delta);
             self.flows.insert(tuple, (flow, strat));
             self.stats.flows += 1;
@@ -441,7 +488,12 @@ impl Shim {
             // Keyed on the flow's own source address, not the element-wide
             // `client`: in metropolis mode one shim fronts many client
             // addresses, and injections must be forged as the flow's owner.
-            let mut sctx = ShimCtx::new(ctx.now, ctx.rng, tuple.src, self.cfg.redundancy);
+            let rng = if self.shard_rngs.is_empty() {
+                &mut *ctx.rng
+            } else {
+                &mut self.shard_rngs[lane as usize]
+            };
+            let mut sctx = ShimCtx::new(ctx.now, rng, tuple.src, self.cfg.redundancy);
             let verdict = if seg.flags.syn() && !seg.flags.ack() && flow.client_isn.is_none() {
                 flow.client_isn = Some(seg.seq);
                 strat.on_syn(&mut sctx, flow, seg)
@@ -545,13 +597,19 @@ impl Shim {
                         ResetSignature::Type2RstAck => self.stats.type2_resets_seen += 1,
                     }
                 }
+                let lane = self.lane_of(tuple.src, tuple.dst);
                 let mut reprobe: Option<Ipv4Addr> = None;
                 if let Some((flow, strat)) = self.flows.get_mut(&tuple) {
                     if seg_flags.syn() && seg_flags.ack() {
                         flow.synack_seen = true;
                         flow.server_isn = Some(tcp.seq_number());
                         let seg = TcpRepr::parse(&tcp);
-                        let mut sctx = ShimCtx::new(ctx.now, ctx.rng, tuple.src, self.cfg.redundancy);
+                        let rng = if self.shard_rngs.is_empty() {
+                            &mut *ctx.rng
+                        } else {
+                            &mut self.shard_rngs[lane as usize]
+                        };
+                        let mut sctx = ShimCtx::new(ctx.now, rng, tuple.src, self.cfg.redundancy);
                         strat.on_synack(&mut sctx, flow, &seg);
                         for (w, d) in std::mem::take(&mut sctx.injections) {
                             ctx.send_delayed(Direction::ToServer, w, d);
@@ -581,7 +639,7 @@ impl Shim {
                             // of the censor — let it travel one hop farther
                             // next time.
                             if self.cfg.adaptive_delta && self.cfg.prefer_ttl && flow.hops.is_some() {
-                                let d = self.delta_overrides.entry(tuple.dst).or_insert(self.cfg.delta);
+                                let d = self.delta_overrides.entry((lane, tuple.dst)).or_insert(self.cfg.delta);
                                 *d = d.saturating_sub(1);
                             }
                         }

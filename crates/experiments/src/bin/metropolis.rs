@@ -7,18 +7,32 @@
 //! verifies at every flow count that per-shard aggregation is
 //! byte-identical at 1, 2 and 8 workers.
 //!
+//! After the serial sweep the largest point is re-run as parallel event
+//! domains (`run_metropolis_domains`): a `domains = 1` serial reference,
+//! then the full domain count across 1/2/`--workers` threads, with every
+//! cell byte-compared against the reference (outcome grid, counters,
+//! metrics). The JSON gains a `parallel` section carrying `cores`,
+//! per-worker busy/steal/merge statistics and per-domain event counts —
+//! honest numbers: on a 1-core container the wall-clock speedup ceiling
+//! is 1x and the report says so rather than inventing throughput.
+//!
 //! Writes `BENCH_metropolis.json` into the current directory (skipped on
 //! `--quick`, so the CI smoke run never clobbers the full artifact).
-//! `--smoke` runs a 1k-flow world with simcheck forced on, requires zero
-//! invariant violations and zero per-flow ordering regressions, and
-//! gates peak RSS against `INTANG_METRO_RSS_MB` when set.
+//! `--smoke` runs a 1k-flow world with simcheck forced on — serial, then
+//! a multi-domain parallel leg byte-compared against its serial
+//! reference — requires zero invariant violations, zero per-flow
+//! ordering regressions and zero serial/parallel divergence, and gates
+//! peak RSS against `INTANG_METRO_RSS_MB` when set.
 //!
 //! Extra flags beyond the common set: `--flows N` caps the sweep at `N`
 //! flows (adding `N` as a sweep point), `--shards N` overrides the shard
-//! count (default 8).
+//! count (default 8), `--domains N` the parallel domain count (default =
+//! shards), `--workers N` the max worker-thread count (default = cores).
 
 use intang_experiments::args::CommonArgs;
-use intang_experiments::metropolis::{run_metropolis_with_workers, shard_latency_stats, MetroParams, MetroRun};
+use intang_experiments::metropolis::{
+    run_metropolis_domains, run_metropolis_with_workers, shard_latency_stats, MetroDomainsRun, MetroParams, MetroRun,
+};
 use intang_gfw::EvictionPolicy;
 use intang_telemetry::GaugeId;
 use std::fmt::Write as _;
@@ -39,6 +53,50 @@ struct Measurement {
     run: MetroRun,
     aggregation_identical: bool,
     peak_rss_kb: Option<u64>,
+}
+
+/// Worker threads this container can actually run at once.
+fn cores() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+struct ParallelMeasurement {
+    domains: u32,
+    workers: usize,
+    wall_s: f64,
+    run: MetroDomainsRun,
+    /// Byte-identical to the `domains = 1` serial reference.
+    identical: bool,
+}
+
+/// Field-wise byte comparison of the deterministic payload (wall-clock
+/// diagnostics excluded by construction).
+fn runs_identical(a: &MetroRun, b: &MetroRun) -> bool {
+    a.results == b.results
+        && a.counts == b.counts
+        && a.shards == b.shards
+        && a.events == b.events
+        && a.collateral_resets == b.collateral_resets
+        && a.tcbs_evicted == b.tcbs_evicted
+        && a.resync_storms == b.resync_storms
+        && a.metrics == b.metrics
+        && a.series == b.series
+}
+
+fn measure_domains(flows: u32, seed: u64, shards: u32, domains: u32, workers: usize, reference: Option<&MetroRun>) -> ParallelMeasurement {
+    let mut p = MetroParams::new(flows, seed);
+    p.shards = shards;
+    let start = Instant::now();
+    let run = run_metropolis_domains(&p, domains, workers);
+    let wall_s = start.elapsed().as_secs_f64();
+    let identical = reference.is_none_or(|r| runs_identical(r, &run.run));
+    ParallelMeasurement {
+        domains: run.domains,
+        workers: run.workers,
+        wall_s,
+        run,
+        identical,
+    }
 }
 
 fn measure(flows: u32, seed: u64, shards: u32) -> Measurement {
@@ -62,10 +120,12 @@ fn measure(flows: u32, seed: u64, shards: u32) -> Measurement {
     }
 }
 
-/// `--smoke`: CI gate. 1k flows with simcheck forced on; fails on any
-/// invariant violation, ordering regression, aggregation divergence, or
+/// `--smoke`: CI gate. 1k flows with simcheck forced on — the serial
+/// loop, then a multi-domain parallel leg byte-compared against its own
+/// `domains = 1` reference; fails on any invariant violation, ordering
+/// regression, aggregation divergence, serial/parallel divergence, or
 /// (when `INTANG_METRO_RSS_MB` is set) peak RSS above the ceiling.
-fn smoke_gate(seed: u64, shards: u32) -> ! {
+fn smoke_gate(seed: u64, shards: u32, domains: u32, workers: usize) -> ! {
     intang_simcheck::set_thread(Some(true));
     let m = measure(1_000, seed, shards);
     let (spawned, succeeded, reset, stalled) = m.run.counts;
@@ -98,9 +158,43 @@ fn smoke_gate(seed: u64, shards: u32) -> ! {
         );
         failed = true;
     }
+    // Parallel leg: the same world as event domains, still under
+    // simcheck, byte-compared against its own serial reference.
+    let reference = measure_domains(1_000, seed, shards, 1, 1, None);
+    let par = measure_domains(1_000, seed, shards, domains, workers, Some(&reference.run.run));
+    eprintln!(
+        "metropolis --smoke (parallel): {} domains x {} workers in {:.2}s, {} events, identical={}, {} simcheck violation(s)",
+        par.domains,
+        par.workers,
+        par.wall_s,
+        par.run.run.events,
+        par.identical,
+        reference.run.run.violations + par.run.run.violations,
+    );
+    if !par.identical {
+        eprintln!(
+            "ERROR: parallel metropolis ({} domains, {} workers) diverged from the serial reference",
+            par.domains, par.workers
+        );
+        failed = true;
+    }
+    if reference.run.run.violations + par.run.run.violations > 0 {
+        eprintln!(
+            "ERROR: simcheck reported {} invariant violation(s) in the parallel leg; artifacts in {}",
+            reference.run.run.violations + par.run.run.violations,
+            intang_experiments::simcheck::artifact_dir().display()
+        );
+        failed = true;
+    }
+    if par.run.run.order_violations > 0 {
+        eprintln!("ERROR: {} ordering regression(s) in the parallel leg", par.run.run.order_violations);
+        failed = true;
+    }
     if let Ok(gate) = std::env::var("INTANG_METRO_RSS_MB") {
         let ceiling_mb: u64 = gate.parse().expect("INTANG_METRO_RSS_MB must be a number of megabytes");
-        match m.peak_rss_kb {
+        // Re-read after the parallel leg: VmHWM is monotonic, so this
+        // covers every run in the gate.
+        match peak_rss_kb() {
             Some(kb) if kb / 1024 <= ceiling_mb => {
                 eprintln!("  rss gate: peak {} MB <= ceiling {ceiling_mb} MB", kb / 1024);
             }
@@ -121,25 +215,24 @@ fn main() {
     // Split off the metropolis-specific flags, delegate the rest.
     let mut flows_cap: Option<u32> = None;
     let mut shards: u32 = 8;
+    let mut domains: Option<u32> = None;
+    let mut max_workers: Option<usize> = None;
     let mut smoke = false;
     let mut rest: Vec<String> = Vec::new();
     let mut it = std::env::args().skip(1);
+    let numeric = |flag: &str, v: Option<String>| -> u64 {
+        let v = v.unwrap_or_default();
+        v.parse().unwrap_or_else(|_| {
+            eprintln!("error: {flag} needs a number, got {v:?}");
+            std::process::exit(2);
+        })
+    };
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--flows" => {
-                let v = it.next().unwrap_or_default();
-                flows_cap = Some(v.parse().unwrap_or_else(|_| {
-                    eprintln!("error: --flows needs a number, got {v:?}");
-                    std::process::exit(2);
-                }));
-            }
-            "--shards" => {
-                let v = it.next().unwrap_or_default();
-                shards = v.parse().unwrap_or_else(|_| {
-                    eprintln!("error: --shards needs a number, got {v:?}");
-                    std::process::exit(2);
-                });
-            }
+            "--flows" => flows_cap = Some(numeric("--flows", it.next()) as u32),
+            "--shards" => shards = numeric("--shards", it.next()) as u32,
+            "--domains" => domains = Some(numeric("--domains", it.next()) as u32),
+            "--workers" => max_workers = Some(numeric("--workers", it.next()) as usize),
             _ => {
                 smoke |= a == "--smoke";
                 rest.push(a);
@@ -150,12 +243,16 @@ fn main() {
         Ok(a) => a,
         Err(msg) => {
             eprintln!("error: {msg}");
-            eprintln!("metropolis flags: --flows N, --shards N, plus the common set (--quick/--smoke/--seed/...)");
+            eprintln!(
+                "metropolis flags: --flows N, --shards N, --domains N, --workers N, plus the common set (--quick/--smoke/--seed/...)"
+            );
             std::process::exit(2);
         }
     };
+    let domains = domains.unwrap_or(shards).clamp(1, shards.max(1));
+    let max_workers = max_workers.unwrap_or_else(cores).clamp(1, domains as usize);
     if smoke {
-        smoke_gate(args.seed, shards);
+        smoke_gate(args.seed, shards, domains, max_workers.max(2).min(domains as usize));
     }
 
     let mut sweep: Vec<u32> = if args.quick { vec![1_000] } else { vec![1_000, 10_000, 100_000] };
@@ -193,11 +290,64 @@ fn main() {
     intang_telemetry::series::set_thread(prev);
     let series = instrumented.run.series.as_deref();
 
+    // Parallel event domains: the largest sweep point again, as a
+    // `domains = 1` serial reference and then the full domain count at
+    // 1/2/max worker threads, each cell byte-compared to the reference.
+    let par_flows = *sweep.last().expect("sweep is non-empty");
+    let ncores = cores();
+    if max_workers > ncores {
+        eprintln!(
+            "warning: {max_workers} worker threads on {ncores} core(s); wall-clock speedup is bounded by cores \
+             (per-worker busy seconds below measure the work actually overlapped)"
+        );
+    }
+    eprintln!("metropolis: parallel domains at {par_flows} flows, {domains} domains, up to {max_workers} workers ({ncores} cores)");
+    let par_reference = measure_domains(par_flows, args.seed, shards, 1, 1, None);
+    eprintln!(
+        "  reference   1 domain  x 1w: {:8.2}s  {:>11.0} events/s",
+        par_reference.wall_s,
+        par_reference.run.run.events as f64 / par_reference.wall_s,
+    );
+    // Always include the full-width cell (workers = domains) so the
+    // artifact documents the many-threads-few-cores ceiling explicitly.
+    let mut worker_axis = vec![1usize, 2, max_workers, domains as usize];
+    worker_axis.sort_unstable();
+    worker_axis.dedup();
+    worker_axis.retain(|&w| w <= domains as usize);
+    let mut parallel = Vec::new();
+    for &w in &worker_axis {
+        let m = measure_domains(par_flows, args.seed, shards, domains, w, Some(&par_reference.run.run));
+        eprintln!(
+            "  {:>3} domains x {}w: {:8.2}s  {:>11.0} events/s  speedup={:.2}x  identical={}  steals={}/{} failed",
+            m.domains,
+            m.workers,
+            m.wall_s,
+            m.run.run.events as f64 / m.wall_s,
+            par_reference.wall_s / m.wall_s,
+            m.identical,
+            m.run.worker_stats.iter().map(|s| s.steal_attempts).sum::<u64>(),
+            m.run.worker_stats.iter().map(|s| s.steal_failures).sum::<u64>(),
+        );
+        parallel.push(m);
+    }
+
+    // Span-profiler pass: rerun the largest sweep point with the span
+    // stack on and export the folded profile — the tool that localized
+    // the 10k -> 100k flows/s collapse to the server-cell TTL backlog.
+    if args.profile_folded.is_some() {
+        let prev = intang_telemetry::spans::set_thread(Some(true));
+        let _ = measure(par_flows, args.seed, shards);
+        let profile = intang_telemetry::spans::take_thread();
+        intang_telemetry::spans::set_thread(prev);
+        args.write_profile_folded(&profile);
+    }
+
     let largest = measurements.last().expect("sweep is non-empty");
     let mut json = String::new();
     json.push_str("{\n");
     let _ = writeln!(json, "  \"master_seed\": {},", args.seed);
     let _ = writeln!(json, "  \"shards\": {shards},");
+    let _ = writeln!(json, "  \"cores\": {ncores},");
     let flows_list: Vec<String> = sweep.iter().map(u32::to_string).collect();
     let _ = writeln!(json, "  \"flows_sweep\": [{}],", flows_list.join(", "));
     let _ = writeln!(
@@ -235,7 +385,74 @@ fn main() {
         );
         json.push_str(if i + 1 < measurements.len() { ",\n" } else { "\n" });
     }
-    json.push_str("  ],\n  \"counters\": {");
+    json.push_str("  ],\n");
+    // Parallel event domains: the determinism grid plus honest executor
+    // numbers. `identical` is the byte-comparison against the serial
+    // reference; busy/steal/merge are wall-clock diagnostics and vary run
+    // to run.
+    let _ = writeln!(json, "  \"parallel\": {{");
+    let _ = writeln!(json, "    \"flows\": {par_flows},");
+    let _ = writeln!(json, "    \"domains\": {domains},");
+    let _ = writeln!(
+        json,
+        "    \"note\": \"wall-clock speedup is bounded by cores ({ncores}); per-worker busy_s measures overlapped work\","
+    );
+    let _ = writeln!(
+        json,
+        "    \"reference\": {{\"domains\": 1, \"workers\": 1, \"wall_s\": {:.3}, \"events\": {}, \"events_per_s\": {:.0}}},",
+        par_reference.wall_s,
+        par_reference.run.run.events,
+        par_reference.run.run.events as f64 / par_reference.wall_s,
+    );
+    json.push_str("    \"runs\": [\n");
+    for (i, m) in parallel.iter().enumerate() {
+        let workers_json: Vec<String> = m
+            .run
+            .worker_stats
+            .iter()
+            .map(|s| {
+                format!(
+                    "{{\"busy_s\": {:.3}, \"merge_wait_s\": {:.6}, \"steal_attempts\": {}, \"steal_failures\": {}}}",
+                    s.busy.as_secs_f64(),
+                    s.merge_wait.as_secs_f64(),
+                    s.steal_attempts,
+                    s.steal_failures,
+                )
+            })
+            .collect();
+        let domains_json: Vec<String> = m
+            .run
+            .domain_stats
+            .iter()
+            .map(|d| {
+                format!(
+                    "{{\"domain\": {}, \"events\": {}, \"flows\": {}, \"busy_s\": {:.3}}}",
+                    d.domain,
+                    d.events,
+                    d.flows_owned,
+                    d.busy.as_secs_f64()
+                )
+            })
+            .collect();
+        let _ = write!(
+            json,
+            "      {{\"domains\": {}, \"workers\": {}, \"wall_s\": {:.3}, \"flows_per_s\": {:.1}, \"events_per_s\": {:.0}, \
+             \"speedup_vs_serial\": {:.3}, \"aggregation_identical\": {}, \"order_violations\": {}, \
+             \"worker_stats\": [{}], \"domain_stats\": [{}]}}",
+            m.domains,
+            m.workers,
+            m.wall_s,
+            m.run.run.counts.0 as f64 / m.wall_s,
+            m.run.run.events as f64 / m.wall_s,
+            par_reference.wall_s / m.wall_s,
+            m.identical,
+            m.run.run.order_violations,
+            workers_json.join(", "),
+            domains_json.join(", "),
+        );
+        json.push_str(if i + 1 < parallel.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("    ]\n  },\n  \"counters\": {");
     let counters: Vec<String> = largest
         .run
         .metrics
@@ -266,6 +483,20 @@ fn main() {
         eprintln!("ERROR: shard aggregation diverged across worker counts");
         failed = true;
     }
+    if let Some(m) = parallel.iter().find(|m| !m.identical) {
+        eprintln!(
+            "ERROR: parallel metropolis ({} domains, {} workers) diverged from the serial reference",
+            m.domains, m.workers
+        );
+        failed = true;
+    }
+    if let Some(m) = parallel.iter().find(|m| m.run.run.order_violations > 0) {
+        eprintln!(
+            "ERROR: {} ordering regression(s) in the parallel run at {} workers",
+            m.run.run.order_violations, m.workers
+        );
+        failed = true;
+    }
     if let Some(m) = measurements.iter().find(|m| m.run.order_violations > 0) {
         eprintln!(
             "ERROR: {} per-flow (time, seq) ordering regression(s) at {} flows",
@@ -273,7 +504,9 @@ fn main() {
         );
         failed = true;
     }
-    let total_violations: u64 = measurements.iter().map(|m| m.run.violations).sum();
+    let total_violations: u64 = measurements.iter().map(|m| m.run.violations).sum::<u64>()
+        + parallel.iter().map(|m| m.run.run.violations).sum::<u64>()
+        + par_reference.run.run.violations;
     if intang_simcheck::enabled() {
         eprintln!("  simcheck: {total_violations} invariant violation(s) across all runs");
         if total_violations > 0 {

@@ -270,8 +270,36 @@ pub struct MetroParts {
     pub gfw: GfwHandle,
 }
 
-/// Build the metropolis simulation without running it.
+/// Build the metropolis simulation without running it (the legacy serial
+/// world: one global censor TCB table, one global shim state, all draws
+/// from the simulation RNG).
 pub fn build_metropolis(p: &MetroParams, world: &MetroWorld) -> (Simulation, MetroParts) {
+    build_metropolis_inner(p, world, 1, 0, false)
+}
+
+/// Build one event domain of a `domains`-way parallel metropolis: the
+/// same topology as [`build_metropolis`], but the metro clients own only
+/// the shards with `shard % domains == domain`, and the censor and shim
+/// run with `state_shards = p.shards` so every piece of cross-flow state
+/// — TCB eviction order and capacity quota, resync windows, sticky
+/// draws, injector RNG streams, learned δ overrides — is partitioned by
+/// the same [`intang_packet::pair_shard`] key the metro flows shard by.
+/// Each shard's event stream is then causally closed, so any grouping of
+/// shards into domains replays identical per-shard bytes.
+///
+/// `domains = 1, domain = 0` is the **serial reference** for the parallel
+/// determinism grid: one simulation hosting all shards under the exact
+/// same sharded-state semantics.
+pub fn build_metropolis_domain(p: &MetroParams, world: &MetroWorld, domains: u32, domain: u32) -> (Simulation, MetroParts) {
+    build_metropolis_inner(p, world, domains, domain, true)
+}
+
+/// Per-lane RNG seed bases for the sharded censor and shim — distinct
+/// constants so the two stacks of lanes never share a stream.
+const GFW_LANE_SEED: u64 = 0x4746_575f_4c41_4e45; // "GFW_LANE"
+const SHIM_LANE_SEED: u64 = 0x5348_494d_4c41_4e45; // "SHIMLANE"
+
+fn build_metropolis_inner(p: &MetroParams, world: &MetroWorld, domains: u32, domain: u32, sharded_state: bool) -> (Simulation, MetroParts) {
     let mut sim = Simulation::new(p.seed);
 
     // The INTANG shim fronts every client address; per-flow strategy
@@ -280,6 +308,8 @@ pub fn build_metropolis(p: &MetroParams, world: &MetroWorld) -> (Simulation, Met
         strategy: None,
         measure_hops: true,
         prefer_ttl: true,
+        state_shards: if sharded_state { p.shards } else { 1 },
+        shard_seed: if sharded_state { p.seed ^ SHIM_LANE_SEED } else { 0 },
         ..IntangConfig::default()
     };
     let (intang_el, intang) = IntangElement::new(world.clients[0], cfg);
@@ -287,15 +317,25 @@ pub fn build_metropolis(p: &MetroParams, world: &MetroWorld) -> (Simulation, Met
         intang.seed_hops(*site, PATH_HOPS);
     }
 
-    // [0] every client flow.
-    let (mut clients_el, metro) = MetroClients::new(world.clients.clone(), world.sites.clone(), world.specs.clone(), p.shards);
+    // [0] every client flow (this domain's shards of them).
+    let (mut clients_el, metro) = MetroClients::for_domain(
+        world.clients.clone(),
+        world.sites.clone(),
+        world.specs.clone(),
+        p.shards,
+        domains,
+        domain,
+    );
     for (tuple, kind) in clients_el.tuples().iter().zip(&world.strategies) {
         intang.preset_strategy(*tuple, *kind);
     }
     let shim = intang.clone();
     clients_el.set_retire_hook(Box::new(move |tuple| shim.retire_flow(tuple)));
-    let first_start = world.specs.first().map_or(Instant::ZERO, |s| s.start);
+    // Arm the per-shard spawn/finish chains before the element moves into
+    // the simulation; it is about to become element [0].
+    clients_el.bootstrap(&mut sim, 0, p.horizon);
     let cidx = sim.add_element(Box::new(clients_el));
+    assert_eq!(cidx, 0, "metro clients must be the leftmost element");
 
     // [1] the shim, directly on the client side.
     sim.add_link(Link::new(Duration::from_micros(50), 0));
@@ -306,6 +346,10 @@ pub fn build_metropolis(p: &MetroParams, world: &MetroWorld) -> (Simulation, Met
     let mut gcfg = GfwConfig::evolved();
     gcfg.max_tcbs = p.max_tcbs;
     gcfg.eviction = p.eviction;
+    if sharded_state {
+        gcfg.state_shards = p.shards;
+        gcfg.shard_seed = p.seed ^ GFW_LANE_SEED;
+    }
     let (gfw_el, gfw) = GfwElement::labeled(gcfg, "GFW");
     sim.add_element(Box::new(gfw_el));
 
@@ -314,7 +358,6 @@ pub fn build_metropolis(p: &MetroParams, world: &MetroWorld) -> (Simulation, Met
     sim.add_link(Link::new(Duration::from_millis(2), 3).with_router_base(Ipv4Addr::new(172, 16, 3, 0)));
     sim.add_element(Box::new(MetroServers::new(world.sites.clone())));
 
-    MetroClients::bootstrap(&mut sim, cidx, first_start, p.horizon);
     (sim, MetroParts { metro, intang, gfw })
 }
 
@@ -358,6 +401,281 @@ pub fn run_metropolis(p: &MetroParams) -> MetroRun {
     run_metropolis_with_workers(p, 1)
 }
 
+/// One domain's executor diagnostics (wall-clock fields vary run to run;
+/// never part of the deterministic merge).
+#[derive(Debug, Clone, Copy)]
+pub struct DomainStats {
+    pub domain: u32,
+    /// Events this domain's simulation processed.
+    pub events: u64,
+    /// Flows this domain owned (its spawned count).
+    pub flows_owned: u64,
+    /// Wall-clock from claim to finished merge handoff.
+    pub busy: std::time::Duration,
+}
+
+/// A parallel metropolis run: the merged [`MetroRun`] — byte-identical to
+/// the `domains = 1` serial reference — plus executor diagnostics.
+pub struct MetroDomainsRun {
+    pub run: MetroRun,
+    /// Event domains actually used (clamped to `[1, shards]`).
+    pub domains: u32,
+    /// Worker threads actually used (clamped to `[1, domains]`).
+    pub workers: usize,
+    /// Per-domain diagnostics, in domain order.
+    pub domain_stats: Vec<DomainStats>,
+    /// Per-worker executor statistics, in worker-spawn order.
+    pub worker_stats: Vec<crate::runner::WorkerStats>,
+    /// Per-worker span-profiler sheets, parallel to `worker_stats`.
+    pub worker_profiles: Vec<intang_telemetry::SpanSheet>,
+}
+
+/// Everything one domain worker ships back to the merge — plain data
+/// only; simulations, wires and `Rc` handles never cross threads.
+struct DomainOut {
+    results: Vec<FlowResult>,
+    counts: (u64, u64, u64, u64),
+    events: u64,
+    collateral_resets: u64,
+    tcbs_evicted: u64,
+    resync_storms: u64,
+    metrics: MetricsSheet,
+    /// Raw per-tick gauge samples (empty unless series telemetry is on);
+    /// tick `k` is sampled with every event before `k * CADENCE_US`
+    /// dispatched and nothing at or after it — the same cut the in-sim
+    /// recorder uses, so tick-wise sums across domains reproduce the
+    /// serial reading exactly.
+    samples: Vec<intang_telemetry::GaugeSample>,
+    order_violations: u64,
+    violations: u64,
+    busy: std::time::Duration,
+}
+
+/// Build and run one event domain to the horizon, entirely on the calling
+/// thread (a `Simulation` is thread-bound).
+fn run_one_domain(p: &MetroParams, world: &MetroWorld, domains: u32, domain: u32, series_wanted: bool, sc: bool) -> DomainOut {
+    use intang_telemetry::series::CADENCE_US;
+    let started = std::time::Instant::now();
+    if sc {
+        intang_simcheck::begin_trial(p.seed ^ (u64::from(domain) << 32) ^ 0x444f_4d41_494e_3030); // "DOMAIN00"
+        let _ = intang_simcheck::take_violations();
+    }
+    let (mut sim, parts) = build_metropolis_domain(p, world, domains, domain);
+    let mut samples = Vec::new();
+    let events = if series_wanted {
+        // Manual cadence sampling: chunk the run at tick boundaries and
+        // snapshot gauges between chunks. The in-sim recorder is off in
+        // domain sims (its per-sim sheet compacts eagerly and cannot be
+        // zip-summed afterwards).
+        let mut n = 0u64;
+        let mut k = 0u64;
+        while k.saturating_mul(CADENCE_US) <= p.horizon.0 {
+            if k > 0 {
+                n += sim.run_until(Instant(k * CADENCE_US - 1));
+            }
+            samples.push(sim.sample_gauges_now());
+            k += 1;
+        }
+        n + sim.run_until(p.horizon)
+    } else {
+        sim.run_until(p.horizon)
+    };
+    let mut metrics = MetricsSheet::new();
+    sim.export_metrics(&mut metrics);
+    let violations = if sc { intang_simcheck::take_violations().len() as u64 } else { 0 };
+    DomainOut {
+        results: parts.metro.results(),
+        counts: parts.metro.counts(),
+        events,
+        collateral_resets: parts.gfw.blacklist_collateral_resets(),
+        tcbs_evicted: parts.gfw.tcbs_evicted(),
+        resync_storms: parts.gfw.resync_storms(),
+        metrics,
+        samples,
+        order_violations: parts.metro.order_violations(),
+        violations,
+        busy: started.elapsed(),
+    }
+}
+
+/// Run the metropolis as `domains` parallel event domains on `workers`
+/// work-stealing threads.
+///
+/// Each domain is a full client→shim→censor→server path hosting only its
+/// own shards, built *and* run inside whichever worker claims it (the
+/// same atomic-cursor executor as [`crate::runner::sweep_with_threads`]).
+/// Censor and shim state run sharded (`state_shards = p.shards`), so the
+/// per-shard event streams are causally closed and the merged output —
+/// outcome grid, counters, metrics sheet, gauge series — is byte-identical
+/// to the `domains = 1` serial reference at any `(domains, workers,
+/// batching)` combination (asserted by `tests/determinism.rs`).
+///
+/// Note this is a *different semantics* from the legacy
+/// [`run_metropolis`]: there the censor keeps one global TCB table and
+/// eviction budget; here every lane owns a deterministic share of it.
+/// Cross-flow interference still happens — within a lane — and the
+/// partition itself is part of the modeled deployment (§2.1: sharding is
+/// how real DPI boxes shed state).
+pub fn run_metropolis_domains(p: &MetroParams, domains: u32, workers: usize) -> MetroDomainsRun {
+    let world = generate_world(p);
+    run_metropolis_domains_world(p, &world, domains, workers)
+}
+
+/// [`run_metropolis_domains`] over a caller-supplied (e.g. hand-placed)
+/// world instead of the seeded generator.
+pub fn run_metropolis_domains_world(p: &MetroParams, world: &MetroWorld, domains: u32, workers: usize) -> MetroDomainsRun {
+    let domains = domains.clamp(1, p.shards.max(1));
+    let workers = workers.max(1).min(domains as usize);
+    let series_wanted = intang_telemetry::series::enabled();
+    let sc = intang_simcheck::enabled();
+
+    // Replay the caller's observability overrides inside every worker
+    // (thread-locals do not cross `thread::scope`).
+    let batch_override = intang_netsim::batch::thread_override();
+    let flight_override = intang_netsim::flight::thread_override();
+    let spans_override = intang_telemetry::spans::thread_override();
+
+    let cursor = AtomicUsize::new(0);
+    let outs: std::sync::Mutex<Vec<Option<DomainOut>>> = std::sync::Mutex::new((0..domains).map(|_| None).collect());
+
+    let worker_results = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let cursor = &cursor;
+                let outs = &outs;
+                scope.spawn(move || {
+                    intang_netsim::batch::set_thread(batch_override);
+                    intang_netsim::flight::set_thread(flight_override);
+                    intang_telemetry::spans::set_thread(spans_override);
+                    // Domain sims always sample manually; the in-sim
+                    // recorder stays off whatever the caller set.
+                    let prev_series = intang_telemetry::series::set_thread(Some(false));
+                    let prev_sc = intang_simcheck::set_thread(Some(sc));
+                    let started = std::time::Instant::now();
+                    let mut stats = crate::runner::WorkerStats::default();
+                    loop {
+                        stats.steal_attempts += 1;
+                        let d = cursor.fetch_add(1, Ordering::Relaxed);
+                        if d >= domains as usize {
+                            stats.steal_failures += 1;
+                            break;
+                        }
+                        let out = run_one_domain(p, world, domains, d as u32, series_wanted, sc);
+                        let wait = std::time::Instant::now();
+                        let mut guard = outs.lock().expect("domain merge poisoned");
+                        stats.merge_wait += wait.elapsed();
+                        guard[d] = Some(out);
+                    }
+                    intang_simcheck::set_thread(prev_sc);
+                    intang_telemetry::series::set_thread(prev_series);
+                    stats.busy = started.elapsed();
+                    (stats, intang_telemetry::spans::take_thread())
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("domain worker panicked"))
+            .collect::<Vec<_>>()
+    });
+    let (worker_stats, worker_profiles): (Vec<_>, Vec<_>) = worker_results.into_iter().unzip();
+    let outs: Vec<DomainOut> = outs
+        .into_inner()
+        .expect("domain merge poisoned")
+        .into_iter()
+        .map(|o| o.expect("every domain must have run"))
+        .collect();
+
+    // Deterministic merge, all of it in domain-index order.
+    let flows = world.specs.len();
+    let mut results = vec![
+        FlowResult {
+            outcome: FlowOutcome::Pending,
+            latency_us: 0,
+            shard: 0,
+        };
+        flows
+    ];
+    for (i, slot) in results.iter_mut().enumerate() {
+        // Every domain's grid carries the full shard column; the owner of
+        // flow i is its shard mod domains.
+        let shard = outs[0].results[i].shard;
+        *slot = outs[(shard % domains) as usize].results[i];
+    }
+    let mut counts = (0u64, 0u64, 0u64, 0u64);
+    let mut events = 0u64;
+    let mut collateral_resets = 0u64;
+    let mut tcbs_evicted = 0u64;
+    let mut resync_storms = 0u64;
+    let mut order_violations = 0u64;
+    let mut violations = 0u64;
+    let mut metrics = MetricsSheet::new();
+    for o in &outs {
+        counts.0 += o.counts.0;
+        counts.1 += o.counts.1;
+        counts.2 += o.counts.2;
+        counts.3 += o.counts.3;
+        events += o.events;
+        collateral_resets += o.collateral_resets;
+        tcbs_evicted += o.tcbs_evicted;
+        resync_storms += o.resync_storms;
+        order_violations += o.order_violations;
+        violations += o.violations;
+        metrics.merge(&o.metrics);
+    }
+    let series = series_wanted.then(|| {
+        // Zip-sum the raw per-tick samples across domains: gauge values
+        // are extensive (table sizes, queue depths, live counts), so the
+        // serial reading at tick k is exactly the sum of the domain
+        // readings at tick k.
+        let mut sheet = SeriesSheet::new();
+        let ticks = outs.iter().map(|o| o.samples.len()).max().unwrap_or(0);
+        for k in 0..ticks {
+            let mut g = intang_telemetry::GaugeSample::default();
+            for o in &outs {
+                if let Some(s) = o.samples.get(k) {
+                    for id in intang_telemetry::GaugeId::ALL {
+                        g.add(id, s.get(id));
+                    }
+                }
+            }
+            sheet.push_sample(&g);
+        }
+        Box::new(sheet)
+    });
+    let shards = aggregate_shards(&results, p.shards, workers);
+    let domain_stats = outs
+        .iter()
+        .enumerate()
+        .map(|(d, o)| DomainStats {
+            domain: d as u32,
+            events: o.events,
+            flows_owned: o.counts.0,
+            busy: o.busy,
+        })
+        .collect();
+    MetroDomainsRun {
+        run: MetroRun {
+            results,
+            counts,
+            shards,
+            events,
+            collateral_resets,
+            tcbs_evicted,
+            resync_storms,
+            metrics,
+            series,
+            order_violations,
+            violations,
+        },
+        domains,
+        workers,
+        domain_stats,
+        worker_stats,
+        worker_profiles,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -398,6 +716,39 @@ mod tests {
         for workers in [2usize, 8] {
             let again = aggregate_shards(&run.results, p.shards, workers);
             assert_eq!(again, run.shards, "{workers} workers");
+        }
+    }
+
+    #[test]
+    fn parallel_domains_match_the_serial_reference() {
+        let mut p = MetroParams::new(300, 41);
+        p.shards = 4;
+        let reference = run_metropolis_domains(&p, 1, 1);
+        let ref_grid: Vec<_> = reference.run.results.iter().map(|r| (r.outcome, r.latency_us)).collect();
+        assert_eq!(reference.run.counts.0, 300);
+        for (domains, workers) in [(2u32, 2usize), (4, 4), (4, 1)] {
+            let run = run_metropolis_domains(&p, domains, workers);
+            let tag = format!("{domains} domains, {workers} workers");
+            let grid: Vec<_> = run.run.results.iter().map(|r| (r.outcome, r.latency_us)).collect();
+            assert_eq!(ref_grid, grid, "grid differs at {tag}");
+            assert_eq!(reference.run.counts, run.run.counts, "counts differ at {tag}");
+            assert_eq!(reference.run.events, run.run.events, "events differ at {tag}");
+            assert_eq!(reference.run.metrics, run.run.metrics, "metrics differ at {tag}");
+            assert_eq!(
+                (
+                    reference.run.collateral_resets,
+                    reference.run.tcbs_evicted,
+                    reference.run.resync_storms
+                ),
+                (run.run.collateral_resets, run.run.tcbs_evicted, run.run.resync_storms),
+                "censor counters differ at {tag}"
+            );
+            assert_eq!(run.domains, domains);
+            assert_eq!(
+                run.domain_stats.iter().map(|d| d.events).sum::<u64>(),
+                run.run.events,
+                "domain events must partition the total at {tag}"
+            );
         }
     }
 

@@ -119,6 +119,22 @@ pub struct GfwConfig {
     /// detection (device flapping). 0.0 = devices never flap.
     pub chaos_device_flap_prob: f64,
 
+    // ---- state sharding (parallel metropolis) ---------------------------
+    /// Number of independent censor-state lanes. 1 (the default) is the
+    /// exact legacy device: one global TCB order, one injector, one sticky
+    /// draw, all randomness from the simulation RNG. Values > 1 partition
+    /// every piece of cross-flow state — eviction order and capacity
+    /// quota, resync-storm window, sticky RST draws, injector counters and
+    /// a dedicated RNG stream — by [`intang_packet::pair_shard`] of the
+    /// packet's address pair, so lanes never observe each other and a
+    /// sharded world can be split into parallel event domains without
+    /// changing a single emitted byte.
+    pub state_shards: u32,
+    /// Base seed for the per-lane RNG streams (only used when
+    /// `state_shards > 1`; lane `i` draws from
+    /// `intang_netsim::rng::lane_seed(shard_seed, i)`).
+    pub shard_seed: u64,
+
     /// Shared reference to the rule database. `GfwConfig::evolved` hands out
     /// the process-wide [`crate::dpi::shared_paper_rules`] `Arc`, so cloning
     /// configs (one per sweep cell × element) never copies the rules.
@@ -156,6 +172,8 @@ impl GfwConfig {
             chaos_rst_inject_prob: 1.0,
             chaos_blacklist_jitter: 0.0,
             chaos_device_flap_prob: 0.0,
+            state_shards: 1,
+            shard_seed: 0,
             rules: crate::dpi::shared_paper_rules(),
         }
     }

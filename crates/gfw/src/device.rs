@@ -68,6 +68,69 @@ pub struct GfwStats {
     pub blacklist_jitter_draws: u64,
 }
 
+/// One censor-state lane: the slice of device state that couples flows to
+/// each other. With `GfwConfig::state_shards == 1` there is exactly one
+/// lane and the device behaves byte-for-byte like the historical global
+/// implementation. With more, every packet is routed to the lane of its
+/// address pair ([`intang_packet::pair_shard`]), so flows in different
+/// lanes share *nothing* mutable — the property that lets a sharded world
+/// be split into parallel event domains without changing any emitted byte.
+struct CensorLane {
+    /// `None` in the single-lane legacy device: every stochastic draw
+    /// comes from the simulation RNG, exactly as before sharding existed.
+    /// `Some` in sharded mode: a private stream seeded from
+    /// `(shard_seed, lane index)`, invariant under domain grouping.
+    rng: Option<intang_netsim::SimRng>,
+    injector: ResetInjector,
+    /// Eviction order: `(key, stamp)` pairs, oldest candidate at the
+    /// front. Under FIFO eviction only insertions push entries; under LRU
+    /// every touch pushes a fresh stamp and stale entries (whose stamp no
+    /// longer matches the TCB's `touched`) are skipped lazily at eviction
+    /// time and swept by the compaction in [`GfwCore::touch_tcb`].
+    tcb_order: std::collections::VecDeque<(FourTuple, u64)>,
+    /// Monotonic stamp source for `tcb_order` entries.
+    touch_seq: u64,
+    /// Timestamps of recent resync transitions (the storm window).
+    resync_window: std::collections::VecDeque<Instant>,
+    /// Path-sticky draw (§4/§8: per client-server pair and period, the
+    /// RST→resync behavior is consistent): decided on first RST.
+    rst_resync_sticky: Option<bool>,
+    rst_resync_hs_sticky: Option<bool>,
+    /// TCBs in the (shared) table whose pair hashes to this lane.
+    tcb_count: usize,
+    /// This lane's share of `max_tcbs`: the table capacity is partitioned
+    /// deterministically, `total/n + (i < total % n)`, never rebalanced —
+    /// reconciling a global budget across parallel domains would cost a
+    /// barrier per eviction and break byte-identity.
+    quota: usize,
+}
+
+impl Default for CensorLane {
+    fn default() -> CensorLane {
+        CensorLane {
+            rng: None,
+            injector: ResetInjector::new(),
+            tcb_order: std::collections::VecDeque::new(),
+            touch_seq: 0,
+            resync_window: std::collections::VecDeque::new(),
+            rst_resync_sticky: None,
+            rst_resync_hs_sticky: None,
+            tcb_count: 0,
+            quota: usize::MAX,
+        }
+    }
+}
+
+/// Pick the RNG a lane draws from: its private stream when sharded, the
+/// simulation RNG in the legacy single-lane device.
+#[inline]
+fn lane_rng<'a>(rng: &'a mut Option<intang_netsim::SimRng>, ctx: &'a mut Ctx<'_>) -> &'a mut intang_netsim::SimRng {
+    match rng {
+        Some(r) => r,
+        None => ctx.rng,
+    }
+}
+
 struct GfwCore {
     cfg: GfwConfig,
     aut: Arc<Automaton>,
@@ -75,25 +138,12 @@ struct GfwCore {
     /// is disabled).
     sc_domain: u64,
     tcbs: FxHashMap<FourTuple, CensorTcb>,
-    /// Eviction order: `(key, stamp)` pairs, oldest candidate at the
-    /// front. Under FIFO eviction only insertions push entries; under LRU
-    /// every touch pushes a fresh stamp and stale entries (whose stamp no
-    /// longer matches the TCB's `touched`) are skipped lazily at eviction
-    /// time and swept by [`GfwCore::compact_tcb_order`].
-    tcb_order: std::collections::VecDeque<(FourTuple, u64)>,
-    /// Monotonic stamp source for `tcb_order` entries.
-    touch_seq: u64,
-    /// Timestamps of recent resync transitions (the storm window).
-    resync_window: std::collections::VecDeque<Instant>,
+    /// Censor-state lanes; index = `pair_shard(src, dst, lanes.len())`.
+    lanes: Vec<CensorLane>,
     blacklist: Blacklist,
-    injector: ResetInjector,
     prober: ActiveProber,
     ip_reasm: Reassembler,
     stats: GfwStats,
-    /// Path-sticky draw (§4/§8: per client-server pair and period, the
-    /// RST→resync behavior is consistent): decided on first RST.
-    rst_resync_sticky: Option<bool>,
-    rst_resync_hs_sticky: Option<bool>,
 }
 
 /// The censor tap element. Clone-cheap handles ([`GfwHandle`]) give tests
@@ -136,21 +186,28 @@ impl GfwElement {
     /// threads — the automaton is immutable after construction).
     pub fn with_automaton(cfg: GfwConfig, aut: Arc<Automaton>, label: &str) -> (GfwElement, GfwHandle) {
         let ip_reasm = Reassembler::new(cfg.ip_frag_overlap);
+        let shards = cfg.state_shards.max(1) as usize;
+        let lanes = (0..shards)
+            .map(|i| CensorLane {
+                rng: (shards > 1).then(|| intang_netsim::SimRng::seed_from(intang_netsim::rng::lane_seed(cfg.shard_seed, i as u32))),
+                quota: if shards == 1 {
+                    cfg.max_tcbs
+                } else {
+                    (cfg.max_tcbs / shards + usize::from(i < cfg.max_tcbs % shards)).max(1)
+                },
+                ..CensorLane::default()
+            })
+            .collect();
         let core = Rc::new(RefCell::new(GfwCore {
             cfg,
             aut,
             sc_domain: intang_simcheck::new_tcb_domain(),
             tcbs: FxHashMap::default(),
-            tcb_order: std::collections::VecDeque::new(),
-            touch_seq: 0,
-            resync_window: std::collections::VecDeque::new(),
+            lanes,
             blacklist: Blacklist::new(),
-            injector: ResetInjector::new(),
             prober: ActiveProber::new(),
             ip_reasm,
             stats: GfwStats::default(),
-            rst_resync_sticky: None,
-            rst_resync_hs_sticky: None,
         }));
         (
             GfwElement {
@@ -248,8 +305,15 @@ impl GfwHandle {
     /// Force the sticky RST behavior for deterministic tests.
     pub fn force_rst_resync(&self, resync: bool) {
         let mut core = self.core.borrow_mut();
-        core.rst_resync_sticky = Some(resync);
-        core.rst_resync_hs_sticky = Some(resync);
+        for lane in &mut core.lanes {
+            lane.rst_resync_sticky = Some(resync);
+            lane.rst_resync_hs_sticky = Some(resync);
+        }
+    }
+
+    /// Number of censor-state lanes the device was configured with.
+    pub fn state_lanes(&self) -> usize {
+        self.core.borrow().lanes.len()
     }
 }
 
@@ -385,12 +449,8 @@ impl GfwCore {
         {
             return;
         }
-        let payload = &wire[usize::from(seg.payload_start)..usize::from(seg.payload_end)];
-
         let src = (hdr.src, seg.src_port);
         let dst = (hdr.dst, seg.dst_port);
-        let tuple = FourTuple::new(src.0, src.1, dst.0, dst.1);
-        let key = tuple.canonical();
 
         // Route packets addressed to our probers into the probe logic. The
         // prober wants a full repr; this path is rare enough to pay for one.
@@ -402,20 +462,54 @@ impl GfwCore {
             return;
         }
 
+        // Everything past this point touches cross-flow censor state, all
+        // of it owned by the packet's lane. The lane moves out of `self`
+        // for the duration so lane and table can be borrowed together (the
+        // default placeholder is never observable: analysis runs to
+        // completion before any re-entry).
+        let lane_idx = if self.lanes.len() == 1 {
+            0
+        } else {
+            intang_packet::pair_shard(hdr.src, hdr.dst, self.lanes.len() as u32) as usize
+        };
+        let mut lane = std::mem::take(&mut self.lanes[lane_idx]);
+        self.analyze_tcp_lane(ctx, &mut lane, dir, wire, hdr, seg);
+        self.lanes[lane_idx] = lane;
+    }
+
+    /// The lane-scoped tail of TCP analysis: blacklist volleys, TCB
+    /// lifecycle, DPI, detection actions.
+    fn analyze_tcp_lane(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        lane: &mut CensorLane,
+        dir: Direction,
+        wire: &Wire,
+        hdr: &intang_packet::HeaderIndex,
+        seg: intang_packet::TcpIndex,
+    ) {
+        let l4 = &wire[usize::from(hdr.ip_payload_start)..usize::from(hdr.ip_payload_end)];
+        let payload = &wire[usize::from(seg.payload_start)..usize::from(seg.payload_end)];
+        let src = (hdr.src, seg.src_port);
+        let dst = (hdr.dst, seg.dst_port);
+        let tuple = FourTuple::new(src.0, src.1, dst.0, dst.1);
+        let key = tuple.canonical();
+
         // Blacklisted pair: sustained disruption (§2.1). Volleys drawn by
         // a flow other than the pair's original offender are collateral —
         // the cross-flow coupling a shared blacklist creates.
         if let Some(collateral) = self.blacklist.hit(src.0, dst.0, ctx.now, Some(tuple)) {
             self.stats.blacklist_hits += 1;
             if seg.flags.syn() && !seg.flags.ack() && self.cfg.type2 {
-                let forged = self.injector.forged_synack(ctx.rng, dst, src, seg.seq.wrapping_add(1));
+                let CensorLane { rng, injector, .. } = &mut *lane;
+                let forged = injector.forged_synack(lane_rng(rng, ctx), dst, src, seg.seq.wrapping_add(1));
                 self.stats.forged_synacks += 1;
                 ctx.send_delayed(dir.reversed(), forged, self.cfg.reaction_delay);
                 if collateral {
                     self.stats.blacklist_collateral_resets += 1;
                 }
             } else if !seg.flags.rst() {
-                self.inject_pair_resets(ctx, dir, src, dst, seg.seq, seg.ack);
+                self.inject_pair_resets(ctx, lane, dir, src, dst, (seg.seq, seg.ack));
                 if collateral {
                     self.stats.blacklist_collateral_resets += 1;
                 }
@@ -429,21 +523,21 @@ impl GfwCore {
         if !self.tcbs.contains_key(&key) {
             if seg.flags.syn() && !seg.flags.ack() {
                 let mut tcb = CensorTcb::from_syn(src, dst, seg.seq, self.cfg.segment_overlap);
-                tcb.overloaded = ctx.rng.chance(self.cfg.overload_miss_prob);
-                self.insert_tcb(key, tcb);
+                tcb.overloaded = lane_rng(&mut lane.rng, ctx).chance(self.cfg.overload_miss_prob);
+                self.insert_tcb(lane, key, tcb);
             } else if seg.flags.syn() && seg.flags.ack() && evolved {
                 // Hypothesized New Behavior 1: TCB from a SYN/ACK. The
                 // source is assumed to be the server.
                 let mut tcb = CensorTcb::from_synack(src, dst, seg.seq, seg.ack, self.cfg.segment_overlap);
-                tcb.overloaded = ctx.rng.chance(self.cfg.overload_miss_prob);
-                self.insert_tcb(key, tcb);
+                tcb.overloaded = lane_rng(&mut lane.rng, ctx).chance(self.cfg.overload_miss_prob);
+                self.insert_tcb(lane, key, tcb);
             }
             return;
         }
 
         // Work on the existing TCB.
         if self.cfg.eviction == EvictionPolicy::Lru {
-            self.touch_tcb(key);
+            self.touch_tcb(lane, key);
         }
         let mut remove = false;
         let mut resynced = false;
@@ -461,12 +555,18 @@ impl GfwCore {
                     } else {
                         self.cfg.rst_resync_prob
                     };
+                    let CensorLane {
+                        rng,
+                        rst_resync_sticky,
+                        rst_resync_hs_sticky,
+                        ..
+                    } = &mut *lane;
                     let slot = if tcb.in_handshake {
-                        &mut self.rst_resync_hs_sticky
+                        rst_resync_hs_sticky
                     } else {
-                        &mut self.rst_resync_sticky
+                        rst_resync_sticky
                     };
-                    *slot.get_or_insert_with(|| ctx.rng.chance(prob))
+                    *slot.get_or_insert_with(|| lane_rng(rng, ctx).chance(prob))
                 } else {
                     false
                 };
@@ -598,35 +698,36 @@ impl GfwCore {
         }
 
         if resynced {
-            self.note_resync(ctx.now);
+            self.note_resync(lane, ctx.now);
         }
         if remove {
             self.tcbs.remove(&key);
+            lane.tcb_count -= 1;
             self.stats.tcbs_removed += 1;
             intang_simcheck::tcb_removed(self.sc_domain, key);
             return;
         }
         if !detections.is_empty() {
-            self.act_on_detections(ctx, key, detections);
+            self.act_on_detections(ctx, lane, key, detections);
         }
     }
 
-    /// Record one resync transition into the storm window; when the window
-    /// fills to the configured threshold, count a storm and clear it (so a
-    /// sustained burst counts once per threshold-batch).
-    fn note_resync(&mut self, now: Instant) {
+    /// Record one resync transition into the lane's storm window; when the
+    /// window fills to the configured threshold, count a storm and clear it
+    /// (so a sustained burst counts once per threshold-batch).
+    fn note_resync(&mut self, lane: &mut CensorLane, now: Instant) {
         let threshold = self.cfg.resync_storm_threshold;
         if threshold == 0 {
             return;
         }
         let cutoff = now.micros().saturating_sub(self.cfg.resync_storm_window.micros());
-        while self.resync_window.front().is_some_and(|t| t.micros() < cutoff) {
-            self.resync_window.pop_front();
+        while lane.resync_window.front().is_some_and(|t| t.micros() < cutoff) {
+            lane.resync_window.pop_front();
         }
-        self.resync_window.push_back(now);
-        if self.resync_window.len() >= threshold {
+        lane.resync_window.push_back(now);
+        if lane.resync_window.len() >= threshold {
             self.stats.resync_storms += 1;
-            self.resync_window.clear();
+            lane.resync_window.clear();
         }
     }
 
@@ -634,46 +735,45 @@ impl GfwCore {
     /// entry; the entry it supersedes goes stale and is skipped at
     /// eviction time. Compaction keeps the lazy deque from growing without
     /// bound on long runs.
-    fn touch_tcb(&mut self, key: FourTuple) {
-        self.touch_seq += 1;
+    fn touch_tcb(&mut self, lane: &mut CensorLane, key: FourTuple) {
+        lane.touch_seq += 1;
         let Some(tcb) = self.tcbs.get_mut(&key) else { return };
-        tcb.touched = self.touch_seq;
-        self.tcb_order.push_back((key, self.touch_seq));
-        if self.tcb_order.len() > self.tcbs.len() * 4 + 16 {
-            self.compact_tcb_order();
+        tcb.touched = lane.touch_seq;
+        lane.tcb_order.push_back((key, lane.touch_seq));
+        if lane.tcb_order.len() > lane.tcb_count * 4 + 16 {
+            // Drop stale entries (stamp no longer current), keeping the
+            // relative order of the fresh ones.
+            let tcbs = &self.tcbs;
+            lane.tcb_order.retain(|(k, stamp)| tcbs.get(k).is_some_and(|t| t.touched == *stamp));
         }
     }
 
-    /// Drop stale `tcb_order` entries (stamp no longer current), keeping
-    /// relative order of the fresh ones.
-    fn compact_tcb_order(&mut self) {
-        let tcbs = &self.tcbs;
-        self.tcb_order.retain(|(k, stamp)| tcbs.get(k).is_some_and(|t| t.touched == *stamp));
-    }
-
-    /// Insert a TCB, evicting per the configured policy when the table is
-    /// full: FIFO pops the oldest insertion, LRU pops the stalest touch.
-    fn insert_tcb(&mut self, key: FourTuple, tcb: CensorTcb) {
-        while self.tcbs.len() >= self.cfg.max_tcbs {
-            let Some((victim, stamp)) = self.tcb_order.pop_front() else { break };
+    /// Insert a TCB, evicting per the configured policy when the lane's
+    /// share of the table is full: FIFO pops the oldest insertion, LRU pops
+    /// the stalest touch.
+    fn insert_tcb(&mut self, lane: &mut CensorLane, key: FourTuple, tcb: CensorTcb) {
+        while lane.tcb_count >= lane.quota {
+            let Some((victim, stamp)) = lane.tcb_order.pop_front() else { break };
             // Stale entries: the key was touched more recently (LRU), or
             // its TCB was already torn down. Skip without counting.
             if self.tcbs.get(&victim).is_some_and(|t| t.touched == stamp) {
                 self.tcbs.remove(&victim);
+                lane.tcb_count -= 1;
                 self.stats.tcbs_evicted += 1;
                 intang_simcheck::tcb_removed(self.sc_domain, victim);
             }
         }
-        self.touch_seq += 1;
+        lane.touch_seq += 1;
         let mut tcb = tcb;
-        tcb.touched = self.touch_seq;
+        tcb.touched = lane.touch_seq;
         self.tcbs.insert(key, tcb);
-        self.tcb_order.push_back((key, self.touch_seq));
+        lane.tcb_count += 1;
+        lane.tcb_order.push_back((key, lane.touch_seq));
         self.stats.tcbs_created += 1;
         intang_simcheck::tcb_created(self.sc_domain, key);
     }
 
-    fn act_on_detections(&mut self, ctx: &mut Ctx<'_>, key: FourTuple, kinds: Vec<DetectionKind>) {
+    fn act_on_detections(&mut self, ctx: &mut Ctx<'_>, lane: &mut CensorLane, key: FourTuple, kinds: Vec<DetectionKind>) {
         intang_simcheck::tcb_detection(self.sc_domain, key);
         let (client, server, client_next, server_next, already) = {
             let tcb = self.tcbs.get(&key).expect("tcb present");
@@ -686,9 +786,9 @@ impl GfwCore {
             match kind {
                 DetectionKind::HttpKeyword | DetectionKind::Domain => {
                     if !already {
-                        self.inject_detection_resets(ctx, client, server, client_next, server_next);
+                        self.inject_detection_resets(ctx, lane, client, server, client_next, server_next);
                         if self.cfg.type2 {
-                            let duration = self.chaos_blacklist_duration(ctx);
+                            let duration = self.chaos_blacklist_duration(ctx, lane);
                             let origin = FourTuple::new(client.0, client.1, server.0, server.1);
                             self.blacklist.add(client.0, server.0, ctx.now, duration, origin);
                             self.stats.blacklist_inserts += 1;
@@ -707,7 +807,7 @@ impl GfwCore {
                 }
                 DetectionKind::VpnHandshake => {
                     if self.cfg.vpn_dpi && !already {
-                        self.inject_detection_resets(ctx, client, server, client_next, server_next);
+                        self.inject_detection_resets(ctx, lane, client, server, client_next, server_next);
                         self.tcbs.get_mut(&key).expect("tcb present").detected = true;
                     }
                 }
@@ -721,13 +821,13 @@ impl GfwCore {
     /// so fault-free runs stay byte-identical. Per Ensafi et al., both the
     /// flap and the injection rate are drawn per volley: the same vantage
     /// point sees the censor react inconsistently over time.
-    fn chaos_volley_fires(&mut self, ctx: &mut Ctx<'_>) -> bool {
-        if ctx.rng.chance(self.cfg.chaos_device_flap_prob) {
+    fn chaos_volley_fires(&mut self, ctx: &mut Ctx<'_>, lane: &mut CensorLane) -> bool {
+        if lane_rng(&mut lane.rng, ctx).chance(self.cfg.chaos_device_flap_prob) {
             self.stats.device_flaps += 1;
             self.stats.injections_suppressed += 1;
             return false;
         }
-        if !ctx.rng.chance(self.cfg.chaos_rst_inject_prob) {
+        if !lane_rng(&mut lane.rng, ctx).chance(self.cfg.chaos_rst_inject_prob) {
             self.stats.injections_suppressed += 1;
             return false;
         }
@@ -735,7 +835,7 @@ impl GfwCore {
     }
 
     /// Blacklist duration with chaos jitter applied (inert at 0.0).
-    fn chaos_blacklist_duration(&mut self, ctx: &mut Ctx<'_>) -> Duration {
+    fn chaos_blacklist_duration(&mut self, ctx: &mut Ctx<'_>, lane: &mut CensorLane) -> Duration {
         let j = self.cfg.chaos_blacklist_jitter;
         if j <= 0.0 {
             return self.cfg.blacklist_duration;
@@ -743,35 +843,38 @@ impl GfwCore {
         let base = self.cfg.blacklist_duration.micros();
         let span = (base as f64 * j.min(1.0)) as u64;
         self.stats.blacklist_jitter_draws += 1;
-        Duration::from_micros(ctx.rng.range_u64(base.saturating_sub(span), base + span + 1))
+        Duration::from_micros(lane_rng(&mut lane.rng, ctx).range_u64(base.saturating_sub(span), base + span + 1))
     }
 
     /// The full §2.1 reset volley, both directions.
     fn inject_detection_resets(
         &mut self,
         ctx: &mut Ctx<'_>,
+        lane: &mut CensorLane,
         client: (Ipv4Addr, u16),
         server: (Ipv4Addr, u16),
         client_next: u32,
         server_next: u32,
     ) {
         let d = self.cfg.reaction_delay;
-        if self.cfg.type1 && self.chaos_volley_fires(ctx) {
+        if self.cfg.type1 && self.chaos_volley_fires(ctx, lane) {
             // One RST each way, spoofed from the opposite endpoint.
-            let to_client = self.injector.type1(ctx.rng, server, client, server_next);
-            let to_server = self.injector.type1(ctx.rng, client, server, client_next);
+            let CensorLane { rng, injector, .. } = &mut *lane;
+            let r = lane_rng(rng, ctx);
+            let to_client = injector.type1(r, server, client, server_next);
+            let to_server = injector.type1(r, client, server, client_next);
             ctx.send_delayed(Direction::ToClient, to_client, d);
             ctx.send_delayed(Direction::ToServer, to_server, d);
             self.stats.resets_injected += 2;
             self.stats.type1_resets_injected += 2;
         }
-        if self.cfg.type2 && self.chaos_volley_fires(ctx) {
-            for w in self.injector.type2(server, client, server_next, client_next) {
+        if self.cfg.type2 && self.chaos_volley_fires(ctx, lane) {
+            for w in lane.injector.type2(server, client, server_next, client_next) {
                 ctx.send_delayed(Direction::ToClient, w, d);
                 self.stats.resets_injected += 1;
                 self.stats.type2_resets_injected += 1;
             }
-            for w in self.injector.type2(client, server, client_next, server_next) {
+            for w in lane.injector.type2(client, server, client_next, server_next) {
                 ctx.send_delayed(Direction::ToServer, w, d);
                 self.stats.resets_injected += 1;
                 self.stats.type2_resets_injected += 1;
@@ -780,17 +883,28 @@ impl GfwCore {
     }
 
     /// Resets fired at arbitrary packets during the blacklist period.
-    fn inject_pair_resets(&mut self, ctx: &mut Ctx<'_>, dir: Direction, src: (Ipv4Addr, u16), dst: (Ipv4Addr, u16), seq: u32, ack: u32) {
+    /// `seq_ack` is the observed packet's `(seq, ack)` pair.
+    fn inject_pair_resets(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        lane: &mut CensorLane,
+        dir: Direction,
+        src: (Ipv4Addr, u16),
+        dst: (Ipv4Addr, u16),
+        seq_ack: (u32, u32),
+    ) {
+        let (seq, ack) = seq_ack;
         let d = self.cfg.reaction_delay;
-        if self.cfg.type1 && self.chaos_volley_fires(ctx) {
-            let w = self.injector.type1(ctx.rng, dst, src, ack);
+        if self.cfg.type1 && self.chaos_volley_fires(ctx, lane) {
+            let CensorLane { rng, injector, .. } = &mut *lane;
+            let w = injector.type1(lane_rng(rng, ctx), dst, src, ack);
             ctx.send_delayed(dir.reversed(), w, d);
             self.stats.resets_injected += 1;
             self.stats.type1_resets_injected += 1;
         }
-        if self.cfg.type2 && self.chaos_volley_fires(ctx) {
+        if self.cfg.type2 && self.chaos_volley_fires(ctx, lane) {
             // Reset the sender of the observed packet (spoofed from its peer).
-            for w in self.injector.type2(dst, src, ack, seq) {
+            for w in lane.injector.type2(dst, src, ack, seq) {
                 ctx.send_delayed(dir.reversed(), w, d);
                 self.stats.resets_injected += 1;
                 self.stats.type2_resets_injected += 1;

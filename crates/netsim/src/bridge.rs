@@ -1,0 +1,216 @@
+//! Cross-domain message channels for parallel event domains.
+//!
+//! When a world is decomposed into independent event domains (each its own
+//! [`crate::Simulation`] on its own worker thread), any packet that must
+//! cross from one domain to another travels through a [`DomainBridge`]: a
+//! pair of time-stamped mailboxes with a **conservative lookahead bound**.
+//! The bound is the minimum latency of the link the bridge models — a
+//! domain that has drained its inbox up to time `t` knows no peer can
+//! retroactively deliver anything at or before `t + lookahead`, so it may
+//! freely execute events up to that horizon without synchronizing
+//! (classic conservative parallel discrete-event simulation, à la
+//! Chandy–Misra null messages).
+//!
+//! The metropolis decomposition does not need bridges on its hot path —
+//! censor state is partitioned so shards never exchange packets, which
+//! makes every domain's safe horizon unbounded — but the bridge is the
+//! mechanism that keeps the decomposition honest the moment a topology
+//! *does* route traffic between domains (a shared upstream, cross-shard
+//! NAT rebinding, a future inter-city backbone).
+//!
+//! Determinism: each mailbox entry carries `(time, sender sequence)`, and
+//! [`Endpoint::drain_upto`] releases entries in exactly that order — the
+//! same `(time, insertion-seq)` discipline as the in-domain event queue —
+//! so the receiving domain's event stream is independent of *when* (in
+//! wall-clock terms) the sender pushed.
+
+use crate::time::Instant;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// One timestamped cross-domain message. Carries owned bytes rather than a
+/// [`intang_packet::Wire`]: wires are `Rc`-pooled per thread, so a packet
+/// crossing domains is copied out on send and re-wrapped into the receiving
+/// thread's pool on delivery.
+#[derive(Debug, Clone)]
+pub struct BridgeMsg {
+    /// Arrival time in the receiving domain (sender emission time plus the
+    /// bridge's latency — at least `lookahead`).
+    pub at: Instant,
+    /// Sender-side emission sequence, disambiguating same-time messages.
+    pub seq: u64,
+    pub bytes: Vec<u8>,
+}
+
+struct Lane {
+    inbox: Mutex<VecDeque<BridgeMsg>>,
+    /// Micros up to which the *sending* side has promised it will emit no
+    /// further messages (its clock plus the lookahead bound).
+    safe_until: AtomicU64,
+    seq: AtomicU64,
+}
+
+impl Lane {
+    fn new() -> Lane {
+        Lane {
+            inbox: Mutex::new(VecDeque::new()),
+            safe_until: AtomicU64::new(0),
+            seq: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A bidirectional bounded-lookahead channel between two event domains.
+pub struct DomainBridge {
+    /// Minimum cross-domain latency in microseconds; every `send` must
+    /// schedule its arrival at least this far past the sender's clock.
+    lookahead_us: u64,
+    /// Lane 0 carries domain-A→domain-B traffic, lane 1 the reverse.
+    lanes: [Lane; 2],
+}
+
+/// One side's handle on a [`DomainBridge`]: sends into its outbound lane,
+/// drains its inbound lane. Cloneable and `Send` — each domain's worker
+/// thread owns one.
+#[derive(Clone)]
+pub struct Endpoint {
+    bridge: Arc<DomainBridge>,
+    /// 0 = the A side (sends on lane 0, receives on lane 1).
+    side: usize,
+}
+
+impl DomainBridge {
+    /// Build a bridge with the given conservative lookahead (the minimum
+    /// latency of the modeled link) and return its two endpoints.
+    pub fn pair(lookahead_us: u64) -> (Endpoint, Endpoint) {
+        assert!(lookahead_us > 0, "a zero-lookahead bridge cannot run conservatively");
+        let bridge = Arc::new(DomainBridge {
+            lookahead_us,
+            lanes: [Lane::new(), Lane::new()],
+        });
+        (
+            Endpoint {
+                bridge: bridge.clone(),
+                side: 0,
+            },
+            Endpoint { bridge, side: 1 },
+        )
+    }
+}
+
+impl Endpoint {
+    /// Send a datagram, emitted at sender-clock `now`, to the peer domain.
+    /// The arrival time is `now + lookahead` (the bridge's full latency);
+    /// the message is ordered by `(arrival, send-seq)` on the peer's side.
+    pub fn send(&self, now: Instant, bytes: Vec<u8>) {
+        let lane = &self.bridge.lanes[self.side];
+        let at = Instant(now.0 + self.bridge.lookahead_us);
+        let seq = lane.seq.fetch_add(1, Ordering::Relaxed);
+        let mut inbox = lane.inbox.lock().expect("bridge inbox poisoned");
+        // Entries arrive in nondecreasing sender-clock order (the sender is
+        // a monotone event loop), so push_back keeps the queue sorted.
+        debug_assert!(inbox.back().is_none_or(|m| (m.at, m.seq) <= (at, seq)));
+        inbox.push_back(BridgeMsg { at, seq, bytes });
+    }
+
+    /// Publish the sender-side clock: after this call the peer may safely
+    /// execute events up to `now + lookahead`.
+    pub fn advance(&self, now: Instant) {
+        let lane = &self.bridge.lanes[self.side];
+        lane.safe_until.fetch_max(now.0 + self.bridge.lookahead_us, Ordering::Release);
+    }
+
+    /// The receiving side's safe execution horizon: no message can later
+    /// arrive at or before this time. The sender's clock starts at zero, so
+    /// the horizon is never below one lookahead.
+    pub fn safe_horizon(&self) -> Instant {
+        let published = self.bridge.lanes[1 - self.side].safe_until.load(Ordering::Acquire);
+        Instant(published.max(self.bridge.lookahead_us))
+    }
+
+    /// Drain every inbound message with `at <= upto`, in `(at, seq)` order.
+    /// Callers must keep `upto` within [`Endpoint::safe_horizon`] to stay
+    /// conservative.
+    pub fn drain_upto(&self, upto: Instant, out: &mut Vec<BridgeMsg>) {
+        let lane = &self.bridge.lanes[1 - self.side];
+        let mut inbox = lane.inbox.lock().expect("bridge inbox poisoned");
+        while inbox.front().is_some_and(|m| m.at <= upto) {
+            out.push(inbox.pop_front().expect("checked front"));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wire(n: u8) -> Vec<u8> {
+        vec![n]
+    }
+
+    #[test]
+    fn messages_arrive_after_the_lookahead_in_order() {
+        let (a, b) = DomainBridge::pair(1_000);
+        a.send(Instant(0), wire(1));
+        a.send(Instant(0), wire(2)); // same time: seq breaks the tie
+        a.send(Instant(500), wire(3));
+        let mut got = Vec::new();
+        b.drain_upto(Instant(999), &mut got);
+        assert!(got.is_empty(), "nothing is deliverable before the lookahead");
+        b.drain_upto(Instant(1_000), &mut got);
+        assert_eq!(got.len(), 2);
+        assert_eq!((&got[0].bytes[..], &got[1].bytes[..]), (&[1u8][..], &[2u8][..]));
+        b.drain_upto(Instant(1_500), &mut got);
+        assert_eq!(got.len(), 3);
+        assert_eq!(got[2].at, Instant(1_500));
+    }
+
+    #[test]
+    fn safe_horizon_tracks_the_peer_clock_plus_lookahead() {
+        let (a, b) = DomainBridge::pair(250);
+        assert_eq!(b.safe_horizon(), Instant(250), "initial horizon is one lookahead");
+        a.advance(Instant(4_000));
+        assert_eq!(b.safe_horizon(), Instant(4_250));
+        a.advance(Instant(3_000)); // clocks never run backwards
+        assert_eq!(b.safe_horizon(), Instant(4_250));
+        // The reverse direction is independent.
+        assert_eq!(a.safe_horizon(), Instant(250));
+        b.advance(Instant(10));
+        assert_eq!(a.safe_horizon(), Instant(260));
+    }
+
+    #[test]
+    fn bridge_is_deterministic_across_threads() {
+        // Two sender threads on opposite sides; each receiver drains only
+        // up to its safe horizon. Whatever the wall-clock interleaving, the
+        // delivered streams are fixed by (at, seq).
+        let (a, b) = DomainBridge::pair(100);
+        let a2 = a.clone();
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                for t in 0..50u64 {
+                    a2.send(Instant(t * 10), wire((t % 256) as u8));
+                    a2.advance(Instant(t * 10));
+                }
+                a2.advance(Instant(1_000_000));
+            });
+            s.spawn(move || {
+                let mut got = Vec::new();
+                loop {
+                    let h = b.safe_horizon();
+                    b.drain_upto(h, &mut got);
+                    if h >= Instant(1_000_000) {
+                        b.drain_upto(h, &mut got);
+                        break;
+                    }
+                    std::thread::yield_now();
+                }
+                assert_eq!(got.len(), 50);
+                assert!(got.windows(2).all(|w| (w[0].at, w[0].seq) < (w[1].at, w[1].seq)));
+                assert_eq!(got[0].at, Instant(100), "emission time plus lookahead");
+            });
+        });
+        let _ = a;
+    }
+}

@@ -105,6 +105,19 @@ impl SimRng {
     }
 }
 
+/// Derive the seed of an independent per-lane RNG stream from a base seed
+/// and a lane index (SplitMix64 finalizer over the pair). Sharded elements
+/// (the GFW's censor lanes, the shim's per-shard draw streams) use this so
+/// lane `i` produces the same stream no matter how lanes are grouped into
+/// event domains — the property the parallel metropolis' byte-identity
+/// rests on.
+pub fn lane_seed(base: u64, lane: u32) -> u64 {
+    let mut z = base ^ u64::from(lane).wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0x6c61_6e65_5f72_6e67; // "lane_rng"
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -148,6 +161,16 @@ mod tests {
             assert!(i < 7);
         }
         assert!(seen.iter().all(|&s| s), "all values of a small range appear");
+    }
+
+    #[test]
+    fn lane_seeds_are_distinct_and_stable() {
+        let a = lane_seed(7, 0);
+        let b = lane_seed(7, 1);
+        let c = lane_seed(8, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(lane_seed(7, 0), a, "pure function of (base, lane)");
     }
 
     #[test]

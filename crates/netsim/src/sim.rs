@@ -345,6 +345,23 @@ impl Simulation {
         self.series.take().map(|rec| Box::new(rec.sheet))
     }
 
+    /// Snapshot every element's gauges plus the queue-depth substrate
+    /// gauges at the current instant — the manual-sampling hook for
+    /// drivers that run several simulations on one shared cadence (the
+    /// parallel metropolis domains) and zip-sum the raw samples
+    /// themselves. The thread-relative pool gauges (`WireBuffers`,
+    /// `ArenaLeased`) are deliberately omitted: they measure a *thread's*
+    /// outstanding buffers and cannot be decomposed across domains.
+    pub fn sample_gauges_now(&self) -> GaugeSample {
+        let mut g = GaugeSample::default();
+        for e in &self.elements {
+            e.sample_gauges(&mut g);
+        }
+        g.add(GaugeId::EventQueueDepth, self.queue.len() as u64);
+        g.add(GaugeId::InflightPackets, self.queue.deliver_len() as u64);
+        g
+    }
+
     /// Render the flight-recorder ring (if one is attached), resolving
     /// element indices to their names.
     pub fn flight_dump(&self) -> Option<String> {
@@ -743,6 +760,15 @@ impl Simulation {
 
     pub fn pending_events(&self) -> usize {
         self.queue.len()
+    }
+
+    /// Pending `Deliver` events (packets in flight), the number the
+    /// internal series recorder reports as `InflightPackets`. Exposed so
+    /// external samplers — the parallel metropolis driver samples each
+    /// event domain between epoch chunks — can reproduce the built-in
+    /// recorder's substrate gauges exactly.
+    pub fn pending_deliveries(&self) -> usize {
+        self.queue.deliver_len()
     }
 
     /// Export the simulation's substrate counters plus every element's

@@ -118,6 +118,27 @@ impl std::fmt::Display for FourTuple {
     }
 }
 
+/// Direction-independent shard assignment for a host *pair*: both
+/// directions of every flow between `a` and `b` — whatever the ports —
+/// land in the same shard (SplitMix64 over the sorted address pair).
+///
+/// This is the partition key that makes censor state shardable: the GFW's
+/// blacklist is pair-keyed and its TCB interactions (eviction pressure,
+/// collateral resets, resync storms) only couple flows that share a
+/// `(client, server)` pair, so hashing addresses alone — never ports —
+/// keeps every cross-flow interaction inside one shard.
+pub fn pair_shard(a: Ipv4Addr, b: Ipv4Addr, shards: u32) -> u32 {
+    let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+    let mut x = (u64::from(u32::from(lo)) << 32) | u64::from(u32::from(hi));
+    x = x.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    (x % u64::from(shards.max(1))) as u32
+}
+
 /// Extract the four-tuple from a raw IPv4+TCP/UDP datagram, if present.
 pub fn four_tuple_of(wire: &[u8]) -> Option<FourTuple> {
     let ip = Ipv4Packet::new_checked(wire).ok()?;
@@ -228,5 +249,33 @@ pub fn summarize(wire: &[u8]) -> String {
             Err(_) => format!("{} > {} ICMP <malformed>", ip.src_addr(), ip.dst_addr()),
         },
         p => format!("{} > {} proto={:?}", ip.src_addr(), ip.dst_addr(), p),
+    }
+}
+
+#[cfg(test)]
+mod pair_shard_tests {
+    use super::*;
+
+    #[test]
+    fn pair_shard_is_direction_and_port_independent() {
+        let c = Ipv4Addr::new(10, 1, 0, 7);
+        let s = Ipv4Addr::new(203, 0, 113, 3);
+        let base = pair_shard(c, s, 8);
+        assert_eq!(pair_shard(s, c, 8), base, "both directions share a shard");
+        assert!(base < 8);
+        // Every flow between the pair co-locates regardless of ports: the
+        // function never sees them.
+        assert_eq!(pair_shard(c, s, 8), base);
+        assert_eq!(pair_shard(c, s, 1), 0);
+    }
+
+    #[test]
+    fn pair_shard_spreads_distinct_pairs() {
+        let site = Ipv4Addr::new(203, 0, 113, 1);
+        let mut seen = [false; 4];
+        for i in 0..64u8 {
+            seen[pair_shard(Ipv4Addr::new(10, 1, 0, i), site, 4) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "64 client addresses should touch all 4 shards");
     }
 }

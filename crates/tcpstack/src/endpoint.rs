@@ -34,14 +34,18 @@ pub struct TcpEndpoint {
     /// Every ignore-path hit, for tests and the differential analysis.
     pub ignore_log: IgnoreLog,
     pub stats: StackStats,
-    /// Grow-only: closed sockets are never reaped, and `poll_transmit_into`
-    /// / `on_timer` walk every socket ever created. Long-lived multiplexers
-    /// (e.g. `intang-apps`' metropolis elements) must therefore hold one
-    /// short-lived endpoint per flow/connection and drop it at retirement —
-    /// never funnel an unbounded flow population through one endpoint.
+    /// Socket table. Slots of sockets passed to [`TcpEndpoint::retire_socket`]
+    /// go on the free list and are reused by the next connect/accept, so a
+    /// long-lived endpoint that retires finished flows stays bounded by its
+    /// *concurrent* socket count (the table was historically grow-only,
+    /// which forced multiplexers into one-endpoint-per-flow workarounds).
     sockets: Vec<Socket>,
     /// Parallel to `sockets`: true when the socket was opened by `connect`.
     client_flags: Vec<bool>,
+    /// Parallel to `sockets`: slot retired, skipped by demux/poll/timers.
+    retired: Vec<bool>,
+    /// Indices of retired slots available for reuse.
+    free: Vec<usize>,
     listeners: Vec<u16>,
     /// Handles of server sockets that completed their handshake and have
     /// not yet been claimed by the application.
@@ -78,6 +82,8 @@ impl TcpEndpoint {
             stats: StackStats::default(),
             sockets: crate::pool::take_socket_table(),
             client_flags: Vec::new(),
+            retired: Vec::new(),
+            free: Vec::new(),
             listeners: Vec::new(),
             accepted: Vec::new(),
             out: crate::pool::take_wire_queue(),
@@ -118,11 +124,55 @@ impl TcpEndpoint {
         let tuple = FourTuple::new(self.addr, src_port, dst, dst_port);
         let iss = self.next_isn();
         let sock = Socket::connect(tuple, iss, self.profile, now);
-        self.sockets.push(sock);
-        self.client_flags.push(true);
-        let h = SocketHandle(self.sockets.len() - 1);
+        let h = self.install_socket(sock, true);
         self.drain_socket(h.0);
         h
+    }
+
+    /// Place a socket in a free (retired) slot if one exists, else append.
+    fn install_socket(&mut self, sock: Socket, client: bool) -> SocketHandle {
+        match self.free.pop() {
+            Some(idx) => {
+                self.sockets[idx] = sock;
+                self.client_flags[idx] = client;
+                self.retired[idx] = false;
+                SocketHandle(idx)
+            }
+            None => {
+                self.sockets.push(sock);
+                self.client_flags.push(client);
+                self.retired.push(false);
+                SocketHandle(self.sockets.len() - 1)
+            }
+        }
+    }
+
+    /// Retire one socket: it stops matching incoming segments, firing
+    /// timers or being polled, and its slot is recycled by a later
+    /// connect/accept. The handle must not be used again. Flows that end
+    /// (metropolis retirement, forwarder teardown) call this so an
+    /// endpoint's footprint tracks its concurrent — not lifetime — flow
+    /// count.
+    pub fn retire_socket(&mut self, h: SocketHandle) {
+        let idx = h.0;
+        if idx >= self.sockets.len() || self.retired[idx] {
+            return;
+        }
+        // Flush anything the socket had queued (e.g. its final FIN/ACK).
+        self.drain_socket(idx);
+        self.retired[idx] = true;
+        self.free.push(idx);
+    }
+
+    /// True when every live (non-retired) socket has reached a quiescent
+    /// state — CLOSED, or TIME_WAIT where the only remaining action is the
+    /// quietus timer. A multiplexer cell whose conversation is done can be
+    /// dropped at this point without losing any future transmission.
+    pub fn all_settled(&self) -> bool {
+        self.sockets
+            .iter()
+            .enumerate()
+            .all(|(i, s)| self.retired[i] || matches!(s.state(), TcpState::Closed | TcpState::TimeWait))
     }
 
     fn next_isn(&mut self) -> u32 {
@@ -202,7 +252,8 @@ impl TcpEndpoint {
         if let Some(idx) = self
             .sockets
             .iter()
-            .position(|s| s.tuple == tuple_local && s.state() != TcpState::Closed)
+            .enumerate()
+            .position(|(i, s)| !self.retired[i] && s.tuple == tuple_local && s.state() != TcpState::Closed)
         {
             let was_established = self.sockets[idx].is_established();
             self.sockets[idx].process(seg, now, &mut self.ignore_log);
@@ -219,10 +270,8 @@ impl TcpEndpoint {
             let iss = self.next_isn();
             let remote_ts = crate::socket::timestamps_of(seg).map(|(v, _)| v);
             let sock = Socket::accept(tuple_local, iss, seg.seq, remote_ts, self.profile, now);
-            self.sockets.push(sock);
-            let idx = self.sockets.len() - 1;
-            self.client_flags.push(false);
-            self.drain_socket(idx);
+            let h = self.install_socket(sock, false);
+            self.drain_socket(h.0);
             return;
         }
 
@@ -280,31 +329,42 @@ impl TcpEndpoint {
     /// Append all pending outgoing datagrams to `out` — the allocation-free
     /// variant for callers that keep a scratch vector across polls.
     pub fn poll_transmit_into(&mut self, out: &mut Vec<Wire>) {
-        // App-level sends land in socket.out; sweep them all.
+        // App-level sends land in socket.out; sweep all live sockets.
         for idx in 0..self.sockets.len() {
-            self.drain_socket(idx);
+            if !self.retired[idx] {
+                self.drain_socket(idx);
+            }
         }
         out.append(&mut self.out);
     }
 
-    /// Earliest timer deadline across sockets.
+    /// Earliest timer deadline across live sockets.
     pub fn next_deadline(&self) -> Option<Micros> {
-        self.sockets.iter().filter_map(Socket::next_deadline).min()
+        self.sockets
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !self.retired[*i])
+            .filter_map(|(_, s)| s.next_deadline())
+            .min()
     }
 
     /// Fire timers that are due.
     pub fn on_timer(&mut self, now: Micros) {
         for idx in 0..self.sockets.len() {
-            if self.sockets[idx].next_deadline().is_some_and(|d| d <= now) {
+            if !self.retired[idx] && self.sockets[idx].next_deadline().is_some_and(|d| d <= now) {
                 self.sockets[idx].on_timer(now);
                 self.drain_socket(idx);
             }
         }
     }
 
-    /// Number of live (non-closed) sockets.
+    /// Number of live (non-closed, non-retired) sockets.
     pub fn live_sockets(&self) -> usize {
-        self.sockets.iter().filter(|s| s.state() != TcpState::Closed).count()
+        self.sockets
+            .iter()
+            .enumerate()
+            .filter(|(i, s)| !self.retired[*i] && s.state() != TcpState::Closed)
+            .count()
     }
 
     /// Export this endpoint's counters into a telemetry sheet (called by
@@ -373,6 +433,44 @@ mod tests {
         // client (LAST_ACK side) fully closes.
         assert_eq!(server.socket(sh).state(), TcpState::TimeWait);
         assert!(client.socket(ch).is_closed());
+    }
+
+    #[test]
+    fn retired_socket_slot_is_reused_and_invisible() {
+        let mut client = TcpEndpoint::new(client_addr(), StackProfile::linux_4_4());
+        let mut server = TcpEndpoint::new(server_addr(), StackProfile::linux_4_4());
+        server.listen(80);
+        let ch = client.connect(server_addr(), 80, 0);
+        pump(&mut client, &mut server, 0);
+        assert!(client.socket(ch).is_established());
+        client.retire_socket(ch);
+        assert_eq!(client.live_sockets(), 0);
+        assert!(client.next_deadline().is_none(), "retired sockets fire no timers");
+        // A new connection reuses the retired slot rather than growing the
+        // table.
+        let ch2 = client.connect(server_addr(), 80, 1_000);
+        assert_eq!(ch2, ch, "slot recycled");
+        pump(&mut client, &mut server, 1_000);
+        assert!(client.socket(ch2).is_established());
+    }
+
+    #[test]
+    fn all_settled_after_full_close() {
+        let mut client = TcpEndpoint::new(client_addr(), StackProfile::linux_4_4());
+        let mut server = TcpEndpoint::new(server_addr(), StackProfile::linux_4_4());
+        server.listen(80);
+        let ch = client.connect(server_addr(), 80, 0);
+        pump(&mut client, &mut server, 0);
+        assert!(!server.all_settled(), "established connection is not settled");
+        let sh = server.take_accepted()[0];
+        server.socket(sh).send(b"hi", 1_000);
+        server.socket(sh).close(1_000);
+        pump(&mut client, &mut server, 1_000);
+        client.socket(ch).close(2_000);
+        pump(&mut client, &mut server, 2_000);
+        assert_eq!(server.socket(sh).state(), TcpState::TimeWait);
+        assert!(server.all_settled(), "TIME_WAIT counts as settled");
+        assert!(client.all_settled());
     }
 
     #[test]

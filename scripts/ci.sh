@@ -67,7 +67,15 @@ cargo run --release -p intang-experiments --bin fault_matrix -- --smoke >/dev/nu
 # must finish with zero simcheck violations, zero per-flow ordering
 # regressions, identical 1/2/8-worker shard aggregation, and peak RSS
 # under the ceiling (the binary reads VmHWM and exits non-zero past it).
-INTANG_SIMCHECK=1 INTANG_METRO_RSS_MB=512 \
+# Every --smoke also runs a parallel leg (multi-domain, 2 workers)
+# byte-compared against its serial reference.
+INTANG_SIMCHECK=1 INTANG_METRO_RSS_MB=128 \
     cargo run --release -p intang-experiments --bin metropolis -- --smoke
+# Parallel metropolis smoke at full width: 8 event domains on 8 worker
+# threads under the invariant checker; exits non-zero on any
+# serial/parallel divergence (outcome grid, counters, metrics) or an RSS
+# peak past the ceiling.
+INTANG_SIMCHECK=1 INTANG_METRO_RSS_MB=128 \
+    cargo run --release -p intang-experiments --bin metropolis -- --smoke --domains 8 --workers 8
 
 echo "ci: OK"

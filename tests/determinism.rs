@@ -229,37 +229,39 @@ fn scenario_generation_is_pure() {
 }
 
 #[test]
-fn metropolis_is_identical_across_shard_counts_workers_and_batching() {
-    // The metropolis tentpole matrix: one 5k-flow shared world, re-run at
-    // 1/2/8 shards (aggregated by as many workers) with batched event
-    // dispatch forced off AND on, byte-compared against the 1-shard
-    // serial, unbatched reference. Sharding partitions per-flow *state*
-    // and workers partition *aggregation*; neither may touch the event
-    // loop, so outcomes, counts, events, the merged metrics sheet, and
-    // the gauge series must all be bit-identical.
+fn metropolis_is_identical_across_workers_and_batching() {
+    // The serial metropolis matrix: one 5k-flow shared world at a fixed
+    // shard count, re-run with 1/2/8 aggregation workers and batched
+    // event dispatch forced off AND on, byte-compared against the serial
+    // unbatched reference. Workers partition *aggregation* and batching
+    // partitions *dispatch*; neither may touch outcomes, counts, events,
+    // the merged metrics sheet, or the gauge series. (The shard count
+    // itself is event-loop-visible — it defines the per-shard spawn and
+    // sweep chains — so it is pinned here; the cross-shard guarantee is
+    // the domain grid below.)
     use intang_experiments::metropolis::{run_metropolis_with_workers, MetroParams, MetroRun};
 
-    let run_grid_cell = |shards: u32, batching: bool, workers: usize| -> MetroRun {
+    let run_grid_cell = |batching: bool, workers: usize| -> MetroRun {
         let prev_batch = intang_netsim::batch::set_thread(Some(batching));
         let prev_series = intang_telemetry::series::set_thread(Some(true));
         let mut p = MetroParams::new(5_000, 77);
-        p.shards = shards;
+        p.shards = 8;
         let run = run_metropolis_with_workers(&p, workers);
         intang_telemetry::series::set_thread(prev_series);
         intang_netsim::batch::set_thread(prev_batch);
         run
     };
 
-    let reference = run_grid_cell(1, false, 1);
+    let reference = run_grid_cell(false, 1);
     let ref_grid: Vec<_> = reference.results.iter().map(|r| (r.outcome, r.latency_us)).collect();
     let (spawned, ..) = reference.counts;
     assert_eq!(spawned, 5_000);
     assert_eq!(reference.order_violations, 0);
 
     for batching in [false, true] {
-        for (shards, workers) in [(1u32, 1usize), (2, 2), (8, 8)] {
-            let run = run_grid_cell(shards, batching, workers);
-            let tag = format!("{shards} shards, {workers} workers, batching={batching}");
+        for workers in [1usize, 2, 8] {
+            let run = run_grid_cell(batching, workers);
+            let tag = format!("{workers} workers, batching={batching}");
             let grid: Vec<_> = run.results.iter().map(|r| (r.outcome, r.latency_us)).collect();
             assert_eq!(ref_grid, grid, "per-flow outcome grid differs at {tag}");
             assert_eq!(reference.counts, run.counts, "counts differ at {tag}");
@@ -273,6 +275,67 @@ fn metropolis_is_identical_across_shard_counts_workers_and_batching() {
             assert_eq!(run.shards.iter().map(|x| x.succeeded).sum::<u64>(), ok, "{tag}");
             assert_eq!(run.shards.iter().map(|x| x.reset).sum::<u64>(), rst, "{tag}");
             assert_eq!(run.shards.iter().map(|x| x.stalled).sum::<u64>(), stall, "{tag}");
+        }
+    }
+}
+
+#[test]
+fn metropolis_domains_are_identical_to_the_serial_reference() {
+    // The parallel-metropolis tentpole matrix: one 5k-flow world at 8
+    // state shards, split into 1/2/8 event domains on 1/2/8 work-stealing
+    // threads, with batching forced off AND on — every cell byte-compared
+    // against the domains=1 serial reference. The sharded censor/shim
+    // lanes make each shard's event stream causally closed, so grouping
+    // shards into domains must not move a single byte: outcome grid,
+    // counts, total events, merged metrics, and the zip-summed gauge
+    // series all identical.
+    use intang_experiments::metropolis::{run_metropolis_domains, MetroDomainsRun, MetroParams};
+
+    let run_grid_cell = |domains: u32, workers: usize, batching: bool| -> MetroDomainsRun {
+        let prev_batch = intang_netsim::batch::set_thread(Some(batching));
+        let prev_series = intang_telemetry::series::set_thread(Some(true));
+        let mut p = MetroParams::new(5_000, 77);
+        p.shards = 8;
+        let run = run_metropolis_domains(&p, domains, workers);
+        intang_telemetry::series::set_thread(prev_series);
+        intang_netsim::batch::set_thread(prev_batch);
+        run
+    };
+
+    let reference = run_grid_cell(1, 1, false);
+    let ref_grid: Vec<_> = reference.run.results.iter().map(|r| (r.outcome, r.latency_us)).collect();
+    assert_eq!(reference.run.counts.0, 5_000);
+    assert_eq!(reference.run.order_violations, 0);
+    assert!(reference.run.series.is_some(), "series telemetry must be on for the grid");
+
+    for batching in [false, true] {
+        for domains in [1u32, 2, 8] {
+            for workers in [1usize, 2, 8] {
+                let run = run_grid_cell(domains, workers, batching);
+                let tag = format!("{domains} domains, {workers} workers, batching={batching}");
+                let grid: Vec<_> = run.run.results.iter().map(|r| (r.outcome, r.latency_us)).collect();
+                assert_eq!(ref_grid, grid, "per-flow outcome grid differs at {tag}");
+                assert_eq!(reference.run.counts, run.run.counts, "counts differ at {tag}");
+                assert_eq!(reference.run.events, run.run.events, "events differ at {tag}");
+                assert_eq!(reference.run.metrics, run.run.metrics, "merged metrics differ at {tag}");
+                assert_eq!(reference.run.series, run.run.series, "gauge series differ at {tag}");
+                assert_eq!(reference.run.shards, run.run.shards, "shard summaries differ at {tag}");
+                assert_eq!(
+                    (
+                        reference.run.collateral_resets,
+                        reference.run.tcbs_evicted,
+                        reference.run.resync_storms
+                    ),
+                    (run.run.collateral_resets, run.run.tcbs_evicted, run.run.resync_storms),
+                    "censor counters differ at {tag}"
+                );
+                assert_eq!(run.run.order_violations, 0, "ordering regressions at {tag}");
+                assert_eq!(
+                    run.domain_stats.iter().map(|d| d.events).sum::<u64>(),
+                    run.run.events,
+                    "domain events must partition the total at {tag}"
+                );
+            }
         }
     }
 }

@@ -7,7 +7,9 @@
 
 use intang_apps::metro::{FlowOutcome, FlowSpec};
 use intang_core::StrategyKind;
-use intang_experiments::metropolis::{build_metropolis, MetroParams, MetroParts, MetroWorld};
+use intang_experiments::metropolis::{
+    build_metropolis, run_metropolis_domains_world, MetroDomainsRun, MetroParams, MetroParts, MetroWorld,
+};
 use intang_gfw::EvictionPolicy;
 use intang_netsim::{Duration, Instant};
 use std::net::Ipv4Addr;
@@ -34,6 +36,19 @@ fn world(clients: u32, sites: u32, flows: &[(u64, u32, u32, bool, u64)]) -> Metr
             .collect(),
         strategies: vec![StrategyKind::NoStrategy; flows.len()],
     }
+}
+
+/// The same world under the parallel loop: sharded censor/shim lanes,
+/// `domains` event domains on `workers` threads.
+fn run_domains(w: &MetroWorld, max_tcbs: usize, horizon: Instant, domains: u32, workers: usize) -> (Vec<FlowOutcome>, MetroDomainsRun) {
+    let mut p = MetroParams::new(w.specs.len() as u32, 42);
+    p.shards = 4;
+    p.max_tcbs = max_tcbs;
+    p.eviction = EvictionPolicy::Oldest;
+    p.horizon = horizon;
+    let run = run_metropolis_domains_world(&p, w, domains, workers);
+    let outcomes = run.run.results.iter().map(|r| r.outcome).collect();
+    (outcomes, run)
 }
 
 fn run(w: &MetroWorld, max_tcbs: usize, horizon: Instant) -> (Vec<FlowOutcome>, MetroParts) {
@@ -136,4 +151,83 @@ fn tcb_eviction_under_capacity_pressure_degrades_detection_exactly_as_configured
     assert_eq!(outcomes[0], FlowOutcome::Reset, "with its TCB intact the keyword flow is detected");
     assert_eq!(outcomes[1], FlowOutcome::Success);
     assert_eq!(outcomes[2], FlowOutcome::Success);
+}
+
+#[test]
+fn interference_expectations_hold_unchanged_under_the_parallel_loop() {
+    // The blacklist couples flows on the same (src, dst) pair — and
+    // `pair_shard` keys on exactly that pair, so the coupling is always
+    // intra-lane and the hand-computed expectations above carry over to
+    // the sharded-state parallel loop verbatim, at every domain count.
+    let w = world(
+        2,
+        1,
+        &[
+            (0, 0, 0, true, 0),           // keyword: detected, blacklists (client0, site0)
+            (100_000, 0, 0, false, 0),    // same pair: collateral reset
+            (100_000, 1, 0, false, 0),    // different client: untouched
+            (50_000_000, 0, 0, false, 0), // 50 s < 90 s: still blacklisted
+            (95_000_000, 0, 0, false, 0), // 95 s > 90.01 s: expired, succeeds
+        ],
+    );
+    let expected = vec![
+        FlowOutcome::Reset,
+        FlowOutcome::Reset,
+        FlowOutcome::Success,
+        FlowOutcome::Reset,
+        FlowOutcome::Success,
+    ];
+    for (domains, workers) in [(1u32, 1usize), (2, 2), (4, 4)] {
+        let (outcomes, run) = run_domains(&w, 65_536, Instant(120_000_000), domains, workers);
+        assert_eq!(
+            outcomes, expected,
+            "interference outcomes differ at {domains} domains, {workers} workers"
+        );
+        assert!(
+            run.run.collateral_resets > 0,
+            "collateral is attributed at {domains} domains (got 0)"
+        );
+        assert_eq!(run.run.order_violations, 0);
+    }
+}
+
+#[test]
+fn per_lane_eviction_quota_degrades_detection_identically_at_every_domain_count() {
+    // Sharded state partitions `max_tcbs` deterministically: 8 TCBs over
+    // 4 lanes is a quota of 2 per lane. All three flows share one
+    // (src, dst) pair, hence one lane: flow 0 handshakes first and holds
+    // its keyword for 200 ms; fillers 1 and 2 handshake at 20/22 ms, and
+    // the third SYN finds the lane at quota and evicts flow 0's TCB — the
+    // keyword goes unscanned. The arithmetic is per-lane, so the outcome
+    // is identical whether the lane's shard runs in 1, 2, or 4 domains.
+    let flows: &[(u64, u32, u32, bool, u64)] = &[
+        (0, 0, 0, true, 200_000),       // keyword, request delayed past the pressure
+        (20_000, 0, 0, false, 100_000), // filler: holds a lane TCB slot
+        (22_000, 0, 0, false, 100_000), // filler: its SYN forces the lane eviction
+    ];
+    let w = world(1, 1, flows);
+
+    for (domains, workers) in [(1u32, 1usize), (2, 2), (4, 4)] {
+        let (outcomes, run) = run_domains(&w, 8, Instant(5_000_000), domains, workers);
+        let tag = format!("{domains} domains, {workers} workers");
+        assert_eq!(run.run.tcbs_evicted, 1, "exactly one lane eviction at {tag}");
+        assert_eq!(
+            outcomes[0],
+            FlowOutcome::Success,
+            "evicted TCB means the keyword goes unscanned at {tag}"
+        );
+        assert_eq!(outcomes[1], FlowOutcome::Success, "{tag}");
+        assert_eq!(outcomes[2], FlowOutcome::Success, "{tag}");
+
+        // Control: ample per-lane quota, identical world — detection works.
+        let (outcomes, run) = run_domains(&w, 65_536, Instant(5_000_000), domains, workers);
+        assert_eq!(run.run.tcbs_evicted, 0, "no pressure, no evictions at {tag}");
+        assert_eq!(
+            outcomes[0],
+            FlowOutcome::Reset,
+            "with its TCB intact the keyword flow is detected at {tag}"
+        );
+        assert_eq!(outcomes[1], FlowOutcome::Success, "{tag}");
+        assert_eq!(outcomes[2], FlowOutcome::Success, "{tag}");
+    }
 }
