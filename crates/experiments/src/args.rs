@@ -1,7 +1,7 @@
 //! Minimal flag parsing shared by the experiment binaries.
 
 /// The usage text printed by `--help` and on parse errors.
-const USAGE: &str = "flags: --trials N        trials per cell (default: per-experiment)\n       --seed S          master seed (default 2017)\n       --quick           shrink the scenario for a fast smoke run\n       --smoke           alias for --quick\n       --telemetry PATH  write JSONL metrics + failure diagnoses to PATH\n                         (INTANG_TELEMETRY env is the fallback)\n       --progress        live sweep console on stderr\n                         (INTANG_PROGRESS=1 env is the fallback)\n       --profile-folded PATH\n                         enable the span profiler and write folded stacks\n                         to PATH (one 'a;b;c nanos' line per stack)";
+const USAGE: &str = "flags: --trials N        trials per cell (default: per-experiment)\n       --seed S          master seed (default 2017)\n       --quick           shrink the scenario for a fast smoke run\n       --smoke           alias for --quick\n       --telemetry PATH  write JSONL metrics + failure diagnoses to PATH\n                         (INTANG_TELEMETRY env is the fallback)\n       --progress        live sweep console on stderr\n                         (INTANG_PROGRESS=1 env is the fallback)\n       --profile-folded PATH\n                         enable the span profiler and write folded stacks\n                         to PATH (one 'a;b;c nanos' line per stack)\n       --censor-profile SPEC\n                         run every censor device from a profile: a builtin\n                         name (gfw_prior, gfw_evolved, turkmenistan), a\n                         path to a .toml profile, or a name under\n                         profiles/";
 
 /// Parsed common flags.
 #[derive(Debug, Clone)]
@@ -20,6 +20,9 @@ pub struct CommonArgs {
     /// Folded-stack output path (`--profile-folded PATH`); also enables
     /// span profiling for the run.
     pub profile_folded: Option<String>,
+    /// Censor profile spec (`--censor-profile SPEC`): a builtin name, a
+    /// path to a profile file, or a bare name resolved under `profiles/`.
+    pub censor_profile: Option<String>,
 }
 
 impl CommonArgs {
@@ -44,6 +47,7 @@ impl CommonArgs {
             telemetry: None,
             progress: false,
             profile_folded: None,
+            censor_profile: None,
         };
         let mut it = args.into_iter();
         while let Some(a) = it.next() {
@@ -68,6 +72,9 @@ impl CommonArgs {
                 "--progress" => out.progress = true,
                 "--profile-folded" => {
                     out.profile_folded = Some(it.next().ok_or_else(|| "--profile-folded needs a path".to_string())?);
+                }
+                "--censor-profile" => {
+                    out.censor_profile = Some(it.next().ok_or_else(|| "--censor-profile needs a name or path".to_string())?);
                 }
                 "--help" | "-h" => {
                     eprintln!("{USAGE}");
@@ -101,6 +108,38 @@ impl CommonArgs {
         let Some(path) = &self.profile_folded else { return };
         if let Err(e) = std::fs::write(path, profile.folded()) {
             eprintln!("warning: could not write folded profile to {path}: {e}");
+        }
+    }
+
+    /// Resolve `--censor-profile` into a compiled censor config. `None`
+    /// when the flag is absent; on an unresolvable or invalid profile,
+    /// print the error and exit with status 2 (the CLI no-panic contract).
+    pub fn censor_config(&self) -> Option<intang_gfw::GfwConfig> {
+        let spec = self.censor_profile.as_deref()?;
+        match intang_gfw::CensorProfile::resolve(spec).and_then(|p| p.compile()) {
+            Ok(cfg) => Some(cfg),
+            Err(msg) => {
+                eprintln!("error: --censor-profile {spec}: {msg}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Apply `--censor-profile` to a scenario: every censor device in
+    /// every site runs the compiled profile (with per-device heterogeneity
+    /// when the profile asks for it). A no-op without the flag; exits 2 on
+    /// an unresolvable or invalid profile.
+    pub fn apply_censor_profile(&self, scenario: crate::scenario::Scenario) -> crate::scenario::Scenario {
+        let Some(spec) = self.censor_profile.as_deref() else {
+            return scenario;
+        };
+        let applied = intang_gfw::CensorProfile::resolve(spec).and_then(|p| scenario.with_custom_censor(&p));
+        match applied {
+            Ok(s) => s,
+            Err(msg) => {
+                eprintln!("error: --censor-profile {spec}: {msg}");
+                std::process::exit(2);
+            }
         }
     }
 
@@ -149,6 +188,16 @@ mod tests {
         assert!(a.progress);
         assert_eq!(a.profile_folded.as_deref(), Some("prof.folded"));
         assert!(CommonArgs::parse_from(vec!["--profile-folded".into()]).is_err());
+    }
+
+    #[test]
+    fn censor_profile_flag_takes_a_spec() {
+        let a = CommonArgs::parse_from(vec!["--censor-profile".into(), "turkmenistan".into()]).unwrap();
+        assert_eq!(a.censor_profile.as_deref(), Some("turkmenistan"));
+        assert!(CommonArgs::parse_from(vec!["--censor-profile".into()]).is_err());
+        let a = CommonArgs::parse_from(Vec::new()).unwrap();
+        assert!(a.censor_profile.is_none());
+        assert!(a.censor_config().is_none(), "absent flag resolves to no override");
     }
 
     #[test]

@@ -1,0 +1,202 @@
+//! Censor-profile gate and generator.
+//!
+//! Default (check) mode — the CI gate:
+//!
+//! 1. every `profiles/*.toml` parses, round-trips through the canonical
+//!    serializer, and compiles to a valid censor config;
+//! 2. the checked-in files named after builtins (`gfw_prior`,
+//!    `gfw_evolved`, `turkmenistan`) are equal to the builtin
+//!    constructors — the files are the source of truth the docs point at,
+//!    so they must not drift from the code;
+//! 3. a quick paper sweep driven by the *file-loaded* `gfw_prior` +
+//!    `gfw_evolved` profiles is byte-compared — rows, events, merged
+//!    metrics, per-trial diagnoses — against the builtin-model sweep at
+//!    1, 2 and 8 workers;
+//! 4. a turkmenistan smoke scenario: the file-loaded profile must block
+//!    with spoofed 403 blockpages, never forge SYN/ACKs (no type-2
+//!    blacklist machinery), and produce an outcome grid distinct from
+//!    the GFW models'.
+//!
+//! `--write-builtins` regenerates the checked-in files from the builtin
+//! constructors via the canonical serializer. `--dir D` overrides the
+//! profile directory (default `profiles/`). Exit codes: 0 clean, 1 gate
+//! failure, 2 usage error.
+
+use intang_core::StrategyKind;
+use intang_experiments::args::CommonArgs;
+use intang_experiments::runner::{sweep_with_threads, SweepConfig};
+use intang_experiments::scenario::Scenario;
+use intang_gfw::CensorProfile;
+use intang_telemetry::Counter;
+use std::path::{Path, PathBuf};
+
+fn fail(msg: &str) -> ! {
+    eprintln!("censor_profiles: FAIL: {msg}");
+    std::process::exit(1);
+}
+
+fn write_builtins(dir: &Path) {
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("error: cannot create {}: {e}", dir.display());
+        std::process::exit(1);
+    }
+    for name in CensorProfile::BUILTIN_NAMES {
+        let profile = CensorProfile::builtin(name).expect("builtin names enumerate builtins");
+        let path = dir.join(format!("{name}.toml"));
+        if let Err(e) = std::fs::write(&path, profile.to_text()) {
+            eprintln!("error: cannot write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        println!("wrote {}", path.display());
+    }
+}
+
+/// Gate 1+2: parse, round-trip and compile every profile file; compare
+/// builtin-named files against the constructors.
+fn check_files(dir: &Path) {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) => fail(&format!(
+            "cannot read profile dir {} ({e}); run with --write-builtins first",
+            dir.display()
+        )),
+    };
+    let mut paths: Vec<PathBuf> = entries
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "toml"))
+        .collect();
+    paths.sort();
+    if paths.is_empty() {
+        fail(&format!("no .toml profiles in {}", dir.display()));
+    }
+    for path in &paths {
+        let profile = match CensorProfile::load(path) {
+            Ok(p) => p,
+            Err(e) => fail(&format!("{}: {e}", path.display())),
+        };
+        let reparsed = match CensorProfile::parse(&profile.to_text()) {
+            Ok(p) => p,
+            Err(e) => fail(&format!("{}: canonical text does not re-parse: {e}", path.display())),
+        };
+        if reparsed != profile {
+            fail(&format!("{}: profile does not round-trip the text format", path.display()));
+        }
+        if let Err(e) = profile.compile() {
+            fail(&format!("{}: does not compile: {e}", path.display()));
+        }
+        let stem = path.file_stem().and_then(|s| s.to_str()).unwrap_or_default();
+        if let Some(builtin) = CensorProfile::builtin(stem) {
+            if profile != builtin {
+                fail(&format!(
+                    "{}: drifted from the builtin `{stem}` model; regenerate with --write-builtins",
+                    path.display()
+                ));
+            }
+        }
+        println!("  ok: {}", path.display());
+    }
+}
+
+fn load_builtin_file(dir: &Path, name: &str) -> CensorProfile {
+    match CensorProfile::load(&dir.join(format!("{name}.toml"))) {
+        Ok(p) => p,
+        Err(e) => fail(&format!("{name}.toml: {e}")),
+    }
+}
+
+/// Gate 3: the file-driven GFW sweep is byte-identical to the builtin
+/// models at every worker count.
+fn check_gfw_sweep(dir: &Path, seed: u64) {
+    let prior = load_builtin_file(dir, "gfw_prior");
+    let evolved = load_builtin_file(dir, "gfw_evolved");
+    let builtin = Scenario::smoke(seed);
+    let from_files = match Scenario::smoke(seed).with_profiles(&prior, &evolved) {
+        Ok(s) => s,
+        Err(e) => fail(&format!("profile scenario: {e}")),
+    };
+    let cfg = SweepConfig::new(Some(StrategyKind::ImprovedTeardown), true, 3, seed);
+    let reference = sweep_with_threads(&builtin, &cfg, 1);
+    for workers in [1usize, 2, 8] {
+        let run = sweep_with_threads(&from_files, &cfg, workers);
+        if run.rows != reference.rows {
+            fail(&format!("profile sweep rows diverge from builtin at {workers} workers"));
+        }
+        if run.events != reference.events {
+            fail(&format!("profile sweep events diverge from builtin at {workers} workers"));
+        }
+        if run.metrics != reference.metrics {
+            fail(&format!("profile sweep metrics diverge from builtin at {workers} workers"));
+        }
+        if run.diagnoses != reference.diagnoses {
+            fail(&format!("profile sweep diagnoses diverge from builtin at {workers} workers"));
+        }
+        println!("  ok: gfw profile sweep byte-identical to builtin at {workers} workers");
+    }
+}
+
+/// Gate 4: the turkmenistan profile behaves like a different censor, not
+/// a re-skinned GFW.
+fn check_turkmenistan_smoke(dir: &Path, seed: u64) {
+    let tk = load_builtin_file(dir, "turkmenistan");
+    let scenario = match Scenario::smoke(seed).with_custom_censor(&tk) {
+        Ok(s) => s,
+        Err(e) => fail(&format!("turkmenistan scenario: {e}")),
+    };
+    // No evasion, keyword on: every trial provokes the censor.
+    let cfg = SweepConfig::new(Some(StrategyKind::NoStrategy), true, 3, seed);
+    let run = sweep_with_threads(&scenario, &cfg, 2);
+    let blockpages = run.metrics.counter(Counter::GfwBlockpagesInjected);
+    if blockpages == 0 {
+        fail("turkmenistan smoke injected no blockpages");
+    }
+    let synacks = run.metrics.counter(Counter::GfwForgedSynacks);
+    if synacks != 0 {
+        fail(&format!(
+            "turkmenistan must not forge SYN/ACKs (no type-2 blacklist), saw {synacks}"
+        ));
+    }
+    if run.metrics.counter(Counter::GfwProfileTurkmenistanDevices) == 0 {
+        fail("turkmenistan trials must be tagged with the profile device counter");
+    }
+    let gfw = sweep_with_threads(&Scenario::smoke(seed), &cfg, 2);
+    if run.rows == gfw.rows && run.metrics == gfw.metrics {
+        fail("turkmenistan smoke is indistinguishable from the builtin GFW");
+    }
+    println!("  ok: turkmenistan smoke — {blockpages} blockpages, 0 forged SYN/ACKs, grid distinct from GFW");
+}
+
+fn main() {
+    let mut dir = PathBuf::from("profiles");
+    let mut write = false;
+    let mut rest: Vec<String> = Vec::new();
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--write-builtins" => write = true,
+            "--dir" => {
+                dir = PathBuf::from(it.next().unwrap_or_else(|| {
+                    eprintln!("error: --dir needs a path");
+                    std::process::exit(2);
+                }));
+            }
+            _ => rest.push(a),
+        }
+    }
+    let args = match CommonArgs::parse_from(rest) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("censor_profiles flags: --write-builtins, --dir D, plus the common set (--seed/...)");
+            std::process::exit(2);
+        }
+    };
+    if write {
+        write_builtins(&dir);
+        return;
+    }
+    check_files(&dir);
+    check_gfw_sweep(&dir, args.seed);
+    check_turkmenistan_smoke(&dir, args.seed);
+    println!("censor_profiles: OK");
+}

@@ -27,13 +27,16 @@
 //! Extra flags beyond the common set: `--flows N` caps the sweep at `N`
 //! flows (adding `N` as a sweep point), `--shards N` overrides the shard
 //! count (default 8), `--domains N` the parallel domain count (default =
-//! shards), `--workers N` the max worker-thread count (default = cores).
+//! shards), `--workers N` the max worker-thread count (default = cores),
+//! `--middlebox` inserts a strict server-side sequence firewall one hop
+//! past the censor, and `--censor-profile SPEC` (common set) runs the
+//! censor from a compiled profile instead of the stock evolved model.
 
 use intang_experiments::args::CommonArgs;
 use intang_experiments::metropolis::{
     run_metropolis_domains, run_metropolis_with_workers, shard_latency_stats, MetroDomainsRun, MetroParams, MetroRun,
 };
-use intang_gfw::EvictionPolicy;
+use intang_gfw::{EvictionPolicy, GfwConfig};
 use intang_telemetry::GaugeId;
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -83,9 +86,26 @@ fn runs_identical(a: &MetroRun, b: &MetroRun) -> bool {
         && a.series == b.series
 }
 
-fn measure_domains(flows: u32, seed: u64, shards: u32, domains: u32, workers: usize, reference: Option<&MetroRun>) -> ParallelMeasurement {
+/// Non-sweep knobs shared by every run of one invocation.
+#[derive(Clone, Default)]
+struct WorldKnobs {
+    censor: Option<GfwConfig>,
+    middlebox: bool,
+}
+
+fn measure_domains(
+    flows: u32,
+    seed: u64,
+    shards: u32,
+    knobs: &WorldKnobs,
+    domains: u32,
+    workers: usize,
+    reference: Option<&MetroRun>,
+) -> ParallelMeasurement {
     let mut p = MetroParams::new(flows, seed);
     p.shards = shards;
+    p.censor = knobs.censor.clone();
+    p.middlebox = knobs.middlebox;
     let start = Instant::now();
     let run = run_metropolis_domains(&p, domains, workers);
     let wall_s = start.elapsed().as_secs_f64();
@@ -99,9 +119,11 @@ fn measure_domains(flows: u32, seed: u64, shards: u32, domains: u32, workers: us
     }
 }
 
-fn measure(flows: u32, seed: u64, shards: u32) -> Measurement {
+fn measure(flows: u32, seed: u64, shards: u32, knobs: &WorldKnobs) -> Measurement {
     let mut p = MetroParams::new(flows, seed);
     p.shards = shards;
+    p.censor = knobs.censor.clone();
+    p.middlebox = knobs.middlebox;
     let start = Instant::now();
     let run = run_metropolis_with_workers(&p, 1);
     let wall_s = start.elapsed().as_secs_f64();
@@ -125,9 +147,9 @@ fn measure(flows: u32, seed: u64, shards: u32) -> Measurement {
 /// `domains = 1` reference; fails on any invariant violation, ordering
 /// regression, aggregation divergence, serial/parallel divergence, or
 /// (when `INTANG_METRO_RSS_MB` is set) peak RSS above the ceiling.
-fn smoke_gate(seed: u64, shards: u32, domains: u32, workers: usize) -> ! {
+fn smoke_gate(seed: u64, shards: u32, knobs: &WorldKnobs, domains: u32, workers: usize) -> ! {
     intang_simcheck::set_thread(Some(true));
-    let m = measure(1_000, seed, shards);
+    let m = measure(1_000, seed, shards, knobs);
     let (spawned, succeeded, reset, stalled) = m.run.counts;
     eprintln!(
         "metropolis --smoke: {spawned} flows in {:.2}s ({succeeded} ok / {reset} reset / {stalled} stalled), \
@@ -160,8 +182,8 @@ fn smoke_gate(seed: u64, shards: u32, domains: u32, workers: usize) -> ! {
     }
     // Parallel leg: the same world as event domains, still under
     // simcheck, byte-compared against its own serial reference.
-    let reference = measure_domains(1_000, seed, shards, 1, 1, None);
-    let par = measure_domains(1_000, seed, shards, domains, workers, Some(&reference.run.run));
+    let reference = measure_domains(1_000, seed, shards, knobs, 1, 1, None);
+    let par = measure_domains(1_000, seed, shards, knobs, domains, workers, Some(&reference.run.run));
     eprintln!(
         "metropolis --smoke (parallel): {} domains x {} workers in {:.2}s, {} events, identical={}, {} simcheck violation(s)",
         par.domains,
@@ -217,6 +239,7 @@ fn main() {
     let mut shards: u32 = 8;
     let mut domains: Option<u32> = None;
     let mut max_workers: Option<usize> = None;
+    let mut middlebox = false;
     let mut smoke = false;
     let mut rest: Vec<String> = Vec::new();
     let mut it = std::env::args().skip(1);
@@ -233,6 +256,7 @@ fn main() {
             "--shards" => shards = numeric("--shards", it.next()) as u32,
             "--domains" => domains = Some(numeric("--domains", it.next()) as u32),
             "--workers" => max_workers = Some(numeric("--workers", it.next()) as usize),
+            "--middlebox" => middlebox = true,
             _ => {
                 smoke |= a == "--smoke";
                 rest.push(a);
@@ -244,15 +268,20 @@ fn main() {
         Err(msg) => {
             eprintln!("error: {msg}");
             eprintln!(
-                "metropolis flags: --flows N, --shards N, --domains N, --workers N, plus the common set (--quick/--smoke/--seed/...)"
+                "metropolis flags: --flows N, --shards N, --domains N, --workers N, --middlebox, \
+                 plus the common set (--quick/--smoke/--seed/--censor-profile/...)"
             );
             std::process::exit(2);
         }
     };
+    let knobs = WorldKnobs {
+        censor: args.censor_config(),
+        middlebox,
+    };
     let domains = domains.unwrap_or(shards).clamp(1, shards.max(1));
     let max_workers = max_workers.unwrap_or_else(cores).clamp(1, domains as usize);
     if smoke {
-        smoke_gate(args.seed, shards, domains, max_workers.max(2).min(domains as usize));
+        smoke_gate(args.seed, shards, &knobs, domains, max_workers.max(2).min(domains as usize));
     }
 
     let mut sweep: Vec<u32> = if args.quick { vec![1_000] } else { vec![1_000, 10_000, 100_000] };
@@ -264,7 +293,7 @@ fn main() {
 
     let mut measurements = Vec::new();
     for &flows in &sweep {
-        let m = measure(flows, args.seed, shards);
+        let m = measure(flows, args.seed, shards, &knobs);
         let (spawned, succeeded, reset, stalled) = m.run.counts;
         eprintln!(
             "  {flows:>8} flows: {:8.2}s  {:>9.0} flows/s  {:>11.0} events/s  \
@@ -286,7 +315,7 @@ fn main() {
     // series enabled, strictly after the timed loop so sampling cost never
     // touches the throughput numbers.
     let prev = intang_telemetry::series::set_thread(Some(true));
-    let instrumented = measure(sweep[0], args.seed, shards);
+    let instrumented = measure(sweep[0], args.seed, shards, &knobs);
     intang_telemetry::series::set_thread(prev);
     let series = instrumented.run.series.as_deref();
 
@@ -302,7 +331,7 @@ fn main() {
         );
     }
     eprintln!("metropolis: parallel domains at {par_flows} flows, {domains} domains, up to {max_workers} workers ({ncores} cores)");
-    let par_reference = measure_domains(par_flows, args.seed, shards, 1, 1, None);
+    let par_reference = measure_domains(par_flows, args.seed, shards, &knobs, 1, 1, None);
     eprintln!(
         "  reference   1 domain  x 1w: {:8.2}s  {:>11.0} events/s",
         par_reference.wall_s,
@@ -316,7 +345,7 @@ fn main() {
     worker_axis.retain(|&w| w <= domains as usize);
     let mut parallel = Vec::new();
     for &w in &worker_axis {
-        let m = measure_domains(par_flows, args.seed, shards, domains, w, Some(&par_reference.run.run));
+        let m = measure_domains(par_flows, args.seed, shards, &knobs, domains, w, Some(&par_reference.run.run));
         eprintln!(
             "  {:>3} domains x {}w: {:8.2}s  {:>11.0} events/s  speedup={:.2}x  identical={}  steals={}/{} failed",
             m.domains,
@@ -336,7 +365,7 @@ fn main() {
     // the 10k -> 100k flows/s collapse to the server-cell TTL backlog.
     if args.profile_folded.is_some() {
         let prev = intang_telemetry::spans::set_thread(Some(true));
-        let _ = measure(par_flows, args.seed, shards);
+        let _ = measure(par_flows, args.seed, shards, &knobs);
         let profile = intang_telemetry::spans::take_thread();
         intang_telemetry::spans::set_thread(prev);
         args.write_profile_folded(&profile);
@@ -352,9 +381,11 @@ fn main() {
     let _ = writeln!(json, "  \"flows_sweep\": [{}],", flows_list.join(", "));
     let _ = writeln!(
         json,
-        "  \"censor\": {{\"max_tcbs\": {}, \"eviction\": \"{:?}\"}},",
+        "  \"censor\": {{\"max_tcbs\": {}, \"eviction\": \"{:?}\", \"profile\": \"{}\", \"middlebox\": {}}},",
         MetroParams::new(1, 0).max_tcbs,
         EvictionPolicy::Oldest,
+        args.censor_profile.as_deref().unwrap_or("builtin-evolved"),
+        middlebox,
     );
     json.push_str("  \"runs\": [\n");
     for (i, m) in measurements.iter().enumerate() {

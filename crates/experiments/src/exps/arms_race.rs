@@ -10,9 +10,10 @@
 
 use crate::args::CommonArgs;
 use crate::report::{pct, Table};
-use crate::scenario::{CensorHardening, Scenario};
+use crate::scenario::{CensorHardening, CensorModel, Scenario};
 use crate::trial::{run_http_trial, Outcome, TrialSpec};
 use intang_core::{Discrepancy, StrategyKind};
+use intang_gfw::CensorProfile;
 
 fn regimes() -> Vec<(&'static str, CensorHardening)> {
     vec![
@@ -97,6 +98,31 @@ pub fn run(args: &CommonArgs) -> String {
         }
         t.row(row);
     }
+    // Profile-compiled censors ride the same strategy grid: the evolved
+    // profile must behave like the builtin evolved device, and the
+    // turkmenistan profile (type-1 + blockpage, no resync machinery) is a
+    // strictly weaker adversary for the TTL-scoped family.
+    for (regime_name, profile) in [
+        ("gfw_evolved profile, no validation", CensorProfile::gfw_evolved()),
+        ("turkmenistan profile, no validation", CensorProfile::turkmenistan()),
+    ] {
+        let cfg = profile.compile().expect("builtin profiles compile");
+        let mut row = vec![regime_name.to_string()];
+        let mut hsite = site.clone();
+        hsite.censor = CensorModel::Custom(cfg);
+        for (_, kind) in strategies() {
+            let mut ok = 0;
+            for tr in 0..trials {
+                let mut spec = TrialSpec::new(vp, &hsite, Some(kind), true, args.seed ^ 0xace ^ u64::from(tr));
+                spec.route_change_prob = 0.0;
+                if run_http_trial(&spec).outcome == Outcome::Success {
+                    ok += 1;
+                }
+            }
+            row.push(pct(f64::from(ok) / f64::from(trials)));
+        }
+        t.row(row);
+    }
     let mut out = t.render();
     out.push_str(
         "\nField-validation countermeasures kill exactly the strategy built on\n\
@@ -136,6 +162,16 @@ mod tests {
         assert!(
             all[2] >= 75.0 && all[3] >= 75.0 && all[4] >= 75.0,
             "TTL-scoped family survives everything: {all:?}"
+        );
+        // The profile-compiled rows run the same machinery: the evolved
+        // profile keeps the full strategy grid alive, and turkmenistan —
+        // no resync, no type-2 volley — cannot beat the TTL family either.
+        let profile = line("gfw_evolved profile");
+        assert!(profile.iter().all(|r| *r >= 75.0), "evolved profile matches builtin: {profile:?}");
+        let tk = line("turkmenistan profile");
+        assert!(
+            tk[2] >= 75.0 && tk[3] >= 75.0 && tk[4] >= 75.0,
+            "TTL-scoped family beats the blockpage censor: {tk:?}"
         );
     }
 }

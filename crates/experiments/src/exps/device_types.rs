@@ -22,11 +22,9 @@ const CLIENT: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
 const SERVER: Ipv4Addr = Ipv4Addr::new(203, 0, 113, 9);
 
 /// Drive a whole vs split keyword request past a deployment mix; returns
-/// (detected, type1 resets, type2 resets) observed at the client edge.
-fn probe(type1: bool, type2: bool, split: bool, seed: u64) -> (bool, usize, usize) {
-    let mut cfg = GfwConfig::evolved().deterministic();
-    cfg.type1 = type1;
-    cfg.type2 = type2;
+/// (detected, type1 resets, type2 resets, blockpages) observed at the
+/// client edge.
+fn probe(cfg: GfwConfig, split: bool, seed: u64) -> (bool, usize, usize, usize) {
     let mut sim = Simulation::new(seed);
     let (tap, tap_handle) = crate::tap::RecorderTap::new("client-edge");
     sim.add_element(Box::new(tap));
@@ -88,6 +86,7 @@ fn probe(type1: bool, type2: bool, split: bool, seed: u64) -> (bool, usize, usiz
 
     let mut t1 = 0;
     let mut t2 = 0;
+    let mut blockpages = 0;
     for c in tap_handle.captures() {
         if c.dir != Direction::ToClient {
             continue;
@@ -98,8 +97,26 @@ fn probe(type1: bool, type2: bool, split: bool, seed: u64) -> (bool, usize, usiz
                 intang_core::measure::ResetSignature::Type2RstAck => t2 += 1,
             }
         }
+        if let Some(h) = c.wire.headers() {
+            if h.tcp().is_some() {
+                let l4 = &c.wire[usize::from(h.ip_payload_start)..usize::from(h.ip_payload_end)];
+                let tcp = intang_packet::TcpPacket::new_unchecked(l4);
+                if tcp.payload().starts_with(b"HTTP/1.1 403") {
+                    blockpages += 1;
+                }
+            }
+        }
     }
-    (gfw.detected_any(), t1, t2)
+    (gfw.detected_any(), t1, t2, blockpages)
+}
+
+/// The evolved model with one device generation switched off, as the
+/// builtin rows have always run it.
+fn mix(type1: bool, type2: bool) -> GfwConfig {
+    let mut cfg = GfwConfig::evolved().deterministic();
+    cfg.type1 = type1;
+    cfg.type2 = type2;
+    cfg
 }
 
 pub fn run(args: &CommonArgs) -> String {
@@ -111,25 +128,38 @@ pub fn run(args: &CommonArgs) -> String {
             "Split request",
             "type-1 RSTs (split)",
             "type-2 RST/ACKs (split)",
+            "blockpages (whole)",
         ],
     );
-    for (label, type1, type2) in [
-        ("type-1 only (CERNET days)", true, false),
-        ("type-2 only", false, true),
-        ("both co-deployed (normal)", true, true),
-    ] {
-        let (whole, _, _) = probe(type1, type2, false, args.seed);
-        let (split, st1, st2) = probe(type1, type2, true, args.seed ^ 1);
+    let rows: Vec<(&str, GfwConfig)> = vec![
+        ("type-1 only (CERNET days)", mix(true, false)),
+        ("type-2 only", mix(false, true)),
+        ("both co-deployed (normal)", mix(true, true)),
+        // Data-driven contrast row: the Turkmenistan profile (Nourin et
+        // al.) is a type-1-only deployment that additionally answers the
+        // forbidden request with a spoofed 403 blockpage.
+        (
+            "turkmenistan profile",
+            intang_gfw::CensorProfile::turkmenistan()
+                .compile()
+                .expect("builtin profile compiles")
+                .deterministic(),
+        ),
+    ];
+    for (label, cfg) in rows {
+        let (whole, _, _, bp) = probe(cfg.clone(), false, args.seed);
+        let (split, st1, st2, _) = probe(cfg, true, args.seed ^ 1);
         t.row(vec![
             label.to_string(),
             if whole { "DETECTED".into() } else { "evaded".into() },
             if split { "DETECTED".into() } else { "evaded".into() },
             st1.to_string(),
             st2.to_string(),
+            bp.to_string(),
         ]);
     }
     let mut out = t.render();
-    out.push_str("\nSplitting the request blinds the per-packet type-1 scanner; only\ntype-2 reassembly catches it — hence the paper's observation that\nsplit requests draw exclusively type-2 resets.\n");
+    out.push_str("\nSplitting the request blinds the per-packet type-1 scanner; only\ntype-2 reassembly catches it — hence the paper's observation that\nsplit requests draw exclusively type-2 resets. The turkmenistan\nprofile row shows a different censor compiled onto the same machinery:\ntype-1 resets plus an in-band spoofed 403 blockpage.\n");
     out
 }
 
@@ -163,5 +193,22 @@ mod tests {
         let both = line("both co-deployed");
         assert!(both.contains("DETECTED"));
         assert!(type1_blind_to_split());
+    }
+
+    #[test]
+    fn turkmenistan_profile_blocks_with_a_blockpage() {
+        let out = run(&CommonArgs::parse_from(Vec::new()).unwrap());
+        let row = out
+            .lines()
+            .find(|l| l.starts_with("turkmenistan profile"))
+            .unwrap_or_else(|| panic!("turkmenistan row missing:\n{out}"));
+        assert!(row.contains("DETECTED"), "whole request is caught: {row}");
+        assert_eq!(row.matches("evaded").count(), 1, "split evades the type-1-only scanner: {row}");
+        let cells: Vec<&str> = row.split_whitespace().collect();
+        let blockpages: usize = cells.last().unwrap().parse().unwrap();
+        assert!(blockpages >= 1, "the spoofed 403 must land at the client edge: {row}");
+        // No type-2 volley exists in this deployment.
+        let builtin_rows = out.lines().filter(|l| l.starts_with("type-2")).count();
+        assert!(builtin_rows > 0, "builtin rows still present");
     }
 }

@@ -103,11 +103,11 @@ pub fn rows() -> Vec<(&'static str, StrategyKind, [f64; 3], [f64; 2])> {
 }
 
 pub fn run(args: &CommonArgs) -> String {
-    let scenario = if args.quick {
+    let scenario = args.apply_censor_profile(if args.quick {
         Scenario::smoke(args.seed)
     } else {
         Scenario::paper_inside(args.seed)
-    };
+    });
     let trials = args.trials_or(8);
     let mut t = Table::new(
         &format!(

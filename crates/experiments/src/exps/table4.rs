@@ -117,17 +117,18 @@ pub fn run(args: &CommonArgs) -> String {
         args,
         profile: &mut profile,
     };
-    let inside = if args.quick {
+    let inside = args.apply_censor_profile(if args.quick {
         Scenario::smoke(args.seed)
     } else {
         Scenario::paper_inside(args.seed)
-    };
+    });
     render_block(&mut out, &mut ctx, "Table 4 (inside China)", &inside, trials, args.seed, false);
     let mut outside = Scenario::paper_outside(args.seed);
     if args.quick {
         outside.vantage_points.truncate(2);
         outside.websites.truncate(5);
     }
+    outside = args.apply_censor_profile(outside);
     render_block(
         &mut out,
         &mut ctx,

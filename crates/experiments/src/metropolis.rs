@@ -20,8 +20,10 @@ use crate::runner::MinMaxAvg;
 use intang_apps::metro::{FlowOutcome, FlowResult, FlowSpec, MetroClients, MetroHandle, MetroServers};
 use intang_core::{IntangConfig, IntangElement, IntangHandle, StrategyKind};
 use intang_gfw::{EvictionPolicy, GfwConfig, GfwElement, GfwHandle};
+use intang_middlebox::SeqStrictFirewall;
 use intang_netsim::rng::SimRng;
 use intang_netsim::{Duration, Instant, Link, Simulation};
+use intang_telemetry::{classify, FailureVector, TrialEvidence, TrialOutcome};
 use intang_telemetry::{MetricsSheet, SeriesSheet};
 use std::net::Ipv4Addr;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -57,6 +59,16 @@ pub struct MetroParams {
     pub max_request_delay_us: u64,
     /// Event horizon: spawn window plus drain time.
     pub horizon: Instant,
+    /// Censor configuration override (e.g. compiled from a
+    /// [`intang_gfw::CensorProfile`]); `None` runs the stock evolved GFW.
+    /// `max_tcbs`/`eviction`/sharding above still apply on top.
+    pub censor: Option<GfwConfig>,
+    /// Insert a strict sequence-checking firewall (§3.4 / §7.1) on the
+    /// server side of the censor. The 2 ms / 3-hop server link is split
+    /// into 1 ms / 1 hop → seqfw → 1 ms / 2 hops, so total path latency
+    /// and hop count are unchanged and TTL-scoped insertions still cross
+    /// the middlebox but die before the servers.
+    pub middlebox: bool,
 }
 
 impl MetroParams {
@@ -81,6 +93,8 @@ impl MetroParams {
             keyword_prob: 0.5,
             max_request_delay_us: 50_000,
             horizon: Instant(spawn_window + 25_000_000),
+            censor: None,
+            middlebox: false,
         }
     }
 }
@@ -343,7 +357,7 @@ fn build_metropolis_inner(p: &MetroParams, world: &MetroWorld, domains: u32, dom
 
     // [2] the censor tap at the border (2 hops out).
     sim.add_link(Link::new(Duration::from_millis(1), 2).with_router_base(Ipv4Addr::new(172, 16, 2, 0)));
-    let mut gcfg = GfwConfig::evolved();
+    let mut gcfg = p.censor.clone().unwrap_or_else(GfwConfig::evolved);
     gcfg.max_tcbs = p.max_tcbs;
     gcfg.eviction = p.eviction;
     if sharded_state {
@@ -353,10 +367,25 @@ fn build_metropolis_inner(p: &MetroParams, world: &MetroWorld, domains: u32, dom
     let (gfw_el, gfw) = GfwElement::labeled(gcfg, "GFW");
     sim.add_element(Box::new(gfw_el));
 
-    // [3] every origin site (3 more hops; TTL-scoped insertions with the
-    // seeded PATH_HOPS estimate die on this link).
-    sim.add_link(Link::new(Duration::from_millis(2), 3).with_router_base(Ipv4Addr::new(172, 16, 3, 0)));
-    sim.add_element(Box::new(MetroServers::new(world.sites.clone())));
+    if p.middlebox {
+        // [3] a strict server-side sequence firewall one hop past the
+        // censor, then [4] the origin sites two hops further. The stock
+        // 2 ms / 3-hop server link is split 1+2 around the box, so path
+        // latency and PATH_HOPS are identical to the middlebox-free
+        // topology — TTL-scoped insertions cross the seqfw (poisoning
+        // its expected-sequence tracking) and still die before the
+        // servers. Seqfw state is per-four-tuple, so the domain split
+        // partitions it exactly like every other sharded element.
+        sim.add_link(Link::new(Duration::from_millis(1), 1).with_router_base(Ipv4Addr::new(172, 16, 3, 0)));
+        sim.add_element(Box::new(SeqStrictFirewall::new("metro-seqfw")));
+        sim.add_link(Link::new(Duration::from_millis(1), 2).with_router_base(Ipv4Addr::new(172, 16, 4, 0)));
+        sim.add_element(Box::new(MetroServers::new(world.sites.clone())));
+    } else {
+        // [3] every origin site (3 more hops; TTL-scoped insertions with
+        // the seeded PATH_HOPS estimate die on this link).
+        sim.add_link(Link::new(Duration::from_millis(2), 3).with_router_base(Ipv4Addr::new(172, 16, 3, 0)));
+        sim.add_element(Box::new(MetroServers::new(world.sites.clone())));
+    }
 
     (sim, MetroParts { metro, intang, gfw })
 }
@@ -375,6 +404,9 @@ pub fn run_metropolis_with_workers(p: &MetroParams, workers: usize) -> MetroRun 
 
     let mut metrics = MetricsSheet::new();
     sim.export_metrics(&mut metrics);
+    // One logical censor device per run: tag it at the run level (never
+    // per element — a domain split would multiply the constant).
+    metrics.inc(parts.gfw.profile_tag().device_counter());
     let series = sim.take_series();
     let violations = if sc { intang_simcheck::take_violations().len() as u64 } else { 0 };
 
@@ -399,6 +431,22 @@ pub fn run_metropolis_with_workers(p: &MetroParams, workers: usize) -> MetroRun 
 /// Serial-aggregation convenience wrapper.
 pub fn run_metropolis(p: &MetroParams) -> MetroRun {
     run_metropolis_with_workers(p, 1)
+}
+
+/// §5 diagnosis over a metropolis run: how many stalled flows the failure
+/// classifier attributes to middlebox interference, given the run's merged
+/// evidence. Zero whenever nothing stalled or the merged sheet carries no
+/// middlebox-drop evidence (e.g. [`MetroParams::middlebox`] off).
+pub fn middlebox_interference_diagnoses(run: &MetroRun) -> u64 {
+    let stalled = run.counts.3;
+    if stalled == 0 {
+        return 0;
+    }
+    let ev = TrialEvidence::from_sheet(&run.metrics);
+    match classify(TrialOutcome::SilentFailure, &ev) {
+        Some(FailureVector::MiddleboxInterference) => stalled,
+        _ => 0,
+    }
 }
 
 /// One domain's executor diagnostics (wall-clock fields vary run to run;
@@ -623,6 +671,11 @@ pub fn run_metropolis_domains_world(p: &MetroParams, world: &MetroWorld, domains
         violations += o.violations;
         metrics.merge(&o.metrics);
     }
+    // The N domain elements are one logical censor device: tag the merged
+    // sheet exactly once, so any (domains, workers) split reports the same
+    // profile census as the serial reference.
+    let tag = p.censor.as_ref().map(|c| c.profile_tag).unwrap_or(intang_gfw::ProfileTag::Evolved);
+    metrics.inc(tag.device_counter());
     let series = series_wanted.then(|| {
         // Zip-sum the raw per-tick samples across domains: gauge values
         // are extensive (table sizes, queue depths, live counts), so the
@@ -750,6 +803,58 @@ mod tests {
                 "domain events must partition the total at {tag}"
             );
         }
+    }
+
+    #[test]
+    fn middlebox_hop_interferes_at_scale_and_stays_deterministic() {
+        use intang_telemetry::Counter;
+        // 1k flows through the seqfw hop: insertion-based strategies leave
+        // junk in the box's sequence tracking, real requests then look
+        // stale and are dropped — flows stall and the §5 classifier calls
+        // it middlebox interference.
+        let mut p = MetroParams::new(1_000, 97);
+        p.shards = 4;
+        p.middlebox = true;
+        let reference = run_metropolis_domains(&p, 1, 1);
+        let blocked = reference.run.metrics.counter(Counter::MiddleboxSeqfwBlocked);
+        assert!(blocked > 0, "seqfw must block packets at 1k flows, got {blocked}");
+        assert!(reference.run.counts.3 > 0, "some flows must stall: {:?}", reference.run.counts);
+        assert!(
+            middlebox_interference_diagnoses(&reference.run) > 0,
+            "stalls with seqfw evidence must diagnose as middlebox interference"
+        );
+        // The middlebox hop keeps per-four-tuple state only, so the domain
+        // split must still replay byte-identically.
+        let run = run_metropolis_domains(&p, 2, 2);
+        assert_eq!(reference.run.counts, run.run.counts, "counts differ with middlebox on");
+        assert_eq!(reference.run.metrics, run.run.metrics, "metrics differ with middlebox on");
+    }
+
+    #[test]
+    fn middlebox_free_runs_report_no_interference() {
+        let mut p = MetroParams::new(200, 97);
+        p.shards = 4;
+        let run = run_metropolis(&p);
+        assert_eq!(run.metrics.counter(intang_telemetry::Counter::MiddleboxSeqfwBlocked), 0);
+        assert_eq!(middlebox_interference_diagnoses(&run), 0);
+    }
+
+    #[test]
+    fn censor_override_retags_the_run() {
+        use intang_gfw::CensorProfile;
+        use intang_telemetry::Counter;
+        let mut p = MetroParams::new(40, 5);
+        p.shards = 4;
+        let stock = run_metropolis(&p);
+        assert_eq!(stock.metrics.counter(Counter::GfwProfileEvolvedDevices), 1);
+        assert_eq!(stock.metrics.counter(Counter::GfwProfileTurkmenistanDevices), 0);
+        p.censor = Some(CensorProfile::turkmenistan().compile().expect("builtin compiles"));
+        let tk = run_metropolis(&p);
+        assert_eq!(tk.metrics.counter(Counter::GfwProfileTurkmenistanDevices), 1);
+        assert_eq!(tk.metrics.counter(Counter::GfwProfileEvolvedDevices), 0);
+        // The domains path tags the merged sheet identically.
+        let tk2 = run_metropolis_domains(&p, 2, 2);
+        assert_eq!(tk2.run.metrics.counter(Counter::GfwProfileTurkmenistanDevices), 1);
     }
 
     #[test]

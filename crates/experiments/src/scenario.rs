@@ -13,6 +13,7 @@
 use intang_gfw::config::GfwConfig;
 #[cfg(test)]
 use intang_gfw::config::GfwGeneration;
+use intang_gfw::CensorProfile;
 use intang_middlebox::profiles::ClientSideProfile;
 use intang_netsim::SimRng;
 use intang_packet::frag::OverlapPolicy;
@@ -113,6 +114,27 @@ impl CensorHardening {
     }
 }
 
+/// Which censor model populates a path's devices.
+#[derive(Debug, Clone, Default)]
+pub enum CensorModel {
+    /// The hard-coded [`GfwConfig::old`]/[`GfwConfig::evolved`]
+    /// constructors — the historical behavior.
+    #[default]
+    Builtin,
+    /// Profile-compiled prior/evolved slot configs. The per-site overrides
+    /// (device mix, segment overlap, resync probabilities, hardening)
+    /// still apply on top, so profiles that reproduce the builtins stay
+    /// byte-identical to them across the whole sweep. Note the site's
+    /// calibrated resync draws overwrite the evolved slot's resync knobs —
+    /// resync heterogeneity from `[heterogeneity]` is only fully visible
+    /// in `Custom` mode.
+    Profiles { prior: GfwConfig, evolved: GfwConfig },
+    /// A single profile-compiled censor replacing the per-site GFW device
+    /// mix entirely (the profile is authoritative; only §8 hardening still
+    /// ORs in). This is what `--censor-profile` selects for a whole sweep.
+    Custom(GfwConfig),
+}
+
 /// One target website and the path characteristics toward it.
 #[derive(Debug, Clone)]
 pub struct Website {
@@ -155,6 +177,8 @@ pub struct Website {
     pub path_drops_noflag: bool,
     /// §8 arms-race hardening applied to the censor on this path.
     pub hardening: CensorHardening,
+    /// Which censor model the path's devices are built from.
+    pub censor: CensorModel,
     /// Per-link loss probability.
     pub loss: f64,
     /// One-way core latency in milliseconds.
@@ -165,17 +189,38 @@ impl Website {
     /// Build the censor configuration(s) for this path.
     pub fn gfw_configs(&self) -> Vec<GfwConfig> {
         let mut v = Vec::new();
-        if self.old_device {
-            let mut c = GfwConfig::old();
-            c.segment_overlap = SegmentOverlapPolicy::LastWins;
-            v.push(c);
-        }
-        if self.evolved_device {
-            let mut c = GfwConfig::evolved();
-            c.segment_overlap = self.gfw_seg_overlap;
-            c.rst_resync_prob = self.rst_resync_prob;
-            c.rst_resync_prob_handshake = self.rst_resync_prob_handshake;
-            v.push(c);
+        match &self.censor {
+            CensorModel::Builtin => {
+                if self.old_device {
+                    let mut c = GfwConfig::old();
+                    c.segment_overlap = SegmentOverlapPolicy::LastWins;
+                    v.push(c);
+                }
+                if self.evolved_device {
+                    let mut c = GfwConfig::evolved();
+                    c.segment_overlap = self.gfw_seg_overlap;
+                    c.rst_resync_prob = self.rst_resync_prob;
+                    c.rst_resync_prob_handshake = self.rst_resync_prob_handshake;
+                    v.push(c);
+                }
+            }
+            CensorModel::Profiles { prior, evolved } => {
+                // Same slot shape and the same per-site overrides as the
+                // builtin arm, applied to the profile-compiled configs.
+                if self.old_device {
+                    let mut c = prior.clone();
+                    c.segment_overlap = SegmentOverlapPolicy::LastWins;
+                    v.push(c);
+                }
+                if self.evolved_device {
+                    let mut c = evolved.clone();
+                    c.segment_overlap = self.gfw_seg_overlap;
+                    c.rst_resync_prob = self.rst_resync_prob;
+                    c.rst_resync_prob_handshake = self.rst_resync_prob_handshake;
+                    v.push(c);
+                }
+            }
+            CensorModel::Custom(cfg) => v.push(cfg.clone()),
         }
         for c in &mut v {
             c.validate_checksum |= self.hardening.validate_checksum;
@@ -257,6 +302,7 @@ pub fn generate_websites(count: usize, master_seed: u64, inbound: bool) -> Vec<W
                 flaky_server: rng.chance(0.005),
                 path_drops_noflag: rng.chance(0.42),
                 hardening: CensorHardening::default(),
+                censor: CensorModel::Builtin,
                 loss: 0.002 + f64::from(rng.next_u32() % 10) / 1000.0, // 0.2%..1.2%
                 latency_ms: 10 + u64::from(rng.next_u32() % 40),
             }
@@ -298,6 +344,46 @@ impl Scenario {
         s.websites.truncate(5);
         s
     }
+
+    /// Replace the builtin censor constructors with profile-compiled
+    /// configs filling the same prior/evolved device slots. Each site's
+    /// devices are compiled per-device (the `[heterogeneity]` hooks), with
+    /// the device seed derived by hashing the site name — never by drawing
+    /// from the scenario RNG, which would perturb every seeded draw
+    /// downstream and break byte-identity with the builtin path.
+    pub fn with_profiles(mut self, prior: &CensorProfile, evolved: &CensorProfile) -> Result<Scenario, String> {
+        for w in &mut self.websites {
+            let seed = site_device_seed(&w.name, self.master_seed);
+            w.censor = CensorModel::Profiles {
+                prior: prior.compile_for_device(seed)?,
+                // The evolved slot is a different physical device on the
+                // same path: a distinct heterogeneity stream.
+                evolved: evolved.compile_for_device(seed ^ 1)?,
+            };
+        }
+        Ok(self)
+    }
+
+    /// Replace every site's GFW device mix with one profile-compiled
+    /// censor (per-device heterogeneity still applies). This is the
+    /// `--censor-profile` semantics: the profile is authoritative.
+    pub fn with_custom_censor(mut self, profile: &CensorProfile) -> Result<Scenario, String> {
+        for w in &mut self.websites {
+            let seed = site_device_seed(&w.name, self.master_seed);
+            w.censor = CensorModel::Custom(profile.compile_for_device(seed)?);
+        }
+        Ok(self)
+    }
+}
+
+/// Per-site device seed for profile heterogeneity: a hash of the site name
+/// and master seed, deliberately not an RNG draw (see `with_profiles`).
+fn site_device_seed(site: &str, master_seed: u64) -> u64 {
+    use std::hash::Hasher;
+    let mut h = intang_packet::fxhash::FxHasher::default();
+    h.write(site.as_bytes());
+    h.write_u64(master_seed);
+    h.finish()
 }
 
 #[cfg(test)]
@@ -359,6 +445,47 @@ mod tests {
         assert!(inbound.iter().all(|w| w.server_hops <= 5));
         assert!(inbound.iter().any(|w| w.server_hops <= 1), "some co-located censors inbound");
         assert!(outbound.iter().all(|w| w.server_hops >= 3));
+    }
+
+    #[test]
+    fn builtin_profiles_reproduce_builtin_gfw_configs_exactly() {
+        // The whole point of the profile layer: a scenario driven by the
+        // checked-in gfw_prior/gfw_evolved profiles builds *equal* censor
+        // configs for every site, so the sweeps stay byte-identical.
+        let s = Scenario::smoke(2017);
+        let p = s
+            .clone()
+            .with_profiles(&CensorProfile::gfw_prior(), &CensorProfile::gfw_evolved())
+            .unwrap();
+        for (a, b) in s.websites.iter().zip(&p.websites) {
+            assert_eq!(a.gfw_configs(), b.gfw_configs(), "site {}", a.name);
+        }
+    }
+
+    #[test]
+    fn custom_censor_replaces_the_device_mix() {
+        let s = Scenario::smoke(2017).with_custom_censor(&CensorProfile::turkmenistan()).unwrap();
+        for w in &s.websites {
+            let cfgs = w.gfw_configs();
+            assert_eq!(cfgs.len(), 1, "one authoritative censor per path");
+            assert!(cfgs[0].inject_blockpage);
+            assert!(cfgs[0].censor_responses);
+        }
+    }
+
+    #[test]
+    fn heterogeneous_profiles_vary_across_sites_deterministically() {
+        let mut p = CensorProfile::gfw_evolved();
+        p.het_overload_jitter = 0.02;
+        let a = Scenario::smoke(2017).with_custom_censor(&p).unwrap();
+        let b = Scenario::smoke(2017).with_custom_censor(&p).unwrap();
+        let probs: Vec<f64> = a.websites.iter().map(|w| w.gfw_configs()[0].overload_miss_prob).collect();
+        let again: Vec<f64> = b.websites.iter().map(|w| w.gfw_configs()[0].overload_miss_prob).collect();
+        assert_eq!(probs, again, "device perturbation is a pure function of the seed");
+        let mut distinct = probs.clone();
+        distinct.sort_by(f64::total_cmp);
+        distinct.dedup();
+        assert!(distinct.len() > 1, "different sites draw different devices");
     }
 
     #[test]

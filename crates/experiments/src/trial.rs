@@ -428,6 +428,13 @@ pub fn classify(sim: &Simulation, parts: &TrialParts, spec: &TrialSpec<'_>) -> T
     // trial-level instruments on top.
     let mut metrics = MetricsSheet::new();
     sim.export_metrics(&mut metrics);
+    // Tag the trial with the profile of every censor device on the path
+    // (recorded here, not by the element: the metropolis splits one
+    // logical device across event domains, so the element can't count
+    // devices without breaking serial/parallel identity).
+    for h in &parts.gfw_handles {
+        metrics.inc(h.profile_tag().device_counter());
+    }
     metrics.inc(Counter::TrialsRun);
     let (outcome_counter, outcome_col) = match outcome {
         Outcome::Success => (Counter::TrialSuccess, OUTCOME_SUCCESS),

@@ -6,6 +6,18 @@
 //! the device can distinguish punishment of the offending connection from
 //! collateral disruption of an innocent neighbor on the same (src, dst)
 //! pair — the cross-flow interference a metropolis-scale workload measures.
+//!
+//! ## Expiry convention: half-open `[insertion, until)`
+//!
+//! An entry inserted at `now` with duration `d` is active for instants
+//! strictly before `until = now + d`: [`Blacklist::hit`] tests
+//! `e.until > now`, so a packet arriving at *exactly* `until` misses (the
+//! entry is pruned). Symmetrically, [`Blacklist::add`] extends only when
+//! the new `until` is *strictly* later (`e.until < until`) — re-adding
+//! with an identical expiry is a no-op. Profile-driven blacklist durations
+//! (prior / evolved / turkmenistan devices) all inherit this one
+//! convention, so differing durations can never drift the boundary
+//! semantics between censor models.
 
 use intang_netsim::{Duration, Instant};
 use intang_packet::{FourTuple, FxHashMap};
@@ -41,6 +53,9 @@ impl Blacklist {
 
     /// Blacklist the host pair until `now + duration` (extends on repeat
     /// detections), recording the detected flow as the entry's origin.
+    /// The entry is active on the half-open interval `[now, now + duration)`
+    /// and extension is strict: a repeat detection whose expiry is not
+    /// *later* than the current one leaves the entry untouched.
     pub fn add(&mut self, a: Ipv4Addr, b: Ipv4Addr, now: Instant, duration: Duration, origin: FourTuple) {
         let until = now + duration;
         let e = self.entries.entry(key(a, b)).or_insert(Entry {
@@ -61,6 +76,9 @@ impl Blacklist {
     /// pair is not (or no longer) blacklisted; otherwise
     /// `Some(collateral)`, where `collateral` means the hitting flow is
     /// *not* the one whose detection inserted the entry.
+    ///
+    /// Expiry is exclusive (`e.until > now`): a packet arriving at exactly
+    /// `until` misses and prunes the entry.
     pub fn hit(&mut self, a: Ipv4Addr, b: Ipv4Addr, now: Instant, tuple: Option<FourTuple>) -> Option<bool> {
         let k = key(a, b);
         match self.entries.get(&k) {
@@ -122,6 +140,30 @@ mod tests {
         bl.add(a(), b(), Instant::ZERO, Duration::from_secs(90), origin());
         bl.add(a(), b(), Instant(1), Duration::from_secs(1), origin());
         assert!(bl.contains(a(), b(), Instant(50_000_000)));
+    }
+
+    #[test]
+    fn expiry_boundary_is_half_open_at_the_exact_instant() {
+        // Pin the fence-post: 90 s = 90_000_000 µs after insertion at ZERO,
+        // the entry is active strictly before `until` and gone AT `until`.
+        let mut bl = Blacklist::new();
+        bl.add(a(), b(), Instant::ZERO, Duration::from_secs(90), origin());
+        assert!(bl.contains(a(), b(), Instant(89_999_999)), "one tick before expiry: active");
+        assert!(!bl.contains(a(), b(), Instant(90_000_000)), "exactly at expiry: inactive");
+        assert!(bl.is_empty(), "the exact-instant miss prunes the entry");
+    }
+
+    #[test]
+    fn add_with_identical_expiry_does_not_extend() {
+        // The extend comparison is strict (`e.until < until`), mirroring the
+        // strict hit comparison: re-adding with the same resulting expiry is
+        // a no-op, and the boundary stays where the first insertion put it.
+        let mut bl = Blacklist::new();
+        bl.add(a(), b(), Instant::ZERO, Duration::from_secs(90), origin());
+        let second = FourTuple::new(a(), 41_000, b(), 80);
+        bl.add(a(), b(), Instant::ZERO, Duration::from_secs(90), second);
+        assert_eq!(bl.hit(a(), b(), Instant(1), Some(second)), Some(true), "origin unchanged");
+        assert!(!bl.contains(a(), b(), Instant(90_000_000)), "expiry unchanged");
     }
 
     #[test]

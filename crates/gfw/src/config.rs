@@ -31,8 +31,42 @@ pub enum EvictionPolicy {
     Lru,
 }
 
+/// Which censor profile a [`GfwConfig`] was compiled from, so telemetry
+/// exports can tag runs with the censor model that produced them. The two
+/// hard-coded constructors carry their canonical tags; configs built from
+/// profile files carry the tag matching the profile name (or `Custom`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProfileTag {
+    /// The pre-2017 Khattak et al. model (`gfw_prior`).
+    Prior,
+    /// The paper's evolved model (`gfw_evolved`).
+    Evolved,
+    /// The Turkmenistan censor of Nourin et al. (`turkmenistan`).
+    Turkmenistan,
+    /// Any other profile (user-authored or perturbed).
+    Custom,
+}
+
+impl ProfileTag {
+    /// The telemetry counter that tags *logical* censor devices compiled
+    /// from this profile. Deliberately not exported by the element itself:
+    /// the parallel metropolis splits one logical device into one element
+    /// per event domain, so a per-element bump would break serial/parallel
+    /// byte-identity. The trial and metropolis layers, which know what a
+    /// logical device is, bump it instead.
+    pub fn device_counter(self) -> intang_telemetry::Counter {
+        use intang_telemetry::Counter;
+        match self {
+            ProfileTag::Prior => Counter::GfwProfilePriorDevices,
+            ProfileTag::Evolved => Counter::GfwProfileEvolvedDevices,
+            ProfileTag::Turkmenistan => Counter::GfwProfileTurkmenistanDevices,
+            ProfileTag::Custom => Counter::GfwProfileCustomDevices,
+        }
+    }
+}
+
 /// Full device/DPI configuration for a censor tap on one path.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GfwConfig {
     pub generation: GfwGeneration,
     /// Type-1 instance present (single RST, per-packet scan).
@@ -92,6 +126,11 @@ pub struct GfwConfig {
     pub resync_storm_threshold: usize,
     /// Also censor server→client HTTP responses (rare paths, §3.3).
     pub censor_responses: bool,
+    /// Inject a spoofed HTTP blockpage (served "from" the real server)
+    /// alongside the reset volley on detection — the Turkmenistan behavior
+    /// documented by Nourin et al. The GFW never does this (false for both
+    /// generations).
+    pub inject_blockpage: bool,
 
     // ---- protocol-specific censorship -----------------------------------
     /// Poison UDP DNS queries for blacklisted domains.
@@ -139,6 +178,10 @@ pub struct GfwConfig {
     /// the process-wide [`crate::dpi::shared_paper_rules`] `Arc`, so cloning
     /// configs (one per sweep cell × element) never copies the rules.
     pub rules: Arc<RuleSet>,
+
+    /// Which censor profile this config was compiled from (telemetry tag
+    /// only; never consulted on the hot path).
+    pub profile_tag: ProfileTag,
 }
 
 impl GfwConfig {
@@ -165,6 +208,7 @@ impl GfwConfig {
             resync_storm_window: Duration::from_millis(100),
             resync_storm_threshold: 8,
             censor_responses: false,
+            inject_blockpage: false,
             dns_poison: true,
             tor_filter: true,
             active_probing: true,
@@ -175,6 +219,7 @@ impl GfwConfig {
             state_shards: 1,
             shard_seed: 0,
             rules: crate::dpi::shared_paper_rules(),
+            profile_tag: ProfileTag::Evolved,
         }
     }
 
@@ -185,6 +230,7 @@ impl GfwConfig {
             segment_overlap: SegmentOverlapPolicy::LastWins,
             rst_resync_prob: 0.0,
             rst_resync_prob_handshake: 0.0,
+            profile_tag: ProfileTag::Prior,
             ..GfwConfig::evolved()
         }
     }
@@ -199,6 +245,31 @@ impl GfwConfig {
     pub fn with_rules(mut self, rules: RuleSet) -> GfwConfig {
         self.rules = Arc::new(rules);
         self
+    }
+
+    /// Check every probability knob for sanity. The sampling paths compare
+    /// these against uniform draws, so a NaN, a negative value, or a value
+    /// above 1.0 silently skews every draw downstream; reject them up front
+    /// so CLI paths can exit gracefully instead (PR 5's no-panic contract).
+    pub fn validate(&self) -> Result<(), String> {
+        fn prob(name: &str, v: f64) -> Result<(), String> {
+            if !v.is_finite() || !(0.0..=1.0).contains(&v) {
+                return Err(format!("{name} must be a probability in [0.0, 1.0], got {v}"));
+            }
+            Ok(())
+        }
+        prob("rst_resync_prob", self.rst_resync_prob)?;
+        prob("rst_resync_prob_handshake", self.rst_resync_prob_handshake)?;
+        prob("overload_miss_prob", self.overload_miss_prob)?;
+        prob("chaos_rst_inject_prob", self.chaos_rst_inject_prob)?;
+        prob("chaos_device_flap_prob", self.chaos_device_flap_prob)?;
+        if !self.chaos_blacklist_jitter.is_finite() || self.chaos_blacklist_jitter < 0.0 {
+            return Err(format!(
+                "chaos_blacklist_jitter must be a finite non-negative fraction, got {}",
+                self.chaos_blacklist_jitter
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -234,5 +305,54 @@ mod tests {
     #[test]
     fn blacklist_is_ninety_seconds() {
         assert_eq!(GfwConfig::evolved().blacklist_duration, Duration::from_secs(90));
+    }
+
+    #[test]
+    fn builtin_configs_validate() {
+        GfwConfig::old().validate().unwrap();
+        GfwConfig::evolved().validate().unwrap();
+    }
+
+    #[test]
+    fn rejects_out_of_range_rst_resync_prob() {
+        for bad in [f64::NAN, 3.7, -1.0, f64::INFINITY] {
+            let mut cfg = GfwConfig::evolved();
+            cfg.rst_resync_prob = bad;
+            let err = cfg.validate().unwrap_err();
+            assert!(err.contains("rst_resync_prob"), "error names the knob: {err}");
+        }
+    }
+
+    #[test]
+    fn rejects_out_of_range_rst_resync_prob_handshake() {
+        for bad in [f64::NAN, 3.7, -1.0] {
+            let mut cfg = GfwConfig::evolved();
+            cfg.rst_resync_prob_handshake = bad;
+            let err = cfg.validate().unwrap_err();
+            assert!(err.contains("rst_resync_prob_handshake"), "error names the knob: {err}");
+        }
+    }
+
+    #[test]
+    fn rejects_out_of_range_overload_miss_prob() {
+        for bad in [f64::NAN, 3.7, -1.0] {
+            let mut cfg = GfwConfig::evolved();
+            cfg.overload_miss_prob = bad;
+            let err = cfg.validate().unwrap_err();
+            assert!(err.contains("overload_miss_prob"), "error names the knob: {err}");
+        }
+    }
+
+    #[test]
+    fn rejects_out_of_range_chaos_knobs() {
+        let mut cfg = GfwConfig::evolved();
+        cfg.chaos_rst_inject_prob = -0.5;
+        assert!(cfg.validate().unwrap_err().contains("chaos_rst_inject_prob"));
+        let mut cfg = GfwConfig::evolved();
+        cfg.chaos_device_flap_prob = 1.5;
+        assert!(cfg.validate().unwrap_err().contains("chaos_device_flap_prob"));
+        let mut cfg = GfwConfig::evolved();
+        cfg.chaos_blacklist_jitter = -0.1;
+        assert!(cfg.validate().unwrap_err().contains("chaos_blacklist_jitter"));
     }
 }

@@ -44,6 +44,9 @@ pub struct GfwStats {
     /// Of `resets_injected`: resets fired by the type-2 device.
     pub type2_resets_injected: u64,
     pub forged_synacks: u64,
+    /// Spoofed HTTP blockpages injected on detection (profile-driven
+    /// censors with `inject_blockpage`; the GFW models never do this).
+    pub blockpages_injected: u64,
     pub dns_poisoned: u64,
     /// IP pairs added to the §2.1 blacklist.
     pub blacklist_inserts: u64,
@@ -252,6 +255,11 @@ impl GfwHandle {
         self.core.borrow().stats.forged_synacks
     }
 
+    /// Spoofed HTTP blockpages injected (profile-driven censors only).
+    pub fn blockpages_injected(&self) -> u64 {
+        self.core.borrow().stats.blockpages_injected
+    }
+
     pub fn dns_poisoned(&self) -> u64 {
         self.core.borrow().stats.dns_poisoned
     }
@@ -315,6 +323,11 @@ impl GfwHandle {
     pub fn state_lanes(&self) -> usize {
         self.core.borrow().lanes.len()
     }
+
+    /// Which censor profile this device was compiled from.
+    pub fn profile_tag(&self) -> crate::config::ProfileTag {
+        self.core.borrow().cfg.profile_tag
+    }
 }
 
 impl Element for GfwElement {
@@ -362,6 +375,7 @@ impl Element for GfwElement {
         m.add(Counter::GfwInjectionsSuppressed, s.injections_suppressed);
         m.add(Counter::GfwDeviceFlaps, s.device_flaps);
         m.add(Counter::GfwBlacklistJitterApplied, s.blacklist_jitter_draws);
+        m.add(Counter::GfwBlockpagesInjected, s.blockpages_injected);
     }
 
     fn sample_gauges(&self, g: &mut GaugeSample) {
@@ -786,6 +800,16 @@ impl GfwCore {
             match kind {
                 DetectionKind::HttpKeyword | DetectionKind::Domain => {
                     if !already {
+                        // Blockpage censors (Turkmenistan, per Nourin et
+                        // al.) answer the forbidden request in-band before
+                        // the reset volley: same reaction delay, queued
+                        // first, so at the shared timestamp the spoofed
+                        // response precedes the resets.
+                        if self.cfg.inject_blockpage && self.chaos_volley_fires(ctx, lane) {
+                            let w = lane.injector.blockpage(server, client, server_next, client_next);
+                            ctx.send_delayed(Direction::ToClient, w, self.cfg.reaction_delay);
+                            self.stats.blockpages_injected += 1;
+                        }
                         self.inject_detection_resets(ctx, lane, client, server, client_next, server_next);
                         if self.cfg.type2 {
                             let duration = self.chaos_blacklist_duration(ctx, lane);

@@ -28,10 +28,12 @@ pub mod config;
 pub mod device;
 pub mod dpi;
 pub mod probe;
+pub mod profile;
 pub mod reset;
 pub mod tcb;
 
-pub use config::{EvictionPolicy, GfwConfig, GfwGeneration};
+pub use config::{EvictionPolicy, GfwConfig, GfwGeneration, ProfileTag};
 pub use device::{GfwElement, GfwHandle, GfwStats};
 pub use dpi::{DetectionKind, RuleSet};
+pub use profile::CensorProfile;
 pub use reset::ResetKind;

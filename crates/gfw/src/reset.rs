@@ -22,6 +22,16 @@ pub enum ResetKind {
 /// hedge against the injections falling behind the real stream).
 pub const TYPE2_SEQ_OFFSETS: [u32; 3] = [0, 1460, 4380];
 
+/// The spoofed HTTP blockpage body injected by censors that answer
+/// forbidden requests in-band (Turkmenistan, per Nourin et al.) rather
+/// than relying on resets alone.
+pub const BLOCKPAGE_BODY: &[u8] = b"HTTP/1.1 403 Forbidden\r\n\
+Content-Type: text/html\r\n\
+Connection: close\r\n\
+\r\n\
+<html><head><title>403 Forbidden</title></head>\
+<body><h1>Forbidden</h1></body></html>";
+
 /// Stateful injector holding the type-2 cyclic counters.
 #[derive(Debug)]
 pub struct ResetInjector {
@@ -83,6 +93,22 @@ impl ResetInjector {
                 intang_packet::wire::emit_tcp(&ip, &tcp)
             })
             .collect()
+    }
+
+    /// A spoofed HTTP blockpage served "from" the real server: a PSH/ACK
+    /// carrying [`BLOCKPAGE_BODY`] at the server's current sequence number,
+    /// acknowledging the victim's stream, so the client renders the censor's
+    /// page as if the server sent it (Nourin et al.).
+    pub fn blockpage(&mut self, from: (Ipv4Addr, u16), to: (Ipv4Addr, u16), seq: u32, ack: u32) -> Wire {
+        let mut tcp = TcpRepr::new(from.1, to.1);
+        tcp.flags = TcpFlags::PSH_ACK;
+        tcp.seq = seq;
+        tcp.ack = ack;
+        tcp.window = 8192;
+        tcp.payload = BLOCKPAGE_BODY.to_vec();
+        let mut ip = Ipv4Repr::new(from.0, to.0, IpProtocol::Tcp);
+        ip.ttl = 64;
+        intang_packet::wire::emit_tcp(&ip, &tcp)
     }
 
     /// The forged SYN/ACK (wrong sequence number) a type-2 device injects
@@ -203,6 +229,7 @@ mod tests {
         let mut wires = vec![inj.type1(&mut rng, srv, cli, 0xffff_fff0)];
         wires.extend(inj.type2(srv, cli, u32::MAX - 100, 777));
         wires.push(inj.forged_synack(&mut rng, srv, cli, 42));
+        wires.push(inj.blockpage(srv, cli, 0xdead_beef, 42));
         for w in &wires {
             let ip = Ipv4Packet::new_checked(&w[..]).unwrap();
             assert!(ip.verify_header_checksum(), "IP checksum stale on {w:?}");
@@ -212,6 +239,22 @@ mod tests {
             assert!(intang_packet::refresh_checksums(&mut refreshed));
             assert_eq!(refreshed, w.to_vec(), "refresh must be a no-op on fresh packets");
         }
+    }
+
+    #[test]
+    fn blockpage_is_a_psh_ack_carrying_the_403_body() {
+        let (srv, cli) = endpoints();
+        let mut inj = ResetInjector::new();
+        let w = inj.blockpage(srv, cli, 1234, 5678);
+        let ip = Ipv4Packet::new_checked(&w[..]).unwrap();
+        assert_eq!(ip.src_addr(), srv.0, "spoofed from the server");
+        let t = TcpPacket::new_checked(ip.payload()).unwrap();
+        assert_eq!(t.flags(), TcpFlags::PSH_ACK);
+        assert_eq!(t.seq_number(), 1234);
+        assert_eq!(t.ack_number(), 5678);
+        assert_eq!(t.payload(), BLOCKPAGE_BODY);
+        assert!(t.payload().starts_with(b"HTTP/1.1 403"));
+        assert_eq!(classify_reset(t.flags()), None, "a blockpage is not a reset");
     }
 
     #[test]

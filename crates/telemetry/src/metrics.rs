@@ -98,6 +98,17 @@ counters! {
     MetroFlowsSucceeded => "metro_flows_succeeded",
     MetroFlowsReset => "metro_flows_reset",
     MetroFlowsStalled => "metro_flows_stalled",
+    // ---- scriptable censor profiles --------------------------------------
+    // Blockpages injected by censor models that answer forbidden requests
+    // with a spoofed HTTP response (Turkmenistan per Nourin et al.) rather
+    // than resets alone.
+    GfwBlockpagesInjected => "gfw_blockpages_injected",
+    // One bump per censor device, tagged by the profile it was compiled
+    // from, so sweep exports show which censor model produced a run.
+    GfwProfilePriorDevices => "gfw_profile_prior_devices",
+    GfwProfileEvolvedDevices => "gfw_profile_evolved_devices",
+    GfwProfileTurkmenistanDevices => "gfw_profile_turkmenistan_devices",
+    GfwProfileCustomDevices => "gfw_profile_custom_devices",
 }
 
 macro_rules! hists {
